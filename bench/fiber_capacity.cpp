@@ -1,0 +1,60 @@
+// Assumption check: how many fiber cores does the paper's model need?
+//
+// §II-A assumes fibers have "adequate capacity" so only switch qubits
+// constrain routing. This bench sweeps cores-per-fiber for the Prim
+// heuristic under joint (qubit + core) constraints and compares against the
+// unlimited-fiber Algorithm 4. Expected shape: 1 core visibly hurts on the
+// default topology (tree channels share popular fibers); a small handful of
+// cores already matches unlimited — quantifying why the paper's assumption
+// is safe for multi-core fiber.
+#include <iostream>
+
+#include "experiment/scenario.hpp"
+#include "routing/fiber_limits.hpp"
+#include "routing/prim_based.hpp"
+#include "support/statistics.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace muerp;
+
+  experiment::Scenario s;  // paper defaults
+
+  support::Table table(
+      "Fiber-core sweep: Alg-4 under joint qubit+core constraints",
+      {"cores/fiber", "mean rate", "feasible fraction", "vs unlimited"});
+
+  // Unlimited-fiber reference.
+  support::Accumulator unlimited;
+  for (std::size_t rep = 0; rep < s.repetitions; ++rep) {
+    const experiment::Instance inst = experiment::instantiate(s, rep);
+    unlimited.add(routing::prim_based_from(inst.network, inst.users, 0).rate);
+  }
+
+  for (int cores : {1, 2, 4, 8}) {
+    support::Accumulator rate;
+    double feasible = 0.0;
+    for (std::size_t rep = 0; rep < s.repetitions; ++rep) {
+      const experiment::Instance inst = experiment::instantiate(s, rep);
+      routing::JointCapacity capacity(inst.network, cores);
+      const auto tree =
+          routing::prim_fiber_aware(inst.network, inst.users, 0, capacity);
+      rate.add(tree.rate);
+      if (tree.feasible) feasible += 1.0;
+    }
+    char c_label[8];
+    char f_label[16];
+    char ratio[16];
+    std::snprintf(c_label, sizeof c_label, "%d", cores);
+    std::snprintf(f_label, sizeof f_label, "%.2f",
+                  feasible / static_cast<double>(s.repetitions));
+    std::snprintf(ratio, sizeof ratio, "%.3f",
+                  unlimited.mean() > 0 ? rate.mean() / unlimited.mean() : 0.0);
+    table.add_text_row({c_label, support::format_rate(rate.mean()), f_label,
+                        ratio});
+  }
+  table.add_text_row({"unlimited", support::format_rate(unlimited.mean()),
+                      "1.00", "1.000"});
+  std::cout << table;
+  return 0;
+}

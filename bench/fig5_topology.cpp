@@ -1,0 +1,24 @@
+// Fig. 5 of the paper: entanglement rate vs. network topology.
+//
+// §V-A defaults (50 switches, 10 users, D = 6, Q = 4, q = 0.9, alpha = 1e-4,
+// 20 random networks) swept over the three generation methods. Expected
+// shape: the proposed algorithms (Alg-2/3/4) beat both baselines on every
+// topology, and N-FUSION fails to entangle users on Watts–Strogatz graphs
+// (its fusion star cannot fit Q = 4 switches along the ring).
+#include "figure_common.hpp"
+
+int main() {
+  using namespace muerp;
+  std::vector<bench::SweepPoint> points;
+  for (experiment::TopologyKind kind :
+       {experiment::TopologyKind::kWaxman,
+        experiment::TopologyKind::kWattsStrogatz,
+        experiment::TopologyKind::kVolchenkov}) {
+    experiment::Scenario s;  // paper defaults
+    s.topology = kind;
+    points.push_back({experiment::topology_name(kind), s});
+  }
+  bench::run_figure("Fig. 5: Entanglement rate vs. network topology",
+                    "topology", points);
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Fig. 6(a) of the paper: entanglement rate vs. the number of users.
+//
+// Expected shape: the rate decreases as |U| grows — more users need more
+// channels, and Eq. (2) multiplies another sub-unity factor per channel.
+#include "figure_common.hpp"
+
+int main() {
+  using namespace muerp;
+  std::vector<bench::SweepPoint> points;
+  for (std::size_t users : {4u, 6u, 8u, 10u, 12u, 14u}) {
+    experiment::Scenario s;
+    s.user_count = users;
+    points.push_back({std::to_string(users), s});
+  }
+  bench::run_figure("Fig. 6(a): Entanglement rate vs. number of users",
+                    "|U|", points);
+  return 0;
+}

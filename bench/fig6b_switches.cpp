@@ -1,0 +1,21 @@
+// Fig. 6(b) of the paper: entanglement rate vs. the number of switches.
+//
+// Expected shape: mostly decreasing — with more switches (at a fixed
+// deployment area and average degree) channels pass through more relays,
+// multiplying extra swap factors — but the curve can tick upward late in
+// the sweep when added switches shorten routes enough (the paper observes
+// this between 40 and 50 switches).
+#include "figure_common.hpp"
+
+int main() {
+  using namespace muerp;
+  std::vector<bench::SweepPoint> points;
+  for (std::size_t switches : {10u, 20u, 30u, 40u, 50u}) {
+    experiment::Scenario s;
+    s.switch_count = switches;
+    points.push_back({std::to_string(switches), s});
+  }
+  bench::run_figure("Fig. 6(b): Entanglement rate vs. number of switches",
+                    "|R|", points);
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Fig. 7(a) of the paper: entanglement rate vs. average node degree.
+//
+// Expected shape: increasing — a denser fiber plant offers more channel
+// candidates, so every algorithm finds better trees.
+#include "figure_common.hpp"
+
+int main() {
+  using namespace muerp;
+  std::vector<bench::SweepPoint> points;
+  for (double degree : {4.0, 6.0, 8.0, 10.0}) {
+    experiment::Scenario s;
+    s.average_degree = degree;
+    points.push_back({std::to_string(static_cast<int>(degree)), s});
+  }
+  bench::run_figure("Fig. 7(a): Entanglement rate vs. average degree",
+                    "degree", points);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Fig. 7(b) of the paper: entanglement rate vs. removed-edge ratio.
+//
+// Setup per the paper: 10 users, 50 switches, 600 optical fibers (average
+// degree 20), Q = 4. Starting from the full graph we repeatedly remove 30
+// uniformly random fibers and re-run every algorithm, until no feasible
+// routing remains. Expected shape: mostly decreasing with plateaus — the
+// outcome depends on a few *critical* edges, so removing 5% often changes
+// nothing — and occasional upticks when a removal steers a heuristic away
+// from a locally attractive but globally poor channel.
+#include <iostream>
+#include <vector>
+
+#include "experiment/runner.hpp"
+#include "experiment/scenario.hpp"
+#include "support/statistics.hpp"
+#include "support/table.hpp"
+#include "topology/perturb.hpp"
+
+int main() {
+  using namespace muerp;
+
+  experiment::Scenario base;  // paper defaults except degree
+  base.average_degree = 20.0;  // 600 edges over 60 nodes
+  base.seed = 0xF16B;
+
+  constexpr std::size_t kRemovePerStep = 30;
+  constexpr std::size_t kTotalEdges = 600;
+  constexpr std::size_t kSteps = kTotalEdges / kRemovePerStep;  // 20 steps
+
+  // rates[step][algorithm] accumulated over repetitions.
+  std::vector<std::vector<support::Accumulator>> acc(
+      kSteps + 1,
+      std::vector<support::Accumulator>(experiment::kAllAlgorithms.size()));
+
+  for (std::size_t rep = 0; rep < base.repetitions; ++rep) {
+    experiment::Instance inst = experiment::instantiate(base, rep);
+    support::Rng removal_rng = support::Rng(base.seed ^ 0x9e37).split(rep);
+    for (std::size_t step = 0; step <= kSteps; ++step) {
+      for (std::size_t a = 0; a < experiment::kAllAlgorithms.size(); ++a) {
+        acc[step][a].add(experiment::run_algorithm(
+            experiment::kAllAlgorithms[a], inst));
+      }
+      // Remove the next 30 fibers uniformly at random.
+      auto pruned = inst.network.graph();
+      topology::remove_random_edges(pruned, kRemovePerStep, removal_rng);
+      inst.network.set_topology(std::move(pruned));
+    }
+  }
+
+  std::vector<std::string> columns{"removed-ratio"};
+  for (experiment::Algorithm a : experiment::kAllAlgorithms) {
+    columns.emplace_back(experiment::algorithm_name(a));
+  }
+  support::Table table(
+      "Fig. 7(b): Entanglement rate vs. removed edges ratio", columns);
+  for (std::size_t step = 0; step <= kSteps; ++step) {
+    std::vector<double> means;
+    for (auto& algo_acc : acc[step]) means.push_back(algo_acc.mean());
+    char label[16];
+    std::snprintf(label, sizeof label, "%.2f",
+                  static_cast<double>(step * kRemovePerStep) / kTotalEdges);
+    table.add_row(label, std::move(means));
+  }
+  std::cout << table << '\n';
+  std::cout << "--- CSV (Fig. 7b) ---\n" << table.to_csv() << '\n';
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Fig. 8(a) of the paper: entanglement rate vs. qubits per switch.
+//
+// Q_i sweeps 2 -> 8 for Algorithms 3/4 and the baselines; Algorithm 2 is
+// pinned at 2|U| = 20 qubits (the paper: "Algorithm 2 is not constrained by
+// this"), which the runner already does for every experiment. Expected
+// shape: at Q = 2 only Algorithm 3 tends to route successfully; Algorithm 4
+// and the baselines come alive as Q grows; baselines keep rising at Q = 8.
+#include "figure_common.hpp"
+
+int main() {
+  using namespace muerp;
+  std::vector<bench::SweepPoint> points;
+  for (int qubits : {2, 4, 6, 8}) {
+    experiment::Scenario s;
+    s.qubits_per_switch = qubits;
+    points.push_back({std::to_string(qubits), s});
+  }
+  bench::run_figure(
+      "Fig. 8(a): Entanglement rate vs. qubits per switch (Alg-2 at 2|U|)",
+      "Q", points);
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Fig. 8(b) of the paper: entanglement rate vs. BSM swap success rate q.
+//
+// Expected shape: every algorithm's rate rises with q; the proposed
+// algorithms keep their lead across the whole range.
+#include <cstdio>
+
+#include "figure_common.hpp"
+
+int main() {
+  using namespace muerp;
+  std::vector<bench::SweepPoint> points;
+  for (double q : {0.7, 0.8, 0.9, 1.0}) {
+    experiment::Scenario s;
+    s.swap_success = q;
+    char label[16];
+    std::snprintf(label, sizeof label, "%.1f", q);
+    points.push_back({label, s});
+  }
+  bench::run_figure("Fig. 8(b): Entanglement rate vs. swap success rate",
+                    "q", points);
+  return 0;
+}

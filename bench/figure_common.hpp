@@ -1,0 +1,60 @@
+// Shared plumbing for the figure-reproduction benches.
+//
+// Each bench binary regenerates one figure of the paper's §V evaluation:
+// it sweeps a single scenario parameter, averages the entanglement rate of
+// all five algorithms over the scenario's 20 random networks (zeros counted,
+// exactly like the paper), and prints the resulting series as a table plus
+// a CSV block for external plotting.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "experiment/runner.hpp"
+#include "experiment/scenario.hpp"
+#include "support/table.hpp"
+
+namespace muerp::bench {
+
+struct SweepPoint {
+  std::string label;
+  experiment::Scenario scenario;
+};
+
+/// Runs every sweep point and prints two tables: mean entanglement rate and
+/// feasible fraction per algorithm.
+inline void run_figure(const std::string& figure_title,
+                       const std::string& param_name,
+                       const std::vector<SweepPoint>& points,
+                       const experiment::RunnerOptions& options = {}) {
+  std::vector<std::string> columns{param_name};
+  for (experiment::Algorithm a : experiment::kAllAlgorithms) {
+    columns.emplace_back(experiment::algorithm_name(a));
+  }
+  support::Table rates(figure_title + " — mean entanglement rate", columns);
+  support::Table stderrs(
+      figure_title + " — standard error (network-to-network)", columns);
+  support::Table feasible(figure_title + " — feasible fraction", columns);
+
+  for (const SweepPoint& point : points) {
+    const auto result = experiment::run_scenario(point.scenario, options);
+    std::vector<double> means;
+    std::vector<double> errors;
+    std::vector<double> fractions;
+    for (std::size_t a = 0; a < experiment::kAllAlgorithms.size(); ++a) {
+      means.push_back(result.mean_rate(a));
+      errors.push_back(result.stderr_rate(a));
+      fractions.push_back(result.feasible_fraction(a));
+    }
+    rates.add_row(point.label, means);
+    stderrs.add_row(point.label, errors);
+    feasible.add_row(point.label, fractions);
+  }
+
+  std::cout << rates << '\n' << stderrs << '\n' << feasible << '\n';
+  std::cout << "--- CSV (" << figure_title << ") ---\n"
+            << rates.to_csv() << '\n';
+}
+
+}  // namespace muerp::bench

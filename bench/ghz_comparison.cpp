@@ -1,0 +1,49 @@
+// GHZ distribution: Bell-tree assembly vs. n-fusion star, quantified.
+//
+// The paper's modelling argument (§I) is qualitative: BSM-built Bell trees
+// are more reliable than n-fusion GHZ distribution. This bench routes both
+// on the same default networks and sweeps the local-merge success p_local
+// (the only cost the tree route pays that the star does not). Expected
+// shape: the tree route dominates for any plausible p_local; only when
+// local two-qubit operations become drastically unreliable does n-fusion
+// catch up — putting a number on "when would the paper's choice be wrong".
+#include <iostream>
+
+#include "experiment/scenario.hpp"
+#include "extensions/ghz.hpp"
+#include "support/statistics.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace muerp;
+
+  experiment::Scenario s;  // paper defaults, 10 users
+
+  support::Table table(
+      "GHZ distribution: Bell tree + local merges vs n-fusion star",
+      {"p_local", "GHZ via tree", "GHZ via fusion", "tree/fusion"});
+
+  for (double p_local : {1.0, 0.99, 0.95, 0.9, 0.7, 0.5, 0.3}) {
+    support::Accumulator via_tree;
+    support::Accumulator via_fusion;
+    for (std::size_t rep = 0; rep < s.repetitions; ++rep) {
+      const experiment::Instance inst = experiment::instantiate(s, rep);
+      ext::GhzParams params;
+      params.local_merge_success = p_local;
+      const auto cmp =
+          ext::compare_ghz_distribution(inst.network, inst.users, params);
+      via_tree.add(cmp.via_tree);
+      via_fusion.add(cmp.via_fusion);
+    }
+    char p_label[16];
+    char ratio[24];
+    std::snprintf(p_label, sizeof p_label, "%.2f", p_local);
+    std::snprintf(ratio, sizeof ratio, "%.1fx",
+                  via_fusion.mean() > 0 ? via_tree.mean() / via_fusion.mean()
+                                        : 0.0);
+    table.add_text_row({p_label, support::format_rate(via_tree.mean()),
+                        support::format_rate(via_fusion.mean()), ratio});
+  }
+  std::cout << table;
+  return 0;
+}

@@ -1,0 +1,109 @@
+// §V-B headline numbers: the maximum improvement of the proposed algorithms
+// over the baselines across all evaluation sweeps.
+//
+// The paper reports: "Algorithms 2, 3, and 4 can boost the entanglement rate
+// by up to 5347%, 3180%, and 3155% respectively when compared to N-FUSION,
+// and by 5068%, 3014%, and 2990% respectively when compared to E-Q-CAST."
+// This bench scans the same parameter space (topology, users, switches,
+// degree, qubits, swap rate), computes per-sweep-point mean rates, and
+// reports the maximum percentage improvement of each proposed algorithm over
+// each baseline across points where the baseline succeeded. Absolute
+// percentages depend on the random draw; the reproduced *shape* is that all
+// six improvements are large (orders of hundreds to thousands of percent)
+// and Alg-2's exceed Alg-3/4's.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "experiment/runner.hpp"
+#include "experiment/scenario.hpp"
+#include "support/statistics.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace muerp;
+
+  std::vector<experiment::Scenario> sweep;
+  auto push = [&](auto mutate) {
+    experiment::Scenario s;
+    mutate(s);
+    sweep.push_back(s);
+  };
+  for (auto kind : {experiment::TopologyKind::kWaxman,
+                    experiment::TopologyKind::kWattsStrogatz,
+                    experiment::TopologyKind::kVolchenkov}) {
+    push([&](auto& s) { s.topology = kind; });
+  }
+  for (std::size_t users : {4u, 6u, 8u, 12u, 14u}) {
+    push([&](auto& s) { s.user_count = users; });
+  }
+  for (std::size_t switches : {10u, 20u, 30u, 40u}) {
+    push([&](auto& s) { s.switch_count = switches; });
+  }
+  for (double degree : {4.0, 8.0, 10.0}) {
+    push([&](auto& s) { s.average_degree = degree; });
+  }
+  for (int qubits : {2, 6, 8}) {
+    push([&](auto& s) { s.qubits_per_switch = qubits; });
+  }
+  for (double q : {0.7, 0.8, 1.0}) {
+    push([&](auto& s) { s.swap_success = q; });
+  }
+
+  // improvements[proposed][baseline]: percentage per sweep point.
+  std::vector<double> improvements[3][2];
+  double at_defaults[3][2] = {{0, 0}, {0, 0}, {0, 0}};
+  for (std::size_t idx = 0; idx < sweep.size(); ++idx) {
+    const auto result = experiment::run_scenario(sweep[idx]);
+    const double proposed[3] = {result.mean_rate(0), result.mean_rate(1),
+                                result.mean_rate(2)};
+    const double baseline[2] = {result.mean_rate(4),   // N-FUSION
+                                result.mean_rate(3)};  // E-Q-CAST
+    for (int p = 0; p < 3; ++p) {
+      for (int b = 0; b < 2; ++b) {
+        if (baseline[b] <= 0.0) continue;
+        const double pct = 100.0 * (proposed[p] - baseline[b]) / baseline[b];
+        improvements[p][b].push_back(pct);
+        if (idx == 0) at_defaults[p][b] = pct;  // Waxman defaults point
+      }
+    }
+  }
+
+  // Extreme sweep points (14 users, Q=2, ...) produce astronomically large
+  // ratios because a baseline's product rate collapses while the proposed
+  // tree survives; report the defaults-point and median improvements, which
+  // are the comparable analogues of the paper's "up to ~5000%" claims.
+  support::Table table(
+      "Headline (§V-B): improvement over baselines (percent)",
+      {"algorithm", "defaults vs N-Fusion", "defaults vs E-Q-CAST",
+       "median vs N-Fusion", "median vs E-Q-CAST", "max vs N-Fusion",
+       "max vs E-Q-CAST"});
+  const char* names[3] = {"Alg-2", "Alg-3", "Alg-4"};
+  for (int p = 0; p < 3; ++p) {
+    std::vector<std::string> row{names[p]};
+    for (int b = 0; b < 2; ++b) {
+      char cell[32];
+      std::snprintf(cell, sizeof cell, "%.0f", at_defaults[p][b]);
+      row.emplace_back(cell);
+    }
+    for (int b = 0; b < 2; ++b) {
+      char cell[32];
+      std::snprintf(cell, sizeof cell, "%.0f",
+                    support::quantile(improvements[p][b], 0.5));
+      row.emplace_back(cell);
+    }
+    for (int b = 0; b < 2; ++b) {
+      char cell[32];
+      std::snprintf(cell, sizeof cell, "%.2e",
+                    *std::max_element(improvements[p][b].begin(),
+                                      improvements[p][b].end()));
+      row.emplace_back(cell);
+    }
+    table.add_text_row(std::move(row));
+  }
+  std::cout << table << '\n';
+  std::cout << "Paper reference (max over its sweeps): Alg-2 +5347% / +5068%,"
+               " Alg-3 +3180% / +3014%, Alg-4 +3155% / +2990%"
+               " (vs N-FUSION / E-Q-CAST).\n";
+  return 0;
+}

@@ -1,0 +1,33 @@
+// One-command regeneration of the paper's §V figures into an artifact
+// directory (REPORT.md + per-figure CSVs). Default output: ./muerp_report;
+// override with --out, trade precision for speed with --repetitions.
+#include <iostream>
+
+#include "experiment/report.hpp"
+#include "support/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace muerp;
+  support::CliParser cli("regenerate the ICDCS'24 evaluation figures");
+  cli.add_flag("out", "artifact directory", "muerp_report");
+  cli.add_flag("repetitions", "random networks per sweep point", "20");
+  cli.add_flag("seed", "scenario seed", "");
+  if (!cli.parse(argc, argv)) return 1;
+
+  experiment::ReportOptions options;
+  options.repetitions =
+      static_cast<std::size_t>(cli.get_int("repetitions").value_or(20));
+  if (cli.was_set("seed")) {
+    options.seed =
+        static_cast<std::uint64_t>(cli.get_int("seed").value_or(0));
+  }
+  const experiment::ReportBuilder builder(options);
+  const std::string dir = cli.get_string("out");
+  if (!builder.write_report(dir)) {
+    std::cerr << "failed to write report into " << dir << '\n';
+    return 1;
+  }
+  std::cout << "report written to " << dir << "/REPORT.md ("
+            << options.repetitions << " repetitions per point)\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Runtime micro-benchmarks backing the paper's §IV complexity claims:
+//   Algorithm 1: O(|E| + |V| log |V|) per source
+//   Algorithm 2: O(|U| (|E| + |V| log |V|))
+//   Algorithms 3/4: O(|U|^2 (|E| + |V| log |V|))
+// The google-benchmark sweeps scale |V| and |U| so the growth curves can be
+// eyeballed against those bounds.
+#include <benchmark/benchmark.h>
+
+#include "baselines/eqcast.hpp"
+#include "baselines/nfusion.hpp"
+#include "experiment/scenario.hpp"
+#include "routing/channel_finder.hpp"
+#include "routing/conflict_free.hpp"
+#include "routing/optimal_tree.hpp"
+#include "routing/prim_based.hpp"
+
+namespace {
+
+using namespace muerp;
+
+experiment::Instance make_instance(std::size_t switches, std::size_t users) {
+  experiment::Scenario s;
+  s.switch_count = switches;
+  s.user_count = users;
+  s.seed = 7;
+  return experiment::instantiate(s, 0);
+}
+
+void BM_Algorithm1_SingleSource(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)), 10);
+  const routing::ChannelFinder finder(inst.network);
+  const net::CapacityState cap(inst.network);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(finder.find_best_channels(inst.users[0], cap));
+  }
+}
+BENCHMARK(BM_Algorithm1_SingleSource)->Arg(25)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_Algorithm2_Optimal(benchmark::State& state) {
+  const auto inst = make_instance(50, static_cast<std::size_t>(state.range(0)));
+  const auto boosted = experiment::with_uniform_switch_qubits(
+      inst.network, 2 * static_cast<int>(inst.users.size()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        routing::optimal_special_case(boosted, inst.users));
+  }
+}
+BENCHMARK(BM_Algorithm2_Optimal)->Arg(5)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_Algorithm3_ConflictFree(benchmark::State& state) {
+  const auto inst = make_instance(50, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        routing::conflict_free(inst.network, inst.users));
+  }
+}
+BENCHMARK(BM_Algorithm3_ConflictFree)->Arg(5)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_Algorithm4_PrimBased(benchmark::State& state) {
+  const auto inst = make_instance(50, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        routing::prim_based_from(inst.network, inst.users, 0));
+  }
+}
+BENCHMARK(BM_Algorithm4_PrimBased)->Arg(5)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_Baseline_EQCast(benchmark::State& state) {
+  const auto inst = make_instance(50, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        baselines::extended_qcast(inst.network, inst.users));
+  }
+}
+BENCHMARK(BM_Baseline_EQCast)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_Baseline_NFusion(benchmark::State& state) {
+  const auto inst = make_instance(50, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baselines::n_fusion(inst.network, inst.users));
+  }
+}
+BENCHMARK(BM_Baseline_NFusion)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_NetworkScale_Algorithm3(benchmark::State& state) {
+  const auto inst =
+      make_instance(static_cast<std::size_t>(state.range(0)), 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        routing::conflict_free(inst.network, inst.users));
+  }
+}
+BENCHMARK(BM_NetworkScale_Algorithm3)->Arg(25)->Arg(50)->Arg(100)->Arg(200);
+
+}  // namespace
+
+BENCHMARK_MAIN();

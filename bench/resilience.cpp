@@ -1,0 +1,70 @@
+// Resilience experiment: backup channels under fiber outages.
+//
+// Routes the paper-default scenario with Algorithm 3, provisions link-
+// disjoint backups from the residual capacity, then injects independent
+// per-fiber outages and measures the surviving entanglement rate with and
+// without the backups. Expected shape: identical at zero failures (backups
+// never fire), diverging as outages grow — the protected plan degrades
+// gracefully where the bare tree cliff-drops on its critical fibers
+// (the operational complement of Fig. 7(b)).
+#include <iostream>
+
+#include "experiment/scenario.hpp"
+#include "routing/backup.hpp"
+#include "routing/conflict_free.hpp"
+#include "simulation/failure.hpp"
+#include "support/statistics.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace muerp;
+
+  experiment::Scenario s;
+  s.qubits_per_switch = 6;  // leave headroom for backups
+  s.attenuation = 5e-5;     // measurable rates at 20k MC rounds
+
+  support::Table table(
+      "Resilience: rate under fiber outages (Alg-3 trees)",
+      {"failure prob", "no backups", "greedy backups", "joint (Suurballe)",
+       "greedy gain", "protected frac"});
+
+  for (double failure : {0.0, 0.02, 0.05, 0.1, 0.2}) {
+    support::Accumulator bare;
+    support::Accumulator greedy_rate;
+    support::Accumulator joint_rate;
+    support::Accumulator coverage;
+    for (std::size_t rep = 0; rep < 10; ++rep) {
+      experiment::Instance inst = experiment::instantiate(s, rep);
+      const auto tree = routing::conflict_free(inst.network, inst.users);
+      if (!tree.feasible) continue;
+      const auto plan = routing::plan_backups(inst.network, tree);
+      const auto joint = routing::plan_joint_protection(inst.network, tree);
+      coverage.add(static_cast<double>(plan.protected_channels) /
+                   static_cast<double>(tree.channels.size()));
+      const sim::FailureSimulator sim(inst.network,
+                                      {.failure_prob = failure});
+      support::Rng r1 = inst.rng.split(1);
+      bare.add(sim.estimate_resilient_rate(tree, nullptr, 20000, r1).rate);
+      support::Rng r2 = inst.rng.split(2);
+      greedy_rate.add(
+          sim.estimate_resilient_rate(tree, &plan, 20000, r2).rate);
+      support::Rng r3 = inst.rng.split(3);
+      joint_rate.add(sim.estimate_resilient_rate(joint.tree, &joint.backups,
+                                                 20000, r3)
+                         .rate);
+    }
+    char f_label[16];
+    char gain[16];
+    char cover[16];
+    std::snprintf(f_label, sizeof f_label, "%.2f", failure);
+    std::snprintf(gain, sizeof gain, "%.2fx",
+                  bare.mean() > 0 ? greedy_rate.mean() / bare.mean() : 0.0);
+    std::snprintf(cover, sizeof cover, "%.2f", coverage.mean());
+    table.add_text_row({f_label, support::format_rate(bare.mean()),
+                        support::format_rate(greedy_rate.mean()),
+                        support::format_rate(joint_rate.mean()), gain,
+                        cover});
+  }
+  std::cout << table;
+  return 0;
+}

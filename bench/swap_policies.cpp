@@ -1,0 +1,75 @@
+// Swap-order policy study: expected time-to-entanglement of one channel
+// under the three swap scheduling policies, versus channel length.
+//
+// Complements the paper's single-window metric (Eq. 1): when windows are
+// retried with quantum memory, scheduling matters. Expected shape: all
+// policies agree on short channels; on long chains ASAP < balanced <<
+// linear (the sequential chain wastes the far side's parallelism and risks
+// its longest span on every swap).
+#include <iostream>
+
+#include "network/network_builder.hpp"
+#include "network/rate.hpp"
+#include "simulation/swap_policy.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace muerp;
+
+struct Chain {
+  net::QuantumNetwork net;
+  net::Channel channel;
+};
+
+Chain make_chain(std::size_t switches) {
+  constexpr double kSegKm = 700.0;
+  net::NetworkBuilder b;
+  net::NodeId prev = b.add_user({0, 0});
+  std::vector<net::NodeId> path{prev};
+  for (std::size_t i = 0; i < switches; ++i) {
+    const net::NodeId sw = b.add_switch({kSegKm * (i + 1.0), 0}, 4);
+    b.connect(prev, sw, kSegKm);
+    prev = sw;
+    path.push_back(sw);
+  }
+  const net::NodeId last = b.add_user({kSegKm * (switches + 1.0), 0});
+  b.connect(prev, last, kSegKm);
+  path.push_back(last);
+  auto net = std::move(b).build({4e-4, 0.85});
+  net::Channel channel;
+  channel.rate = net::channel_rate(net, path);
+  channel.path = std::move(path);
+  return {std::move(net), std::move(channel)};
+}
+
+}  // namespace
+
+int main() {
+  support::Table table(
+      "Swap policies: mean slots to end-to-end entanglement (memory 8 slots)",
+      {"switches", "single-shot rate", "swap-asap", "balanced", "linear"});
+
+  for (std::size_t switches : {1u, 3u, 5u, 7u}) {
+    const Chain chain = make_chain(switches);
+    const sim::SwapPolicySimulator sim(chain.net, chain.channel);
+    std::vector<std::string> row{std::to_string(switches),
+                                 support::format_rate(chain.channel.rate)};
+    for (sim::SwapPolicy policy :
+         {sim::SwapPolicy::kAsap, sim::SwapPolicy::kBalanced,
+          sim::SwapPolicy::kLinear}) {
+      support::Rng rng(switches * 100 + static_cast<int>(policy));
+      const auto stats =
+          sim.measure({.policy = policy, .memory_slots = 8}, 2000, rng);
+      char cell[32];
+      std::snprintf(cell, sizeof cell, "%.1f (%lu ok)", stats.mean_slots,
+                    static_cast<unsigned long>(stats.completed_runs));
+      row.emplace_back(cell);
+    }
+    table.add_text_row(std::move(row));
+  }
+  std::cout << table
+            << "\nSingle-shot rate is Eq. (1); slot counts show what memory +"
+               " scheduling buy\nover the paper's all-in-one-window model.\n";
+  return 0;
+}

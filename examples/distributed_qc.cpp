@@ -1,0 +1,86 @@
+// Distributed quantum computing — the paper's motivating application (§I):
+// monolithic quantum processors cap out around a hundred qubits, so larger
+// computations entangle a *cluster* of processors across the quantum
+// Internet. This example provisions a national-scale Waxman network, selects
+// processor sites, sizes the cluster against a target entanglement rate, and
+// reports how long (in time slots) the cluster takes to come online with and
+// without short-lived quantum memories.
+//
+//   $ ./build/examples/distributed_qc [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "muerp.hpp"
+
+int main(int argc, char** argv) {
+  using namespace muerp;
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+
+  // A 10,000 x 10,000 km deployment with 50 repeater switches, as in the
+  // paper's evaluation; 12 candidate processor sites.
+  experiment::Scenario scenario;
+  scenario.user_count = 12;
+  scenario.qubits_per_switch = 6;
+  scenario.seed = seed;
+  experiment::Instance inst = experiment::instantiate(scenario, 0);
+
+  std::cout << "Quantum data-centre fabric: " << inst.network.switches().size()
+            << " switches, " << inst.users.size()
+            << " candidate processor sites\n\n";
+
+  // How large a cluster can we entangle while keeping the per-window success
+  // rate above target? Grow the cluster greedily site by site.
+  constexpr double kTargetRate = 1e-3;
+  std::vector<net::NodeId> cluster{inst.users[0]};
+  net::EntanglementTree best_tree{{}, 1.0, true};
+  for (std::size_t i = 1; i < inst.users.size(); ++i) {
+    cluster.push_back(inst.users[i]);
+    const auto tree = routing::conflict_free(inst.network, cluster);
+    if (!tree.feasible || tree.rate < kTargetRate) {
+      cluster.pop_back();
+      continue;
+    }
+    best_tree = tree;
+  }
+
+  std::cout << "Largest cluster meeting rate >= "
+            << support::format_rate(kTargetRate) << ": " << cluster.size()
+            << " processors, entanglement rate "
+            << support::format_rate(best_tree.rate) << '\n';
+
+  support::Table table("Cluster routing comparison",
+                       {"algorithm", "rate", "channels"});
+  const auto alg3 = routing::conflict_free(inst.network, cluster);
+  const auto alg4 = routing::prim_based_from(inst.network, cluster, 0);
+  const auto eq = baselines::extended_qcast(inst.network, cluster);
+  const auto nf = baselines::n_fusion(inst.network, cluster);
+  auto row = [&](const char* name, double rate, std::size_t channels) {
+    table.add_text_row({name, support::format_rate(rate),
+                        std::to_string(channels)});
+  };
+  row("Alg-3", alg3.rate, alg3.channels.size());
+  row("Alg-4", alg4.rate, alg4.channels.size());
+  row("E-Q-CAST", eq.rate, eq.channels.size());
+  row("N-FUSION", nf.rate, nf.channels.size());
+  std::cout << '\n' << table << '\n';
+
+  // Cluster boot latency: slots until all channels are simultaneously up.
+  support::Rng rng(seed ^ 0xD15C);
+  support::Table latency("Cluster boot latency (time slots)",
+                         {"memory window", "mean slots", "runs completed"});
+  for (std::uint32_t memory : {0u, 3u, 10u}) {
+    sim::TimeSlottedParams params;
+    params.memory_slots = memory;
+    const sim::TimeSlottedSimulator sim(inst.network, params);
+    const auto stats = sim.measure(alg3, 2000, rng);
+    latency.add_text_row({std::to_string(memory),
+                          support::format_rate(stats.mean_slots),
+                          std::to_string(stats.completed_runs)});
+  }
+  std::cout << latency
+            << "\nEven a few slots of quantum memory slash the cluster's "
+               "time-to-entanglement —\nthe quantitative case for the "
+               "paper's synchronized-window execution model.\n";
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Repeater-chain tuning: picking the swap schedule and memory window for a
+// long-haul channel.
+//
+// An operator bridging two distant users through a chain of BSM switches
+// faces two knobs the paper's single-window model abstracts away: in what
+// ORDER the switches swap when windows are retried, and how long quantum
+// memories hold partial entanglement. This example sweeps both with the
+// swap-policy and decoherence simulators and prints the latency/fidelity
+// frontier an operator would tune against.
+//
+//   $ ./build/examples/repeater_tuning [--switches 6] [--segment 700]
+#include <iostream>
+
+#include "muerp.hpp"
+
+int main(int argc, char** argv) {
+  using namespace muerp;
+  support::CliParser cli("repeater-chain swap schedule & memory tuning");
+  cli.add_flag("switches", "relay switches in the chain", "6");
+  cli.add_flag("segment", "fiber segment length in km", "700");
+  if (!cli.parse(argc, argv)) return 1;
+  const auto switches =
+      static_cast<std::size_t>(cli.get_int("switches").value_or(6));
+  const double segment = cli.get_double("segment").value_or(700.0);
+
+  // Build the chain u0 - s1 - ... - sk - u1.
+  net::NetworkBuilder b;
+  net::NodeId prev = b.add_user({0, 0});
+  std::vector<net::NodeId> path{prev};
+  for (std::size_t i = 0; i < switches; ++i) {
+    const net::NodeId sw = b.add_switch({segment * (i + 1.0), 0}, 2);
+    b.connect(prev, sw, segment);
+    prev = sw;
+    path.push_back(sw);
+  }
+  const net::NodeId far_user =
+      b.add_user({segment * (switches + 1.0), 0});
+  b.connect(prev, far_user, segment);
+  path.push_back(far_user);
+  const auto network = std::move(b).build({4e-4, 0.85});
+
+  net::Channel channel;
+  channel.rate = net::channel_rate(network, path);
+  channel.path = path;
+  std::cout << "chain: " << switches << " switches x " << segment
+            << " km segments, single-window rate "
+            << support::format_rate(channel.rate) << "\n\n";
+
+  // 1. Swap-order policies at a fixed memory window.
+  const sim::SwapPolicySimulator swap_sim(network, channel);
+  support::Table policies("Swap schedule (memory 8 slots)",
+                          {"policy", "mean slots", "completed"});
+  for (sim::SwapPolicy policy :
+       {sim::SwapPolicy::kAsap, sim::SwapPolicy::kBalanced,
+        sim::SwapPolicy::kLinear}) {
+    support::Rng rng(11 + static_cast<int>(policy));
+    const auto stats =
+        swap_sim.measure({.policy = policy, .memory_slots = 8}, 2000, rng);
+    char slots[16];
+    std::snprintf(slots, sizeof slots, "%.1f", stats.mean_slots);
+    policies.add_text_row({sim::swap_policy_name(policy), slots,
+                           std::to_string(stats.completed_runs)});
+  }
+  std::cout << policies << '\n';
+
+  // 2. Memory window: latency vs delivered fidelity. The window only
+  //    matters when channels wait for *each other*, so this part serves a
+  //    third user halfway along the chain: two channels, each covering one
+  //    half, held in memory until both are up.
+  net::NetworkBuilder b2;
+  const net::NodeId left = b2.add_user({0, 0});
+  net::NodeId cursor = left;
+  const std::size_t half = std::max<std::size_t>(1, switches / 2);
+  std::vector<net::NodeId> first_half{cursor};
+  for (std::size_t i = 0; i < half; ++i) {
+    const net::NodeId sw =
+        b2.add_switch({segment * (i + 1.0), 0}, 2);
+    b2.connect(cursor, sw, segment);
+    cursor = sw;
+    first_half.push_back(sw);
+  }
+  const net::NodeId mid = b2.add_user({segment * (half + 1.0), 0});
+  b2.connect(cursor, mid, segment);
+  first_half.push_back(mid);
+  cursor = mid;
+  std::vector<net::NodeId> second_half{cursor};
+  for (std::size_t i = 0; i < half; ++i) {
+    const net::NodeId sw =
+        b2.add_switch({segment * (half + i + 2.0), 0}, 2);
+    b2.connect(cursor, sw, segment);
+    cursor = sw;
+    second_half.push_back(sw);
+  }
+  const net::NodeId right =
+      b2.add_user({segment * (2.0 * half + 2.0), 0});
+  b2.connect(cursor, right, segment);
+  second_half.push_back(right);
+  const auto relay_net = std::move(b2).build({4e-4, 0.85});
+
+  net::Channel c1;
+  c1.rate = net::channel_rate(relay_net, first_half);
+  c1.path = first_half;
+  net::Channel c2;
+  c2.rate = net::channel_rate(relay_net, second_half);
+  c2.path = second_half;
+  net::EntanglementTree tree{{c1, c2}, c1.rate * c2.rate, true};
+
+  support::Table memory(
+      "Memory window (3-user relay): latency vs delivered fidelity",
+      {"memory slots", "mean slots", "mean worst fidelity"});
+  for (std::uint32_t window : {0u, 2u, 8u, 32u}) {
+    sim::DecoherenceParams params;
+    params.memory_slots = window;
+    params.memory_decay_per_slot = 0.995;
+    params.fidelity.fresh_fidelity = 0.99;
+    params.fidelity.decay_per_km = 2e-5;
+    const sim::DecoherenceSimulator sim(relay_net, params);
+    support::Rng rng(100 + window);
+    const auto stats = sim.measure(tree, 1500, rng);
+    char slots[16];
+    char fid[16];
+    std::snprintf(slots, sizeof slots, "%.1f", stats.mean_slots);
+    std::snprintf(fid, sizeof fid, "%.4f", stats.mean_worst_fidelity);
+    memory.add_text_row({std::to_string(window), slots, fid});
+  }
+  std::cout << memory
+            << "\nTuning takeaway: schedule swaps ASAP/balanced, and size "
+               "the memory window at the\nknee where latency stops falling "
+               "— beyond it you only pay fidelity.\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Quantum secret sharing — another application the paper motivates (§I,
+// [21]): a dealer splits a secret among N players such that only authorized
+// coalitions can reconstruct it, which requires multi-user entanglement of
+// {dealer} + players with *adequate fidelity*. This example exercises the
+// fidelity-aware routing extension: the dealer demands every channel keep
+// end-to-end Werner fidelity above a threshold, and we chart how the
+// achievable entanglement rate degrades as the requirement tightens.
+//
+//   $ ./build/examples/secret_sharing
+#include <iostream>
+
+#include "muerp.hpp"
+
+int main() {
+  using namespace muerp;
+
+  // Dealer in the centre, five players spread across a regional network.
+  experiment::Scenario scenario;
+  scenario.user_count = 6;
+  scenario.switch_count = 40;
+  scenario.area_side_km = 2000.0;  // regional, so fidelity budgets bind
+  scenario.attenuation = 5e-4;
+  scenario.qubits_per_switch = 6;
+  scenario.seed = 1234;
+  experiment::Instance inst = experiment::instantiate(scenario, 0);
+
+  std::cout << "Secret-sharing session: dealer + "
+            << inst.users.size() - 1 << " players over "
+            << inst.network.switches().size() << " switches\n\n";
+
+  // Baseline: fidelity-oblivious routing (Algorithm 3).
+  const auto oblivious = routing::conflict_free(inst.network, inst.users);
+  std::cout << "Fidelity-oblivious Alg-3 rate: "
+            << support::format_rate(oblivious.rate) << '\n';
+
+  ext::FidelityParams fparams;
+  fparams.fresh_fidelity = 0.99;
+  fparams.decay_per_km = 1e-4;
+
+  // Report the worst channel fidelity the oblivious plan would deliver.
+  if (oblivious.feasible) {
+    double worst = 1.0;
+    for (const auto& ch : oblivious.channels) {
+      worst = std::min(worst,
+                       ext::channel_fidelity(inst.network, ch.path, fparams));
+    }
+    std::cout << "  worst channel fidelity if used as-is: " << worst << "\n\n";
+  }
+
+  support::Table table(
+      "Rate vs. required minimum channel fidelity",
+      {"min fidelity", "rate", "feasible", "worst channel fidelity"});
+  for (double min_f : {0.50, 0.75, 0.85, 0.90, 0.95}) {
+    fparams.min_fidelity = min_f;
+    support::Rng rng(9);
+    const auto tree =
+        ext::fidelity_aware_prim(inst.network, inst.users, fparams, rng);
+    double worst = 1.0;
+    for (const auto& ch : tree.channels) {
+      worst = std::min(worst,
+                       ext::channel_fidelity(inst.network, ch.path, fparams));
+    }
+    char f_label[16];
+    std::snprintf(f_label, sizeof f_label, "%.2f", min_f);
+    char worst_label[16];
+    std::snprintf(worst_label, sizeof worst_label, "%.4f",
+                  tree.feasible ? worst : 0.0);
+    table.add_text_row({f_label, support::format_rate(tree.rate),
+                        tree.feasible ? "yes" : "no", worst_label});
+  }
+  std::cout << table
+            << "\nTightening the fidelity floor prunes long channels first; "
+               "past the knee the\nsession becomes infeasible — the "
+               "fidelity-aware extension the paper lists as\nfuture work "
+               "(§VII) makes that trade-off explicit.\n";
+  return 0;
+}

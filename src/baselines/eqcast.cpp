@@ -1,0 +1,32 @@
+#include "baselines/eqcast.hpp"
+
+#include <cassert>
+
+#include "routing/channel_finder.hpp"
+#include "routing/plan.hpp"
+
+namespace muerp::baselines {
+
+net::EntanglementTree extended_qcast(const net::QuantumNetwork& network,
+                                     std::span<const net::NodeId> users) {
+  assert(!users.empty());
+  if (users.size() == 1) return routing::make_tree({}, true);
+
+  const routing::ChannelFinder finder(network);
+  net::CapacityState capacity(network);
+  std::vector<net::Channel> committed;
+  committed.reserve(users.size() - 1);
+
+  for (std::size_t i = 0; i + 1 < users.size(); ++i) {
+    auto channel = finder.find_best_channel(users[i], users[i + 1], capacity);
+    if (!channel) {
+      // The chain is fixed; a single unroutable pair fails the whole request.
+      return routing::make_tree(std::move(committed), false);
+    }
+    capacity.commit_channel(channel->path);
+    committed.push_back(std::move(*channel));
+  }
+  return routing::make_tree(std::move(committed), true);
+}
+
+}  // namespace muerp::baselines

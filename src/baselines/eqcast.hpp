@@ -1,0 +1,29 @@
+// E-Q-CAST comparison baseline (paper §V-A).
+//
+// Q-CAST (Shi & Qian, SIGCOMM 2020) routes entanglement for *pairs* of
+// users; the paper extends it to the multi-user case by chaining consecutive
+// pairs: to entangle {u1, u2, u3, u4} it establishes the channels
+// <u1,u2>, <u2,u3>, <u3,u4> in that fixed order. We implement exactly that
+// extension: for each consecutive pair (in the order the caller lists the
+// users) the best residual-capacity channel is routed and committed; at
+// width 1 Q-CAST's EXT routing metric reduces to the Eq. (1) rate, so the
+// per-pair router is Algorithm 1. If any pair cannot be connected the whole
+// attempt fails (rate 0).
+//
+// The baseline's structural handicap — and the reason the proposed
+// algorithms beat it — is that the chain ignores which user pairs are
+// actually cheap to connect.
+#pragma once
+
+#include <span>
+
+#include "network/channel.hpp"
+#include "network/quantum_network.hpp"
+
+namespace muerp::baselines {
+
+/// Extended Q-CAST over the users in their given order.
+net::EntanglementTree extended_qcast(const net::QuantumNetwork& network,
+                                     std::span<const net::NodeId> users);
+
+}  // namespace muerp::baselines

@@ -1,0 +1,119 @@
+#include "baselines/nfusion.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+#include "graph/algorithms.hpp"
+
+namespace muerp::baselines {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double log_fusion_success(const net::QuantumNetwork& network,
+                          const NFusionParams& params) {
+  const double qf = params.fusion_penalty * network.physical().swap_success;
+  assert(qf > 0.0 && qf <= 1.0);
+  return std::log(qf);
+}
+
+/// Builds the star around `center`; nullopt if some user cannot be reached.
+std::optional<FusionPlan> build_star(const net::QuantumNetwork& network,
+                                     std::span<const net::NodeId> users,
+                                     net::NodeId center,
+                                     const NFusionParams& params) {
+  const double log_qf = log_fusion_success(network, params);
+  net::CapacityState capacity(network);
+
+  std::unordered_set<net::NodeId> pending;
+  for (net::NodeId u : users) {
+    if (u != center) pending.insert(u);
+  }
+
+  FusionPlan plan;
+  plan.center = center;
+  double neg_log_total = -static_cast<double>(users.size() - 2) * log_qf;
+
+  // Greedy nearest-first attachment; capacities change after each commit, so
+  // the single-source search from the centre is re-run per round.
+  while (!pending.empty()) {
+    const auto weight = [&](graph::EdgeId e) {
+      return network.physical().attenuation *
+                 network.graph().edge(e).length_km -
+             log_qf;
+    };
+    const auto relay_ok = [&](net::NodeId v) {
+      return network.is_switch(v) && capacity.free_qubits(v) >= 2;
+    };
+    const auto sp = graph::dijkstra(network.graph(), center, weight, relay_ok);
+
+    net::NodeId best_user = graph::kInvalidNode;
+    double best_dist = kInf;
+    for (net::NodeId u : pending) {
+      if (sp.distance[u] < best_dist) {
+        best_dist = sp.distance[u];
+        best_user = u;
+      }
+    }
+    if (best_user == graph::kInvalidNode) return std::nullopt;
+
+    net::Channel channel;
+    channel.path =
+        graph::reconstruct_path(network.graph(), sp, center, best_user);
+    // exp(-dist)/q_f: the distance counts one fusion factor per link, but a
+    // channel with l links performs only l-1 relay fusions.
+    channel.rate = std::exp(-best_dist) / std::exp(log_qf);
+    neg_log_total += best_dist + log_qf;  // -log(channel rate)
+    capacity.commit_channel(channel.path);
+    plan.channels.push_back(std::move(channel));
+    pending.erase(best_user);
+  }
+
+  plan.rate = std::exp(-neg_log_total);
+  plan.feasible = true;
+  return plan;
+}
+
+}  // namespace
+
+double fusion_channel_rate(const net::QuantumNetwork& network,
+                           std::span<const net::NodeId> path,
+                           const NFusionParams& params) {
+  assert(path.size() >= 2);
+  const double log_qf = log_fusion_success(network, params);
+  double total_length = 0.0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const auto edge = network.graph().find_edge(path[i], path[i + 1]);
+    assert(edge);
+    total_length += network.graph().edge(*edge).length_km;
+  }
+  const auto relay_fusions = static_cast<double>(path.size() - 2);
+  return std::exp(-network.physical().attenuation * total_length +
+                  relay_fusions * log_qf);
+}
+
+FusionPlan n_fusion(const net::QuantumNetwork& network,
+                    std::span<const net::NodeId> users,
+                    const NFusionParams& params) {
+  assert(!users.empty());
+  if (users.size() == 1) {
+    FusionPlan plan;
+    plan.center = users[0];
+    plan.rate = 1.0;
+    plan.feasible = true;
+    return plan;
+  }
+
+  FusionPlan best;  // infeasible, rate 0 by default (kept if no centre works)
+  for (net::NodeId center : users) {
+    const auto plan = build_star(network, users, center, params);
+    if (plan && plan->rate > best.rate) best = *plan;
+  }
+  return best;
+}
+
+}  // namespace muerp::baselines

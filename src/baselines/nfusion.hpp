@@ -1,0 +1,69 @@
+// N-FUSION comparison baseline (paper §V-A).
+//
+// The multipartite-entanglement literature ([31]-[35]) distributes GHZ
+// states with n-fusion: a node holding one qubit per incident link takes a
+// GHZ projective measurement that fuses them all at once (Fig. 2). The paper
+// compares against the MP-P protocol of Sutcliffe & Beghelli [32] restricted
+// to finite switch capacity: "N-FUSION considers a central user connecting
+// all users (like Tree B in Figure 3 of Ref. [32])".
+//
+// Implementation: for a candidate central user c, route a channel from every
+// other user to c (greedy nearest-first under residual switch capacity,
+// 2 qubits per relay switch); c then fuses the |U|-1 delivered qubits into a
+// GHZ state. Every candidate centre is tried and the best kept.
+//
+// Success model (substitution documented in DESIGN.md §3): fusion operations
+// succeed with q_f = fusion_penalty * q. The paper motivates a penalty
+// qualitatively ("n-fusion has a lower successful swapping rate", GHZ
+// measurements are harder than BSMs [38]-[40]) but its reported improvement
+// magnitudes (~30-55x over N-FUSION at the defaults) are consistent with no
+// extra penalty at all — the structural cost of the star plus the central
+// GHZ measurement already accounts for them — so the default is 1.0 and the
+// ablation bench sweeps gamma < 1. A channel with l links then succeeds with
+// q_f^(l-1) * exp(-alpha * sum L), and the final (|U|-1)-qubit GHZ
+// measurement at the centre succeeds with q_f^(|U|-2) (modelled as |U|-2
+// pairwise fusions). Total:
+//     P = q_f^(|U|-2) * prod_channels [ q_f^(l-1) * exp(-alpha * sum L) ].
+//
+// Infeasible (rate 0) when no centre can reach every user under capacity —
+// e.g. Q=4 switches each relay at most 2 of the 9 channels converging on the
+// centre, reproducing N-FUSION's failure on Watts–Strogatz graphs in Fig. 5.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "network/channel.hpp"
+#include "network/quantum_network.hpp"
+
+namespace muerp::baselines {
+
+struct NFusionParams {
+  /// q_f = fusion_penalty * q; must leave q_f in (0, 1].
+  double fusion_penalty = 1.0;
+};
+
+/// A GHZ-distribution plan: a star of channels around a central user.
+struct FusionPlan {
+  /// The central user performing the final GHZ fusion; kInvalidNode when
+  /// infeasible.
+  net::NodeId center = graph::kInvalidNode;
+  /// One channel from each non-centre user to the centre. Channel::rate is
+  /// the *fusion-model* channel rate (swaps at q_f, not q).
+  std::vector<net::Channel> channels;
+  /// GHZ distribution success rate; 0 if infeasible.
+  double rate = 0.0;
+  bool feasible = false;
+};
+
+/// Routes the best N-FUSION star for `users` (tries every centre).
+FusionPlan n_fusion(const net::QuantumNetwork& network,
+                    std::span<const net::NodeId> users,
+                    const NFusionParams& params = {});
+
+/// The fusion-model rate of a single channel path: swaps at q_f.
+double fusion_channel_rate(const net::QuantumNetwork& network,
+                           std::span<const net::NodeId> path,
+                           const NFusionParams& params = {});
+
+}  // namespace muerp::baselines

@@ -1,0 +1,151 @@
+#include "experiment/config.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+namespace muerp::experiment {
+
+namespace {
+
+std::string trim(const std::string& text) {
+  const auto begin = text.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = text.find_last_not_of(" \t\r");
+  return text.substr(begin, end - begin + 1);
+}
+
+bool parse_size(const std::string& value, std::size_t& out) {
+  std::size_t parsed = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), parsed);
+  if (ec != std::errc{} || ptr != value.data() + value.size()) return false;
+  out = parsed;
+  return true;
+}
+
+bool parse_double(const std::string& value, double& out) {
+  if (value.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(value.c_str(), &end);
+  return end == value.c_str() + value.size();
+}
+
+std::string line_error(std::size_t line, const std::string& message) {
+  std::ostringstream os;
+  os << "line " << line << ": " << message;
+  return os.str();
+}
+
+}  // namespace
+
+ConfigResult parse_scenario(std::istream& in) {
+  Scenario scenario;  // §V-A defaults
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    if (const auto hash = raw.find('#'); hash != std::string::npos) {
+      raw.erase(hash);
+    }
+    const std::string line = trim(raw);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      return line_error(line_no, "expected 'key = value', got '" + line + "'");
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (value.empty()) return line_error(line_no, "missing value for " + key);
+
+    if (key == "topology") {
+      if (value == "waxman") {
+        scenario.topology = TopologyKind::kWaxman;
+      } else if (value == "ws" || value == "watts-strogatz") {
+        scenario.topology = TopologyKind::kWattsStrogatz;
+      } else if (value == "volchenkov") {
+        scenario.topology = TopologyKind::kVolchenkov;
+      } else {
+        return line_error(line_no, "unknown topology '" + value + "'");
+      }
+    } else if (key == "switches") {
+      if (!parse_size(value, scenario.switch_count)) {
+        return line_error(line_no, "bad switch count '" + value + "'");
+      }
+    } else if (key == "users") {
+      if (!parse_size(value, scenario.user_count) ||
+          scenario.user_count == 0) {
+        return line_error(line_no, "bad user count '" + value + "'");
+      }
+    } else if (key == "degree") {
+      if (!parse_double(value, scenario.average_degree) ||
+          scenario.average_degree < 0.0) {
+        return line_error(line_no, "bad degree '" + value + "'");
+      }
+    } else if (key == "qubits") {
+      std::size_t qubits = 0;
+      if (!parse_size(value, qubits)) {
+        return line_error(line_no, "bad qubit count '" + value + "'");
+      }
+      scenario.qubits_per_switch = static_cast<int>(qubits);
+    } else if (key == "swap") {
+      if (!parse_double(value, scenario.swap_success) ||
+          scenario.swap_success <= 0.0 || scenario.swap_success > 1.0) {
+        return line_error(line_no, "swap must be in (0, 1], got " + value);
+      }
+    } else if (key == "alpha") {
+      if (!parse_double(value, scenario.attenuation) ||
+          scenario.attenuation < 0.0) {
+        return line_error(line_no, "bad alpha '" + value + "'");
+      }
+    } else if (key == "area") {
+      if (!parse_double(value, scenario.area_side_km) ||
+          scenario.area_side_km <= 0.0) {
+        return line_error(line_no, "bad area '" + value + "'");
+      }
+    } else if (key == "repetitions") {
+      if (!parse_size(value, scenario.repetitions) ||
+          scenario.repetitions == 0) {
+        return line_error(line_no, "bad repetitions '" + value + "'");
+      }
+    } else if (key == "seed") {
+      std::size_t seed = 0;
+      if (!parse_size(value, seed)) {
+        return line_error(line_no, "bad seed '" + value + "'");
+      }
+      scenario.seed = seed;
+    } else {
+      return line_error(line_no, "unknown key '" + key + "'");
+    }
+  }
+  return scenario;
+}
+
+ConfigResult parse_scenario_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::string("cannot open " + path);
+  return parse_scenario(in);
+}
+
+std::string scenario_to_config(const Scenario& scenario) {
+  std::ostringstream os;
+  os.precision(17);
+  const char* topology = scenario.topology == TopologyKind::kWaxman
+                             ? "waxman"
+                             : scenario.topology == TopologyKind::kWattsStrogatz
+                                   ? "ws"
+                                   : "volchenkov";
+  os << "topology = " << topology << '\n';
+  os << "switches = " << scenario.switch_count << '\n';
+  os << "users = " << scenario.user_count << '\n';
+  os << "degree = " << scenario.average_degree << '\n';
+  os << "qubits = " << scenario.qubits_per_switch << '\n';
+  os << "swap = " << scenario.swap_success << '\n';
+  os << "alpha = " << scenario.attenuation << '\n';
+  os << "area = " << scenario.area_side_km << '\n';
+  os << "repetitions = " << scenario.repetitions << '\n';
+  os << "seed = " << scenario.seed << '\n';
+  return os.str();
+}
+
+}  // namespace muerp::experiment

@@ -1,0 +1,40 @@
+// Scenario configuration files: `key = value` text, one setting per line.
+//
+// Lets muerpctl and user scripts define experiments without recompiling:
+//
+//   # paper defaults, but denser
+//   topology   = waxman        # waxman | ws | volchenkov
+//   switches   = 50
+//   users      = 10
+//   degree     = 8
+//   qubits     = 4
+//   swap       = 0.9
+//   alpha      = 1e-4
+//   area       = 10000
+//   repetitions = 20
+//   seed       = 7
+//
+// '#' starts a comment anywhere on a line; blank lines are ignored; unknown
+// keys and malformed values are reported with their line numbers. All keys
+// are optional — omitted ones keep the §V-A defaults.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+
+#include "experiment/scenario.hpp"
+
+namespace muerp::experiment {
+
+/// The parsed scenario, or an error message with line context.
+using ConfigResult = std::variant<Scenario, std::string>;
+
+ConfigResult parse_scenario(std::istream& in);
+ConfigResult parse_scenario_file(const std::string& path);
+
+/// Serializes a scenario back to the config format (round-trips through
+/// parse_scenario).
+std::string scenario_to_config(const Scenario& scenario);
+
+}  // namespace muerp::experiment

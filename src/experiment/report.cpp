@@ -1,0 +1,190 @@
+#include "experiment/report.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace muerp::experiment {
+
+namespace {
+
+/// Markdown rendering of a Table (header row + separator + data rows).
+std::string to_markdown(const support::Table& table) {
+  // Re-parse the CSV form (already quoted/escaped) into Markdown cells.
+  std::istringstream csv(table.to_csv());
+  std::ostringstream md;
+  std::string line;
+  bool header = true;
+  while (std::getline(csv, line)) {
+    md << "| ";
+    std::size_t columns = 1;
+    for (char ch : line) {
+      if (ch == ',') {
+        md << " | ";
+        ++columns;
+      } else if (ch == '|') {
+        md << "\\|";  // literal pipe (e.g. the "|U|" column) must not
+                      // split the Markdown cell
+      } else {
+        md << ch;
+      }
+    }
+    md << " |\n";
+    if (header) {
+      md << "|";
+      for (std::size_t c = 0; c < columns; ++c) md << "---|";
+      md << '\n';
+      header = false;
+    }
+  }
+  return md.str();
+}
+
+}  // namespace
+
+FigureResult ReportBuilder::run_sweep(
+    const std::string& id, const std::string& title,
+    const std::string& param_name,
+    const std::vector<std::pair<std::string, Scenario>>& points) const {
+  std::vector<std::string> columns{param_name};
+  for (Algorithm a : kAllAlgorithms) {
+    columns.emplace_back(algorithm_name(a));
+  }
+  FigureResult figure{id, title,
+                      support::Table(title + " — mean entanglement rate",
+                                     columns),
+                      support::Table(title + " — feasible fraction", columns)};
+  for (const auto& [label, scenario] : points) {
+    const ScenarioResult result =
+        options_.parallel
+            ? run_scenario_parallel(scenario, kAllAlgorithms)
+            : run_scenario(scenario, kAllAlgorithms);
+    std::vector<double> means;
+    std::vector<double> fractions;
+    for (std::size_t a = 0; a < kAllAlgorithms.size(); ++a) {
+      means.push_back(result.mean_rate(a));
+      fractions.push_back(result.feasible_fraction(a));
+    }
+    figure.rates.add_row(label, std::move(means));
+    figure.feasibility.add_row(label, std::move(fractions));
+  }
+  return figure;
+}
+
+namespace {
+
+Scenario base_scenario(const ReportOptions& options) {
+  Scenario s;
+  s.repetitions = options.repetitions;
+  s.seed = options.seed;
+  return s;
+}
+
+}  // namespace
+
+FigureResult ReportBuilder::fig5_topology() const {
+  std::vector<std::pair<std::string, Scenario>> points;
+  for (TopologyKind kind : {TopologyKind::kWaxman, TopologyKind::kWattsStrogatz,
+                            TopologyKind::kVolchenkov}) {
+    Scenario s = base_scenario(options_);
+    s.topology = kind;
+    points.emplace_back(topology_name(kind), s);
+  }
+  return run_sweep("fig5", "Fig. 5: rate vs topology", "topology", points);
+}
+
+FigureResult ReportBuilder::fig6a_users() const {
+  std::vector<std::pair<std::string, Scenario>> points;
+  for (std::size_t users : {4u, 6u, 8u, 10u, 12u, 14u}) {
+    Scenario s = base_scenario(options_);
+    s.user_count = users;
+    points.emplace_back(std::to_string(users), s);
+  }
+  return run_sweep("fig6a", "Fig. 6(a): rate vs number of users", "|U|",
+                   points);
+}
+
+FigureResult ReportBuilder::fig6b_switches() const {
+  std::vector<std::pair<std::string, Scenario>> points;
+  for (std::size_t switches : {10u, 20u, 30u, 40u, 50u}) {
+    Scenario s = base_scenario(options_);
+    s.switch_count = switches;
+    points.emplace_back(std::to_string(switches), s);
+  }
+  return run_sweep("fig6b", "Fig. 6(b): rate vs number of switches", "|R|",
+                   points);
+}
+
+FigureResult ReportBuilder::fig7a_degree() const {
+  std::vector<std::pair<std::string, Scenario>> points;
+  for (double degree : {4.0, 6.0, 8.0, 10.0}) {
+    Scenario s = base_scenario(options_);
+    s.average_degree = degree;
+    points.emplace_back(std::to_string(static_cast<int>(degree)), s);
+  }
+  return run_sweep("fig7a", "Fig. 7(a): rate vs average degree", "degree",
+                   points);
+}
+
+FigureResult ReportBuilder::fig8a_qubits() const {
+  std::vector<std::pair<std::string, Scenario>> points;
+  for (int qubits : {2, 4, 6, 8}) {
+    Scenario s = base_scenario(options_);
+    s.qubits_per_switch = qubits;
+    points.emplace_back(std::to_string(qubits), s);
+  }
+  return run_sweep("fig8a", "Fig. 8(a): rate vs qubits per switch", "Q",
+                   points);
+}
+
+FigureResult ReportBuilder::fig8b_swap_rate() const {
+  std::vector<std::pair<std::string, Scenario>> points;
+  for (double q : {0.7, 0.8, 0.9, 1.0}) {
+    Scenario s = base_scenario(options_);
+    s.swap_success = q;
+    char label[8];
+    std::snprintf(label, sizeof label, "%.1f", q);
+    points.emplace_back(label, s);
+  }
+  return run_sweep("fig8b", "Fig. 8(b): rate vs swap success rate", "q",
+                   points);
+}
+
+std::vector<FigureResult> ReportBuilder::all_figures() const {
+  std::vector<FigureResult> figures;
+  figures.push_back(fig5_topology());
+  figures.push_back(fig6a_users());
+  figures.push_back(fig6b_switches());
+  figures.push_back(fig7a_degree());
+  figures.push_back(fig8a_qubits());
+  figures.push_back(fig8b_swap_rate());
+  return figures;
+}
+
+bool ReportBuilder::write_report(const std::string& directory) const {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) return false;
+
+  const auto figures = all_figures();
+  std::ofstream md(directory + "/REPORT.md");
+  if (!md) return false;
+  md << "# muerp evaluation report\n\n"
+     << "Regenerated figures of \"Multi-user Entanglement Routing Design "
+        "over Quantum Internets\" (ICDCS 2024).\n"
+     << "Repetitions per point: " << options_.repetitions
+     << ", seed: " << options_.seed << ".\n\n";
+  for (const FigureResult& figure : figures) {
+    md << "## " << figure.title << "\n\n";
+    md << "Mean entanglement rate:\n\n" << to_markdown(figure.rates) << '\n';
+    md << "Feasible fraction:\n\n" << to_markdown(figure.feasibility) << '\n';
+    std::ofstream csv(directory + "/" + figure.id + ".csv");
+    if (!csv) return false;
+    csv << figure.rates.to_csv();
+  }
+  md << "\nFig. 7(b) (progressive edge removal) is produced by "
+        "`bench/fig7b_edge_removal`.\n";
+  return static_cast<bool>(md);
+}
+
+}  // namespace muerp::experiment

@@ -1,0 +1,70 @@
+// One-command regeneration of the paper's evaluation.
+//
+// Each bench binary reproduces one figure; ReportBuilder runs the whole §V
+// evaluation in one call and writes a self-contained artifact directory:
+//
+//   <dir>/REPORT.md        every figure as a Markdown table + shape notes
+//   <dir>/figN_*.csv       one CSV per figure for external plotting
+//
+// The builder is a library component (not just a tool) so tests can drive
+// it on miniature scenarios, and callers can reduce repetitions or subset
+// the figures for quick looks. All runs use the deterministic scenario
+// seeds, so two reports from the same build are identical byte-for-byte.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "experiment/runner.hpp"
+#include "experiment/scenario.hpp"
+#include "support/table.hpp"
+
+namespace muerp::experiment {
+
+struct ReportOptions {
+  /// Repetitions per sweep point (20 = the paper; lower for quick looks).
+  std::size_t repetitions = 20;
+  /// Base scenario seed.
+  std::uint64_t seed = 0xC0FFEE1CDC5ULL;
+  /// Run sweep points on a thread pool.
+  bool parallel = true;
+};
+
+struct FigureResult {
+  std::string id;      // "fig5", "fig6a", ...
+  std::string title;
+  support::Table rates;
+  support::Table feasibility;
+};
+
+class ReportBuilder {
+ public:
+  explicit ReportBuilder(ReportOptions options = {}) : options_(options) {}
+
+  /// Individual figures (usable without touching the filesystem).
+  FigureResult fig5_topology() const;
+  FigureResult fig6a_users() const;
+  FigureResult fig6b_switches() const;
+  FigureResult fig7a_degree() const;
+  FigureResult fig8a_qubits() const;
+  FigureResult fig8b_swap_rate() const;
+
+  /// All of the above, in paper order. (Fig. 7(b) needs progressive edge
+  /// removal and stays in its dedicated bench binary.)
+  std::vector<FigureResult> all_figures() const;
+
+  /// Writes REPORT.md + per-figure CSVs into `directory` (created if
+  /// missing). Returns false on any I/O failure.
+  bool write_report(const std::string& directory) const;
+
+ private:
+  FigureResult run_sweep(const std::string& id, const std::string& title,
+                         const std::string& param_name,
+                         const std::vector<std::pair<std::string, Scenario>>&
+                             points) const;
+
+  ReportOptions options_;
+};
+
+}  // namespace muerp::experiment

@@ -1,0 +1,126 @@
+#include "experiment/runner.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <thread>
+
+#include "baselines/eqcast.hpp"
+#include "baselines/nfusion.hpp"
+#include "routing/conflict_free.hpp"
+#include "routing/optimal_tree.hpp"
+#include "routing/prim_based.hpp"
+
+namespace muerp::experiment {
+
+const char* algorithm_name(Algorithm algorithm) noexcept {
+  switch (algorithm) {
+    case Algorithm::kAlg2Optimal:
+      return "Alg-2";
+    case Algorithm::kAlg3Conflict:
+      return "Alg-3";
+    case Algorithm::kAlg4Prim:
+      return "Alg-4";
+    case Algorithm::kEQCast:
+      return "E-Q-CAST";
+    case Algorithm::kNFusion:
+      return "N-Fusion";
+  }
+  return "?";
+}
+
+double run_algorithm(Algorithm algorithm, Instance& instance,
+                     const RunnerOptions& options) {
+  switch (algorithm) {
+    case Algorithm::kAlg2Optimal: {
+      // Paper Fig. 8(a): "The switches in Algorithm 2 ha[ve] 2|U| qubits" —
+      // Algorithm 2 always runs under its sufficient condition.
+      const auto boosted = with_uniform_switch_qubits(
+          instance.network, 2 * static_cast<int>(instance.users.size()));
+      return routing::optimal_special_case(boosted, instance.users).rate;
+    }
+    case Algorithm::kAlg3Conflict:
+      return routing::conflict_free(instance.network, instance.users).rate;
+    case Algorithm::kAlg4Prim:
+      return routing::prim_based(instance.network, instance.users,
+                                 instance.rng)
+          .rate;
+    case Algorithm::kEQCast:
+      return baselines::extended_qcast(instance.network, instance.users).rate;
+    case Algorithm::kNFusion:
+      return baselines::n_fusion(instance.network, instance.users,
+                                 options.nfusion)
+          .rate;
+  }
+  return 0.0;
+}
+
+double ScenarioResult::mean_rate(std::size_t algorithm_index) const {
+  assert(algorithm_index < rates.size());
+  return support::mean(rates[algorithm_index]);
+}
+
+double ScenarioResult::feasible_fraction(std::size_t algorithm_index) const {
+  assert(algorithm_index < rates.size());
+  return support::positive_fraction(rates[algorithm_index]);
+}
+
+double ScenarioResult::stderr_rate(std::size_t algorithm_index) const {
+  assert(algorithm_index < rates.size());
+  return support::summarize(rates[algorithm_index]).stderr_mean;
+}
+
+ScenarioResult run_scenario(const Scenario& scenario,
+                            std::span<const Algorithm> algorithms,
+                            const RunnerOptions& options) {
+  ScenarioResult result;
+  result.rates.assign(algorithms.size(), {});
+  for (auto& row : result.rates) row.reserve(scenario.repetitions);
+
+  for (std::size_t rep = 0; rep < scenario.repetitions; ++rep) {
+    Instance instance = instantiate(scenario, rep);
+    for (std::size_t a = 0; a < algorithms.size(); ++a) {
+      result.rates[a].push_back(
+          run_algorithm(algorithms[a], instance, options));
+    }
+  }
+  return result;
+}
+
+ScenarioResult run_scenario(const Scenario& scenario,
+                            const RunnerOptions& options) {
+  return run_scenario(scenario, kAllAlgorithms, options);
+}
+
+ScenarioResult run_scenario_parallel(const Scenario& scenario,
+                                     std::span<const Algorithm> algorithms,
+                                     const RunnerOptions& options,
+                                     unsigned threads) {
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  threads = std::min<unsigned>(
+      threads, static_cast<unsigned>(std::max<std::size_t>(1, scenario.repetitions)));
+
+  ScenarioResult result;
+  result.rates.assign(algorithms.size(),
+                      std::vector<double>(scenario.repetitions, 0.0));
+
+  // Static work split: worker w handles repetitions w, w+threads, ... Each
+  // repetition writes to its own pre-sized slots, so no synchronization is
+  // needed beyond join().
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned w = 0; w < threads; ++w) {
+    pool.emplace_back([&, w] {
+      for (std::size_t rep = w; rep < scenario.repetitions; rep += threads) {
+        Instance instance = instantiate(scenario, rep);
+        for (std::size_t a = 0; a < algorithms.size(); ++a) {
+          result.rates[a][rep] =
+              run_algorithm(algorithms[a], instance, options);
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  return result;
+}
+
+}  // namespace muerp::experiment

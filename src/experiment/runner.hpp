@@ -1,0 +1,78 @@
+// Experiment runner: evaluates the five §V algorithms over a scenario.
+//
+// For each of the scenario's repetitions the runner instantiates a random
+// network and scores every requested algorithm on it, yielding the same
+// quantity the paper plots: the multi-user entanglement rate (Eq. 2), with 0
+// recorded when an algorithm fails to build a spanning entanglement tree.
+// Algorithm 2 is evaluated the way the paper evaluates it — on a copy of the
+// network whose switches are pinned at 2|U| qubits so its sufficient
+// condition holds (explicit in Fig. 8(a), implicit elsewhere).
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "baselines/nfusion.hpp"
+#include "experiment/scenario.hpp"
+#include "support/statistics.hpp"
+
+namespace muerp::experiment {
+
+enum class Algorithm {
+  kAlg2Optimal,    // Algorithm 2 (optimal, sufficient-capacity condition)
+  kAlg3Conflict,   // Algorithm 3 (conflict-free heuristic)
+  kAlg4Prim,       // Algorithm 4 (Prim-based heuristic)
+  kEQCast,         // baseline: extended Q-CAST
+  kNFusion,        // baseline: N-FUSION (central-user GHZ star)
+};
+
+/// The paper's five algorithms in its plotting order.
+inline constexpr std::array<Algorithm, 5> kAllAlgorithms = {
+    Algorithm::kAlg2Optimal, Algorithm::kAlg3Conflict, Algorithm::kAlg4Prim,
+    Algorithm::kEQCast, Algorithm::kNFusion};
+
+const char* algorithm_name(Algorithm algorithm) noexcept;
+
+struct RunnerOptions {
+  baselines::NFusionParams nfusion;
+};
+
+/// Entanglement rate achieved by `algorithm` on one instance (0 on failure).
+/// `instance.rng` advances when the algorithm is randomized (Algorithm 4).
+double run_algorithm(Algorithm algorithm, Instance& instance,
+                     const RunnerOptions& options = {});
+
+/// Per-algorithm rates across all repetitions of a scenario.
+struct ScenarioResult {
+  /// rates[a][r] = rate of kAllAlgorithms-order algorithm `a` on rep `r`.
+  std::vector<std::vector<double>> rates;
+
+  /// Arithmetic mean over repetitions, zeros included (paper's averaging).
+  double mean_rate(std::size_t algorithm_index) const;
+  /// Fraction of repetitions where the algorithm succeeded.
+  double feasible_fraction(std::size_t algorithm_index) const;
+  /// Standard error of mean_rate (network-to-network spread / sqrt(n));
+  /// the paper averages 20 networks, so this is the error bar its figures
+  /// omit.
+  double stderr_rate(std::size_t algorithm_index) const;
+};
+
+ScenarioResult run_scenario(const Scenario& scenario,
+                            std::span<const Algorithm> algorithms,
+                            const RunnerOptions& options = {});
+
+/// Convenience overload over all five algorithms.
+ScenarioResult run_scenario(const Scenario& scenario,
+                            const RunnerOptions& options = {});
+
+/// Parallel variant: repetitions are independent (each has its own RNG
+/// stream split from the scenario seed), so they run on a thread pool.
+/// Results are bit-identical to run_scenario regardless of thread count;
+/// `threads` = 0 picks the hardware concurrency.
+ScenarioResult run_scenario_parallel(const Scenario& scenario,
+                                     std::span<const Algorithm> algorithms,
+                                     const RunnerOptions& options = {},
+                                     unsigned threads = 0);
+
+}  // namespace muerp::experiment

@@ -1,0 +1,92 @@
+#include "experiment/scenario.hpp"
+
+#include <cassert>
+#include <vector>
+
+#include "network/network_builder.hpp"
+#include "topology/volchenkov.hpp"
+#include "topology/watts_strogatz.hpp"
+#include "topology/waxman.hpp"
+
+namespace muerp::experiment {
+
+const char* topology_name(TopologyKind kind) noexcept {
+  switch (kind) {
+    case TopologyKind::kWaxman:
+      return "Waxman";
+    case TopologyKind::kWattsStrogatz:
+      return "Watts-Strogatz";
+    case TopologyKind::kVolchenkov:
+      return "Volchenkov";
+  }
+  return "?";
+}
+
+Instance instantiate(const Scenario& scenario, std::size_t repetition) {
+  assert(scenario.user_count >= 1);
+  const support::Rng master(scenario.seed);
+  support::Rng rng = master.split(repetition);
+
+  const std::size_t total_nodes = scenario.switch_count + scenario.user_count;
+  const support::Region region{scenario.area_side_km, scenario.area_side_km};
+
+  topology::SpatialGraph topo;
+  switch (scenario.topology) {
+    case TopologyKind::kWaxman: {
+      topology::WaxmanParams params;
+      params.node_count = total_nodes;
+      params.average_degree = scenario.average_degree;
+      params.region = region;
+      topo = topology::generate_waxman(params, rng);
+      break;
+    }
+    case TopologyKind::kWattsStrogatz: {
+      topology::WattsStrogatzParams params;
+      params.node_count = total_nodes;
+      // WS needs an even lattice degree; round the request down to even.
+      auto k = static_cast<std::size_t>(scenario.average_degree);
+      if (k % 2 == 1) --k;
+      params.nearest_neighbors = std::max<std::size_t>(2, k);
+      params.region = region;
+      topo = topology::generate_watts_strogatz(params, rng);
+      break;
+    }
+    case TopologyKind::kVolchenkov: {
+      topology::VolchenkovParams params;
+      params.node_count = total_nodes;
+      params.average_degree = scenario.average_degree;
+      params.region = region;
+      topo = topology::generate_volchenkov(params, rng);
+      break;
+    }
+  }
+
+  net::PhysicalParams physical;
+  physical.attenuation = scenario.attenuation;
+  physical.swap_success = scenario.swap_success;
+
+  net::QuantumNetwork network = net::assign_random_users(
+      std::move(topo), scenario.user_count, scenario.qubits_per_switch,
+      physical, rng);
+  std::vector<net::NodeId> users(network.users().begin(),
+                                 network.users().end());
+  return Instance{std::move(network), std::move(users), std::move(rng)};
+}
+
+net::QuantumNetwork with_uniform_switch_qubits(
+    const net::QuantumNetwork& network, int qubits) {
+  assert(qubits >= 0);
+  std::vector<net::NodeKind> kinds(network.node_count());
+  std::vector<int> budget(network.node_count());
+  std::vector<support::Point2D> positions(network.positions().begin(),
+                                          network.positions().end());
+  for (net::NodeId v = 0; v < network.node_count(); ++v) {
+    kinds[v] = network.kind(v);
+    budget[v] = network.is_switch(v) ? qubits : 0;
+  }
+  return net::QuantumNetwork(network.graph(), std::move(positions),
+                             std::move(kinds), std::move(budget),
+                             network.physical());
+}
+
+}  // namespace muerp::experiment

@@ -1,0 +1,61 @@
+// Experiment scenarios: the paper's §V-A simulation setup as data.
+//
+// A Scenario captures every knob the evaluation sweeps (topology family,
+// network size, degree, qubit budget, swap rate, ...) plus the defaults the
+// paper states: Waxman topology over a 10k x 10k km area, 50 switches,
+// 10 users, average degree 6, 4 qubits per switch, q = 0.9, alpha = 1e-4,
+// averaged over 20 random networks. instantiate() deterministically builds
+// the `repetition`-th random network of a scenario — each repetition has its
+// own RNG stream split from the scenario seed, so sweeping a parameter
+// never reshuffles the other repetitions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "network/quantum_network.hpp"
+#include "support/rng.hpp"
+
+namespace muerp::experiment {
+
+enum class TopologyKind {
+  kWaxman,         // §V-A default
+  kWattsStrogatz,
+  kVolchenkov,
+};
+
+const char* topology_name(TopologyKind kind) noexcept;
+
+struct Scenario {
+  TopologyKind topology = TopologyKind::kWaxman;
+  std::size_t switch_count = 50;
+  std::size_t user_count = 10;
+  double average_degree = 6.0;
+  int qubits_per_switch = 4;
+  double swap_success = 0.9;
+  double attenuation = 1e-4;
+  double area_side_km = 10000.0;
+  std::size_t repetitions = 20;
+  std::uint64_t seed = 0xC0FFEE1CDC5ULL;
+};
+
+/// One concrete random network drawn from a scenario.
+struct Instance {
+  net::QuantumNetwork network;
+  /// The requested user set (== network.users(), materialized for callers).
+  std::vector<net::NodeId> users;
+  /// Per-instance stream for any algorithm-side randomness (Algorithm 4's
+  /// seed user, Monte-Carlo trials).
+  support::Rng rng;
+};
+
+/// Builds repetition `repetition` of `scenario` (0-based).
+Instance instantiate(const Scenario& scenario, std::size_t repetition);
+
+/// Copy of `network` with every switch's budget replaced by `qubits` —
+/// used to evaluate Algorithm 2 under its sufficient condition (the paper
+/// pins Algorithm 2's switches at 2|U| qubits in Fig. 8(a)).
+net::QuantumNetwork with_uniform_switch_qubits(
+    const net::QuantumNetwork& network, int qubits);
+
+}  // namespace muerp::experiment

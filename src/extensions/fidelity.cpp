@@ -1,0 +1,205 @@
+#include "extensions/fidelity.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "network/rate.hpp"
+#include "routing/plan.hpp"
+#include "support/union_find.hpp"
+
+namespace muerp::ext {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// -ln of the Werner parameter a channel may spend before dropping below
+/// min_fidelity.
+double fidelity_budget(const FidelityParams& params) {
+  assert(params.min_fidelity > 0.25 && params.min_fidelity <= 1.0);
+  const double w_min = (4.0 * params.min_fidelity - 1.0) / 3.0;
+  return -std::log(w_min);
+}
+
+/// -ln(w_link) for one edge; the additive fidelity cost.
+double edge_fidelity_cost(const FidelityParams& params, double length_km) {
+  return -std::log(link_werner(params, length_km));
+}
+
+struct Label {
+  double rate_cost;   // accumulated alpha*L - ln(q)
+  double fid_cost;    // accumulated -ln(w_link)
+  net::NodeId node;
+  std::int64_t parent;  // arena index of predecessor label; -1 at source
+};
+
+}  // namespace
+
+double link_werner(const FidelityParams& params, double length_km) noexcept {
+  const double w0 = (4.0 * params.fresh_fidelity - 1.0) / 3.0;
+  return w0 * std::exp(-params.decay_per_km * length_km);
+}
+
+double channel_fidelity(const net::QuantumNetwork& network,
+                        std::span<const net::NodeId> path,
+                        const FidelityParams& params) {
+  assert(path.size() >= 2);
+  double w = 1.0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const auto edge = network.graph().find_edge(path[i], path[i + 1]);
+    assert(edge);
+    w *= link_werner(params, network.graph().edge(*edge).length_km);
+  }
+  return 0.25 + 0.75 * w;
+}
+
+std::optional<net::Channel> find_fidelity_constrained_channel(
+    const net::QuantumNetwork& network, net::NodeId source,
+    net::NodeId destination, const net::CapacityState& capacity,
+    const FidelityParams& params) {
+  assert(network.is_user(source) && network.is_user(destination));
+  assert(source != destination);
+  const double budget = fidelity_budget(params);
+
+  // Label-setting search for the single-resource-constrained shortest path.
+  // Labels pop in increasing rate cost; at each vertex only labels that
+  // strictly improve the best fidelity cost seen so far survive (any later
+  // label has higher rate cost, so it is useful only if it spends less of
+  // the fidelity budget).
+  std::vector<Label> arena;
+  std::vector<double> best_fid_cost(network.node_count(), kInf);
+
+  const auto cmp = [&](std::size_t l, std::size_t r) {
+    return arena[l].rate_cost > arena[r].rate_cost;
+  };
+  std::priority_queue<std::size_t, std::vector<std::size_t>, decltype(cmp)>
+      heap(cmp);
+
+  arena.push_back({0.0, 0.0, source, -1});
+  heap.push(0);
+
+  while (!heap.empty()) {
+    const std::size_t idx = heap.top();
+    heap.pop();
+    const Label label = arena[idx];
+    if (label.fid_cost >= best_fid_cost[label.node]) continue;  // dominated
+    best_fid_cost[label.node] = label.fid_cost;
+
+    if (label.node == destination) {
+      net::Channel channel;
+      channel.rate = net::rate_from_routing_distance(
+          label.rate_cost, network.physical().swap_success);
+      for (std::int64_t cursor = static_cast<std::int64_t>(idx); cursor >= 0;
+           cursor = arena[static_cast<std::size_t>(cursor)].parent) {
+        channel.path.push_back(arena[static_cast<std::size_t>(cursor)].node);
+      }
+      std::reverse(channel.path.begin(), channel.path.end());
+      return channel;
+    }
+
+    // Only the source user and capacity-bearing switches relay (Def. 2).
+    if (label.node != source &&
+        (!network.is_switch(label.node) ||
+         capacity.free_qubits(label.node) < 2)) {
+      continue;
+    }
+
+    for (const graph::Neighbor& nb : network.graph().neighbors(label.node)) {
+      const double length = network.graph().edge(nb.edge).length_km;
+      const double fid_cost =
+          label.fid_cost + edge_fidelity_cost(params, length);
+      if (fid_cost > budget) continue;  // would violate min fidelity
+      if (fid_cost >= best_fid_cost[nb.node]) continue;
+      const double rate_cost =
+          label.rate_cost + network.edge_routing_weight(nb.edge);
+      arena.push_back({rate_cost, fid_cost, nb.node,
+                       static_cast<std::int64_t>(idx)});
+      heap.push(arena.size() - 1);
+    }
+  }
+  return std::nullopt;
+}
+
+net::EntanglementTree fidelity_aware_greedy(
+    const net::QuantumNetwork& network, std::span<const net::NodeId> users,
+    const FidelityParams& params) {
+  assert(!users.empty());
+  if (users.size() == 1) return routing::make_tree({}, true);
+
+  std::unordered_map<net::NodeId, std::size_t> index;
+  for (std::size_t i = 0; i < users.size(); ++i) index[users[i]] = i;
+
+  net::CapacityState capacity(network);
+  support::UnionFind unions(users.size());
+  std::vector<net::Channel> committed;
+
+  while (unions.set_count() > 1) {
+    net::Channel best;
+    best.rate = 0.0;
+    for (std::size_t i = 0; i < users.size(); ++i) {
+      for (std::size_t j = i + 1; j < users.size(); ++j) {
+        if (unions.connected(i, j)) continue;
+        auto candidate = find_fidelity_constrained_channel(
+            network, users[i], users[j], capacity, params);
+        if (candidate && candidate->rate > best.rate) {
+          best = std::move(*candidate);
+        }
+      }
+    }
+    if (best.rate == 0.0) {
+      return routing::make_tree(std::move(committed), false);
+    }
+    capacity.commit_channel(best.path);
+    unions.unite(index.at(best.source()), index.at(best.destination()));
+    committed.push_back(std::move(best));
+  }
+  return routing::make_tree(std::move(committed), true);
+}
+
+net::EntanglementTree fidelity_aware_prim(const net::QuantumNetwork& network,
+                                          std::span<const net::NodeId> users,
+                                          const FidelityParams& params,
+                                          support::Rng& rng) {
+  assert(!users.empty());
+  if (users.size() == 1) return routing::make_tree({}, true);
+
+  const auto seed = static_cast<std::size_t>(rng.uniform_index(users.size()));
+  std::vector<net::NodeId> connected{users[seed]};
+  std::unordered_set<net::NodeId> pending;
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    if (i != seed) pending.insert(users[i]);
+  }
+
+  net::CapacityState capacity(network);
+  std::vector<net::Channel> committed;
+
+  while (!pending.empty()) {
+    net::Channel best;
+    best.rate = 0.0;
+    for (net::NodeId source : connected) {
+      for (net::NodeId target : pending) {
+        auto candidate = find_fidelity_constrained_channel(
+            network, source, target, capacity, params);
+        if (candidate && candidate->rate > best.rate) {
+          best = std::move(*candidate);
+        }
+      }
+    }
+    if (best.rate == 0.0) {
+      return routing::make_tree(std::move(committed), false);
+    }
+    capacity.commit_channel(best.path);
+    pending.erase(best.destination());
+    connected.push_back(best.destination());
+    committed.push_back(std::move(best));
+  }
+  return routing::make_tree(std::move(committed), true);
+}
+
+}  // namespace muerp::ext

@@ -1,0 +1,74 @@
+// Fidelity-aware entanglement routing — the paper's first "more complex
+// situation" (§II-D, §VII: "accounting for fidelity decay").
+//
+// Model: each quantum link delivers a Werner state whose fidelity decays
+// with fiber length,
+//     F_link(L) = 1/4 + 3/4 * w_link(L),   w_link(L) = w0 * exp(-kappa*L),
+// where w0 = (4*F0 - 1)/3 is the Werner parameter of a freshly generated
+// pair of fidelity F0. Entanglement swapping composes Werner parameters
+// multiplicatively (the standard BSM-on-Werner-states result):
+//     w_channel = prod over links of w_link,
+//     F_channel = 1/4 + 3/4 * w_channel,
+// so a channel is *usable* iff F_channel >= min_fidelity, equivalently
+//     sum over links of -ln(w_link)  <=  -ln((4*min_fidelity - 1)/3).
+//
+// Finding the maximum-rate channel subject to that budget is a resource-
+// constrained shortest path; we solve it exactly with a Pareto-label
+// Dijkstra: each vertex keeps the set of (rate-cost, fidelity-cost) labels
+// not dominated by any other, and a label is expanded only while its
+// fidelity cost stays within budget. The constrained finder then slots into
+// a Prim-style tree builder (Algorithm 4's skeleton), giving a complete
+// fidelity-aware MUERP heuristic.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "network/channel.hpp"
+#include "network/quantum_network.hpp"
+#include "support/rng.hpp"
+
+namespace muerp::ext {
+
+struct FidelityParams {
+  /// Fidelity of a freshly generated link pair at distance 0.
+  double fresh_fidelity = 0.99;
+  /// Werner-parameter decay rate per km of fiber.
+  double decay_per_km = 2e-5;
+  /// Minimum acceptable end-to-end channel fidelity, > 0.25 (below 1/4 a
+  /// Werner state carries no entanglement at all).
+  double min_fidelity = 0.85;
+};
+
+/// Werner parameter of a single link of length `length_km`.
+double link_werner(const FidelityParams& params, double length_km) noexcept;
+
+/// End-to-end fidelity of a channel path under the model above.
+double channel_fidelity(const net::QuantumNetwork& network,
+                        std::span<const net::NodeId> path,
+                        const FidelityParams& params);
+
+/// Maximum-rate channel between two users whose end-to-end fidelity meets
+/// min_fidelity, under `capacity`. Exact (Pareto-label search); nullopt when
+/// no qualifying channel exists.
+std::optional<net::Channel> find_fidelity_constrained_channel(
+    const net::QuantumNetwork& network, net::NodeId source,
+    net::NodeId destination, const net::CapacityState& capacity,
+    const FidelityParams& params);
+
+/// Fidelity-aware multi-user routing: Algorithm 4's greedy tree growth with
+/// every channel required to satisfy the fidelity constraint.
+net::EntanglementTree fidelity_aware_prim(const net::QuantumNetwork& network,
+                                          std::span<const net::NodeId> users,
+                                          const FidelityParams& params,
+                                          support::Rng& rng);
+
+/// Fidelity-aware Algorithm 3: global greedy over unions — each round the
+/// best qualifying channel between any two unconnected unions commits (the
+/// phase-2 loop of conflict_free with the constrained finder). Typically a
+/// slightly better tree than the Prim variant at O(|U|) more finder calls.
+net::EntanglementTree fidelity_aware_greedy(
+    const net::QuantumNetwork& network, std::span<const net::NodeId> users,
+    const FidelityParams& params);
+
+}  // namespace muerp::ext

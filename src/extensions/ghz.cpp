@@ -1,0 +1,36 @@
+#include "extensions/ghz.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "routing/conflict_free.hpp"
+
+namespace muerp::ext {
+
+double ghz_via_tree_rate(const net::EntanglementTree& tree,
+                         const GhzParams& params) {
+  assert(params.local_merge_success >= 0.0 &&
+         params.local_merge_success <= 1.0);
+  if (!tree.feasible) return 0.0;
+  if (tree.channels.empty()) return 1.0;  // singleton set: trivial GHZ
+  // One local merge per tree edge folds that edge's Bell pair into the
+  // growing GHZ state.
+  const auto merges = static_cast<double>(tree.channels.size());
+  return tree.rate * std::pow(params.local_merge_success, merges);
+}
+
+GhzComparison compare_ghz_distribution(const net::QuantumNetwork& network,
+                                       std::span<const net::NodeId> users,
+                                       const GhzParams& params) {
+  GhzComparison result;
+  const auto tree = routing::conflict_free(network, users);
+  result.tree_feasible = tree.feasible;
+  result.via_tree = ghz_via_tree_rate(tree, params);
+
+  const auto star = baselines::n_fusion(network, users, params.nfusion);
+  result.fusion_feasible = star.feasible;
+  result.via_fusion = star.rate;
+  return result;
+}
+
+}  // namespace muerp::ext

@@ -1,0 +1,58 @@
+// GHZ distribution: Bell-tree assembly vs. n-fusion, made quantitative.
+//
+// The paper's central modelling argument (§I) is that multi-user
+// entanglement should be built from *pairwise Bell channels* under BSMs
+// rather than distributing GHZ states by n-fusion, because BSMs are more
+// reliable and Bell pairs more robust. Many applications ultimately want an
+// n-qubit GHZ state, though — and a spanning tree of Bell pairs suffices:
+// once every tree edge holds a Bell pair, the users assemble the GHZ with
+// local operations and classical communication (each user performs one
+// local merge per incident tree edge beyond its first; a tree with |U|-1
+// edges needs exactly |U|-2 merges... plus the initiating user's
+// preparation — we model |U|-1 local merge operations, one per edge, each
+// succeeding with probability p_local).
+//
+//   GHZ rate via tree      = P_tree * p_local^(|U|-1)        (Eq. 2 boosted)
+//   GHZ rate via n-fusion  = the N-FUSION star model (baselines/nfusion)
+//
+// Local merges are CNOT + measurement on co-located qubits — far easier
+// than a photonic GHZ projection — so p_local is high (default 0.99). The
+// ghz_comparison bench sweeps p_local and shows the tree route dominating
+// until local operations become implausibly bad, which is exactly the
+// paper's qualitative claim with a number attached.
+#pragma once
+
+#include <span>
+
+#include "baselines/nfusion.hpp"
+#include "network/channel.hpp"
+#include "network/quantum_network.hpp"
+
+namespace muerp::ext {
+
+struct GhzParams {
+  /// Success probability of one local merge operation at a user.
+  double local_merge_success = 0.99;
+  /// Parameters of the competing n-fusion star.
+  baselines::NFusionParams nfusion;
+};
+
+struct GhzComparison {
+  /// GHZ distribution rate assembling from the given Bell tree.
+  double via_tree = 0.0;
+  /// GHZ distribution rate via the best N-FUSION star.
+  double via_fusion = 0.0;
+  bool tree_feasible = false;
+  bool fusion_feasible = false;
+};
+
+/// GHZ rate achievable from an already-routed entanglement tree.
+double ghz_via_tree_rate(const net::EntanglementTree& tree,
+                         const GhzParams& params);
+
+/// Routes both ways (tree via Algorithm 3, star via N-FUSION) and compares.
+GhzComparison compare_ghz_distribution(const net::QuantumNetwork& network,
+                                       std::span<const net::NodeId> users,
+                                       const GhzParams& params = {});
+
+}  // namespace muerp::ext

@@ -1,0 +1,220 @@
+#include "extensions/purification.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <unordered_set>
+
+#include "network/rate.hpp"
+#include "routing/plan.hpp"
+
+namespace muerp::ext {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Werner parameter of fidelity F; <= 0 when the state is unentangled.
+double werner_of(double fidelity) noexcept {
+  return (4.0 * fidelity - 1.0) / 3.0;
+}
+
+}  // namespace
+
+BbpsswOutcome bbpssw(double f) noexcept {
+  assert(f >= 0.0 && f <= 1.0);
+  const double g = (1.0 - f) / 3.0;
+  const double success = f * f + 2.0 * f * g + 5.0 * g * g;
+  BbpsswOutcome out;
+  out.success_prob = success;
+  out.fidelity = (f * f + g * g) / success;
+  return out;
+}
+
+std::vector<PurifiedPair> purification_ladder(double f0, double p0,
+                                              std::size_t max_level) {
+  std::vector<PurifiedPair> ladder;
+  ladder.push_back({f0, p0, 0});
+  for (std::size_t level = 1; level <= max_level; ++level) {
+    const PurifiedPair& below = ladder.back();
+    const BbpsswOutcome out = bbpssw(below.fidelity);
+    PurifiedPair rung;
+    rung.level = level;
+    rung.fidelity = out.fidelity;
+    // Single-shot: both input pairs must materialize, then the joint
+    // measurement must succeed.
+    rung.success_prob =
+        below.success_prob * below.success_prob * out.success_prob;
+    ladder.push_back(rung);
+  }
+  return ladder;
+}
+
+std::optional<PurifiedPair> cheapest_level_reaching(double f0, double p0,
+                                                    double target,
+                                                    std::size_t max_level) {
+  for (const PurifiedPair& rung : purification_ladder(f0, p0, max_level)) {
+    if (rung.fidelity >= target) return rung;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+struct Label {
+  double rate_cost;  // accumulated -ln(link success) - ln(q) per edge
+  double fid_cost;   // accumulated -ln(werner)
+  net::NodeId node;
+  std::int64_t parent;     // arena index; -1 at source
+  std::size_t link_level;  // purification level of the edge into `node`
+};
+
+}  // namespace
+
+std::optional<PurifiedChannel> find_purified_channel(
+    const net::QuantumNetwork& network, net::NodeId source,
+    net::NodeId destination, const net::CapacityState& capacity,
+    const FidelityParams& fidelity, const PurificationParams& purification) {
+  assert(network.is_user(source) && network.is_user(destination));
+  assert(source != destination);
+  assert(fidelity.min_fidelity > 0.25 && fidelity.min_fidelity <= 1.0);
+  const double budget = -std::log(werner_of(fidelity.min_fidelity));
+  const double log_q = network.log_swap_success();
+
+  // Per-edge option table: (rate_cost, fid_cost, level) per ladder rung
+  // with positive Werner parameter.
+  struct EdgeOption {
+    double rate_cost;
+    double fid_cost;
+    std::size_t level;
+  };
+  std::vector<std::vector<EdgeOption>> options(network.graph().edge_count());
+  for (graph::EdgeId e = 0; e < network.graph().edge_count(); ++e) {
+    const double length = network.graph().edge(e).length_km;
+    const double w0 = link_werner(fidelity, length);
+    const double f0 = 0.25 + 0.75 * w0;
+    const double p0 = network.link_success(e);
+    for (const PurifiedPair& rung :
+         purification_ladder(f0, p0, purification.max_rounds)) {
+      const double w = werner_of(rung.fidelity);
+      if (w <= 0.0 || rung.success_prob <= 0.0) continue;
+      options[e].push_back({-std::log(rung.success_prob) - log_q,
+                            -std::log(w), rung.level});
+    }
+    // Options with both higher rate cost and higher fidelity cost than some
+    // other option are useless; ladders are monotone so just keep all (the
+    // search prunes dominated labels anyway).
+  }
+
+  std::vector<Label> arena;
+  std::vector<double> best_fid_cost(network.node_count(), kInf);
+  const auto cmp = [&](std::size_t l, std::size_t r) {
+    return arena[l].rate_cost > arena[r].rate_cost;
+  };
+  std::priority_queue<std::size_t, std::vector<std::size_t>, decltype(cmp)>
+      heap(cmp);
+  arena.push_back({0.0, 0.0, source, -1, 0});
+  heap.push(0);
+
+  while (!heap.empty()) {
+    const std::size_t idx = heap.top();
+    heap.pop();
+    const Label label = arena[idx];
+    if (label.fid_cost >= best_fid_cost[label.node]) continue;
+    best_fid_cost[label.node] = label.fid_cost;
+
+    if (label.node == destination) {
+      PurifiedChannel result;
+      result.channel.rate = net::rate_from_routing_distance(
+          label.rate_cost, network.physical().swap_success);
+      double w_total = 1.0;
+      for (std::int64_t cursor = static_cast<std::int64_t>(idx); cursor >= 0;
+           cursor = arena[static_cast<std::size_t>(cursor)].parent) {
+        const Label& step = arena[static_cast<std::size_t>(cursor)];
+        result.channel.path.push_back(step.node);
+        if (step.parent >= 0) {
+          result.link_levels.push_back(step.link_level);
+        }
+      }
+      std::reverse(result.channel.path.begin(), result.channel.path.end());
+      std::reverse(result.link_levels.begin(), result.link_levels.end());
+      w_total = std::exp(-label.fid_cost);
+      result.fidelity = 0.25 + 0.75 * w_total;
+      return result;
+    }
+
+    if (label.node != source &&
+        (!network.is_switch(label.node) ||
+         capacity.free_qubits(label.node) < 2)) {
+      continue;
+    }
+
+    for (const graph::Neighbor& nb : network.graph().neighbors(label.node)) {
+      for (const EdgeOption& option : options[nb.edge]) {
+        const double fid_cost = label.fid_cost + option.fid_cost;
+        if (fid_cost > budget) continue;
+        if (fid_cost >= best_fid_cost[nb.node]) continue;
+        const double rate_cost = label.rate_cost + option.rate_cost;
+        arena.push_back({rate_cost, fid_cost, nb.node,
+                         static_cast<std::int64_t>(idx), option.level});
+        heap.push(arena.size() - 1);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+PurifiedTree purified_prim(const net::QuantumNetwork& network,
+                           std::span<const net::NodeId> users,
+                           const FidelityParams& fidelity,
+                           const PurificationParams& purification,
+                           support::Rng& rng) {
+  PurifiedTree tree;
+  assert(!users.empty());
+  if (users.size() == 1) {
+    tree.rate = 1.0;
+    tree.feasible = true;
+    return tree;
+  }
+
+  const auto seed = static_cast<std::size_t>(rng.uniform_index(users.size()));
+  std::vector<net::NodeId> connected{users[seed]};
+  std::unordered_set<net::NodeId> pending;
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    if (i != seed) pending.insert(users[i]);
+  }
+
+  net::CapacityState capacity(network);
+  double rate = 1.0;
+  while (!pending.empty()) {
+    std::optional<PurifiedChannel> best;
+    for (net::NodeId source : connected) {
+      for (net::NodeId target : pending) {
+        auto candidate = find_purified_channel(network, source, target,
+                                               capacity, fidelity,
+                                               purification);
+        if (candidate &&
+            (!best || candidate->channel.rate > best->channel.rate)) {
+          best = std::move(candidate);
+        }
+      }
+    }
+    if (!best) {
+      tree.feasible = false;
+      tree.rate = 0.0;
+      return tree;
+    }
+    capacity.commit_channel(best->channel.path);
+    pending.erase(best->channel.destination());
+    connected.push_back(best->channel.destination());
+    rate *= best->channel.rate;
+    tree.channels.push_back(std::move(*best));
+  }
+  tree.rate = rate;
+  tree.feasible = true;
+  return tree;
+}
+
+}  // namespace muerp::ext

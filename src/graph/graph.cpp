@@ -1,0 +1,82 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace muerp::graph {
+
+Graph::Graph(std::size_t node_count) : adjacency_(node_count) {}
+
+NodeId Graph::add_node() {
+  adjacency_.emplace_back();
+  return static_cast<NodeId>(adjacency_.size() - 1);
+}
+
+std::uint64_t Graph::key(NodeId a, NodeId b) noexcept {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+EdgeId Graph::add_edge(NodeId a, NodeId b, double length_km) {
+  assert(a != b && "self-loops are not allowed (paper §II-D)");
+  assert(a < node_count() && b < node_count());
+  assert(length_km >= 0.0);
+  assert(!has_edge(a, b) && "parallel edges are not allowed");
+  if (a > b) std::swap(a, b);
+  const auto id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back({a, b, length_km});
+  adjacency_[a].push_back({b, id});
+  adjacency_[b].push_back({a, id});
+  edge_index_.emplace(key(a, b), id);
+  return id;
+}
+
+bool Graph::has_edge(NodeId a, NodeId b) const noexcept {
+  return edge_index_.contains(key(a, b));
+}
+
+std::optional<EdgeId> Graph::find_edge(NodeId a, NodeId b) const noexcept {
+  const auto it = edge_index_.find(key(a, b));
+  if (it == edge_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Graph::remove_edge(EdgeId id) {
+  assert(id < edges_.size());
+  const Edge removed = edges_[id];
+
+  auto detach = [&](NodeId node, EdgeId edge_id) {
+    auto& list = adjacency_[node];
+    const auto it = std::find_if(
+        list.begin(), list.end(),
+        [edge_id](const Neighbor& n) { return n.edge == edge_id; });
+    assert(it != list.end());
+    *it = list.back();
+    list.pop_back();
+  };
+  detach(removed.a, id);
+  detach(removed.b, id);
+  edge_index_.erase(key(removed.a, removed.b));
+
+  const auto last = static_cast<EdgeId>(edges_.size() - 1);
+  if (id != last) {
+    // Swap-with-last: re-point the moved edge's adjacency entries and index.
+    const Edge moved = edges_[last];
+    edges_[id] = moved;
+    for (NodeId endpoint : {moved.a, moved.b}) {
+      for (auto& n : adjacency_[endpoint]) {
+        if (n.edge == last) n.edge = id;
+      }
+    }
+    edge_index_[key(moved.a, moved.b)] = id;
+  }
+  edges_.pop_back();
+}
+
+double Graph::average_degree() const noexcept {
+  if (adjacency_.empty()) return 0.0;
+  return 2.0 * static_cast<double>(edges_.size()) /
+         static_cast<double>(adjacency_.size());
+}
+
+}  // namespace muerp::graph

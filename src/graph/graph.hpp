@@ -1,0 +1,93 @@
+// Undirected weighted graph — the physical topology substrate.
+//
+// Vertices are quantum users and switches; edges are optical fibers with a
+// physical length in kilometres (paper §II-A: the network is an undirected
+// graph G=(V, E) with no self-loops, and we additionally reject parallel
+// edges since a fiber's multi-core capacity is modelled as "adequate" rather
+// than as edge multiplicity). The structure is an adjacency list with an
+// edge-indexed side table so routing algorithms can address either view.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace muerp::graph {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+inline constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// An undirected edge; `a < b` is normalized at insertion.
+struct Edge {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  double length_km = 0.0;
+
+  /// The endpoint that is not `from`; `from` must be an endpoint.
+  NodeId other(NodeId from) const noexcept { return from == a ? b : a; }
+};
+
+/// One adjacency entry: the neighbouring node and the connecting edge.
+struct Neighbor {
+  NodeId node = kInvalidNode;
+  EdgeId edge = kInvalidEdge;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Creates a graph with `node_count` isolated vertices.
+  explicit Graph(std::size_t node_count);
+
+  std::size_t node_count() const noexcept { return adjacency_.size(); }
+  std::size_t edge_count() const noexcept { return edges_.size(); }
+
+  /// Appends a new isolated vertex and returns its id.
+  NodeId add_node();
+
+  /// Adds the undirected edge {a, b} with the given fiber length.
+  /// Preconditions: a != b (no self-loops), both ids valid, edge not present,
+  /// length >= 0. Returns the new edge id.
+  EdgeId add_edge(NodeId a, NodeId b, double length_km);
+
+  /// True if {a, b} is an edge.
+  bool has_edge(NodeId a, NodeId b) const noexcept;
+
+  /// Edge id of {a, b}, or nullopt.
+  std::optional<EdgeId> find_edge(NodeId a, NodeId b) const noexcept;
+
+  const Edge& edge(EdgeId id) const noexcept { return edges_[id]; }
+  std::span<const Edge> edges() const noexcept { return edges_; }
+
+  std::span<const Neighbor> neighbors(NodeId node) const noexcept {
+    return adjacency_[node];
+  }
+
+  std::size_t degree(NodeId node) const noexcept {
+    return adjacency_[node].size();
+  }
+
+  /// Removes edge `id` (used by the Fig. 7(b) edge-removal experiment).
+  /// Invalidates edge ids greater than `id` (swap-with-last compaction);
+  /// callers that hold edge ids must refresh them after removal.
+  void remove_edge(EdgeId id);
+
+  /// Sum of degrees / node count; 0 for an empty graph.
+  double average_degree() const noexcept;
+
+ private:
+  static std::uint64_t key(NodeId a, NodeId b) noexcept;
+
+  std::vector<Edge> edges_;
+  std::vector<std::vector<Neighbor>> adjacency_;
+  std::unordered_map<std::uint64_t, EdgeId> edge_index_;
+};
+
+}  // namespace muerp::graph

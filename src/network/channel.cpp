@@ -1,0 +1,115 @@
+#include "network/channel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+
+#include "network/quantum_network.hpp"
+#include "network/rate.hpp"
+#include "support/union_find.hpp"
+
+namespace muerp::net {
+
+namespace {
+
+// Rates are products of exponentials recomputed along different groupings,
+// so exact equality is too strict; compare with a tight relative tolerance.
+bool close(double a, double b) {
+  const double scale = std::max({std::fabs(a), std::fabs(b), 1e-300});
+  return std::fabs(a - b) <= 1e-9 * scale;
+}
+
+}  // namespace
+
+std::string validate_tree(const QuantumNetwork& network,
+                          std::span<const graph::NodeId> users,
+                          const EntanglementTree& tree) {
+  std::ostringstream err;
+  if (!tree.feasible) {
+    if (tree.rate != 0.0) {
+      err << "infeasible tree must have rate 0, has " << tree.rate;
+      return err.str();
+    }
+    return {};  // nothing else to check for a declared failure
+  }
+
+  std::unordered_map<graph::NodeId, std::size_t> user_index;
+  for (std::size_t i = 0; i < users.size(); ++i) user_index[users[i]] = i;
+
+  if (users.size() <= 1) {
+    if (!tree.channels.empty()) return "singleton user set needs no channels";
+    if (!close(tree.rate, 1.0)) return "empty tree must have rate 1";
+    return {};
+  }
+
+  if (tree.channels.size() != users.size() - 1) {
+    err << "expected " << users.size() - 1 << " channels, got "
+        << tree.channels.size();
+    return err.str();
+  }
+
+  support::UnionFind connectivity(users.size());
+  std::unordered_map<graph::NodeId, int> channels_per_switch;
+  double product = 1.0;
+
+  for (std::size_t ci = 0; ci < tree.channels.size(); ++ci) {
+    const Channel& ch = tree.channels[ci];
+    if (ch.path.size() < 2) {
+      err << "channel " << ci << " has fewer than 2 vertices";
+      return err.str();
+    }
+    const auto src = user_index.find(ch.source());
+    const auto dst = user_index.find(ch.destination());
+    if (src == user_index.end() || dst == user_index.end()) {
+      err << "channel " << ci << " endpoint is not a requested user";
+      return err.str();
+    }
+    for (std::size_t i = 0; i + 1 < ch.path.size(); ++i) {
+      if (!network.graph().has_edge(ch.path[i], ch.path[i + 1])) {
+        err << "channel " << ci << " uses non-existent edge " << ch.path[i]
+            << "-" << ch.path[i + 1];
+        return err.str();
+      }
+    }
+    for (std::size_t i = 1; i + 1 < ch.path.size(); ++i) {
+      if (!network.is_switch(ch.path[i])) {
+        err << "channel " << ci << " interior vertex " << ch.path[i]
+            << " is not a switch (Def. 2)";
+        return err.str();
+      }
+      ++channels_per_switch[ch.path[i]];
+    }
+    const double expected = channel_rate(network, ch.path);
+    if (!close(ch.rate, expected)) {
+      err << "channel " << ci << " rate " << ch.rate
+          << " disagrees with Eq. (1) value " << expected;
+      return err.str();
+    }
+    if (!connectivity.unite(src->second, dst->second)) {
+      err << "channel " << ci << " creates a cycle among users";
+      return err.str();
+    }
+    product *= ch.rate;
+  }
+
+  if (connectivity.set_count() != 1) {
+    return "channels do not span the user set";
+  }
+  for (const auto& [sw, used] : channels_per_switch) {
+    if (used > network.channel_capacity(sw)) {
+      err << "switch " << sw << " relays " << used
+          << " channels but capacity is " << network.channel_capacity(sw)
+          << " (Def. 3)";
+      return err.str();
+    }
+  }
+  if (!close(tree.rate, product)) {
+    err << "tree rate " << tree.rate << " disagrees with Eq. (2) product "
+        << product;
+    return err.str();
+  }
+  return {};
+}
+
+}  // namespace muerp::net

@@ -1,0 +1,57 @@
+// Quantum channels and entanglement trees (paper §II-C, Definitions 1-4).
+//
+// A Channel is a width-1 path between two quantum users whose interior
+// vertices are switches; an EntanglementTree is a set of channels whose
+// user-level graph is a tree spanning the requested user set. Both carry
+// their analytic entanglement rates (Eq. 1 / Eq. 2).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace muerp::net {
+
+class QuantumNetwork;
+
+/// A quantum channel: the full vertex path user -> switches... -> user.
+struct Channel {
+  /// Vertex sequence; front() and back() are users, interior are switches.
+  std::vector<graph::NodeId> path;
+  /// Entanglement rate P_Lambda of Eq. (1).
+  double rate = 0.0;
+
+  graph::NodeId source() const noexcept { return path.front(); }
+  graph::NodeId destination() const noexcept { return path.back(); }
+  /// Channel distance l = number of quantum links (edges) on the path.
+  std::size_t link_count() const noexcept { return path.size() - 1; }
+  /// Number of intermediate switches (= number of BSM swaps performed).
+  std::size_t switch_count() const noexcept { return path.size() - 2; }
+};
+
+/// A solution to the MUERP instance: channels forming a spanning tree over
+/// the user set, plus the product rate of Eq. (2).
+struct EntanglementTree {
+  std::vector<Channel> channels;
+  /// Product of channel rates (Eq. 2); 0 when no valid tree was found.
+  double rate = 0.0;
+  /// True if `channels` spans the requested users. When false, `channels`
+  /// holds whatever partial progress was made (useful for diagnostics) and
+  /// `rate` is 0 — the paper's convention for infeasible instances (§V-A).
+  bool feasible = false;
+};
+
+/// Validation: checks that `tree` is a legal MUERP solution on `network` for
+/// user set `users` — every channel a real path of existing edges with
+/// switch-only interiors and user endpoints in `users`, the user-level graph
+/// a spanning tree, no switch relaying more than floor(Q/2) channels, and
+/// channel/tree rates consistent with Eqs. (1)/(2). Returns an empty string
+/// when valid, else a human-readable description of the first violation.
+std::string validate_tree(const QuantumNetwork& network,
+                          std::span<const graph::NodeId> users,
+                          const EntanglementTree& tree);
+
+}  // namespace muerp::net

@@ -1,0 +1,58 @@
+#include "network/network_builder.hpp"
+
+#include <cassert>
+
+#include "support/geometry.hpp"
+
+namespace muerp::net {
+
+QuantumNetwork assign_random_users(topology::SpatialGraph topology,
+                                   std::size_t user_count,
+                                   int qubits_per_switch,
+                                   PhysicalParams physical,
+                                   support::Rng& rng) {
+  const std::size_t n = topology.graph.node_count();
+  assert(user_count <= n);
+  assert(qubits_per_switch >= 0);
+
+  std::vector<NodeKind> kinds(n, NodeKind::kSwitch);
+  std::vector<int> qubits(n, qubits_per_switch);
+  for (std::size_t idx : rng.sample_indices(n, user_count)) {
+    kinds[idx] = NodeKind::kUser;
+  }
+  return QuantumNetwork(std::move(topology.graph),
+                        std::move(topology.positions), std::move(kinds),
+                        std::move(qubits), physical);
+}
+
+NodeId NetworkBuilder::add_user(support::Point2D position) {
+  const NodeId id = graph_.add_node();
+  positions_.push_back(position);
+  kinds_.push_back(NodeKind::kUser);
+  qubits_.push_back(0);
+  return id;
+}
+
+NodeId NetworkBuilder::add_switch(support::Point2D position, int qubits) {
+  assert(qubits >= 0);
+  const NodeId id = graph_.add_node();
+  positions_.push_back(position);
+  kinds_.push_back(NodeKind::kSwitch);
+  qubits_.push_back(qubits);
+  return id;
+}
+
+void NetworkBuilder::connect(NodeId a, NodeId b, double length_km) {
+  graph_.add_edge(a, b, length_km);
+}
+
+void NetworkBuilder::connect_euclidean(NodeId a, NodeId b) {
+  graph_.add_edge(a, b, support::distance(positions_[a], positions_[b]));
+}
+
+QuantumNetwork NetworkBuilder::build(PhysicalParams physical) && {
+  return QuantumNetwork(std::move(graph_), std::move(positions_),
+                        std::move(kinds_), std::move(qubits_), physical);
+}
+
+}  // namespace muerp::net

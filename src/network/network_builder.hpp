@@ -1,0 +1,53 @@
+// Assembles QuantumNetwork instances from generated topologies.
+//
+// The paper's setup (§V-A) places |R| switches and |U| users randomly in the
+// deployment area; topology generators produce an undifferentiated spatial
+// graph over |R| + |U| nodes, and the builder randomly designates which of
+// those nodes are the quantum users (the rest become switches with a uniform
+// qubit budget). A manual builder is also provided for tests and examples
+// that construct bespoke networks node by node.
+#pragma once
+
+#include <vector>
+
+#include "network/quantum_network.hpp"
+#include "support/rng.hpp"
+#include "topology/spatial_graph.hpp"
+
+namespace muerp::net {
+
+/// Randomly designates `user_count` of the topology's nodes as users, makes
+/// every other node a switch with `qubits_per_switch` qubits, and returns the
+/// assembled network. Requires user_count <= node_count.
+QuantumNetwork assign_random_users(topology::SpatialGraph topology,
+                                   std::size_t user_count,
+                                   int qubits_per_switch,
+                                   PhysicalParams physical,
+                                   support::Rng& rng);
+
+/// Incremental builder for hand-crafted networks (tests, examples, docs).
+class NetworkBuilder {
+ public:
+  /// Adds a quantum user at `position`; returns its node id.
+  NodeId add_user(support::Point2D position);
+
+  /// Adds a switch with `qubits` qubits at `position`; returns its node id.
+  NodeId add_switch(support::Point2D position, int qubits);
+
+  /// Connects two nodes with a fiber of explicit length.
+  void connect(NodeId a, NodeId b, double length_km);
+
+  /// Connects two nodes with a fiber of Euclidean length.
+  void connect_euclidean(NodeId a, NodeId b);
+
+  /// Finalizes the network. The builder is left in a moved-from state.
+  QuantumNetwork build(PhysicalParams physical) &&;
+
+ private:
+  graph::Graph graph_;
+  std::vector<support::Point2D> positions_;
+  std::vector<NodeKind> kinds_;
+  std::vector<int> qubits_;
+};
+
+}  // namespace muerp::net

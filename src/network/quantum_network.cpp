@@ -1,0 +1,71 @@
+#include "network/quantum_network.hpp"
+
+#include <limits>
+
+namespace muerp::net {
+
+QuantumNetwork::QuantumNetwork(graph::Graph topology,
+                               std::vector<support::Point2D> positions,
+                               std::vector<NodeKind> kinds,
+                               std::vector<int> qubits,
+                               PhysicalParams physical)
+    : graph_(std::move(topology)),
+      positions_(std::move(positions)),
+      kinds_(std::move(kinds)),
+      qubits_(std::move(qubits)),
+      physical_(physical) {
+  assert(kinds_.size() == graph_.node_count());
+  assert(qubits_.size() == graph_.node_count());
+  assert(positions_.size() == graph_.node_count());
+  assert(physical_.swap_success > 0.0 && physical_.swap_success <= 1.0);
+  assert(physical_.attenuation >= 0.0);
+  log_swap_ = std::log(physical_.swap_success);
+  for (NodeId v = 0; v < kinds_.size(); ++v) {
+    if (kinds_[v] == NodeKind::kUser) {
+      qubits_[v] = 0;  // normalized: user budgets are never consulted
+      users_.push_back(v);
+    } else {
+      assert(qubits_[v] >= 0);
+      switches_.push_back(v);
+    }
+  }
+}
+
+void QuantumNetwork::set_topology(graph::Graph pruned) {
+  assert(pruned.node_count() == graph_.node_count());
+  graph_ = std::move(pruned);
+}
+
+CapacityState::CapacityState(const QuantumNetwork& network)
+    : network_(&network), free_(network.node_count()) {
+  for (NodeId v = 0; v < free_.size(); ++v) {
+    free_[v] = network.qubits(v);
+  }
+}
+
+int CapacityState::free_qubits(NodeId v) const noexcept {
+  if (network_->is_user(v)) return std::numeric_limits<int>::max();
+  return free_[v];
+}
+
+void CapacityState::commit_channel(std::span<const NodeId> path) {
+  assert(path.size() >= 2);
+  for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+    const NodeId v = path[i];
+    assert(network_->is_switch(v) && "channel interiors must be switches");
+    assert(free_[v] >= 2 && "capacity violated at commit");
+    free_[v] -= 2;
+  }
+}
+
+void CapacityState::release_channel(std::span<const NodeId> path) {
+  assert(path.size() >= 2);
+  for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+    const NodeId v = path[i];
+    assert(network_->is_switch(v));
+    free_[v] += 2;
+    assert(free_[v] <= network_->qubits(v));
+  }
+}
+
+}  // namespace muerp::net

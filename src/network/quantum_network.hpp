@@ -1,0 +1,129 @@
+// The quantum Internet model of paper §II.
+//
+// A QuantumNetwork couples a physical topology (graph + fiber lengths) with
+// the quantum-specific state: which vertices are users vs. switches, each
+// switch's qubit budget Q_r, the fiber attenuation constant alpha (so a link
+// over a fiber of length L succeeds with p = exp(-alpha * L)), and the
+// uniform BSM swap success probability q. The network itself is immutable
+// during routing; the mutable residual-qubit bookkeeping that Algorithms 3/4
+// need lives in the separate CapacityState so that a routing attempt never
+// corrupts the network and failed attempts can simply discard their state.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/geometry.hpp"
+
+namespace muerp::net {
+
+using graph::EdgeId;
+using graph::NodeId;
+
+enum class NodeKind : std::uint8_t {
+  kUser,    // quantum processor with "enough quantum memory" (§II-A)
+  kSwitch,  // BSM relay with a finite qubit budget
+};
+
+/// Physical constants of the model (§II-A / §V-A defaults).
+struct PhysicalParams {
+  /// Fiber attenuation constant alpha in 1/km; p = exp(-alpha * L).
+  double attenuation = 1e-4;
+  /// Uniform BSM entanglement-swapping success probability q in [0, 1].
+  double swap_success = 0.9;
+};
+
+class QuantumNetwork {
+ public:
+  /// Builds a network over `topology`. `kinds` and `qubits` are indexed by
+  /// node id; `qubits[v]` is ignored for users (assumed sufficient, §II-A).
+  QuantumNetwork(graph::Graph topology,
+                 std::vector<support::Point2D> positions,
+                 std::vector<NodeKind> kinds, std::vector<int> qubits,
+                 PhysicalParams physical);
+
+  const graph::Graph& graph() const noexcept { return graph_; }
+  const PhysicalParams& physical() const noexcept { return physical_; }
+  std::span<const support::Point2D> positions() const noexcept {
+    return positions_;
+  }
+
+  std::size_t node_count() const noexcept { return kinds_.size(); }
+  NodeKind kind(NodeId v) const noexcept { return kinds_[v]; }
+  bool is_user(NodeId v) const noexcept { return kinds_[v] == NodeKind::kUser; }
+  bool is_switch(NodeId v) const noexcept {
+    return kinds_[v] == NodeKind::kSwitch;
+  }
+
+  /// All user ids in ascending order.
+  std::span<const NodeId> users() const noexcept { return users_; }
+  /// All switch ids in ascending order.
+  std::span<const NodeId> switches() const noexcept { return switches_; }
+
+  /// Initial qubit budget Q_v of a switch (0 for users; users are treated as
+  /// capacity-unbounded everywhere else in the library).
+  int qubits(NodeId v) const noexcept { return qubits_[v]; }
+
+  /// Max channels through switch v: floor(Q_v / 2) (paper Def. 3).
+  int channel_capacity(NodeId v) const noexcept { return qubits_[v] / 2; }
+
+  /// Per-link entanglement success probability p = exp(-alpha * L) (§II-A).
+  double link_success(EdgeId e) const noexcept {
+    return std::exp(-physical_.attenuation * graph_.edge(e).length_km);
+  }
+
+  /// Negative-log "length" of an edge for max-rate routing:
+  /// alpha * L - ln(q)  (Algorithm 1, Line 12).
+  double edge_routing_weight(EdgeId e) const noexcept {
+    return physical_.attenuation * graph_.edge(e).length_km - log_swap_;
+  }
+
+  /// ln(q); cached because Algorithm 1 divides one swap factor back out.
+  double log_swap_success() const noexcept { return log_swap_; }
+
+  /// Replaces the topology with `pruned`, which must have the same node set
+  /// (used by the Fig. 7(b) edge-removal experiment).
+  void set_topology(graph::Graph pruned);
+
+ private:
+  graph::Graph graph_;
+  std::vector<support::Point2D> positions_;
+  std::vector<NodeKind> kinds_;
+  std::vector<int> qubits_;
+  std::vector<NodeId> users_;
+  std::vector<NodeId> switches_;
+  PhysicalParams physical_;
+  double log_swap_ = 0.0;
+};
+
+/// Mutable residual-qubit tracker used while channels are being committed.
+/// Users are unbounded (§II-A: "sufficient capacity"); switches start at Q_v
+/// and lose 2 qubits per committed channel that relays through them.
+class CapacityState {
+ public:
+  explicit CapacityState(const QuantumNetwork& network);
+
+  /// Free qubits at v; users report a large sentinel (never exhausted).
+  int free_qubits(NodeId v) const noexcept;
+
+  /// True if v can relay one more channel (>= 2 free qubits, or a user —
+  /// although channels never relay through users, endpoints call this too).
+  bool can_relay(NodeId v) const noexcept { return free_qubits(v) >= 2; }
+
+  /// Deducts 2 qubits at every *interior* vertex of `path` (endpoints are
+  /// users and unbounded). Asserts the deduction is legal.
+  void commit_channel(std::span<const NodeId> path);
+
+  /// Reverses commit_channel for the same path.
+  void release_channel(std::span<const NodeId> path);
+
+ private:
+  const QuantumNetwork* network_;
+  std::vector<int> free_;
+};
+
+}  // namespace muerp::net

@@ -1,0 +1,42 @@
+#include "network/rate.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "network/channel.hpp"
+#include "network/quantum_network.hpp"
+
+namespace muerp::net {
+
+double channel_rate(const QuantumNetwork& network,
+                    std::span<const graph::NodeId> path) {
+  return std::exp(-channel_neg_log_rate(network, path));
+}
+
+double channel_neg_log_rate(const QuantumNetwork& network,
+                            std::span<const graph::NodeId> path) {
+  assert(path.size() >= 2);
+  double total_length = 0.0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const auto edge = network.graph().find_edge(path[i], path[i + 1]);
+    assert(edge && "path vertices must be adjacent");
+    total_length += network.graph().edge(*edge).length_km;
+  }
+  const auto swaps = static_cast<double>(path.size() - 2);  // l - 1
+  return network.physical().attenuation * total_length -
+         swaps * network.log_swap_success();
+}
+
+double tree_rate(std::span<const Channel> channels) noexcept {
+  double rate = 1.0;
+  for (const Channel& c : channels) rate *= c.rate;
+  return rate;
+}
+
+double rate_from_routing_distance(double distance,
+                                  double swap_success) noexcept {
+  assert(swap_success > 0.0);
+  return std::exp(-distance) / swap_success;
+}
+
+}  // namespace muerp::net

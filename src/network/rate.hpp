@@ -1,0 +1,42 @@
+// Entanglement-rate mathematics (paper Eq. 1 and Eq. 2).
+//
+// Eq. (1):  P_Lambda = q^(l-1) * exp(-alpha * sum(L_i))  for a channel with
+//           l quantum links (l-1 interior switches each performing one BSM).
+// Eq. (2):  P = product of P_Lambda over the tree's channels.
+//
+// Rates multiply across many channels and can span hundreds of decades on
+// large instances, so the routing algorithms work in negative-log space; the
+// helpers here convert both ways and evaluate the closed forms directly from
+// a vertex path.
+#pragma once
+
+#include <span>
+
+#include "graph/graph.hpp"
+
+namespace muerp::net {
+
+class QuantumNetwork;
+struct Channel;
+
+/// Eq. (1) evaluated over an explicit vertex path on `network`.
+/// Requires: path.size() >= 2 and consecutive vertices adjacent.
+double channel_rate(const QuantumNetwork& network,
+                    std::span<const graph::NodeId> path);
+
+/// Negative log of Eq. (1) for the same path: alpha*sum(L) - (l-1)*ln(q).
+double channel_neg_log_rate(const QuantumNetwork& network,
+                            std::span<const graph::NodeId> path);
+
+/// Eq. (2): product of the channels' stored rates.
+double tree_rate(std::span<const Channel> channels) noexcept;
+
+/// Converts the Dijkstra distance accumulated with edge weights
+/// (alpha*L - ln q) back into the Eq. (1) rate:
+///     rate = exp(-distance) / q
+/// — the distance counts one swap factor per *edge* but a channel with l
+/// edges performs only l-1 swaps, so one factor of q is divided back out
+/// (Algorithm 1, Line 27).
+double rate_from_routing_distance(double distance, double swap_success) noexcept;
+
+}  // namespace muerp::net

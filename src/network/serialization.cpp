@@ -1,0 +1,178 @@
+#include "network/serialization.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace muerp::net {
+
+namespace {
+
+constexpr int kFormatVersion = 1;
+
+std::string err(const std::string& message) { return message; }
+
+}  // namespace
+
+void save_network(const QuantumNetwork& network, std::ostream& out) {
+  out.precision(17);  // round-trip doubles exactly
+  out << "muerp-network " << kFormatVersion << '\n';
+  out << "physical " << network.physical().attenuation << ' '
+      << network.physical().swap_success << '\n';
+  out << "nodes " << network.node_count() << '\n';
+  for (NodeId v = 0; v < network.node_count(); ++v) {
+    const auto& p = network.positions()[v];
+    if (network.is_user(v)) {
+      out << "user " << v << ' ' << p.x << ' ' << p.y << '\n';
+    } else {
+      out << "switch " << v << ' ' << p.x << ' ' << p.y << ' '
+          << network.qubits(v) << '\n';
+    }
+  }
+  out << "edges " << network.graph().edge_count() << '\n';
+  for (const auto& e : network.graph().edges()) {
+    out << "edge " << e.a << ' ' << e.b << ' ' << e.length_km << '\n';
+  }
+}
+
+LoadResult load_network(std::istream& in) {
+  std::string keyword;
+  int version = 0;
+  if (!(in >> keyword >> version) || keyword != "muerp-network") {
+    return err("missing 'muerp-network <version>' header");
+  }
+  if (version != kFormatVersion) {
+    return err("unsupported format version " + std::to_string(version));
+  }
+
+  PhysicalParams physical;
+  if (!(in >> keyword >> physical.attenuation >> physical.swap_success) ||
+      keyword != "physical") {
+    return err("missing 'physical <attenuation> <swap_success>' line");
+  }
+  if (physical.swap_success <= 0.0 || physical.swap_success > 1.0) {
+    return err("swap_success must be in (0, 1]");
+  }
+  if (physical.attenuation < 0.0) {
+    return err("attenuation must be non-negative");
+  }
+
+  std::size_t node_count = 0;
+  if (!(in >> keyword >> node_count) || keyword != "nodes") {
+    return err("missing 'nodes <count>' line");
+  }
+
+  std::vector<support::Point2D> positions(node_count);
+  std::vector<NodeKind> kinds(node_count, NodeKind::kUser);
+  std::vector<int> qubits(node_count, 0);
+  std::vector<bool> seen(node_count, false);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    NodeId id = 0;
+    if (!(in >> keyword >> id)) return err("truncated node list");
+    if (id >= node_count) {
+      return err("node id " + std::to_string(id) + " out of range");
+    }
+    if (seen[id]) return err("duplicate node id " + std::to_string(id));
+    seen[id] = true;
+    if (keyword == "user") {
+      if (!(in >> positions[id].x >> positions[id].y)) {
+        return err("bad user line for id " + std::to_string(id));
+      }
+      kinds[id] = NodeKind::kUser;
+    } else if (keyword == "switch") {
+      if (!(in >> positions[id].x >> positions[id].y >> qubits[id])) {
+        return err("bad switch line for id " + std::to_string(id));
+      }
+      if (qubits[id] < 0) return err("negative qubit budget");
+      kinds[id] = NodeKind::kSwitch;
+    } else {
+      return err("expected 'user' or 'switch', got '" + keyword + "'");
+    }
+  }
+
+  std::size_t edge_count = 0;
+  if (!(in >> keyword >> edge_count) || keyword != "edges") {
+    return err("missing 'edges <count>' line");
+  }
+  graph::Graph g(node_count);
+  for (std::size_t i = 0; i < edge_count; ++i) {
+    NodeId a = 0;
+    NodeId b = 0;
+    double length = 0.0;
+    if (!(in >> keyword >> a >> b >> length) || keyword != "edge") {
+      return err("truncated edge list");
+    }
+    if (a >= node_count || b >= node_count) return err("edge endpoint out of range");
+    if (a == b) return err("self-loop edge");
+    if (length < 0.0) return err("negative edge length");
+    if (g.has_edge(a, b)) return err("duplicate edge");
+    g.add_edge(a, b, length);
+  }
+
+  return QuantumNetwork(std::move(g), std::move(positions), std::move(kinds),
+                        std::move(qubits), physical);
+}
+
+bool save_network_file(const QuantumNetwork& network,
+                       const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  save_network(network, out);
+  return static_cast<bool>(out);
+}
+
+LoadResult load_network_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::string("cannot open " + path);
+  return load_network(in);
+}
+
+std::string to_dot(const QuantumNetwork& network,
+                   const EntanglementTree* tree) {
+  // Channel edges (by endpoint pair) -> channel index, for colouring.
+  std::map<std::pair<NodeId, NodeId>, std::size_t> channel_edges;
+  if (tree) {
+    for (std::size_t c = 0; c < tree->channels.size(); ++c) {
+      const auto& path = tree->channels[c].path;
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        const NodeId lo = std::min(path[i], path[i + 1]);
+        const NodeId hi = std::max(path[i], path[i + 1]);
+        channel_edges[{lo, hi}] = c;
+      }
+    }
+  }
+  static constexpr const char* kPalette[] = {
+      "firebrick", "royalblue", "forestgreen", "darkorange",
+      "purple",    "teal",      "deeppink",    "saddlebrown"};
+
+  std::ostringstream os;
+  os << "graph muerp {\n  overlap=false;\n";
+  for (NodeId v = 0; v < network.node_count(); ++v) {
+    const auto& p = network.positions()[v];
+    os << "  n" << v << " [pos=\"" << p.x << ',' << p.y << "!\"";
+    if (network.is_user(v)) {
+      os << ", shape=ellipse, style=filled, fillcolor=lightyellow, label=\"u"
+         << v << "\"";
+    } else {
+      os << ", shape=box, label=\"s" << v << "\\nQ=" << network.qubits(v)
+         << "\"";
+    }
+    os << "];\n";
+  }
+  for (const auto& e : network.graph().edges()) {
+    os << "  n" << e.a << " -- n" << e.b;
+    const auto it = channel_edges.find({e.a, e.b});
+    if (it != channel_edges.end()) {
+      os << " [penwidth=2.5, color=" << kPalette[it->second % 8] << "]";
+    } else {
+      os << " [color=gray70]";
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace muerp::net

@@ -1,0 +1,51 @@
+// Network serialization: a versioned text format for QuantumNetwork and
+// Graphviz DOT export for visualization.
+//
+// The text format lets experiments be frozen to disk and reloaded (e.g. to
+// share a failing instance in a bug report, or to re-run a sweep on the
+// exact networks of a published run):
+//
+//   muerp-network 1
+//   physical <attenuation> <swap_success>
+//   nodes <count>
+//   user <id> <x> <y>
+//   switch <id> <x> <y> <qubits>
+//   edges <count>
+//   edge <a> <b> <length_km>
+//
+// Node lines must cover ids 0..count-1 (any order); parsing is strict and
+// returns a descriptive error instead of a partially populated network.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
+#include <variant>
+
+#include "network/channel.hpp"
+#include "network/quantum_network.hpp"
+
+namespace muerp::net {
+
+/// Writes the versioned text format.
+void save_network(const QuantumNetwork& network, std::ostream& out);
+
+/// Result of load_network: the network, or a parse error message.
+using LoadResult = std::variant<QuantumNetwork, std::string>;
+
+/// Parses the text format; returns an error string on any violation
+/// (bad header, duplicate/missing ids, dangling edges, bad numbers).
+LoadResult load_network(std::istream& in);
+
+/// Convenience wrappers over files. Save returns false on I/O failure.
+bool save_network_file(const QuantumNetwork& network, const std::string& path);
+LoadResult load_network_file(const std::string& path);
+
+/// Graphviz DOT rendering of the network; users are ellipses, switches are
+/// boxes labelled with their qubit budget. If `tree` is non-null its
+/// channels are overlaid as coloured edges (one colour per channel).
+std::string to_dot(const QuantumNetwork& network,
+                   const EntanglementTree* tree = nullptr);
+
+}  // namespace muerp::net

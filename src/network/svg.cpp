@@ -1,0 +1,117 @@
+#include "network/svg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+namespace muerp::net {
+
+namespace {
+
+constexpr const char* kChannelPalette[] = {
+    "#c0392b", "#2980b9", "#27ae60", "#e67e22",
+    "#8e44ad", "#16a085", "#d81b60", "#795548"};
+
+struct Mapper {
+  double scale;
+  double offset_x;
+  double offset_y;
+  double min_x;
+  double min_y;
+
+  double x(double world_x) const { return offset_x + (world_x - min_x) * scale; }
+  double y(double world_y) const { return offset_y + (world_y - min_y) * scale; }
+};
+
+Mapper fit(const QuantumNetwork& network, const SvgOptions& options) {
+  double min_x = 0.0;
+  double max_x = 1.0;
+  double min_y = 0.0;
+  double max_y = 1.0;
+  if (network.node_count() > 0) {
+    min_x = max_x = network.positions()[0].x;
+    min_y = max_y = network.positions()[0].y;
+    for (const auto& p : network.positions()) {
+      min_x = std::min(min_x, p.x);
+      max_x = std::max(max_x, p.x);
+      min_y = std::min(min_y, p.y);
+      max_y = std::max(max_y, p.y);
+    }
+  }
+  const double span_x = std::max(max_x - min_x, 1e-9);
+  const double span_y = std::max(max_y - min_y, 1e-9);
+  const double usable_w = options.width_px - 2.0 * options.margin_px;
+  const double usable_h = options.height_px - 2.0 * options.margin_px;
+  const double scale = std::min(usable_w / span_x, usable_h / span_y);
+  return {scale, options.margin_px, options.margin_px, min_x, min_y};
+}
+
+}  // namespace
+
+std::string to_svg(const QuantumNetwork& network,
+                   const EntanglementTree* tree, const SvgOptions& options) {
+  const Mapper m = fit(network, options);
+
+  // Channel-coloured fibers.
+  std::map<std::pair<NodeId, NodeId>, std::size_t> channel_edges;
+  if (tree) {
+    for (std::size_t c = 0; c < tree->channels.size(); ++c) {
+      const auto& path = tree->channels[c].path;
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        const NodeId lo = std::min(path[i], path[i + 1]);
+        const NodeId hi = std::max(path[i], path[i + 1]);
+        channel_edges[{lo, hi}] = c;
+      }
+    }
+  }
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\""
+      << options.width_px << "\" height=\"" << options.height_px
+      << "\" viewBox=\"0 0 " << options.width_px << ' ' << options.height_px
+      << "\">\n";
+  svg << "  <rect width=\"100%\" height=\"100%\" fill=\"#fbfaf7\"/>\n";
+
+  // Fibers first (under the nodes).
+  for (const auto& e : network.graph().edges()) {
+    const auto& pa = network.positions()[e.a];
+    const auto& pb = network.positions()[e.b];
+    const auto it = channel_edges.find({e.a, e.b});
+    svg << "  <line x1=\"" << m.x(pa.x) << "\" y1=\"" << m.y(pa.y)
+        << "\" x2=\"" << m.x(pb.x) << "\" y2=\"" << m.y(pb.y) << "\" stroke=\"";
+    if (it != channel_edges.end()) {
+      svg << kChannelPalette[it->second % 8] << "\" stroke-width=\"3\"";
+    } else {
+      svg << "#c9c4ba\" stroke-width=\"1.2\"";
+    }
+    svg << "/>\n";
+  }
+
+  // Nodes.
+  const double r = options.node_radius_px;
+  for (NodeId v = 0; v < network.node_count(); ++v) {
+    const auto& p = network.positions()[v];
+    const double cx = m.x(p.x);
+    const double cy = m.y(p.y);
+    if (network.is_user(v)) {
+      svg << "  <circle cx=\"" << cx << "\" cy=\"" << cy << "\" r=\"" << r
+          << "\" fill=\"#d4a017\" stroke=\"#6b5107\" stroke-width=\"1.5\"/>\n";
+    } else {
+      svg << "  <rect x=\"" << cx - r << "\" y=\"" << cy - r << "\" width=\""
+          << 2 * r << "\" height=\"" << 2 * r
+          << "\" fill=\"#eceae5\" stroke=\"#5a5a5a\" stroke-width=\"1.2\"/>\n";
+    }
+    if (options.label_nodes) {
+      svg << "  <text x=\"" << cx + r + 2 << "\" y=\"" << cy + 4
+          << "\" font-size=\"10\" font-family=\"sans-serif\" fill=\"#444\">"
+          << (network.is_user(v) ? "u" : "s") << v;
+      if (network.is_switch(v)) svg << ":" << network.qubits(v);
+      svg << "</text>\n";
+    }
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+}  // namespace muerp::net

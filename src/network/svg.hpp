@@ -1,0 +1,33 @@
+// Self-contained SVG rendering of networks and routed plans.
+//
+// DOT export (serialization.hpp) needs Graphviz to rasterize; the SVG
+// renderer produces a finished vector image directly: fibers in grey,
+// switches as squares scaled/labelled by qubit budget, users as filled
+// circles, and — when a tree is supplied — each channel's fibers stroked in
+// its own colour with the user endpoints emphasized. Coordinates are the
+// network's own kilometre positions, mapped into the requested canvas with
+// a margin.
+#pragma once
+
+#include <string>
+
+#include "network/channel.hpp"
+#include "network/quantum_network.hpp"
+
+namespace muerp::net {
+
+struct SvgOptions {
+  double width_px = 900.0;
+  double height_px = 900.0;
+  double margin_px = 40.0;
+  /// Node glyph radius in pixels.
+  double node_radius_px = 7.0;
+  bool label_nodes = true;
+};
+
+/// Renders the network (and optionally a routed tree) as an SVG document.
+std::string to_svg(const QuantumNetwork& network,
+                   const EntanglementTree* tree = nullptr,
+                   const SvgOptions& options = {});
+
+}  // namespace muerp::net

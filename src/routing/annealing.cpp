@@ -1,0 +1,113 @@
+#include "routing/annealing.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "network/rate.hpp"
+#include "routing/k_shortest.hpp"
+#include "routing/plan.hpp"
+#include "support/union_find.hpp"
+
+namespace muerp::routing {
+
+namespace {
+
+/// Users on each side after deleting channel `removed`; side[i] in {0, 1}.
+std::vector<int> split_sides(
+    std::span<const net::NodeId> users,
+    const std::unordered_map<net::NodeId, std::size_t>& index,
+    const std::vector<net::Channel>& channels, std::size_t removed) {
+  support::UnionFind uf(users.size());
+  for (std::size_t c = 0; c < channels.size(); ++c) {
+    if (c == removed) continue;
+    uf.unite(index.at(channels[c].source()),
+             index.at(channels[c].destination()));
+  }
+  const std::size_t anchor = uf.find(index.at(channels[removed].source()));
+  std::vector<int> side(users.size());
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    side[i] = uf.find(i) == anchor ? 0 : 1;
+  }
+  return side;
+}
+
+}  // namespace
+
+AnnealingStats anneal_tree(const net::QuantumNetwork& network,
+                           std::span<const net::NodeId> users,
+                           net::EntanglementTree& tree,
+                           const AnnealingParams& params, support::Rng& rng) {
+  AnnealingStats stats;
+  if (!tree.feasible || tree.channels.empty()) return stats;
+  assert(params.cooling > 0.0 && params.cooling <= 1.0);
+
+  std::unordered_map<net::NodeId, std::size_t> index;
+  for (std::size_t i = 0; i < users.size(); ++i) index[users[i]] = i;
+
+  net::CapacityState capacity(network);
+  for (const net::Channel& ch : tree.channels) {
+    capacity.commit_channel(ch.path);
+  }
+
+  net::EntanglementTree best = tree;
+  double current_log = std::log(tree.rate);
+  double best_log = current_log;
+  double temperature = params.initial_temperature;
+
+  for (std::uint32_t it = 0; it < params.iterations; ++it) {
+    temperature *= params.cooling;
+    const auto victim =
+        static_cast<std::size_t>(rng.uniform_index(tree.channels.size()));
+    const net::Channel old_channel = tree.channels[victim];
+    capacity.release_channel(old_channel.path);
+    const auto side = split_sides(users, index, tree.channels, victim);
+
+    // Propose: a random cross-side pair, one of its k best channels.
+    std::vector<net::NodeId> left;
+    std::vector<net::NodeId> right;
+    for (std::size_t i = 0; i < users.size(); ++i) {
+      (side[i] == 0 ? left : right).push_back(users[i]);
+    }
+    const net::NodeId a = left[rng.uniform_index(left.size())];
+    const net::NodeId b = right[rng.uniform_index(right.size())];
+    const auto candidates =
+        k_best_channels(network, a, b, capacity, params.k_candidates);
+
+    bool moved = false;
+    if (!candidates.empty()) {
+      ++stats.proposals;
+      const auto& proposal =
+          candidates[rng.uniform_index(candidates.size())];
+      const double candidate_log = current_log -
+                                   std::log(old_channel.rate) +
+                                   std::log(proposal.rate);
+      const double delta = candidate_log - current_log;
+      if (delta >= 0.0 ||
+          rng.uniform() < std::exp(delta / std::max(temperature, 1e-9))) {
+        ++stats.accepted;
+        tree.channels[victim] = proposal;
+        capacity.commit_channel(proposal.path);
+        current_log = candidate_log;
+        moved = true;
+        if (current_log > best_log + 1e-15) {
+          best_log = current_log;
+          tree.rate = net::tree_rate(tree.channels);
+          best = tree;
+          ++stats.improved_best;
+        }
+      }
+    }
+    if (!moved) {
+      capacity.commit_channel(old_channel.path);  // revert the release
+    }
+  }
+
+  tree = std::move(best);
+  tree.rate = net::tree_rate(tree.channels);
+  assert(channels_span_users(users, tree.channels));
+  return stats;
+}
+
+}  // namespace muerp::routing

@@ -1,0 +1,61 @@
+// Backup channels: resilience against fiber failures.
+//
+// A routed entanglement tree is brittle — the §V-7(b) experiment shows the
+// outcome riding on a few critical fibers. Borrowing Q-CAST's recovery-path
+// idea and lifting it to the multi-user setting, this module provisions,
+// for each primary channel of a committed tree, a *backup* channel between
+// the same user pair that is link-disjoint from its primary (no shared
+// fiber, so no single fiber failure kills both) and fits the switch
+// capacity left over after the whole tree plus earlier backups committed.
+// Backups are optional per channel: when the residual network cannot offer
+// a disjoint alternative the primary simply stays unprotected.
+//
+// The failure simulator in simulation/failure.* quantifies the payoff.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "network/channel.hpp"
+#include "network/quantum_network.hpp"
+
+namespace muerp::routing {
+
+struct BackupPlan {
+  /// backups[i] protects tree.channels[i]; nullopt = unprotected.
+  std::vector<std::optional<net::Channel>> backups;
+  std::size_t protected_channels = 0;
+};
+
+/// Provisions link-disjoint backups for every channel of `tree` under the
+/// capacity remaining after the tree itself (and earlier backups) commit.
+/// `tree` must be feasible on `network`.
+BackupPlan plan_backups(const net::QuantumNetwork& network,
+                        const net::EntanglementTree& tree);
+
+/// Best channel between the endpoints of `primary` sharing no fiber with
+/// it, under `capacity`; nullopt when none exists. Exposed for tests.
+std::optional<net::Channel> find_disjoint_backup(
+    const net::QuantumNetwork& network, const net::Channel& primary,
+    const net::CapacityState& capacity);
+
+/// Jointly protected tree: re-plans each user pair of `tree` as a
+/// Suurballe node-disjoint channel *pair* (disjoint_pair.hpp) where capacity
+/// allows, keeping the original primary where it does not. The joint pair
+/// maximizes rate1*rate2, so against failures it strictly dominates greedy
+/// primary-then-backup whenever the greedy primary blocks all complements;
+/// the resulting primaries may individually be slightly slower than the
+/// tree's originals — `protected_rate` reports the new Eq. (2) product of
+/// the (new) primaries. Pairs are planned best-channel-first against one
+/// shared capacity pool.
+struct JointProtection {
+  /// New primary tree (same user-pair structure as the input tree).
+  net::EntanglementTree tree;
+  BackupPlan backups;
+  double protected_rate = 0.0;  // == tree.rate
+};
+JointProtection plan_joint_protection(const net::QuantumNetwork& network,
+                                      const net::EntanglementTree& tree);
+
+}  // namespace muerp::routing

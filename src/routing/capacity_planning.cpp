@@ -1,0 +1,71 @@
+#include "routing/capacity_planning.hpp"
+
+#include <cassert>
+#include <vector>
+
+#include "routing/conflict_free.hpp"
+
+namespace muerp::routing {
+
+namespace {
+
+/// Copy of `network` with every switch budget replaced by `qubits`.
+net::QuantumNetwork with_budget(const net::QuantumNetwork& network,
+                                int qubits) {
+  std::vector<net::NodeKind> kinds(network.node_count());
+  std::vector<int> budget(network.node_count());
+  std::vector<support::Point2D> positions(network.positions().begin(),
+                                          network.positions().end());
+  for (net::NodeId v = 0; v < network.node_count(); ++v) {
+    kinds[v] = network.kind(v);
+    budget[v] = network.is_switch(v) ? qubits : 0;
+  }
+  return net::QuantumNetwork(network.graph(), std::move(positions),
+                             std::move(kinds), std::move(budget),
+                             network.physical());
+}
+
+bool meets_goal(const net::EntanglementTree& tree, double min_rate) {
+  return tree.feasible && tree.rate >= min_rate;
+}
+
+}  // namespace
+
+std::optional<PlanningResult> min_uniform_qubits(
+    const net::QuantumNetwork& network, std::span<const net::NodeId> users,
+    double min_rate, int max_qubits) {
+  assert(max_qubits >= 0);
+  // Check the ceiling first; if even max_qubits fails, no budget in range
+  // will do (Algorithm 3 under a uniform budget is monotone in practice;
+  // the binary search below assumes it).
+  {
+    const auto ceiling = with_budget(network, max_qubits);
+    const auto tree = conflict_free(ceiling, users);
+    if (!meets_goal(tree, min_rate)) return std::nullopt;
+  }
+
+  int lo = 0;        // known-failing (or untested floor)
+  int hi = max_qubits;  // known-succeeding
+  PlanningResult result;
+  result.qubits_per_switch = max_qubits;
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    const auto candidate = with_budget(network, mid);
+    const auto tree = conflict_free(candidate, users);
+    if (meets_goal(tree, min_rate)) {
+      hi = mid;
+      result.qubits_per_switch = mid;
+      result.tree = tree;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  if (result.tree.channels.empty() && !result.tree.feasible) {
+    // Loop converged on the ceiling without storing its tree; recompute.
+    const auto candidate = with_budget(network, result.qubits_per_switch);
+    result.tree = conflict_free(candidate, users);
+  }
+  return result;
+}
+
+}  // namespace muerp::routing

@@ -1,0 +1,43 @@
+// Capacity planning: the inverse routing problem.
+//
+// Routing asks "given switch budgets, what rate?"; operators ask the
+// inverse: "what is the smallest uniform qubit budget Q such that the
+// request is served (optionally at a target rate)?". Because a *uniform*
+// budget increase never hurts Algorithm 3 (more capacity only widens its
+// channel choices in both phases — monotonicity the planner's tests
+// verify empirically), binary search over Q answers this in
+// O(log Q_max) routing calls.
+//
+// Deliberately scoped to uniform budgets: per-switch sizing is a knapsack-
+// hard design problem; the uniform answer is the standard first-cut an
+// operator multiplies out, and the network_planning example shows it in
+// context.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "network/channel.hpp"
+#include "network/quantum_network.hpp"
+
+namespace muerp::routing {
+
+struct PlanningResult {
+  /// Smallest uniform qubits-per-switch meeting the goal.
+  int qubits_per_switch = 0;
+  /// The tree Algorithm 3 finds at that budget.
+  net::EntanglementTree tree;
+};
+
+/// Smallest uniform Q in [0, max_qubits] such that Algorithm 3 serves
+/// `users` with rate >= min_rate (min_rate = 0 means "feasible at all").
+/// nullopt when even max_qubits does not suffice.
+///
+/// Note: Algorithm 3 is a heuristic, so the returned Q is the smallest
+/// budget at which *the heuristic* succeeds — an upper bound on the true
+/// minimal budget (tight in practice; see bench/optimality_gap).
+std::optional<PlanningResult> min_uniform_qubits(
+    const net::QuantumNetwork& network, std::span<const net::NodeId> users,
+    double min_rate = 0.0, int max_qubits = 64);
+
+}  // namespace muerp::routing

@@ -1,0 +1,99 @@
+#include "routing/channel_finder.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+
+#include "network/rate.hpp"
+
+namespace muerp::routing {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+void ChannelFinder::run_dijkstra(net::NodeId source,
+                                 const net::CapacityState& capacity,
+                                 std::vector<double>& dist,
+                                 std::vector<graph::EdgeId>& parent) const {
+  const auto& g = network_->graph();
+  dist.assign(g.node_count(), kInf);
+  parent.assign(g.node_count(), graph::kInvalidEdge);
+  dist[source] = 0.0;
+
+  using Entry = std::pair<double, net::NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  heap.emplace(0.0, source);
+
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[v]) continue;  // stale heap entry
+    // Only the source user and switches with >= 2 free qubits may relay
+    // (Def. 2 + Algorithm 1 Line 11); other users are reachable endpoints.
+    if (v != source &&
+        (!network_->is_switch(v) || capacity.free_qubits(v) < 2)) {
+      continue;
+    }
+    for (const graph::Neighbor& nb : g.neighbors(v)) {
+      const double w = network_->edge_routing_weight(nb.edge);
+      const double candidate = d + w;
+      if (candidate < dist[nb.node]) {
+        dist[nb.node] = candidate;
+        parent[nb.node] = nb.edge;
+        heap.emplace(candidate, nb.node);
+      }
+    }
+  }
+}
+
+std::optional<net::Channel> ChannelFinder::extract_channel(
+    net::NodeId source, net::NodeId destination,
+    const std::vector<double>& dist,
+    const std::vector<graph::EdgeId>& parent) const {
+  if (dist[destination] == kInf) return std::nullopt;
+  net::Channel channel;
+  channel.rate = net::rate_from_routing_distance(
+      dist[destination], network_->physical().swap_success);
+  net::NodeId cursor = destination;
+  channel.path.push_back(cursor);
+  while (cursor != source) {
+    const graph::EdgeId via = parent[cursor];
+    assert(via != graph::kInvalidEdge);
+    cursor = network_->graph().edge(via).other(cursor);
+    channel.path.push_back(cursor);
+  }
+  std::reverse(channel.path.begin(), channel.path.end());
+  return channel;
+}
+
+std::optional<net::Channel> ChannelFinder::find_best_channel(
+    net::NodeId source, net::NodeId destination,
+    const net::CapacityState& capacity) const {
+  assert(network_->is_user(source) && network_->is_user(destination));
+  assert(source != destination);
+  std::vector<double> dist;
+  std::vector<graph::EdgeId> parent;
+  run_dijkstra(source, capacity, dist, parent);
+  return extract_channel(source, destination, dist, parent);
+}
+
+std::vector<net::Channel> ChannelFinder::find_best_channels(
+    net::NodeId source, const net::CapacityState& capacity) const {
+  assert(network_->is_user(source));
+  std::vector<double> dist;
+  std::vector<graph::EdgeId> parent;
+  run_dijkstra(source, capacity, dist, parent);
+
+  std::vector<net::Channel> channels;
+  for (net::NodeId user : network_->users()) {
+    if (user == source) continue;
+    if (auto channel = extract_channel(source, user, dist, parent)) {
+      channels.push_back(std::move(*channel));
+    }
+  }
+  return channels;
+}
+
+}  // namespace muerp::routing

@@ -1,0 +1,61 @@
+// Algorithm 1 of the paper: maximum-entanglement-rate quantum channel.
+//
+// Eq. (1) is a product, not a sum, so classical shortest-path algorithms do
+// not apply directly (§IV-A). Taking negative logarithms turns the product
+// into a sum: each edge gets weight  w(e) = alpha * L(e) - ln(q)  >= 0, and
+// a Dijkstra run minimizes the accumulated weight. A channel with l edges
+// performs only l-1 swaps while the weight counts l swap factors, so the
+// final rate divides one factor of q back out (Line 27 of Algorithm 1):
+//     RATE = exp(-Dist) / q.
+//
+// Capacity awareness (Line 11): a vertex may relay a channel only if it is a
+// switch with at least 2 free qubits; other quantum users may terminate a
+// channel but never sit in its interior (Def. 2). The finder therefore takes
+// a CapacityState — Algorithms 3 and 4 re-run it under residual capacities.
+//
+// A single run from a source user yields best channels to *all* users (the
+// complexity optimization of §IV-B), which find_best_channels exposes.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "network/channel.hpp"
+#include "network/quantum_network.hpp"
+
+namespace muerp::routing {
+
+class ChannelFinder {
+ public:
+  explicit ChannelFinder(const net::QuantumNetwork& network)
+      : network_(&network) {}
+
+  /// Best channel from `source` to `destination` under `capacity`;
+  /// nullopt when no capacity-respecting channel exists (Line 19).
+  std::optional<net::Channel> find_best_channel(
+      net::NodeId source, net::NodeId destination,
+      const net::CapacityState& capacity) const;
+
+  /// One Dijkstra run from `source`: best channels to every *other* user
+  /// that is reachable under `capacity`. Entries are in ascending order of
+  /// destination id.
+  std::vector<net::Channel> find_best_channels(
+      net::NodeId source, const net::CapacityState& capacity) const;
+
+ private:
+  /// Shared Dijkstra; fills dist/parent arrays sized to the node count.
+  void run_dijkstra(net::NodeId source, const net::CapacityState& capacity,
+                    std::vector<double>& dist,
+                    std::vector<graph::EdgeId>& parent) const;
+
+  /// Builds the Channel for `destination` from filled dist/parent arrays;
+  /// nullopt when unreachable.
+  std::optional<net::Channel> extract_channel(
+      net::NodeId source, net::NodeId destination,
+      const std::vector<double>& dist,
+      const std::vector<graph::EdgeId>& parent) const;
+
+  const net::QuantumNetwork* network_;
+};
+
+}  // namespace muerp::routing

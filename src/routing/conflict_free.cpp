@@ -1,0 +1,94 @@
+#include "routing/conflict_free.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "routing/channel_finder.hpp"
+#include "routing/optimal_tree.hpp"
+#include "routing/plan.hpp"
+#include "support/union_find.hpp"
+
+namespace muerp::routing {
+
+namespace {
+
+/// True if every interior switch of `path` has >= 2 free qubits.
+bool fits([[maybe_unused]] const net::QuantumNetwork& network,
+          const net::CapacityState& capacity,
+          std::span<const net::NodeId> path) {
+  for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+    assert(network.is_switch(path[i]));
+    if (capacity.free_qubits(path[i]) < 2) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+net::EntanglementTree conflict_free(const net::QuantumNetwork& network,
+                                    std::span<const net::NodeId> users) {
+  return conflict_free_from(network, users,
+                            optimal_special_case(network, users));
+}
+
+net::EntanglementTree conflict_free_from(
+    const net::QuantumNetwork& network, std::span<const net::NodeId> users,
+    const net::EntanglementTree& initial) {
+  assert(!users.empty());
+  if (users.size() == 1) return make_tree({}, true);
+
+  std::unordered_map<net::NodeId, std::size_t> index;
+  for (std::size_t i = 0; i < users.size(); ++i) index[users[i]] = i;
+
+  net::CapacityState capacity(network);
+  support::UnionFind unions(users.size());
+  std::vector<net::Channel> committed;
+
+  // Phase 1: replay the seed channels best-first; keep those that fit.
+  std::vector<const net::Channel*> seeds;
+  seeds.reserve(initial.channels.size());
+  for (const net::Channel& c : initial.channels) seeds.push_back(&c);
+  std::sort(seeds.begin(), seeds.end(),
+            [](const net::Channel* l, const net::Channel* r) {
+              return l->rate > r->rate;
+            });
+  for (const net::Channel* c : seeds) {
+    const auto src = index.find(c->source());
+    const auto dst = index.find(c->destination());
+    if (src == index.end() || dst == index.end()) continue;
+    if (unions.connected(src->second, dst->second)) continue;
+    if (!fits(network, capacity, c->path)) continue;  // Line 13: dropped
+    capacity.commit_channel(c->path);
+    unions.unite(src->second, dst->second);
+    committed.push_back(*c);
+  }
+
+  // Phase 2: reconnect the unions greedily under residual capacities.
+  const ChannelFinder finder(network);
+  while (unions.set_count() > 1) {
+    net::Channel best;
+    best.rate = 0.0;  // "CurrentRate <- 0" (Line 17)
+    for (net::NodeId source : users) {
+      // One Dijkstra per source covers all cross-union destinations.
+      for (net::Channel& candidate : finder.find_best_channels(source, capacity)) {
+        const auto dst = index.find(candidate.destination());
+        if (dst == index.end()) continue;
+        if (candidate.destination() < source) continue;  // pair seen once
+        if (unions.connected(index.at(source), dst->second)) continue;
+        if (candidate.rate > best.rate) best = std::move(candidate);
+      }
+    }
+    if (best.rate == 0.0) {
+      // Line 25: no feasible channel bridges any two unions — terminate.
+      return make_tree(std::move(committed), false);
+    }
+    capacity.commit_channel(best.path);
+    unions.unite(index.at(best.source()), index.at(best.destination()));
+    committed.push_back(std::move(best));
+  }
+
+  return make_tree(std::move(committed), true);
+}
+
+}  // namespace muerp::routing

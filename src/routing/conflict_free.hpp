@@ -1,0 +1,39 @@
+// Algorithm 3 of the paper: the Conflict-free heuristic.
+//
+// General networks violate the sufficient condition, so the tree Algorithm 2
+// proposes may overload switches. Algorithm 3 repairs it in two phases:
+//
+//   Phase 1 (Lines 3-15): replay Algorithm 2's channels in descending rate
+//   order; commit a channel only if every interior switch still has >= 2
+//   free qubits, deducting 2 per switch on commit (greedy retention of the
+//   best channels). Channels that do not fit are dropped, leaving the users
+//   split into several unions.
+//
+//   Phase 2 (Lines 16-33): while more than one union remains, re-run
+//   Algorithm 1 under the residual capacities for every user pair that
+//   straddles two unions, commit the globally best channel found, and merge.
+//   If no pair admits a channel, the instance is declared infeasible
+//   (rate 0) — determining feasibility exactly is NP-complete (Theorem 1),
+//   so a heuristic miss here is expected behaviour, not an error.
+#pragma once
+
+#include <span>
+
+#include "network/channel.hpp"
+#include "network/quantum_network.hpp"
+
+namespace muerp::routing {
+
+/// Algorithm 3, self-contained: runs Algorithm 2 internally to obtain the
+/// initial channel set, then repairs capacity conflicts.
+net::EntanglementTree conflict_free(const net::QuantumNetwork& network,
+                                    std::span<const net::NodeId> users);
+
+/// Algorithm 3 with an explicit initial tree (the paper's literal signature:
+/// "Algorithm 3 needs the output of Algorithm 2 as the input"). Exposed for
+/// ablation benches that feed it alternative seeds.
+net::EntanglementTree conflict_free_from(
+    const net::QuantumNetwork& network, std::span<const net::NodeId> users,
+    const net::EntanglementTree& initial);
+
+}  // namespace muerp::routing

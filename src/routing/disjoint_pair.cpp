@@ -1,0 +1,216 @@
+#include "routing/disjoint_pair.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "network/rate.hpp"
+
+namespace muerp::routing {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+/// Split digraph: arcs carry original routing weights; switch-internal arcs
+/// cost 0. Arc ids are stable so Suurballe can remove/reverse them.
+struct SplitGraph {
+  struct Arc {
+    std::size_t from;
+    std::size_t to;
+    double cost;
+  };
+  std::vector<Arc> arcs;
+  std::vector<std::vector<std::size_t>> out;  // node -> arc ids
+
+  std::size_t add_node() {
+    out.emplace_back();
+    return out.size() - 1;
+  }
+  std::size_t add_arc(std::size_t from, std::size_t to, double cost) {
+    arcs.push_back({from, to, cost});
+    out[from].push_back(arcs.size() - 1);
+    return arcs.size() - 1;
+  }
+};
+
+struct Dijkstra {
+  std::vector<double> dist;
+  std::vector<std::size_t> parent_arc;
+};
+
+Dijkstra shortest_paths(const SplitGraph& g, std::size_t source,
+                        const std::vector<bool>& arc_removed) {
+  Dijkstra result;
+  result.dist.assign(g.out.size(), kInf);
+  result.parent_arc.assign(g.out.size(), kNone);
+  result.dist[source] = 0.0;
+  using Entry = std::pair<double, std::size_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > result.dist[v]) continue;
+    for (std::size_t arc_id : g.out[v]) {
+      if (arc_id < arc_removed.size() && arc_removed[arc_id]) continue;
+      const auto& arc = g.arcs[arc_id];
+      assert(arc.cost >= -1e-12 && "Suurballe needs non-negative costs");
+      const double candidate = d + std::max(arc.cost, 0.0);
+      if (candidate < result.dist[arc.to]) {
+        result.dist[arc.to] = candidate;
+        result.parent_arc[arc.to] = arc_id;
+        heap.emplace(candidate, arc.to);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+std::optional<std::pair<net::Channel, net::Channel>>
+best_disjoint_channel_pair(const net::QuantumNetwork& network,
+                           net::NodeId source, net::NodeId destination,
+                           const net::CapacityState& capacity) {
+  assert(network.is_user(source) && network.is_user(destination));
+  assert(source != destination);
+
+  // --- Build the split digraph. Users other than the endpoints are
+  // excluded entirely (channels never pass through them, Def. 2); usable
+  // switches become in -> out arc pairs so that arc-disjointness implies
+  // node-disjointness.
+  SplitGraph g;
+  std::vector<std::size_t> in_id(network.node_count(), kNone);
+  std::vector<std::size_t> out_id(network.node_count(), kNone);
+  std::vector<net::NodeId> split_to_original;  // parallel to g nodes
+  std::vector<bool> is_entry_node;             // true for _in (or user) nodes
+
+  auto add_split_node = [&](net::NodeId original, bool entry) {
+    const std::size_t id = g.add_node();
+    split_to_original.push_back(original);
+    is_entry_node.push_back(entry);
+    return id;
+  };
+
+  for (net::NodeId v = 0; v < network.node_count(); ++v) {
+    if (network.is_user(v)) {
+      if (v == source || v == destination) {
+        in_id[v] = out_id[v] = add_split_node(v, true);
+      }
+    } else if (capacity.free_qubits(v) >= 2) {
+      in_id[v] = add_split_node(v, true);
+      out_id[v] = add_split_node(v, false);
+      g.add_arc(in_id[v], out_id[v], 0.0);
+    }
+  }
+  for (graph::EdgeId e = 0; e < network.graph().edge_count(); ++e) {
+    const auto& edge = network.graph().edge(e);
+    const double w = network.edge_routing_weight(e);
+    if (out_id[edge.a] != kNone && in_id[edge.b] != kNone) {
+      g.add_arc(out_id[edge.a], in_id[edge.b], w);
+    }
+    if (out_id[edge.b] != kNone && in_id[edge.a] != kNone) {
+      g.add_arc(out_id[edge.b], in_id[edge.a], w);
+    }
+  }
+  const std::size_t s = out_id[source];
+  const std::size_t t = in_id[destination];
+  if (s == kNone || t == kNone) return std::nullopt;
+
+  // --- First shortest path P1.
+  const std::vector<bool> nothing_removed(g.arcs.size(), false);
+  const Dijkstra first = shortest_paths(g, s, nothing_removed);
+  if (first.dist[t] == kInf) return std::nullopt;
+  std::vector<std::size_t> p1_arcs;  // ordered t -> s
+  for (std::size_t v = t; v != s;) {
+    const std::size_t arc_id = first.parent_arc[v];
+    p1_arcs.push_back(arc_id);
+    v = g.arcs[arc_id].from;
+  }
+
+  // --- Residual graph with reduced costs; P1 arcs removed, their reverses
+  // added at cost 0.
+  SplitGraph residual = g;
+  std::vector<bool> removed(residual.arcs.size(), false);
+  for (std::size_t i = 0; i < residual.arcs.size(); ++i) {
+    auto& arc = residual.arcs[i];
+    const double du = first.dist[arc.from];
+    const double dv = first.dist[arc.to];
+    if (du == kInf || dv == kInf) {
+      removed[i] = true;
+    } else {
+      arc.cost = std::max(arc.cost + du - dv, 0.0);
+    }
+  }
+  // reversed_of[k] = residual arc id of the reverse of p1_arcs[k].
+  std::vector<std::size_t> reversed_of(p1_arcs.size());
+  for (std::size_t k = 0; k < p1_arcs.size(); ++k) {
+    removed[p1_arcs[k]] = true;
+    const auto& arc = g.arcs[p1_arcs[k]];
+    reversed_of[k] = residual.add_arc(arc.to, arc.from, 0.0);
+    removed.push_back(false);
+  }
+
+  const Dijkstra second = shortest_paths(residual, s, removed);
+  if (second.dist[t] == kInf) return std::nullopt;
+
+  // --- Combine: P1 arcs plus P2 arcs, cancelling opposite pairs.
+  std::vector<int> used(g.arcs.size(), 0);
+  for (std::size_t arc_id : p1_arcs) used[arc_id] = 1;
+  for (std::size_t v = t; v != s;) {
+    const std::size_t arc_id = second.parent_arc[v];
+    if (arc_id >= g.arcs.size()) {
+      // A reversed P1 arc: cancel the original.
+      const std::size_t k =
+          static_cast<std::size_t>(std::find(reversed_of.begin(),
+                                             reversed_of.end(), arc_id) -
+                                   reversed_of.begin());
+      assert(k < reversed_of.size());
+      used[p1_arcs[k]] = 0;
+      v = residual.arcs[arc_id].from;
+    } else {
+      ++used[arc_id];
+      v = residual.arcs[arc_id].from;
+    }
+  }
+
+  // --- Decompose the arc union into two s -> t channels.
+  auto extract_path = [&]() -> std::vector<net::NodeId> {
+    std::vector<net::NodeId> nodes{source};
+    std::size_t v = s;
+    while (v != t) {
+      std::size_t next_arc = kNone;
+      for (std::size_t arc_id : g.out[v]) {
+        if (used[arc_id] > 0) {
+          next_arc = arc_id;
+          break;
+        }
+      }
+      assert(next_arc != kNone && "arc union must decompose into two paths");
+      --used[next_arc];
+      v = g.arcs[next_arc].to;
+      // Record original nodes once, at their entry (_in) side; the internal
+      // in->out arc is traversed by the same loop without recording.
+      if (is_entry_node[v] && split_to_original[v] != nodes.back()) {
+        nodes.push_back(split_to_original[v]);
+      }
+    }
+    return nodes;
+  };
+
+  net::Channel c1;
+  c1.path = extract_path();
+  c1.rate = net::channel_rate(network, c1.path);
+  net::Channel c2;
+  c2.path = extract_path();
+  c2.rate = net::channel_rate(network, c2.path);
+  if (c1.rate < c2.rate) std::swap(c1, c2);
+  return std::make_pair(std::move(c1), std::move(c2));
+}
+
+}  // namespace muerp::routing

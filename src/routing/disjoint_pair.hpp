@@ -1,0 +1,43 @@
+// Jointly optimal disjoint channel pairs (Suurballe's algorithm).
+//
+// plan_backups() protects a tree greedily: route the best primary, then the
+// best fiber-disjoint secondary. Greedy is suboptimal — the best primary
+// can block every good secondary. Suurballe's algorithm finds the pair of
+// *internally node-disjoint* channels between two users whose combined
+// negative-log rate is minimal, i.e. the pair maximizing rate1 * rate2 —
+// the right objective when both channels attempt every window and
+// either may serve.
+//
+// Node-disjointness (no shared relay switch) is strictly stronger than the
+// fiber-disjointness of backup.hpp: a pair survives any single fiber *or
+// switch* failure, and each relay appears in at most one channel so the
+// usual >= 2-free-qubit rule suffices. It is obtained by vertex splitting:
+// every usable switch v becomes an arc v_in -> v_out of cost 0, fibers
+// become arcs between out/in sides, and arc-disjoint paths in the split
+// digraph are node-disjoint channels in the network.
+//
+// Implementation: textbook Suurballe — shortest-path tree from the source,
+// reduced costs, reverse the first path's arcs at zero reduced cost, second
+// Dijkstra, then cancel opposite arc pairs and decompose the union into the
+// two channels.
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "network/channel.hpp"
+#include "network/quantum_network.hpp"
+
+namespace muerp::routing {
+
+/// The node-disjoint pair of channels between `source` and `destination`
+/// maximizing the product of their Eq. (1) rates, under `capacity` (every
+/// relay switch needs >= 2 free qubits; each relay serves at most one of
+/// the two channels by construction). nullopt when no disjoint pair exists.
+/// The first channel of the returned pair is the higher-rate one.
+std::optional<std::pair<net::Channel, net::Channel>>
+best_disjoint_channel_pair(const net::QuantumNetwork& network,
+                           net::NodeId source, net::NodeId destination,
+                           const net::CapacityState& capacity);
+
+}  // namespace muerp::routing

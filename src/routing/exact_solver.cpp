@@ -1,0 +1,197 @@
+#include "routing/exact_solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <vector>
+
+#include "network/rate.hpp"
+#include "routing/plan.hpp"
+#include "support/union_find.hpp"
+
+namespace muerp::routing {
+
+namespace {
+
+using PathList = std::vector<net::Channel>;
+
+/// DFS enumeration of simple paths source -> destination whose interior
+/// vertices are switches with >= 2 qubits. Stops at `cap` paths.
+void enumerate_paths(const net::QuantumNetwork& network, net::NodeId source,
+                     net::NodeId destination, std::size_t cap,
+                     std::vector<net::NodeId>& stack,
+                     std::vector<bool>& on_stack, PathList& out) {
+  const net::NodeId v = stack.back();
+  if (v == destination) {
+    net::Channel channel;
+    channel.path = stack;
+    channel.rate = net::channel_rate(network, channel.path);
+    out.push_back(std::move(channel));
+    return;
+  }
+  for (const graph::Neighbor& nb : network.graph().neighbors(v)) {
+    if (out.size() >= cap) return;
+    const net::NodeId next = nb.node;
+    if (on_stack[next]) continue;
+    if (next != destination) {
+      // Interior vertices must be switches able to host one channel.
+      if (!network.is_switch(next) || network.qubits(next) < 2) continue;
+    }
+    stack.push_back(next);
+    on_stack[next] = true;
+    enumerate_paths(network, source, destination, cap, stack, on_stack, out);
+    on_stack[next] = false;
+    stack.pop_back();
+  }
+}
+
+struct SearchState {
+  const net::QuantumNetwork* network;
+  std::span<const net::NodeId> users;
+  // pair_paths[i][j] for i < j: all candidate channels for that user pair.
+  std::vector<std::vector<PathList>> pair_paths;
+  std::vector<int> free_qubits;          // residual per node
+  std::vector<net::Channel> current;     // channels chosen so far
+  double current_neg_log = 0.0;          // -log(product of current rates)
+  std::vector<net::Channel> best;
+  double best_neg_log = 0.0;
+  bool found = false;
+};
+
+bool try_commit(SearchState& s, const net::Channel& channel) {
+  for (std::size_t i = 1; i + 1 < channel.path.size(); ++i) {
+    if (s.free_qubits[channel.path[i]] < 2) {
+      // Roll back the partial deduction.
+      for (std::size_t j = 1; j < i; ++j) s.free_qubits[channel.path[j]] += 2;
+      return false;
+    }
+    s.free_qubits[channel.path[i]] -= 2;
+  }
+  return true;
+}
+
+void release(SearchState& s, const net::Channel& channel) {
+  for (std::size_t i = 1; i + 1 < channel.path.size(); ++i) {
+    s.free_qubits[channel.path[i]] += 2;
+  }
+}
+
+/// Recursive assignment of a concrete path to each tree edge.
+void assign_paths(SearchState& s,
+                  const std::vector<std::pair<std::size_t, std::size_t>>& tree,
+                  std::size_t depth) {
+  if (depth == tree.size()) {
+    if (!s.found || s.current_neg_log < s.best_neg_log) {
+      s.found = true;
+      s.best_neg_log = s.current_neg_log;
+      s.best = s.current;
+    }
+    return;
+  }
+  const auto [i, j] = tree[depth];
+  for (const net::Channel& candidate : s.pair_paths[i][j]) {
+    const double neg_log =
+        net::channel_neg_log_rate(*s.network, candidate.path);
+    // Bound: rates are <= 1 so neg-log only grows; prune dominated branches.
+    if (s.found && s.current_neg_log + neg_log >= s.best_neg_log) continue;
+    if (!try_commit(s, candidate)) continue;
+    s.current.push_back(candidate);
+    s.current_neg_log += neg_log;
+    assign_paths(s, tree, depth + 1);
+    s.current_neg_log -= neg_log;
+    s.current.pop_back();
+    release(s, candidate);
+  }
+}
+
+}  // namespace
+
+std::optional<net::EntanglementTree> solve_exact(
+    const net::QuantumNetwork& network, std::span<const net::NodeId> users,
+    const ExactSolverLimits& limits) {
+  if (network.node_count() > limits.max_nodes ||
+      users.size() > limits.max_users) {
+    return std::nullopt;
+  }
+  if (users.empty()) return net::EntanglementTree{{}, 1.0, true};
+  if (users.size() == 1) return net::EntanglementTree{{}, 1.0, true};
+
+  const std::size_t u = users.size();
+  SearchState state;
+  state.network = &network;
+  state.users = users;
+  state.pair_paths.assign(u, std::vector<PathList>(u));
+  state.free_qubits.resize(network.node_count());
+  for (net::NodeId v = 0; v < network.node_count(); ++v) {
+    state.free_qubits[v] = network.qubits(v);
+  }
+
+  for (std::size_t i = 0; i < u; ++i) {
+    for (std::size_t j = i + 1; j < u; ++j) {
+      std::vector<net::NodeId> stack{users[i]};
+      std::vector<bool> on_stack(network.node_count(), false);
+      on_stack[users[i]] = true;
+      enumerate_paths(network, users[i], users[j], limits.max_paths_per_pair,
+                      stack, on_stack, state.pair_paths[i][j]);
+      // Trying high-rate paths first makes the branch-and-bound prune early.
+      std::sort(state.pair_paths[i][j].begin(), state.pair_paths[i][j].end(),
+                [](const net::Channel& l, const net::Channel& r) {
+                  return l.rate > r.rate;
+                });
+    }
+  }
+
+  // Enumerate spanning-tree structures: all (u-1)-subsets of user pairs that
+  // form a tree. Pairs are indexed 0..P-1; subsets via recursive choice.
+  std::vector<std::pair<std::size_t, std::size_t>> all_pairs;
+  for (std::size_t i = 0; i < u; ++i) {
+    for (std::size_t j = i + 1; j < u; ++j) all_pairs.emplace_back(i, j);
+  }
+  std::vector<std::pair<std::size_t, std::size_t>> tree;
+
+  // Capacity-oblivious lower bound on each pair's negative-log rate: used
+  // to discard whole tree structures that cannot beat the incumbent even
+  // with their best channels (paths are sorted best-first, so [0] is it).
+  std::vector<std::vector<double>> pair_bound(u, std::vector<double>(u, 0.0));
+  for (std::size_t i = 0; i < u; ++i) {
+    for (std::size_t j = i + 1; j < u; ++j) {
+      if (!state.pair_paths[i][j].empty()) {
+        pair_bound[i][j] = net::channel_neg_log_rate(
+            network, state.pair_paths[i][j].front().path);
+      }
+    }
+  }
+
+  // Choose `remaining` more pairs starting at index `from`, keeping the
+  // partial selection acyclic via union-find rebuilt per candidate (cheap at
+  // these sizes).
+  auto choose = [&](auto&& self, std::size_t from, std::size_t remaining) -> void {
+    if (remaining == 0) {
+      support::UnionFind uf(u);
+      for (const auto& [i, j] : tree) uf.unite(i, j);
+      if (uf.set_count() != 1) return;
+      if (state.found) {
+        double bound = 0.0;
+        for (const auto& [i, j] : tree) bound += pair_bound[i][j];
+        if (bound >= state.best_neg_log) return;  // structure cannot win
+      }
+      assign_paths(state, tree, 0);
+      return;
+    }
+    if (from + remaining > all_pairs.size()) return;
+    for (std::size_t k = from; k + remaining <= all_pairs.size(); ++k) {
+      // Skip pairs with no candidate paths at all.
+      const auto [i, j] = all_pairs[k];
+      if (state.pair_paths[i][j].empty()) continue;
+      tree.push_back(all_pairs[k]);
+      self(self, k + 1, remaining - 1);
+      tree.pop_back();
+    }
+  };
+  choose(choose, 0, u - 1);
+
+  if (!state.found) return make_tree({}, false);
+  return make_tree(std::move(state.best), true);
+}
+
+}  // namespace muerp::routing

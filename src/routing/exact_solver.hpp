@@ -1,0 +1,38 @@
+// Exhaustive exact MUERP solver for small instances.
+//
+// MUERP feasibility is NP-complete and optimization NP-hard (Theorems 1-2),
+// so no polynomial algorithm exists unless P=NP — but tiny instances can be
+// solved by brute force, and this module does exactly that to serve as the
+// ground-truth oracle in the test suite:
+//   1. enumerate every simple switch-interior path between every user pair;
+//   2. enumerate every spanning-tree structure over the user set;
+//   3. for each structure, backtrack over per-pair path choices, pruning on
+//      switch qubit budgets, keeping the best product rate.
+// Cost grows exponentially; the entry point refuses instances beyond the
+// configured limits rather than silently taking forever.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+
+#include "network/channel.hpp"
+#include "network/quantum_network.hpp"
+
+namespace muerp::routing {
+
+struct ExactSolverLimits {
+  std::size_t max_nodes = 16;
+  std::size_t max_users = 6;
+  /// Cap on enumerated simple paths per user pair (safety valve).
+  std::size_t max_paths_per_pair = 4096;
+};
+
+/// Exact optimum, or an infeasible tree (rate 0) when no solution exists.
+/// Returns nullopt when the instance exceeds `limits` (caller should treat
+/// this as "oracle unavailable", not as infeasibility).
+std::optional<net::EntanglementTree> solve_exact(
+    const net::QuantumNetwork& network, std::span<const net::NodeId> users,
+    const ExactSolverLimits& limits = {});
+
+}  // namespace muerp::routing

@@ -1,0 +1,157 @@
+#include "routing/feasibility.hpp"
+
+#include <queue>
+#include <sstream>
+#include <vector>
+
+#include "routing/optimal_tree.hpp"
+#include "support/union_find.hpp"
+
+namespace muerp::routing {
+
+namespace {
+
+/// Users reachable from `source` by a channel (interior = switches with
+/// Q >= 2, `skip` excluded). Implements one BFS of the relay graph.
+std::vector<net::NodeId> channel_reachable_users(
+    const net::QuantumNetwork& network, net::NodeId source,
+    net::NodeId skip) {
+  std::vector<bool> visited(network.node_count(), false);
+  std::vector<net::NodeId> reached;
+  std::queue<net::NodeId> frontier;
+  visited[source] = true;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const net::NodeId v = frontier.front();
+    frontier.pop();
+    // Non-source users terminate channels; they are reached but never
+    // expanded. Switches need >= 2 qubits to relay.
+    if (v != source) {
+      if (network.is_user(v)) continue;
+      if (network.qubits(v) < 2) continue;
+    }
+    for (const graph::Neighbor& nb : network.graph().neighbors(v)) {
+      if (nb.node == skip || visited[nb.node]) continue;
+      visited[nb.node] = true;
+      if (network.is_user(nb.node)) reached.push_back(nb.node);
+      frontier.push(nb.node);
+    }
+  }
+  return reached;
+}
+
+/// Number of connected components of the user-level channel graph when
+/// vertex `skip` is removed (kInvalidNode = remove nothing).
+std::size_t user_component_count(const net::QuantumNetwork& network,
+                                 std::span<const net::NodeId> users,
+                                 net::NodeId skip) {
+  std::vector<std::size_t> index(network.node_count(),
+                                 static_cast<std::size_t>(-1));
+  for (std::size_t i = 0; i < users.size(); ++i) index[users[i]] = i;
+  support::UnionFind uf(users.size());
+  for (net::NodeId u : users) {
+    if (u == skip) continue;
+    for (net::NodeId reached : channel_reachable_users(network, u, skip)) {
+      if (index[reached] != static_cast<std::size_t>(-1)) {
+        uf.unite(index[u], index[reached]);
+      }
+    }
+  }
+  // Users equal to `skip` cannot happen (skip is always a switch here), but
+  // guard anyway: they would count as singleton components.
+  return uf.set_count();
+}
+
+}  // namespace
+
+const char* feasibility_name(Feasibility verdict) noexcept {
+  switch (verdict) {
+    case Feasibility::kFeasible:
+      return "feasible";
+    case Feasibility::kInfeasible:
+      return "infeasible";
+    case Feasibility::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+FeasibilityReport screen_feasibility(const net::QuantumNetwork& network,
+                                     std::span<const net::NodeId> users) {
+  FeasibilityReport report;
+  if (users.size() <= 1) {
+    report.verdict = Feasibility::kFeasible;
+    report.reason = "at most one user: empty tree suffices";
+    return report;
+  }
+
+  // N1: the user-level channel graph must be connected.
+  if (const std::size_t components =
+          user_component_count(network, users, graph::kInvalidNode);
+      components > 1) {
+    std::ostringstream os;
+    os << "users split into " << components
+       << " components of the channel graph (N1)";
+    report.verdict = Feasibility::kInfeasible;
+    report.reason = os.str();
+    return report;
+  }
+
+  // Sufficient: Theorem 3 condition + N1 connectivity (already verified).
+  if (sufficient_condition_holds(network, users)) {
+    report.verdict = Feasibility::kFeasible;
+    report.reason =
+        "every switch holds >= 2|U| qubits and users are channel-connected "
+        "(Theorem 3)";
+    return report;
+  }
+
+  // N3: without any user-user fiber, |U|-1 channels all consume switch
+  // capacity somewhere.
+  bool any_direct_fiber = false;
+  for (std::size_t i = 0; i < users.size() && !any_direct_fiber; ++i) {
+    for (std::size_t j = i + 1; j < users.size(); ++j) {
+      if (network.graph().has_edge(users[i], users[j])) {
+        any_direct_fiber = true;
+        break;
+      }
+    }
+  }
+  if (!any_direct_fiber) {
+    int total_capacity = 0;
+    for (net::NodeId sw : network.switches()) {
+      total_capacity += network.channel_capacity(sw);
+    }
+    const int needed = static_cast<int>(users.size()) - 1;
+    if (total_capacity < needed) {
+      std::ostringstream os;
+      os << "aggregate switch capacity " << total_capacity << " < " << needed
+         << " channels and no direct user-user fiber exists (N3)";
+      report.verdict = Feasibility::kInfeasible;
+      report.reason = os.str();
+      return report;
+    }
+  }
+
+  // N2: single-switch cuts must carry enough qubits to bridge the sides.
+  for (net::NodeId sw : network.switches()) {
+    const std::size_t components = user_component_count(network, users, sw);
+    if (components <= 1) continue;
+    const int needed = 2 * (static_cast<int>(components) - 1);
+    if (network.qubits(sw) < needed) {
+      std::ostringstream os;
+      os << "switch " << sw << " is a cut vertex splitting users into "
+         << components << " components but holds " << network.qubits(sw)
+         << " < " << needed << " qubits (N2)";
+      report.verdict = Feasibility::kInfeasible;
+      report.reason = os.str();
+      return report;
+    }
+  }
+
+  report.verdict = Feasibility::kUnknown;
+  report.reason = "no screen was conclusive";
+  return report;
+}
+
+}  // namespace muerp::routing

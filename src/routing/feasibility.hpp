@@ -1,0 +1,52 @@
+// Fast feasibility screening for MUERP instances.
+//
+// Deciding feasibility exactly is NP-complete (Theorem 1), but many
+// instances can be settled in polynomial time from either direction:
+//
+//   Sufficient (=> feasible): Theorem 3's condition — every switch holds
+//   Q_r >= 2|U| qubits — plus user connectivity through usable relays; then
+//   Algorithm 2's tree always fits.
+//
+//   Necessary (=> infeasible when violated):
+//     N1. every user reaches every other user in the relay graph (switches
+//         with Q >= 2, plus direct user-user fibers);
+//     N2. for every vertex cut consisting of one switch r: if removing r
+//         disconnects the users into components c_1..c_m, r must relay at
+//         least m-1 channels, so it needs Q_r >= 2(m-1);
+//     N3. aggregate capacity: a spanning tree needs |U|-1 channels and every
+//         channel between non-adjacent users crosses at least one switch —
+//         if *no* pair of users shares a fiber, total switch capacity must
+//         be at least |U|-1 channels' worth.
+//
+// Verdicts are conservative: kFeasible / kInfeasible are proofs, kUnknown
+// means the screen could not decide (the heuristics or the exact solver must
+// take over). Tests assert soundness against the exhaustive solver.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "network/quantum_network.hpp"
+
+namespace muerp::routing {
+
+enum class Feasibility {
+  kFeasible,    // proven feasible
+  kInfeasible,  // proven infeasible
+  kUnknown,     // screen cannot decide
+};
+
+const char* feasibility_name(Feasibility verdict) noexcept;
+
+struct FeasibilityReport {
+  Feasibility verdict = Feasibility::kUnknown;
+  /// Human-readable justification of the verdict ("switch 7 is a cut vertex
+  /// splitting users into 3 components but holds 2 qubits", ...).
+  std::string reason;
+};
+
+/// Runs all screens; first conclusive one wins.
+FeasibilityReport screen_feasibility(const net::QuantumNetwork& network,
+                                     std::span<const net::NodeId> users);
+
+}  // namespace muerp::routing

@@ -1,0 +1,165 @@
+#include "routing/k_shortest.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <set>
+#include <unordered_set>
+
+#include "network/rate.hpp"
+
+namespace muerp::routing {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct WeightedPath {
+  std::vector<net::NodeId> nodes;
+  double cost = kInf;  // sum of alpha*L - ln(q) over edges
+
+  friend bool operator<(const WeightedPath& l, const WeightedPath& r) {
+    if (l.cost != r.cost) return l.cost < r.cost;
+    return l.nodes < r.nodes;  // total order for the candidate set
+  }
+};
+
+/// Dijkstra from `source` to `target` with banned edges/nodes, honouring the
+/// channel structure rules (interiors = switches with >= 2 free qubits).
+std::optional<WeightedPath> restricted_dijkstra(
+    const net::QuantumNetwork& network, net::NodeId source,
+    net::NodeId target, const net::CapacityState& capacity,
+    const std::unordered_set<graph::EdgeId>& banned_edges,
+    const std::unordered_set<net::NodeId>& banned_nodes) {
+  const auto& g = network.graph();
+  std::vector<double> dist(g.node_count(), kInf);
+  std::vector<graph::EdgeId> parent(g.node_count(), graph::kInvalidEdge);
+  dist[source] = 0.0;
+  using Entry = std::pair<double, net::NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  heap.emplace(0.0, source);
+
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[v]) continue;
+    if (v != source &&
+        (!network.is_switch(v) || capacity.free_qubits(v) < 2)) {
+      continue;
+    }
+    for (const graph::Neighbor& nb : g.neighbors(v)) {
+      if (banned_edges.contains(nb.edge)) continue;
+      if (banned_nodes.contains(nb.node)) continue;
+      const double candidate = d + network.edge_routing_weight(nb.edge);
+      if (candidate < dist[nb.node]) {
+        dist[nb.node] = candidate;
+        parent[nb.node] = nb.edge;
+        heap.emplace(candidate, nb.node);
+      }
+    }
+  }
+  if (dist[target] == kInf) return std::nullopt;
+
+  WeightedPath path;
+  path.cost = dist[target];
+  net::NodeId cursor = target;
+  path.nodes.push_back(cursor);
+  while (cursor != source) {
+    const graph::EdgeId via = parent[cursor];
+    cursor = g.edge(via).other(cursor);
+    path.nodes.push_back(cursor);
+  }
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  return path;
+}
+
+double path_cost(const net::QuantumNetwork& network,
+                 std::span<const net::NodeId> nodes) {
+  double cost = 0.0;
+  for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+    const auto edge = network.graph().find_edge(nodes[i], nodes[i + 1]);
+    assert(edge);
+    cost += network.edge_routing_weight(*edge);
+  }
+  return cost;
+}
+
+}  // namespace
+
+std::vector<net::Channel> k_best_channels(const net::QuantumNetwork& network,
+                                          net::NodeId source,
+                                          net::NodeId destination,
+                                          const net::CapacityState& capacity,
+                                          std::size_t k) {
+  assert(network.is_user(source) && network.is_user(destination));
+  assert(source != destination);
+  std::vector<net::Channel> result;
+  if (k == 0) return result;
+
+  std::vector<WeightedPath> accepted;  // A in Yen's terms
+  std::set<WeightedPath> candidates;   // B: ordered, deduplicated
+
+  auto first = restricted_dijkstra(network, source, destination, capacity,
+                                   {}, {});
+  if (!first) return result;
+  accepted.push_back(std::move(*first));
+
+  while (accepted.size() < k) {
+    const WeightedPath& previous = accepted.back();
+    // Deviate at every node of the previous path except the destination.
+    for (std::size_t spur = 0; spur + 1 < previous.nodes.size(); ++spur) {
+      const net::NodeId spur_node = previous.nodes[spur];
+      const std::span<const net::NodeId> root(previous.nodes.data(),
+                                              spur + 1);
+
+      // Ban the outgoing edges used by accepted paths sharing this root,
+      // forcing a genuinely new continuation.
+      std::unordered_set<graph::EdgeId> banned_edges;
+      for (const WeightedPath& p : accepted) {
+        if (p.nodes.size() <= spur + 1) continue;
+        if (!std::equal(root.begin(), root.end(), p.nodes.begin())) continue;
+        const auto e =
+            network.graph().find_edge(p.nodes[spur], p.nodes[spur + 1]);
+        if (e) banned_edges.insert(*e);
+      }
+      // Ban root nodes (except the spur) to keep the full path simple.
+      std::unordered_set<net::NodeId> banned_nodes(root.begin(),
+                                                   root.end() - 1);
+
+      auto spur_path = restricted_dijkstra(network, spur_node, destination,
+                                           capacity, banned_edges,
+                                           banned_nodes);
+      if (!spur_path) continue;
+
+      WeightedPath total;
+      total.nodes.assign(root.begin(), root.end() - 1);
+      total.nodes.insert(total.nodes.end(), spur_path->nodes.begin(),
+                         spur_path->nodes.end());
+      total.cost = path_cost(network, total.nodes);
+      // Skip if identical to an already accepted path.
+      const bool duplicate =
+          std::any_of(accepted.begin(), accepted.end(),
+                      [&](const WeightedPath& p) {
+                        return p.nodes == total.nodes;
+                      });
+      if (!duplicate) candidates.insert(std::move(total));
+    }
+    if (candidates.empty()) break;
+    accepted.push_back(*candidates.begin());
+    candidates.erase(candidates.begin());
+  }
+
+  result.reserve(accepted.size());
+  for (WeightedPath& p : accepted) {
+    net::Channel channel;
+    channel.rate = net::rate_from_routing_distance(
+        p.cost, network.physical().swap_success);
+    channel.path = std::move(p.nodes);
+    result.push_back(std::move(channel));
+  }
+  return result;
+}
+
+}  // namespace muerp::routing

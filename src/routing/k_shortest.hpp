@@ -1,0 +1,30 @@
+// K best quantum channels between a user pair (Yen's algorithm).
+//
+// Algorithm 1 returns the single best channel; several consumers want the
+// next-best alternatives too: the local-search improvement pass offers a
+// displaced channel its runner-up routes, and operators inspecting a plan
+// want to see what head-room a pair has. Yen's algorithm enumerates simple
+// paths in increasing cost over the same negative-log metric Algorithm 1
+// uses (alpha*L - ln q per edge), with the same structural rules: interior
+// vertices must be switches with >= 2 free qubits under the supplied
+// capacity state.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "network/channel.hpp"
+#include "network/quantum_network.hpp"
+
+namespace muerp::routing {
+
+/// Up to `k` distinct channels from `source` to `destination`, best first
+/// (strictly decreasing rate ties broken arbitrarily). Fewer are returned
+/// when the graph has fewer simple channels. k = 0 returns empty.
+std::vector<net::Channel> k_best_channels(const net::QuantumNetwork& network,
+                                          net::NodeId source,
+                                          net::NodeId destination,
+                                          const net::CapacityState& capacity,
+                                          std::size_t k);
+
+}  // namespace muerp::routing

@@ -1,0 +1,91 @@
+#include "routing/local_search.hpp"
+
+#include <cassert>
+#include <unordered_map>
+
+#include "network/rate.hpp"
+#include "routing/channel_finder.hpp"
+#include "routing/plan.hpp"
+#include "support/union_find.hpp"
+
+namespace muerp::routing {
+
+namespace {
+
+/// Partition of users into the two sides created by deleting channel
+/// `removed` from the tree; side[i] is 0 or 1 per user index.
+std::vector<int> split_sides(
+    std::span<const net::NodeId> users,
+    const std::unordered_map<net::NodeId, std::size_t>& index,
+    const std::vector<net::Channel>& channels, std::size_t removed) {
+  support::UnionFind uf(users.size());
+  for (std::size_t c = 0; c < channels.size(); ++c) {
+    if (c == removed) continue;
+    uf.unite(index.at(channels[c].source()),
+             index.at(channels[c].destination()));
+  }
+  const std::size_t anchor =
+      uf.find(index.at(channels[removed].source()));
+  std::vector<int> side(users.size());
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    side[i] = uf.find(i) == anchor ? 0 : 1;
+  }
+  return side;
+}
+
+}  // namespace
+
+LocalSearchStats improve_tree(const net::QuantumNetwork& network,
+                              std::span<const net::NodeId> users,
+                              net::EntanglementTree& tree,
+                              std::size_t max_sweeps) {
+  LocalSearchStats stats;
+  if (!tree.feasible || tree.channels.size() < 1) return stats;
+
+  std::unordered_map<net::NodeId, std::size_t> index;
+  for (std::size_t i = 0; i < users.size(); ++i) index[users[i]] = i;
+
+  // Rebuild the committed-capacity state from the current tree.
+  net::CapacityState capacity(network);
+  for (const net::Channel& ch : tree.channels) {
+    capacity.commit_channel(ch.path);
+  }
+
+  const ChannelFinder finder(network);
+  bool improved = true;
+  while (improved && stats.sweeps < max_sweeps) {
+    improved = false;
+    ++stats.sweeps;
+    for (std::size_t c = 0; c < tree.channels.size(); ++c) {
+      const net::Channel& current = tree.channels[c];
+      // Free the candidate channel's qubits, then look for the best bridge
+      // between the two sides it leaves behind.
+      capacity.release_channel(current.path);
+      const auto side = split_sides(users, index, tree.channels, c);
+
+      net::Channel best = current;  // keeping the channel is the floor
+      for (std::size_t i = 0; i < users.size(); ++i) {
+        if (side[i] != 0) continue;
+        for (net::Channel& candidate :
+             finder.find_best_channels(users[i], capacity)) {
+          const auto dst = index.find(candidate.destination());
+          if (dst == index.end() || side[dst->second] != 1) continue;
+          if (candidate.rate > best.rate) best = std::move(candidate);
+        }
+      }
+
+      if (best.rate > current.rate * (1.0 + 1e-12)) {
+        tree.channels[c] = std::move(best);
+        ++stats.exchanges;
+        improved = true;
+      }
+      capacity.commit_channel(tree.channels[c].path);
+    }
+  }
+
+  tree.rate = net::tree_rate(tree.channels);
+  assert(channels_span_users(users, tree.channels));
+  return stats;
+}
+
+}  // namespace muerp::routing

@@ -1,0 +1,35 @@
+// Local-search post-optimization of an entanglement tree.
+//
+// Algorithms 3 and 4 are greedy; once a channel is committed they never
+// revisit it. This pass (an extension beyond the paper, ablated in
+// bench/ablations) repeatedly tries to improve a feasible tree by channel
+// exchange: remove one channel — splitting the users into two sides — then
+// search, under the capacity freed by the removal, for the best channel
+// re-joining the two sides across *all* user pairs, not just the original
+// endpoints. If the replacement has a strictly higher rate the exchange is
+// kept. The tree stays feasible after every step (each exchange preserves
+// the spanning structure and re-checks capacity), the rate is monotonically
+// non-decreasing, and the loop terminates when a full sweep finds no
+// improving exchange.
+#pragma once
+
+#include <span>
+
+#include "network/channel.hpp"
+#include "network/quantum_network.hpp"
+
+namespace muerp::routing {
+
+struct LocalSearchStats {
+  std::size_t sweeps = 0;
+  std::size_t exchanges = 0;
+};
+
+/// Improves `tree` in place; returns statistics. A tree that is infeasible
+/// or trivial (fewer than 1 channel) is returned untouched.
+LocalSearchStats improve_tree(const net::QuantumNetwork& network,
+                              std::span<const net::NodeId> users,
+                              net::EntanglementTree& tree,
+                              std::size_t max_sweeps = 16);
+
+}  // namespace muerp::routing

@@ -1,0 +1,59 @@
+// Multipath redundancy: spending leftover capacity on backup *attempts*.
+//
+// The paper restricts every user pair to at most one quantum channel
+// (§II-D) — a modelling simplification it explicitly flags. This extension
+// lifts it: after an entanglement tree commits, remaining switch qubits can
+// host *redundant* channels for tree edges. Redundant channels attempt in
+// the same window as their primary, and the pair's edge succeeds if ANY of
+// its channels fully succeeds, boosting the per-edge success from P to
+//     P_edge = 1 - prod_i (1 - P_i)
+// and the tree rate to the product of the boosted edges (channels remain
+// physically independent: no shared switch qubit, by construction).
+//
+// The provisioner is greedy and marginal-gain driven: repeatedly add, over
+// all tree edges, the single redundant channel with the largest increase in
+// log(P_edge), until capacity is exhausted or no channel helps. The
+// multipath bench shows this converts stranded qubits into rate — the
+// quantitative case for the multipath routing the paper cites ([32]).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "network/channel.hpp"
+#include "network/quantum_network.hpp"
+
+namespace muerp::routing {
+
+/// One tree edge's channel bundle: the primary plus redundant channels.
+struct ChannelBundle {
+  /// All channels serving this user pair; [0] is the tree's primary.
+  std::vector<net::Channel> channels;
+  /// 1 - prod(1 - rate_i): per-window probability that at least one
+  /// channel of the bundle succeeds.
+  double bundle_rate = 0.0;
+};
+
+struct MultipathPlan {
+  std::vector<ChannelBundle> bundles;  // parallel to tree.channels
+  /// Product of bundle rates (the boosted Eq. 2).
+  double rate = 0.0;
+  std::size_t redundant_channels = 0;
+};
+
+struct MultipathOptions {
+  /// Cap on redundant channels per tree edge (the primary not counted).
+  std::size_t max_redundancy = 3;
+};
+
+/// Computes 1 - prod(1 - rate_i) in a numerically careful way.
+double bundle_success(std::span<const net::Channel> channels) noexcept;
+
+/// Provisions redundant channels for a committed feasible tree.
+/// The tree's own capacity is deducted first; all additions respect
+/// residual switch capacity. Works for any tree accepted by validate_tree.
+MultipathPlan provision_multipath(const net::QuantumNetwork& network,
+                                  const net::EntanglementTree& tree,
+                                  const MultipathOptions& options = {});
+
+}  // namespace muerp::routing

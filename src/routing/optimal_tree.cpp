@@ -1,0 +1,65 @@
+#include "routing/optimal_tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "routing/channel_finder.hpp"
+#include "routing/plan.hpp"
+#include "support/union_find.hpp"
+
+namespace muerp::routing {
+
+bool sufficient_condition_holds(const net::QuantumNetwork& network,
+                                std::span<const net::NodeId> users) {
+  const int needed = 2 * static_cast<int>(users.size());
+  for (net::NodeId sw : network.switches()) {
+    if (network.qubits(sw) < needed) return false;
+  }
+  return true;
+}
+
+net::EntanglementTree optimal_special_case(
+    const net::QuantumNetwork& network, std::span<const net::NodeId> users) {
+  assert(!users.empty());
+  if (users.size() == 1) return make_tree({}, true);
+
+  std::unordered_map<net::NodeId, std::size_t> index;
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    assert(network.is_user(users[i]));
+    index[users[i]] = i;
+  }
+  assert(index.size() == users.size() && "users must be distinct");
+
+  // Step 1: all-pairs best channels. One Dijkstra per source covers every
+  // destination; keep each unordered pair once (source id < destination id).
+  const ChannelFinder finder(network);
+  const net::CapacityState fresh(network);
+  std::vector<net::Channel> candidates;
+  for (net::NodeId source : users) {
+    for (net::Channel& channel : finder.find_best_channels(source, fresh)) {
+      if (!index.contains(channel.destination())) continue;
+      if (channel.destination() < source) continue;  // pair already covered
+      candidates.push_back(std::move(channel));
+    }
+  }
+
+  // Step 2: Kruskal over users in descending rate order (Lines 6-13).
+  std::sort(candidates.begin(), candidates.end(),
+            [](const net::Channel& l, const net::Channel& r) {
+              return l.rate > r.rate;
+            });
+  support::UnionFind unions(users.size());
+  std::vector<net::Channel> selected;
+  for (net::Channel& channel : candidates) {
+    if (selected.size() == users.size() - 1) break;
+    const std::size_t a = index.at(channel.source());
+    const std::size_t b = index.at(channel.destination());
+    if (unions.unite(a, b)) selected.push_back(std::move(channel));
+  }
+
+  const bool feasible = unions.set_count() == 1;
+  return make_tree(std::move(selected), feasible);
+}
+
+}  // namespace muerp::routing

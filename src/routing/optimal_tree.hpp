@@ -1,0 +1,41 @@
+// Algorithm 2 of the paper: optimal routing under the sufficient condition.
+//
+// When every switch has Q_r >= 2|U| qubits, any switch can relay all |U|-1
+// tree channels simultaneously, so capacity can never conflict. Under that
+// condition the problem decomposes:
+//   Step 1 — for every user pair, the best channel (Algorithm 1; one
+//            Dijkstra per *source* user suffices, §IV-B's optimization).
+//   Step 2 — pick channels in descending rate order, Kruskal-style over a
+//            union–find of users, skipping channels whose endpoints are
+//            already connected.
+// Maximizing the product of channel rates equals minimizing the sum of their
+// negative logs, i.e. a maximum spanning tree on the complete user graph —
+// which the greedy selection solves exactly (Theorem 3).
+//
+// The implementation does not *verify* the sufficient condition: called on a
+// capacity-starved network it still returns the capacity-oblivious optimum
+// (whose interior switches were merely required to hold >= 2 qubits, per
+// Algorithm 1). This mirrors the paper's Fig. 8(a), where Algorithm 2 is
+// evaluated with its switches pinned at 2|U| qubits regardless of the sweep;
+// use `sufficient_condition_holds` to test applicability, and Algorithms 3/4
+// for capacity-constrained instances.
+#pragma once
+
+#include <span>
+
+#include "network/channel.hpp"
+#include "network/quantum_network.hpp"
+
+namespace muerp::routing {
+
+/// True if Q_r >= 2*|users| for every switch (Theorem 3's hypothesis).
+bool sufficient_condition_holds(const net::QuantumNetwork& network,
+                                std::span<const net::NodeId> users);
+
+/// Algorithm 2. `users` must be distinct user vertices of `network`.
+/// Returns the optimal entanglement tree under the sufficient condition;
+/// infeasible (rate 0) only if the users are not mutually reachable.
+net::EntanglementTree optimal_special_case(const net::QuantumNetwork& network,
+                                           std::span<const net::NodeId> users);
+
+}  // namespace muerp::routing

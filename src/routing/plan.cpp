@@ -1,0 +1,35 @@
+#include "routing/plan.hpp"
+
+#include <unordered_map>
+
+#include "network/rate.hpp"
+#include "support/union_find.hpp"
+
+namespace muerp::routing {
+
+net::EntanglementTree make_tree(std::vector<net::Channel> channels,
+                                bool feasible) {
+  net::EntanglementTree tree;
+  tree.channels = std::move(channels);
+  tree.feasible = feasible;
+  tree.rate = feasible ? net::tree_rate(tree.channels) : 0.0;
+  return tree;
+}
+
+bool channels_span_users(std::span<const net::NodeId> users,
+                         std::span<const net::Channel> channels) {
+  if (users.size() <= 1) return channels.empty();
+  if (channels.size() != users.size() - 1) return false;
+  std::unordered_map<net::NodeId, std::size_t> index;
+  for (std::size_t i = 0; i < users.size(); ++i) index[users[i]] = i;
+  support::UnionFind uf(users.size());
+  for (const net::Channel& c : channels) {
+    const auto src = index.find(c.source());
+    const auto dst = index.find(c.destination());
+    if (src == index.end() || dst == index.end()) return false;
+    if (!uf.unite(src->second, dst->second)) return false;
+  }
+  return uf.set_count() == 1;
+}
+
+}  // namespace muerp::routing

@@ -1,0 +1,25 @@
+// Shared helpers for assembling routing results.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "network/channel.hpp"
+#include "network/quantum_network.hpp"
+
+namespace muerp::routing {
+
+/// Packages channels into an EntanglementTree. When `feasible`, the tree
+/// rate is the Eq. (2) product of the channel rates; otherwise rate is 0 and
+/// the channels are kept only as partial-progress diagnostics (§V-A: "if a
+/// channel in the entanglement tree cannot be established ... the
+/// entanglement rate becomes zero").
+net::EntanglementTree make_tree(std::vector<net::Channel> channels,
+                                bool feasible);
+
+/// True if the channels' user-level graph connects all of `users` into one
+/// tree (exactly users.size()-1 channels, no cycles, one component).
+bool channels_span_users(std::span<const net::NodeId> users,
+                         std::span<const net::Channel> channels);
+
+}  // namespace muerp::routing

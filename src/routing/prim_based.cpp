@@ -1,0 +1,66 @@
+#include "routing/prim_based.hpp"
+
+#include <cassert>
+#include <unordered_set>
+#include <vector>
+
+#include "routing/channel_finder.hpp"
+#include "routing/plan.hpp"
+
+namespace muerp::routing {
+
+net::EntanglementTree prim_based_from(const net::QuantumNetwork& network,
+                                      std::span<const net::NodeId> users,
+                                      std::size_t seed_user_index) {
+  net::CapacityState capacity(network);
+  return prim_based_shared(network, users, seed_user_index, capacity);
+}
+
+net::EntanglementTree prim_based_shared(const net::QuantumNetwork& network,
+                                        std::span<const net::NodeId> users,
+                                        std::size_t seed_user_index,
+                                        net::CapacityState& capacity) {
+  assert(!users.empty());
+  assert(seed_user_index < users.size());
+  if (users.size() == 1) return make_tree({}, true);
+
+  std::vector<net::NodeId> connected{users[seed_user_index]};   // U1
+  std::unordered_set<net::NodeId> pending;                      // U2
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    if (i != seed_user_index) pending.insert(users[i]);
+  }
+
+  const ChannelFinder finder(network);
+  std::vector<net::Channel> committed;
+
+  while (!pending.empty()) {
+    net::Channel best;
+    best.rate = 0.0;  // "CurrentRate <- 0" (Line 5)
+    for (net::NodeId source : connected) {
+      for (net::Channel& candidate : finder.find_best_channels(source, capacity)) {
+        if (!pending.contains(candidate.destination())) continue;
+        if (candidate.rate > best.rate) best = std::move(candidate);
+      }
+    }
+    if (best.rate == 0.0) {
+      // Line 13: U1 and U2 cannot be bridged under residual capacity.
+      return make_tree(std::move(committed), false);
+    }
+    capacity.commit_channel(best.path);
+    pending.erase(best.destination());
+    connected.push_back(best.destination());
+    committed.push_back(std::move(best));
+  }
+
+  return make_tree(std::move(committed), true);
+}
+
+net::EntanglementTree prim_based(const net::QuantumNetwork& network,
+                                 std::span<const net::NodeId> users,
+                                 support::Rng& rng) {
+  assert(!users.empty());
+  const auto seed = static_cast<std::size_t>(rng.uniform_index(users.size()));
+  return prim_based_from(network, users, seed);
+}
+
+}  // namespace muerp::routing

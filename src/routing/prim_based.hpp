@@ -1,0 +1,42 @@
+// Algorithm 4 of the paper: the Prim-based heuristic.
+//
+// Unlike Algorithm 3 this needs no seed tree: it grows the entanglement tree
+// directly, in the style of Prim's MST algorithm. A random user u0 starts
+// the connected set U1; each of the following |U|-1 rounds finds — under the
+// current residual capacities — the maximum-rate channel between any user in
+// U1 and any user in U2 (Algorithm 1 per U1 source), commits it (deducting 2
+// qubits at each interior switch), and moves the newly connected user into
+// U1. If some round finds no channel at all, the heuristic terminates
+// infeasible (rate 0).
+#pragma once
+
+#include <span>
+
+#include "network/channel.hpp"
+#include "network/quantum_network.hpp"
+#include "support/rng.hpp"
+
+namespace muerp::routing {
+
+/// Algorithm 4 with an explicit seed user (index into `users`). Exposed so
+/// tests and the seed-sensitivity ablation can control the start.
+net::EntanglementTree prim_based_from(const net::QuantumNetwork& network,
+                                      std::span<const net::NodeId> users,
+                                      std::size_t seed_user_index);
+
+/// Core of Algorithm 4 operating on an externally owned capacity state:
+/// committed channels deduct from `capacity`, which allows several user
+/// groups to share one network (the multi-group extension). On an
+/// infeasible outcome `capacity` retains the partial deductions of the
+/// committed channels listed in the returned tree.
+net::EntanglementTree prim_based_shared(const net::QuantumNetwork& network,
+                                        std::span<const net::NodeId> users,
+                                        std::size_t seed_user_index,
+                                        net::CapacityState& capacity);
+
+/// Algorithm 4 as written: the seed user is drawn from `rng` (Line 2).
+net::EntanglementTree prim_based(const net::QuantumNetwork& network,
+                                 std::span<const net::NodeId> users,
+                                 support::Rng& rng);
+
+}  // namespace muerp::routing

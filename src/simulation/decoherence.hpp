@@ -1,0 +1,66 @@
+// Age-dependent fidelity in the time-slotted retry model.
+//
+// The time-slotted simulator (time_slotted.hpp) shows quantum memory
+// slashing time-to-entanglement; this module prices the cost: a Bell pair
+// held in memory decoheres, its Werner parameter shrinking by a factor
+// `memory_decay_per_slot` every slot it waits. Running the same retry
+// process while tracking each channel's completion age yields the joint
+// distribution of (completion time, delivered fidelity) — making the
+// memory-window choice a quantitative trade instead of a free lunch, and
+// connecting the §II-B execution model to the fidelity extension's
+// Werner-state algebra.
+#pragma once
+
+#include <cstdint>
+
+#include "extensions/fidelity.hpp"
+#include "network/channel.hpp"
+#include "network/quantum_network.hpp"
+#include "support/rng.hpp"
+
+namespace muerp::sim {
+
+struct DecoherenceParams {
+  /// Slots a completed channel may wait for its siblings before expiring
+  /// (same meaning as TimeSlottedParams::memory_slots).
+  std::uint32_t memory_slots = 10;
+  /// Multiplicative Werner decay per waiting slot (1.0 = lossless memory).
+  double memory_decay_per_slot = 0.995;
+  /// Channel fidelity model at creation time.
+  ext::FidelityParams fidelity;
+  std::uint64_t max_slots = 1'000'000;
+};
+
+struct DeliveredEntanglement {
+  /// Slots until all channels were simultaneously alive; 0 = aborted.
+  std::uint64_t slots = 0;
+  /// Smallest end-to-end channel fidelity at delivery, after memory decay
+  /// of each channel's waiting time. 0 when aborted.
+  double worst_fidelity = 0.0;
+};
+
+class DecoherenceSimulator {
+ public:
+  DecoherenceSimulator(const net::QuantumNetwork& network,
+                       DecoherenceParams params)
+      : network_(&network), params_(params) {}
+
+  /// One full retry run of the tree.
+  DeliveredEntanglement run_once(const net::EntanglementTree& tree,
+                                 support::Rng& rng) const;
+
+  struct Stats {
+    double mean_slots = 0.0;
+    double mean_worst_fidelity = 0.0;
+    std::uint64_t completed_runs = 0;
+    std::uint64_t aborted_runs = 0;
+  };
+  Stats measure(const net::EntanglementTree& tree, std::uint64_t runs,
+                support::Rng& rng) const;
+
+ private:
+  const net::QuantumNetwork* network_;
+  DecoherenceParams params_;
+};
+
+}  // namespace muerp::sim

@@ -1,0 +1,72 @@
+#include "simulation/failure.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace muerp::sim {
+
+namespace {
+
+/// True if every fiber of `channel` is up in this round's outage draw.
+bool path_alive(const net::QuantumNetwork& network,
+                const net::Channel& channel,
+                const std::vector<bool>& fiber_up) {
+  for (std::size_t i = 0; i + 1 < channel.path.size(); ++i) {
+    const auto e =
+        network.graph().find_edge(channel.path[i], channel.path[i + 1]);
+    assert(e);
+    if (!fiber_up[*e]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool FailureSimulator::attempt_with_failures(
+    const net::EntanglementTree& tree, const routing::BackupPlan* backups,
+    support::Rng& rng) const {
+  if (!tree.feasible) return false;
+  assert(!backups || backups->backups.size() == tree.channels.size());
+
+  // One outage draw shared by all channels (a broken fiber is broken for
+  // everyone this round).
+  std::vector<bool> fiber_up(network_->graph().edge_count());
+  for (std::size_t e = 0; e < fiber_up.size(); ++e) {
+    fiber_up[e] = !rng.bernoulli(params_.failure_prob);
+  }
+
+  const MonteCarloSimulator mc(*network_);
+  for (std::size_t c = 0; c < tree.channels.size(); ++c) {
+    const net::Channel* serving = nullptr;
+    if (path_alive(*network_, tree.channels[c], fiber_up)) {
+      serving = &tree.channels[c];
+    } else if (backups && backups->backups[c] &&
+               path_alive(*network_, *backups->backups[c], fiber_up)) {
+      serving = &*backups->backups[c];
+    }
+    if (!serving) return false;        // no usable route this round
+    if (!mc.attempt_channel(*serving, rng)) return false;
+  }
+  return true;
+}
+
+Estimate FailureSimulator::estimate_resilient_rate(
+    const net::EntanglementTree& tree, const routing::BackupPlan* backups,
+    std::uint64_t rounds, support::Rng& rng) const {
+  std::uint64_t successes = 0;
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    if (attempt_with_failures(tree, backups, rng)) ++successes;
+  }
+  Estimate est;
+  est.rounds = rounds;
+  est.successes = successes;
+  if (rounds > 0) {
+    est.rate = static_cast<double>(successes) / static_cast<double>(rounds);
+    est.std_error =
+        std::sqrt(est.rate * (1.0 - est.rate) / static_cast<double>(rounds));
+  }
+  return est;
+}
+
+}  // namespace muerp::sim

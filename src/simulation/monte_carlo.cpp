@@ -1,0 +1,123 @@
+#include "simulation/monte_carlo.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace muerp::sim {
+
+namespace {
+
+Estimate from_counts(std::uint64_t successes, std::uint64_t rounds) {
+  Estimate est;
+  est.rounds = rounds;
+  est.successes = successes;
+  if (rounds > 0) {
+    est.rate = static_cast<double>(successes) / static_cast<double>(rounds);
+    est.std_error =
+        std::sqrt(est.rate * (1.0 - est.rate) / static_cast<double>(rounds));
+  }
+  return est;
+}
+
+}  // namespace
+
+bool MonteCarloSimulator::attempt_channel(const net::Channel& channel,
+                                          support::Rng& rng) const {
+  assert(channel.path.size() >= 2);
+  // Every quantum link must produce a Bell pair in this window...
+  for (std::size_t i = 0; i + 1 < channel.path.size(); ++i) {
+    const auto edge =
+        network_->graph().find_edge(channel.path[i], channel.path[i + 1]);
+    assert(edge && "simulated channel uses a non-existent fiber");
+    if (!rng.bernoulli(network_->link_success(*edge))) return false;
+  }
+  // ...and every interior switch must succeed at its BSM.
+  const double q = network_->physical().swap_success;
+  for (std::size_t i = 1; i + 1 < channel.path.size(); ++i) {
+    if (!rng.bernoulli(q)) return false;
+  }
+  return true;
+}
+
+bool MonteCarloSimulator::attempt_tree(const net::EntanglementTree& tree,
+                                       support::Rng& rng) const {
+  if (!tree.feasible) return false;
+  for (const net::Channel& channel : tree.channels) {
+    if (!attempt_channel(channel, rng)) return false;
+  }
+  return true;
+}
+
+bool MonteCarloSimulator::attempt_fusion(const baselines::FusionPlan& plan,
+                                         double fusion_penalty,
+                                         support::Rng& rng) const {
+  if (!plan.feasible) return false;
+  const double qf = fusion_penalty * network_->physical().swap_success;
+  for (const net::Channel& channel : plan.channels) {
+    for (std::size_t i = 0; i + 1 < channel.path.size(); ++i) {
+      const auto edge =
+          network_->graph().find_edge(channel.path[i], channel.path[i + 1]);
+      assert(edge);
+      if (!rng.bernoulli(network_->link_success(*edge))) return false;
+    }
+    for (std::size_t i = 1; i + 1 < channel.path.size(); ++i) {
+      if (!rng.bernoulli(qf)) return false;  // relay 2-fusion
+    }
+  }
+  // Central GHZ measurement over k delivered qubits: k-1 pairwise fusions.
+  if (plan.channels.size() >= 2) {
+    for (std::size_t i = 0; i + 1 < plan.channels.size(); ++i) {
+      if (!rng.bernoulli(qf)) return false;
+    }
+  }
+  return true;
+}
+
+Estimate MonteCarloSimulator::estimate_tree_rate(
+    const net::EntanglementTree& tree, std::uint64_t rounds,
+    support::Rng& rng) const {
+  if (!tree.feasible) return from_counts(0, rounds);
+  std::uint64_t successes = 0;
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    if (attempt_tree(tree, rng)) ++successes;
+  }
+  return from_counts(successes, rounds);
+}
+
+bool MonteCarloSimulator::attempt_multipath(
+    const routing::MultipathPlan& plan, support::Rng& rng) const {
+  for (const routing::ChannelBundle& bundle : plan.bundles) {
+    bool served = false;
+    // All members attempt physically (they hold independent qubits); the
+    // bundle is served if any of them completed. Sampling every member —
+    // rather than short-circuiting — keeps the draw order deterministic.
+    for (const net::Channel& channel : bundle.channels) {
+      if (attempt_channel(channel, rng)) served = true;
+    }
+    if (!served) return false;
+  }
+  return true;
+}
+
+Estimate MonteCarloSimulator::estimate_multipath_rate(
+    const routing::MultipathPlan& plan, std::uint64_t rounds,
+    support::Rng& rng) const {
+  std::uint64_t successes = 0;
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    if (attempt_multipath(plan, rng)) ++successes;
+  }
+  return from_counts(successes, rounds);
+}
+
+Estimate MonteCarloSimulator::estimate_fusion_rate(
+    const baselines::FusionPlan& plan, double fusion_penalty,
+    std::uint64_t rounds, support::Rng& rng) const {
+  if (!plan.feasible) return from_counts(0, rounds);
+  std::uint64_t successes = 0;
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    if (attempt_fusion(plan, fusion_penalty, rng)) ++successes;
+  }
+  return from_counts(successes, rounds);
+}
+
+}  // namespace muerp::sim

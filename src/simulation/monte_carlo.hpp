@@ -1,0 +1,77 @@
+// Monte-Carlo execution of the entanglement process (paper §II-B).
+//
+// The paper's metric is the closed-form success probability of a routed
+// plan, but the underlying *process* is physical: in a synchronized time
+// window every quantum link attempts a Bell-pair over its fiber
+// (Bernoulli(p), p = exp(-alpha*L)) and every relay switch attempts its BSM
+// (Bernoulli(q)); multi-user entanglement succeeds iff every link and every
+// swap of every channel succeeds in the same window. This simulator executes
+// that process directly and estimates the success rate empirically, serving
+// two roles:
+//   1. validation — the estimate must agree with Eq. (1)/(2) within
+//      statistical error (asserted by tests);
+//   2. substrate — a stand-in for the paper's (unreleased) simulator when
+//      exploring plans whose closed form is awkward (e.g. fusion stars).
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/nfusion.hpp"
+#include "network/channel.hpp"
+#include "network/quantum_network.hpp"
+#include "routing/multipath.hpp"
+#include "support/rng.hpp"
+
+namespace muerp::sim {
+
+struct Estimate {
+  double rate = 0.0;      // fraction of successful rounds
+  double std_error = 0.0; // binomial standard error of `rate`
+  std::uint64_t rounds = 0;
+  std::uint64_t successes = 0;
+};
+
+class MonteCarloSimulator {
+ public:
+  explicit MonteCarloSimulator(const net::QuantumNetwork& network)
+      : network_(&network) {}
+
+  /// One synchronized attempt of a single channel: all links then all swaps.
+  bool attempt_channel(const net::Channel& channel, support::Rng& rng) const;
+
+  /// One synchronized attempt of a full entanglement tree (all channels).
+  bool attempt_tree(const net::EntanglementTree& tree,
+                    support::Rng& rng) const;
+
+  /// One attempt of an N-FUSION star: every channel link at p, every relay
+  /// fusion and the |channels|-1 central fusion operations at q_f.
+  bool attempt_fusion(const baselines::FusionPlan& plan, double fusion_penalty,
+                      support::Rng& rng) const;
+
+  /// Estimates a tree's entanglement rate over `rounds` attempts.
+  /// An infeasible tree scores 0 without sampling.
+  Estimate estimate_tree_rate(const net::EntanglementTree& tree,
+                              std::uint64_t rounds, support::Rng& rng) const;
+
+  /// Estimates a fusion plan's GHZ distribution rate.
+  Estimate estimate_fusion_rate(const baselines::FusionPlan& plan,
+                                double fusion_penalty, std::uint64_t rounds,
+                                support::Rng& rng) const;
+
+  /// One attempt of a multipath plan: every bundle channel attempts in the
+  /// same window; a bundle is served when ANY member fully succeeds; the
+  /// entanglement succeeds when every bundle is served. Validates the
+  /// 1 - prod(1 - P_i) closed form of routing::bundle_success by physics.
+  bool attempt_multipath(const routing::MultipathPlan& plan,
+                         support::Rng& rng) const;
+
+  /// Estimates a multipath plan's entanglement rate.
+  Estimate estimate_multipath_rate(const routing::MultipathPlan& plan,
+                                   std::uint64_t rounds,
+                                   support::Rng& rng) const;
+
+ private:
+  const net::QuantumNetwork* network_;
+};
+
+}  // namespace muerp::sim

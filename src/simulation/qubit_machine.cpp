@@ -1,0 +1,150 @@
+#include "simulation/qubit_machine.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace muerp::sim {
+
+namespace {
+
+constexpr std::size_t kNoPartner = std::numeric_limits<std::size_t>::max();
+
+/// One allocated memory slot participating in this window.
+struct Qubit {
+  net::NodeId owner = graph::kInvalidNode;
+  /// Index of the entangled partner qubit; kNoPartner when unentangled
+  /// (generation failed, or destroyed by a failed BSM).
+  std::size_t partner = kNoPartner;
+};
+
+}  // namespace
+
+QubitMachine::WindowResult QubitMachine::execute_window(
+    const net::EntanglementTree& tree, support::Rng& rng) const {
+  WindowResult result;
+  result.qubits_used.assign(network_->node_count(), 0);
+  if (!tree.feasible) {
+    // Nothing to execute; the allocation of an empty plan is trivially ok.
+    result.allocation_valid = tree.channels.empty();
+    result.success = false;
+    return result;
+  }
+
+  // --- Phase 1: allocation. One qubit per link endpoint that is a switch;
+  // user memories are unbounded (§II-A) and tracked implicitly.
+  std::vector<Qubit> qubits;
+  // per channel, per link: the qubit index at each endpoint (kNoPartner
+  // when the endpoint is a user — users hold their own untracked memory,
+  // represented as a dedicated qubit object too for uniform splicing).
+  struct LinkSlots {
+    std::size_t at_lower;   // qubit at path[i]
+    std::size_t at_upper;   // qubit at path[i+1]
+  };
+  std::vector<std::vector<LinkSlots>> slots(tree.channels.size());
+
+  for (std::size_t c = 0; c < tree.channels.size(); ++c) {
+    const auto& path = tree.channels[c].path;
+    slots[c].resize(path.size() - 1);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      for (int side = 0; side < 2; ++side) {
+        const net::NodeId node = side == 0 ? path[i] : path[i + 1];
+        if (network_->is_switch(node)) {
+          if (result.qubits_used[node] + 1 > network_->qubits(node)) {
+            result.allocation_valid = false;
+            result.overbooked_switch = node;
+            return result;
+          }
+          ++result.qubits_used[node];
+        }
+        qubits.push_back({node, kNoPartner});
+        (side == 0 ? slots[c][i].at_lower : slots[c][i].at_upper) =
+            qubits.size() - 1;
+      }
+    }
+  }
+  result.allocation_valid = true;
+
+  // --- Phase 2: link generation. A successful link entangles its two
+  // endpoint qubits.
+  for (std::size_t c = 0; c < tree.channels.size(); ++c) {
+    const auto& path = tree.channels[c].path;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const auto e = network_->graph().find_edge(path[i], path[i + 1]);
+      assert(e && "plan uses a fiber that does not exist");
+      if (rng.bernoulli(network_->link_success(*e))) {
+        qubits[slots[c][i].at_lower].partner = slots[c][i].at_upper;
+        qubits[slots[c][i].at_upper].partner = slots[c][i].at_lower;
+      }
+    }
+  }
+
+  // --- Phase 3: entanglement swapping. Every interior switch measures its
+  // two qubits of the channel; success splices the remote partners, failure
+  // destroys both pairs.
+  const double q = network_->physical().swap_success;
+  for (std::size_t c = 0; c < tree.channels.size(); ++c) {
+    const auto& path = tree.channels[c].path;
+    for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+      const std::size_t left = slots[c][i - 1].at_upper;  // qubit at path[i]
+      const std::size_t right = slots[c][i].at_lower;     // qubit at path[i]
+      assert(qubits[left].owner == path[i]);
+      assert(qubits[right].owner == path[i]);
+      const std::size_t far_left = qubits[left].partner;
+      const std::size_t far_right = qubits[right].partner;
+      if (far_left == kNoPartner || far_right == kNoPartner) {
+        // A missing input pair: measuring does nothing useful; destroy
+        // whatever half-pairs exist so they cannot be spliced later.
+        if (far_left != kNoPartner) qubits[far_left].partner = kNoPartner;
+        if (far_right != kNoPartner) qubits[far_right].partner = kNoPartner;
+        qubits[left].partner = qubits[right].partner = kNoPartner;
+        continue;
+      }
+      if (rng.bernoulli(q)) {
+        // Splice: the two remote qubits become each other's partners; the
+        // measured qubits are freed (Fig. 1's "freed qubit").
+        qubits[far_left].partner = far_right;
+        qubits[far_right].partner = far_left;
+      } else {
+        qubits[far_left].partner = kNoPartner;
+        qubits[far_right].partner = kNoPartner;
+      }
+      qubits[left].partner = qubits[right].partner = kNoPartner;
+    }
+  }
+
+  // --- Phase 4: verification. Each channel succeeded iff its two end-user
+  // qubits are now mutual partners.
+  result.success = true;
+  for (std::size_t c = 0; c < tree.channels.size(); ++c) {
+    const std::size_t src_qubit = slots[c].front().at_lower;
+    const std::size_t dst_qubit = slots[c].back().at_upper;
+    if (qubits[src_qubit].partner != dst_qubit ||
+        qubits[dst_qubit].partner != src_qubit) {
+      result.success = false;
+      break;
+    }
+  }
+  return result;
+}
+
+Estimate QubitMachine::estimate_rate(const net::EntanglementTree& tree,
+                                     std::uint64_t rounds,
+                                     support::Rng& rng) const {
+  Estimate est;
+  est.rounds = rounds;
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    const auto window = execute_window(tree, rng);
+    if (!window.allocation_valid) return Estimate{0.0, 0.0, rounds, 0};
+    if (window.success) ++est.successes;
+  }
+  if (rounds > 0) {
+    est.rate =
+        static_cast<double>(est.successes) / static_cast<double>(rounds);
+    est.std_error =
+        std::sqrt(est.rate * (1.0 - est.rate) / static_cast<double>(rounds));
+  }
+  return est;
+}
+
+}  // namespace muerp::sim

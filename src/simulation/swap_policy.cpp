@@ -1,0 +1,162 @@
+#include "simulation/swap_policy.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "support/statistics.hpp"
+
+namespace muerp::sim {
+
+namespace {
+
+/// A contiguous run of entangled links [begin, end) with a creation age.
+struct Span {
+  std::size_t begin;
+  std::size_t end;
+  std::uint64_t born_slot;
+};
+
+}  // namespace
+
+const char* swap_policy_name(SwapPolicy policy) noexcept {
+  switch (policy) {
+    case SwapPolicy::kAsap:
+      return "swap-asap";
+    case SwapPolicy::kLinear:
+      return "linear";
+    case SwapPolicy::kBalanced:
+      return "balanced";
+  }
+  return "?";
+}
+
+SwapPolicySimulator::SwapPolicySimulator(const net::QuantumNetwork& network,
+                                         const net::Channel& channel) {
+  assert(channel.path.size() >= 2);
+  for (std::size_t i = 0; i + 1 < channel.path.size(); ++i) {
+    const auto e =
+        network.graph().find_edge(channel.path[i], channel.path[i + 1]);
+    assert(e && "channel path must follow fibers");
+    link_success_.push_back(network.link_success(*e));
+  }
+  swap_success_ = network.physical().swap_success;
+
+  // Balanced binary partition of [0, links): every node interval is legal.
+  const auto build = [this](auto&& self, std::size_t begin,
+                            std::size_t end) -> void {
+    balanced_intervals_.emplace_back(begin, end);
+    if (end - begin <= 1) return;
+    const std::size_t mid = begin + (end - begin + 1) / 2;
+    self(self, begin, mid);
+    self(self, mid, end);
+  };
+  build(build, 0, link_success_.size());
+}
+
+bool SwapPolicySimulator::merge_allowed(SwapPolicy policy,
+                                        std::size_t a_begin, std::size_t mid,
+                                        std::size_t b_end) const {
+  switch (policy) {
+    case SwapPolicy::kAsap:
+      return true;
+    case SwapPolicy::kLinear:
+      // Only the source-anchored span extends.
+      return a_begin == 0;
+    case SwapPolicy::kBalanced:
+      // The merge must produce exactly a balanced-tree interval whose
+      // children are the two spans.
+      return std::find(balanced_intervals_.begin(), balanced_intervals_.end(),
+                       std::make_pair(a_begin, b_end)) !=
+                 balanced_intervals_.end() &&
+             std::find(balanced_intervals_.begin(), balanced_intervals_.end(),
+                       std::make_pair(a_begin, mid)) !=
+                 balanced_intervals_.end() &&
+             std::find(balanced_intervals_.begin(), balanced_intervals_.end(),
+                       std::make_pair(mid, b_end)) !=
+                 balanced_intervals_.end();
+  }
+  return false;
+}
+
+std::uint64_t SwapPolicySimulator::run_once(const SwapPolicyParams& params,
+                                            support::Rng& rng) const {
+  const std::size_t links = link_success_.size();
+  std::vector<Span> spans;  // kept sorted by begin, non-overlapping
+
+  for (std::uint64_t slot = 1; slot <= params.max_slots; ++slot) {
+    // 1. Decoherence: expire old spans.
+    if (params.memory_slots > 0) {
+      std::erase_if(spans, [&](const Span& s) {
+        return slot - s.born_slot > params.memory_slots;
+      });
+    }
+
+    // 2. Generation: links not covered by any span attempt a Bell pair.
+    std::vector<bool> covered(links, false);
+    for (const Span& s : spans) {
+      for (std::size_t i = s.begin; i < s.end; ++i) covered[i] = true;
+    }
+    for (std::size_t i = 0; i < links; ++i) {
+      if (!covered[i] && rng.bernoulli(link_success_[i])) {
+        spans.push_back({i, i + 1, slot});
+      }
+    }
+    std::sort(spans.begin(), spans.end(),
+              [](const Span& l, const Span& r) { return l.begin < r.begin; });
+
+    // 3. Swaps: repeatedly try eligible adjacent merges (left to right; a
+    //    merged span can merge again within the same slot under ASAP —
+    //    physically several switches firing in the same window).
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      for (std::size_t i = 0; i + 1 < spans.size(); ++i) {
+        if (spans[i].end != spans[i + 1].begin) continue;  // not adjacent
+        if (!merge_allowed(params.policy, spans[i].begin, spans[i].end,
+                           spans[i + 1].end)) {
+          continue;
+        }
+        if (rng.bernoulli(swap_success_)) {
+          spans[i].end = spans[i + 1].end;
+          // Merged span inherits the *older* birth (both halves must
+          // survive until now; the memory clock keeps the worst case).
+          spans[i].born_slot =
+              std::min(spans[i].born_slot, spans[i + 1].born_slot);
+          spans.erase(spans.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+        } else {
+          // Failed BSM destroys both spans.
+          spans.erase(spans.begin() + static_cast<std::ptrdiff_t>(i),
+                      spans.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+        }
+        progressed = true;
+        break;  // span list changed; rescan
+      }
+    }
+
+    if (spans.size() == 1 && spans[0].begin == 0 && spans[0].end == links) {
+      return slot;
+    }
+  }
+  return 0;  // aborted
+}
+
+SwapLatencyStats SwapPolicySimulator::measure(const SwapPolicyParams& params,
+                                              std::uint64_t runs,
+                                              support::Rng& rng) const {
+  support::Accumulator acc;
+  SwapLatencyStats stats;
+  for (std::uint64_t r = 0; r < runs; ++r) {
+    const std::uint64_t slots = run_once(params, rng);
+    if (slots == 0) {
+      ++stats.aborted_runs;
+    } else {
+      ++stats.completed_runs;
+      acc.add(static_cast<double>(slots));
+    }
+  }
+  stats.mean_slots = acc.mean();
+  stats.stddev_slots = acc.stddev();
+  return stats;
+}
+
+}  // namespace muerp::sim

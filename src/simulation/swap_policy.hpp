@@ -1,0 +1,80 @@
+// Entanglement-swapping order policies along a single channel.
+//
+// The paper's rate metric assumes all links and swaps of a channel succeed
+// within one synchronized window (Eq. 1). When windows are retried and
+// quantum memories hold partial progress, the *order* in which a channel's
+// switches perform their swaps changes the expected time to end-to-end
+// entanglement — the question studied by swapping-tree work the paper cites
+// ([17], Ghaderibaneh et al.). This simulator executes a channel link by
+// link under three classic policies:
+//
+//   kAsap     — any switch whose two adjacent spans are ready swaps now;
+//   kLinear   — extend from the source: only the span containing the source
+//               user may swap rightward (sequential chain);
+//   kBalanced — doubling scheme: swaps follow a balanced binary tree over
+//               the links, merging only sibling intervals.
+//
+// Mechanics per slot: unentangled links attempt generation with their
+// p = exp(-alpha*L); eligible swaps attempt with q — success merges the two
+// spans, failure destroys both (their links must regenerate); spans older
+// than `memory_slots` decohere (0 = unlimited memory). The run ends when a
+// single span covers the whole channel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "network/channel.hpp"
+#include "network/quantum_network.hpp"
+#include "support/rng.hpp"
+
+namespace muerp::sim {
+
+enum class SwapPolicy {
+  kAsap,
+  kLinear,
+  kBalanced,
+};
+
+const char* swap_policy_name(SwapPolicy policy) noexcept;
+
+struct SwapPolicyParams {
+  SwapPolicy policy = SwapPolicy::kAsap;
+  /// Slots an entangled span survives after creation; 0 = unlimited.
+  std::uint32_t memory_slots = 0;
+  std::uint64_t max_slots = 1'000'000;
+};
+
+struct SwapLatencyStats {
+  double mean_slots = 0.0;
+  double stddev_slots = 0.0;
+  std::uint64_t completed_runs = 0;
+  std::uint64_t aborted_runs = 0;
+};
+
+class SwapPolicySimulator {
+ public:
+  /// `channel` must be a valid path on `network` (>= 1 link).
+  SwapPolicySimulator(const net::QuantumNetwork& network,
+                      const net::Channel& channel);
+
+  /// Slots until one span covers the channel; 0 = aborted at max_slots.
+  std::uint64_t run_once(const SwapPolicyParams& params,
+                         support::Rng& rng) const;
+
+  SwapLatencyStats measure(const SwapPolicyParams& params,
+                           std::uint64_t runs, support::Rng& rng) const;
+
+ private:
+  /// True if merging spans [a_begin, mid) and [mid, b_end) (link indices)
+  /// is allowed under `policy`.
+  bool merge_allowed(SwapPolicy policy, std::size_t a_begin, std::size_t mid,
+                     std::size_t b_end) const;
+
+  std::vector<double> link_success_;  // per link of the channel
+  double swap_success_;
+  /// Balanced-tree intervals [begin, end) over link indices.
+  std::vector<std::pair<std::size_t, std::size_t>> balanced_intervals_;
+};
+
+}  // namespace muerp::sim

@@ -1,0 +1,106 @@
+#include "support/cli.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <sstream>
+
+namespace muerp::support {
+
+CliParser::CliParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void CliParser::add_flag(const std::string& name, const std::string& help,
+                         const std::string& default_value) {
+  flags_[name] = Flag{help, default_value, std::nullopt};
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    if (arg == "help") {
+      std::fputs(usage(argv[0]).c_str(), stderr);
+      return false;
+    }
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg.erase(eq);
+      has_value = true;
+    }
+    const auto it = flags_.find(arg);
+    if (it == flags_.end()) {
+      std::fprintf(stderr, "unknown flag --%s\n%s", arg.c_str(),
+                   usage(argv[0]).c_str());
+      return false;
+    }
+    if (!has_value) {
+      // `--flag value` form, unless the next token is another flag (or the
+      // end), in which case it is a boolean switch.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    it->second.value = std::move(value);
+  }
+  return true;
+}
+
+std::string CliParser::get_string(const std::string& name) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return "";
+  return it->second.value.value_or(it->second.default_value);
+}
+
+std::optional<std::int64_t> CliParser::get_int(const std::string& name) const {
+  const std::string text = get_string(name);
+  std::int64_t out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    return std::nullopt;
+  }
+  return out;
+}
+
+std::optional<double> CliParser::get_double(const std::string& name) const {
+  const std::string text = get_string(name);
+  if (text.empty()) return std::nullopt;
+  char* end = nullptr;
+  const double out = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) return std::nullopt;
+  return out;
+}
+
+bool CliParser::get_bool(const std::string& name) const {
+  const std::string text = get_string(name);
+  return text == "true" || text == "1" || text == "yes" || text == "on";
+}
+
+bool CliParser::was_set(const std::string& name) const {
+  const auto it = flags_.find(name);
+  return it != flags_.end() && it->second.value.has_value();
+}
+
+std::string CliParser::usage(const std::string& program_name) const {
+  std::ostringstream os;
+  os << description_ << "\n\nusage: " << program_name << " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name;
+    if (!flag.default_value.empty()) {
+      os << " (default: " << flag.default_value << ")";
+    }
+    os << "\n      " << flag.help << '\n';
+  }
+  os << "  --help\n      show this message\n";
+  return os.str();
+}
+
+}  // namespace muerp::support

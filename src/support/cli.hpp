@@ -1,0 +1,58 @@
+// Minimal command-line flag parsing for the examples and bench binaries.
+//
+// Supports `--name value`, `--name=value`, and boolean `--name` forms, with
+// typed accessors, defaults, and generated --help text. Unknown flags are an
+// error (catches typos in sweep scripts); positional arguments are collected
+// in order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace muerp::support {
+
+class CliParser {
+ public:
+  /// `program_description` appears at the top of --help output.
+  explicit CliParser(std::string program_description);
+
+  /// Registers a flag before parsing. `help` is shown in --help output.
+  void add_flag(const std::string& name, const std::string& help,
+                const std::string& default_value = "");
+
+  /// Parses argv. Returns false (after printing usage to stderr) on unknown
+  /// flags or a missing value; returns false with usage on --help too.
+  bool parse(int argc, const char* const* argv);
+
+  /// Accessors; fall back to the registered default when the flag was not
+  /// given on the command line. Numeric accessors return nullopt when the
+  /// value does not parse.
+  std::string get_string(const std::string& name) const;
+  std::optional<std::int64_t> get_int(const std::string& name) const;
+  std::optional<double> get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  bool was_set(const std::string& name) const;
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// The generated usage text.
+  std::string usage(const std::string& program_name) const;
+
+ private:
+  struct Flag {
+    std::string help;
+    std::string default_value;
+    std::optional<std::string> value;
+  };
+
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace muerp::support

@@ -1,0 +1,57 @@
+#include "support/geometry.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+#include "support/rng.hpp"
+
+namespace muerp::support {
+
+double distance(const Point2D& a, const Point2D& b) noexcept {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+double distance_squared(const Point2D& a, const Point2D& b) noexcept {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+double Region::diagonal() const noexcept {
+  return std::hypot(width, height);
+}
+
+bool Region::contains(const Point2D& p) const noexcept {
+  return p.x >= 0.0 && p.x <= width && p.y >= 0.0 && p.y <= height;
+}
+
+std::vector<Point2D> uniform_points(const Region& region, std::size_t count,
+                                    Rng& rng) {
+  assert(region.width >= 0.0 && region.height >= 0.0);
+  std::vector<Point2D> points;
+  points.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    points.push_back({rng.uniform(0.0, region.width),
+                      rng.uniform(0.0, region.height)});
+  }
+  return points;
+}
+
+std::vector<Point2D> ring_points(const Region& region, std::size_t count,
+                                 double radius) {
+  assert(radius >= 0.0);
+  const Point2D centre{region.width / 2.0, region.height / 2.0};
+  std::vector<Point2D> points;
+  points.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double theta =
+        2.0 * std::numbers::pi * static_cast<double>(i) /
+        static_cast<double>(count == 0 ? 1 : count);
+    points.push_back({centre.x + radius * std::cos(theta),
+                      centre.y + radius * std::sin(theta)});
+  }
+  return points;
+}
+
+}  // namespace muerp::support

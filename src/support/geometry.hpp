@@ -1,0 +1,52 @@
+// Planar geometry for quantum-network node placement.
+//
+// The paper places switches and users uniformly at random in a
+// 10,000 x 10,000 km square (§V-A) and derives every fiber length — and thus
+// every link entanglement rate p = exp(-alpha * L) — from Euclidean distance.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace muerp::support {
+
+class Rng;
+
+/// A point in the plane; coordinates are kilometres throughout the library.
+struct Point2D {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point2D&, const Point2D&) = default;
+};
+
+/// Euclidean distance between two points.
+double distance(const Point2D& a, const Point2D& b) noexcept;
+
+/// Squared Euclidean distance (avoids the sqrt when only comparing).
+double distance_squared(const Point2D& a, const Point2D& b) noexcept;
+
+/// An axis-aligned deployment region [0, width] x [0, height].
+struct Region {
+  double width = 0.0;
+  double height = 0.0;
+
+  /// Length of the region diagonal — the maximum possible fiber length,
+  /// used by the Waxman model as its distance normalizer.
+  double diagonal() const noexcept;
+
+  /// True if `p` lies inside the region (boundary inclusive).
+  bool contains(const Point2D& p) const noexcept;
+};
+
+/// Samples `count` points independently and uniformly inside `region`.
+std::vector<Point2D> uniform_points(const Region& region, std::size_t count,
+                                    Rng& rng);
+
+/// Places `count` points evenly on a circle of radius `radius` centred in
+/// `region` (used by the Watts–Strogatz ring construction so that ring
+/// neighbours are geometrically close and fiber lengths stay meaningful).
+std::vector<Point2D> ring_points(const Region& region, std::size_t count,
+                                 double radius);
+
+}  // namespace muerp::support

@@ -1,0 +1,87 @@
+// Deterministic pseudo-random number generation for reproducible simulations.
+//
+// The experiment harness averages results over 20 random networks (paper §V-A);
+// every stochastic decision in the library (topology generation, node placement,
+// Monte-Carlo link trials, Algorithm 4's random seed user) draws from an Rng so
+// that a single 64-bit seed reproduces an entire experiment. The generator is
+// xoshiro256** (Blackman & Vigna), seeded through SplitMix64; it is fast,
+// high-quality, and — unlike std::mt19937 with std::uniform_*_distribution —
+// produces identical streams across standard-library implementations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace muerp::support {
+
+/// xoshiro256** pseudo-random generator with convenience distributions.
+///
+/// Satisfies std::uniform_random_bit_generator so it can also be handed to
+/// standard algorithms (e.g. std::shuffle), though the member distributions
+/// should be preferred for cross-platform determinism.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit state words by iterating SplitMix64 over `seed`.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64-bit output.
+  result_type operator()() noexcept { return next(); }
+  result_type next() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses Lemire's unbiased method.
+  std::uint64_t uniform_index(std::uint64_t n) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Bernoulli trial: true with probability p (clamped to [0, 1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Standard normal via Box–Muller (no cached spare; stateless across calls).
+  double normal(double mean = 0.0, double stddev = 1.0) noexcept;
+
+  /// Exponential with rate lambda > 0.
+  double exponential(double lambda) noexcept;
+
+  /// Fisher–Yates shuffle (deterministic given the Rng state).
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      using std::swap;
+      swap(items[i - 1], items[uniform_index(i)]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) in selection order.
+  /// Requires k <= n. O(n) time, O(n) scratch.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+  /// Derives an independent child generator; stream `i` is stable for a given
+  /// parent state. Used to give each of the 20 experiment networks its own
+  /// stream so adding sweep points never perturbs earlier networks.
+  Rng split(std::uint64_t stream) const noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// SplitMix64 step; exposed for seeding schemes and hashing in tests.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+}  // namespace muerp::support

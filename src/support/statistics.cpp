@@ -1,0 +1,89 @@
+#include "support/statistics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace muerp::support {
+
+void Accumulator::add(double value) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double Accumulator::mean() const noexcept { return count_ == 0 ? 0.0 : mean_; }
+
+double Accumulator::variance() const noexcept {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Accumulator::stderr_mean() const noexcept {
+  return count_ < 2 ? 0.0
+                    : stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+double Accumulator::min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+double Accumulator::max() const noexcept { return count_ == 0 ? 0.0 : max_; }
+
+Summary summarize(std::span<const double> values) noexcept {
+  Accumulator acc;
+  for (double v : values) acc.add(v);
+  return Summary{acc.count(), acc.mean(),   acc.stddev(),
+                 acc.stderr_mean(), acc.min(), acc.max()};
+}
+
+double mean(std::span<const double> values) noexcept {
+  Accumulator acc;
+  for (double v : values) acc.add(v);
+  return acc.mean();
+}
+
+std::optional<double> geometric_mean_positive(
+    std::span<const double> values) noexcept {
+  double log_sum = 0.0;
+  std::size_t positives = 0;
+  for (double v : values) {
+    if (v > 0.0) {
+      log_sum += std::log(v);
+      ++positives;
+    }
+  }
+  if (positives == 0) return std::nullopt;
+  return std::exp(log_sum / static_cast<double>(positives));
+}
+
+double positive_fraction(std::span<const double> values) noexcept {
+  if (values.empty()) return 0.0;
+  std::size_t positives = 0;
+  for (double v : values) {
+    if (v > 0.0) ++positives;
+  }
+  return static_cast<double>(positives) / static_cast<double>(values.size());
+}
+
+double confidence95_half_width(const Summary& summary) noexcept {
+  return 1.959963984540054 * summary.stderr_mean;
+}
+
+double quantile(std::vector<double> values, double p) {
+  assert(!values.empty());
+  assert(p >= 0.0 && p <= 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = p * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace muerp::support

@@ -1,0 +1,70 @@
+// Summary statistics for experiment aggregation.
+//
+// The paper reports each data point as the average over 20 random networks
+// (§V-A). Entanglement rates span many decades (the y-axes of Figs. 5-8 are
+// logarithmic) and become exactly 0 on infeasible instances, so alongside the
+// arithmetic mean we provide the geometric mean over successes and explicit
+// feasibility accounting, which EXPERIMENTS.md uses when comparing shapes.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace muerp::support {
+
+/// Streaming accumulator (Welford) for mean / variance / extrema.
+class Accumulator {
+ public:
+  void add(double value) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept;
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  /// Standard error of the mean; 0 for fewer than two samples.
+  double stderr_mean() const noexcept;
+  double min() const noexcept;
+  double max() const noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch summary of a sample set.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double stderr_mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(std::span<const double> values) noexcept;
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> values) noexcept;
+
+/// Geometric mean of the strictly positive entries; nullopt if none.
+/// Computed in log-space so products spanning many decades do not underflow.
+std::optional<double> geometric_mean_positive(
+    std::span<const double> values) noexcept;
+
+/// Fraction of entries that are strictly positive (the "feasible" fraction of
+/// experiment repetitions: an infeasible routing attempt scores rate 0).
+double positive_fraction(std::span<const double> values) noexcept;
+
+/// Half-width of the two-sided 95% normal confidence interval on the mean.
+double confidence95_half_width(const Summary& summary) noexcept;
+
+/// Linear-interpolated quantile (p in [0,1]) of an unsorted sample.
+double quantile(std::vector<double> values, double p);
+
+}  // namespace muerp::support

@@ -1,0 +1,101 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace muerp::support {
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  assert(!columns_.empty());
+}
+
+void Table::add_row(std::string label, std::vector<double> values) {
+  assert(values.size() + 1 == columns_.size());
+  std::vector<std::string> cells;
+  cells.reserve(columns_.size());
+  cells.push_back(std::move(label));
+  for (double v : values) cells.push_back(format_rate(v));
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_text_row(std::vector<std::string> cells) {
+  assert(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  os << "== " << title_ << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) os << "  ";
+      os << cells[c];
+      for (std::size_t pad = cells[c].size(); pad < widths[c]; ++pad) {
+        os << ' ';
+      }
+    }
+    os << '\n';
+  };
+  emit_row(columns_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule += widths[c] + (c > 0 ? 2 : 0);
+  }
+  os << std::string(rule, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  auto quote = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c > 0) os << ',';
+    os << quote(columns_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ',';
+      os << quote(row[c]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& table) {
+  return os << table.to_string();
+}
+
+std::string format_rate(double value) {
+  if (value == 0.0) return "0";
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.3e", value);
+  return buffer;
+}
+
+}  // namespace muerp::support

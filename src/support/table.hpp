@@ -1,0 +1,50 @@
+// Tabular output for the benchmark harness.
+//
+// Every bench binary regenerates one figure of the paper's evaluation as a
+// plain-text table (what the figures plot) and can also emit CSV for external
+// plotting. Values may span many decades (log-scale figures), so numeric
+// cells are rendered in scientific notation with fixed width.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace muerp::support {
+
+/// A simple column-aligned table with a title, header row and numeric rows.
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  /// Appends a row; the first cell is a label, the rest are numbers.
+  /// The number of values must be columns().size() - 1.
+  void add_row(std::string label, std::vector<double> values);
+
+  /// Appends a row of pre-formatted cells (size must match columns()).
+  void add_text_row(std::vector<std::string> cells);
+
+  const std::string& title() const noexcept { return title_; }
+  const std::vector<std::string>& columns() const noexcept { return columns_; }
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders an aligned, human-readable table.
+  std::string to_string() const;
+
+  /// Renders RFC-4180-style CSV (quotes cells containing comma/quote/newline).
+  std::string to_csv() const;
+
+  /// Convenience: stream the aligned rendering.
+  friend std::ostream& operator<<(std::ostream& os, const Table& table);
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a rate value the way the paper's log-scale axes present it
+/// ("3.42e-04"), with "0" for exact zero (infeasible).
+std::string format_rate(double value);
+
+}  // namespace muerp::support

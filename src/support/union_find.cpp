@@ -1,0 +1,51 @@
+#include "support/union_find.hpp"
+
+#include <cassert>
+#include <numeric>
+
+namespace muerp::support {
+
+UnionFind::UnionFind(std::size_t count)
+    : parent_(count), size_(count, 1), set_count_(count) {
+  std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+}
+
+std::size_t UnionFind::find(std::size_t element) const {
+  assert(element < parent_.size());
+  std::size_t root = element;
+  while (parent_[root] != root) root = parent_[root];
+  // Path compression: point every node on the walk directly at the root.
+  while (parent_[element] != root) {
+    const std::size_t next = parent_[element];
+    parent_[element] = root;
+    element = next;
+  }
+  return root;
+}
+
+bool UnionFind::unite(std::size_t a, std::size_t b) {
+  std::size_t ra = find(a);
+  std::size_t rb = find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --set_count_;
+  return true;
+}
+
+bool UnionFind::connected(std::size_t a, std::size_t b) const {
+  return find(a) == find(b);
+}
+
+std::size_t UnionFind::set_size(std::size_t element) const {
+  return size_[find(element)];
+}
+
+void UnionFind::reset() {
+  std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  size_.assign(size_.size(), 1);
+  set_count_ = parent_.size();
+}
+
+}  // namespace muerp::support

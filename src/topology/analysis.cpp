@@ -1,0 +1,223 @@
+#include "topology/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "support/statistics.hpp"
+
+namespace muerp::topology {
+
+DegreeStats degree_statistics(const graph::Graph& graph) {
+  DegreeStats stats;
+  if (graph.node_count() == 0) return stats;
+  support::Accumulator acc;
+  std::size_t max_degree = 0;
+  for (graph::NodeId v = 0; v < graph.node_count(); ++v) {
+    const std::size_t d = graph.degree(v);
+    acc.add(static_cast<double>(d));
+    max_degree = std::max(max_degree, d);
+  }
+  stats.mean = acc.mean();
+  stats.min = acc.min();
+  stats.max = acc.max();
+  stats.stddev = acc.stddev();
+  stats.histogram.assign(max_degree + 1, 0);
+  for (graph::NodeId v = 0; v < graph.node_count(); ++v) {
+    ++stats.histogram[graph.degree(v)];
+  }
+  return stats;
+}
+
+double average_clustering_coefficient(const graph::Graph& graph) {
+  if (graph.node_count() == 0) return 0.0;
+  double total = 0.0;
+  for (graph::NodeId v = 0; v < graph.node_count(); ++v) {
+    const auto neighbors = graph.neighbors(v);
+    const std::size_t k = neighbors.size();
+    if (k < 2) continue;  // contributes 0
+    std::size_t links = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = i + 1; j < k; ++j) {
+        if (graph.has_edge(neighbors[i].node, neighbors[j].node)) ++links;
+      }
+    }
+    total += 2.0 * static_cast<double>(links) /
+             (static_cast<double>(k) * static_cast<double>(k - 1));
+  }
+  return total / static_cast<double>(graph.node_count());
+}
+
+double characteristic_path_length(const graph::Graph& graph) {
+  double total = 0.0;
+  std::size_t pairs = 0;
+  for (graph::NodeId v = 0; v < graph.node_count(); ++v) {
+    const auto hops = graph::bfs_hops(graph, v);
+    for (graph::NodeId u = v + 1; u < graph.node_count(); ++u) {
+      if (hops[u]) {
+        total += static_cast<double>(*hops[u]);
+        ++pairs;
+      }
+    }
+  }
+  return pairs == 0 ? 0.0 : total / static_cast<double>(pairs);
+}
+
+std::size_t hop_diameter(const graph::Graph& graph) {
+  std::size_t diameter = 0;
+  for (graph::NodeId v = 0; v < graph.node_count(); ++v) {
+    for (const auto& hops : graph::bfs_hops(graph, v)) {
+      if (hops) diameter = std::max(diameter, *hops);
+    }
+  }
+  return diameter;
+}
+
+double degree_assortativity(const graph::Graph& graph) {
+  // Pearson correlation over the 2|E| ordered edge endpoints (x = degree
+  // of one endpoint, y = degree of the other; symmetrized).
+  if (graph.edge_count() == 0) return 0.0;
+  double sum_x = 0.0;
+  double sum_xx = 0.0;
+  double sum_xy = 0.0;
+  const double m = 2.0 * static_cast<double>(graph.edge_count());
+  for (const auto& e : graph.edges()) {
+    const auto da = static_cast<double>(graph.degree(e.a));
+    const auto db = static_cast<double>(graph.degree(e.b));
+    sum_x += da + db;
+    sum_xx += da * da + db * db;
+    sum_xy += 2.0 * da * db;
+  }
+  const double mean = sum_x / m;
+  const double var = sum_xx / m - mean * mean;
+  if (var <= 1e-12) return 0.0;
+  const double cov = sum_xy / m - mean * mean;
+  return cov / var;
+}
+
+double small_world_sigma(const graph::Graph& graph) {
+  const std::size_t n = graph.node_count();
+  const double k = graph.average_degree();
+  if (n < 3 || k <= 1.0) return 0.0;
+  const double c = average_clustering_coefficient(graph);
+  const double l = characteristic_path_length(graph);
+  if (l <= 0.0) return 0.0;
+  const double c_rand = k / static_cast<double>(n);
+  const double l_rand = std::log(static_cast<double>(n)) / std::log(k);
+  if (c_rand <= 0.0 || l_rand <= 0.0) return 0.0;
+  return (c / c_rand) / (l / l_rand);
+}
+
+double power_law_exponent_mle(const graph::Graph& graph,
+                              std::size_t min_degree) {
+  double log_sum = 0.0;
+  std::size_t count = 0;
+  const double shift = static_cast<double>(min_degree) - 0.5;
+  for (graph::NodeId v = 0; v < graph.node_count(); ++v) {
+    const std::size_t d = graph.degree(v);
+    if (d < min_degree) continue;
+    log_sum += std::log(static_cast<double>(d) / shift);
+    ++count;
+  }
+  if (count < 2 || log_sum <= 0.0) return 0.0;
+  return 1.0 + static_cast<double>(count) / log_sum;
+}
+
+std::vector<graph::EdgeId> find_bridges(const graph::Graph& graph) {
+  const std::size_t n = graph.node_count();
+  std::vector<graph::EdgeId> bridges;
+  std::vector<std::size_t> entry(n, 0);
+  std::vector<std::size_t> low(n, 0);
+  std::vector<bool> visited(n, false);
+  std::size_t timer = 1;
+
+  // Iterative DFS (explicit stack) to survive deep graphs.
+  struct Frame {
+    graph::NodeId node;
+    graph::EdgeId via;  // edge used to reach `node`
+    std::size_t next_neighbor;
+  };
+  for (graph::NodeId root = 0; root < n; ++root) {
+    if (visited[root]) continue;
+    std::vector<Frame> stack{{root, graph::kInvalidEdge, 0}};
+    visited[root] = true;
+    entry[root] = low[root] = timer++;
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const auto neighbors = graph.neighbors(frame.node);
+      if (frame.next_neighbor < neighbors.size()) {
+        const graph::Neighbor nb = neighbors[frame.next_neighbor++];
+        if (nb.edge == frame.via) continue;  // don't reuse the tree edge
+        if (visited[nb.node]) {
+          low[frame.node] = std::min(low[frame.node], entry[nb.node]);
+        } else {
+          visited[nb.node] = true;
+          entry[nb.node] = low[nb.node] = timer++;
+          stack.push_back({nb.node, nb.edge, 0});
+        }
+      } else {
+        const Frame done = frame;
+        stack.pop_back();
+        if (!stack.empty()) {
+          Frame& parent = stack.back();
+          low[parent.node] = std::min(low[parent.node], low[done.node]);
+          if (low[done.node] > entry[parent.node]) {
+            bridges.push_back(done.via);
+          }
+        }
+      }
+    }
+  }
+  std::sort(bridges.begin(), bridges.end());
+  return bridges;
+}
+
+std::vector<std::size_t> pairs_lost_per_edge(const graph::Graph& graph) {
+  std::vector<std::size_t> lost(graph.edge_count(), 0);
+  // Only bridges lose pairs; for each bridge, the loss is the product of
+  // the two component sizes it separates.
+  const auto bridges = find_bridges(graph);
+  if (bridges.empty()) return lost;
+  for (graph::EdgeId bridge : bridges) {
+    // Component size on the `a` side when the bridge is cut: BFS avoiding
+    // the bridge.
+    const graph::Edge& e = graph.edge(bridge);
+    std::vector<bool> visited(graph.node_count(), false);
+    std::vector<graph::NodeId> stack{e.a};
+    visited[e.a] = true;
+    std::size_t side_a = 0;
+    while (!stack.empty()) {
+      const graph::NodeId v = stack.back();
+      stack.pop_back();
+      ++side_a;
+      for (const graph::Neighbor& nb : graph.neighbors(v)) {
+        if (nb.edge == bridge || visited[nb.node]) continue;
+        visited[nb.node] = true;
+        stack.push_back(nb.node);
+      }
+    }
+    // The other side of the (former) component containing this bridge.
+    std::size_t component_size = 0;
+    {
+      std::vector<bool> seen(graph.node_count(), false);
+      std::vector<graph::NodeId> s2{e.a};
+      seen[e.a] = true;
+      while (!s2.empty()) {
+        const graph::NodeId v = s2.back();
+        s2.pop_back();
+        ++component_size;
+        for (const graph::Neighbor& nb : graph.neighbors(v)) {
+          if (!seen[nb.node]) {
+            seen[nb.node] = true;
+            s2.push_back(nb.node);
+          }
+        }
+      }
+    }
+    lost[bridge] = side_a * (component_size - side_a);
+  }
+  return lost;
+}
+
+}  // namespace muerp::topology

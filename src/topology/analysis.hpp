@@ -1,0 +1,70 @@
+// Network-science metrics for generated topologies.
+//
+// The evaluation's claims lean on topology structure ("the network topology
+// has a significant impact on the entanglement", §V-B), so the library can
+// quantify that structure: degree statistics, clustering coefficient and
+// characteristic path length (the two numbers defining Watts–Strogatz
+// small-worldness), power-law tail estimation for Volchenkov graphs, and
+// edge criticality — how much of the pairwise connectivity each fiber
+// carries, the formal version of Fig. 7(b)'s "critical edges".
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace muerp::topology {
+
+struct DegreeStats {
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double stddev = 0.0;
+  /// Histogram: histogram[d] = number of vertices with degree d.
+  std::vector<std::size_t> histogram;
+};
+
+DegreeStats degree_statistics(const graph::Graph& graph);
+
+/// Global average of the local clustering coefficient
+/// C_v = (#links among v's neighbours) / (deg(v) choose 2); vertices of
+/// degree < 2 contribute 0 (standard convention).
+double average_clustering_coefficient(const graph::Graph& graph);
+
+/// Characteristic path length: mean hop distance over connected vertex
+/// pairs; 0 when fewer than two mutually reachable vertices exist.
+double characteristic_path_length(const graph::Graph& graph);
+
+/// Hop diameter: the largest finite hop distance between any vertex pair
+/// (per connected component); 0 for graphs with no edges.
+std::size_t hop_diameter(const graph::Graph& graph);
+
+/// Degree assortativity (Pearson correlation of endpoint degrees over
+/// edges, Newman 2002); 0 when undefined (no edges or zero variance).
+/// Negative values = hub-and-spoke mixing (typical of power-law graphs).
+double degree_assortativity(const graph::Graph& graph);
+
+/// Small-world coefficient relative to a degree-matched random baseline:
+/// sigma = (C / C_rand) / (L / L_rand), with C_rand ~ k/n and
+/// L_rand ~ ln(n)/ln(k) for mean degree k. sigma >> 1 means small-world.
+double small_world_sigma(const graph::Graph& graph);
+
+/// Maximum-likelihood power-law exponent (Clauset et al. estimator)
+/// gamma_hat = 1 + n / sum(ln(d_i / (d_min - 0.5))) over degrees >= d_min.
+/// Returns 0 when fewer than 2 qualifying vertices exist.
+double power_law_exponent_mle(const graph::Graph& graph,
+                              std::size_t min_degree = 2);
+
+/// Bridges (cut edges): fibers whose loss disconnects their component —
+/// the extreme "critical edges" of Fig. 7(b). Tarjan's low-link algorithm.
+std::vector<graph::EdgeId> find_bridges(const graph::Graph& graph);
+
+/// Edge betweenness-like criticality: for each fiber, the number of vertex
+/// pairs whose only shortest-hop route count drops when it is removed is
+/// expensive; instead we report, per edge, the increase in the number of
+/// connected vertex pairs lost by deleting it (0 for non-bridges). Cheap
+/// and exactly the Fig. 7(b) failure currency.
+std::vector<std::size_t> pairs_lost_per_edge(const graph::Graph& graph);
+
+}  // namespace muerp::topology

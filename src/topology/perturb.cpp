@@ -1,0 +1,16 @@
+#include "topology/perturb.hpp"
+
+namespace muerp::topology {
+
+std::size_t remove_random_edges(graph::Graph& graph, std::size_t count,
+                                support::Rng& rng) {
+  std::size_t removed = 0;
+  while (removed < count && graph.edge_count() > 0) {
+    graph.remove_edge(
+        static_cast<graph::EdgeId>(rng.uniform_index(graph.edge_count())));
+    ++removed;
+  }
+  return removed;
+}
+
+}  // namespace muerp::topology

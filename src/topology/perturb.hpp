@@ -1,0 +1,23 @@
+// Topology perturbation utilities.
+//
+// The Fig. 7(b) experiment and several robustness tests all need the same
+// operation: delete k uniformly random fibers from a graph. Centralizing it
+// keeps the removal distribution identical everywhere (uniform over the
+// surviving edges at every step, matching the paper's "uniformly and
+// randomly remove edges" procedure).
+#pragma once
+
+#include <cstddef>
+
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace muerp::topology {
+
+/// Removes up to `count` edges chosen uniformly at random (sequentially,
+/// each draw uniform over the edges still present). Returns the number
+/// actually removed (< count only when the graph runs out of edges).
+std::size_t remove_random_edges(graph::Graph& graph, std::size_t count,
+                                support::Rng& rng);
+
+}  // namespace muerp::topology

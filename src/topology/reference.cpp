@@ -1,0 +1,104 @@
+#include "topology/reference.hpp"
+
+#include <stdexcept>
+
+namespace muerp::topology {
+
+namespace {
+
+ReferenceTopology make_nsfnet() {
+  // NSFNET T1 backbone (1991), 14 nodes / 21 links. Coordinates digitized
+  // from the canonical map (x grows eastward, y northward, normalized).
+  ReferenceTopology t;
+  t.name = "nsfnet";
+  t.normalized_positions = {
+      {0.05, 0.60},  //  0 Seattle (WA)
+      {0.03, 0.35},  //  1 Palo Alto (CA1)
+      {0.08, 0.22},  //  2 San Diego (CA2)
+      {0.17, 0.45},  //  3 Salt Lake City (UT)
+      {0.28, 0.30},  //  4 Boulder (CO)
+      {0.45, 0.25},  //  5 Houston (TX)
+      {0.52, 0.42},  //  6 Lincoln (NE)
+      {0.60, 0.55},  //  7 Champaign (IL)
+      {0.68, 0.30},  //  8 Atlanta (GA)
+      {0.72, 0.62},  //  9 Ann Arbor (MI)
+      {0.80, 0.52},  // 10 Pittsburgh (PA)
+      {0.88, 0.58},  // 11 Ithaca (NY)
+      {0.92, 0.45},  // 12 College Park (MD)
+      {0.90, 0.68},  // 13 Princeton (NJ)
+  };
+  t.links = {{0, 1}, {0, 2},  {0, 3},  {1, 2},   {1, 3},   {2, 5},  {3, 4},
+             {4, 5}, {4, 6},  {5, 8},  {6, 7},   {6, 9},   {7, 8},  {7, 10},
+             {8, 12}, {9, 10}, {9, 13}, {10, 11}, {11, 12}, {11, 13},
+             {12, 13}};
+  return t;
+}
+
+ReferenceTopology make_geant() {
+  // Abridged GEANT-style European core: 22 nodes / 36 links (core ring with
+  // cross-links and spurs). Coordinates approximate the usual map layout.
+  ReferenceTopology t;
+  t.name = "geant";
+  t.normalized_positions = {
+      {0.12, 0.30},  //  0 Lisbon
+      {0.22, 0.28},  //  1 Madrid
+      {0.38, 0.20},  //  2 Marseille
+      {0.35, 0.45},  //  3 Paris
+      {0.28, 0.60},  //  4 London
+      {0.35, 0.68},  //  5 Amsterdam
+      {0.42, 0.62},  //  6 Brussels
+      {0.50, 0.55},  //  7 Frankfurt
+      {0.48, 0.35},  //  8 Geneva
+      {0.55, 0.25},  //  9 Milan
+      {0.62, 0.15},  // 10 Rome
+      {0.58, 0.48},  // 11 Munich
+      {0.65, 0.55},  // 12 Prague
+      {0.62, 0.70},  // 13 Hamburg
+      {0.70, 0.78},  // 14 Copenhagen
+      {0.78, 0.85},  // 15 Stockholm
+      {0.72, 0.62},  // 16 Berlin
+      {0.75, 0.45},  // 17 Vienna
+      {0.82, 0.35},  // 18 Zagreb
+      {0.88, 0.25},  // 19 Athens
+      {0.85, 0.55},  // 20 Budapest
+      {0.92, 0.65},  // 21 Warsaw
+  };
+  t.links = {{0, 1},   {1, 2},   {2, 9},   {2, 3},   {3, 4},   {4, 5},
+             {5, 6},   {6, 3},   {6, 7},   {7, 11},  {7, 13},  {8, 3},
+             {8, 9},   {9, 10},  {10, 19}, {11, 9},  {11, 12}, {12, 16},
+             {12, 17}, {13, 5},  {13, 14}, {14, 15}, {15, 21}, {16, 13},
+             {16, 21}, {17, 18}, {17, 20}, {18, 19}, {18, 10}, {20, 21},
+             {20, 19}, {1, 8},   {4, 0},   {14, 16}, {11, 17}, {12, 20}};
+  return t;
+}
+
+}  // namespace
+
+const std::vector<ReferenceTopology>& reference_catalogue() {
+  static const std::vector<ReferenceTopology> catalogue = {make_nsfnet(),
+                                                           make_geant()};
+  return catalogue;
+}
+
+const ReferenceTopology& reference_by_name(const std::string& name) {
+  for (const auto& t : reference_catalogue()) {
+    if (t.name == name) return t;
+  }
+  throw std::out_of_range("unknown reference topology: " + name);
+}
+
+SpatialGraph instantiate_reference(const ReferenceTopology& reference,
+                                   const support::Region& region) {
+  SpatialGraph g;
+  g.graph = graph::Graph(reference.normalized_positions.size());
+  g.positions.reserve(reference.normalized_positions.size());
+  for (const auto& p : reference.normalized_positions) {
+    g.positions.push_back({p.x * region.width, p.y * region.height});
+  }
+  for (const auto& [a, b] : reference.links) {
+    g.connect(a, b);
+  }
+  return g;
+}
+
+}  // namespace muerp::topology

@@ -1,0 +1,45 @@
+// Reference backbone topologies.
+//
+// Random generators answer "does the algorithm generalize?"; named
+// real-world backbones answer "what happens on the network an operator
+// actually runs?". Two classics from the routing literature are built in,
+// with node coordinates digitized from their customary renderings and
+// rescaled into the caller's deployment region:
+//
+//   - NSFNET (T1 backbone, 1991): 14 nodes, 21 links — the standard
+//     benchmark topology of the optical/quantum networking literature.
+//   - GEANT-style European core: 22 nodes, 36 links, abridged from the
+//     GEANT research backbone's core ring + spurs.
+//
+// Coordinates are given in a normalized [0,1]^2 frame; `scale_to` maps them
+// into kilometres. Edge lengths are Euclidean in the scaled frame, matching
+// the rest of the library (link rate p = exp(-alpha * L)).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topology/spatial_graph.hpp"
+
+namespace muerp::topology {
+
+/// A named reference topology in normalized coordinates.
+struct ReferenceTopology {
+  std::string name;
+  std::vector<support::Point2D> normalized_positions;  // in [0,1]^2
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> links;
+};
+
+/// The built-in catalogue.
+const std::vector<ReferenceTopology>& reference_catalogue();
+
+/// Looks a topology up by name ("nsfnet", "geant"); throws std::out_of_range
+/// on unknown names (programmer error; the catalogue is static).
+const ReferenceTopology& reference_by_name(const std::string& name);
+
+/// Instantiates a reference topology into `region` (normalized coordinates
+/// scaled by the region's width/height).
+SpatialGraph instantiate_reference(const ReferenceTopology& reference,
+                                   const support::Region& region);
+
+}  // namespace muerp::topology

@@ -1,0 +1,29 @@
+// A graph embedded in the plane: topology plus node coordinates.
+//
+// Every topology generator produces a SpatialGraph; fiber lengths are the
+// Euclidean distances between endpoint coordinates (kilometres), which is
+// what feeds the per-link entanglement rate p = exp(-alpha * L) of §II-A.
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/geometry.hpp"
+
+namespace muerp::topology {
+
+struct SpatialGraph {
+  graph::Graph graph;
+  std::vector<support::Point2D> positions;
+
+  /// Adds edge {a, b} with length equal to the Euclidean distance between
+  /// the stored positions of a and b.
+  graph::EdgeId connect(graph::NodeId a, graph::NodeId b) {
+    assert(a < positions.size() && b < positions.size());
+    return graph.add_edge(a, b,
+                          support::distance(positions[a], positions[b]));
+  }
+};
+
+}  // namespace muerp::topology

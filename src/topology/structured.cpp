@@ -1,0 +1,125 @@
+#include "topology/structured.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace muerp::topology {
+
+namespace {
+
+std::vector<support::Point2D> circle_positions(std::size_t count,
+                                               double radius,
+                                               support::Point2D centre) {
+  std::vector<support::Point2D> pts;
+  pts.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double theta = 2.0 * std::numbers::pi * static_cast<double>(i) /
+                         static_cast<double>(count == 0 ? 1 : count);
+    pts.push_back({centre.x + radius * std::cos(theta),
+                   centre.y + radius * std::sin(theta)});
+  }
+  return pts;
+}
+
+}  // namespace
+
+SpatialGraph make_path(std::size_t node_count, double spacing_km) {
+  assert(node_count >= 1);
+  SpatialGraph g;
+  g.graph = graph::Graph(node_count);
+  g.positions.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    g.positions.push_back({spacing_km * static_cast<double>(i), 0.0});
+  }
+  for (std::size_t i = 0; i + 1 < node_count; ++i) {
+    g.connect(static_cast<graph::NodeId>(i), static_cast<graph::NodeId>(i + 1));
+  }
+  return g;
+}
+
+SpatialGraph make_cycle(std::size_t node_count, double spacing_km) {
+  assert(node_count >= 3);
+  // Chord length between adjacent circle points of radius r over n points is
+  // 2 r sin(pi / n); invert to place neighbours `spacing_km` apart.
+  const double radius =
+      spacing_km / (2.0 * std::sin(std::numbers::pi /
+                                   static_cast<double>(node_count)));
+  SpatialGraph g;
+  g.graph = graph::Graph(node_count);
+  g.positions = circle_positions(node_count, radius, {0.0, 0.0});
+  for (std::size_t i = 0; i < node_count; ++i) {
+    g.connect(static_cast<graph::NodeId>(i),
+              static_cast<graph::NodeId>((i + 1) % node_count));
+  }
+  return g;
+}
+
+SpatialGraph make_star(std::size_t leaf_count, double radius_km) {
+  assert(leaf_count >= 1);
+  SpatialGraph g;
+  g.graph = graph::Graph(leaf_count + 1);
+  g.positions.push_back({0.0, 0.0});
+  const auto leaves = circle_positions(leaf_count, radius_km, {0.0, 0.0});
+  g.positions.insert(g.positions.end(), leaves.begin(), leaves.end());
+  for (std::size_t i = 1; i <= leaf_count; ++i) {
+    g.connect(0, static_cast<graph::NodeId>(i));
+  }
+  return g;
+}
+
+SpatialGraph make_complete(std::size_t node_count, double radius_km) {
+  assert(node_count >= 1);
+  SpatialGraph g;
+  g.graph = graph::Graph(node_count);
+  g.positions = circle_positions(node_count, radius_km, {0.0, 0.0});
+  for (std::size_t a = 0; a < node_count; ++a) {
+    for (std::size_t b = a + 1; b < node_count; ++b) {
+      g.connect(static_cast<graph::NodeId>(a), static_cast<graph::NodeId>(b));
+    }
+  }
+  return g;
+}
+
+SpatialGraph make_grid(std::size_t rows, std::size_t cols, double spacing_km) {
+  assert(rows >= 1 && cols >= 1);
+  SpatialGraph g;
+  g.graph = graph::Graph(rows * cols);
+  g.positions.reserve(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      g.positions.push_back({spacing_km * static_cast<double>(c),
+                             spacing_km * static_cast<double>(r)});
+    }
+  }
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<graph::NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.connect(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.connect(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+SpatialGraph make_erdos_renyi(std::size_t node_count, double edge_prob,
+                              const support::Region& region,
+                              support::Rng& rng) {
+  assert(edge_prob >= 0.0 && edge_prob <= 1.0);
+  SpatialGraph g;
+  g.graph = graph::Graph(node_count);
+  g.positions = support::uniform_points(region, node_count, rng);
+  for (std::size_t a = 0; a < node_count; ++a) {
+    for (std::size_t b = a + 1; b < node_count; ++b) {
+      if (rng.bernoulli(edge_prob)) {
+        g.connect(static_cast<graph::NodeId>(a),
+                  static_cast<graph::NodeId>(b));
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace muerp::topology

@@ -1,0 +1,42 @@
+// Deterministic structured topologies.
+//
+// These are not part of the paper's evaluation; they are fixtures that make
+// routing behaviour analytically predictable so unit and property tests can
+// assert exact expected rates (e.g. on a path graph the unique channel's rate
+// is known in closed form; on a star every channel shares the hub switch and
+// capacity conflicts are forced).
+#pragma once
+
+#include <cstddef>
+
+#include "support/rng.hpp"
+#include "topology/spatial_graph.hpp"
+
+namespace muerp::topology {
+
+/// Path v0 - v1 - ... - v(n-1); nodes evenly spaced on a horizontal line,
+/// consecutive nodes `spacing_km` apart.
+SpatialGraph make_path(std::size_t node_count, double spacing_km);
+
+/// Cycle over n nodes placed on a circle whose chord between neighbours is
+/// approximately `spacing_km`.
+SpatialGraph make_cycle(std::size_t node_count, double spacing_km);
+
+/// Star: node 0 is the hub; leaves 1..n-1 sit on a circle of radius
+/// `radius_km` around it.
+SpatialGraph make_star(std::size_t leaf_count, double radius_km);
+
+/// Complete graph over n nodes placed on a circle of radius `radius_km`.
+SpatialGraph make_complete(std::size_t node_count, double radius_km);
+
+/// rows x cols grid with unit spacing `spacing_km`; node (r, c) has id
+/// r * cols + c and connects to its right and down neighbours.
+SpatialGraph make_grid(std::size_t rows, std::size_t cols, double spacing_km);
+
+/// Erdős–Rényi G(n, p) with uniform node placement; used by property tests
+/// that need unstructured yet light-weight random graphs.
+SpatialGraph make_erdos_renyi(std::size_t node_count, double edge_prob,
+                              const support::Region& region,
+                              support::Rng& rng);
+
+}  // namespace muerp::topology

@@ -1,0 +1,116 @@
+#include "topology/volchenkov.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "support/geometry.hpp"
+
+namespace muerp::topology {
+
+namespace {
+
+/// Mean of the truncated power law P(k) ~ k^(-gamma), k in [kmin, kmax].
+double power_law_mean(std::size_t kmin, std::size_t kmax, double gamma) {
+  double norm = 0.0;
+  double weighted = 0.0;
+  for (std::size_t k = kmin; k <= kmax; ++k) {
+    const double p = std::pow(static_cast<double>(k), -gamma);
+    norm += p;
+    weighted += p * static_cast<double>(k);
+  }
+  return weighted / norm;
+}
+
+/// Samples from the truncated power law via inverse CDF over the table.
+std::size_t sample_power_law(const std::vector<double>& cdf, std::size_t kmin,
+                             support::Rng& rng) {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  return kmin + static_cast<std::size_t>(it - cdf.begin());
+}
+
+}  // namespace
+
+SpatialGraph generate_volchenkov(const VolchenkovParams& params,
+                                 support::Rng& rng) {
+  const std::size_t n = params.node_count;
+  assert(n >= 2);
+  assert(params.exponent > 1.0);
+  assert(params.average_degree >= 1.0);
+
+  const std::size_t kmax =
+      params.max_degree == 0 ? n - 1 : std::min(params.max_degree, n - 1);
+
+  // Pick the smallest kmin whose truncated power-law mean reaches the target
+  // average degree; then the realized average is close to the request.
+  std::size_t kmin = 1;
+  while (kmin < kmax &&
+         power_law_mean(kmin, kmax, params.exponent) < params.average_degree) {
+    ++kmin;
+  }
+
+  std::vector<double> cdf;
+  cdf.reserve(kmax - kmin + 1);
+  double norm = 0.0;
+  for (std::size_t k = kmin; k <= kmax; ++k) {
+    norm += std::pow(static_cast<double>(k), -params.exponent);
+    cdf.push_back(norm);
+  }
+  for (double& c : cdf) c /= norm;
+
+  SpatialGraph result;
+  result.graph = graph::Graph(n);
+  result.positions = support::uniform_points(params.region, n, rng);
+
+  // Configuration model: one stub per unit of target degree, paired randomly.
+  std::vector<graph::NodeId> stubs;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    const std::size_t degree = sample_power_law(cdf, kmin, rng);
+    for (std::size_t i = 0; i < degree; ++i) stubs.push_back(v);
+  }
+  if (stubs.size() % 2 == 1) stubs.pop_back();
+  rng.shuffle(stubs);
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    const graph::NodeId a = stubs[i];
+    const graph::NodeId b = stubs[i + 1];
+    if (a == b || result.graph.has_edge(a, b)) continue;  // drop bad pairing
+    result.connect(a, b);
+  }
+
+  if (params.ensure_connected) {
+    // Join each stray component to the giant one through its geometrically
+    // closest pair, the most plausible missing fiber.
+    auto components = graph::connected_components(result.graph);
+    std::size_t total =
+        components.empty()
+            ? 0
+            : 1 + *std::max_element(components.begin(), components.end());
+    while (total > 1) {
+      double best_dist = std::numeric_limits<double>::infinity();
+      graph::NodeId best_a = graph::kInvalidNode;
+      graph::NodeId best_b = graph::kInvalidNode;
+      for (graph::NodeId a = 0; a < n; ++a) {
+        for (graph::NodeId b = a + 1; b < n; ++b) {
+          if (components[a] == components[b]) continue;
+          const double d =
+              support::distance_squared(result.positions[a], result.positions[b]);
+          if (d < best_dist) {
+            best_dist = d;
+            best_a = a;
+            best_b = b;
+          }
+        }
+      }
+      result.connect(best_a, best_b);
+      components = graph::connected_components(result.graph);
+      total = 1 + *std::max_element(components.begin(), components.end());
+    }
+  }
+
+  return result;
+}
+
+}  // namespace muerp::topology

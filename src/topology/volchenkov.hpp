@@ -1,0 +1,41 @@
+// Power-law random-graph generator after Volchenkov & Blanchard (2002).
+//
+// Volchenkov & Blanchard describe an algorithm producing random graphs whose
+// degree sequence follows a power law P(k) ~ k^(-gamma). We reproduce that
+// degree structure with a configuration-model construction: draw a target
+// degree for every node from a truncated discrete power law whose minimum
+// degree is tuned so the expected average degree matches `average_degree`,
+// then pair up stubs uniformly at random, rejecting self-loops and parallel
+// edges (rejected stubs are simply dropped, a standard simplification whose
+// effect on the degree tail is negligible at these sizes). Nodes are placed
+// uniformly in the deployment region for fiber lengths.
+//
+// Substitution note (DESIGN.md §3): the paper only uses this generator as
+// "a random network with power-law degrees"; any construction with the same
+// degree law exercises the same routing behaviour (a few high-degree hubs
+// whose switch capacity becomes the bottleneck).
+#pragma once
+
+#include <cstddef>
+
+#include "support/rng.hpp"
+#include "topology/spatial_graph.hpp"
+
+namespace muerp::topology {
+
+struct VolchenkovParams {
+  std::size_t node_count = 60;
+  double average_degree = 6.0;
+  /// Power-law exponent gamma; 2 < gamma <= 3 is the scale-free regime.
+  double exponent = 2.5;
+  /// Hard cap on a single node's degree (keeps hubs physically plausible);
+  /// 0 means node_count - 1.
+  std::size_t max_degree = 0;
+  support::Region region{10000.0, 10000.0};
+  bool ensure_connected = true;
+};
+
+SpatialGraph generate_volchenkov(const VolchenkovParams& params,
+                                 support::Rng& rng);
+
+}  // namespace muerp::topology

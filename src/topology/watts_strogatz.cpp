@@ -1,0 +1,60 @@
+#include "topology/watts_strogatz.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace muerp::topology {
+
+SpatialGraph generate_watts_strogatz(const WattsStrogatzParams& params,
+                                     support::Rng& rng) {
+  const std::size_t n = params.node_count;
+  const std::size_t k = params.nearest_neighbors;
+  assert(n >= 3);
+  assert(k % 2 == 0 && "nearest_neighbors must be even");
+  assert(k < n);
+  assert(params.rewire_prob >= 0.0 && params.rewire_prob <= 1.0);
+
+  double radius = params.ring_radius;
+  if (radius <= 0.0) {
+    radius = 0.45 * std::min(params.region.width, params.region.height);
+  }
+
+  SpatialGraph result;
+  result.graph = graph::Graph(n);
+  result.positions = support::ring_points(params.region, n, radius);
+
+  // Ring lattice: node i connects to i+1 .. i+k/2 (mod n).
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t offset = 1; offset <= k / 2; ++offset) {
+      const auto a = static_cast<graph::NodeId>(i);
+      const auto b = static_cast<graph::NodeId>((i + offset) % n);
+      if (!result.graph.has_edge(a, b)) result.connect(a, b);
+    }
+  }
+
+  // Rewiring pass: for each original lattice slot, with probability
+  // rewire_prob replace {i, j} by {i, random} avoiding self-loops and
+  // duplicates (classic WS; if no valid endpoint exists the edge is kept).
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t offset = 1; offset <= k / 2; ++offset) {
+      if (!rng.bernoulli(params.rewire_prob)) continue;
+      const auto a = static_cast<graph::NodeId>(i);
+      const auto b = static_cast<graph::NodeId>((i + offset) % n);
+      const auto existing = result.graph.find_edge(a, b);
+      if (!existing) continue;  // already rewired away by an earlier pass
+      // Up to n attempts to find a fresh endpoint; degenerate dense graphs
+      // may have none, in which case the lattice edge survives.
+      for (std::size_t attempt = 0; attempt < n; ++attempt) {
+        const auto c = static_cast<graph::NodeId>(rng.uniform_index(n));
+        if (c == a || c == b || result.graph.has_edge(a, c)) continue;
+        result.graph.remove_edge(*existing);
+        result.connect(a, c);
+        break;
+      }
+    }
+  }
+
+  return result;
+}
+
+}  // namespace muerp::topology

@@ -1,0 +1,34 @@
+// Watts–Strogatz small-world generator (Watts & Strogatz 1998).
+//
+// Start from a ring lattice where every node connects to its k nearest ring
+// neighbours, then rewire each lattice edge with probability `rewire_prob`
+// to a uniformly random non-duplicate endpoint. Nodes are embedded evenly on
+// a circle inside the deployment region so ring neighbours are geometrically
+// close and rewired "shortcut" edges are long — exactly the property that
+// makes this topology hard for entanglement routing (long fibers have
+// exponentially small link rates, and the paper observes N-FUSION failing on
+// Watts–Strogatz graphs in Fig. 5).
+#pragma once
+
+#include <cstddef>
+
+#include "support/rng.hpp"
+#include "topology/spatial_graph.hpp"
+
+namespace muerp::topology {
+
+struct WattsStrogatzParams {
+  std::size_t node_count = 60;
+  /// Ring-lattice neighbourhood size; must be even and < node_count. This is
+  /// also the resulting average degree (rewiring preserves the edge count).
+  std::size_t nearest_neighbors = 6;
+  double rewire_prob = 0.1;
+  support::Region region{10000.0, 10000.0};
+  /// Radius of the embedding circle; 0 picks 45% of the smaller region side.
+  double ring_radius = 0.0;
+};
+
+SpatialGraph generate_watts_strogatz(const WattsStrogatzParams& params,
+                                     support::Rng& rng);
+
+}  // namespace muerp::topology

@@ -1,0 +1,101 @@
+#include "topology/waxman.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+
+namespace muerp::topology {
+
+namespace {
+
+struct CandidatePair {
+  graph::NodeId a;
+  graph::NodeId b;
+  double waxman_weight;
+};
+
+}  // namespace
+
+SpatialGraph generate_waxman(const WaxmanParams& params, support::Rng& rng,
+                             GenerationStats* stats) {
+  assert(params.node_count >= 1);
+  assert(params.average_degree >= 0.0);
+  assert(params.alpha > 0.0 && params.beta > 0.0);
+
+  SpatialGraph result;
+  result.graph = graph::Graph(params.node_count);
+  result.positions = support::uniform_points(params.region, params.node_count, rng);
+
+  const std::size_t n = params.node_count;
+  const double lmax = std::max(params.region.diagonal(),
+                               std::numeric_limits<double>::min());
+
+  std::vector<CandidatePair> candidates;
+  candidates.reserve(n * (n - 1) / 2);
+  for (graph::NodeId a = 0; a < n; ++a) {
+    for (graph::NodeId b = a + 1; b < n; ++b) {
+      const double d = support::distance(result.positions[a], result.positions[b]);
+      const double w = params.beta * std::exp(-d / (params.alpha * lmax));
+      candidates.push_back({a, b, w});
+    }
+  }
+
+  const std::size_t target_edges = std::min(
+      candidates.size(),
+      static_cast<std::size_t>(
+          std::llround(params.average_degree * static_cast<double>(n) / 2.0)));
+  if (stats) {
+    stats->requested_edges = target_edges;
+    stats->connectivity_edges_added = 0;
+  }
+
+  // Weighted sampling without replacement (Efraimidis–Spirakis): each pair
+  // gets key u^(1/w); taking the largest `target_edges` keys draws pairs with
+  // probability proportional to their Waxman weight. Implemented in log-space
+  // as log(u)/w to avoid underflow for tiny weights.
+  std::vector<double> keys(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const double u = rng.uniform() + 0x1.0p-54;
+    keys[i] = std::log(u) / candidates[i].waxman_weight;
+  }
+  std::vector<std::size_t> order(candidates.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::nth_element(order.begin(),
+                   order.begin() + static_cast<std::ptrdiff_t>(target_edges),
+                   order.end(),
+                   [&](std::size_t l, std::size_t r) { return keys[l] > keys[r]; });
+
+  for (std::size_t i = 0; i < target_edges; ++i) {
+    const CandidatePair& c = candidates[order[i]];
+    result.connect(c.a, c.b);
+  }
+
+  if (params.ensure_connected && n > 1) {
+    // Stitch components together with the highest-Waxman-weight cross pairs,
+    // i.e. the most "Waxman-plausible" missing fibers.
+    std::sort(candidates.begin(), candidates.end(),
+              [](const CandidatePair& l, const CandidatePair& r) {
+                return l.waxman_weight > r.waxman_weight;
+              });
+    auto components = graph::connected_components(result.graph);
+    std::size_t component_total =
+        1 + *std::max_element(components.begin(), components.end());
+    for (const CandidatePair& c : candidates) {
+      if (component_total == 1) break;
+      if (components[c.a] == components[c.b]) continue;
+      result.connect(c.a, c.b);
+      if (stats) ++stats->connectivity_edges_added;
+      components = graph::connected_components(result.graph);
+      component_total =
+          1 + *std::max_element(components.begin(), components.end());
+    }
+  }
+
+  return result;
+}
+
+}  // namespace muerp::topology

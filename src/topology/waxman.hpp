@@ -1,0 +1,46 @@
+// Waxman random-topology generator (Waxman 1988) — the paper's default.
+//
+// Nodes are placed uniformly at random in the deployment region; a candidate
+// edge {u, v} is weighted by the classic Waxman probability
+//     P(u, v) = beta * exp(-d(u, v) / (alpha * Lmax)),
+// where d is Euclidean distance and Lmax the region diagonal, so nearby nodes
+// are more likely to be joined — mirroring real fiber deployments.
+//
+// The paper fixes the *total* number of edges through a target average degree
+// D (§V-A: "We determine the total number of edges based on an average degree
+// D of nodes, set to 6"), so rather than tossing an independent coin per pair
+// we sample exactly m = round(D*n/2) distinct pairs *without replacement*
+// with probabilities proportional to the Waxman weights (weighted reservoir
+// via exponential keys). With `ensure_connected`, components are then stitched
+// together by adding the highest-weight cross-component pairs; the handful of
+// extra edges this may add is reported via GenerationStats.
+#pragma once
+
+#include <cstddef>
+
+#include "support/rng.hpp"
+#include "topology/spatial_graph.hpp"
+
+namespace muerp::topology {
+
+struct WaxmanParams {
+  std::size_t node_count = 60;
+  double average_degree = 6.0;
+  support::Region region{10000.0, 10000.0};  // 10k x 10k km (§V-A)
+  double alpha = 0.15;  // distance sensitivity of the Waxman kernel
+  double beta = 0.9;    // overall density factor of the Waxman kernel
+  bool ensure_connected = true;
+};
+
+struct GenerationStats {
+  std::size_t requested_edges = 0;
+  std::size_t connectivity_edges_added = 0;
+};
+
+/// Generates a Waxman spatial graph. If `stats` is non-null it receives
+/// bookkeeping about the generation. The result has no self-loops and no
+/// parallel edges.
+SpatialGraph generate_waxman(const WaxmanParams& params, support::Rng& rng,
+                             GenerationStats* stats = nullptr);
+
+}  // namespace muerp::topology

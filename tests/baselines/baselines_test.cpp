@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/eqcast.hpp"
+#include "baselines/nfusion.hpp"
+#include "network/channel.hpp"
+#include "network/network_builder.hpp"
+#include "routing/optimal_tree.hpp"
+#include "support/rng.hpp"
+#include "topology/waxman.hpp"
+
+namespace muerp::baselines {
+namespace {
+
+using net::NodeId;
+
+/// Four users on a line with ample switch capacity between them.
+net::QuantumNetwork line_of_users() {
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId s0 = b.add_switch({100, 0}, 8);
+  const NodeId u1 = b.add_user({200, 0});
+  const NodeId s1 = b.add_switch({300, 0}, 8);
+  const NodeId u2 = b.add_user({400, 0});
+  const NodeId s2 = b.add_switch({500, 0}, 8);
+  const NodeId u3 = b.add_user({600, 0});
+  b.connect_euclidean(u0, s0);
+  b.connect_euclidean(s0, u1);
+  b.connect_euclidean(u1, s1);
+  b.connect_euclidean(s1, u2);
+  b.connect_euclidean(u2, s2);
+  b.connect_euclidean(s2, u3);
+  return std::move(b).build({1e-4, 0.9});
+}
+
+TEST(EQCast, ChainsConsecutivePairs) {
+  const auto net = line_of_users();
+  const auto tree = extended_qcast(net, net.users());
+  ASSERT_TRUE(tree.feasible);
+  ASSERT_EQ(tree.channels.size(), 3u);
+  // The chain is <u0,u1>, <u1,u2>, <u2,u3> in user order.
+  EXPECT_EQ(tree.channels[0].source(), net.users()[0]);
+  EXPECT_EQ(tree.channels[0].destination(), net.users()[1]);
+  EXPECT_EQ(tree.channels[1].source(), net.users()[1]);
+  EXPECT_EQ(tree.channels[1].destination(), net.users()[2]);
+  EXPECT_EQ(net::validate_tree(net, net.users(), tree), "");
+}
+
+TEST(EQCast, FailsWhenAnyPairUnroutable) {
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({100, 0});
+  b.add_user({1000, 1000});  // isolated third user
+  b.connect_euclidean(u0, u1);
+  const auto net = std::move(b).build({1e-4, 0.9});
+  const auto tree = extended_qcast(net, net.users());
+  EXPECT_FALSE(tree.feasible);
+  EXPECT_DOUBLE_EQ(tree.rate, 0.0);
+}
+
+TEST(EQCast, ChainStructureCanLoseToTree) {
+  // Star geometry: chaining u0-u1-u2 in index order is strictly worse than
+  // the star tree Algorithm 2 finds (channels u1-u0, u1-u2 vs... here the
+  // chain forces the long u0..u2 spans twice through the hub).
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({4000, 0});   // far-away middle-index user
+  const NodeId u2 = b.add_user({200, 0});
+  const NodeId hub = b.add_switch({100, 50}, 20);
+  for (NodeId u : {u0, u1, u2}) b.connect_euclidean(u, hub);
+  const auto net = std::move(b).build({1e-3, 0.9});
+
+  const auto chain = extended_qcast(net, net.users());
+  const auto opt = routing::optimal_special_case(net, net.users());
+  ASSERT_TRUE(chain.feasible);
+  ASSERT_TRUE(opt.feasible);
+  EXPECT_LT(chain.rate, opt.rate);
+}
+
+TEST(EQCast, RespectsCapacity) {
+  // Both consecutive pairs must relay through the single Q=2 hub: the
+  // second pair cannot route, so the baseline fails.
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({200, 0});
+  const NodeId u2 = b.add_user({100, 170});
+  const NodeId hub = b.add_switch({100, 60}, 2);
+  for (NodeId u : {u0, u1, u2}) b.connect_euclidean(u, hub);
+  const auto net = std::move(b).build({1e-4, 0.9});
+  const auto tree = extended_qcast(net, net.users());
+  EXPECT_FALSE(tree.feasible);
+}
+
+TEST(NFusion, StarAroundBestCentre) {
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({200, 0});
+  const NodeId u2 = b.add_user({100, 170});
+  const NodeId hub = b.add_switch({100, 60}, 8);
+  for (NodeId u : {u0, u1, u2}) b.connect_euclidean(u, hub);
+  const auto net = std::move(b).build({1e-4, 0.9});
+
+  const auto plan = n_fusion(net, net.users());
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.channels.size(), 2u);
+  EXPECT_GT(plan.rate, 0.0);
+  // Centre is one of the users.
+  bool centre_is_user = false;
+  for (NodeId u : net.users()) centre_is_user |= (u == plan.center);
+  EXPECT_TRUE(centre_is_user);
+}
+
+TEST(NFusion, RateModelMatchesClosedForm) {
+  // Two users, direct fiber: one channel, no relay fusion, no central
+  // fusion (|U|-2 = 0) -> rate = exp(-alpha*L).
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({300, 0});
+  b.connect_euclidean(u0, u1);
+  const auto net = std::move(b).build({1e-4, 0.9});
+  const auto plan = n_fusion(net, net.users());
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_NEAR(plan.rate, std::exp(-1e-4 * 300.0), 1e-12);
+}
+
+TEST(NFusion, ThreeUserClosedForm) {
+  // Symmetric 3-user star through one switch, segment length L each:
+  // each channel: q_f * exp(-2 alpha L); central fusion: q_f^(3-2).
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({200, 0});
+  const NodeId u2 = b.add_user({-200, 0});
+  const NodeId sw = b.add_switch({0, 200}, 8);
+  // Equalize the three spoke sets: u0 direct neighbours via switch at equal
+  // lengths by explicit connect lengths.
+  b.connect(u0, sw, 100.0);
+  b.connect(u1, sw, 100.0);
+  b.connect(u2, sw, 100.0);
+  const auto net = std::move(b).build({1e-4, 0.9});
+  NFusionParams params;
+  params.fusion_penalty = 0.75;
+  const double qf = 0.75 * 0.9;
+
+  const auto plan = n_fusion(net, net.users(), params);
+  ASSERT_TRUE(plan.feasible);
+  // Centre user: two channels of 2 links each through sw (the third user's
+  // channel), rate per channel qf * exp(-alpha*200); central fusion qf.
+  const double channel = qf * std::exp(-1e-4 * 200.0);
+  EXPECT_NEAR(plan.rate, qf * channel * channel, 1e-12);
+}
+
+TEST(NFusion, CapacityLimitsStar) {
+  // 5 users around a Q=4 hub: the centre needs 4 channels but each relay
+  // consumes 2 qubits -> hub supports only 2 channels -> infeasible.
+  net::NetworkBuilder b;
+  std::vector<NodeId> users;
+  for (int i = 0; i < 5; ++i) {
+    users.push_back(b.add_user({100.0 * i, 0}));
+  }
+  const NodeId hub = b.add_switch({200, 100}, 4);
+  for (NodeId u : users) b.connect_euclidean(u, hub);
+  const auto net = std::move(b).build({1e-4, 0.9});
+  const auto plan = n_fusion(net, net.users());
+  EXPECT_FALSE(plan.feasible);
+  EXPECT_DOUBLE_EQ(plan.rate, 0.0);
+}
+
+TEST(NFusion, PenaltyLowersRateMonotonically) {
+  support::Rng rng(5);
+  topology::WaxmanParams wparams;
+  wparams.node_count = 30;
+  auto topo = topology::generate_waxman(wparams, rng);
+  const auto net =
+      net::assign_random_users(std::move(topo), 4, 8, {1e-4, 0.9}, rng);
+
+  double previous = 2.0;
+  for (double penalty : {1.0, 0.75, 0.5, 0.25}) {
+    NFusionParams params;
+    params.fusion_penalty = penalty;
+    const auto plan = n_fusion(net, net.users(), params);
+    if (!plan.feasible) continue;
+    EXPECT_LT(plan.rate, previous);
+    previous = plan.rate;
+  }
+}
+
+TEST(NFusion, FusionChannelRateHelper) {
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId sw = b.add_switch({100, 0}, 4);
+  const NodeId u1 = b.add_user({200, 0});
+  b.connect(u0, sw, 100.0);
+  b.connect(sw, u1, 100.0);
+  const auto net = std::move(b).build({1e-4, 0.9});
+  const std::vector<NodeId> path{u0, sw, u1};
+  NFusionParams params;
+  params.fusion_penalty = 0.5;
+  EXPECT_NEAR(fusion_channel_rate(net, path, params),
+              0.45 * std::exp(-1e-4 * 200.0), 1e-12);
+}
+
+TEST(NFusion, PicksTheGeometricallyCentralUser) {
+  // One user sits between the others; choosing it as centre halves every
+  // spoke, so the star around it must win.
+  net::NetworkBuilder b;
+  const NodeId west = b.add_user({0, 0});
+  const NodeId centre = b.add_user({2000, 0});
+  const NodeId east = b.add_user({4000, 0});
+  const NodeId sw_w = b.add_switch({1000, 0}, 8);
+  const NodeId sw_e = b.add_switch({3000, 0}, 8);
+  b.connect(west, sw_w, 1000.0);
+  b.connect(sw_w, centre, 1000.0);
+  b.connect(centre, sw_e, 1000.0);
+  b.connect(sw_e, east, 1000.0);
+  const auto net = std::move(b).build({3e-4, 0.9});
+  const auto plan = n_fusion(net, net.users());
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.center, centre);
+}
+
+TEST(NFusion, SingleUserTrivial) {
+  net::NetworkBuilder b;
+  b.add_user({0, 0});
+  const auto net = std::move(b).build({1e-4, 0.9});
+  const auto plan = n_fusion(net, net.users());
+  EXPECT_TRUE(plan.feasible);
+  EXPECT_DOUBLE_EQ(plan.rate, 1.0);
+}
+
+}  // namespace
+}  // namespace muerp::baselines

@@ -1,0 +1,164 @@
+// Second targeted batch: tie-breaking determinism, degenerate geometries,
+// metric helpers, and stream-advancement contracts.
+#include <gtest/gtest.h>
+
+#include "network/channel.hpp"
+#include "network/network_builder.hpp"
+#include "network/rate.hpp"
+#include "routing/channel_finder.hpp"
+#include "routing/conflict_free.hpp"
+#include "routing/optimal_tree.hpp"
+#include "routing/prim_based.hpp"
+#include "simulation/protocol.hpp"
+#include "simulation/swap_policy.hpp"
+#include "support/statistics.hpp"
+
+namespace muerp {
+namespace {
+
+using net::NodeId;
+
+TEST(OptimalTree, DeterministicUnderRateTies) {
+  // Perfectly symmetric square of users around one hub: many channels tie.
+  // Two runs must produce identical trees (no hidden nondeterminism).
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({200, 0});
+  const NodeId u2 = b.add_user({200, 200});
+  const NodeId u3 = b.add_user({0, 200});
+  const NodeId hub = b.add_switch({100, 100}, 20);
+  for (NodeId u : {u0, u1, u2, u3}) b.connect(u, hub, 141.42);
+  const auto net = std::move(b).build({1e-4, 0.9});
+
+  const auto t1 = routing::optimal_special_case(net, net.users());
+  const auto t2 = routing::optimal_special_case(net, net.users());
+  ASSERT_EQ(t1.channels.size(), t2.channels.size());
+  for (std::size_t i = 0; i < t1.channels.size(); ++i) {
+    EXPECT_EQ(t1.channels[i].path, t2.channels[i].path);
+  }
+  EXPECT_DOUBLE_EQ(t1.rate, t2.rate);
+  // All channels tie at the same rate; Eq. (2) is rate^3.
+  EXPECT_NEAR(t1.rate, std::pow(t1.channels[0].rate, 3.0), 1e-12);
+}
+
+TEST(ConflictFree, AllUsersNoSwitches) {
+  // Complete graph of 5 users, zero switches: every channel is a direct
+  // fiber; capacity never binds; tree = maximum spanning tree over fibers.
+  net::NetworkBuilder b;
+  std::vector<NodeId> users;
+  for (int i = 0; i < 5; ++i) {
+    users.push_back(b.add_user({100.0 * i, 25.0 * i * i}));
+  }
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    for (std::size_t j = i + 1; j < users.size(); ++j) {
+      b.connect_euclidean(users[i], users[j]);
+    }
+  }
+  const auto net = std::move(b).build({1e-3, 0.9});
+  const auto tree = routing::conflict_free(net, net.users());
+  ASSERT_TRUE(tree.feasible);
+  EXPECT_EQ(net::validate_tree(net, net.users(), tree), "");
+  for (const auto& ch : tree.channels) {
+    EXPECT_EQ(ch.switch_count(), 0u);
+  }
+  // Matches the capacity-oblivious optimum (no switches to constrain).
+  EXPECT_DOUBLE_EQ(tree.rate,
+                   routing::optimal_special_case(net, net.users()).rate);
+}
+
+TEST(ChannelFinder, OmitsUnreachableUsers) {
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({100, 0});
+  b.add_user({999, 999});  // isolated
+  b.connect_euclidean(u0, u1);
+  const auto net = std::move(b).build({1e-4, 0.9});
+  const routing::ChannelFinder finder(net);
+  const net::CapacityState cap(net);
+  const auto channels = finder.find_best_channels(u0, cap);
+  ASSERT_EQ(channels.size(), 1u);
+  EXPECT_EQ(channels[0].destination(), u1);
+}
+
+TEST(PrimBased, DistinctSeedsCanDisagree) {
+  // Asymmetric capacity trap: the tree found from different entry users may
+  // differ; at minimum the runs are internally consistent.
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({400, 0});
+  const NodeId u2 = b.add_user({200, 300});
+  const NodeId cheap = b.add_switch({200, 20}, 2);   // one channel only
+  const NodeId costly = b.add_switch({200, 150}, 8);
+  for (NodeId u : {u0, u1, u2}) {
+    b.connect_euclidean(u, cheap);
+    b.connect_euclidean(u, costly);
+  }
+  const auto net = std::move(b).build({1e-3, 0.9});
+  for (std::size_t seed = 0; seed < 3; ++seed) {
+    const auto tree = routing::prim_based_from(net, net.users(), seed);
+    EXPECT_EQ(net::validate_tree(net, net.users(), tree), "");
+  }
+}
+
+TEST(SwapPolicy, OddLinkCountBalancedTreeCompletes) {
+  // 5 links: the balanced partition is ragged (3+2); the policy must still
+  // terminate (its intervals cover every merge it needs).
+  net::NetworkBuilder b;
+  NodeId prev = b.add_user({0, 0});
+  std::vector<NodeId> path{prev};
+  for (int i = 0; i < 4; ++i) {
+    const NodeId sw = b.add_switch({500.0 * (i + 1), 0}, 2);
+    b.connect(prev, sw, 500.0);
+    prev = sw;
+    path.push_back(sw);
+  }
+  const NodeId last = b.add_user({2500, 0});
+  b.connect(prev, last, 500.0);
+  path.push_back(last);
+  const auto net = std::move(b).build({2e-4, 0.9});
+  net::Channel channel;
+  channel.rate = net::channel_rate(net, path);
+  channel.path = path;
+  const sim::SwapPolicySimulator sim(net, channel);
+  support::Rng rng(5);
+  const auto stats =
+      sim.measure({.policy = sim::SwapPolicy::kBalanced}, 300, rng);
+  EXPECT_EQ(stats.aborted_runs, 0u);
+}
+
+TEST(ProtocolMetrics, FractionHelpers) {
+  sim::ProtocolMetrics m;
+  EXPECT_DOUBLE_EQ(m.admitted_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(m.completed_fraction_of_admitted(), 0.0);
+  m.sessions_arrived = 10;
+  m.sessions_admitted = 8;
+  m.sessions_completed = 6;
+  EXPECT_DOUBLE_EQ(m.admitted_fraction(), 0.8);
+  EXPECT_DOUBLE_EQ(m.completed_fraction_of_admitted(), 0.75);
+}
+
+TEST(Accumulator, NegativeValues) {
+  support::Accumulator acc;
+  acc.add(-5.0);
+  acc.add(3.0);
+  acc.add(-1.0);
+  EXPECT_DOUBLE_EQ(acc.min(), -5.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 3.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), -1.0);
+}
+
+TEST(Channel, AccessorsOnDirectAndRelayed) {
+  net::Channel direct;
+  direct.path = {4, 9};
+  EXPECT_EQ(direct.source(), 4u);
+  EXPECT_EQ(direct.destination(), 9u);
+  EXPECT_EQ(direct.link_count(), 1u);
+  EXPECT_EQ(direct.switch_count(), 0u);
+  net::Channel relayed;
+  relayed.path = {1, 5, 6, 2};
+  EXPECT_EQ(relayed.link_count(), 3u);
+  EXPECT_EQ(relayed.switch_count(), 2u);
+}
+
+}  // namespace
+}  // namespace muerp

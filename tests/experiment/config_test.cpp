@@ -1,0 +1,128 @@
+#include "experiment/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace muerp::experiment {
+namespace {
+
+Scenario parse_ok(const std::string& text) {
+  std::istringstream in(text);
+  auto result = parse_scenario(in);
+  EXPECT_TRUE(std::holds_alternative<Scenario>(result))
+      << std::get<std::string>(result);
+  return std::get<Scenario>(result);
+}
+
+std::string parse_err(const std::string& text) {
+  std::istringstream in(text);
+  auto result = parse_scenario(in);
+  EXPECT_TRUE(std::holds_alternative<std::string>(result));
+  return std::holds_alternative<std::string>(result)
+             ? std::get<std::string>(result)
+             : "";
+}
+
+TEST(Config, EmptyKeepsPaperDefaults) {
+  const Scenario s = parse_ok("");
+  EXPECT_EQ(s.topology, TopologyKind::kWaxman);
+  EXPECT_EQ(s.switch_count, 50u);
+  EXPECT_EQ(s.user_count, 10u);
+  EXPECT_DOUBLE_EQ(s.average_degree, 6.0);
+  EXPECT_EQ(s.qubits_per_switch, 4);
+  EXPECT_DOUBLE_EQ(s.swap_success, 0.9);
+  EXPECT_DOUBLE_EQ(s.attenuation, 1e-4);
+  EXPECT_EQ(s.repetitions, 20u);
+}
+
+TEST(Config, ParsesAllKeys) {
+  const Scenario s = parse_ok(
+      "topology = ws\n"
+      "switches = 30\n"
+      "users = 6\n"
+      "degree = 8.5\n"
+      "qubits = 6\n"
+      "swap = 0.85\n"
+      "alpha = 2e-4\n"
+      "area = 5000\n"
+      "repetitions = 7\n"
+      "seed = 99\n");
+  EXPECT_EQ(s.topology, TopologyKind::kWattsStrogatz);
+  EXPECT_EQ(s.switch_count, 30u);
+  EXPECT_EQ(s.user_count, 6u);
+  EXPECT_DOUBLE_EQ(s.average_degree, 8.5);
+  EXPECT_EQ(s.qubits_per_switch, 6);
+  EXPECT_DOUBLE_EQ(s.swap_success, 0.85);
+  EXPECT_DOUBLE_EQ(s.attenuation, 2e-4);
+  EXPECT_DOUBLE_EQ(s.area_side_km, 5000.0);
+  EXPECT_EQ(s.repetitions, 7u);
+  EXPECT_EQ(s.seed, 99u);
+}
+
+TEST(Config, CommentsAndBlankLines) {
+  const Scenario s = parse_ok(
+      "# a full-line comment\n"
+      "\n"
+      "users = 4   # trailing comment\n"
+      "   \t  \n"
+      "qubits=8\n");
+  EXPECT_EQ(s.user_count, 4u);
+  EXPECT_EQ(s.qubits_per_switch, 8);
+}
+
+TEST(Config, TopologyAliases) {
+  EXPECT_EQ(parse_ok("topology = watts-strogatz\n").topology,
+            TopologyKind::kWattsStrogatz);
+  EXPECT_EQ(parse_ok("topology = volchenkov\n").topology,
+            TopologyKind::kVolchenkov);
+}
+
+TEST(Config, ErrorsCarryLineNumbers) {
+  EXPECT_NE(parse_err("users = 4\nnot a setting\n").find("line 2"),
+            std::string::npos);
+  EXPECT_NE(parse_err("bogus = 1\n").find("unknown key"), std::string::npos);
+  EXPECT_NE(parse_err("swap = 1.5\n").find("(0, 1]"), std::string::npos);
+  EXPECT_NE(parse_err("users = -3\n").find("bad user count"),
+            std::string::npos);
+  EXPECT_NE(parse_err("users =\n").find("missing value"), std::string::npos);
+  EXPECT_NE(parse_err("topology = torus\n").find("unknown topology"),
+            std::string::npos);
+}
+
+TEST(Config, RoundTripsThroughSerializer) {
+  Scenario original;
+  original.topology = TopologyKind::kVolchenkov;
+  original.switch_count = 33;
+  original.user_count = 7;
+  original.average_degree = 5.25;
+  original.qubits_per_switch = 6;
+  original.swap_success = 0.75;
+  original.attenuation = 3.5e-5;
+  original.area_side_km = 2500.0;
+  original.repetitions = 11;
+  original.seed = 424242;
+
+  std::istringstream in(scenario_to_config(original));
+  auto result = parse_scenario(in);
+  ASSERT_TRUE(std::holds_alternative<Scenario>(result));
+  const Scenario& copy = std::get<Scenario>(result);
+  EXPECT_EQ(copy.topology, original.topology);
+  EXPECT_EQ(copy.switch_count, original.switch_count);
+  EXPECT_EQ(copy.user_count, original.user_count);
+  EXPECT_DOUBLE_EQ(copy.average_degree, original.average_degree);
+  EXPECT_EQ(copy.qubits_per_switch, original.qubits_per_switch);
+  EXPECT_DOUBLE_EQ(copy.swap_success, original.swap_success);
+  EXPECT_DOUBLE_EQ(copy.attenuation, original.attenuation);
+  EXPECT_DOUBLE_EQ(copy.area_side_km, original.area_side_km);
+  EXPECT_EQ(copy.repetitions, original.repetitions);
+  EXPECT_EQ(copy.seed, original.seed);
+}
+
+TEST(Config, MissingFileReportsError) {
+  auto result = parse_scenario_file("/no/such/file.cfg");
+  ASSERT_TRUE(std::holds_alternative<std::string>(result));
+}
+
+}  // namespace
+}  // namespace muerp::experiment

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "experiment/runner.hpp"
+#include "experiment/scenario.hpp"
+#include "graph/algorithms.hpp"
+#include "network/channel.hpp"
+
+namespace muerp::experiment {
+namespace {
+
+Scenario small_scenario() {
+  Scenario s;
+  s.switch_count = 20;
+  s.user_count = 5;
+  s.repetitions = 5;
+  s.seed = 42;
+  return s;
+}
+
+TEST(Scenario, InstantiateProducesRequestedShape) {
+  const Scenario s = small_scenario();
+  const Instance inst = instantiate(s, 0);
+  EXPECT_EQ(inst.network.node_count(), 25u);
+  EXPECT_EQ(inst.network.users().size(), 5u);
+  EXPECT_EQ(inst.network.switches().size(), 20u);
+  EXPECT_EQ(inst.users.size(), 5u);
+  for (net::NodeId sw : inst.network.switches()) {
+    EXPECT_EQ(inst.network.qubits(sw), 4);
+  }
+  EXPECT_DOUBLE_EQ(inst.network.physical().swap_success, 0.9);
+  EXPECT_DOUBLE_EQ(inst.network.physical().attenuation, 1e-4);
+}
+
+TEST(Scenario, RepetitionsAreDeterministic) {
+  const Scenario s = small_scenario();
+  const Instance a = instantiate(s, 3);
+  const Instance b = instantiate(s, 3);
+  ASSERT_EQ(a.network.graph().edge_count(), b.network.graph().edge_count());
+  for (graph::EdgeId e = 0; e < a.network.graph().edge_count(); ++e) {
+    EXPECT_EQ(a.network.graph().edge(e).a, b.network.graph().edge(e).a);
+    EXPECT_EQ(a.network.graph().edge(e).b, b.network.graph().edge(e).b);
+  }
+  ASSERT_EQ(a.users.size(), b.users.size());
+  for (std::size_t i = 0; i < a.users.size(); ++i) {
+    EXPECT_EQ(a.users[i], b.users[i]);
+  }
+}
+
+TEST(Scenario, RepetitionsDiffer) {
+  const Scenario s = small_scenario();
+  const Instance a = instantiate(s, 0);
+  const Instance b = instantiate(s, 1);
+  // Positions are freshly sampled per repetition.
+  bool any_diff = false;
+  for (std::size_t v = 0; v < a.network.node_count(); ++v) {
+    any_diff |= !(a.network.positions()[v] == b.network.positions()[v]);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Scenario, AllTopologiesInstantiate) {
+  for (TopologyKind kind : {TopologyKind::kWaxman, TopologyKind::kWattsStrogatz,
+                            TopologyKind::kVolchenkov}) {
+    Scenario s = small_scenario();
+    s.topology = kind;
+    const Instance inst = instantiate(s, 0);
+    EXPECT_EQ(inst.network.node_count(), 25u) << topology_name(kind);
+    EXPECT_EQ(inst.network.users().size(), 5u) << topology_name(kind);
+  }
+}
+
+TEST(Scenario, TopologyNames) {
+  EXPECT_STREQ(topology_name(TopologyKind::kWaxman), "Waxman");
+  EXPECT_STREQ(topology_name(TopologyKind::kWattsStrogatz), "Watts-Strogatz");
+  EXPECT_STREQ(topology_name(TopologyKind::kVolchenkov), "Volchenkov");
+}
+
+TEST(Scenario, UniformQubitOverride) {
+  const Instance inst = instantiate(small_scenario(), 0);
+  const auto boosted = with_uniform_switch_qubits(inst.network, 10);
+  EXPECT_EQ(boosted.node_count(), inst.network.node_count());
+  for (net::NodeId sw : boosted.switches()) {
+    EXPECT_EQ(boosted.qubits(sw), 10);
+  }
+  for (net::NodeId u : boosted.users()) {
+    EXPECT_TRUE(boosted.is_user(u));
+  }
+  EXPECT_EQ(boosted.graph().edge_count(), inst.network.graph().edge_count());
+}
+
+TEST(Runner, AlgorithmNames) {
+  EXPECT_STREQ(algorithm_name(Algorithm::kAlg2Optimal), "Alg-2");
+  EXPECT_STREQ(algorithm_name(Algorithm::kAlg3Conflict), "Alg-3");
+  EXPECT_STREQ(algorithm_name(Algorithm::kAlg4Prim), "Alg-4");
+  EXPECT_STREQ(algorithm_name(Algorithm::kEQCast), "E-Q-CAST");
+  EXPECT_STREQ(algorithm_name(Algorithm::kNFusion), "N-Fusion");
+}
+
+TEST(Runner, RatesAreProbabilities) {
+  const auto result = run_scenario(small_scenario());
+  ASSERT_EQ(result.rates.size(), kAllAlgorithms.size());
+  for (const auto& row : result.rates) {
+    ASSERT_EQ(row.size(), 5u);
+    for (double r : row) {
+      EXPECT_GE(r, 0.0);
+      EXPECT_LE(r, 1.0);
+    }
+  }
+}
+
+TEST(Runner, Alg2DominatesHeuristicsPerInstance) {
+  // Algorithm 2 runs under boosted capacity, so per repetition it
+  // upper-bounds Algorithms 3 and 4 on the same instance.
+  const auto result = run_scenario(small_scenario());
+  const auto& alg2 = result.rates[0];
+  const auto& alg3 = result.rates[1];
+  const auto& alg4 = result.rates[2];
+  for (std::size_t r = 0; r < alg2.size(); ++r) {
+    EXPECT_GE(alg2[r] * (1.0 + 1e-9), alg3[r]) << "rep " << r;
+    EXPECT_GE(alg2[r] * (1.0 + 1e-9), alg4[r]) << "rep " << r;
+  }
+}
+
+TEST(Runner, MeanAndFeasibleFraction) {
+  ScenarioResult result;
+  result.rates = {{0.0, 0.5, 0.25, 0.25}};
+  EXPECT_DOUBLE_EQ(result.mean_rate(0), 0.25);
+  EXPECT_DOUBLE_EQ(result.feasible_fraction(0), 0.75);
+}
+
+TEST(Runner, SubsetOfAlgorithms) {
+  const std::array algorithms{Algorithm::kAlg3Conflict, Algorithm::kEQCast};
+  const auto result = run_scenario(small_scenario(), algorithms);
+  EXPECT_EQ(result.rates.size(), 2u);
+}
+
+TEST(Runner, ParallelMatchesSerialBitForBit) {
+  const Scenario s = small_scenario();
+  const auto serial = run_scenario(s);
+  for (unsigned threads : {1u, 2u, 4u}) {
+    const auto parallel =
+        run_scenario_parallel(s, kAllAlgorithms, {}, threads);
+    ASSERT_EQ(parallel.rates.size(), serial.rates.size());
+    for (std::size_t a = 0; a < serial.rates.size(); ++a) {
+      ASSERT_EQ(parallel.rates[a].size(), serial.rates[a].size());
+      for (std::size_t rep = 0; rep < serial.rates[a].size(); ++rep) {
+        EXPECT_DOUBLE_EQ(parallel.rates[a][rep], serial.rates[a][rep])
+            << threads << " threads, algorithm " << a << ", rep " << rep;
+      }
+    }
+  }
+}
+
+TEST(Runner, ParallelDefaultThreadCount) {
+  const Scenario s = small_scenario();
+  const auto result = run_scenario_parallel(s, kAllAlgorithms);
+  EXPECT_EQ(result.rates.size(), kAllAlgorithms.size());
+  EXPECT_EQ(result.rates[0].size(), s.repetitions);
+}
+
+TEST(Runner, DeterministicAcrossCalls) {
+  const auto r1 = run_scenario(small_scenario());
+  const auto r2 = run_scenario(small_scenario());
+  for (std::size_t a = 0; a < r1.rates.size(); ++a) {
+    for (std::size_t rep = 0; rep < r1.rates[a].size(); ++rep) {
+      EXPECT_DOUBLE_EQ(r1.rates[a][rep], r2.rates[a][rep]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace muerp::experiment

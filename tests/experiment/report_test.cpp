@@ -1,0 +1,102 @@
+#include "experiment/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace muerp::experiment {
+namespace {
+
+ReportOptions tiny_options() {
+  ReportOptions options;
+  options.repetitions = 2;  // keep the test quick
+  options.seed = 7;
+  return options;
+}
+
+TEST(Report, FigureShapes) {
+  const ReportBuilder builder(tiny_options());
+  const auto fig5 = builder.fig5_topology();
+  EXPECT_EQ(fig5.id, "fig5");
+  EXPECT_EQ(fig5.rates.row_count(), 3u);          // three topologies
+  EXPECT_EQ(fig5.feasibility.row_count(), 3u);
+  EXPECT_EQ(fig5.rates.columns().size(), 6u);     // param + 5 algorithms
+
+  EXPECT_EQ(builder.fig6a_users().rates.row_count(), 6u);
+  EXPECT_EQ(builder.fig8b_swap_rate().rates.row_count(), 4u);
+}
+
+TEST(Report, AllFiguresInPaperOrder) {
+  const ReportBuilder builder(tiny_options());
+  const auto figures = builder.all_figures();
+  ASSERT_EQ(figures.size(), 6u);
+  EXPECT_EQ(figures[0].id, "fig5");
+  EXPECT_EQ(figures[1].id, "fig6a");
+  EXPECT_EQ(figures[2].id, "fig6b");
+  EXPECT_EQ(figures[3].id, "fig7a");
+  EXPECT_EQ(figures[4].id, "fig8a");
+  EXPECT_EQ(figures[5].id, "fig8b");
+}
+
+TEST(Report, ParallelMatchesSerial) {
+  ReportOptions serial = tiny_options();
+  serial.parallel = false;
+  ReportOptions parallel = tiny_options();
+  parallel.parallel = true;
+  const auto a = ReportBuilder(serial).fig8a_qubits();
+  const auto b = ReportBuilder(parallel).fig8a_qubits();
+  EXPECT_EQ(a.rates.to_csv(), b.rates.to_csv());
+}
+
+TEST(Report, WritesArtifactDirectory) {
+  const std::string dir = ::testing::TempDir() + "/muerp_report";
+  std::filesystem::remove_all(dir);
+  const ReportBuilder builder(tiny_options());
+  ASSERT_TRUE(builder.write_report(dir));
+
+  std::ifstream md(dir + "/REPORT.md");
+  ASSERT_TRUE(md.good());
+  std::stringstream content;
+  content << md.rdbuf();
+  const std::string text = content.str();
+  EXPECT_NE(text.find("Fig. 5"), std::string::npos);
+  EXPECT_NE(text.find("Fig. 8(b)"), std::string::npos);
+  EXPECT_NE(text.find("| topology |"), std::string::npos);  // markdown table
+  // Literal pipes in column names must be escaped, not column separators.
+  EXPECT_NE(text.find("\\|U\\|"), std::string::npos);
+  EXPECT_EQ(text.find("| |U| |"), std::string::npos);
+
+  for (const char* id : {"fig5", "fig6a", "fig6b", "fig7a", "fig8a",
+                         "fig8b"}) {
+    EXPECT_TRUE(std::filesystem::exists(dir + "/" + id + ".csv")) << id;
+  }
+}
+
+TEST(Report, DeterministicAcrossBuilds) {
+  const std::string d1 = ::testing::TempDir() + "/muerp_report_a";
+  const std::string d2 = ::testing::TempDir() + "/muerp_report_b";
+  std::filesystem::remove_all(d1);
+  std::filesystem::remove_all(d2);
+  const ReportBuilder builder(tiny_options());
+  ASSERT_TRUE(builder.write_report(d1));
+  ASSERT_TRUE(builder.write_report(d2));
+  for (const char* name : {"/REPORT.md", "/fig5.csv"}) {
+    std::ifstream f1(d1 + name);
+    std::ifstream f2(d2 + name);
+    std::stringstream s1;
+    std::stringstream s2;
+    s1 << f1.rdbuf();
+    s2 << f2.rdbuf();
+    EXPECT_EQ(s1.str(), s2.str()) << name;
+  }
+}
+
+TEST(Report, UnwritableDirectoryFails) {
+  const ReportBuilder builder(tiny_options());
+  EXPECT_FALSE(builder.write_report("/proc/definitely/not/writable"));
+}
+
+}  // namespace
+}  // namespace muerp::experiment

@@ -1,0 +1,242 @@
+#include "extensions/fidelity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "network/channel.hpp"
+#include "network/network_builder.hpp"
+#include "routing/channel_finder.hpp"
+#include "support/rng.hpp"
+#include "topology/waxman.hpp"
+
+namespace muerp::ext {
+namespace {
+
+using net::NodeId;
+
+TEST(Werner, FreshPairAtZeroDistance) {
+  FidelityParams params;
+  params.fresh_fidelity = 0.99;
+  EXPECT_NEAR(link_werner(params, 0.0), (4.0 * 0.99 - 1.0) / 3.0, 1e-12);
+}
+
+TEST(Werner, DecaysWithLength) {
+  FidelityParams params;
+  EXPECT_GT(link_werner(params, 100.0), link_werner(params, 1000.0));
+  EXPECT_GT(link_werner(params, 1000.0), 0.0);
+}
+
+TEST(ChannelFidelity, SingleLinkClosedForm) {
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({1000, 0});
+  b.connect(u0, u1, 1000.0);
+  const auto net = std::move(b).build({1e-4, 0.9});
+  FidelityParams params;
+  const double w = link_werner(params, 1000.0);
+  EXPECT_NEAR(channel_fidelity(net, std::vector<NodeId>{u0, u1}, params),
+              0.25 + 0.75 * w, 1e-12);
+}
+
+TEST(ChannelFidelity, SwapsComposeMultiplicatively) {
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId sw = b.add_switch({500, 0}, 4);
+  const NodeId u1 = b.add_user({1000, 0});
+  b.connect(u0, sw, 500.0);
+  b.connect(sw, u1, 500.0);
+  const auto net = std::move(b).build({1e-4, 0.9});
+  FidelityParams params;
+  const double w = link_werner(params, 500.0);
+  EXPECT_NEAR(channel_fidelity(net, std::vector<NodeId>{u0, sw, u1}, params),
+              0.25 + 0.75 * w * w, 1e-12);
+}
+
+/// Short low-fidelity-budget detour vs long direct path.
+struct Fork {
+  net::QuantumNetwork net;
+  NodeId u0, u1, near_sw, far_sw;
+};
+
+/// Two parallel 2-hop routes: via near_sw total 2x600 km, via far_sw total
+/// 2x2400 km. The short route has the higher rate AND the higher fidelity.
+Fork fork_network() {
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({1200, 0});
+  const NodeId near_sw = b.add_switch({600, 0}, 4);
+  const NodeId far_sw = b.add_switch({600, 2300}, 4);
+  b.connect(u0, near_sw, 600.0);
+  b.connect(near_sw, u1, 600.0);
+  b.connect(u0, far_sw, 2400.0);
+  b.connect(far_sw, u1, 2400.0);
+  return {std::move(b).build({1e-4, 0.9}), u0, u1, near_sw, far_sw};
+}
+
+TEST(ConstrainedFinder, MatchesUnconstrainedWhenBudgetLoose) {
+  auto fx = fork_network();
+  FidelityParams params;
+  params.min_fidelity = 0.3;  // nearly no constraint
+  const net::CapacityState cap(fx.net);
+  const auto constrained = find_fidelity_constrained_channel(
+      fx.net, fx.u0, fx.u1, cap, params);
+  const routing::ChannelFinder finder(fx.net);
+  const auto unconstrained = finder.find_best_channel(fx.u0, fx.u1, cap);
+  ASSERT_TRUE(constrained.has_value());
+  ASSERT_TRUE(unconstrained.has_value());
+  EXPECT_EQ(constrained->path, unconstrained->path);
+  EXPECT_NEAR(constrained->rate, unconstrained->rate, 1e-12);
+}
+
+TEST(ConstrainedFinder, RejectsWhenNoPathMeetsBudget) {
+  auto fx = fork_network();
+  FidelityParams params;
+  params.min_fidelity = 0.999;  // unattainable over 1200 km
+  const net::CapacityState cap(fx.net);
+  EXPECT_FALSE(find_fidelity_constrained_channel(fx.net, fx.u0, fx.u1, cap,
+                                                 params)
+                   .has_value());
+}
+
+TEST(ConstrainedFinder, ReturnedChannelMeetsConstraint) {
+  auto fx = fork_network();
+  FidelityParams params;
+  params.min_fidelity = 0.9;
+  params.decay_per_km = 5e-5;
+  const net::CapacityState cap(fx.net);
+  const auto ch = find_fidelity_constrained_channel(fx.net, fx.u0, fx.u1, cap,
+                                                    params);
+  if (ch) {
+    EXPECT_GE(channel_fidelity(fx.net, ch->path, params),
+              params.min_fidelity - 1e-9);
+  }
+}
+
+TEST(ConstrainedFinder, PrefersHigherRateAmongQualifying) {
+  // Add a third, slow-but-pristine route; while both 2-hop routes qualify,
+  // the finder must still return the faster one.
+  auto fx = fork_network();
+  FidelityParams params;
+  params.min_fidelity = 0.5;
+  const net::CapacityState cap(fx.net);
+  const auto ch = find_fidelity_constrained_channel(fx.net, fx.u0, fx.u1, cap,
+                                                    params);
+  ASSERT_TRUE(ch.has_value());
+  EXPECT_EQ(ch->path[1], fx.near_sw);
+}
+
+TEST(ConstrainedFinder, RespectsCapacity) {
+  auto fx = fork_network();
+  FidelityParams params;
+  params.min_fidelity = 0.3;
+  net::CapacityState cap(fx.net);
+  const std::vector<NodeId> through_near{fx.u0, fx.near_sw, fx.u1};
+  cap.commit_channel(through_near);
+  cap.commit_channel(through_near);  // near switch exhausted (Q=4)
+  const auto ch = find_fidelity_constrained_channel(fx.net, fx.u0, fx.u1, cap,
+                                                    params);
+  ASSERT_TRUE(ch.has_value());
+  EXPECT_EQ(ch->path[1], fx.far_sw);
+}
+
+TEST(FidelityPrim, BuildsValidTreeMeetingConstraints) {
+  support::Rng rng(3);
+  topology::WaxmanParams wparams;
+  wparams.node_count = 30;
+  auto topo = topology::generate_waxman(wparams, rng);
+  const auto net =
+      net::assign_random_users(std::move(topo), 5, 6, {1e-4, 0.9}, rng);
+  FidelityParams params;
+  params.min_fidelity = 0.6;
+  params.decay_per_km = 1e-5;
+  const auto tree = fidelity_aware_prim(net, net.users(), params, rng);
+  EXPECT_EQ(net::validate_tree(net, net.users(), tree), "");
+  if (tree.feasible) {
+    for (const auto& ch : tree.channels) {
+      EXPECT_GE(channel_fidelity(net, ch.path, params),
+                params.min_fidelity - 1e-9);
+    }
+  }
+}
+
+TEST(FidelityGreedy, ValidAndMeetsFloor) {
+  support::Rng rng(6);
+  topology::WaxmanParams wparams;
+  wparams.node_count = 30;
+  auto topo = topology::generate_waxman(wparams, rng);
+  const auto net =
+      net::assign_random_users(std::move(topo), 5, 6, {1e-4, 0.9}, rng);
+  FidelityParams params;
+  params.min_fidelity = 0.6;
+  params.decay_per_km = 1e-5;
+  const auto tree = fidelity_aware_greedy(net, net.users(), params);
+  EXPECT_EQ(net::validate_tree(net, net.users(), tree), "");
+  if (tree.feasible) {
+    for (const auto& ch : tree.channels) {
+      EXPECT_GE(channel_fidelity(net, ch.path, params),
+                params.min_fidelity - 1e-9);
+    }
+  }
+}
+
+TEST(FidelityGreedy, MatchesPrimWhenUnconstrainedStructureIsForced) {
+  // Two users: both variants must return the single best qualifying
+  // channel.
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({800, 0});
+  const NodeId sw = b.add_switch({400, 100}, 4);
+  b.connect_euclidean(u0, sw);
+  b.connect_euclidean(sw, u1);
+  const auto net = std::move(b).build({1e-4, 0.9});
+  FidelityParams params;
+  params.min_fidelity = 0.5;
+  const auto greedy = fidelity_aware_greedy(net, net.users(), params);
+  support::Rng rng(1);
+  const auto prim = fidelity_aware_prim(net, net.users(), params, rng);
+  ASSERT_TRUE(greedy.feasible);
+  ASSERT_TRUE(prim.feasible);
+  EXPECT_DOUBLE_EQ(greedy.rate, prim.rate);
+}
+
+TEST(FidelityGreedy, InfeasibleWhenFloorUnreachable) {
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({5000, 0});
+  b.connect_euclidean(u0, u1);
+  const auto net = std::move(b).build({1e-4, 0.9});
+  FidelityParams params;
+  params.min_fidelity = 0.99;
+  params.decay_per_km = 1e-3;  // fidelity collapses over 5000 km
+  const auto tree = fidelity_aware_greedy(net, net.users(), params);
+  EXPECT_FALSE(tree.feasible);
+}
+
+TEST(FidelityPrim, TighterBudgetNeverImprovesRate) {
+  support::Rng rng(4);
+  topology::WaxmanParams wparams;
+  wparams.node_count = 30;
+  auto topo = topology::generate_waxman(wparams, rng);
+  const auto net =
+      net::assign_random_users(std::move(topo), 4, 8, {1e-4, 0.9}, rng);
+
+  double loose_rate = 0.0;
+  double tight_rate = 0.0;
+  {
+    FidelityParams params;
+    params.min_fidelity = 0.3;
+    support::Rng algo_rng(7);
+    loose_rate = fidelity_aware_prim(net, net.users(), params, algo_rng).rate;
+  }
+  {
+    FidelityParams params;
+    params.min_fidelity = 0.9;
+    support::Rng algo_rng(7);  // same seed user
+    tight_rate = fidelity_aware_prim(net, net.users(), params, algo_rng).rate;
+  }
+  EXPECT_LE(tight_rate, loose_rate * (1.0 + 1e-9));
+}
+
+}  // namespace
+}  // namespace muerp::ext

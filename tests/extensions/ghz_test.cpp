@@ -1,0 +1,110 @@
+#include "extensions/ghz.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "network/network_builder.hpp"
+#include "network/rate.hpp"
+#include "routing/conflict_free.hpp"
+#include "support/rng.hpp"
+#include "topology/waxman.hpp"
+
+namespace muerp::ext {
+namespace {
+
+using net::NodeId;
+
+net::QuantumNetwork hub_network(int qubits) {
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({200, 0});
+  const NodeId u2 = b.add_user({100, 170});
+  const NodeId hub = b.add_switch({100, 60}, qubits);
+  for (NodeId u : {u0, u1, u2}) b.connect_euclidean(u, hub);
+  return std::move(b).build({1e-4, 0.9});
+}
+
+TEST(GhzViaTree, ClosedForm) {
+  const auto net = hub_network(8);
+  const auto tree = routing::conflict_free(net, net.users());
+  ASSERT_TRUE(tree.feasible);
+  GhzParams params;
+  params.local_merge_success = 0.95;
+  // |U|-1 = 2 merges, one per tree edge.
+  EXPECT_NEAR(ghz_via_tree_rate(tree, params), tree.rate * 0.95 * 0.95,
+              1e-15);
+}
+
+TEST(GhzViaTree, PerfectLocalOpsEqualTreeRate) {
+  const auto net = hub_network(8);
+  const auto tree = routing::conflict_free(net, net.users());
+  GhzParams params;
+  params.local_merge_success = 1.0;
+  EXPECT_DOUBLE_EQ(ghz_via_tree_rate(tree, params), tree.rate);
+}
+
+TEST(GhzViaTree, InfeasibleTreeGivesZero) {
+  net::EntanglementTree infeasible{{}, 0.0, false};
+  EXPECT_DOUBLE_EQ(ghz_via_tree_rate(infeasible, {}), 0.0);
+}
+
+TEST(GhzViaTree, SingletonIsTrivial) {
+  net::EntanglementTree empty{{}, 1.0, true};
+  EXPECT_DOUBLE_EQ(ghz_via_tree_rate(empty, {}), 1.0);
+}
+
+TEST(GhzComparison, TreeDominatesAtGoodLocalOps) {
+  // The paper's thesis: BSM-built Bell trees beat n-fusion for multi-user
+  // entanglement. With local merges at 0.99 the tree route must win on the
+  // default-style network.
+  support::Rng rng(3);
+  topology::WaxmanParams params;
+  params.node_count = 40;
+  auto topo = topology::generate_waxman(params, rng);
+  const auto net =
+      net::assign_random_users(std::move(topo), 6, 4, {1e-4, 0.9}, rng);
+  const auto cmp = compare_ghz_distribution(net, net.users());
+  ASSERT_TRUE(cmp.tree_feasible);
+  EXPECT_GT(cmp.via_tree, cmp.via_fusion);
+}
+
+TEST(GhzComparison, TerribleLocalOpsFlipTheOrdering) {
+  // Symmetric single-hub star: both routes use the same physical channels,
+  // so the comparison reduces to local merges vs the central fusion. With
+  // p_local driven to near zero the fusion star must win.
+  const auto net = hub_network(20);
+  GhzParams params;
+  params.local_merge_success = 0.01;
+  const auto cmp = compare_ghz_distribution(net, net.users(), params);
+  ASSERT_TRUE(cmp.tree_feasible);
+  ASSERT_TRUE(cmp.fusion_feasible);
+  EXPECT_LT(cmp.via_tree, cmp.via_fusion);
+}
+
+TEST(GhzComparison, InfeasibleNetworkReportsBothZero) {
+  net::NetworkBuilder b;
+  b.add_user({0, 0});
+  b.add_user({100, 0});  // disconnected
+  const auto net = std::move(b).build({1e-4, 0.9});
+  const auto cmp = compare_ghz_distribution(net, net.users());
+  EXPECT_FALSE(cmp.tree_feasible);
+  EXPECT_FALSE(cmp.fusion_feasible);
+  EXPECT_DOUBLE_EQ(cmp.via_tree, 0.0);
+  EXPECT_DOUBLE_EQ(cmp.via_fusion, 0.0);
+}
+
+TEST(GhzComparison, MonotoneInLocalMergeSuccess) {
+  const auto net = hub_network(20);
+  double previous = -1.0;
+  for (double p_local : {0.5, 0.8, 0.95, 1.0}) {
+    GhzParams params;
+    params.local_merge_success = p_local;
+    const auto cmp = compare_ghz_distribution(net, net.users(), params);
+    EXPECT_GT(cmp.via_tree, previous);
+    previous = cmp.via_tree;
+  }
+}
+
+}  // namespace
+}  // namespace muerp::ext

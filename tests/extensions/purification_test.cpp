@@ -1,0 +1,287 @@
+#include "extensions/purification.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "network/channel.hpp"
+#include "network/network_builder.hpp"
+#include "support/rng.hpp"
+#include "topology/waxman.hpp"
+
+namespace muerp::ext {
+namespace {
+
+using net::NodeId;
+
+TEST(Bbpssw, PerfectPairIsFixedPoint) {
+  const auto out = bbpssw(1.0);
+  EXPECT_NEAR(out.fidelity, 1.0, 1e-12);
+  EXPECT_NEAR(out.success_prob, 1.0, 1e-12);
+}
+
+TEST(Bbpssw, ImprovesAboveOneHalf) {
+  for (double f : {0.55, 0.7, 0.8, 0.9, 0.95}) {
+    const auto out = bbpssw(f);
+    EXPECT_GT(out.fidelity, f) << "f = " << f;
+    EXPECT_GT(out.success_prob, 0.0);
+    EXPECT_LE(out.success_prob, 1.0);
+  }
+}
+
+TEST(Bbpssw, HalfIsAFixedPoint) {
+  const auto out = bbpssw(0.5);
+  EXPECT_NEAR(out.fidelity, 0.5, 1e-12);
+}
+
+TEST(Bbpssw, KnownValue) {
+  // f = 0.7: g = 0.1, success = 0.49 + 0.14 + 0.05 = 0.68,
+  // f' = (0.49 + 0.01) / 0.68 = 0.7353...
+  const auto out = bbpssw(0.7);
+  EXPECT_NEAR(out.success_prob, 0.68, 1e-12);
+  EXPECT_NEAR(out.fidelity, 0.50 / 0.68, 1e-12);
+}
+
+TEST(Ladder, FidelityMonotoneAndCostDoubles) {
+  const auto ladder = purification_ladder(0.8, 0.6, 4);
+  ASSERT_EQ(ladder.size(), 5u);
+  EXPECT_DOUBLE_EQ(ladder[0].fidelity, 0.8);
+  EXPECT_DOUBLE_EQ(ladder[0].success_prob, 0.6);
+  for (std::size_t k = 1; k < ladder.size(); ++k) {
+    EXPECT_GT(ladder[k].fidelity, ladder[k - 1].fidelity);
+    // Success collapses at least quadratically per level.
+    EXPECT_LT(ladder[k].success_prob,
+              ladder[k - 1].success_prob * ladder[k - 1].success_prob + 1e-12);
+    EXPECT_EQ(ladder[k].level, k);
+  }
+}
+
+TEST(Ladder, ApproachesUnitFidelity) {
+  // Near F = 1 the BBPSSW map contracts 1-F by ~2/3 per round, so the
+  // ladder approaches unit fidelity geometrically (never jumps there).
+  const auto ladder = purification_ladder(0.75, 0.9, 12);
+  EXPECT_GT(ladder.back().fidelity, 0.99);
+  const auto longer = purification_ladder(0.75, 0.9, 24);
+  EXPECT_GT(longer.back().fidelity, ladder.back().fidelity);
+  EXPECT_GT(longer.back().fidelity, 0.9995);
+}
+
+TEST(CheapestLevel, FindsMinimalRung) {
+  const auto rung = cheapest_level_reaching(0.8, 0.9, 0.9, 5);
+  ASSERT_TRUE(rung.has_value());
+  EXPECT_GE(rung->fidelity, 0.9);
+  if (rung->level > 0) {
+    // The rung below must miss the target (minimality).
+    const auto ladder = purification_ladder(0.8, 0.9, rung->level);
+    EXPECT_LT(ladder[rung->level - 1].fidelity, 0.9);
+  }
+}
+
+TEST(CheapestLevel, ZeroRoundsWhenAlreadyGoodEnough) {
+  const auto rung = cheapest_level_reaching(0.95, 0.9, 0.9, 5);
+  ASSERT_TRUE(rung.has_value());
+  EXPECT_EQ(rung->level, 0u);
+}
+
+TEST(CheapestLevel, UnreachableTarget) {
+  // f0 below the 0.5 fixed point: purification cannot climb.
+  EXPECT_FALSE(cheapest_level_reaching(0.45, 0.9, 0.9, 8).has_value());
+}
+
+/// Long two-hop network where raw links miss the fidelity floor but one
+/// purification round clears it.
+struct PurifyFixture {
+  net::QuantumNetwork net;
+  NodeId u0, u1;
+  FidelityParams fparams;
+};
+
+PurifyFixture purify_fixture() {
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId sw = b.add_switch({1500, 0}, 4);
+  const NodeId u1 = b.add_user({3000, 0});
+  b.connect(u0, sw, 1500.0);
+  b.connect(sw, u1, 1500.0);
+  FidelityParams fparams;
+  fparams.fresh_fidelity = 0.98;
+  fparams.decay_per_km = 1e-4;  // raw link F ~ 0.88, channel F ~ 0.80
+  return {std::move(b).build({1e-4, 0.9}), u0, u1, fparams};
+}
+
+TEST(PurifiedChannel, RawWhenFloorIsLoose) {
+  auto fx = purify_fixture();
+  fx.fparams.min_fidelity = 0.6;
+  const net::CapacityState cap(fx.net);
+  const auto ch = find_purified_channel(fx.net, fx.u0, fx.u1, cap,
+                                        fx.fparams, {});
+  ASSERT_TRUE(ch.has_value());
+  for (std::size_t level : ch->link_levels) {
+    EXPECT_EQ(level, 0u);  // no purification needed
+  }
+  EXPECT_GE(ch->fidelity, 0.6);
+}
+
+TEST(PurifiedChannel, PurifiesWhenFloorIsTight) {
+  auto fx = purify_fixture();
+  fx.fparams.min_fidelity = 0.9;
+  const net::CapacityState cap(fx.net);
+  const auto raw_only = find_fidelity_constrained_channel(
+      fx.net, fx.u0, fx.u1, cap, fx.fparams);
+  EXPECT_FALSE(raw_only.has_value());  // unreachable without purification
+  const auto ch = find_purified_channel(fx.net, fx.u0, fx.u1, cap,
+                                        fx.fparams, {.max_rounds = 3});
+  ASSERT_TRUE(ch.has_value());
+  EXPECT_GE(ch->fidelity, 0.9 - 1e-9);
+  std::size_t total_levels = 0;
+  for (std::size_t level : ch->link_levels) total_levels += level;
+  EXPECT_GE(total_levels, 1u);  // purification actually used
+}
+
+TEST(PurifiedChannel, PurificationCostsRate) {
+  auto fx = purify_fixture();
+  const net::CapacityState cap(fx.net);
+  fx.fparams.min_fidelity = 0.6;
+  const auto loose = find_purified_channel(fx.net, fx.u0, fx.u1, cap,
+                                           fx.fparams, {.max_rounds = 3});
+  fx.fparams.min_fidelity = 0.9;
+  const auto tight = find_purified_channel(fx.net, fx.u0, fx.u1, cap,
+                                           fx.fparams, {.max_rounds = 3});
+  ASSERT_TRUE(loose.has_value());
+  ASSERT_TRUE(tight.has_value());
+  EXPECT_LT(tight->channel.rate, loose->channel.rate);
+}
+
+TEST(PurifiedChannel, InfeasibleBeyondLadder) {
+  auto fx = purify_fixture();
+  fx.fparams.min_fidelity = 0.999999;
+  const net::CapacityState cap(fx.net);
+  const auto ch = find_purified_channel(fx.net, fx.u0, fx.u1, cap,
+                                        fx.fparams, {.max_rounds = 2});
+  EXPECT_FALSE(ch.has_value());
+}
+
+TEST(PurifiedChannel, LinkLevelsAlignWithPath) {
+  auto fx = purify_fixture();
+  fx.fparams.min_fidelity = 0.9;
+  const net::CapacityState cap(fx.net);
+  const auto ch = find_purified_channel(fx.net, fx.u0, fx.u1, cap,
+                                        fx.fparams, {.max_rounds = 3});
+  ASSERT_TRUE(ch.has_value());
+  EXPECT_EQ(ch->link_levels.size(), ch->channel.path.size() - 1);
+}
+
+TEST(PurifiedPrim, TreeMeetsFloorOnRandomNetworks) {
+  support::Rng rng(5);
+  topology::WaxmanParams params;
+  params.node_count = 25;
+  auto topo = topology::generate_waxman(params, rng);
+  const auto net =
+      net::assign_random_users(std::move(topo), 4, 6, {1e-4, 0.9}, rng);
+  FidelityParams fparams;
+  fparams.fresh_fidelity = 0.98;
+  fparams.decay_per_km = 5e-5;
+  fparams.min_fidelity = 0.85;
+  const auto tree =
+      purified_prim(net, net.users(), fparams, {.max_rounds = 3}, rng);
+  if (!tree.feasible) GTEST_SKIP() << "instance infeasible";
+  ASSERT_EQ(tree.channels.size(), net.users().size() - 1);
+  double product = 1.0;
+  for (const auto& pc : tree.channels) {
+    EXPECT_GE(pc.fidelity, 0.85 - 1e-9);
+    product *= pc.channel.rate;
+  }
+  EXPECT_NEAR(tree.rate, product, 1e-12 * product);
+}
+
+TEST(PurifiedPrim, BeatsRawFidelityPrimWhenFloorIsTight) {
+  // Where the raw fidelity router fails outright, the purified one can
+  // still serve (at reduced rate).
+  auto fx = purify_fixture();
+  fx.fparams.min_fidelity = 0.9;
+  support::Rng r1(9);
+  const auto raw = fidelity_aware_prim(
+      fx.net, fx.net.users(), fx.fparams, r1);
+  EXPECT_FALSE(raw.feasible);
+  support::Rng r2(9);
+  const auto purified = purified_prim(fx.net, fx.net.users(), fx.fparams,
+                                      {.max_rounds = 3}, r2);
+  EXPECT_TRUE(purified.feasible);
+  EXPECT_GT(purified.rate, 0.0);
+}
+
+/// Oracle: on a two-route fork, exhaustively enumerate every (path, per-
+/// link level) combination and verify the Pareto search returns the
+/// maximum-rate qualifying one.
+class PurifiedChannelOracle : public ::testing::TestWithParam<double> {};
+
+TEST_P(PurifiedChannelOracle, MatchesExhaustiveEnumeration) {
+  const double min_fidelity = GetParam();
+  // Two parallel 2-hop routes of different lengths.
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({2400, 0});
+  const NodeId near_sw = b.add_switch({1200, 0}, 4);
+  const NodeId far_sw = b.add_switch({1200, 1800}, 4);
+  b.connect(u0, near_sw, 1200.0);
+  b.connect(near_sw, u1, 1200.0);
+  b.connect(u0, far_sw, 2200.0);
+  b.connect(far_sw, u1, 2200.0);
+  const auto net = std::move(b).build({1e-4, 0.9});
+
+  FidelityParams fparams;
+  fparams.fresh_fidelity = 0.98;
+  fparams.decay_per_km = 1e-4;
+  fparams.min_fidelity = min_fidelity;
+  const PurificationParams pparams{.max_rounds = 3};
+
+  // Exhaustive: both routes x all level assignments per link.
+  const std::vector<std::vector<NodeId>> routes = {
+      {u0, near_sw, u1}, {u0, far_sw, u1}};
+  double best_rate = 0.0;
+  const double log_q = std::log(0.9);
+  for (const auto& route : routes) {
+    // Per-link ladders.
+    std::vector<std::vector<PurifiedPair>> ladders;
+    for (std::size_t i = 0; i + 1 < route.size(); ++i) {
+      const auto e = net.graph().find_edge(route[i], route[i + 1]);
+      const double length = net.graph().edge(*e).length_km;
+      const double f0 =
+          0.25 + 0.75 * link_werner(fparams, length);
+      ladders.push_back(
+          purification_ladder(f0, net.link_success(*e), pparams.max_rounds));
+    }
+    // All level combinations (2 links x 4 levels = 16).
+    for (const auto& l0 : ladders[0]) {
+      for (const auto& l1 : ladders[1]) {
+        const double w = ((4.0 * l0.fidelity - 1.0) / 3.0) *
+                         ((4.0 * l1.fidelity - 1.0) / 3.0);
+        if (0.25 + 0.75 * w < min_fidelity) continue;
+        // Two links, one swap: success = s0 * s1 * q. In routing-weight
+        // terms: exp(-(sum(-ln s_i) - 2 ln q)) / q.
+        const double cost =
+            (-std::log(l0.success_prob) - log_q) +
+            (-std::log(l1.success_prob) - log_q);
+        best_rate = std::max(best_rate, std::exp(-cost) / 0.9);
+      }
+    }
+  }
+
+  const net::CapacityState cap(net);
+  const auto found =
+      find_purified_channel(net, u0, u1, cap, fparams, pparams);
+  if (best_rate == 0.0) {
+    EXPECT_FALSE(found.has_value());
+  } else {
+    ASSERT_TRUE(found.has_value());
+    EXPECT_NEAR(found->channel.rate, best_rate, 1e-9 * best_rate);
+    EXPECT_GE(found->fidelity, min_fidelity - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Floors, PurifiedChannelOracle,
+                         ::testing::Values(0.5, 0.7, 0.8, 0.85, 0.9, 0.95,
+                                           0.99));
+
+}  // namespace
+}  // namespace muerp::ext

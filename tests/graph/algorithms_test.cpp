@@ -1,0 +1,189 @@
+#include "graph/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace muerp::graph {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+Graph triangle_plus_tail() {
+  // 0-1-2 triangle, 2-3 tail.
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(0, 2, 4.0);
+  g.add_edge(2, 3, 1.0);
+  return g;
+}
+
+TEST(Connectivity, ConnectedAndNot) {
+  Graph g = triangle_plus_tail();
+  EXPECT_TRUE(is_connected(g));
+  Graph h(3);
+  h.add_edge(0, 1, 1.0);
+  EXPECT_FALSE(is_connected(h));
+  EXPECT_EQ(component_count(h), 2u);
+}
+
+TEST(Connectivity, EmptyAndSingleton) {
+  EXPECT_TRUE(is_connected(Graph{}));
+  EXPECT_TRUE(is_connected(Graph(1)));
+  EXPECT_EQ(component_count(Graph(1)), 1u);
+}
+
+TEST(Connectivity, ComponentLabelsPartition) {
+  Graph g(6);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);
+  g.add_edge(3, 4, 1.0);
+  const auto labels = connected_components(g);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[2], labels[3]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_NE(labels[0], labels[2]);
+  EXPECT_NE(labels[5], labels[0]);
+  EXPECT_NE(labels[5], labels[2]);
+  EXPECT_EQ(component_count(g), 3u);
+}
+
+TEST(Bfs, HopCounts) {
+  Graph g = triangle_plus_tail();
+  const auto hops = bfs_hops(g, 0);
+  EXPECT_EQ(hops[0], 0u);
+  EXPECT_EQ(hops[1], 1u);
+  EXPECT_EQ(hops[2], 1u);
+  EXPECT_EQ(hops[3], 2u);
+}
+
+TEST(Bfs, UnreachableIsNullopt) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  const auto hops = bfs_hops(g, 0);
+  EXPECT_TRUE(hops[1].has_value());
+  EXPECT_FALSE(hops[2].has_value());
+}
+
+TEST(Dijkstra, ShortestDistances) {
+  Graph g = triangle_plus_tail();
+  const auto weight = [&](EdgeId e) { return g.edge(e).length_km; };
+  const auto sp = dijkstra(g, 0, weight);
+  EXPECT_DOUBLE_EQ(sp.distance[0], 0.0);
+  EXPECT_DOUBLE_EQ(sp.distance[1], 1.0);
+  EXPECT_DOUBLE_EQ(sp.distance[2], 3.0);  // via 1, not the direct 4.0 edge
+  EXPECT_DOUBLE_EQ(sp.distance[3], 4.0);
+}
+
+TEST(Dijkstra, PathReconstruction) {
+  Graph g = triangle_plus_tail();
+  const auto weight = [&](EdgeId e) { return g.edge(e).length_km; };
+  const auto sp = dijkstra(g, 0, weight);
+  EXPECT_EQ(reconstruct_path(g, sp, 0, 3), (std::vector<NodeId>{0, 1, 2, 3}));
+  EXPECT_EQ(reconstruct_path(g, sp, 0, 0), (std::vector<NodeId>{0}));
+}
+
+TEST(Dijkstra, UnreachableIsInfinity) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  const auto sp = dijkstra(g, 0, [&](EdgeId) { return 1.0; });
+  EXPECT_EQ(sp.distance[2], kInf);
+  EXPECT_TRUE(reconstruct_path(g, sp, 0, 2).empty());
+}
+
+TEST(Dijkstra, AllowThroughBlocksRelay) {
+  // 0-1-2 path plus expensive direct edge 0-2; with vertex 1 blocked the
+  // path must take the direct edge.
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(0, 2, 10.0);
+  const auto weight = [&](EdgeId e) { return g.edge(e).length_km; };
+  const auto blocked = [](NodeId v) { return v != 1; };
+  const auto sp = dijkstra(g, 0, weight, blocked);
+  EXPECT_DOUBLE_EQ(sp.distance[2], 10.0);
+  // Vertex 1 is still *reachable* as an endpoint.
+  EXPECT_DOUBLE_EQ(sp.distance[1], 1.0);
+}
+
+TEST(Dijkstra, AllowThroughNeverBlocksSource) {
+  Graph g(2);
+  g.add_edge(0, 1, 3.0);
+  const auto sp = dijkstra(
+      g, 0, [&](EdgeId e) { return g.edge(e).length_km; },
+      [](NodeId) { return false; });
+  EXPECT_DOUBLE_EQ(sp.distance[1], 3.0);
+}
+
+/// Oracle property: Dijkstra equals Bellman-Ford on random graphs.
+class DijkstraVsBellmanFord : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DijkstraVsBellmanFord, DistancesAgree) {
+  support::Rng rng(GetParam());
+  constexpr std::size_t kN = 15;
+  Graph g(kN);
+  for (NodeId a = 0; a < kN; ++a) {
+    for (NodeId b = a + 1; b < kN; ++b) {
+      if (rng.bernoulli(0.3)) g.add_edge(a, b, rng.uniform(0.1, 10.0));
+    }
+  }
+  const auto weight = [&](EdgeId e) { return g.edge(e).length_km; };
+  const auto sp = dijkstra(g, 0, weight);
+
+  // Bellman–Ford reference.
+  std::vector<double> dist(kN, kInf);
+  dist[0] = 0.0;
+  for (std::size_t round = 0; round + 1 < kN; ++round) {
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      const Edge& edge = g.edge(e);
+      const double w = weight(e);
+      if (dist[edge.a] + w < dist[edge.b]) dist[edge.b] = dist[edge.a] + w;
+      if (dist[edge.b] + w < dist[edge.a]) dist[edge.a] = dist[edge.b] + w;
+    }
+  }
+  for (NodeId v = 0; v < kN; ++v) {
+    if (dist[v] == kInf) {
+      EXPECT_EQ(sp.distance[v], kInf);
+    } else {
+      EXPECT_NEAR(sp.distance[v], dist[v], 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DijkstraVsBellmanFord,
+                         ::testing::Values(101, 102, 103, 104, 105, 106));
+
+TEST(Mst, KnownMinimumTree) {
+  Graph g = triangle_plus_tail();
+  const auto weight = [&](EdgeId e) { return g.edge(e).length_km; };
+  const auto mst = minimum_spanning_forest(g, weight);
+  ASSERT_EQ(mst.size(), 3u);
+  double total = 0.0;
+  for (EdgeId e : mst) total += weight(e);
+  EXPECT_DOUBLE_EQ(total, 4.0);  // edges 0-1 (1), 1-2 (2), 2-3 (1)
+  EXPECT_TRUE(is_spanning_tree(g, mst));
+}
+
+TEST(Mst, ForestOnDisconnectedGraph) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);
+  const auto forest =
+      minimum_spanning_forest(g, [&](EdgeId e) { return g.edge(e).length_km; });
+  EXPECT_EQ(forest.size(), 2u);
+  EXPECT_FALSE(is_spanning_tree(g, forest));  // graph itself disconnected
+}
+
+TEST(SpanningTreeCheck, RejectsCycleAndWrongCount) {
+  Graph g = triangle_plus_tail();
+  EXPECT_FALSE(is_spanning_tree(g, {0, 1, 2}));     // 0-1,1-2,0-2 is a cycle
+  EXPECT_FALSE(is_spanning_tree(g, {0, 1}));        // too few edges
+  EXPECT_TRUE(is_spanning_tree(g, {0, 1, 3}));      // path 0-1-2-3
+}
+
+}  // namespace
+}  // namespace muerp::graph

@@ -1,0 +1,156 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "support/rng.hpp"
+
+namespace muerp::graph {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 0.0);
+}
+
+TEST(Graph, AddNodesAndEdges) {
+  Graph g(3);
+  EXPECT_EQ(g.node_count(), 3u);
+  const EdgeId e = g.add_edge(0, 1, 5.0);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.edge(e).a, 0u);
+  EXPECT_EQ(g.edge(e).b, 1u);
+  EXPECT_DOUBLE_EQ(g.edge(e).length_km, 5.0);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(Graph, AddNodeGrowsGraph) {
+  Graph g(1);
+  const NodeId v = g.add_node();
+  EXPECT_EQ(v, 1u);
+  EXPECT_EQ(g.node_count(), 2u);
+  g.add_edge(0, v, 1.0);
+  EXPECT_TRUE(g.has_edge(0, 1));
+}
+
+TEST(Graph, EdgeNormalizesEndpointOrder) {
+  Graph g(4);
+  const EdgeId e = g.add_edge(3, 1, 2.0);
+  EXPECT_EQ(g.edge(e).a, 1u);
+  EXPECT_EQ(g.edge(e).b, 3u);
+  EXPECT_EQ(g.edge(e).other(1), 3u);
+  EXPECT_EQ(g.edge(e).other(3), 1u);
+}
+
+TEST(Graph, FindEdge) {
+  Graph g(3);
+  const EdgeId e = g.add_edge(0, 2, 7.0);
+  ASSERT_TRUE(g.find_edge(2, 0).has_value());
+  EXPECT_EQ(*g.find_edge(2, 0), e);
+  EXPECT_FALSE(g.find_edge(0, 1).has_value());
+}
+
+TEST(Graph, NeighborsAndDegree) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(0, 3, 1.0);
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.degree(1), 1u);
+  std::set<NodeId> nbrs;
+  for (const Neighbor& n : g.neighbors(0)) nbrs.insert(n.node);
+  EXPECT_EQ(nbrs, (std::set<NodeId>{1, 2, 3}));
+}
+
+TEST(Graph, AverageDegree) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 1.0);
+}
+
+TEST(Graph, RemoveEdgeBasic) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  const EdgeId e = g.add_edge(1, 2, 2.0);
+  g.remove_edge(e);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 2));
+  EXPECT_EQ(g.degree(2), 0u);
+}
+
+TEST(Graph, RemoveEdgeSwapWithLastKeepsConsistency) {
+  Graph g(4);
+  const EdgeId first = g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(2, 3, 3.0);
+  g.remove_edge(first);  // last edge (2,3) moves into slot `first`
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  ASSERT_TRUE(g.find_edge(2, 3).has_value());
+  const EdgeId moved = *g.find_edge(2, 3);
+  EXPECT_DOUBLE_EQ(g.edge(moved).length_km, 3.0);
+  // Adjacency entries must agree with the index.
+  for (const Neighbor& n : g.neighbors(2)) {
+    EXPECT_EQ(g.edge(n.edge).other(2), n.node);
+  }
+}
+
+TEST(Graph, RemoveLastEdge) {
+  Graph g(2);
+  const EdgeId e = g.add_edge(0, 1, 1.0);
+  g.remove_edge(e);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_FALSE(g.has_edge(0, 1));
+}
+
+/// Property: after random removals every invariant holds.
+class GraphRandomRemoval : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GraphRandomRemoval, InvariantsSurvive) {
+  support::Rng rng(GetParam());
+  constexpr std::size_t kN = 20;
+  Graph g(kN);
+  for (NodeId a = 0; a < kN; ++a) {
+    for (NodeId b = a + 1; b < kN; ++b) {
+      if (rng.bernoulli(0.3)) {
+        g.add_edge(a, b, rng.uniform(1.0, 100.0));
+      }
+    }
+  }
+  while (g.edge_count() > 0) {
+    const auto victim =
+        static_cast<EdgeId>(rng.uniform_index(g.edge_count()));
+    g.remove_edge(victim);
+    // Invariant 1: adjacency <-> edge list agreement.
+    std::size_t adjacency_total = 0;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      adjacency_total += g.degree(v);
+      for (const Neighbor& n : g.neighbors(v)) {
+        ASSERT_LT(n.edge, g.edge_count());
+        ASSERT_EQ(g.edge(n.edge).other(v), n.node);
+        ASSERT_TRUE(g.has_edge(v, n.node));
+      }
+    }
+    ASSERT_EQ(adjacency_total, 2 * g.edge_count());
+    // Invariant 2: index lookups agree with edge storage.
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      const auto found = g.find_edge(g.edge(e).a, g.edge(e).b);
+      ASSERT_TRUE(found.has_value());
+      ASSERT_EQ(*found, e);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphRandomRemoval,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace muerp::graph

@@ -1,0 +1,155 @@
+// End-to-end integration: generate paper-scale networks, run all five
+// algorithms, validate every output, and cross-check closed-form rates
+// against the Monte-Carlo execution of the §II-B process.
+#include <gtest/gtest.h>
+
+#include "baselines/eqcast.hpp"
+#include "baselines/nfusion.hpp"
+#include "experiment/runner.hpp"
+#include "experiment/scenario.hpp"
+#include "network/channel.hpp"
+#include "routing/conflict_free.hpp"
+#include "routing/optimal_tree.hpp"
+#include "routing/prim_based.hpp"
+#include "simulation/monte_carlo.hpp"
+#include "support/statistics.hpp"
+#include "topology/perturb.hpp"
+
+namespace muerp {
+namespace {
+
+experiment::Scenario paper_defaults() {
+  experiment::Scenario s;  // defaults already mirror §V-A
+  s.repetitions = 8;       // trimmed for test time
+  s.seed = 2024;
+  return s;
+}
+
+class TopologySweep
+    : public ::testing::TestWithParam<experiment::TopologyKind> {};
+
+TEST_P(TopologySweep, AllAlgorithmOutputsAreValid) {
+  experiment::Scenario s = paper_defaults();
+  s.topology = GetParam();
+  for (std::size_t rep = 0; rep < 4; ++rep) {
+    experiment::Instance inst = experiment::instantiate(s, rep);
+
+    const auto boosted = experiment::with_uniform_switch_qubits(
+        inst.network, 2 * static_cast<int>(inst.users.size()));
+    const auto alg2 = routing::optimal_special_case(boosted, inst.users);
+    EXPECT_EQ(net::validate_tree(boosted, inst.users, alg2), "");
+
+    const auto alg3 = routing::conflict_free(inst.network, inst.users);
+    EXPECT_EQ(net::validate_tree(inst.network, inst.users, alg3), "");
+
+    const auto alg4 =
+        routing::prim_based(inst.network, inst.users, inst.rng);
+    EXPECT_EQ(net::validate_tree(inst.network, inst.users, alg4), "");
+
+    const auto eq = baselines::extended_qcast(inst.network, inst.users);
+    EXPECT_EQ(net::validate_tree(inst.network, inst.users, eq), "");
+
+    // Dominance on the shared instance.
+    EXPECT_GE(alg2.rate * (1 + 1e-9), alg3.rate);
+    EXPECT_GE(alg2.rate * (1 + 1e-9), alg4.rate);
+    EXPECT_GE(alg2.rate * (1 + 1e-9), eq.rate);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, TopologySweep,
+    ::testing::Values(experiment::TopologyKind::kWaxman,
+                      experiment::TopologyKind::kWattsStrogatz,
+                      experiment::TopologyKind::kVolchenkov));
+
+TEST(Integration, PaperDefaultsProposedBeatBaselinesOnAverage) {
+  // The paper's headline: Algorithms 2/3/4 outperform E-Q-CAST and
+  // N-FUSION at the §V-A defaults. Means are over feasible-and-not runs
+  // (zeros included), exactly like the figures.
+  experiment::Scenario s = paper_defaults();
+  s.repetitions = 12;
+  const auto result = experiment::run_scenario(s);
+  const double alg2 = result.mean_rate(0);
+  const double alg3 = result.mean_rate(1);
+  const double alg4 = result.mean_rate(2);
+  const double eqcast = result.mean_rate(3);
+  const double nfusion = result.mean_rate(4);
+
+  EXPECT_GT(alg2, 0.0);
+  EXPECT_GT(alg3, 0.0);
+  EXPECT_GT(alg4, 0.0);
+  EXPECT_GE(alg2 * (1 + 1e-9), alg3);
+  EXPECT_GE(alg2 * (1 + 1e-9), alg4);
+  EXPECT_GT(alg3, eqcast);
+  EXPECT_GT(alg3, nfusion);
+  EXPECT_GT(alg4, eqcast);
+  EXPECT_GT(alg4, nfusion);
+}
+
+TEST(Integration, SwapRateMonotonicity) {
+  // Fig. 8(b) shape: higher q -> higher entanglement rate, per algorithm.
+  experiment::Scenario lo = paper_defaults();
+  lo.swap_success = 0.7;
+  experiment::Scenario hi = paper_defaults();
+  hi.swap_success = 1.0;
+  const auto r_lo = experiment::run_scenario(lo);
+  const auto r_hi = experiment::run_scenario(hi);
+  for (std::size_t a = 0; a < experiment::kAllAlgorithms.size(); ++a) {
+    // Same seed -> identical topologies; only q differs, and every channel's
+    // rate is monotone in q, so the means must be ordered.
+    EXPECT_GE(r_hi.mean_rate(a) * (1 + 1e-9), r_lo.mean_rate(a))
+        << experiment::algorithm_name(experiment::kAllAlgorithms[a]);
+  }
+}
+
+TEST(Integration, QubitBudgetHelpsHeuristics) {
+  experiment::Scenario poor = paper_defaults();
+  poor.qubits_per_switch = 2;
+  experiment::Scenario rich = paper_defaults();
+  rich.qubits_per_switch = 8;
+  const auto r_poor = experiment::run_scenario(poor);
+  const auto r_rich = experiment::run_scenario(rich);
+  // Feasibility fraction of Algorithm 3 must not decrease with capacity.
+  EXPECT_GE(r_rich.feasible_fraction(1) + 1e-12, r_poor.feasible_fraction(1));
+  EXPECT_GE(r_rich.feasible_fraction(2) + 1e-12, r_poor.feasible_fraction(2));
+}
+
+TEST(Integration, MonteCarloValidatesRoutedPlansAtScale) {
+  experiment::Scenario s = paper_defaults();
+  // Gentler attenuation so MC rates are measurable with 30k rounds.
+  s.attenuation = 2e-5;
+  experiment::Instance inst = experiment::instantiate(s, 0);
+  const auto tree = routing::conflict_free(inst.network, inst.users);
+  ASSERT_TRUE(tree.feasible);
+  const sim::MonteCarloSimulator mc(inst.network);
+  const auto est = mc.estimate_tree_rate(tree, 30000, inst.rng);
+  EXPECT_NEAR(est.rate, tree.rate, 4.0 * est.std_error + 1e-9);
+}
+
+TEST(Integration, EdgeRemovalEventuallyKillsFeasibility) {
+  // Fig. 7(b) mechanism: keep deleting fibers; all algorithms eventually
+  // fail, and a disconnected user set can never be routed.
+  experiment::Scenario s = paper_defaults();
+  s.seed = 77;
+  experiment::Instance inst = experiment::instantiate(s, 0);
+  support::Rng removal_rng(5);
+  bool alg3_failed = false;
+  while (inst.network.graph().edge_count() > 0) {
+    const auto tree = routing::conflict_free(inst.network, inst.users);
+    EXPECT_EQ(net::validate_tree(inst.network, inst.users, tree), "");
+    if (!tree.feasible) {
+      alg3_failed = true;
+      break;
+    }
+    // Remove 10% of remaining edges.
+    auto pruned = inst.network.graph();
+    const std::size_t to_remove =
+        std::max<std::size_t>(1, pruned.edge_count() / 10);
+    topology::remove_random_edges(pruned, to_remove, removal_rng);
+    inst.network.set_topology(std::move(pruned));
+  }
+  EXPECT_TRUE(alg3_failed);
+}
+
+}  // namespace
+}  // namespace muerp

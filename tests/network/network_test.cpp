@@ -1,0 +1,230 @@
+#include "network/quantum_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "network/channel.hpp"
+#include "network/network_builder.hpp"
+#include "network/rate.hpp"
+#include "support/rng.hpp"
+#include "topology/structured.hpp"
+
+namespace muerp::net {
+namespace {
+
+/// Alice - switch - Bob line, 100 km fibers, Q=4, q=0.9, alpha=1e-4.
+QuantumNetwork line_network() {
+  NetworkBuilder b;
+  const NodeId alice = b.add_user({0, 0});
+  const NodeId sw = b.add_switch({100, 0}, 4);
+  const NodeId bob = b.add_user({200, 0});
+  b.connect_euclidean(alice, sw);
+  b.connect_euclidean(sw, bob);
+  return std::move(b).build({1e-4, 0.9});
+}
+
+TEST(QuantumNetwork, RolesAndSets) {
+  const auto net = line_network();
+  EXPECT_EQ(net.node_count(), 3u);
+  EXPECT_TRUE(net.is_user(0));
+  EXPECT_TRUE(net.is_switch(1));
+  EXPECT_TRUE(net.is_user(2));
+  ASSERT_EQ(net.users().size(), 2u);
+  ASSERT_EQ(net.switches().size(), 1u);
+  EXPECT_EQ(net.switches()[0], 1u);
+}
+
+TEST(QuantumNetwork, QubitsAndChannelCapacity) {
+  const auto net = line_network();
+  EXPECT_EQ(net.qubits(1), 4);
+  EXPECT_EQ(net.channel_capacity(1), 2);  // floor(4/2)
+  EXPECT_EQ(net.qubits(0), 0);            // users normalized to 0
+}
+
+TEST(QuantumNetwork, OddQubitBudgetRoundsDown) {
+  NetworkBuilder b;
+  b.add_user({0, 0});
+  const NodeId sw = b.add_switch({1, 0}, 5);
+  b.add_user({2, 0});
+  const auto net = std::move(b).build({1e-4, 0.9});
+  EXPECT_EQ(net.channel_capacity(sw), 2);  // floor(5/2), Def. 3
+}
+
+TEST(QuantumNetwork, LinkSuccessMatchesExpDecay) {
+  const auto net = line_network();
+  const auto e = net.graph().find_edge(0, 1);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_NEAR(net.link_success(*e), std::exp(-1e-4 * 100.0), 1e-12);
+}
+
+TEST(QuantumNetwork, EdgeRoutingWeight) {
+  const auto net = line_network();
+  const auto e = net.graph().find_edge(0, 1);
+  EXPECT_NEAR(net.edge_routing_weight(*e), 1e-4 * 100.0 - std::log(0.9),
+              1e-12);
+  EXPECT_GT(net.edge_routing_weight(*e), 0.0);  // Dijkstra precondition
+}
+
+TEST(QuantumNetwork, SetTopologyReplacesGraph) {
+  auto net = line_network();
+  graph::Graph pruned(3);
+  pruned.add_edge(0, 1, 100.0);  // drop the switch-bob fiber
+  net.set_topology(std::move(pruned));
+  EXPECT_EQ(net.graph().edge_count(), 1u);
+  EXPECT_FALSE(net.graph().has_edge(1, 2));
+}
+
+TEST(CapacityState, UsersAreUnbounded) {
+  const auto net = line_network();
+  const CapacityState cap(net);
+  EXPECT_GT(cap.free_qubits(0), 1 << 29);
+  EXPECT_TRUE(cap.can_relay(0));
+}
+
+TEST(CapacityState, CommitAndRelease) {
+  const auto net = line_network();
+  CapacityState cap(net);
+  EXPECT_EQ(cap.free_qubits(1), 4);
+  const std::vector<NodeId> path{0, 1, 2};
+  cap.commit_channel(path);
+  EXPECT_EQ(cap.free_qubits(1), 2);
+  cap.commit_channel(path);
+  EXPECT_EQ(cap.free_qubits(1), 0);
+  EXPECT_FALSE(cap.can_relay(1));
+  cap.release_channel(path);
+  EXPECT_EQ(cap.free_qubits(1), 2);
+  EXPECT_TRUE(cap.can_relay(1));
+}
+
+TEST(CapacityState, DirectChannelTouchesNoSwitch) {
+  NetworkBuilder b;
+  const NodeId a = b.add_user({0, 0});
+  const NodeId c = b.add_user({10, 0});
+  b.add_switch({5, 5}, 2);
+  b.connect_euclidean(a, c);
+  const auto net = std::move(b).build({1e-4, 0.9});
+  CapacityState cap(net);
+  const std::vector<NodeId> direct{a, c};
+  cap.commit_channel(direct);
+  EXPECT_EQ(cap.free_qubits(2), 2);  // untouched
+}
+
+TEST(AssignRandomUsers, CountsAndDeterminism) {
+  support::Rng rng(5);
+  auto topo = topology::make_grid(4, 5, 100.0);
+  const auto net = assign_random_users(std::move(topo), 6, 4, {1e-4, 0.9}, rng);
+  EXPECT_EQ(net.users().size(), 6u);
+  EXPECT_EQ(net.switches().size(), 14u);
+  for (NodeId sw : net.switches()) EXPECT_EQ(net.qubits(sw), 4);
+
+  support::Rng rng2(5);
+  auto topo2 = topology::make_grid(4, 5, 100.0);
+  const auto net2 =
+      assign_random_users(std::move(topo2), 6, 4, {1e-4, 0.9}, rng2);
+  ASSERT_EQ(net2.users().size(), net.users().size());
+  for (std::size_t i = 0; i < net.users().size(); ++i) {
+    EXPECT_EQ(net.users()[i], net2.users()[i]);
+  }
+}
+
+// ---- validate_tree ----
+
+TEST(ValidateTree, AcceptsCorrectTree) {
+  const auto net = line_network();
+  Channel ch;
+  ch.path = {0, 1, 2};
+  ch.rate = channel_rate(net, ch.path);
+  EntanglementTree tree{{ch}, ch.rate, true};
+  EXPECT_EQ(validate_tree(net, net.users(), tree), "");
+}
+
+TEST(ValidateTree, RejectsWrongChannelCount) {
+  const auto net = line_network();
+  EntanglementTree tree{{}, 1.0, true};
+  EXPECT_NE(validate_tree(net, net.users(), tree), "");
+}
+
+TEST(ValidateTree, RejectsWrongRate) {
+  const auto net = line_network();
+  Channel ch;
+  ch.path = {0, 1, 2};
+  ch.rate = 0.5;  // wrong on purpose
+  EntanglementTree tree{{ch}, 0.5, true};
+  EXPECT_NE(validate_tree(net, net.users(), tree), "");
+}
+
+TEST(ValidateTree, RejectsNonexistentEdge) {
+  const auto net = line_network();
+  Channel ch;
+  ch.path = {0, 2};  // no direct fiber alice-bob
+  ch.rate = 1.0;
+  EntanglementTree tree{{ch}, 1.0, true};
+  EXPECT_NE(validate_tree(net, net.users(), tree), "");
+}
+
+TEST(ValidateTree, RejectsCapacityViolation) {
+  // Hub with Q=2 can carry one channel; a 3-user star through it with two
+  // channels must be rejected.
+  NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({2, 0});
+  const NodeId u2 = b.add_user({0, 2});
+  const NodeId hub = b.add_switch({1, 1}, 2);
+  b.connect_euclidean(u0, hub);
+  b.connect_euclidean(u1, hub);
+  b.connect_euclidean(u2, hub);
+  const auto net = std::move(b).build({1e-4, 0.9});
+
+  Channel c1;
+  c1.path = {u0, hub, u1};
+  c1.rate = channel_rate(net, c1.path);
+  Channel c2;
+  c2.path = {u0, hub, u2};
+  c2.rate = channel_rate(net, c2.path);
+  EntanglementTree tree{{c1, c2}, c1.rate * c2.rate, true};
+  const auto err = validate_tree(net, net.users(), tree);
+  EXPECT_NE(err.find("capacity"), std::string::npos) << err;
+}
+
+TEST(ValidateTree, RejectsCycle) {
+  NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({1, 0});
+  const NodeId u2 = b.add_user({0, 1});
+  b.connect_euclidean(u0, u1);
+  b.connect_euclidean(u1, u2);
+  b.connect_euclidean(u2, u0);
+  const auto net = std::move(b).build({1e-4, 0.9});
+
+  auto mk = [&](NodeId a, NodeId c) {
+    Channel ch;
+    ch.path = {a, c};
+    ch.rate = channel_rate(net, ch.path);
+    return ch;
+  };
+  // Three channels over three users: one too many, forming a cycle.
+  EntanglementTree tree{{mk(u0, u1), mk(u1, u2), mk(u2, u0)}, 1.0, true};
+  EXPECT_NE(validate_tree(net, net.users(), tree), "");
+}
+
+TEST(ValidateTree, InfeasibleMustHaveRateZero) {
+  const auto net = line_network();
+  EntanglementTree bad{{}, 0.25, false};
+  EXPECT_NE(validate_tree(net, net.users(), bad), "");
+  EntanglementTree ok{{}, 0.0, false};
+  EXPECT_EQ(validate_tree(net, net.users(), ok), "");
+}
+
+TEST(ValidateTree, SingletonUserSet) {
+  NetworkBuilder b;
+  const NodeId u = b.add_user({0, 0});
+  b.add_switch({1, 0}, 2);
+  b.connect_euclidean(u, 1);
+  const auto net = std::move(b).build({1e-4, 0.9});
+  EntanglementTree tree{{}, 1.0, true};
+  EXPECT_EQ(validate_tree(net, net.users(), tree), "");
+}
+
+}  // namespace
+}  // namespace muerp::net

@@ -1,0 +1,144 @@
+#include "network/rate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "network/channel.hpp"
+#include "network/network_builder.hpp"
+
+namespace muerp::net {
+namespace {
+
+constexpr double kAlpha = 1e-4;
+constexpr double kQ = 0.9;
+
+/// users u0, u1 joined by a chain of `switches` switches, uniform segment
+/// length `seg_km`.
+QuantumNetwork chain(std::size_t switches, double seg_km) {
+  NetworkBuilder b;
+  NodeId prev = b.add_user({0, 0});
+  for (std::size_t i = 0; i < switches; ++i) {
+    const NodeId sw =
+        b.add_switch({seg_km * static_cast<double>(i + 1), 0}, 4);
+    b.connect(prev, sw, seg_km);
+    prev = sw;
+  }
+  const NodeId last =
+      b.add_user({seg_km * static_cast<double>(switches + 1), 0});
+  b.connect(prev, last, seg_km);
+  return std::move(b).build({kAlpha, kQ});
+}
+
+// Builder ids are already in chain order: u0, s1..sk, u1.
+std::vector<NodeId> full_path(const QuantumNetwork& net) {
+  std::vector<NodeId> path;
+  for (NodeId v = 0; v < net.node_count(); ++v) path.push_back(v);
+  return path;
+}
+
+TEST(Eq1, DirectLinkIsPureAttenuation) {
+  // l = 1: no swaps, rate = exp(-alpha*L) (paper Fig. 4a discussion).
+  const auto net = chain(0, 250.0);
+  const std::vector<NodeId> path{0, 1};
+  EXPECT_NEAR(channel_rate(net, path), std::exp(-kAlpha * 250.0), 1e-12);
+}
+
+TEST(Eq1, SingleSwitchIsPSquaredQ) {
+  // The paper's worked example: two links of rate p and one switch -> p^2*q.
+  const auto net = chain(1, 100.0);
+  const std::vector<NodeId> path{0, 1, 2};
+  const double p = std::exp(-kAlpha * 100.0);
+  EXPECT_NEAR(channel_rate(net, path), p * p * kQ, 1e-12);
+}
+
+TEST(Eq1, GeneralChain) {
+  // l = 4 links, 3 swaps: q^3 * exp(-alpha * total length).
+  const auto net = chain(3, 80.0);
+  const auto path = full_path(net);
+  EXPECT_NEAR(channel_rate(net, path),
+              std::pow(kQ, 3) * std::exp(-kAlpha * 4 * 80.0), 1e-12);
+}
+
+TEST(Eq1, NegLogConsistency) {
+  const auto net = chain(2, 120.0);
+  const auto path = full_path(net);
+  EXPECT_NEAR(std::exp(-channel_neg_log_rate(net, path)),
+              channel_rate(net, path), 1e-15);
+}
+
+TEST(Eq1, PerfectSwapLeavesOnlyAttenuation) {
+  NetworkBuilder b;
+  b.add_user({0, 0});
+  b.add_switch({100, 0}, 4);
+  b.add_user({200, 0});
+  b.connect(0, 1, 100.0);
+  b.connect(1, 2, 100.0);
+  const auto net = std::move(b).build({kAlpha, 1.0});
+  const std::vector<NodeId> path{0, 1, 2};
+  EXPECT_NEAR(channel_rate(net, path), std::exp(-kAlpha * 200.0), 1e-12);
+}
+
+TEST(Eq1, ZeroAttenuationLeavesOnlySwaps) {
+  NetworkBuilder b;
+  b.add_user({0, 0});
+  b.add_switch({100, 0}, 4);
+  b.add_user({200, 0});
+  b.connect(0, 1, 100.0);
+  b.connect(1, 2, 100.0);
+  const auto net = std::move(b).build({0.0, 0.9});
+  const std::vector<NodeId> path{0, 1, 2};
+  EXPECT_NEAR(channel_rate(net, path), 0.9, 1e-12);
+}
+
+TEST(Eq2, ProductOfChannelRates) {
+  Channel a;
+  a.rate = 0.5;
+  Channel b;
+  b.rate = 0.25;
+  const std::vector<Channel> channels{a, b};
+  EXPECT_DOUBLE_EQ(tree_rate(channels), 0.125);
+  EXPECT_DOUBLE_EQ(tree_rate(std::span<const Channel>{}), 1.0);
+}
+
+TEST(RoutingDistance, RoundTripsThroughDijkstraWeights) {
+  // A channel's Dijkstra distance is sum(alpha*L - ln q); converting back
+  // must reproduce Eq. (1) exactly (Algorithm 1 Line 27).
+  const auto net = chain(2, 150.0);
+  const auto path = full_path(net);
+  double dist = 0.0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    dist += net.edge_routing_weight(*net.graph().find_edge(path[i], path[i + 1]));
+  }
+  EXPECT_NEAR(rate_from_routing_distance(dist, kQ), channel_rate(net, path),
+              1e-12);
+}
+
+TEST(RoutingDistance, DirectEdgeDividesSwapBackOut) {
+  const auto net = chain(0, 300.0);
+  const double dist =
+      net.edge_routing_weight(*net.graph().find_edge(0, 1));
+  // One edge: distance includes one -ln q but no swap happens.
+  EXPECT_NEAR(rate_from_routing_distance(dist, kQ),
+              std::exp(-kAlpha * 300.0), 1e-12);
+}
+
+class Eq1ChainLengths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Eq1ChainLengths, ClosedFormMatches) {
+  const std::size_t switches = GetParam();
+  const double seg = 60.0;
+  const auto net = chain(switches, seg);
+  std::vector<NodeId> path;
+  for (NodeId v = 0; v < net.node_count(); ++v) path.push_back(v);
+  const double links = static_cast<double>(switches + 1);
+  EXPECT_NEAR(channel_rate(net, path),
+              std::pow(kQ, links - 1) * std::exp(-kAlpha * links * seg),
+              1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Switches, Eq1ChainLengths,
+                         ::testing::Values(0, 1, 2, 3, 5, 8, 13));
+
+}  // namespace
+}  // namespace muerp::net

@@ -1,0 +1,93 @@
+// Robustness: the network parser must reject arbitrary garbage with an
+// error message — never crash, hang, or return a half-built network.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "network/serialization.hpp"
+#include "support/rng.hpp"
+
+namespace muerp::net {
+namespace {
+
+TEST(SerializationFuzz, RandomBytesAlwaysRejected) {
+  support::Rng rng(0xF022);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string blob;
+    const std::size_t length = rng.uniform_index(400);
+    for (std::size_t i = 0; i < length; ++i) {
+      blob.push_back(static_cast<char>(rng.uniform_index(256)));
+    }
+    std::istringstream in(blob);
+    const auto result = load_network(in);
+    // Pure noise essentially never forms a valid header; assert rejection
+    // with a non-empty reason.
+    ASSERT_TRUE(std::holds_alternative<std::string>(result)) << trial;
+    EXPECT_FALSE(std::get<std::string>(result).empty());
+  }
+}
+
+TEST(SerializationFuzz, MutatedValidFilesNeverCrash) {
+  // Start from a valid serialization and flip tokens; the parser must
+  // either accept (if the mutation stayed valid) or produce an error —
+  // validated structurally by re-serializing on accept.
+  const std::string valid =
+      "muerp-network 1\n"
+      "physical 0.0001 0.9\n"
+      "nodes 3\n"
+      "user 0 0 0\n"
+      "switch 1 10 0 4\n"
+      "user 2 20 0\n"
+      "edges 2\n"
+      "edge 0 1 10\n"
+      "edge 1 2 10\n";
+  support::Rng rng(0xBEEF);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = valid;
+    const std::size_t edits = 1 + rng.uniform_index(4);
+    for (std::size_t e = 0; e < edits; ++e) {
+      const std::size_t pos = rng.uniform_index(mutated.size());
+      const char replacement =
+          "0123456789 -\nabcdefguser"[rng.uniform_index(24)];
+      mutated[pos] = replacement;
+    }
+    std::istringstream in(mutated);
+    const auto result = load_network(in);
+    if (std::holds_alternative<QuantumNetwork>(result)) {
+      const auto& network = std::get<QuantumNetwork>(result);
+      // Whatever was accepted must be internally consistent enough to
+      // re-serialize and re-load.
+      std::stringstream round;
+      save_network(network, round);
+      const auto again = load_network(round);
+      EXPECT_TRUE(std::holds_alternative<QuantumNetwork>(again)) << trial;
+    } else {
+      EXPECT_FALSE(std::get<std::string>(result).empty()) << trial;
+    }
+  }
+}
+
+TEST(SerializationFuzz, TruncationsAtEveryPointRejectedOrValid) {
+  const std::string valid =
+      "muerp-network 1\n"
+      "physical 0.0001 0.9\n"
+      "nodes 2\n"
+      "user 0 0 0\n"
+      "user 1 5 5\n"
+      "edges 1\n"
+      "edge 0 1 7\n";
+  // Trailing whitespace is optional to the tokenizer, so only prefixes cut
+  // before the last meaningful character must fail.
+  const std::size_t last_content = valid.find_last_not_of(" \n");
+  for (std::size_t cut = 0; cut <= last_content; ++cut) {
+    std::istringstream in(valid.substr(0, cut));
+    const auto result = load_network(in);
+    EXPECT_TRUE(std::holds_alternative<std::string>(result)) << "cut " << cut;
+  }
+  std::istringstream full(valid);
+  EXPECT_TRUE(std::holds_alternative<QuantumNetwork>(load_network(full)));
+}
+
+}  // namespace
+}  // namespace muerp::net

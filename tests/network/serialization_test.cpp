@@ -1,0 +1,154 @@
+#include "network/serialization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "experiment/scenario.hpp"
+#include "network/network_builder.hpp"
+#include "network/rate.hpp"
+#include "routing/conflict_free.hpp"
+
+namespace muerp::net {
+namespace {
+
+QuantumNetwork sample_network() {
+  NetworkBuilder b;
+  b.add_user({0.5, 1.25});
+  b.add_switch({100.75, 2.5}, 4);
+  b.add_user({200.0, 0.0});
+  b.connect(0, 1, 101.0);
+  b.connect(1, 2, 99.25);
+  b.connect(0, 2, 250.5);
+  return std::move(b).build({1.5e-4, 0.85});
+}
+
+TEST(Serialization, RoundTripPreservesEverything) {
+  const auto original = sample_network();
+  std::stringstream stream;
+  save_network(original, stream);
+  auto loaded = load_network(stream);
+  ASSERT_TRUE(std::holds_alternative<QuantumNetwork>(loaded))
+      << std::get<std::string>(loaded);
+  const auto& copy = std::get<QuantumNetwork>(loaded);
+
+  ASSERT_EQ(copy.node_count(), original.node_count());
+  ASSERT_EQ(copy.graph().edge_count(), original.graph().edge_count());
+  EXPECT_DOUBLE_EQ(copy.physical().attenuation,
+                   original.physical().attenuation);
+  EXPECT_DOUBLE_EQ(copy.physical().swap_success,
+                   original.physical().swap_success);
+  for (NodeId v = 0; v < original.node_count(); ++v) {
+    EXPECT_EQ(copy.kind(v), original.kind(v));
+    EXPECT_EQ(copy.qubits(v), original.qubits(v));
+    EXPECT_DOUBLE_EQ(copy.positions()[v].x, original.positions()[v].x);
+    EXPECT_DOUBLE_EQ(copy.positions()[v].y, original.positions()[v].y);
+  }
+  for (graph::EdgeId e = 0; e < original.graph().edge_count(); ++e) {
+    EXPECT_EQ(copy.graph().edge(e).a, original.graph().edge(e).a);
+    EXPECT_EQ(copy.graph().edge(e).b, original.graph().edge(e).b);
+    EXPECT_DOUBLE_EQ(copy.graph().edge(e).length_km,
+                     original.graph().edge(e).length_km);
+  }
+}
+
+TEST(Serialization, RoundTripPreservesRoutingResults) {
+  // The loaded network must route identically to the original.
+  experiment::Scenario scenario;
+  scenario.switch_count = 20;
+  scenario.user_count = 5;
+  const auto inst = experiment::instantiate(scenario, 0);
+  std::stringstream stream;
+  save_network(inst.network, stream);
+  auto loaded = load_network(stream);
+  ASSERT_TRUE(std::holds_alternative<QuantumNetwork>(loaded));
+  const auto& copy = std::get<QuantumNetwork>(loaded);
+  const auto t1 = routing::conflict_free(inst.network, inst.users);
+  const auto t2 = routing::conflict_free(copy, inst.users);
+  EXPECT_EQ(t1.feasible, t2.feasible);
+  EXPECT_DOUBLE_EQ(t1.rate, t2.rate);
+}
+
+TEST(Serialization, RejectsBadHeader) {
+  std::stringstream s("not-a-network 1\n");
+  const auto r = load_network(s);
+  ASSERT_TRUE(std::holds_alternative<std::string>(r));
+}
+
+TEST(Serialization, RejectsWrongVersion) {
+  std::stringstream s("muerp-network 99\n");
+  const auto r = load_network(s);
+  ASSERT_TRUE(std::holds_alternative<std::string>(r));
+  EXPECT_NE(std::get<std::string>(r).find("version"), std::string::npos);
+}
+
+TEST(Serialization, RejectsDuplicateNode) {
+  std::stringstream s(
+      "muerp-network 1\nphysical 1e-4 0.9\nnodes 2\n"
+      "user 0 0 0\nuser 0 1 1\nedges 0\n");
+  const auto r = load_network(s);
+  ASSERT_TRUE(std::holds_alternative<std::string>(r));
+  EXPECT_NE(std::get<std::string>(r).find("duplicate"), std::string::npos);
+}
+
+TEST(Serialization, RejectsOutOfRangeEdge) {
+  std::stringstream s(
+      "muerp-network 1\nphysical 1e-4 0.9\nnodes 2\n"
+      "user 0 0 0\nuser 1 1 1\nedges 1\nedge 0 7 5.0\n");
+  const auto r = load_network(s);
+  ASSERT_TRUE(std::holds_alternative<std::string>(r));
+}
+
+TEST(Serialization, RejectsSelfLoopAndDuplicateEdges) {
+  std::stringstream loop(
+      "muerp-network 1\nphysical 1e-4 0.9\nnodes 2\n"
+      "user 0 0 0\nuser 1 1 1\nedges 1\nedge 1 1 5.0\n");
+  ASSERT_TRUE(std::holds_alternative<std::string>(load_network(loop)));
+  std::stringstream dup(
+      "muerp-network 1\nphysical 1e-4 0.9\nnodes 2\n"
+      "user 0 0 0\nuser 1 1 1\nedges 2\nedge 0 1 5.0\nedge 1 0 5.0\n");
+  ASSERT_TRUE(std::holds_alternative<std::string>(load_network(dup)));
+}
+
+TEST(Serialization, RejectsBadSwapRate) {
+  std::stringstream s("muerp-network 1\nphysical 1e-4 1.5\nnodes 0\nedges 0\n");
+  ASSERT_TRUE(std::holds_alternative<std::string>(load_network(s)));
+}
+
+TEST(Serialization, RejectsTruncatedInput) {
+  std::stringstream s(
+      "muerp-network 1\nphysical 1e-4 0.9\nnodes 3\nuser 0 0 0\n");
+  ASSERT_TRUE(std::holds_alternative<std::string>(load_network(s)));
+}
+
+TEST(Serialization, FileRoundTrip) {
+  const auto original = sample_network();
+  const std::string path = ::testing::TempDir() + "/muerp_net.txt";
+  ASSERT_TRUE(save_network_file(original, path));
+  const auto r = load_network_file(path);
+  ASSERT_TRUE(std::holds_alternative<QuantumNetwork>(r));
+  EXPECT_EQ(std::get<QuantumNetwork>(r).node_count(), 3u);
+}
+
+TEST(Serialization, MissingFileReportsError) {
+  const auto r = load_network_file("/definitely/not/here.txt");
+  ASSERT_TRUE(std::holds_alternative<std::string>(r));
+}
+
+TEST(Dot, ContainsNodesEdgesAndTreeOverlay) {
+  const auto net = sample_network();
+  const auto tree = routing::conflict_free(net, net.users());
+  ASSERT_TRUE(tree.feasible);
+  const std::string dot = to_dot(net, &tree);
+  EXPECT_NE(dot.find("graph muerp"), std::string::npos);
+  EXPECT_NE(dot.find("n0"), std::string::npos);
+  EXPECT_NE(dot.find("Q=4"), std::string::npos);
+  EXPECT_NE(dot.find("--"), std::string::npos);
+  EXPECT_NE(dot.find("penwidth"), std::string::npos);  // channel overlay
+  // Plain rendering without a tree has no highlighted edges.
+  const std::string plain = to_dot(net);
+  EXPECT_EQ(plain.find("penwidth"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace muerp::net

@@ -1,0 +1,101 @@
+#include "network/svg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "network/network_builder.hpp"
+#include "network/rate.hpp"
+#include "routing/conflict_free.hpp"
+
+namespace muerp::net {
+namespace {
+
+QuantumNetwork sample() {
+  NetworkBuilder b;
+  b.add_user({0, 0});
+  b.add_switch({500, 250}, 4);
+  b.add_user({1000, 0});
+  b.connect_euclidean(0, 1);
+  b.connect_euclidean(1, 2);
+  return std::move(b).build({1e-4, 0.9});
+}
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (auto pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(Svg, WellFormedDocument) {
+  const auto net = sample();
+  const std::string svg = to_svg(net);
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("xmlns"), std::string::npos);
+}
+
+TEST(Svg, OneGlyphPerNodeAndLinePerFiber) {
+  const auto net = sample();
+  const std::string svg = to_svg(net);
+  EXPECT_EQ(count_occurrences(svg, "<circle"), 2u);  // two users
+  // One switch square + the background rect.
+  EXPECT_EQ(count_occurrences(svg, "<rect"), 2u);
+  EXPECT_EQ(count_occurrences(svg, "<line"), 2u);
+}
+
+TEST(Svg, LabelsIncludeQubitBudget) {
+  const auto net = sample();
+  const std::string svg = to_svg(net);
+  EXPECT_NE(svg.find("s1:4"), std::string::npos);
+  EXPECT_NE(svg.find("u0"), std::string::npos);
+}
+
+TEST(Svg, LabelsCanBeDisabled) {
+  const auto net = sample();
+  SvgOptions options;
+  options.label_nodes = false;
+  const std::string svg = to_svg(net, nullptr, options);
+  EXPECT_EQ(svg.find("<text"), std::string::npos);
+}
+
+TEST(Svg, TreeOverlayColoursChannels) {
+  const auto net = sample();
+  const auto tree = routing::conflict_free(net, net.users());
+  ASSERT_TRUE(tree.feasible);
+  const std::string svg = to_svg(net, &tree);
+  // Both fibers belong to the single channel -> two wide coloured strokes.
+  EXPECT_EQ(count_occurrences(svg, "stroke-width=\"3\""), 2u);
+  const std::string plain = to_svg(net);
+  EXPECT_EQ(count_occurrences(plain, "stroke-width=\"3\""), 0u);
+}
+
+TEST(Svg, CoordinatesStayInsideCanvas) {
+  const auto net = sample();
+  SvgOptions options;
+  options.width_px = 400;
+  options.height_px = 300;
+  options.margin_px = 20;
+  const std::string svg = to_svg(net, nullptr, options);
+  // Extract all cx values and check bounds (coarse: search "cx=\"").
+  std::size_t pos = 0;
+  while ((pos = svg.find("cx=\"", pos)) != std::string::npos) {
+    pos += 4;
+    const double value = std::strtod(svg.c_str() + pos, nullptr);
+    EXPECT_GE(value, 20.0 - 1e-9);
+    EXPECT_LE(value, 380.0 + 1e-9);
+  }
+}
+
+TEST(Svg, DegenerateSingleNode) {
+  NetworkBuilder b;
+  b.add_user({5, 5});
+  const auto net = std::move(b).build({1e-4, 0.9});
+  const std::string svg = to_svg(net);
+  EXPECT_NE(svg.find("<circle"), std::string::npos);  // no crash, renders
+}
+
+}  // namespace
+}  // namespace muerp::net

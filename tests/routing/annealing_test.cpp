@@ -1,0 +1,116 @@
+#include "routing/annealing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "network/channel.hpp"
+#include "network/network_builder.hpp"
+#include "network/rate.hpp"
+#include "routing/conflict_free.hpp"
+#include "routing/exact_solver.hpp"
+#include "routing/prim_based.hpp"
+#include "support/rng.hpp"
+#include "topology/structured.hpp"
+#include "topology/waxman.hpp"
+
+namespace muerp::routing {
+namespace {
+
+using net::NodeId;
+
+TEST(Annealing, InfeasibleInputUntouched) {
+  net::NetworkBuilder b;
+  b.add_user({0, 0});
+  b.add_user({100, 0});
+  const auto net = std::move(b).build({1e-4, 0.9});
+  net::EntanglementTree tree{{}, 0.0, false};
+  support::Rng rng(1);
+  const auto stats = anneal_tree(net, net.users(), tree, {}, rng);
+  EXPECT_EQ(stats.proposals, 0u);
+  EXPECT_FALSE(tree.feasible);
+}
+
+TEST(Annealing, NeverRegressesBelowInput) {
+  support::Rng gen(2);
+  topology::WaxmanParams params;
+  params.node_count = 30;
+  auto topo = topology::generate_waxman(params, gen);
+  const auto net =
+      net::assign_random_users(std::move(topo), 6, 2, {1e-4, 0.9}, gen);
+  auto tree = prim_based_from(net, net.users(), 0);
+  if (!tree.feasible) GTEST_SKIP();
+  const double before = tree.rate;
+  support::Rng rng(3);
+  anneal_tree(net, net.users(), tree, {}, rng);
+  EXPECT_GE(tree.rate, before * (1.0 - 1e-12));
+  EXPECT_EQ(net::validate_tree(net, net.users(), tree), "");
+}
+
+TEST(Annealing, RepairsDeliberatelyBadTree) {
+  // Same trap as the local-search test: chained channels over a long span.
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({4000, 0});
+  const NodeId u2 = b.add_user({200, 0});
+  const NodeId hub = b.add_switch({100, 50}, 20);
+  for (NodeId u : {u0, u1, u2}) b.connect_euclidean(u, hub);
+  const auto net = std::move(b).build({1e-3, 0.9});
+  auto mk = [&](NodeId a, NodeId c) {
+    net::Channel ch;
+    ch.path = {a, hub, c};
+    ch.rate = net::channel_rate(net, ch.path);
+    return ch;
+  };
+  net::EntanglementTree tree;
+  tree.channels = {mk(u0, u1), mk(u1, u2)};
+  tree.feasible = true;
+  tree.rate = net::tree_rate(tree.channels);
+  const double before = tree.rate;
+  support::Rng rng(4);
+  AnnealingParams params;
+  params.iterations = 200;
+  const auto stats = anneal_tree(net, net.users(), tree, params, rng);
+  EXPECT_GT(tree.rate, before);
+  EXPECT_GE(stats.improved_best, 1u);
+  EXPECT_EQ(net::validate_tree(net, net.users(), tree), "");
+}
+
+TEST(Annealing, DeterministicGivenSeed) {
+  support::Rng gen(5);
+  topology::WaxmanParams params;
+  params.node_count = 30;
+  auto topo = topology::generate_waxman(params, gen);
+  const auto net =
+      net::assign_random_users(std::move(topo), 5, 4, {1e-4, 0.9}, gen);
+  auto t1 = conflict_free(net, net.users());
+  auto t2 = t1;
+  if (!t1.feasible) GTEST_SKIP();
+  support::Rng r1(6);
+  support::Rng r2(6);
+  anneal_tree(net, net.users(), t1, {}, r1);
+  anneal_tree(net, net.users(), t2, {}, r2);
+  EXPECT_DOUBLE_EQ(t1.rate, t2.rate);
+}
+
+/// Property: bounded by the exact optimum on small instances, valid always.
+class AnnealingVsExact : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AnnealingVsExact, BoundedByOptimum) {
+  support::Rng gen(GetParam() + 900);
+  auto topo = topology::make_erdos_renyi(10, 0.4, {800, 800}, gen);
+  const auto net =
+      net::assign_random_users(std::move(topo), 4, 2, {1e-3, 0.9}, gen);
+  auto tree = conflict_free(net, net.users());
+  if (!tree.feasible) GTEST_SKIP();
+  support::Rng rng(GetParam());
+  anneal_tree(net, net.users(), tree, {}, rng);
+  EXPECT_EQ(net::validate_tree(net, net.users(), tree), "");
+  const auto exact = solve_exact(net, net.users());
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_LE(tree.rate, exact->rate * (1.0 + 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnnealingVsExact,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace muerp::routing

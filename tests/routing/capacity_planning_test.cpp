@@ -1,0 +1,108 @@
+#include "routing/capacity_planning.hpp"
+
+#include <gtest/gtest.h>
+
+#include "experiment/scenario.hpp"
+#include "network/channel.hpp"
+#include "network/network_builder.hpp"
+#include "routing/conflict_free.hpp"
+#include "support/rng.hpp"
+#include "topology/waxman.hpp"
+
+namespace muerp::routing {
+namespace {
+
+using net::NodeId;
+
+/// Three users around one hub: a tree needs two channels = 4 hub qubits.
+net::QuantumNetwork hub_net() {
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({200, 0});
+  const NodeId u2 = b.add_user({100, 170});
+  const NodeId hub = b.add_switch({100, 60}, 0);  // budget replaced by planner
+  for (NodeId u : {u0, u1, u2}) b.connect_euclidean(u, hub);
+  return std::move(b).build({1e-4, 0.9});
+}
+
+TEST(CapacityPlanning, FindsExactMinimumOnTheHub) {
+  const auto net = hub_net();
+  const auto result = min_uniform_qubits(net, net.users());
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->qubits_per_switch, 4);  // 2 channels x 2 qubits
+  EXPECT_TRUE(result->tree.feasible);
+  // The tree lives on the budgeted copy of the network.
+  const auto budgeted = experiment::with_uniform_switch_qubits(
+      net, result->qubits_per_switch);
+  EXPECT_EQ(net::validate_tree(budgeted, net.users(), result->tree), "");
+}
+
+TEST(CapacityPlanning, SingletonNeedsNothing) {
+  const auto net = hub_net();
+  const std::vector<NodeId> one{net.users()[0]};
+  const auto result = min_uniform_qubits(net, one);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->qubits_per_switch, 0);
+  EXPECT_TRUE(result->tree.feasible);
+}
+
+TEST(CapacityPlanning, UnreachableGoalIsNullopt) {
+  net::NetworkBuilder b;
+  b.add_user({0, 0});
+  b.add_user({100, 0});  // no fibers at all
+  const auto net = std::move(b).build({1e-4, 0.9});
+  EXPECT_FALSE(min_uniform_qubits(net, net.users()).has_value());
+}
+
+TEST(CapacityPlanning, RateFloorRaisesTheBudget) {
+  // Two relay tiers: a cheap-but-narrow route needs bigger Q to double up;
+  // requesting a higher rate can only increase the minimal budget.
+  support::Rng rng(4);
+  topology::WaxmanParams params;
+  params.node_count = 30;
+  auto topo = topology::generate_waxman(params, rng);
+  const auto net =
+      net::assign_random_users(std::move(topo), 5, 0, {1e-4, 0.9}, rng);
+
+  const auto feasible_only = min_uniform_qubits(net, net.users(), 0.0);
+  ASSERT_TRUE(feasible_only.has_value());
+  const double achieved = feasible_only->tree.rate;
+  const auto with_floor =
+      min_uniform_qubits(net, net.users(), achieved * 1.000001);
+  if (with_floor) {
+    EXPECT_GE(with_floor->qubits_per_switch,
+              feasible_only->qubits_per_switch);
+    EXPECT_GE(with_floor->tree.rate, achieved * 1.000001);
+  }
+}
+
+TEST(CapacityPlanning, ResultBudgetIsSufficientAndPredecessorIsNot) {
+  // Empirical minimality: re-running Algorithm 3 one qubit below the
+  // returned budget must miss the goal.
+  support::Rng rng(7);
+  topology::WaxmanParams params;
+  params.node_count = 25;
+  auto topo = topology::generate_waxman(params, rng);
+  const auto net =
+      net::assign_random_users(std::move(topo), 6, 0, {1e-4, 0.9}, rng);
+  const auto result = min_uniform_qubits(net, net.users());
+  ASSERT_TRUE(result.has_value());
+  ASSERT_GT(result->qubits_per_switch, 0);
+
+  // Rebuild one qubit short and verify Algorithm 3 fails.
+  std::vector<net::NodeKind> kinds(net.node_count());
+  std::vector<int> q(net.node_count());
+  std::vector<support::Point2D> pos(net.positions().begin(),
+                                    net.positions().end());
+  for (net::NodeId v = 0; v < net.node_count(); ++v) {
+    kinds[v] = net.kind(v);
+    q[v] = net.is_switch(v) ? result->qubits_per_switch - 1 : 0;
+  }
+  const net::QuantumNetwork short_net(net.graph(), std::move(pos),
+                                      std::move(kinds), std::move(q),
+                                      net.physical());
+  EXPECT_FALSE(conflict_free(short_net, net.users()).feasible);
+}
+
+}  // namespace
+}  // namespace muerp::routing

@@ -1,0 +1,230 @@
+#include "routing/channel_finder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "network/network_builder.hpp"
+#include "network/rate.hpp"
+#include "support/rng.hpp"
+#include "topology/structured.hpp"
+
+namespace muerp::routing {
+namespace {
+
+using net::NodeId;
+
+TEST(ChannelFinder, DirectEdgeWhenCheapest) {
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({100, 0});
+  const NodeId sw = b.add_switch({50, 400}, 4);
+  b.connect_euclidean(u0, u1);
+  b.connect_euclidean(u0, sw);
+  b.connect_euclidean(sw, u1);
+  const auto net = std::move(b).build({1e-3, 0.9});
+
+  const ChannelFinder finder(net);
+  const net::CapacityState cap(net);
+  const auto ch = finder.find_best_channel(u0, u1, cap);
+  ASSERT_TRUE(ch.has_value());
+  EXPECT_EQ(ch->path, (std::vector<NodeId>{u0, u1}));
+  EXPECT_NEAR(ch->rate, std::exp(-1e-3 * 100.0), 1e-12);
+}
+
+TEST(ChannelFinder, RelayWhenDirectFiberIsLong) {
+  // Direct fiber is hugely long; the 2-hop relay wins despite the swap.
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({10000, 0});
+  const NodeId sw = b.add_switch({5000, 0}, 2);
+  b.connect(u0, u1, 30000.0);  // detour fiber
+  b.connect_euclidean(u0, sw);
+  b.connect_euclidean(sw, u1);
+  const auto net = std::move(b).build({1e-4, 0.9});
+
+  const ChannelFinder finder(net);
+  const net::CapacityState cap(net);
+  const auto ch = finder.find_best_channel(u0, u1, cap);
+  ASSERT_TRUE(ch.has_value());
+  EXPECT_EQ(ch->path, (std::vector<NodeId>{u0, sw, u1}));
+  EXPECT_NEAR(ch->rate, 0.9 * std::exp(-1e-4 * 10000.0), 1e-12);
+}
+
+TEST(ChannelFinder, SwapPenaltyFavoursFewerHops) {
+  // Equal total length; more hops = more swaps = lower rate.
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({300, 0});
+  const NodeId s1 = b.add_switch({150, 10}, 4);
+  const NodeId s2 = b.add_switch({100, -10}, 4);
+  const NodeId s3 = b.add_switch({200, -10}, 4);
+  b.connect(u0, s1, 150.0);
+  b.connect(s1, u1, 150.0);
+  b.connect(u0, s2, 100.0);
+  b.connect(s2, s3, 100.0);
+  b.connect(s3, u1, 100.0);
+  const auto net = std::move(b).build({1e-4, 0.9});
+
+  const ChannelFinder finder(net);
+  const net::CapacityState cap(net);
+  const auto ch = finder.find_best_channel(u0, u1, cap);
+  ASSERT_TRUE(ch.has_value());
+  EXPECT_EQ(ch->path.size(), 3u);  // the 2-hop route through s1
+}
+
+TEST(ChannelFinder, NeverRelaysThroughUsers) {
+  // u0 - um - u1 chain with an expensive switch detour: the channel must
+  // take the detour because user um cannot relay (Def. 2).
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId um = b.add_user({100, 0});
+  const NodeId u1 = b.add_user({200, 0});
+  const NodeId sw = b.add_switch({100, 3000}, 4);
+  b.connect_euclidean(u0, um);
+  b.connect_euclidean(um, u1);
+  b.connect_euclidean(u0, sw);
+  b.connect_euclidean(sw, u1);
+  const auto net = std::move(b).build({1e-4, 0.9});
+
+  const ChannelFinder finder(net);
+  const net::CapacityState cap(net);
+  const auto ch = finder.find_best_channel(u0, u1, cap);
+  ASSERT_TRUE(ch.has_value());
+  EXPECT_EQ(ch->path, (std::vector<NodeId>{u0, sw, u1}));
+}
+
+TEST(ChannelFinder, SkipsExhaustedSwitches) {
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({200, 0});
+  const NodeId good = b.add_switch({100, 0}, 4);
+  const NodeId far = b.add_switch({100, 500}, 4);
+  b.connect_euclidean(u0, good);
+  b.connect_euclidean(good, u1);
+  b.connect_euclidean(u0, far);
+  b.connect_euclidean(far, u1);
+  const auto net = std::move(b).build({1e-4, 0.9});
+
+  const ChannelFinder finder(net);
+  net::CapacityState cap(net);
+  // Exhaust the good switch (2 channels x 2 qubits).
+  const std::vector<NodeId> through_good{u0, good, u1};
+  cap.commit_channel(through_good);
+  cap.commit_channel(through_good);
+  const auto ch = finder.find_best_channel(u0, u1, cap);
+  ASSERT_TRUE(ch.has_value());
+  EXPECT_EQ(ch->path, (std::vector<NodeId>{u0, far, u1}));
+}
+
+TEST(ChannelFinder, SwitchWithOneQubitCannotRelay) {
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({200, 0});
+  const NodeId sw = b.add_switch({100, 0}, 1);  // < 2 qubits
+  b.connect_euclidean(u0, sw);
+  b.connect_euclidean(sw, u1);
+  const auto net = std::move(b).build({1e-4, 0.9});
+
+  const ChannelFinder finder(net);
+  const net::CapacityState cap(net);
+  EXPECT_FALSE(finder.find_best_channel(u0, u1, cap).has_value());
+}
+
+TEST(ChannelFinder, NoRouteReturnsNullopt) {
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({100, 0});
+  b.add_switch({50, 0}, 4);  // isolated switch
+  const auto net = std::move(b).build({1e-4, 0.9});
+  const ChannelFinder finder(net);
+  const net::CapacityState cap(net);
+  EXPECT_FALSE(finder.find_best_channel(u0, u1, cap).has_value());
+}
+
+TEST(ChannelFinder, SingleRunCoversAllUsers) {
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({100, 0});
+  const NodeId u2 = b.add_user({0, 100});
+  const NodeId sw = b.add_switch({50, 50}, 8);
+  for (NodeId u : {u0, u1, u2}) b.connect_euclidean(u, sw);
+  const auto net = std::move(b).build({1e-4, 0.9});
+
+  const ChannelFinder finder(net);
+  const net::CapacityState cap(net);
+  const auto channels = finder.find_best_channels(u0, cap);
+  ASSERT_EQ(channels.size(), 2u);
+  for (const auto& ch : channels) {
+    EXPECT_EQ(ch.source(), u0);
+    EXPECT_TRUE(ch.destination() == u1 || ch.destination() == u2);
+    // Must agree with the pairwise query.
+    const auto direct = finder.find_best_channel(u0, ch.destination(), cap);
+    ASSERT_TRUE(direct.has_value());
+    EXPECT_NEAR(ch.rate, direct->rate, 1e-15);
+  }
+}
+
+// ---- Oracle property: Algorithm 1 equals brute-force path enumeration ----
+
+/// All simple switch-interior paths between two users, best rate.
+double brute_force_best_rate(const net::QuantumNetwork& net, NodeId src,
+                             NodeId dst) {
+  double best = 0.0;
+  std::vector<NodeId> stack{src};
+  std::vector<bool> used(net.node_count(), false);
+  used[src] = true;
+  auto dfs = [&](auto&& self, NodeId v) -> void {
+    if (v == dst) {
+      best = std::max(best, net::channel_rate(net, stack));
+      return;
+    }
+    for (const graph::Neighbor& nb : net.graph().neighbors(v)) {
+      const NodeId next = nb.node;
+      if (used[next]) continue;
+      if (next != dst && (!net.is_switch(next) || net.qubits(next) < 2)) {
+        continue;
+      }
+      used[next] = true;
+      stack.push_back(next);
+      self(self, next);
+      stack.pop_back();
+      used[next] = false;
+    }
+  };
+  dfs(dfs, src);
+  return best;
+}
+
+class ChannelFinderOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChannelFinderOracle, MatchesBruteForceOnRandomNetworks) {
+  support::Rng rng(GetParam());
+  auto topo = topology::make_erdos_renyi(10, 0.35, {1000.0, 1000.0}, rng);
+  const auto net =
+      net::assign_random_users(std::move(topo), 3, 4, {1e-3, 0.85}, rng);
+  ASSERT_EQ(net.users().size(), 3u);
+
+  const ChannelFinder finder(net);
+  const net::CapacityState cap(net);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = i + 1; j < 3; ++j) {
+      const NodeId a = net.users()[i];
+      const NodeId b = net.users()[j];
+      const double oracle = brute_force_best_rate(net, a, b);
+      const auto ch = finder.find_best_channel(a, b, cap);
+      if (oracle == 0.0) {
+        EXPECT_FALSE(ch.has_value());
+      } else {
+        ASSERT_TRUE(ch.has_value());
+        EXPECT_NEAR(ch->rate, oracle, 1e-9 * oracle);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChannelFinderOracle,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace muerp::routing

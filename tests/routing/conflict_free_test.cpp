@@ -1,0 +1,136 @@
+#include "routing/conflict_free.hpp"
+
+#include <gtest/gtest.h>
+
+#include "network/channel.hpp"
+#include "network/network_builder.hpp"
+#include "routing/optimal_tree.hpp"
+#include "support/rng.hpp"
+#include "topology/structured.hpp"
+#include "topology/waxman.hpp"
+
+namespace muerp::routing {
+namespace {
+
+using net::NodeId;
+
+/// Three users around a tiny hub (Q=2: one channel) plus a remote fallback
+/// switch ring — the canonical capacity-conflict fixture (paper Fig. 4).
+struct ConflictFixture {
+  net::QuantumNetwork net;
+  NodeId u0, u1, u2, hub, fallback;
+};
+
+ConflictFixture conflict_fixture(int hub_qubits) {
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({200, 0});
+  const NodeId u2 = b.add_user({100, 170});
+  const NodeId hub = b.add_switch({100, 60}, hub_qubits);
+  const NodeId fallback = b.add_switch({100, -300}, 8);
+  for (NodeId u : {u0, u1, u2}) {
+    b.connect_euclidean(u, hub);
+    b.connect_euclidean(u, fallback);
+  }
+  return {std::move(b).build({1e-4, 0.9}), u0, u1, u2, hub, fallback};
+}
+
+TEST(ConflictFree, NoConflictMatchesOptimal) {
+  auto fx = conflict_fixture(/*hub_qubits=*/8);  // >= 2|U|: no conflicts
+  const auto opt = optimal_special_case(fx.net, fx.net.users());
+  const auto repaired = conflict_free(fx.net, fx.net.users());
+  ASSERT_TRUE(repaired.feasible);
+  EXPECT_NEAR(repaired.rate, opt.rate, 1e-12);
+  EXPECT_EQ(net::validate_tree(fx.net, fx.net.users(), repaired), "");
+}
+
+TEST(ConflictFree, ReroutesAroundExhaustedHub) {
+  // Hub holds one channel; the second tree channel must detour via the
+  // fallback switch.
+  auto fx = conflict_fixture(/*hub_qubits=*/2);
+  const auto tree = conflict_free(fx.net, fx.net.users());
+  ASSERT_TRUE(tree.feasible);
+  EXPECT_EQ(net::validate_tree(fx.net, fx.net.users(), tree), "");
+  int through_hub = 0;
+  int through_fallback = 0;
+  for (const auto& ch : tree.channels) {
+    for (std::size_t i = 1; i + 1 < ch.path.size(); ++i) {
+      if (ch.path[i] == fx.hub) ++through_hub;
+      if (ch.path[i] == fx.fallback) ++through_fallback;
+    }
+  }
+  EXPECT_EQ(through_hub, 1);
+  EXPECT_EQ(through_fallback, 1);
+  // Capacity repair costs rate relative to the unconstrained optimum.
+  const auto opt = optimal_special_case(fx.net, fx.net.users());
+  EXPECT_LT(tree.rate, opt.rate);
+  EXPECT_GT(tree.rate, 0.0);
+}
+
+TEST(ConflictFree, InfeasibleWithoutFallback) {
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({200, 0});
+  const NodeId u2 = b.add_user({100, 170});
+  const NodeId hub = b.add_switch({100, 60}, 2);  // only 1 channel total
+  for (NodeId u : {u0, u1, u2}) b.connect_euclidean(u, hub);
+  const auto net = std::move(b).build({1e-4, 0.9});
+  const auto tree = conflict_free(net, net.users());
+  EXPECT_FALSE(tree.feasible);
+  EXPECT_DOUBLE_EQ(tree.rate, 0.0);
+}
+
+TEST(ConflictFree, SucceedsWhereSeedTreeOverloads) {
+  // Q=2 everywhere: Algorithm 2's tree (built assuming capacity) overloads,
+  // but a capacity-aware reroute exists; Algorithm 3 must find it.
+  auto fx = conflict_fixture(/*hub_qubits=*/2);
+  const auto seed = optimal_special_case(fx.net, fx.net.users());
+  ASSERT_TRUE(seed.feasible);  // seed uses the hub twice (capacity-oblivious)
+  const auto tree = conflict_free_from(fx.net, fx.net.users(), seed);
+  ASSERT_TRUE(tree.feasible);
+  EXPECT_EQ(net::validate_tree(fx.net, fx.net.users(), tree), "");
+}
+
+TEST(ConflictFree, SingleAndTwoUsers) {
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({100, 0});
+  b.connect_euclidean(u0, u1);
+  const auto net = std::move(b).build({1e-4, 0.9});
+  const auto two = conflict_free(net, net.users());
+  ASSERT_TRUE(two.feasible);
+  EXPECT_EQ(two.channels.size(), 1u);
+
+  const std::vector<NodeId> one{u0};
+  const auto single = conflict_free(net, one);
+  EXPECT_TRUE(single.feasible);
+  EXPECT_DOUBLE_EQ(single.rate, 1.0);
+}
+
+/// Property: on random networks the result is always a valid MUERP solution
+/// (capacity respected) and never beats the capacity-oblivious optimum.
+class ConflictFreeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConflictFreeProperty, AlwaysValidAndBoundedByOptimal) {
+  support::Rng rng(GetParam());
+  topology::WaxmanParams params;
+  params.node_count = 30;
+  params.average_degree = 5.0;
+  auto topo = topology::generate_waxman(params, rng);
+  const auto net =
+      net::assign_random_users(std::move(topo), 6, 4, {1e-4, 0.9}, rng);
+
+  const auto tree = conflict_free(net, net.users());
+  EXPECT_EQ(net::validate_tree(net, net.users(), tree), "");
+  if (tree.feasible) {
+    // The capacity-oblivious optimum upper-bounds any feasible solution.
+    const auto opt = optimal_special_case(net, net.users());
+    EXPECT_LE(tree.rate, opt.rate * (1.0 + 1e-9));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConflictFreeProperty,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace muerp::routing

@@ -1,0 +1,208 @@
+#include "routing/disjoint_pair.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "network/network_builder.hpp"
+#include "network/rate.hpp"
+#include "support/rng.hpp"
+#include "topology/structured.hpp"
+
+namespace muerp::routing {
+namespace {
+
+using net::NodeId;
+
+/// Two users with three candidate relays at increasing detour.
+struct ThreeRelays {
+  net::QuantumNetwork net;
+  NodeId u0, u1, near_sw, mid_sw, far_sw;
+};
+
+ThreeRelays three_relays() {
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({1000, 0});
+  const NodeId near_sw = b.add_switch({500, 50}, 4);
+  const NodeId mid_sw = b.add_switch({500, 400}, 4);
+  const NodeId far_sw = b.add_switch({500, 900}, 4);
+  for (NodeId sw : {near_sw, mid_sw, far_sw}) {
+    b.connect_euclidean(u0, sw);
+    b.connect_euclidean(sw, u1);
+  }
+  return {std::move(b).build({1e-3, 0.9}), u0, u1, near_sw, mid_sw, far_sw};
+}
+
+/// Asserts the pair is internally node-disjoint.
+void expect_disjoint(const net::Channel& a, const net::Channel& b) {
+  std::set<NodeId> interior_a(a.path.begin() + 1, a.path.end() - 1);
+  for (std::size_t i = 1; i + 1 < b.path.size(); ++i) {
+    EXPECT_FALSE(interior_a.contains(b.path[i]))
+        << "shared relay " << b.path[i];
+  }
+}
+
+TEST(DisjointPair, PicksTheTwoBestRelays) {
+  auto fx = three_relays();
+  const net::CapacityState cap(fx.net);
+  const auto pair = best_disjoint_channel_pair(fx.net, fx.u0, fx.u1, cap);
+  ASSERT_TRUE(pair.has_value());
+  expect_disjoint(pair->first, pair->second);
+  EXPECT_EQ(pair->first.path[1], fx.near_sw);
+  EXPECT_EQ(pair->second.path[1], fx.mid_sw);
+  EXPECT_GE(pair->first.rate, pair->second.rate);
+}
+
+TEST(DisjointPair, NoneWhenOnlyOneRelayExists) {
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({1000, 0});
+  const NodeId sw = b.add_switch({500, 0}, 8);
+  b.connect_euclidean(u0, sw);
+  b.connect_euclidean(sw, u1);
+  const auto net = std::move(b).build({1e-3, 0.9});
+  const net::CapacityState cap(net);
+  EXPECT_FALSE(best_disjoint_channel_pair(net, u0, u1, cap).has_value());
+}
+
+TEST(DisjointPair, DirectFiberPlusRelay) {
+  // A direct user-user fiber plus a relay route: pair = {direct, relayed}.
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({800, 0});
+  const NodeId sw = b.add_switch({400, 300}, 4);
+  b.connect_euclidean(u0, u1);
+  b.connect_euclidean(u0, sw);
+  b.connect_euclidean(sw, u1);
+  const auto net = std::move(b).build({1e-3, 0.9});
+  const net::CapacityState cap(net);
+  const auto pair = best_disjoint_channel_pair(net, u0, u1, cap);
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_EQ(pair->first.path.size(), 2u);   // the direct fiber
+  EXPECT_EQ(pair->second.path.size(), 3u);  // via the switch
+}
+
+TEST(DisjointPair, BeatsGreedyWhenJointChoiceMatters) {
+  // The trap graph: the single best path crosses the a-d diagonal, which
+  // kills every disjoint complement; Suurballe must sacrifice the greedy
+  // best and pick the two side routes.
+  //
+  //        a --- b          (top route:    u0-a-b-u1)
+  //   u0    \          u1   (greedy route: u0-a-d-u1 via the diagonal)
+  //        c --- d          (bottom route: u0-c-d-u1)
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({900, 0});
+  const NodeId a = b.add_switch({300, 200}, 4);
+  const NodeId bb = b.add_switch({600, 200}, 4);
+  const NodeId c = b.add_switch({300, -200}, 4);
+  const NodeId d = b.add_switch({600, -200}, 4);
+  b.connect(u0, a, 310.0);
+  b.connect(u0, c, 310.0);
+  b.connect(a, bb, 340.0);
+  b.connect(c, d, 340.0);
+  b.connect(bb, u1, 310.0);
+  b.connect(d, u1, 310.0);
+  // Short diagonals make the mixed path the single best...
+  b.connect(a, d, 250.0);
+  const auto net = std::move(b).build({1e-3, 0.9});
+  const net::CapacityState cap(net);
+
+  const auto pair = best_disjoint_channel_pair(net, u0, u1, cap);
+  ASSERT_TRUE(pair.has_value());
+  expect_disjoint(pair->first, pair->second);
+  // The union of the two returned channels must be the top and bottom
+  // routes (the diagonal cannot appear in any disjoint pair).
+  for (const auto& ch : {pair->first, pair->second}) {
+    ASSERT_EQ(ch.path.size(), 4u);
+    EXPECT_TRUE((ch.path[1] == a && ch.path[2] == bb) ||
+                (ch.path[1] == c && ch.path[2] == d));
+  }
+}
+
+TEST(DisjointPair, RespectsCapacity) {
+  auto fx = three_relays();
+  net::CapacityState cap(fx.net);
+  // Exhaust the near switch entirely.
+  const std::vector<NodeId> via_near{fx.u0, fx.near_sw, fx.u1};
+  cap.commit_channel(via_near);
+  cap.commit_channel(via_near);
+  const auto pair = best_disjoint_channel_pair(fx.net, fx.u0, fx.u1, cap);
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_EQ(pair->first.path[1], fx.mid_sw);
+  EXPECT_EQ(pair->second.path[1], fx.far_sw);
+}
+
+/// Oracle: on small random graphs the returned pair maximizes the rate
+/// product over ALL internally node-disjoint channel pairs (brute force).
+class DisjointPairOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DisjointPairOracle, MatchesBruteForce) {
+  support::Rng rng(GetParam());
+  auto topo = topology::make_erdos_renyi(10, 0.4, {800, 800}, rng);
+  const auto net =
+      net::assign_random_users(std::move(topo), 2, 4, {1e-3, 0.9}, rng);
+  const NodeId src = net.users()[0];
+  const NodeId dst = net.users()[1];
+
+  // Brute force: enumerate simple channel paths, then all disjoint pairs.
+  std::vector<std::vector<NodeId>> paths;
+  std::vector<NodeId> stack{src};
+  std::vector<bool> used_node(net.node_count(), false);
+  used_node[src] = true;
+  auto dfs = [&](auto&& self, NodeId v) -> void {
+    if (v == dst) {
+      paths.push_back(stack);
+      return;
+    }
+    for (const graph::Neighbor& nb : net.graph().neighbors(v)) {
+      const NodeId next = nb.node;
+      if (used_node[next]) continue;
+      if (next != dst && (!net.is_switch(next) || net.qubits(next) < 2)) {
+        continue;
+      }
+      used_node[next] = true;
+      stack.push_back(next);
+      self(self, next);
+      stack.pop_back();
+      used_node[next] = false;
+    }
+  };
+  dfs(dfs, src);
+
+  double best_product = 0.0;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    for (std::size_t j = i + 1; j < paths.size(); ++j) {
+      std::set<NodeId> interior(paths[i].begin() + 1, paths[i].end() - 1);
+      bool disjoint = true;
+      for (std::size_t k = 1; k + 1 < paths[j].size(); ++k) {
+        if (interior.contains(paths[j][k])) {
+          disjoint = false;
+          break;
+        }
+      }
+      if (!disjoint) continue;
+      best_product = std::max(best_product,
+                              net::channel_rate(net, paths[i]) *
+                                  net::channel_rate(net, paths[j]));
+    }
+  }
+
+  const net::CapacityState cap(net);
+  const auto pair = best_disjoint_channel_pair(net, src, dst, cap);
+  if (best_product == 0.0) {
+    EXPECT_FALSE(pair.has_value());
+  } else {
+    ASSERT_TRUE(pair.has_value());
+    expect_disjoint(pair->first, pair->second);
+    EXPECT_NEAR(pair->first.rate * pair->second.rate, best_product,
+                1e-9 * best_product);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DisjointPairOracle,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace muerp::routing

@@ -1,0 +1,139 @@
+#include "routing/exact_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "network/channel.hpp"
+#include "network/network_builder.hpp"
+#include "network/rate.hpp"
+#include "routing/conflict_free.hpp"
+#include "routing/prim_based.hpp"
+#include "support/rng.hpp"
+#include "topology/structured.hpp"
+
+namespace muerp::routing {
+namespace {
+
+using net::NodeId;
+
+TEST(ExactSolver, RefusesOversizedInstances) {
+  net::NetworkBuilder b;
+  for (int i = 0; i < 20; ++i) b.add_user({static_cast<double>(i), 0});
+  const auto net = std::move(b).build({1e-4, 0.9});
+  ExactSolverLimits limits;
+  limits.max_nodes = 10;
+  EXPECT_FALSE(solve_exact(net, net.users(), limits).has_value());
+}
+
+TEST(ExactSolver, TwoUsersDirectEdge) {
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({500, 0});
+  b.connect_euclidean(u0, u1);
+  const auto net = std::move(b).build({1e-4, 0.9});
+  const auto result = solve_exact(net, net.users());
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result->feasible);
+  EXPECT_NEAR(result->rate, std::exp(-1e-4 * 500.0), 1e-12);
+}
+
+TEST(ExactSolver, ChoosesBetterOfTwoPaths) {
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({200, 0});
+  const NodeId near_sw = b.add_switch({100, 10}, 2);
+  const NodeId far_sw = b.add_switch({100, 900}, 2);
+  b.connect_euclidean(u0, near_sw);
+  b.connect_euclidean(near_sw, u1);
+  b.connect_euclidean(u0, far_sw);
+  b.connect_euclidean(far_sw, u1);
+  const auto net = std::move(b).build({1e-3, 0.9});
+  const auto result = solve_exact(net, net.users());
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result->feasible);
+  ASSERT_EQ(result->channels.size(), 1u);
+  EXPECT_EQ(result->channels[0].path[1], near_sw);
+}
+
+TEST(ExactSolver, DetectsInfeasibility) {
+  // 3 users, single Q=2 hub: only one of the two needed channels fits.
+  net::NetworkBuilder b;
+  b.add_user({0, 0});
+  b.add_user({200, 0});
+  b.add_user({100, 170});
+  const NodeId hub = b.add_switch({100, 60}, 2);
+  for (NodeId u = 0; u < 3; ++u) b.connect_euclidean(u, hub);
+  const auto net = std::move(b).build({1e-4, 0.9});
+  const auto result = solve_exact(net, net.users());
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->feasible);
+  EXPECT_DOUBLE_EQ(result->rate, 0.0);
+}
+
+TEST(ExactSolver, FindsFeasibleWhenGreedyStructureMatters) {
+  // A hub that can carry both channels (Q=4) — exact must use it and beat
+  // nothing else (sanity: rate equals the two-star-channel product).
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({200, 0});
+  const NodeId u2 = b.add_user({100, 170});
+  const NodeId hub = b.add_switch({100, 60}, 4);
+  for (NodeId u : {u0, u1, u2}) b.connect_euclidean(u, hub);
+  const auto net = std::move(b).build({1e-4, 0.9});
+  const auto result = solve_exact(net, net.users());
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result->feasible);
+  EXPECT_EQ(net::validate_tree(net, net.users(), *result), "");
+  EXPECT_EQ(result->channels.size(), 2u);
+}
+
+TEST(ExactSolver, ValidatesOnStructuredGrid) {
+  auto topo = topology::make_grid(3, 3, 100.0);
+  std::vector<net::NodeKind> kinds(9, net::NodeKind::kSwitch);
+  std::vector<int> qubits(9, 4);
+  // Corner users.
+  for (NodeId u : {0u, 2u, 6u}) {
+    kinds[u] = net::NodeKind::kUser;
+    qubits[u] = 0;
+  }
+  const net::QuantumNetwork net(std::move(topo.graph),
+                                std::move(topo.positions), std::move(kinds),
+                                std::move(qubits), {1e-3, 0.9});
+  const auto result = solve_exact(net, net.users());
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result->feasible);
+  EXPECT_EQ(net::validate_tree(net, net.users(), *result), "");
+}
+
+/// Property: the heuristics never beat the exact optimum, and when the
+/// exact solver proves feasibility with slack the heuristics' results are
+/// valid trees.
+class ExactDominance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExactDominance, HeuristicsNeverExceedOptimum) {
+  support::Rng rng(GetParam());
+  auto topo = topology::make_erdos_renyi(10, 0.35, {1000.0, 1000.0}, rng);
+  const auto net =
+      net::assign_random_users(std::move(topo), 4, 4, {1e-3, 0.85}, rng);
+  const auto exact = solve_exact(net, net.users());
+  ASSERT_TRUE(exact.has_value());
+
+  const auto alg3 = conflict_free(net, net.users());
+  EXPECT_EQ(net::validate_tree(net, net.users(), alg3), "");
+  const auto alg4 = prim_based_from(net, net.users(), 0);
+  EXPECT_EQ(net::validate_tree(net, net.users(), alg4), "");
+
+  EXPECT_LE(alg3.rate, exact->rate * (1.0 + 1e-9));
+  EXPECT_LE(alg4.rate, exact->rate * (1.0 + 1e-9));
+  // A heuristic success implies the instance is feasible.
+  if (alg3.feasible || alg4.feasible) {
+    EXPECT_TRUE(exact->feasible);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactDominance,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace muerp::routing

@@ -1,0 +1,167 @@
+#include "routing/feasibility.hpp"
+
+#include <gtest/gtest.h>
+
+#include "network/network_builder.hpp"
+#include "routing/exact_solver.hpp"
+#include "support/rng.hpp"
+#include "topology/structured.hpp"
+
+namespace muerp::routing {
+namespace {
+
+using net::NodeId;
+
+TEST(Feasibility, SingletonAlwaysFeasible) {
+  net::NetworkBuilder b;
+  b.add_user({0, 0});
+  const auto net = std::move(b).build({1e-4, 0.9});
+  const auto report = screen_feasibility(net, net.users());
+  EXPECT_EQ(report.verdict, Feasibility::kFeasible);
+}
+
+TEST(Feasibility, DisconnectedUsersAreInfeasible) {
+  net::NetworkBuilder b;
+  b.add_user({0, 0});
+  b.add_user({100, 0});  // no fibers at all
+  const auto net = std::move(b).build({1e-4, 0.9});
+  const auto report = screen_feasibility(net, net.users());
+  EXPECT_EQ(report.verdict, Feasibility::kInfeasible);
+  EXPECT_NE(report.reason.find("N1"), std::string::npos);
+}
+
+TEST(Feasibility, LowCapacityRelayBreaksConnectivity) {
+  // Only path between the users runs through a 1-qubit switch: N1 fires.
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({200, 0});
+  const NodeId sw = b.add_switch({100, 0}, 1);
+  b.connect_euclidean(u0, sw);
+  b.connect_euclidean(sw, u1);
+  const auto net = std::move(b).build({1e-4, 0.9});
+  const auto report = screen_feasibility(net, net.users());
+  EXPECT_EQ(report.verdict, Feasibility::kInfeasible);
+}
+
+TEST(Feasibility, SufficientConditionProvesFeasible) {
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({200, 0});
+  const NodeId u2 = b.add_user({100, 170});
+  const NodeId hub = b.add_switch({100, 60}, 6);  // >= 2|U| = 6
+  for (NodeId u : {u0, u1, u2}) b.connect_euclidean(u, hub);
+  const auto net = std::move(b).build({1e-4, 0.9});
+  const auto report = screen_feasibility(net, net.users());
+  EXPECT_EQ(report.verdict, Feasibility::kFeasible);
+  EXPECT_NE(report.reason.find("Theorem 3"), std::string::npos);
+}
+
+TEST(Feasibility, CutSwitchWithTooFewQubits) {
+  // Hub splits 3 users; Q=2 < 2*(3-1). N2 proves it, though the aggregate
+  // screen N3 may conclude first — any conclusive proof is acceptable.
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({200, 0});
+  const NodeId u2 = b.add_user({100, 170});
+  const NodeId hub = b.add_switch({100, 60}, 2);
+  for (NodeId u : {u0, u1, u2}) b.connect_euclidean(u, hub);
+  const auto net = std::move(b).build({1e-4, 0.9});
+  const auto report = screen_feasibility(net, net.users());
+  EXPECT_EQ(report.verdict, Feasibility::kInfeasible);
+  EXPECT_TRUE(report.reason.find("N2") != std::string::npos ||
+              report.reason.find("N3") != std::string::npos)
+      << report.reason;
+}
+
+TEST(Feasibility, CutSwitchCaughtByN2Specifically) {
+  // Give the users one direct fiber so N3 cannot fire, leaving N2 as the
+  // only screen able to prove infeasibility: a 2-qubit hub must bridge the
+  // far user to both near users (2 channels = 4 qubits).
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({200, 0});
+  const NodeId u2 = b.add_user({100, 170});
+  const NodeId u3 = b.add_user({100, 400});
+  const NodeId hub = b.add_switch({100, 250}, 2);
+  b.connect_euclidean(u0, u1);  // direct fiber disarms N3
+  b.connect_euclidean(u0, hub);
+  b.connect_euclidean(u1, hub);
+  b.connect_euclidean(u2, hub);
+  b.connect_euclidean(u3, hub);
+  const auto net = std::move(b).build({1e-4, 0.9});
+  const auto report = screen_feasibility(net, net.users());
+  EXPECT_EQ(report.verdict, Feasibility::kInfeasible);
+  EXPECT_NE(report.reason.find("N2"), std::string::npos) << report.reason;
+}
+
+TEST(Feasibility, AggregateCapacityShortfall) {
+  // 4 users on a cycle of 1-channel switches: 3 channels needed, but the
+  // two 2-qubit switches supply only 2 channel slots and there is no direct
+  // user-user fiber: N3 fires (or N2, whichever screen concludes first —
+  // the verdict is what matters).
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({200, 0});
+  const NodeId u2 = b.add_user({200, 200});
+  const NodeId u3 = b.add_user({0, 200});
+  const NodeId s0 = b.add_switch({100, -20}, 2);
+  const NodeId s1 = b.add_switch({100, 220}, 2);
+  b.connect_euclidean(u0, s0);
+  b.connect_euclidean(s0, u1);
+  b.connect_euclidean(u2, s1);
+  b.connect_euclidean(s1, u3);
+  b.connect_euclidean(u1, s1);
+  b.connect_euclidean(u3, s0);
+  const auto net = std::move(b).build({1e-4, 0.9});
+  const auto report = screen_feasibility(net, net.users());
+  EXPECT_EQ(report.verdict, Feasibility::kInfeasible);
+}
+
+TEST(Feasibility, UnknownWhenScreensCannotDecide) {
+  // Capacity-tight but plausibly feasible: hub Q=4 serving 3 users needs 2
+  // channels = 4 qubits, exactly met. Sufficient condition (needs 6) fails;
+  // no necessary condition fires -> unknown.
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({200, 0});
+  const NodeId u2 = b.add_user({100, 170});
+  const NodeId hub = b.add_switch({100, 60}, 4);
+  for (NodeId u : {u0, u1, u2}) b.connect_euclidean(u, hub);
+  const auto net = std::move(b).build({1e-4, 0.9});
+  const auto report = screen_feasibility(net, net.users());
+  EXPECT_EQ(report.verdict, Feasibility::kUnknown);
+}
+
+TEST(Feasibility, VerdictNames) {
+  EXPECT_STREQ(feasibility_name(Feasibility::kFeasible), "feasible");
+  EXPECT_STREQ(feasibility_name(Feasibility::kInfeasible), "infeasible");
+  EXPECT_STREQ(feasibility_name(Feasibility::kUnknown), "unknown");
+}
+
+/// Soundness: on random small instances, a conclusive verdict must agree
+/// with the exhaustive solver. (kUnknown is always acceptable.)
+class FeasibilitySoundness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FeasibilitySoundness, NeverContradictsExactSolver) {
+  support::Rng rng(GetParam());
+  auto topo = topology::make_erdos_renyi(10, 0.3, {800, 800}, rng);
+  // Tight budgets so all three verdicts actually occur across seeds.
+  const int qubits = 2 + static_cast<int>(rng.uniform_index(4));
+  const auto net =
+      net::assign_random_users(std::move(topo), 4, qubits, {1e-3, 0.9}, rng);
+
+  const auto report = screen_feasibility(net, net.users());
+  const auto exact = solve_exact(net, net.users());
+  ASSERT_TRUE(exact.has_value());
+  if (report.verdict == Feasibility::kFeasible) {
+    EXPECT_TRUE(exact->feasible) << report.reason;
+  } else if (report.verdict == Feasibility::kInfeasible) {
+    EXPECT_FALSE(exact->feasible) << report.reason;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FeasibilitySoundness,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace muerp::routing

@@ -1,0 +1,148 @@
+#include "routing/fiber_limits.hpp"
+
+#include <gtest/gtest.h>
+
+#include "network/channel.hpp"
+#include "network/network_builder.hpp"
+#include "routing/channel_finder.hpp"
+#include "routing/prim_based.hpp"
+#include "support/rng.hpp"
+#include "topology/waxman.hpp"
+
+namespace muerp::routing {
+namespace {
+
+using net::NodeId;
+
+/// Three users star-connected to one big hub; all channels share the
+/// hub-adjacent fibers only pairwise, but u0's fiber carries two channels
+/// when u0 is the tree centre.
+struct StarFixture {
+  net::QuantumNetwork net;
+  NodeId u0, u1, u2, hub;
+};
+
+StarFixture star() {
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({200, 0});
+  const NodeId u2 = b.add_user({100, 170});
+  const NodeId hub = b.add_switch({80, 60}, 20);
+  for (NodeId u : {u0, u1, u2}) b.connect_euclidean(u, hub);
+  return {std::move(b).build({1e-4, 0.9}), u0, u1, u2, hub};
+}
+
+TEST(JointCapacity, TracksQubitsAndCores) {
+  auto fx = star();
+  JointCapacity cap(fx.net, 2);
+  const auto e = *fx.net.graph().find_edge(fx.u0, fx.hub);
+  EXPECT_EQ(cap.free_cores(e), 2);
+  EXPECT_EQ(cap.free_qubits(fx.hub), 20);
+  const std::vector<NodeId> path{fx.u0, fx.hub, fx.u1};
+  cap.commit_channel(path);
+  EXPECT_EQ(cap.free_cores(e), 1);
+  EXPECT_EQ(cap.free_qubits(fx.hub), 18);
+  cap.release_channel(path);
+  EXPECT_EQ(cap.free_cores(e), 2);
+  EXPECT_EQ(cap.free_qubits(fx.hub), 20);
+}
+
+TEST(FiberAwareFinder, MatchesPlainFinderWithAmpleCores) {
+  auto fx = star();
+  JointCapacity joint(fx.net, 8);
+  const net::CapacityState plain_cap(fx.net);
+  const ChannelFinder plain(fx.net);
+  const auto a = find_best_channel_fiber_aware(fx.net, fx.u0, fx.u1, joint);
+  const auto b = plain.find_best_channel(fx.u0, fx.u1, plain_cap);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->path, b->path);
+  EXPECT_NEAR(a->rate, b->rate, 1e-15);
+}
+
+TEST(FiberAwareFinder, SkipsExhaustedFiber) {
+  auto fx = star();
+  JointCapacity cap(fx.net, 1);
+  const std::vector<NodeId> path{fx.u0, fx.hub, fx.u1};
+  cap.commit_channel(path);  // u0-hub and hub-u1 fibers now exhausted
+  // u0 can no longer reach anyone: its only fiber has no free core.
+  EXPECT_FALSE(
+      find_best_channel_fiber_aware(fx.net, fx.u0, fx.u2, cap).has_value());
+  // u1 is likewise cut off, but u2's fiber is untouched... and the hub has
+  // plenty of qubits — yet every route from u2 ends at an exhausted fiber.
+  EXPECT_FALSE(
+      find_best_channel_fiber_aware(fx.net, fx.u2, fx.u1, cap).has_value());
+}
+
+TEST(PrimFiberAware, SingleCoreStarIsProvablyInfeasible) {
+  // Any 3-user tree needs 2 channels, each crossing 2 of the star's 3
+  // fibers: 4 fiber slots > 3 single-core fibers. No algorithm can route
+  // this — the fiber-aware Prim must detect it.
+  auto fx = star();
+  JointCapacity cap(fx.net, 1);
+  const auto tree = prim_fiber_aware(fx.net, fx.net.users(), 0, cap);
+  EXPECT_FALSE(tree.feasible);
+}
+
+TEST(PrimFiberAware, TwoCoresSufficeOnTheStar) {
+  auto fx = star();
+  JointCapacity cap(fx.net, 2);
+  const auto tree = prim_fiber_aware(fx.net, fx.net.users(), 0, cap);
+  ASSERT_TRUE(tree.feasible);
+  EXPECT_EQ(net::validate_tree(fx.net, fx.net.users(), tree), "");
+  // No fiber may exceed its 2 cores.
+  std::vector<int> fiber_use(fx.net.graph().edge_count(), 0);
+  for (const auto& ch : tree.channels) {
+    for (std::size_t i = 0; i + 1 < ch.path.size(); ++i) {
+      ++fiber_use[*fx.net.graph().find_edge(ch.path[i], ch.path[i + 1])];
+    }
+  }
+  for (int use : fiber_use) EXPECT_LE(use, 2);
+}
+
+TEST(PrimFiberAware, ZeroCoresIsAlwaysInfeasible) {
+  auto fx = star();
+  JointCapacity cap(fx.net, 0);
+  const auto tree = prim_fiber_aware(fx.net, fx.net.users(), 0, cap);
+  EXPECT_FALSE(tree.feasible);
+}
+
+/// Property: ample cores reproduce the unlimited-fiber Algorithm 4 exactly;
+/// scarce cores never *exceed* it.
+class FiberLimitsProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FiberLimitsProperty, AmpleCoresMatchUnlimited) {
+  support::Rng rng(GetParam());
+  topology::WaxmanParams params;
+  params.node_count = 30;
+  auto topo = topology::generate_waxman(params, rng);
+  const auto net =
+      net::assign_random_users(std::move(topo), 5, 4, {1e-4, 0.9}, rng);
+
+  const auto unlimited = prim_based_from(net, net.users(), 0);
+  JointCapacity ample(net, 100);
+  const auto with_ample = prim_fiber_aware(net, net.users(), 0, ample);
+  EXPECT_EQ(unlimited.feasible, with_ample.feasible);
+  EXPECT_NEAR(unlimited.rate, with_ample.rate,
+              1e-12 * std::max(unlimited.rate, 1e-30));
+
+  // Scarce cores: greedy routing is *not* monotone in resources (forced
+  // detours can rescue instances the unlimited greedy dead-ends on), so no
+  // rate ordering holds; what must hold is validity plus the core budget.
+  JointCapacity scarce(net, 1);
+  const auto with_scarce = prim_fiber_aware(net, net.users(), 0, scarce);
+  EXPECT_EQ(net::validate_tree(net, net.users(), with_scarce), "");
+  std::vector<int> fiber_use(net.graph().edge_count(), 0);
+  for (const auto& ch : with_scarce.channels) {
+    for (std::size_t i = 0; i + 1 < ch.path.size(); ++i) {
+      ++fiber_use[*net.graph().find_edge(ch.path[i], ch.path[i + 1])];
+    }
+  }
+  for (int use : fiber_use) EXPECT_LE(use, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FiberLimitsProperty,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace muerp::routing

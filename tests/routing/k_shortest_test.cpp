@@ -1,0 +1,174 @@
+#include "routing/k_shortest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "network/network_builder.hpp"
+#include "network/rate.hpp"
+#include "routing/channel_finder.hpp"
+#include "support/rng.hpp"
+#include "topology/structured.hpp"
+
+namespace muerp::routing {
+namespace {
+
+using net::NodeId;
+
+/// Two users joined through three parallel switches at distinct distances.
+struct ParallelFixture {
+  net::QuantumNetwork net;
+  NodeId u0, u1, near_sw, mid_sw, far_sw;
+};
+
+ParallelFixture parallel_fixture() {
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({1000, 0});
+  const NodeId near_sw = b.add_switch({500, 100}, 4);
+  const NodeId mid_sw = b.add_switch({500, 600}, 4);
+  const NodeId far_sw = b.add_switch({500, 1200}, 4);
+  for (NodeId sw : {near_sw, mid_sw, far_sw}) {
+    b.connect_euclidean(u0, sw);
+    b.connect_euclidean(sw, u1);
+  }
+  return {std::move(b).build({1e-3, 0.9}), u0, u1, near_sw, mid_sw, far_sw};
+}
+
+TEST(KBestChannels, OrderedByRate) {
+  auto fx = parallel_fixture();
+  const net::CapacityState cap(fx.net);
+  const auto channels = k_best_channels(fx.net, fx.u0, fx.u1, cap, 3);
+  ASSERT_EQ(channels.size(), 3u);
+  EXPECT_EQ(channels[0].path[1], fx.near_sw);
+  EXPECT_EQ(channels[1].path[1], fx.mid_sw);
+  EXPECT_EQ(channels[2].path[1], fx.far_sw);
+  EXPECT_GT(channels[0].rate, channels[1].rate);
+  EXPECT_GT(channels[1].rate, channels[2].rate);
+}
+
+TEST(KBestChannels, FirstMatchesAlgorithm1) {
+  auto fx = parallel_fixture();
+  const net::CapacityState cap(fx.net);
+  const auto channels = k_best_channels(fx.net, fx.u0, fx.u1, cap, 1);
+  const ChannelFinder finder(fx.net);
+  const auto best = finder.find_best_channel(fx.u0, fx.u1, cap);
+  ASSERT_EQ(channels.size(), 1u);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(channels[0].path, best->path);
+  EXPECT_NEAR(channels[0].rate, best->rate, 1e-15);
+}
+
+TEST(KBestChannels, FewerThanKWhenGraphIsSmall) {
+  auto fx = parallel_fixture();
+  const net::CapacityState cap(fx.net);
+  const auto channels = k_best_channels(fx.net, fx.u0, fx.u1, cap, 10);
+  EXPECT_EQ(channels.size(), 3u);  // only 3 simple channels exist
+}
+
+TEST(KBestChannels, ZeroKAndNoRoute) {
+  auto fx = parallel_fixture();
+  const net::CapacityState cap(fx.net);
+  EXPECT_TRUE(k_best_channels(fx.net, fx.u0, fx.u1, cap, 0).empty());
+
+  net::NetworkBuilder b;
+  const NodeId a = b.add_user({0, 0});
+  const NodeId c = b.add_user({1, 0});
+  const auto disconnected = std::move(b).build({1e-4, 0.9});
+  const net::CapacityState cap2(disconnected);
+  EXPECT_TRUE(k_best_channels(disconnected, a, c, cap2, 3).empty());
+}
+
+TEST(KBestChannels, PathsAreDistinctAndSimple) {
+  support::Rng rng(3);
+  auto topo = topology::make_erdos_renyi(12, 0.4, {1000, 1000}, rng);
+  const auto net =
+      net::assign_random_users(std::move(topo), 2, 4, {1e-3, 0.9}, rng);
+  const net::CapacityState cap(net);
+  const auto channels =
+      k_best_channels(net, net.users()[0], net.users()[1], cap, 8);
+  std::set<std::vector<NodeId>> unique;
+  for (const auto& ch : channels) {
+    EXPECT_TRUE(unique.insert(ch.path).second) << "duplicate path";
+    std::set<NodeId> nodes(ch.path.begin(), ch.path.end());
+    EXPECT_EQ(nodes.size(), ch.path.size()) << "path not simple";
+    // Interior vertices are switches.
+    for (std::size_t i = 1; i + 1 < ch.path.size(); ++i) {
+      EXPECT_TRUE(net.is_switch(ch.path[i]));
+    }
+    // Stored rate agrees with Eq. (1).
+    EXPECT_NEAR(ch.rate, net::channel_rate(net, ch.path), 1e-9 * ch.rate);
+  }
+  // Non-increasing rates.
+  for (std::size_t i = 1; i < channels.size(); ++i) {
+    EXPECT_LE(channels[i].rate, channels[i - 1].rate * (1 + 1e-12));
+  }
+}
+
+TEST(KBestChannels, RespectsCapacity) {
+  auto fx = parallel_fixture();
+  net::CapacityState cap(fx.net);
+  const std::vector<NodeId> via_near{fx.u0, fx.near_sw, fx.u1};
+  cap.commit_channel(via_near);
+  cap.commit_channel(via_near);  // exhaust the near switch
+  const auto channels = k_best_channels(fx.net, fx.u0, fx.u1, cap, 3);
+  ASSERT_EQ(channels.size(), 2u);
+  EXPECT_EQ(channels[0].path[1], fx.mid_sw);
+  EXPECT_EQ(channels[1].path[1], fx.far_sw);
+}
+
+/// Oracle: on small random graphs, k_best must equal the top-k of the full
+/// brute-force channel enumeration.
+class KBestOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KBestOracle, MatchesBruteForceTopK) {
+  support::Rng rng(GetParam());
+  auto topo = topology::make_erdos_renyi(9, 0.45, {800, 800}, rng);
+  const auto net =
+      net::assign_random_users(std::move(topo), 2, 4, {1e-3, 0.85}, rng);
+  const NodeId src = net.users()[0];
+  const NodeId dst = net.users()[1];
+
+  // Brute force: enumerate all simple switch-interior channels.
+  std::vector<double> all_rates;
+  std::vector<NodeId> stack{src};
+  std::vector<bool> used(net.node_count(), false);
+  used[src] = true;
+  auto dfs = [&](auto&& self, NodeId v) -> void {
+    if (v == dst) {
+      all_rates.push_back(net::channel_rate(net, stack));
+      return;
+    }
+    for (const graph::Neighbor& nb : net.graph().neighbors(v)) {
+      const NodeId next = nb.node;
+      if (used[next]) continue;
+      if (next != dst && (!net.is_switch(next) || net.qubits(next) < 2)) {
+        continue;
+      }
+      used[next] = true;
+      stack.push_back(next);
+      self(self, next);
+      stack.pop_back();
+      used[next] = false;
+    }
+  };
+  dfs(dfs, src);
+  std::sort(all_rates.rbegin(), all_rates.rend());
+
+  const net::CapacityState cap(net);
+  constexpr std::size_t kK = 5;
+  const auto channels = k_best_channels(net, src, dst, cap, kK);
+  ASSERT_EQ(channels.size(), std::min(kK, all_rates.size()));
+  for (std::size_t i = 0; i < channels.size(); ++i) {
+    EXPECT_NEAR(channels[i].rate, all_rates[i],
+                1e-9 * std::max(all_rates[i], 1e-30))
+        << "rank " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KBestOracle,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace muerp::routing

@@ -1,0 +1,141 @@
+#include "routing/local_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "network/channel.hpp"
+#include "network/network_builder.hpp"
+#include "network/rate.hpp"
+#include "routing/conflict_free.hpp"
+#include "routing/exact_solver.hpp"
+#include "routing/prim_based.hpp"
+#include "support/rng.hpp"
+#include "topology/structured.hpp"
+#include "topology/waxman.hpp"
+
+namespace muerp::routing {
+namespace {
+
+using net::NodeId;
+
+TEST(LocalSearch, LeavesOptimalTreeAlone) {
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({200, 0});
+  const NodeId u2 = b.add_user({100, 170});
+  const NodeId hub = b.add_switch({100, 60}, 8);
+  for (NodeId u : {u0, u1, u2}) b.connect_euclidean(u, hub);
+  const auto net = std::move(b).build({1e-4, 0.9});
+
+  auto tree = conflict_free(net, net.users());
+  ASSERT_TRUE(tree.feasible);
+  const double before = tree.rate;
+  const auto stats = improve_tree(net, net.users(), tree);
+  EXPECT_EQ(stats.exchanges, 0u);
+  EXPECT_DOUBLE_EQ(tree.rate, before);
+}
+
+TEST(LocalSearch, RepairsDeliberatelyBadTree) {
+  // Hand a tree that chains u0-u1-u2 the long way; the exchange pass must
+  // find the short star channels.
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({4000, 0});  // distant user
+  const NodeId u2 = b.add_user({200, 0});
+  const NodeId hub = b.add_switch({100, 50}, 20);
+  for (NodeId u : {u0, u1, u2}) b.connect_euclidean(u, hub);
+  const auto net = std::move(b).build({1e-3, 0.9});
+
+  // Bad structure: u0-u1 and u1-u2 (both cross the long span).
+  auto mk = [&](NodeId a, NodeId c) {
+    net::Channel ch;
+    ch.path = {a, hub, c};
+    ch.rate = net::channel_rate(net, ch.path);
+    return ch;
+  };
+  net::EntanglementTree tree;
+  tree.channels = {mk(u0, u1), mk(u1, u2)};
+  tree.feasible = true;
+  tree.rate = net::tree_rate(tree.channels);
+
+  const double before = tree.rate;
+  const auto stats = improve_tree(net, net.users(), tree);
+  EXPECT_GE(stats.exchanges, 1u);
+  EXPECT_GT(tree.rate, before);
+  EXPECT_EQ(net::validate_tree(net, net.users(), tree), "");
+  // The improved tree keeps one long channel (u1 must connect somehow) and
+  // swaps the other for the short u0-u2 hop.
+  int long_channels = 0;
+  for (const auto& ch : tree.channels) {
+    if (ch.source() == u1 || ch.destination() == u1) ++long_channels;
+  }
+  EXPECT_EQ(long_channels, 1);
+}
+
+TEST(LocalSearch, SkipsInfeasibleTree) {
+  net::NetworkBuilder b;
+  b.add_user({0, 0});
+  b.add_user({100, 0});
+  const auto net = std::move(b).build({1e-4, 0.9});
+  net::EntanglementTree tree{{}, 0.0, false};
+  const auto stats = improve_tree(net, net.users(), tree);
+  EXPECT_EQ(stats.sweeps, 0u);
+  EXPECT_FALSE(tree.feasible);
+}
+
+TEST(LocalSearch, HonoursSweepLimit) {
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({100, 0});
+  b.connect_euclidean(u0, u1);
+  const auto net = std::move(b).build({1e-4, 0.9});
+  auto tree = conflict_free(net, net.users());
+  const auto stats = improve_tree(net, net.users(), tree, 0);
+  EXPECT_EQ(stats.sweeps, 0u);
+}
+
+/// Properties on random capacity-tight networks: never worsens, stays
+/// valid, never exceeds the exact optimum.
+class LocalSearchProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LocalSearchProperty, MonotoneValidAndBounded) {
+  support::Rng rng(GetParam());
+  topology::WaxmanParams params;
+  params.node_count = 24;
+  params.average_degree = 5.0;
+  auto topo = topology::generate_waxman(params, rng);
+  const auto net =
+      net::assign_random_users(std::move(topo), 5, 2, {1e-4, 0.9}, rng);
+
+  auto tree = prim_based_from(net, net.users(), 0);
+  if (!tree.feasible) GTEST_SKIP() << "instance infeasible for Alg-4";
+  const double before = tree.rate;
+  improve_tree(net, net.users(), tree);
+  EXPECT_GE(tree.rate, before * (1.0 - 1e-12));
+  EXPECT_EQ(net::validate_tree(net, net.users(), tree), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LocalSearchProperty,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+/// On tiny instances the improved tree must never beat the exact optimum.
+class LocalSearchVsExact : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LocalSearchVsExact, BoundedByOptimum) {
+  support::Rng rng(GetParam() + 500);
+  auto topo = topology::make_erdos_renyi(10, 0.4, {800, 800}, rng);
+  const auto net =
+      net::assign_random_users(std::move(topo), 4, 4, {1e-3, 0.9}, rng);
+  auto tree = conflict_free(net, net.users());
+  if (!tree.feasible) GTEST_SKIP();
+  improve_tree(net, net.users(), tree);
+  const auto exact = solve_exact(net, net.users());
+  ASSERT_TRUE(exact.has_value());
+  ASSERT_TRUE(exact->feasible);
+  EXPECT_LE(tree.rate, exact->rate * (1.0 + 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LocalSearchVsExact,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace muerp::routing

@@ -1,0 +1,167 @@
+#include "routing/multipath.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "network/channel.hpp"
+#include "network/network_builder.hpp"
+#include "routing/conflict_free.hpp"
+#include "simulation/monte_carlo.hpp"
+#include "support/rng.hpp"
+#include "topology/waxman.hpp"
+
+namespace muerp::routing {
+namespace {
+
+using net::NodeId;
+
+TEST(BundleSuccess, SingleChannelIsItsRate) {
+  net::Channel ch;
+  ch.rate = 0.37;
+  const std::vector<net::Channel> bundle{ch};
+  EXPECT_NEAR(bundle_success(bundle), 0.37, 1e-15);
+}
+
+TEST(BundleSuccess, TwoChannelsComplement) {
+  net::Channel a;
+  a.rate = 0.5;
+  net::Channel b;
+  b.rate = 0.25;
+  const std::vector<net::Channel> bundle{a, b};
+  EXPECT_NEAR(bundle_success(bundle), 1.0 - 0.5 * 0.75, 1e-15);
+}
+
+TEST(BundleSuccess, TinyRatesStayAccurate) {
+  net::Channel a;
+  a.rate = 1e-12;
+  net::Channel b;
+  b.rate = 1e-12;
+  const std::vector<net::Channel> bundle{a, b};
+  EXPECT_NEAR(bundle_success(bundle), 2e-12, 1e-20);
+}
+
+TEST(BundleSuccess, CertainChannelSaturates) {
+  net::Channel a;
+  a.rate = 1.0;
+  net::Channel b;
+  b.rate = 0.1;
+  const std::vector<net::Channel> bundle{a, b};
+  EXPECT_DOUBLE_EQ(bundle_success(bundle), 1.0);
+}
+
+/// Two users joined by two parallel 2-hop routes with generous qubits.
+struct TwoRoutes {
+  net::QuantumNetwork net;
+  NodeId u0, u1;
+};
+
+TwoRoutes two_routes(int qubits) {
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({1000, 0});
+  const NodeId s0 = b.add_switch({500, 100}, qubits);
+  const NodeId s1 = b.add_switch({500, 600}, qubits);
+  for (NodeId sw : {s0, s1}) {
+    b.connect_euclidean(u0, sw);
+    b.connect_euclidean(sw, u1);
+  }
+  return {std::move(b).build({1e-3, 0.9}), u0, u1};
+}
+
+TEST(Multipath, AddsRedundancyWhenCapacityAllows) {
+  auto fx = two_routes(4);
+  const auto tree = conflict_free(fx.net, fx.net.users());
+  ASSERT_TRUE(tree.feasible);
+  const auto plan = provision_multipath(fx.net, tree);
+  ASSERT_EQ(plan.bundles.size(), 1u);
+  EXPECT_GE(plan.redundant_channels, 1u);
+  EXPECT_GT(plan.rate, tree.rate);
+  EXPECT_GE(plan.bundles[0].channels.size(), 2u);
+}
+
+TEST(Multipath, NoCapacityNoRedundancy) {
+  // Q = 2 switches: the tree itself consumes everything.
+  auto fx = two_routes(2);
+  const auto tree = conflict_free(fx.net, fx.net.users());
+  ASSERT_TRUE(tree.feasible);
+  const auto plan = provision_multipath(fx.net, tree);
+  // One redundant route exists via the second switch (its 2 qubits are
+  // free) — but after that nothing more fits.
+  EXPECT_LE(plan.redundant_channels, 1u);
+  EXPECT_GE(plan.rate, tree.rate);
+}
+
+TEST(Multipath, RespectsMaxRedundancy) {
+  auto fx = two_routes(20);
+  const auto tree = conflict_free(fx.net, fx.net.users());
+  MultipathOptions options;
+  options.max_redundancy = 1;
+  const auto plan = provision_multipath(fx.net, tree, options);
+  for (const auto& bundle : plan.bundles) {
+    EXPECT_LE(bundle.channels.size(), 2u);  // primary + 1
+  }
+}
+
+TEST(Multipath, RateIsProductOfBundles) {
+  auto fx = two_routes(8);
+  const auto tree = conflict_free(fx.net, fx.net.users());
+  const auto plan = provision_multipath(fx.net, tree);
+  double product = 1.0;
+  for (const auto& bundle : plan.bundles) product *= bundle.bundle_rate;
+  EXPECT_NEAR(plan.rate, product, 1e-12 * product);
+}
+
+TEST(Multipath, MonteCarloValidatesBundleModel) {
+  // The 1 - prod(1 - P_i) closed form must match the physical process in
+  // which every bundle member attempts and any success serves the edge.
+  auto fx = two_routes(8);
+  const auto tree = conflict_free(fx.net, fx.net.users());
+  const auto plan = provision_multipath(fx.net, tree);
+  ASSERT_GE(plan.redundant_channels, 1u);
+  const sim::MonteCarloSimulator mc(fx.net);
+  support::Rng rng(11);
+  const auto est = mc.estimate_multipath_rate(plan, 200000, rng);
+  EXPECT_NEAR(est.rate, plan.rate, 4.0 * est.std_error + 1e-9);
+  // And it must clearly exceed the single-path tree's simulated rate.
+  support::Rng rng2(11);
+  const auto single = mc.estimate_tree_rate(tree, 200000, rng2);
+  EXPECT_GT(est.rate, single.rate);
+}
+
+/// Property: on random networks multipath never hurts, never over-commits.
+class MultipathProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MultipathProperty, MonotoneAndCapacityClean) {
+  support::Rng rng(GetParam());
+  topology::WaxmanParams params;
+  params.node_count = 30;
+  auto topo = topology::generate_waxman(params, rng);
+  const auto net =
+      net::assign_random_users(std::move(topo), 5, 8, {1e-4, 0.9}, rng);
+  const auto tree = conflict_free(net, net.users());
+  if (!tree.feasible) GTEST_SKIP();
+  const auto plan = provision_multipath(net, tree);
+
+  EXPECT_GE(plan.rate, tree.rate * (1.0 - 1e-12));
+  // Combined qubit usage of every bundle channel stays within budgets.
+  std::vector<int> used(net.node_count(), 0);
+  for (const auto& bundle : plan.bundles) {
+    EXPECT_GE(bundle.bundle_rate,
+              bundle.channels.front().rate * (1.0 - 1e-12));
+    for (const auto& ch : bundle.channels) {
+      for (std::size_t i = 1; i + 1 < ch.path.size(); ++i) {
+        used[ch.path[i]] += 2;
+      }
+    }
+  }
+  for (net::NodeId sw : net.switches()) {
+    EXPECT_LE(used[sw], net.qubits(sw));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultipathProperty,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace muerp::routing

@@ -1,0 +1,137 @@
+#include "routing/optimal_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "network/channel.hpp"
+#include "network/network_builder.hpp"
+#include "network/rate.hpp"
+#include "routing/exact_solver.hpp"
+#include "support/rng.hpp"
+#include "topology/structured.hpp"
+
+namespace muerp::routing {
+namespace {
+
+using net::NodeId;
+
+TEST(SufficientCondition, DetectsThreshold) {
+  net::NetworkBuilder b;
+  b.add_user({0, 0});
+  b.add_user({1, 0});
+  b.add_user({2, 0});
+  const NodeId sw = b.add_switch({1, 1}, 6);
+  b.connect_euclidean(0, sw);
+  const auto net = std::move(b).build({1e-4, 0.9});
+  EXPECT_TRUE(sufficient_condition_holds(net, net.users()));  // 6 >= 2*3
+  net::NetworkBuilder b2;
+  b2.add_user({0, 0});
+  b2.add_user({1, 0});
+  b2.add_user({2, 0});
+  b2.add_switch({1, 1}, 5);
+  const auto net2 = std::move(b2).build({1e-4, 0.9});
+  EXPECT_FALSE(sufficient_condition_holds(net2, net2.users()));  // 5 < 6
+}
+
+TEST(OptimalTree, SingleUserIsTrivial) {
+  net::NetworkBuilder b;
+  b.add_user({0, 0});
+  const auto net = std::move(b).build({1e-4, 0.9});
+  const auto tree = optimal_special_case(net, net.users());
+  EXPECT_TRUE(tree.feasible);
+  EXPECT_DOUBLE_EQ(tree.rate, 1.0);
+  EXPECT_TRUE(tree.channels.empty());
+}
+
+TEST(OptimalTree, TwoUsersOneChannel) {
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({200, 0});
+  const NodeId sw = b.add_switch({100, 0}, 4);
+  b.connect_euclidean(u0, sw);
+  b.connect_euclidean(sw, u1);
+  const auto net = std::move(b).build({1e-4, 0.9});
+  const auto tree = optimal_special_case(net, net.users());
+  ASSERT_TRUE(tree.feasible);
+  ASSERT_EQ(tree.channels.size(), 1u);
+  const double p = std::exp(-1e-4 * 100.0);
+  EXPECT_NEAR(tree.rate, p * p * 0.9, 1e-12);
+  EXPECT_EQ(net::validate_tree(net, net.users(), tree), "");
+}
+
+TEST(OptimalTree, PicksCheapTreeOverChain) {
+  // Three users around one big hub: the best tree uses the two short
+  // channels, never the long u1-u2 detour.
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({1000, 0});
+  const NodeId u2 = b.add_user({0, 1000});
+  const NodeId hub = b.add_switch({300, 300}, 20);
+  b.connect_euclidean(u0, hub);
+  b.connect_euclidean(u1, hub);
+  b.connect_euclidean(u2, hub);
+  const auto net = std::move(b).build({1e-3, 0.9});
+  const auto tree = optimal_special_case(net, net.users());
+  ASSERT_TRUE(tree.feasible);
+  ASSERT_EQ(tree.channels.size(), 2u);
+  // u0 is closest to the hub, so both selected channels have u0 as one end.
+  for (const auto& ch : tree.channels) {
+    EXPECT_TRUE(ch.source() == u0 || ch.destination() == u0);
+  }
+  EXPECT_EQ(net::validate_tree(net, net.users(), tree), "");
+}
+
+TEST(OptimalTree, InfeasibleWhenUsersUnreachable) {
+  net::NetworkBuilder b;
+  b.add_user({0, 0});
+  b.add_user({100, 0});  // no fibers at all
+  const auto net = std::move(b).build({1e-4, 0.9});
+  const auto tree = optimal_special_case(net, net.users());
+  EXPECT_FALSE(tree.feasible);
+  EXPECT_DOUBLE_EQ(tree.rate, 0.0);
+}
+
+TEST(OptimalTree, DirectUserEdgesFormTree) {
+  // Complete graph of 4 users (all direct fibers, no switches).
+  auto topo = topology::make_complete(4, 100.0);
+  std::vector<net::NodeKind> kinds(4, net::NodeKind::kUser);
+  std::vector<int> qubits(4, 0);
+  const net::QuantumNetwork net(std::move(topo.graph),
+                                std::move(topo.positions), std::move(kinds),
+                                std::move(qubits), {1e-4, 0.9});
+  const auto tree = optimal_special_case(net, net.users());
+  ASSERT_TRUE(tree.feasible);
+  EXPECT_EQ(tree.channels.size(), 3u);
+  EXPECT_EQ(net::validate_tree(net, net.users(), tree), "");
+}
+
+/// Theorem 3 property: under the sufficient condition, Algorithm 2 matches
+/// the exhaustive optimum.
+class OptimalTreeOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OptimalTreeOracle, MatchesExactSolverUnderSufficientCondition) {
+  support::Rng rng(GetParam());
+  auto topo = topology::make_erdos_renyi(9, 0.4, {1000.0, 1000.0}, rng);
+  // Huge switch budgets: sufficient condition holds for 4 users.
+  const auto net =
+      net::assign_random_users(std::move(topo), 4, 100, {1e-3, 0.8}, rng);
+  ASSERT_TRUE(sufficient_condition_holds(net, net.users()));
+
+  const auto greedy = optimal_special_case(net, net.users());
+  const auto exact = solve_exact(net, net.users());
+  ASSERT_TRUE(exact.has_value()) << "oracle limits too small";
+  EXPECT_EQ(greedy.feasible, exact->feasible);
+  if (greedy.feasible) {
+    EXPECT_EQ(net::validate_tree(net, net.users(), greedy), "");
+    EXPECT_NEAR(greedy.rate, exact->rate, 1e-9 * exact->rate)
+        << "Theorem 3 violated: greedy " << greedy.rate << " vs optimal "
+        << exact->rate;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimalTreeOracle,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace muerp::routing

@@ -1,0 +1,125 @@
+#include "routing/prim_based.hpp"
+
+#include <gtest/gtest.h>
+
+#include "network/channel.hpp"
+#include "network/network_builder.hpp"
+#include "routing/optimal_tree.hpp"
+#include "support/rng.hpp"
+#include "topology/waxman.hpp"
+
+namespace muerp::routing {
+namespace {
+
+using net::NodeId;
+
+net::QuantumNetwork triangle_with_hub(int hub_qubits) {
+  net::NetworkBuilder b;
+  b.add_user({0, 0});
+  b.add_user({200, 0});
+  b.add_user({100, 170});
+  const NodeId hub = b.add_switch({100, 60}, hub_qubits);
+  for (NodeId u = 0; u < 3; ++u) b.connect_euclidean(u, hub);
+  return std::move(b).build({1e-4, 0.9});
+}
+
+TEST(PrimBased, BuildsValidTree) {
+  const auto net = triangle_with_hub(8);
+  const auto tree = prim_based_from(net, net.users(), 0);
+  ASSERT_TRUE(tree.feasible);
+  EXPECT_EQ(tree.channels.size(), 2u);
+  EXPECT_EQ(net::validate_tree(net, net.users(), tree), "");
+}
+
+TEST(PrimBased, RespectsCapacity) {
+  // Hub with 2 qubits: only one channel fits; no alternative -> infeasible.
+  const auto net = triangle_with_hub(2);
+  const auto tree = prim_based_from(net, net.users(), 0);
+  EXPECT_FALSE(tree.feasible);
+  EXPECT_DOUBLE_EQ(tree.rate, 0.0);
+  EXPECT_EQ(net::validate_tree(net, net.users(), tree), "");
+}
+
+TEST(PrimBased, ExactlyEnoughCapacity) {
+  // Q=4 hub: exactly the two channels a 3-user tree needs.
+  const auto net = triangle_with_hub(4);
+  const auto tree = prim_based_from(net, net.users(), 0);
+  ASSERT_TRUE(tree.feasible);
+  EXPECT_EQ(net::validate_tree(net, net.users(), tree), "");
+}
+
+TEST(PrimBased, DeterministicForFixedSeedUser) {
+  const auto net = triangle_with_hub(8);
+  const auto t1 = prim_based_from(net, net.users(), 1);
+  const auto t2 = prim_based_from(net, net.users(), 1);
+  ASSERT_EQ(t1.channels.size(), t2.channels.size());
+  EXPECT_DOUBLE_EQ(t1.rate, t2.rate);
+  for (std::size_t i = 0; i < t1.channels.size(); ++i) {
+    EXPECT_EQ(t1.channels[i].path, t2.channels[i].path);
+  }
+}
+
+TEST(PrimBased, RandomizedEntryPointUsesRng) {
+  const auto net = triangle_with_hub(8);
+  support::Rng rng(7);
+  const auto tree = prim_based(net, net.users(), rng);
+  EXPECT_TRUE(tree.feasible);
+  EXPECT_EQ(net::validate_tree(net, net.users(), tree), "");
+}
+
+TEST(PrimBased, SingleUser) {
+  net::NetworkBuilder b;
+  b.add_user({0, 0});
+  const auto net = std::move(b).build({1e-4, 0.9});
+  const auto tree = prim_based_from(net, net.users(), 0);
+  EXPECT_TRUE(tree.feasible);
+  EXPECT_DOUBLE_EQ(tree.rate, 1.0);
+}
+
+TEST(PrimBasedShared, DeductsFromSharedPool) {
+  const auto net = triangle_with_hub(8);
+  net::CapacityState cap(net);
+  const auto tree = prim_based_shared(net, net.users(), 0, cap);
+  ASSERT_TRUE(tree.feasible);
+  // Two channels through the hub: 4 qubits consumed from the shared pool.
+  EXPECT_EQ(cap.free_qubits(3), 4);
+}
+
+TEST(PrimBasedShared, SecondGroupSeesReducedCapacity) {
+  const auto net = triangle_with_hub(4);
+  net::CapacityState cap(net);
+  const auto first = prim_based_shared(net, net.users(), 0, cap);
+  ASSERT_TRUE(first.feasible);
+  // Pool exhausted: routing the same users again must fail.
+  const auto second = prim_based_shared(net, net.users(), 0, cap);
+  EXPECT_FALSE(second.feasible);
+}
+
+/// Property: valid output and bounded by the capacity-oblivious optimum for
+/// every seed user.
+class PrimBasedProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrimBasedProperty, AllSeedUsersYieldValidTrees) {
+  support::Rng rng(GetParam());
+  topology::WaxmanParams params;
+  params.node_count = 30;
+  params.average_degree = 5.0;
+  auto topo = topology::generate_waxman(params, rng);
+  const auto net =
+      net::assign_random_users(std::move(topo), 5, 4, {1e-4, 0.9}, rng);
+  const auto opt = optimal_special_case(net, net.users());
+
+  for (std::size_t seed = 0; seed < net.users().size(); ++seed) {
+    const auto tree = prim_based_from(net, net.users(), seed);
+    EXPECT_EQ(net::validate_tree(net, net.users(), tree), "");
+    if (tree.feasible) {
+      EXPECT_LE(tree.rate, opt.rate * (1.0 + 1e-9));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrimBasedProperty,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace muerp::routing

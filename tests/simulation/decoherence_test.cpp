@@ -1,0 +1,127 @@
+#include "simulation/decoherence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "network/network_builder.hpp"
+#include "network/rate.hpp"
+#include "support/rng.hpp"
+
+namespace muerp::sim {
+namespace {
+
+using net::NodeId;
+
+struct Fixture {
+  net::QuantumNetwork net;
+  net::EntanglementTree tree;
+};
+
+Fixture two_channel(double alpha, double q) {
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({2000, 0});
+  const NodeId u2 = b.add_user({4000, 0});
+  const NodeId s0 = b.add_switch({1000, 0}, 4);
+  const NodeId s1 = b.add_switch({3000, 0}, 4);
+  b.connect(u0, s0, 1000.0);
+  b.connect(s0, u1, 1000.0);
+  b.connect(u1, s1, 1000.0);
+  b.connect(s1, u2, 1000.0);
+  auto net = std::move(b).build({alpha, q});
+  net::Channel c1;
+  c1.path = {u0, s0, u1};
+  c1.rate = net::channel_rate(net, c1.path);
+  net::Channel c2;
+  c2.path = {u1, s1, u2};
+  c2.rate = net::channel_rate(net, c2.path);
+  net::EntanglementTree tree{{c1, c2}, c1.rate * c2.rate, true};
+  return {std::move(net), std::move(tree)};
+}
+
+DecoherenceParams default_params() {
+  DecoherenceParams params;
+  params.memory_slots = 10;
+  params.memory_decay_per_slot = 0.99;
+  params.fidelity.fresh_fidelity = 0.99;
+  params.fidelity.decay_per_km = 2e-5;
+  return params;
+}
+
+TEST(Decoherence, PerfectHardwareDeliversFreshFidelity) {
+  auto fx = two_channel(0.0, 1.0);
+  auto params = default_params();
+  const DecoherenceSimulator sim(fx.net, params);
+  support::Rng rng(1);
+  const auto outcome = sim.run_once(fx.tree, rng);
+  EXPECT_EQ(outcome.slots, 1u);
+  // Both channels complete in slot 1, zero waiting: no memory decay, so
+  // delivered fidelity equals the channel model's fresh value.
+  const double fresh = ext::channel_fidelity(
+      fx.net, fx.tree.channels[0].path, params.fidelity);
+  EXPECT_NEAR(outcome.worst_fidelity, fresh, 1e-12);
+}
+
+TEST(Decoherence, WaitingCostsFidelity) {
+  auto fx = two_channel(3e-4, 0.8);
+  auto params = default_params();
+  const DecoherenceSimulator sim(fx.net, params);
+  support::Rng rng(2);
+  const auto stats = sim.measure(fx.tree, 4000, rng);
+  ASSERT_GT(stats.completed_runs, 0u);
+  const double fresh = ext::channel_fidelity(
+      fx.net, fx.tree.channels[0].path, params.fidelity);
+  // Average delivered fidelity sits strictly below fresh (some runs wait),
+  // but above the worst case of a full memory window.
+  EXPECT_LT(stats.mean_worst_fidelity, fresh);
+  const double w_fresh = (4.0 * fresh - 1.0) / 3.0;
+  const double floor_fid =
+      0.25 + 0.75 * w_fresh *
+                 std::pow(params.memory_decay_per_slot,
+                          static_cast<double>(params.memory_slots));
+  EXPECT_GT(stats.mean_worst_fidelity, floor_fid - 1e-9);
+}
+
+TEST(Decoherence, LosslessMemoryPreservesFidelity) {
+  auto fx = two_channel(3e-4, 0.8);
+  auto params = default_params();
+  params.memory_decay_per_slot = 1.0;
+  const DecoherenceSimulator sim(fx.net, params);
+  support::Rng rng(3);
+  const auto stats = sim.measure(fx.tree, 2000, rng);
+  const double fresh = ext::channel_fidelity(
+      fx.net, fx.tree.channels[0].path, params.fidelity);
+  EXPECT_NEAR(stats.mean_worst_fidelity, fresh, 1e-9);
+}
+
+TEST(Decoherence, LargerMemoryFasterButDirtier) {
+  auto fx = two_channel(3e-4, 0.8);
+  auto small = default_params();
+  small.memory_slots = 1;
+  auto large = default_params();
+  large.memory_slots = 30;
+  const DecoherenceSimulator sim_small(fx.net, small);
+  const DecoherenceSimulator sim_large(fx.net, large);
+  support::Rng r1(4);
+  support::Rng r2(4);
+  const auto s = sim_small.measure(fx.tree, 4000, r1);
+  const auto l = sim_large.measure(fx.tree, 4000, r2);
+  ASSERT_GT(s.completed_runs, 0u);
+  ASSERT_GT(l.completed_runs, 0u);
+  EXPECT_LT(l.mean_slots, s.mean_slots);                       // faster
+  EXPECT_LT(l.mean_worst_fidelity, s.mean_worst_fidelity);     // dirtier
+}
+
+TEST(Decoherence, InfeasibleAndSingleton) {
+  auto fx = two_channel(3e-4, 0.8);
+  const DecoherenceSimulator sim(fx.net, default_params());
+  support::Rng rng(5);
+  net::EntanglementTree infeasible{{}, 0.0, false};
+  EXPECT_EQ(sim.run_once(infeasible, rng).slots, 0u);
+  net::EntanglementTree trivial{{}, 1.0, true};
+  const auto outcome = sim.run_once(trivial, rng);
+  EXPECT_EQ(outcome.slots, 1u);
+  EXPECT_DOUBLE_EQ(outcome.worst_fidelity, 1.0);
+}
+
+}  // namespace
+}  // namespace muerp::sim

@@ -1,0 +1,156 @@
+#include "simulation/monte_carlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "network/network_builder.hpp"
+#include "network/rate.hpp"
+#include "routing/conflict_free.hpp"
+#include "routing/optimal_tree.hpp"
+#include "support/rng.hpp"
+#include "topology/waxman.hpp"
+
+namespace muerp::sim {
+namespace {
+
+using net::NodeId;
+
+/// Checks |estimate - analytic| <= 4 sigma (+ tiny epsilon for sigma = 0).
+void expect_agrees(const Estimate& est, double analytic) {
+  EXPECT_NEAR(est.rate, analytic, 4.0 * est.std_error + 1e-9)
+      << "MC " << est.rate << " vs Eq. " << analytic;
+}
+
+net::QuantumNetwork two_hop_network(double alpha, double q) {
+  net::NetworkBuilder b;
+  b.add_user({0, 0});
+  b.add_switch({1000, 0}, 4);
+  b.add_user({2000, 0});
+  b.connect(0, 1, 1000.0);
+  b.connect(1, 2, 1000.0);
+  return std::move(b).build({alpha, q});
+}
+
+TEST(MonteCarlo, ChannelMatchesEq1) {
+  const auto net = two_hop_network(2e-4, 0.85);
+  net::Channel ch;
+  ch.path = {0, 1, 2};
+  ch.rate = net::channel_rate(net, ch.path);
+  net::EntanglementTree tree{{ch}, ch.rate, true};
+
+  const MonteCarloSimulator mc(net);
+  support::Rng rng(1);
+  const auto est = mc.estimate_tree_rate(tree, 200000, rng);
+  expect_agrees(est, ch.rate);
+}
+
+TEST(MonteCarlo, DeterministicGivenSeed) {
+  const auto net = two_hop_network(2e-4, 0.85);
+  net::Channel ch;
+  ch.path = {0, 1, 2};
+  ch.rate = net::channel_rate(net, ch.path);
+  net::EntanglementTree tree{{ch}, ch.rate, true};
+  const MonteCarloSimulator mc(net);
+  support::Rng r1(9);
+  support::Rng r2(9);
+  EXPECT_EQ(mc.estimate_tree_rate(tree, 10000, r1).successes,
+            mc.estimate_tree_rate(tree, 10000, r2).successes);
+}
+
+TEST(MonteCarlo, PerfectComponentsAlwaysSucceed) {
+  const auto net = two_hop_network(0.0, 1.0);
+  net::Channel ch;
+  ch.path = {0, 1, 2};
+  ch.rate = net::channel_rate(net, ch.path);
+  net::EntanglementTree tree{{ch}, ch.rate, true};
+  const MonteCarloSimulator mc(net);
+  support::Rng rng(2);
+  const auto est = mc.estimate_tree_rate(tree, 1000, rng);
+  EXPECT_DOUBLE_EQ(est.rate, 1.0);
+}
+
+TEST(MonteCarlo, InfeasibleTreeScoresZeroWithoutSampling) {
+  const auto net = two_hop_network(2e-4, 0.85);
+  net::EntanglementTree tree{{}, 0.0, false};
+  const MonteCarloSimulator mc(net);
+  support::Rng rng(3);
+  const auto est = mc.estimate_tree_rate(tree, 1000, rng);
+  EXPECT_DOUBLE_EQ(est.rate, 0.0);
+  EXPECT_EQ(est.successes, 0u);
+}
+
+TEST(MonteCarlo, MultiChannelTreeMatchesEq2) {
+  // 3 users, big hub; tree of 2 channels — the MC estimate must match the
+  // Eq. (2) product.
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({2000, 0});
+  const NodeId u2 = b.add_user({1000, 1700});
+  const NodeId hub = b.add_switch({1000, 600}, 20);
+  for (NodeId u : {u0, u1, u2}) b.connect_euclidean(u, hub);
+  const auto net = std::move(b).build({3e-4, 0.9});
+
+  const auto tree = routing::optimal_special_case(net, net.users());
+  ASSERT_TRUE(tree.feasible);
+  const MonteCarloSimulator mc(net);
+  support::Rng rng(4);
+  const auto est = mc.estimate_tree_rate(tree, 200000, rng);
+  expect_agrees(est, tree.rate);
+}
+
+TEST(MonteCarlo, FusionPlanMatchesModel) {
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({2000, 0});
+  const NodeId u2 = b.add_user({1000, 1700});
+  const NodeId hub = b.add_switch({1000, 600}, 20);
+  for (NodeId u : {u0, u1, u2}) b.connect_euclidean(u, hub);
+  const auto net = std::move(b).build({3e-4, 0.9});
+
+  baselines::NFusionParams params;
+  const auto plan = baselines::n_fusion(net, net.users(), params);
+  ASSERT_TRUE(plan.feasible);
+  const MonteCarloSimulator mc(net);
+  support::Rng rng(5);
+  const auto est =
+      mc.estimate_fusion_rate(plan, params.fusion_penalty, 200000, rng);
+  expect_agrees(est, plan.rate);
+}
+
+TEST(MonteCarlo, StdErrorShrinksWithRounds) {
+  const auto net = two_hop_network(2e-4, 0.85);
+  net::Channel ch;
+  ch.path = {0, 1, 2};
+  ch.rate = net::channel_rate(net, ch.path);
+  net::EntanglementTree tree{{ch}, ch.rate, true};
+  const MonteCarloSimulator mc(net);
+  support::Rng rng(6);
+  const auto small = mc.estimate_tree_rate(tree, 1000, rng);
+  const auto large = mc.estimate_tree_rate(tree, 100000, rng);
+  EXPECT_GT(small.std_error, large.std_error);
+}
+
+/// End-to-end agreement on realistic routed networks (paper defaults).
+class McEndToEnd : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(McEndToEnd, RoutedTreeAgreesWithClosedForm) {
+  support::Rng rng(GetParam());
+  topology::WaxmanParams params;
+  params.node_count = 30;
+  auto topo = topology::generate_waxman(params, rng);
+  // Large alpha so rates are big enough to measure in 50k rounds.
+  const auto net =
+      net::assign_random_users(std::move(topo), 4, 6, {5e-5, 0.95}, rng);
+  const auto tree = routing::conflict_free(net, net.users());
+  if (!tree.feasible) GTEST_SKIP() << "instance infeasible";
+  const MonteCarloSimulator mc(net);
+  const auto est = mc.estimate_tree_rate(tree, 50000, rng);
+  expect_agrees(est, tree.rate);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, McEndToEnd,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace muerp::sim

@@ -1,0 +1,138 @@
+#include "simulation/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "experiment/scenario.hpp"
+#include "network/network_builder.hpp"
+
+namespace muerp::sim {
+namespace {
+
+using net::NodeId;
+
+net::QuantumNetwork service_network() {
+  experiment::Scenario s;
+  s.switch_count = 30;
+  s.user_count = 8;
+  s.qubits_per_switch = 6;
+  s.attenuation = 2e-5;  // healthy per-window rates so sessions complete
+  s.seed = 11;
+  return experiment::instantiate(s, 0).network;
+}
+
+TEST(Protocol, AccountingIsConsistent) {
+  const auto net = service_network();
+  ProtocolParams params;
+  params.horizon_slots = 5000;
+  const ProtocolSimulator sim(net, params);
+  support::Rng rng(1);
+  const auto m = sim.run(rng);
+  EXPECT_EQ(m.sessions_arrived, m.sessions_admitted + m.sessions_rejected);
+  EXPECT_EQ(m.sessions_admitted,
+            m.sessions_completed + m.sessions_timed_out + m.sessions_in_flight);
+  EXPECT_GE(m.mean_qubit_utilization, 0.0);
+  EXPECT_LE(m.mean_qubit_utilization, 1.0);
+  EXPECT_GT(m.sessions_arrived, 0u);
+}
+
+TEST(Protocol, DeterministicForSeed) {
+  const auto net = service_network();
+  ProtocolParams params;
+  params.horizon_slots = 3000;
+  const ProtocolSimulator sim(net, params);
+  support::Rng r1(7);
+  support::Rng r2(7);
+  const auto m1 = sim.run(r1);
+  const auto m2 = sim.run(r2);
+  EXPECT_EQ(m1.sessions_arrived, m2.sessions_arrived);
+  EXPECT_EQ(m1.sessions_completed, m2.sessions_completed);
+  EXPECT_DOUBLE_EQ(m1.mean_completion_slots, m2.mean_completion_slots);
+}
+
+TEST(Protocol, ZeroArrivalsIdleSystem) {
+  const auto net = service_network();
+  ProtocolParams params;
+  params.arrival_prob_per_slot = 0.0;
+  params.horizon_slots = 1000;
+  const ProtocolSimulator sim(net, params);
+  support::Rng rng(2);
+  const auto m = sim.run(rng);
+  EXPECT_EQ(m.sessions_arrived, 0u);
+  EXPECT_DOUBLE_EQ(m.mean_qubit_utilization, 0.0);
+  EXPECT_DOUBLE_EQ(m.admitted_fraction(), 0.0);
+}
+
+TEST(Protocol, HigherLoadLowersAdmission) {
+  const auto net = service_network();
+  ProtocolParams light;
+  light.arrival_prob_per_slot = 0.005;
+  light.horizon_slots = 20000;
+  light.session_timeout_slots = 2000;
+  ProtocolParams heavy = light;
+  heavy.arrival_prob_per_slot = 0.2;
+  const ProtocolSimulator light_sim(net, light);
+  const ProtocolSimulator heavy_sim(net, heavy);
+  support::Rng r1(3);
+  support::Rng r2(3);
+  const auto m_light = light_sim.run(r1);
+  const auto m_heavy = heavy_sim.run(r2);
+  ASSERT_GT(m_light.sessions_arrived, 0u);
+  ASSERT_GT(m_heavy.sessions_arrived, 0u);
+  // More contention -> lower admitted fraction, higher utilization.
+  EXPECT_LE(m_heavy.admitted_fraction(), m_light.admitted_fraction() + 0.05);
+  EXPECT_GE(m_heavy.mean_qubit_utilization, m_light.mean_qubit_utilization);
+}
+
+TEST(Protocol, TightTimeoutProducesTimeouts) {
+  experiment::Scenario s;
+  s.switch_count = 30;
+  s.user_count = 8;
+  s.qubits_per_switch = 6;
+  s.attenuation = 5e-4;  // per-window rates are tiny -> timeouts dominate
+  s.seed = 12;
+  const auto net = experiment::instantiate(s, 0).network;
+  ProtocolParams params;
+  params.session_timeout_slots = 3;
+  params.horizon_slots = 5000;
+  params.arrival_prob_per_slot = 0.05;
+  const ProtocolSimulator sim(net, params);
+  support::Rng rng(4);
+  const auto m = sim.run(rng);
+  ASSERT_GT(m.sessions_admitted, 0u);
+  EXPECT_GT(m.sessions_timed_out, 0u);
+}
+
+TEST(Protocol, CompletionSlotsBoundedByTimeout) {
+  const auto net = service_network();
+  ProtocolParams params;
+  params.session_timeout_slots = 50;
+  params.horizon_slots = 10000;
+  const ProtocolSimulator sim(net, params);
+  support::Rng rng(5);
+  const auto m = sim.run(rng);
+  if (m.sessions_completed > 0) {
+    EXPECT_LE(m.mean_completion_slots,
+              static_cast<double>(params.session_timeout_slots) + 1.0);
+  }
+}
+
+class ProtocolLoadSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ProtocolLoadSweep, UtilizationStaysInUnitRange) {
+  const auto net = service_network();
+  ProtocolParams params;
+  params.arrival_prob_per_slot = GetParam();
+  params.horizon_slots = 4000;
+  const ProtocolSimulator sim(net, params);
+  support::Rng rng(static_cast<std::uint64_t>(GetParam() * 1000) + 9);
+  const auto m = sim.run(rng);
+  EXPECT_GE(m.mean_qubit_utilization, 0.0);
+  EXPECT_LE(m.mean_qubit_utilization, 1.0);
+  EXPECT_LE(m.completed_fraction_of_admitted(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, ProtocolLoadSweep,
+                         ::testing::Values(0.01, 0.05, 0.1, 0.3));
+
+}  // namespace
+}  // namespace muerp::sim

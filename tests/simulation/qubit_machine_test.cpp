@@ -1,0 +1,186 @@
+#include "simulation/qubit_machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "network/network_builder.hpp"
+#include "network/rate.hpp"
+#include "routing/conflict_free.hpp"
+#include "support/rng.hpp"
+#include "topology/waxman.hpp"
+
+namespace muerp::sim {
+namespace {
+
+using net::NodeId;
+
+net::QuantumNetwork two_hop(double alpha, double q, int qubits) {
+  net::NetworkBuilder b;
+  b.add_user({0, 0});
+  b.add_switch({1000, 0}, qubits);
+  b.add_user({2000, 0});
+  b.connect(0, 1, 1000.0);
+  b.connect(1, 2, 1000.0);
+  return std::move(b).build({alpha, q});
+}
+
+net::EntanglementTree single_channel_tree(const net::QuantumNetwork& net) {
+  net::Channel ch;
+  ch.path = {0, 1, 2};
+  ch.rate = net::channel_rate(net, ch.path);
+  return net::EntanglementTree{{ch}, ch.rate, true};
+}
+
+TEST(QubitMachine, AllocationUsesTwoQubitsPerRelay) {
+  const auto net = two_hop(2e-4, 0.9, 4);
+  const auto tree = single_channel_tree(net);
+  const QubitMachine machine(net);
+  support::Rng rng(1);
+  const auto window = machine.execute_window(tree, rng);
+  ASSERT_TRUE(window.allocation_valid);
+  EXPECT_EQ(window.qubits_used[1], 2);  // the relay switch
+  EXPECT_EQ(window.qubits_used[0], 0);  // users untracked
+  EXPECT_EQ(window.qubits_used[2], 0);
+}
+
+TEST(QubitMachine, DetectsOverbooking) {
+  // Q = 2 switch carrying two channels: 4 qubits needed, 2 available.
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({200, 0});
+  const NodeId u2 = b.add_user({100, 170});
+  const NodeId hub = b.add_switch({100, 60}, 2);
+  for (NodeId u : {u0, u1, u2}) b.connect_euclidean(u, hub);
+  const auto net = std::move(b).build({1e-4, 0.9});
+
+  auto mk = [&](NodeId a, NodeId c) {
+    net::Channel ch;
+    ch.path = {a, hub, c};
+    ch.rate = net::channel_rate(net, ch.path);
+    return ch;
+  };
+  net::EntanglementTree overbooked{{mk(u0, u1), mk(u0, u2)}, 0.1, true};
+  const QubitMachine machine(net);
+  support::Rng rng(2);
+  const auto window = machine.execute_window(overbooked, rng);
+  EXPECT_FALSE(window.allocation_valid);
+  EXPECT_EQ(window.overbooked_switch, hub);
+  EXPECT_DOUBLE_EQ(machine.estimate_rate(overbooked, 100, rng).rate, 0.0);
+}
+
+TEST(QubitMachine, PerfectHardwareAlwaysSucceeds) {
+  const auto net = two_hop(0.0, 1.0, 4);
+  const auto tree = single_channel_tree(net);
+  const QubitMachine machine(net);
+  support::Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const auto window = machine.execute_window(tree, rng);
+    ASSERT_TRUE(window.allocation_valid);
+    ASSERT_TRUE(window.success);
+  }
+}
+
+TEST(QubitMachine, AgreesWithEq1OnSingleChannel) {
+  const auto net = two_hop(2e-4, 0.85, 4);
+  const auto tree = single_channel_tree(net);
+  const QubitMachine machine(net);
+  support::Rng rng(4);
+  const auto est = machine.estimate_rate(tree, 200000, rng);
+  EXPECT_NEAR(est.rate, tree.rate, 4.0 * est.std_error + 1e-9);
+}
+
+TEST(QubitMachine, AgreesWithMonteCarloOnRoutedTrees) {
+  // The physical machine and the sampling simulator are independent
+  // implementations of the same process; their estimates must agree.
+  support::Rng gen(5);
+  topology::WaxmanParams params;
+  params.node_count = 25;
+  auto topo = topology::generate_waxman(params, gen);
+  const auto net =
+      net::assign_random_users(std::move(topo), 4, 6, {5e-5, 0.95}, gen);
+  const auto tree = routing::conflict_free(net, net.users());
+  if (!tree.feasible) GTEST_SKIP();
+
+  const QubitMachine machine(net);
+  const MonteCarloSimulator mc(net);
+  support::Rng r1(6);
+  support::Rng r2(6);
+  const auto physical = machine.estimate_rate(tree, 60000, r1);
+  const auto sampled = mc.estimate_tree_rate(tree, 60000, r2);
+  const double sigma =
+      std::sqrt(physical.std_error * physical.std_error +
+                sampled.std_error * sampled.std_error);
+  EXPECT_NEAR(physical.rate, sampled.rate, 4.0 * sigma + 1e-9);
+  EXPECT_NEAR(physical.rate, tree.rate, 4.0 * physical.std_error + 1e-9);
+}
+
+TEST(QubitMachine, InfeasibleTreeFailsCleanly) {
+  const auto net = two_hop(2e-4, 0.9, 4);
+  net::EntanglementTree infeasible{{}, 0.0, false};
+  const QubitMachine machine(net);
+  support::Rng rng(7);
+  const auto window = machine.execute_window(infeasible, rng);
+  EXPECT_FALSE(window.success);
+}
+
+TEST(QubitMachine, DirectUserChannelNeedsNoSwitchQubits) {
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({500, 0});
+  b.add_switch({250, 250}, 0);  // zero-qubit bystander
+  b.connect_euclidean(u0, u1);
+  const auto net = std::move(b).build({1e-4, 0.9});
+  net::Channel ch;
+  ch.path = {u0, u1};
+  ch.rate = net::channel_rate(net, ch.path);
+  net::EntanglementTree tree{{ch}, ch.rate, true};
+  const QubitMachine machine(net);
+  support::Rng rng(8);
+  const auto window = machine.execute_window(tree, rng);
+  EXPECT_TRUE(window.allocation_valid);
+  EXPECT_EQ(window.qubits_used[2], 0);
+}
+
+TEST(QubitMachine, ExactBudgetAllocates) {
+  // Q = 2 relay with exactly one channel: allocation must fit exactly.
+  const auto net = two_hop(2e-4, 0.9, 2);
+  const auto tree = single_channel_tree(net);
+  const QubitMachine machine(net);
+  support::Rng rng(9);
+  const auto window = machine.execute_window(tree, rng);
+  EXPECT_TRUE(window.allocation_valid);
+  EXPECT_EQ(window.qubits_used[1], 2);
+}
+
+class QubitMachineChainLengths : public ::testing::TestWithParam<int> {};
+
+TEST_P(QubitMachineChainLengths, MatchesClosedFormForAnyLength) {
+  const int switches = GetParam();
+  net::NetworkBuilder b;
+  NodeId prev = b.add_user({0, 0});
+  std::vector<NodeId> path{prev};
+  for (int i = 0; i < switches; ++i) {
+    const NodeId sw = b.add_switch({500.0 * (i + 1), 0}, 2);
+    b.connect(prev, sw, 500.0);
+    prev = sw;
+    path.push_back(sw);
+  }
+  const NodeId last = b.add_user({500.0 * (switches + 1), 0});
+  b.connect(prev, last, 500.0);
+  path.push_back(last);
+  const auto net = std::move(b).build({2e-4, 0.9});
+  net::Channel ch;
+  ch.rate = net::channel_rate(net, path);
+  ch.path = path;
+  net::EntanglementTree tree{{ch}, ch.rate, true};
+
+  const QubitMachine machine(net);
+  support::Rng rng(static_cast<std::uint64_t>(switches) + 10);
+  const auto est = machine.estimate_rate(tree, 100000, rng);
+  EXPECT_NEAR(est.rate, tree.rate, 4.0 * est.std_error + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Switches, QubitMachineChainLengths,
+                         ::testing::Values(0, 1, 2, 4, 6));
+
+}  // namespace
+}  // namespace muerp::sim

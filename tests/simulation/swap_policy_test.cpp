@@ -1,0 +1,149 @@
+#include "simulation/swap_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "network/network_builder.hpp"
+#include "network/rate.hpp"
+
+namespace muerp::sim {
+namespace {
+
+using net::NodeId;
+
+/// A channel with `switches` relays; uniform segment length.
+struct ChainFixture {
+  net::QuantumNetwork net;
+  net::Channel channel;
+};
+
+ChainFixture chain(std::size_t switches, double seg_km, double alpha,
+                   double q) {
+  net::NetworkBuilder b;
+  NodeId prev = b.add_user({0, 0});
+  std::vector<NodeId> path{prev};
+  for (std::size_t i = 0; i < switches; ++i) {
+    const NodeId sw = b.add_switch({seg_km * (i + 1.0), 0}, 4);
+    b.connect(prev, sw, seg_km);
+    prev = sw;
+    path.push_back(sw);
+  }
+  const NodeId last = b.add_user({seg_km * (switches + 1.0), 0});
+  b.connect(prev, last, seg_km);
+  path.push_back(last);
+  auto net = std::move(b).build({alpha, q});
+  net::Channel channel;
+  channel.rate = net::channel_rate(net, path);
+  channel.path = std::move(path);
+  return {std::move(net), std::move(channel)};
+}
+
+TEST(SwapPolicy, Names) {
+  EXPECT_STREQ(swap_policy_name(SwapPolicy::kAsap), "swap-asap");
+  EXPECT_STREQ(swap_policy_name(SwapPolicy::kLinear), "linear");
+  EXPECT_STREQ(swap_policy_name(SwapPolicy::kBalanced), "balanced");
+}
+
+TEST(SwapPolicy, SingleLinkIsGeometric) {
+  // No switches: completion is geometric in the link success probability,
+  // identical for every policy.
+  auto fx = chain(0, 1000.0, 5e-4, 0.9);
+  const SwapPolicySimulator sim(fx.net, fx.channel);
+  const double p = fx.net.link_success(*fx.net.graph().find_edge(0, 1));
+  for (SwapPolicy policy :
+       {SwapPolicy::kAsap, SwapPolicy::kLinear, SwapPolicy::kBalanced}) {
+    support::Rng rng(3);
+    const auto stats = sim.measure({.policy = policy}, 20000, rng);
+    EXPECT_EQ(stats.aborted_runs, 0u);
+    EXPECT_NEAR(stats.mean_slots, 1.0 / p, 0.05 / p)
+        << swap_policy_name(policy);
+  }
+}
+
+TEST(SwapPolicy, PerfectHardwareOneSlot) {
+  auto fx = chain(3, 100.0, 0.0, 1.0);
+  const SwapPolicySimulator sim(fx.net, fx.channel);
+  support::Rng rng(4);
+  EXPECT_EQ(sim.run_once({.policy = SwapPolicy::kAsap}, rng), 1u);
+  // Linear needs the chain to zip left to right, but with perfect swaps all
+  // merges fire within the first slot's swap loop.
+  EXPECT_EQ(sim.run_once({.policy = SwapPolicy::kLinear}, rng), 1u);
+  EXPECT_EQ(sim.run_once({.policy = SwapPolicy::kBalanced}, rng), 1u);
+}
+
+TEST(SwapPolicy, AbortsAtMaxSlots) {
+  auto fx = chain(2, 20000.0, 5e-4, 0.5);  // per-link p ~ e^-10
+  const SwapPolicySimulator sim(fx.net, fx.channel);
+  support::Rng rng(5);
+  SwapPolicyParams params;
+  params.max_slots = 50;
+  EXPECT_EQ(sim.run_once(params, rng), 0u);
+}
+
+TEST(SwapPolicy, AsapBeatsLinearOnLongChains) {
+  // With several relays, extending strictly from the source wastes the
+  // parallel generation on the far side; ASAP merges anywhere.
+  auto fx = chain(5, 800.0, 4e-4, 0.85);
+  const SwapPolicySimulator sim(fx.net, fx.channel);
+  support::Rng r1(6);
+  support::Rng r2(6);
+  const auto asap = sim.measure({.policy = SwapPolicy::kAsap}, 3000, r1);
+  const auto linear = sim.measure({.policy = SwapPolicy::kLinear}, 3000, r2);
+  ASSERT_GT(asap.completed_runs, 0u);
+  ASSERT_GT(linear.completed_runs, 0u);
+  EXPECT_LT(asap.mean_slots, linear.mean_slots);
+}
+
+TEST(SwapPolicy, BalancedBeatsLinearOnLongChains) {
+  auto fx = chain(7, 800.0, 4e-4, 0.85);
+  const SwapPolicySimulator sim(fx.net, fx.channel);
+  support::Rng r1(7);
+  support::Rng r2(7);
+  const auto balanced =
+      sim.measure({.policy = SwapPolicy::kBalanced}, 2000, r1);
+  const auto linear = sim.measure({.policy = SwapPolicy::kLinear}, 2000, r2);
+  ASSERT_GT(balanced.completed_runs, 0u);
+  ASSERT_GT(linear.completed_runs, 0u);
+  EXPECT_LT(balanced.mean_slots, linear.mean_slots);
+}
+
+TEST(SwapPolicy, MemoryCutoffSlowsCompletion) {
+  auto fx = chain(3, 1000.0, 4e-4, 0.9);
+  const SwapPolicySimulator sim(fx.net, fx.channel);
+  support::Rng r1(8);
+  support::Rng r2(8);
+  const auto unlimited =
+      sim.measure({.policy = SwapPolicy::kAsap, .memory_slots = 0}, 3000, r1);
+  const auto tight =
+      sim.measure({.policy = SwapPolicy::kAsap, .memory_slots = 2}, 3000, r2);
+  ASSERT_GT(unlimited.completed_runs, 0u);
+  ASSERT_GT(tight.completed_runs, 0u);
+  EXPECT_GT(tight.mean_slots, unlimited.mean_slots);
+}
+
+TEST(SwapPolicy, DeterministicGivenSeed) {
+  auto fx = chain(3, 900.0, 4e-4, 0.9);
+  const SwapPolicySimulator sim(fx.net, fx.channel);
+  support::Rng r1(9);
+  support::Rng r2(9);
+  EXPECT_EQ(sim.run_once({.policy = SwapPolicy::kBalanced}, r1),
+            sim.run_once({.policy = SwapPolicy::kBalanced}, r2));
+}
+
+class PolicySweep : public ::testing::TestWithParam<SwapPolicy> {};
+
+TEST_P(PolicySweep, AllPoliciesEventuallyComplete) {
+  auto fx = chain(4, 600.0, 4e-4, 0.9);
+  const SwapPolicySimulator sim(fx.net, fx.channel);
+  support::Rng rng(10);
+  const auto stats = sim.measure({.policy = GetParam()}, 500, rng);
+  EXPECT_EQ(stats.aborted_runs, 0u);
+  EXPECT_GT(stats.mean_slots, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, PolicySweep,
+                         ::testing::Values(SwapPolicy::kAsap,
+                                           SwapPolicy::kLinear,
+                                           SwapPolicy::kBalanced));
+
+}  // namespace
+}  // namespace muerp::sim

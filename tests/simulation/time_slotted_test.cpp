@@ -1,0 +1,136 @@
+#include "simulation/time_slotted.hpp"
+
+#include <gtest/gtest.h>
+
+#include "network/network_builder.hpp"
+#include "network/rate.hpp"
+#include "support/rng.hpp"
+
+namespace muerp::sim {
+namespace {
+
+using net::NodeId;
+
+/// Two channels through independent switches, moderate per-slot rates.
+struct Fixture {
+  net::QuantumNetwork net;
+  net::EntanglementTree tree;
+};
+
+Fixture two_channel_fixture(double alpha, double q) {
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({2000, 0});
+  const NodeId u2 = b.add_user({4000, 0});
+  const NodeId s0 = b.add_switch({1000, 0}, 4);
+  const NodeId s1 = b.add_switch({3000, 0}, 4);
+  b.connect(u0, s0, 1000.0);
+  b.connect(s0, u1, 1000.0);
+  b.connect(u1, s1, 1000.0);
+  b.connect(s1, u2, 1000.0);
+  auto net = std::move(b).build({alpha, q});
+  net::Channel c1;
+  c1.path = {u0, s0, u1};
+  c1.rate = net::channel_rate(net, c1.path);
+  net::Channel c2;
+  c2.path = {u1, s1, u2};
+  c2.rate = net::channel_rate(net, c2.path);
+  net::EntanglementTree tree{{c1, c2}, c1.rate * c2.rate, true};
+  return {std::move(net), std::move(tree)};
+}
+
+TEST(TimeSlotted, ZeroMemoryIsGeometric) {
+  // With no memory the completion time is geometric with the Eq. (2)
+  // probability: mean = 1/P.
+  auto fx = two_channel_fixture(2e-4, 0.9);
+  const TimeSlottedSimulator sim(fx.net, {.memory_slots = 0});
+  support::Rng rng(1);
+  const auto stats = sim.measure(fx.tree, 20000, rng);
+  EXPECT_EQ(stats.aborted_runs, 0u);
+  const double expected = 1.0 / fx.tree.rate;
+  // Geometric stddev ~ mean; 20k runs give stderr ~ mean/sqrt(20000).
+  EXPECT_NEAR(stats.mean_slots, expected, 5.0 * expected / 140.0);
+}
+
+TEST(TimeSlotted, ZeroMemoryVarianceIsGeometric) {
+  // Beyond the mean, the full distribution must be geometric:
+  // stddev = sqrt(1-P)/P.
+  auto fx = two_channel_fixture(2e-4, 0.9);
+  const TimeSlottedSimulator sim(fx.net, {.memory_slots = 0});
+  support::Rng rng(42);
+  const auto stats = sim.measure(fx.tree, 20000, rng);
+  const double p = fx.tree.rate;
+  const double expected_sd = std::sqrt(1.0 - p) / p;
+  EXPECT_NEAR(stats.stddev_slots, expected_sd, 0.1 * expected_sd);
+}
+
+TEST(TimeSlotted, MemoryReducesCompletionTime) {
+  auto fx = two_channel_fixture(3e-4, 0.8);
+  support::Rng r0(2);
+  support::Rng r1(2);
+  const TimeSlottedSimulator none(fx.net, {.memory_slots = 0});
+  const TimeSlottedSimulator some(fx.net, {.memory_slots = 10});
+  const auto slow = none.measure(fx.tree, 5000, r0);
+  const auto fast = some.measure(fx.tree, 5000, r1);
+  ASSERT_GT(slow.completed_runs, 0u);
+  ASSERT_GT(fast.completed_runs, 0u);
+  EXPECT_LT(fast.mean_slots, slow.mean_slots);
+}
+
+TEST(TimeSlotted, PerfectTreeCompletesInOneSlot) {
+  auto fx = two_channel_fixture(0.0, 1.0);
+  const TimeSlottedSimulator sim(fx.net);
+  support::Rng rng(3);
+  EXPECT_EQ(sim.run_once(fx.tree, rng), 1u);
+}
+
+TEST(TimeSlotted, InfeasibleTreeAborts) {
+  auto fx = two_channel_fixture(2e-4, 0.9);
+  net::EntanglementTree infeasible{{}, 0.0, false};
+  const TimeSlottedSimulator sim(fx.net);
+  support::Rng rng(4);
+  EXPECT_EQ(sim.run_once(infeasible, rng), 0u);
+  const auto stats = sim.measure(infeasible, 10, rng);
+  EXPECT_EQ(stats.completed_runs, 0u);
+  EXPECT_EQ(stats.aborted_runs, 10u);
+}
+
+TEST(TimeSlotted, MaxSlotsAborts) {
+  // Practically-zero success rate with a tiny slot budget must abort.
+  auto fx = two_channel_fixture(5e-3, 0.5);  // rate ~ e^-20
+  TimeSlottedParams params;
+  params.max_slots = 100;
+  const TimeSlottedSimulator sim(fx.net, params);
+  support::Rng rng(5);
+  EXPECT_EQ(sim.run_once(fx.tree, rng), 0u);
+}
+
+TEST(TimeSlotted, SingletonTreeInstant) {
+  auto fx = two_channel_fixture(2e-4, 0.9);
+  net::EntanglementTree empty{{}, 1.0, true};
+  const TimeSlottedSimulator sim(fx.net);
+  support::Rng rng(6);
+  EXPECT_EQ(sim.run_once(empty, rng), 1u);
+}
+
+class MemorySweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(MemorySweep, MeanSlotsNeverBelowIndependentBound) {
+  // Even with memory, completion can never beat the slowest channel's
+  // geometric expectation (it must succeed at least once).
+  auto fx = two_channel_fixture(3e-4, 0.8);
+  const double worst_channel_rate =
+      std::min(fx.tree.channels[0].rate, fx.tree.channels[1].rate);
+  const TimeSlottedSimulator sim(fx.net, {.memory_slots = GetParam()});
+  support::Rng rng(GetParam() + 100);
+  const auto stats = sim.measure(fx.tree, 5000, rng);
+  ASSERT_GT(stats.completed_runs, 0u);
+  const double bound = 1.0 / worst_channel_rate;
+  EXPECT_GT(stats.mean_slots, 0.8 * bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Memories, MemorySweep,
+                         ::testing::Values(0, 1, 2, 5, 10, 50));
+
+}  // namespace
+}  // namespace muerp::sim

@@ -1,0 +1,112 @@
+#include "support/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace muerp::support {
+namespace {
+
+CliParser make_parser() {
+  CliParser p("test tool");
+  p.add_flag("users", "number of users", "10");
+  p.add_flag("rate", "target rate", "0.5");
+  p.add_flag("verbose", "chatty output");
+  p.add_flag("name", "label", "default-name");
+  return p;
+}
+
+TEST(Cli, DefaultsWhenNotSet) {
+  auto p = make_parser();
+  const char* argv[] = {"tool"};
+  ASSERT_TRUE(p.parse(1, argv));
+  EXPECT_EQ(p.get_string("name"), "default-name");
+  EXPECT_EQ(p.get_int("users"), 10);
+  EXPECT_EQ(p.get_double("rate"), 0.5);
+  EXPECT_FALSE(p.get_bool("verbose"));
+  EXPECT_FALSE(p.was_set("users"));
+}
+
+TEST(Cli, SpaceSeparatedValues) {
+  auto p = make_parser();
+  const char* argv[] = {"tool", "--users", "25", "--rate", "0.125"};
+  ASSERT_TRUE(p.parse(5, argv));
+  EXPECT_EQ(p.get_int("users"), 25);
+  EXPECT_EQ(p.get_double("rate"), 0.125);
+  EXPECT_TRUE(p.was_set("users"));
+}
+
+TEST(Cli, EqualsSeparatedValues) {
+  auto p = make_parser();
+  const char* argv[] = {"tool", "--users=7", "--name=alpha"};
+  ASSERT_TRUE(p.parse(3, argv));
+  EXPECT_EQ(p.get_int("users"), 7);
+  EXPECT_EQ(p.get_string("name"), "alpha");
+}
+
+TEST(Cli, BooleanSwitchForm) {
+  auto p = make_parser();
+  const char* argv[] = {"tool", "--verbose", "--users", "3"};
+  ASSERT_TRUE(p.parse(4, argv));
+  EXPECT_TRUE(p.get_bool("verbose"));
+  EXPECT_EQ(p.get_int("users"), 3);
+}
+
+TEST(Cli, BooleanAtEnd) {
+  auto p = make_parser();
+  const char* argv[] = {"tool", "--verbose"};
+  ASSERT_TRUE(p.parse(2, argv));
+  EXPECT_TRUE(p.get_bool("verbose"));
+}
+
+TEST(Cli, UnknownFlagFails) {
+  auto p = make_parser();
+  const char* argv[] = {"tool", "--nope", "1"};
+  EXPECT_FALSE(p.parse(3, argv));
+}
+
+TEST(Cli, HelpFails) {
+  auto p = make_parser();
+  const char* argv[] = {"tool", "--help"};
+  EXPECT_FALSE(p.parse(2, argv));
+}
+
+TEST(Cli, PositionalArgumentsCollected) {
+  auto p = make_parser();
+  const char* argv[] = {"tool", "input.txt", "--users", "2", "output.txt"};
+  ASSERT_TRUE(p.parse(5, argv));
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "input.txt");
+  EXPECT_EQ(p.positional()[1], "output.txt");
+}
+
+TEST(Cli, BadNumberIsNullopt) {
+  auto p = make_parser();
+  const char* argv[] = {"tool", "--users", "many", "--rate", "fast"};
+  ASSERT_TRUE(p.parse(5, argv));
+  EXPECT_FALSE(p.get_int("users").has_value());
+  EXPECT_FALSE(p.get_double("rate").has_value());
+}
+
+TEST(Cli, UsageMentionsFlagsAndDefaults) {
+  auto p = make_parser();
+  const std::string usage = p.usage("tool");
+  EXPECT_NE(usage.find("--users"), std::string::npos);
+  EXPECT_NE(usage.find("default: 10"), std::string::npos);
+  EXPECT_NE(usage.find("number of users"), std::string::npos);
+}
+
+TEST(Cli, BoolTruthyForms) {
+  for (const char* value : {"true", "1", "yes", "on"}) {
+    auto p = make_parser();
+    const std::string arg = std::string("--verbose=") + value;
+    const char* argv[] = {"tool", arg.c_str()};
+    ASSERT_TRUE(p.parse(2, argv));
+    EXPECT_TRUE(p.get_bool("verbose")) << value;
+  }
+  auto p = make_parser();
+  const char* argv[] = {"tool", "--verbose=false"};
+  ASSERT_TRUE(p.parse(2, argv));
+  EXPECT_FALSE(p.get_bool("verbose"));
+}
+
+}  // namespace
+}  // namespace muerp::support

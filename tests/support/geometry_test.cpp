@@ -1,0 +1,103 @@
+#include "support/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/rng.hpp"
+
+namespace muerp::support {
+namespace {
+
+TEST(Geometry, DistanceBasics) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(distance({-3, 0}, {3, 0}), 6.0);
+}
+
+TEST(Geometry, DistanceIsSymmetric) {
+  const Point2D a{1.5, -2.25};
+  const Point2D b{-7.0, 9.5};
+  EXPECT_DOUBLE_EQ(distance(a, b), distance(b, a));
+}
+
+TEST(Geometry, DistanceSquaredConsistent) {
+  const Point2D a{2, 3};
+  const Point2D b{5, 7};
+  EXPECT_DOUBLE_EQ(distance_squared(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(std::sqrt(distance_squared(a, b)), distance(a, b));
+}
+
+TEST(Geometry, TriangleInequality) {
+  Rng rng(5);
+  const Region region{100.0, 100.0};
+  for (int i = 0; i < 200; ++i) {
+    const auto pts = uniform_points(region, 3, rng);
+    EXPECT_LE(distance(pts[0], pts[2]),
+              distance(pts[0], pts[1]) + distance(pts[1], pts[2]) + 1e-12);
+  }
+}
+
+TEST(Geometry, RegionDiagonal) {
+  const Region region{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(region.diagonal(), 5.0);
+}
+
+TEST(Geometry, RegionContains) {
+  const Region region{10.0, 20.0};
+  EXPECT_TRUE(region.contains({0.0, 0.0}));
+  EXPECT_TRUE(region.contains({10.0, 20.0}));
+  EXPECT_TRUE(region.contains({5.0, 5.0}));
+  EXPECT_FALSE(region.contains({-0.1, 5.0}));
+  EXPECT_FALSE(region.contains({5.0, 20.1}));
+}
+
+TEST(Geometry, UniformPointsStayInRegion) {
+  Rng rng(6);
+  const Region region{10000.0, 10000.0};  // paper's deployment area
+  for (const auto& p : uniform_points(region, 5000, rng)) {
+    ASSERT_TRUE(region.contains(p));
+  }
+}
+
+TEST(Geometry, UniformPointsCount) {
+  Rng rng(7);
+  EXPECT_EQ(uniform_points({1, 1}, 0, rng).size(), 0u);
+  EXPECT_EQ(uniform_points({1, 1}, 17, rng).size(), 17u);
+}
+
+TEST(Geometry, UniformPointsMeanIsCentre) {
+  Rng rng(8);
+  const Region region{100.0, 50.0};
+  double sx = 0.0;
+  double sy = 0.0;
+  constexpr int kN = 20000;
+  for (const auto& p : uniform_points(region, kN, rng)) {
+    sx += p.x;
+    sy += p.y;
+  }
+  EXPECT_NEAR(sx / kN, 50.0, 1.0);
+  EXPECT_NEAR(sy / kN, 25.0, 0.5);
+}
+
+TEST(Geometry, RingPointsEquidistantFromCentre) {
+  const Region region{100.0, 100.0};
+  const auto pts = ring_points(region, 12, 30.0);
+  ASSERT_EQ(pts.size(), 12u);
+  const Point2D centre{50.0, 50.0};
+  for (const auto& p : pts) {
+    EXPECT_NEAR(distance(p, centre), 30.0, 1e-9);
+  }
+}
+
+TEST(Geometry, RingPointsNeighboursEquallySpaced) {
+  const Region region{100.0, 100.0};
+  const auto pts = ring_points(region, 8, 10.0);
+  const double d0 = distance(pts[0], pts[1]);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_NEAR(distance(pts[i], pts[(i + 1) % pts.size()]), d0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace muerp::support

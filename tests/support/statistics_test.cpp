@@ -1,0 +1,128 @@
+#include "support/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace muerp::support {
+namespace {
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.stderr_mean(), 0.0);
+}
+
+TEST(Accumulator, SingleValue) {
+  Accumulator acc;
+  acc.add(3.5);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 3.5);
+  EXPECT_DOUBLE_EQ(acc.max(), 3.5);
+}
+
+TEST(Accumulator, KnownSample) {
+  Accumulator acc;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(v);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(Accumulator, WelfordMatchesNaiveOnRandomData) {
+  Rng rng(3);
+  Accumulator acc;
+  std::vector<double> data;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-5.0, 5.0);
+    data.push_back(v);
+    acc.add(v);
+  }
+  double sum = 0.0;
+  for (double v : data) sum += v;
+  const double mean = sum / static_cast<double>(data.size());
+  double ss = 0.0;
+  for (double v : data) ss += (v - mean) * (v - mean);
+  EXPECT_NEAR(acc.mean(), mean, 1e-12);
+  EXPECT_NEAR(acc.variance(), ss / (static_cast<double>(data.size()) - 1),
+              1e-10);
+}
+
+TEST(Summarize, MatchesAccumulator) {
+  const std::vector<double> data{1.0, 2.0, 3.0, 4.0};
+  const Summary s = summarize(data);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Mean, EmptyAndBasic) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  const std::vector<double> data{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(mean(data), 0.5);
+}
+
+TEST(GeometricMean, PositivesOnly) {
+  const std::vector<double> data{1.0, 100.0};
+  const auto gm = geometric_mean_positive(data);
+  ASSERT_TRUE(gm.has_value());
+  EXPECT_NEAR(*gm, 10.0, 1e-9);
+}
+
+TEST(GeometricMean, IgnoresZeros) {
+  const std::vector<double> data{0.0, 4.0, 9.0, 0.0};
+  const auto gm = geometric_mean_positive(data);
+  ASSERT_TRUE(gm.has_value());
+  EXPECT_NEAR(*gm, 6.0, 1e-9);
+}
+
+TEST(GeometricMean, AllZerosIsNullopt) {
+  const std::vector<double> data{0.0, 0.0};
+  EXPECT_FALSE(geometric_mean_positive(data).has_value());
+  EXPECT_FALSE(geometric_mean_positive({}).has_value());
+}
+
+TEST(GeometricMean, SurvivesTinyRates) {
+  // Entanglement rates underflow ordinary products; log-space must not.
+  const std::vector<double> data{1e-300, 1e-280};
+  const auto gm = geometric_mean_positive(data);
+  ASSERT_TRUE(gm.has_value());
+  EXPECT_NEAR(std::log10(*gm), -290.0, 0.5);
+}
+
+TEST(PositiveFraction, Basics) {
+  EXPECT_DOUBLE_EQ(positive_fraction({}), 0.0);
+  const std::vector<double> data{0.0, 1.0, 2.0, 0.0};
+  EXPECT_DOUBLE_EQ(positive_fraction(data), 0.5);
+}
+
+TEST(Confidence95, KnownValue) {
+  Summary s;
+  s.stderr_mean = 1.0;
+  EXPECT_NEAR(confidence95_half_width(s), 1.96, 0.001);
+}
+
+TEST(Quantile, MedianAndExtremes) {
+  std::vector<double> data{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(data, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(data, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(data, 1.0), 5.0);
+}
+
+TEST(Quantile, Interpolates) {
+  std::vector<double> data{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(data, 0.25), 2.5);
+}
+
+}  // namespace
+}  // namespace muerp::support

@@ -1,0 +1,60 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace muerp::support {
+namespace {
+
+TEST(FormatRate, ZeroAndScientific) {
+  EXPECT_EQ(format_rate(0.0), "0");
+  EXPECT_EQ(format_rate(3.14159e-4), "3.142e-04");
+  EXPECT_EQ(format_rate(1.0), "1.000e+00");
+}
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t("Fig X", {"param", "Alg-2", "Alg-3"});
+  t.add_row("10", {1e-3, 2e-4});
+  t.add_row("20", {0.0, 5e-5});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("Fig X"), std::string::npos);
+  EXPECT_NE(out.find("Alg-2"), std::string::npos);
+  EXPECT_NE(out.find("1.000e-03"), std::string::npos);
+  EXPECT_NE(out.find("5.000e-05"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, CsvEscapesSpecialCells) {
+  Table t("title", {"a", "b"});
+  t.add_text_row({"has,comma", "has\"quote"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, CsvHeaderFirst) {
+  Table t("title", {"x", "y"});
+  t.add_row("1", {2.0});
+  const std::string csv = t.to_csv();
+  EXPECT_EQ(csv.substr(0, 4), "x,y\n");
+}
+
+TEST(Table, ColumnsAreAligned) {
+  Table t("align", {"p", "value"});
+  t.add_row("longlabel", {1.0});
+  t.add_row("s", {2.0});
+  const std::string out = t.to_string();
+  // Both data rows must place the value column at the same offset.
+  const auto pos1 = out.find("1.000e+00");
+  const auto pos2 = out.find("2.000e+00");
+  ASSERT_NE(pos1, std::string::npos);
+  ASSERT_NE(pos2, std::string::npos);
+  const auto line_start = [&](std::size_t pos) {
+    return pos - out.rfind('\n', pos) - 1;
+  };
+  EXPECT_EQ(line_start(pos1), line_start(pos2));
+}
+
+}  // namespace
+}  // namespace muerp::support

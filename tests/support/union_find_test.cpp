@@ -1,0 +1,116 @@
+#include "support/union_find.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace muerp::support {
+namespace {
+
+TEST(UnionFind, StartsAsSingletons) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.set_count(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.find(i), i);
+    EXPECT_EQ(uf.set_size(i), 1u);
+  }
+}
+
+TEST(UnionFind, UniteMerges) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.connected(0, 1));
+  EXPECT_FALSE(uf.connected(0, 2));
+  EXPECT_EQ(uf.set_count(), 3u);
+  EXPECT_EQ(uf.set_size(0), 2u);
+}
+
+TEST(UnionFind, UniteSameSetReturnsFalse) {
+  UnionFind uf(3);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(1, 0));
+  EXPECT_FALSE(uf.unite(0, 0));
+  EXPECT_EQ(uf.set_count(), 2u);
+}
+
+TEST(UnionFind, TransitiveConnectivity) {
+  UnionFind uf(6);
+  uf.unite(0, 1);
+  uf.unite(2, 3);
+  EXPECT_FALSE(uf.connected(0, 3));
+  uf.unite(1, 2);
+  EXPECT_TRUE(uf.connected(0, 3));
+  EXPECT_EQ(uf.set_size(3), 4u);
+}
+
+TEST(UnionFind, ChainCollapsesToOneSet) {
+  constexpr std::size_t kN = 1000;
+  UnionFind uf(kN);
+  for (std::size_t i = 0; i + 1 < kN; ++i) uf.unite(i, i + 1);
+  EXPECT_EQ(uf.set_count(), 1u);
+  EXPECT_TRUE(uf.connected(0, kN - 1));
+  EXPECT_EQ(uf.set_size(kN / 2), kN);
+}
+
+TEST(UnionFind, ResetRestoresSingletons) {
+  UnionFind uf(10);
+  uf.unite(0, 9);
+  uf.unite(3, 4);
+  uf.reset();
+  EXPECT_EQ(uf.set_count(), 10u);
+  EXPECT_FALSE(uf.connected(0, 9));
+  EXPECT_EQ(uf.set_size(3), 1u);
+}
+
+TEST(UnionFind, EmptyStructure) {
+  UnionFind uf(0);
+  EXPECT_EQ(uf.set_count(), 0u);
+  EXPECT_EQ(uf.size(), 0u);
+}
+
+/// Property: against a naive partition model over random operations.
+class UnionFindRandomOps : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UnionFindRandomOps, AgreesWithNaiveModel) {
+  constexpr std::size_t kN = 64;
+  Rng rng(GetParam());
+  UnionFind uf(kN);
+  std::vector<std::size_t> model(kN);  // model[i] = naive group label
+  for (std::size_t i = 0; i < kN; ++i) model[i] = i;
+
+  for (int op = 0; op < 500; ++op) {
+    const auto a = static_cast<std::size_t>(rng.uniform_index(kN));
+    const auto b = static_cast<std::size_t>(rng.uniform_index(kN));
+    if (rng.bernoulli(0.5)) {
+      const bool merged = uf.unite(a, b);
+      EXPECT_EQ(merged, model[a] != model[b]);
+      if (model[a] != model[b]) {
+        const std::size_t from = model[b];
+        const std::size_t to = model[a];
+        for (auto& label : model) {
+          if (label == from) label = to;
+        }
+      }
+    } else {
+      EXPECT_EQ(uf.connected(a, b), model[a] == model[b]);
+    }
+  }
+
+  std::set<std::size_t> labels(model.begin(), model.end());
+  EXPECT_EQ(uf.set_count(), labels.size());
+  std::map<std::size_t, std::size_t> sizes;
+  for (std::size_t label : model) ++sizes[label];
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(uf.set_size(i), sizes[model[i]]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnionFindRandomOps,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace muerp::support

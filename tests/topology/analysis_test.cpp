@@ -1,0 +1,215 @@
+#include "topology/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "support/rng.hpp"
+#include "topology/structured.hpp"
+#include "topology/volchenkov.hpp"
+#include "topology/watts_strogatz.hpp"
+
+namespace muerp::topology {
+namespace {
+
+TEST(DegreeStats, PathGraph) {
+  const auto g = make_path(5, 1.0);
+  const auto stats = degree_statistics(g.graph);
+  EXPECT_DOUBLE_EQ(stats.mean, 2.0 * 4.0 / 5.0);
+  EXPECT_DOUBLE_EQ(stats.min, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max, 2.0);
+  ASSERT_EQ(stats.histogram.size(), 3u);
+  EXPECT_EQ(stats.histogram[1], 2u);  // endpoints
+  EXPECT_EQ(stats.histogram[2], 3u);  // interior
+}
+
+TEST(DegreeStats, EmptyGraph) {
+  const auto stats = degree_statistics(graph::Graph{});
+  EXPECT_DOUBLE_EQ(stats.mean, 0.0);
+  EXPECT_TRUE(stats.histogram.empty());
+}
+
+TEST(Clustering, CompleteGraphIsOne) {
+  const auto g = make_complete(6, 1.0);
+  EXPECT_NEAR(average_clustering_coefficient(g.graph), 1.0, 1e-12);
+}
+
+TEST(Clustering, TreeIsZero) {
+  const auto g = make_path(8, 1.0);
+  EXPECT_DOUBLE_EQ(average_clustering_coefficient(g.graph), 0.0);
+  const auto star = make_star(6, 1.0);
+  EXPECT_DOUBLE_EQ(average_clustering_coefficient(star.graph), 0.0);
+}
+
+TEST(Clustering, TriangleWithTail) {
+  // Triangle 0-1-2 plus tail 2-3: C_0 = C_1 = 1, C_2 = 1/3, C_3 = 0.
+  graph::Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(2, 3, 1.0);
+  EXPECT_NEAR(average_clustering_coefficient(g),
+              (1.0 + 1.0 + 1.0 / 3.0 + 0.0) / 4.0, 1e-12);
+}
+
+TEST(PathLength, PathGraphClosedForm) {
+  // L of a path on n vertices = (n+1)/3.
+  const auto g = make_path(7, 1.0);
+  EXPECT_NEAR(characteristic_path_length(g.graph), 8.0 / 3.0, 1e-12);
+}
+
+TEST(PathLength, CompleteGraphIsOne) {
+  const auto g = make_complete(5, 1.0);
+  EXPECT_DOUBLE_EQ(characteristic_path_length(g.graph), 1.0);
+}
+
+TEST(PathLength, IgnoresDisconnectedPairs) {
+  graph::Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);
+  EXPECT_DOUBLE_EQ(characteristic_path_length(g), 1.0);
+}
+
+TEST(SmallWorld, WattsStrogatzBeatsRewiredLattice) {
+  // Small rewiring keeps high clustering but collapses path length ->
+  // sigma well above 1; heavy rewiring destroys the clustering.
+  support::Rng r1(1);
+  WattsStrogatzParams params;
+  params.node_count = 120;
+  params.nearest_neighbors = 6;
+  params.rewire_prob = 0.05;
+  const auto small_world = generate_watts_strogatz(params, r1);
+  const double sigma_sw = small_world_sigma(small_world.graph);
+  EXPECT_GT(sigma_sw, 1.5);
+
+  support::Rng r2(1);
+  params.rewire_prob = 1.0;
+  const auto random_like = generate_watts_strogatz(params, r2);
+  EXPECT_GT(sigma_sw, small_world_sigma(random_like.graph));
+}
+
+TEST(PowerLaw, EstimatesVolchenkovExponent) {
+  support::Rng rng(2);
+  VolchenkovParams params;
+  params.node_count = 400;
+  params.exponent = 2.5;
+  const auto g = generate_volchenkov(params, rng);
+  const double gamma = power_law_exponent_mle(g.graph, 3);
+  // MLE over a truncated, stub-dropped sample is biased but must land in
+  // the scale-free ballpark.
+  EXPECT_GT(gamma, 1.8);
+  EXPECT_LT(gamma, 3.8);
+}
+
+TEST(Diameter, KnownGraphs) {
+  EXPECT_EQ(hop_diameter(make_path(6, 1.0).graph), 5u);
+  EXPECT_EQ(hop_diameter(make_cycle(8, 1.0).graph), 4u);
+  EXPECT_EQ(hop_diameter(make_complete(5, 1.0).graph), 1u);
+  EXPECT_EQ(hop_diameter(make_star(6, 1.0).graph), 2u);
+  EXPECT_EQ(hop_diameter(graph::Graph(3)), 0u);
+}
+
+TEST(Diameter, DisconnectedTakesPerComponentMax) {
+  graph::Graph g(6);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);
+  g.add_edge(3, 4, 1.0);
+  g.add_edge(4, 5, 1.0);  // path of 4 -> diameter 3
+  EXPECT_EQ(hop_diameter(g), 3u);
+}
+
+TEST(Assortativity, RegularGraphIsUndefinedZero) {
+  // All degrees equal: zero variance -> defined as 0.
+  EXPECT_DOUBLE_EQ(degree_assortativity(make_cycle(7, 1.0).graph), 0.0);
+  EXPECT_DOUBLE_EQ(degree_assortativity(graph::Graph(4)), 0.0);
+}
+
+TEST(Assortativity, StarIsPerfectlyDisassortative) {
+  // Every edge joins the hub (degree n) to a leaf (degree 1): r = -1.
+  EXPECT_NEAR(degree_assortativity(make_star(8, 1.0).graph), -1.0, 1e-12);
+}
+
+TEST(Assortativity, PowerLawGraphsAreDisassortative) {
+  support::Rng rng(21);
+  VolchenkovParams params;
+  params.node_count = 300;
+  const auto g = generate_volchenkov(params, rng);
+  EXPECT_LT(degree_assortativity(g.graph), 0.05);
+}
+
+TEST(Bridges, PathGraphAllBridges) {
+  const auto g = make_path(5, 1.0);
+  EXPECT_EQ(find_bridges(g.graph).size(), 4u);
+}
+
+TEST(Bridges, CycleHasNone) {
+  const auto g = make_cycle(6, 1.0);
+  EXPECT_TRUE(find_bridges(g.graph).empty());
+}
+
+TEST(Bridges, MixedGraph) {
+  // Triangle 0-1-2 with tail 2-3-4: the two tail edges are bridges.
+  graph::Graph g(5);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  const auto e02 = g.add_edge(0, 2, 1.0);
+  const auto e23 = g.add_edge(2, 3, 1.0);
+  const auto e34 = g.add_edge(3, 4, 1.0);
+  const auto bridges = find_bridges(g);
+  ASSERT_EQ(bridges.size(), 2u);
+  EXPECT_TRUE(std::find(bridges.begin(), bridges.end(), e23) != bridges.end());
+  EXPECT_TRUE(std::find(bridges.begin(), bridges.end(), e34) != bridges.end());
+  EXPECT_TRUE(std::find(bridges.begin(), bridges.end(), e02) == bridges.end());
+}
+
+TEST(Bridges, DisconnectedComponents) {
+  graph::Graph g(5);
+  g.add_edge(0, 1, 1.0);          // bridge in component 1
+  g.add_edge(2, 3, 1.0);          // triangle in component 2
+  g.add_edge(3, 4, 1.0);
+  g.add_edge(2, 4, 1.0);
+  EXPECT_EQ(find_bridges(g).size(), 1u);
+}
+
+TEST(PairsLost, BridgeSplitsProduct) {
+  // Path 0-1-2-3: middle bridge separates 2 x 2 vertices -> 4 pairs lost.
+  const auto g = make_path(4, 1.0);
+  const auto lost = pairs_lost_per_edge(g.graph);
+  ASSERT_EQ(lost.size(), 3u);
+  EXPECT_EQ(lost[0], 3u);  // 1 x 3
+  EXPECT_EQ(lost[1], 4u);  // 2 x 2
+  EXPECT_EQ(lost[2], 3u);
+}
+
+TEST(PairsLost, ZeroOnCycle) {
+  const auto g = make_cycle(5, 1.0);
+  for (std::size_t l : pairs_lost_per_edge(g.graph)) {
+    EXPECT_EQ(l, 0u);
+  }
+}
+
+/// Property: bridge count from Tarjan equals brute-force edge deletion.
+class BridgeOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BridgeOracle, MatchesBruteForce) {
+  support::Rng rng(GetParam());
+  const support::Region region{100, 100};
+  auto g = make_erdos_renyi(14, 0.18, region, rng);
+  const auto fast = find_bridges(g.graph);
+
+  std::vector<graph::EdgeId> slow;
+  const std::size_t base_components = graph::component_count(g.graph);
+  for (graph::EdgeId e = 0; e < g.graph.edge_count(); ++e) {
+    auto copy = g.graph;
+    copy.remove_edge(e);
+    if (graph::component_count(copy) > base_components) slow.push_back(e);
+  }
+  EXPECT_EQ(fast, slow);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BridgeOracle,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace muerp::topology

@@ -1,0 +1,79 @@
+#include "topology/perturb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+#include "topology/structured.hpp"
+
+namespace muerp::topology {
+namespace {
+
+TEST(Perturb, RemovesExactlyRequested) {
+  auto g = make_complete(8, 10.0);  // 28 edges
+  support::Rng rng(1);
+  EXPECT_EQ(remove_random_edges(g.graph, 5, rng), 5u);
+  EXPECT_EQ(g.graph.edge_count(), 23u);
+}
+
+TEST(Perturb, StopsWhenGraphRunsDry) {
+  auto g = make_path(4, 10.0);  // 3 edges
+  support::Rng rng(2);
+  EXPECT_EQ(remove_random_edges(g.graph, 10, rng), 3u);
+  EXPECT_EQ(g.graph.edge_count(), 0u);
+}
+
+TEST(Perturb, ZeroIsANoOp) {
+  auto g = make_cycle(5, 10.0);
+  support::Rng rng(3);
+  EXPECT_EQ(remove_random_edges(g.graph, 0, rng), 0u);
+  EXPECT_EQ(g.graph.edge_count(), 5u);
+}
+
+TEST(Perturb, DeterministicGivenSeed) {
+  auto g1 = make_complete(10, 10.0);
+  auto g2 = make_complete(10, 10.0);
+  support::Rng r1(4);
+  support::Rng r2(4);
+  remove_random_edges(g1.graph, 20, r1);
+  remove_random_edges(g2.graph, 20, r2);
+  ASSERT_EQ(g1.graph.edge_count(), g2.graph.edge_count());
+  for (graph::EdgeId e = 0; e < g1.graph.edge_count(); ++e) {
+    EXPECT_EQ(g1.graph.edge(e).a, g2.graph.edge(e).a);
+    EXPECT_EQ(g1.graph.edge(e).b, g2.graph.edge(e).b);
+  }
+}
+
+TEST(Perturb, SurvivingGraphStaysConsistent) {
+  auto g = make_complete(9, 10.0);
+  support::Rng rng(5);
+  remove_random_edges(g.graph, 17, rng);
+  // Adjacency and index must agree after heavy removal (exercises the
+  // swap-with-last bookkeeping through the public helper).
+  std::size_t adjacency_total = 0;
+  for (graph::NodeId v = 0; v < g.graph.node_count(); ++v) {
+    adjacency_total += g.graph.degree(v);
+    for (const graph::Neighbor& nb : g.graph.neighbors(v)) {
+      EXPECT_EQ(g.graph.edge(nb.edge).other(v), nb.node);
+    }
+  }
+  EXPECT_EQ(adjacency_total, 2 * g.graph.edge_count());
+}
+
+/// Every edge is equally likely to survive: removal counts per edge slot
+/// over many trials are roughly uniform.
+TEST(Perturb, RemovalIsUniform) {
+  constexpr int kTrials = 4000;
+  // Count how often the fixed edge {0,1} of a 5-cycle survives removing 2.
+  int survived = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    auto g = make_cycle(5, 10.0);
+    support::Rng rng(1000 + t);
+    remove_random_edges(g.graph, 2, rng);
+    if (g.graph.has_edge(0, 1)) ++survived;
+  }
+  // Survival probability = C(4,2)/C(5,2) = 0.6.
+  EXPECT_NEAR(static_cast<double>(survived) / kTrials, 0.6, 0.03);
+}
+
+}  // namespace
+}  // namespace muerp::topology

@@ -1,0 +1,100 @@
+#include "topology/reference.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+
+namespace muerp::topology {
+namespace {
+
+TEST(Reference, CatalogueHasKnownEntries) {
+  const auto& catalogue = reference_catalogue();
+  ASSERT_GE(catalogue.size(), 2u);
+  std::set<std::string> names;
+  for (const auto& t : catalogue) names.insert(t.name);
+  EXPECT_TRUE(names.contains("nsfnet"));
+  EXPECT_TRUE(names.contains("geant"));
+}
+
+TEST(Reference, NsfnetShape) {
+  const auto& t = reference_by_name("nsfnet");
+  EXPECT_EQ(t.normalized_positions.size(), 14u);
+  EXPECT_EQ(t.links.size(), 21u);  // the canonical T1 backbone
+}
+
+TEST(Reference, UnknownNameThrows) {
+  EXPECT_THROW(reference_by_name("arpanet"), std::out_of_range);
+}
+
+TEST(Reference, NormalizedCoordinatesInUnitSquare) {
+  for (const auto& t : reference_catalogue()) {
+    for (const auto& p : t.normalized_positions) {
+      EXPECT_GE(p.x, 0.0);
+      EXPECT_LE(p.x, 1.0);
+      EXPECT_GE(p.y, 0.0);
+      EXPECT_LE(p.y, 1.0);
+    }
+  }
+}
+
+TEST(Reference, LinksAreValidAndUnique) {
+  for (const auto& t : reference_catalogue()) {
+    std::set<std::pair<graph::NodeId, graph::NodeId>> seen;
+    for (auto [a, b] : t.links) {
+      EXPECT_NE(a, b) << t.name;
+      EXPECT_LT(a, t.normalized_positions.size()) << t.name;
+      EXPECT_LT(b, t.normalized_positions.size()) << t.name;
+      if (a > b) std::swap(a, b);
+      EXPECT_TRUE(seen.insert({a, b}).second)
+          << t.name << " duplicate link " << a << "-" << b;
+    }
+  }
+}
+
+TEST(Reference, InstantiatedGraphsAreConnected) {
+  const support::Region region{4000.0, 2500.0};  // continental scale
+  for (const auto& t : reference_catalogue()) {
+    const auto g = instantiate_reference(t, region);
+    EXPECT_EQ(g.graph.node_count(), t.normalized_positions.size()) << t.name;
+    EXPECT_EQ(g.graph.edge_count(), t.links.size()) << t.name;
+    EXPECT_TRUE(graph::is_connected(g.graph)) << t.name;
+  }
+}
+
+TEST(Reference, ScalingAppliesRegionDimensions) {
+  const auto& t = reference_by_name("nsfnet");
+  const support::Region region{1000.0, 500.0};
+  const auto g = instantiate_reference(t, region);
+  for (std::size_t i = 0; i < g.positions.size(); ++i) {
+    EXPECT_DOUBLE_EQ(g.positions[i].x,
+                     t.normalized_positions[i].x * 1000.0);
+    EXPECT_DOUBLE_EQ(g.positions[i].y, t.normalized_positions[i].y * 500.0);
+  }
+  // Edge lengths follow the scaled embedding.
+  for (const auto& e : g.graph.edges()) {
+    EXPECT_NEAR(e.length_km,
+                support::distance(g.positions[e.a], g.positions[e.b]), 1e-9);
+  }
+}
+
+TEST(Reference, SurvivesRedundantSingleLinkFailure) {
+  // Backbones are engineered with redundancy: NSFNET stays connected after
+  // any single link failure (2-edge-connected).
+  const auto& t = reference_by_name("nsfnet");
+  const support::Region region{4000.0, 2500.0};
+  for (std::size_t victim = 0; victim < t.links.size(); ++victim) {
+    auto g = instantiate_reference(t, region);
+    const auto e = g.graph.find_edge(t.links[victim].first,
+                                     t.links[victim].second);
+    ASSERT_TRUE(e.has_value());
+    g.graph.remove_edge(*e);
+    EXPECT_TRUE(graph::is_connected(g.graph))
+        << "link " << victim << " is a bridge";
+  }
+}
+
+}  // namespace
+}  // namespace muerp::topology

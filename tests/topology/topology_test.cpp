@@ -1,0 +1,311 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "support/rng.hpp"
+#include "topology/analysis.hpp"
+#include "topology/structured.hpp"
+#include "topology/volchenkov.hpp"
+#include "topology/watts_strogatz.hpp"
+#include "topology/waxman.hpp"
+
+namespace muerp::topology {
+namespace {
+
+TEST(Waxman, NodeAndEdgeCounts) {
+  support::Rng rng(1);
+  WaxmanParams params;
+  params.node_count = 60;
+  params.average_degree = 6.0;
+  params.ensure_connected = false;
+  GenerationStats stats;
+  const auto g = generate_waxman(params, rng, &stats);
+  EXPECT_EQ(g.graph.node_count(), 60u);
+  EXPECT_EQ(g.graph.edge_count(), 180u);  // D*n/2
+  EXPECT_EQ(stats.requested_edges, 180u);
+  EXPECT_EQ(stats.connectivity_edges_added, 0u);
+  EXPECT_NEAR(g.graph.average_degree(), 6.0, 1e-9);
+}
+
+TEST(Waxman, EnsureConnectedYieldsConnectedGraph) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    support::Rng rng(seed);
+    WaxmanParams params;
+    params.node_count = 60;
+    const auto g = generate_waxman(params, rng);
+    EXPECT_TRUE(graph::is_connected(g.graph)) << "seed " << seed;
+  }
+}
+
+TEST(Waxman, PositionsInsideRegion) {
+  support::Rng rng(2);
+  WaxmanParams params;
+  const auto g = generate_waxman(params, rng);
+  ASSERT_EQ(g.positions.size(), g.graph.node_count());
+  for (const auto& p : g.positions) {
+    EXPECT_TRUE(params.region.contains(p));
+  }
+}
+
+TEST(Waxman, EdgeLengthsAreEuclidean) {
+  support::Rng rng(3);
+  WaxmanParams params;
+  params.node_count = 30;
+  const auto g = generate_waxman(params, rng);
+  for (const auto& e : g.graph.edges()) {
+    EXPECT_NEAR(e.length_km,
+                support::distance(g.positions[e.a], g.positions[e.b]), 1e-9);
+  }
+}
+
+TEST(Waxman, DeterministicForSeed) {
+  WaxmanParams params;
+  params.node_count = 40;
+  support::Rng r1(77);
+  support::Rng r2(77);
+  const auto g1 = generate_waxman(params, r1);
+  const auto g2 = generate_waxman(params, r2);
+  ASSERT_EQ(g1.graph.edge_count(), g2.graph.edge_count());
+  for (graph::EdgeId e = 0; e < g1.graph.edge_count(); ++e) {
+    EXPECT_EQ(g1.graph.edge(e).a, g2.graph.edge(e).a);
+    EXPECT_EQ(g1.graph.edge(e).b, g2.graph.edge(e).b);
+  }
+}
+
+TEST(Waxman, PrefersShortEdges) {
+  // The mean selected-edge length must be well below the mean pairwise
+  // distance — the defining property of the Waxman kernel.
+  support::Rng rng(4);
+  WaxmanParams params;
+  params.node_count = 60;
+  params.ensure_connected = false;
+  const auto g = generate_waxman(params, rng);
+  double edge_mean = 0.0;
+  for (const auto& e : g.graph.edges()) edge_mean += e.length_km;
+  edge_mean /= static_cast<double>(g.graph.edge_count());
+  double pair_mean = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t a = 0; a < g.positions.size(); ++a) {
+    for (std::size_t b = a + 1; b < g.positions.size(); ++b) {
+      pair_mean += support::distance(g.positions[a], g.positions[b]);
+      ++pairs;
+    }
+  }
+  pair_mean /= static_cast<double>(pairs);
+  EXPECT_LT(edge_mean, 0.8 * pair_mean);
+}
+
+TEST(WattsStrogatz, LatticeWithoutRewiring) {
+  support::Rng rng(5);
+  WattsStrogatzParams params;
+  params.node_count = 20;
+  params.nearest_neighbors = 4;
+  params.rewire_prob = 0.0;
+  const auto g = generate_watts_strogatz(params, rng);
+  EXPECT_EQ(g.graph.edge_count(), 40u);  // n*k/2
+  for (graph::NodeId v = 0; v < 20; ++v) {
+    EXPECT_EQ(g.graph.degree(v), 4u);
+  }
+  EXPECT_TRUE(graph::is_connected(g.graph));
+}
+
+TEST(WattsStrogatz, RewiringPreservesEdgeCount) {
+  support::Rng rng(6);
+  WattsStrogatzParams params;
+  params.node_count = 60;
+  params.nearest_neighbors = 6;
+  params.rewire_prob = 0.5;
+  const auto g = generate_watts_strogatz(params, rng);
+  EXPECT_EQ(g.graph.edge_count(), 180u);
+}
+
+TEST(WattsStrogatz, FullRewireChangesTopology) {
+  support::Rng rng(7);
+  WattsStrogatzParams params;
+  params.node_count = 40;
+  params.nearest_neighbors = 4;
+  params.rewire_prob = 1.0;
+  const auto g = generate_watts_strogatz(params, rng);
+  // Count surviving pure-lattice edges; with p=1 nearly all are rewired
+  // (an edge survives only when no fresh endpoint was found).
+  std::size_t lattice_edges = 0;
+  for (std::size_t i = 0; i < 40; ++i) {
+    for (std::size_t off = 1; off <= 2; ++off) {
+      if (g.graph.has_edge(static_cast<graph::NodeId>(i),
+                           static_cast<graph::NodeId>((i + off) % 40))) {
+        ++lattice_edges;
+      }
+    }
+  }
+  EXPECT_LT(lattice_edges, 30u);  // out of 80 original slots
+}
+
+TEST(WattsStrogatz, LatticeClusteringMatchesClosedForm) {
+  // The unrewired ring lattice has clustering C = 3(k-2) / (4(k-1));
+  // for k = 6 that is 0.6 exactly.
+  support::Rng rng(77);
+  WattsStrogatzParams params;
+  params.node_count = 80;
+  params.nearest_neighbors = 6;
+  params.rewire_prob = 0.0;
+  const auto g = generate_watts_strogatz(params, rng);
+  EXPECT_NEAR(average_clustering_coefficient(g.graph), 0.6, 1e-12);
+}
+
+TEST(WattsStrogatz, RingNeighboursAreClose) {
+  support::Rng rng(8);
+  WattsStrogatzParams params;
+  params.node_count = 60;
+  params.rewire_prob = 0.0;
+  const auto g = generate_watts_strogatz(params, rng);
+  // Adjacent-ring fiber must be far shorter than the ring diameter.
+  const double diameter =
+      2.0 * 0.45 * std::min(params.region.width, params.region.height);
+  for (const auto& e : g.graph.edges()) {
+    EXPECT_LT(e.length_km, 0.5 * diameter);
+  }
+}
+
+TEST(Volchenkov, NodeCountAndConnectivity) {
+  support::Rng rng(9);
+  VolchenkovParams params;
+  params.node_count = 60;
+  const auto g = generate_volchenkov(params, rng);
+  EXPECT_EQ(g.graph.node_count(), 60u);
+  EXPECT_TRUE(graph::is_connected(g.graph));
+}
+
+TEST(Volchenkov, AverageDegreeNearTarget) {
+  support::Rng rng(10);
+  VolchenkovParams params;
+  params.node_count = 200;
+  params.average_degree = 6.0;
+  const auto g = generate_volchenkov(params, rng);
+  // Configuration-model stub drops + connectivity stitching move the mean a
+  // little; it must stay in a sensible band around the target.
+  EXPECT_GT(g.graph.average_degree(), 3.5);
+  EXPECT_LT(g.graph.average_degree(), 8.5);
+}
+
+TEST(Volchenkov, HasHeavyDegreeTail) {
+  support::Rng rng(11);
+  VolchenkovParams params;
+  params.node_count = 300;
+  params.average_degree = 6.0;
+  const auto g = generate_volchenkov(params, rng);
+  std::vector<std::size_t> degrees;
+  for (graph::NodeId v = 0; v < g.graph.node_count(); ++v) {
+    degrees.push_back(g.graph.degree(v));
+  }
+  const auto max_degree = *std::max_element(degrees.begin(), degrees.end());
+  // A power-law graph must produce hubs several times the mean degree;
+  // an ER graph of the same density almost never exceeds ~3x.
+  EXPECT_GE(max_degree, 4 * 6u);
+}
+
+TEST(Structured, PathProperties) {
+  const auto g = make_path(5, 100.0);
+  EXPECT_EQ(g.graph.node_count(), 5u);
+  EXPECT_EQ(g.graph.edge_count(), 4u);
+  EXPECT_EQ(g.graph.degree(0), 1u);
+  EXPECT_EQ(g.graph.degree(2), 2u);
+  for (const auto& e : g.graph.edges()) {
+    EXPECT_NEAR(e.length_km, 100.0, 1e-9);
+  }
+}
+
+TEST(Structured, CycleChordLengths) {
+  const auto g = make_cycle(8, 50.0);
+  EXPECT_EQ(g.graph.edge_count(), 8u);
+  for (const auto& e : g.graph.edges()) {
+    EXPECT_NEAR(e.length_km, 50.0, 1e-9);
+  }
+  for (graph::NodeId v = 0; v < 8; ++v) EXPECT_EQ(g.graph.degree(v), 2u);
+}
+
+TEST(Structured, StarProperties) {
+  const auto g = make_star(6, 200.0);
+  EXPECT_EQ(g.graph.node_count(), 7u);
+  EXPECT_EQ(g.graph.degree(0), 6u);
+  for (graph::NodeId leaf = 1; leaf <= 6; ++leaf) {
+    EXPECT_EQ(g.graph.degree(leaf), 1u);
+    ASSERT_TRUE(g.graph.find_edge(0, leaf).has_value());
+    EXPECT_NEAR(g.graph.edge(*g.graph.find_edge(0, leaf)).length_km, 200.0,
+                1e-9);
+  }
+}
+
+TEST(Structured, CompleteGraph) {
+  const auto g = make_complete(6, 10.0);
+  EXPECT_EQ(g.graph.edge_count(), 15u);
+  for (graph::NodeId v = 0; v < 6; ++v) EXPECT_EQ(g.graph.degree(v), 5u);
+}
+
+TEST(Structured, GridProperties) {
+  const auto g = make_grid(3, 4, 10.0);
+  EXPECT_EQ(g.graph.node_count(), 12u);
+  EXPECT_EQ(g.graph.edge_count(), 3u * 3u + 2u * 4u);  // 17
+  EXPECT_TRUE(graph::is_connected(g.graph));
+  EXPECT_EQ(g.graph.degree(0), 2u);      // corner
+  EXPECT_EQ(g.graph.degree(5), 4u);      // interior (1,1)
+}
+
+TEST(Structured, ErdosRenyiExtremes) {
+  support::Rng rng(12);
+  const support::Region region{100.0, 100.0};
+  const auto empty = make_erdos_renyi(10, 0.0, region, rng);
+  EXPECT_EQ(empty.graph.edge_count(), 0u);
+  const auto full = make_erdos_renyi(10, 1.0, region, rng);
+  EXPECT_EQ(full.graph.edge_count(), 45u);
+}
+
+/// Property sweep: every generator yields a simple graph of the right size
+/// whose edge lengths match the embedding.
+struct GeneratorCase {
+  const char* name;
+  std::size_t nodes;
+};
+
+class AllGenerators : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AllGenerators, SimpleGraphInvariants) {
+  const std::size_t n = GetParam();
+  support::Rng rng(n * 31 + 7);
+
+  std::vector<SpatialGraph> graphs;
+  WaxmanParams wax;
+  wax.node_count = n;
+  graphs.push_back(generate_waxman(wax, rng));
+  WattsStrogatzParams ws;
+  ws.node_count = n;
+  ws.nearest_neighbors = 4;
+  graphs.push_back(generate_watts_strogatz(ws, rng));
+  VolchenkovParams vol;
+  vol.node_count = n;
+  graphs.push_back(generate_volchenkov(vol, rng));
+
+  for (const auto& g : graphs) {
+    ASSERT_EQ(g.graph.node_count(), n);
+    ASSERT_EQ(g.positions.size(), n);
+    for (const auto& e : g.graph.edges()) {
+      ASSERT_NE(e.a, e.b);  // no self-loops
+      ASSERT_NEAR(e.length_km,
+                  support::distance(g.positions[e.a], g.positions[e.b]),
+                  1e-9);
+    }
+    // No parallel edges: the Graph class enforces this at insertion, but
+    // confirm the index is consistent.
+    for (graph::EdgeId e = 0; e < g.graph.edge_count(); ++e) {
+      ASSERT_EQ(*g.graph.find_edge(g.graph.edge(e).a, g.graph.edge(e).b), e);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AllGenerators,
+                         ::testing::Values(10, 25, 60, 120));
+
+}  // namespace
+}  // namespace muerp::topology

@@ -1,0 +1,331 @@
+// muerpctl — command-line front end for the muerp library.
+//
+// Subcommands:
+//   generate   build a random or reference network and write it to disk
+//   info       summarize a network file
+//   analyze    network-science metrics (clustering, diameter, bridges, ...)
+//   screen     run the polynomial feasibility screens
+//   route      route multi-user entanglement and report the tree
+//   plan       minimum uniform switch budget (binary search over Alg-3)
+//   simulate   Monte-Carlo validate a routed plan
+//   sweep      run a full scenario from a config file (paper-style table)
+//
+// Examples:
+//   muerpctl generate --topology waxman --switches 50 --users 10 --out n.txt
+//   muerpctl generate --topology nsfnet --users 5 --out n.txt
+//   muerpctl route --net n.txt --algorithm alg3 --local-search --dot plan.dot
+//   muerpctl route --net n.txt --svg plan.svg
+//   muerpctl screen --net n.txt
+//   muerpctl simulate --net n.txt --algorithm alg4 --rounds 100000
+//   muerpctl sweep --config scenario.cfg
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "muerp.hpp"
+
+namespace {
+
+using namespace muerp;
+
+int fail(const std::string& message) {
+  std::cerr << "muerpctl: " << message << '\n';
+  return 1;
+}
+
+std::optional<net::QuantumNetwork> load(const std::string& path) {
+  if (path.empty()) {
+    fail("--net <file> is required");
+    return std::nullopt;
+  }
+  auto result = net::load_network_file(path);
+  if (std::holds_alternative<std::string>(result)) {
+    fail("cannot load " + path + ": " + std::get<std::string>(result));
+    return std::nullopt;
+  }
+  return std::move(std::get<net::QuantumNetwork>(result));
+}
+
+int cmd_generate(const support::CliParser& cli) {
+  const std::string out = cli.get_string("out");
+  if (out.empty()) return fail("generate needs --out <file>");
+  const auto switches =
+      static_cast<std::size_t>(cli.get_int("switches").value_or(50));
+  const auto users =
+      static_cast<std::size_t>(cli.get_int("users").value_or(10));
+  const int qubits = static_cast<int>(cli.get_int("qubits").value_or(4));
+  const double degree = cli.get_double("degree").value_or(6.0);
+  const double side = cli.get_double("area").value_or(10000.0);
+  support::Rng rng(cli.get_int("seed").value_or(1));
+
+  const std::string kind = cli.get_string("topology");
+  topology::SpatialGraph topo;
+  if (kind == "waxman" || kind == "ws" || kind == "volchenkov") {
+    experiment::Scenario s;
+    s.topology = kind == "waxman" ? experiment::TopologyKind::kWaxman
+                 : kind == "ws"   ? experiment::TopologyKind::kWattsStrogatz
+                                  : experiment::TopologyKind::kVolchenkov;
+    s.switch_count = switches;
+    s.user_count = users;
+    s.qubits_per_switch = qubits;
+    s.average_degree = degree;
+    s.area_side_km = side;
+    s.seed = static_cast<std::uint64_t>(cli.get_int("seed").value_or(1));
+    s.attenuation = cli.get_double("alpha").value_or(1e-4);
+    s.swap_success = cli.get_double("swap").value_or(0.9);
+    const auto inst = experiment::instantiate(s, 0);
+    if (!net::save_network_file(inst.network, out)) {
+      return fail("cannot write " + out);
+    }
+  } else {
+    // Reference backbones: all nodes placed, then users drawn randomly.
+    const topology::ReferenceTopology* reference = nullptr;
+    try {
+      reference = &topology::reference_by_name(kind);
+    } catch (const std::out_of_range&) {
+      return fail("unknown --topology '" + kind +
+                  "' (waxman|ws|volchenkov|nsfnet|geant)");
+    }
+    topo = topology::instantiate_reference(*reference, {side, side * 0.6});
+    net::PhysicalParams physical;
+    physical.attenuation = cli.get_double("alpha").value_or(2e-4);
+    physical.swap_success = cli.get_double("swap").value_or(0.9);
+    const auto network =
+        net::assign_random_users(std::move(topo), users, qubits, physical, rng);
+    if (!net::save_network_file(network, out)) {
+      return fail("cannot write " + out);
+    }
+  }
+  std::cout << "wrote " << out << '\n';
+  return 0;
+}
+
+int cmd_info(const net::QuantumNetwork& network) {
+  std::cout << "nodes      : " << network.node_count() << " ("
+            << network.users().size() << " users, "
+            << network.switches().size() << " switches)\n";
+  std::cout << "fibers     : " << network.graph().edge_count()
+            << " (average degree " << network.graph().average_degree()
+            << ")\n";
+  int total_qubits = 0;
+  for (net::NodeId sw : network.switches()) total_qubits += network.qubits(sw);
+  std::cout << "qubits     : " << total_qubits << " across switches ("
+            << total_qubits / 2 << " channel slots)\n";
+  std::cout << "physical   : alpha=" << network.physical().attenuation
+            << " /km, q=" << network.physical().swap_success << '\n';
+  std::cout << "users      :";
+  for (net::NodeId u : network.users()) std::cout << ' ' << u;
+  std::cout << '\n';
+  return 0;
+}
+
+net::EntanglementTree route_with(const std::string& algorithm,
+                                 const net::QuantumNetwork& network,
+                                 support::Rng& rng, std::string* error) {
+  const auto users = network.users();
+  if (algorithm == "alg2") {
+    const auto boosted = experiment::with_uniform_switch_qubits(
+        network, 2 * static_cast<int>(users.size()));
+    return routing::optimal_special_case(boosted, users);
+  }
+  if (algorithm == "alg3") return routing::conflict_free(network, users);
+  if (algorithm == "alg4") return routing::prim_based(network, users, rng);
+  if (algorithm == "eqcast") return baselines::extended_qcast(network, users);
+  *error = "unknown --algorithm '" + algorithm +
+           "' (alg2|alg3|alg4|eqcast; nfusion has no tree form)";
+  return {};
+}
+
+int cmd_route(const support::CliParser& cli,
+              const net::QuantumNetwork& network) {
+  support::Rng rng(cli.get_int("seed").value_or(1));
+  std::string error;
+  auto tree = route_with(cli.get_string("algorithm"), network, rng, &error);
+  if (!error.empty()) return fail(error);
+
+  if (cli.get_bool("local-search") && tree.feasible) {
+    const auto stats = routing::improve_tree(network, network.users(), tree);
+    std::cout << "local search: " << stats.exchanges << " exchanges over "
+              << stats.sweeps << " sweeps\n";
+  }
+  if (!tree.feasible) {
+    std::cout << "infeasible (rate 0)\n";
+    const auto screen =
+        routing::screen_feasibility(network, network.users());
+    std::cout << "screen verdict: "
+              << routing::feasibility_name(screen.verdict) << " — "
+              << screen.reason << '\n';
+    return 2;
+  }
+  const auto validation = net::validate_tree(network, network.users(), tree);
+  std::cout << "rate " << support::format_rate(tree.rate) << " over "
+            << tree.channels.size() << " channels ("
+            << (validation.empty() ? "valid" : validation) << ")\n";
+  for (const auto& channel : tree.channels) {
+    std::cout << "  " << channel.source() << " -> "
+              << channel.destination() << "  rate "
+              << support::format_rate(channel.rate) << "  via "
+              << channel.switch_count() << " switches\n";
+  }
+  if (const std::string dot = cli.get_string("dot"); !dot.empty()) {
+    std::ofstream out(dot);
+    out << net::to_dot(network, &tree);
+    std::cout << "DOT written to " << dot << '\n';
+  }
+  if (const std::string svg = cli.get_string("svg"); !svg.empty()) {
+    std::ofstream out(svg);
+    out << net::to_svg(network, &tree);
+    std::cout << "SVG written to " << svg << '\n';
+  }
+  return 0;
+}
+
+int cmd_sweep(const support::CliParser& cli) {
+  const std::string path = cli.get_string("config");
+  if (path.empty()) return fail("sweep needs --config <file>");
+  auto parsed = experiment::parse_scenario_file(path);
+  if (std::holds_alternative<std::string>(parsed)) {
+    return fail(path + ": " + std::get<std::string>(parsed));
+  }
+  const auto& scenario = std::get<experiment::Scenario>(parsed);
+  std::cout << "# effective scenario\n"
+            << experiment::scenario_to_config(scenario) << '\n';
+  const auto result = experiment::run_scenario_parallel(
+      scenario, experiment::kAllAlgorithms);
+  std::vector<std::string> columns{"metric"};
+  for (experiment::Algorithm a : experiment::kAllAlgorithms) {
+    columns.emplace_back(experiment::algorithm_name(a));
+  }
+  support::Table table("scenario sweep (" + path + ")", std::move(columns));
+  std::vector<double> means;
+  std::vector<double> fractions;
+  for (std::size_t a = 0; a < experiment::kAllAlgorithms.size(); ++a) {
+    means.push_back(result.mean_rate(a));
+    fractions.push_back(result.feasible_fraction(a));
+  }
+  table.add_row("mean rate", std::move(means));
+  table.add_row("feasible fraction", std::move(fractions));
+  std::cout << table;
+  return 0;
+}
+
+int cmd_analyze(const net::QuantumNetwork& network) {
+  const auto degrees = topology::degree_statistics(network.graph());
+  std::cout << "degree      : mean " << degrees.mean << ", min "
+            << degrees.min << ", max " << degrees.max << " (stddev "
+            << degrees.stddev << ")\n";
+  std::cout << "clustering  : "
+            << topology::average_clustering_coefficient(network.graph())
+            << '\n';
+  std::cout << "path length : "
+            << topology::characteristic_path_length(network.graph())
+            << " hops (diameter "
+            << topology::hop_diameter(network.graph()) << ")\n";
+  std::cout << "small-world : sigma = "
+            << topology::small_world_sigma(network.graph()) << '\n';
+  std::cout << "assortativity: "
+            << topology::degree_assortativity(network.graph()) << '\n';
+  const auto bridges = topology::find_bridges(network.graph());
+  std::cout << "bridges     : " << bridges.size() << " of "
+            << network.graph().edge_count() << " fibers are critical";
+  if (!bridges.empty()) {
+    std::cout << " (";
+    for (std::size_t i = 0; i < bridges.size() && i < 8; ++i) {
+      const auto& e = network.graph().edge(bridges[i]);
+      std::cout << (i ? ", " : "") << e.a << "-" << e.b;
+    }
+    if (bridges.size() > 8) std::cout << ", ...";
+    std::cout << ')';
+  }
+  std::cout << '\n';
+  return 0;
+}
+
+int cmd_screen(const net::QuantumNetwork& network) {
+  const auto report = routing::screen_feasibility(network, network.users());
+  std::cout << routing::feasibility_name(report.verdict) << ": "
+            << report.reason << '\n';
+  return report.verdict == routing::Feasibility::kInfeasible ? 2 : 0;
+}
+
+int cmd_plan(const support::CliParser& cli,
+             const net::QuantumNetwork& network) {
+  const double min_rate = cli.get_double("min-rate").value_or(0.0);
+  const auto result =
+      routing::min_uniform_qubits(network, network.users(), min_rate);
+  if (!result) {
+    std::cout << "no uniform budget up to 64 qubits/switch meets the goal\n";
+    return 2;
+  }
+  std::cout << "minimum uniform budget: " << result->qubits_per_switch
+            << " qubits/switch\n"
+            << "achieved rate         : "
+            << support::format_rate(result->tree.rate) << " over "
+            << result->tree.channels.size() << " channels\n";
+  return 0;
+}
+
+int cmd_simulate(const support::CliParser& cli,
+                 const net::QuantumNetwork& network) {
+  support::Rng rng(cli.get_int("seed").value_or(1));
+  std::string error;
+  const auto tree =
+      route_with(cli.get_string("algorithm"), network, rng, &error);
+  if (!error.empty()) return fail(error);
+  if (!tree.feasible) return fail("routing infeasible; nothing to simulate");
+  const auto rounds =
+      static_cast<std::uint64_t>(cli.get_int("rounds").value_or(100000));
+  const sim::MonteCarloSimulator mc(network);
+  const auto est = mc.estimate_tree_rate(tree, rounds, rng);
+  std::cout << "analytic Eq.(2): " << support::format_rate(tree.rate) << '\n'
+            << "monte-carlo    : " << support::format_rate(est.rate) << " +- "
+            << support::format_rate(est.std_error) << "  (" << est.successes
+            << "/" << est.rounds << " windows)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::CliParser cli(
+      "muerpctl — multi-user entanglement routing toolbox");
+  cli.add_flag("topology", "waxman|ws|volchenkov|nsfnet|geant", "waxman");
+  cli.add_flag("switches", "switch count (random topologies)", "50");
+  cli.add_flag("users", "user count", "10");
+  cli.add_flag("qubits", "qubits per switch", "4");
+  cli.add_flag("degree", "average degree (random topologies)", "6");
+  cli.add_flag("area", "deployment side in km", "10000");
+  cli.add_flag("alpha", "fiber attenuation 1/km", "");
+  cli.add_flag("swap", "BSM success probability", "");
+  cli.add_flag("seed", "random seed", "1");
+  cli.add_flag("out", "output network file (generate)", "");
+  cli.add_flag("net", "input network file", "");
+  cli.add_flag("algorithm", "alg2|alg3|alg4|eqcast", "alg3");
+  cli.add_flag("local-search", "apply the exchange pass after routing");
+  cli.add_flag("dot", "write Graphviz DOT of the plan", "");
+  cli.add_flag("svg", "write an SVG rendering of the plan", "");
+  cli.add_flag("rounds", "Monte-Carlo rounds (simulate)", "100000");
+  cli.add_flag("config", "scenario config file (sweep)", "");
+  cli.add_flag("min-rate", "rate floor for the plan subcommand", "0");
+  if (!cli.parse(argc, argv)) return 1;
+
+  if (cli.positional().empty()) {
+    std::cerr << cli.usage(argv[0])
+              << "\nsubcommands: generate info analyze screen route plan"
+                 " simulate sweep\n";
+    return 1;
+  }
+  const std::string& command = cli.positional()[0];
+  if (command == "generate") return cmd_generate(cli);
+  if (command == "sweep") return cmd_sweep(cli);
+
+  const auto network = load(cli.get_string("net"));
+  if (!network) return 1;
+  if (command == "info") return cmd_info(*network);
+  if (command == "analyze") return cmd_analyze(*network);
+  if (command == "screen") return cmd_screen(*network);
+  if (command == "route") return cmd_route(cli, *network);
+  if (command == "plan") return cmd_plan(cli, *network);
+  if (command == "simulate") return cmd_simulate(cli, *network);
+  return fail("unknown subcommand '" + command + "'");
+}
