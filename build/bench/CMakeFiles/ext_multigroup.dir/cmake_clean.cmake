@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multigroup.dir/ext_multigroup.cpp.o"
+  "CMakeFiles/ext_multigroup.dir/ext_multigroup.cpp.o.d"
+  "ext_multigroup"
+  "ext_multigroup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multigroup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_purification.dir/ext_purification.cpp.o"
+  "CMakeFiles/ext_purification.dir/ext_purification.cpp.o.d"
+  "ext_purification"
+  "ext_purification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_purification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fiber_capacity.dir/fiber_capacity.cpp.o"
+  "CMakeFiles/fiber_capacity.dir/fiber_capacity.cpp.o.d"
+  "fiber_capacity"
+  "fiber_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fiber_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6a_users.dir/fig6a_users.cpp.o"
+  "CMakeFiles/fig6a_users.dir/fig6a_users.cpp.o.d"
+  "fig6a_users"
+  "fig6a_users.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_users.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6b_switches.dir/fig6b_switches.cpp.o"
+  "CMakeFiles/fig6b_switches.dir/fig6b_switches.cpp.o.d"
+  "fig6b_switches"
+  "fig6b_switches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_switches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

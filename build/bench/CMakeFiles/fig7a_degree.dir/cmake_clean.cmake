@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7a_degree.dir/fig7a_degree.cpp.o"
+  "CMakeFiles/fig7a_degree.dir/fig7a_degree.cpp.o.d"
+  "fig7a_degree"
+  "fig7a_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7a_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

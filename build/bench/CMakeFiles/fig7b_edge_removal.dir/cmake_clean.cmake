@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7b_edge_removal.dir/fig7b_edge_removal.cpp.o"
+  "CMakeFiles/fig7b_edge_removal.dir/fig7b_edge_removal.cpp.o.d"
+  "fig7b_edge_removal"
+  "fig7b_edge_removal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7b_edge_removal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8a_qubits.dir/fig8a_qubits.cpp.o"
+  "CMakeFiles/fig8a_qubits.dir/fig8a_qubits.cpp.o.d"
+  "fig8a_qubits"
+  "fig8a_qubits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8a_qubits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8b_swap_rate.dir/fig8b_swap_rate.cpp.o"
+  "CMakeFiles/fig8b_swap_rate.dir/fig8b_swap_rate.cpp.o.d"
+  "fig8b_swap_rate"
+  "fig8b_swap_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8b_swap_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

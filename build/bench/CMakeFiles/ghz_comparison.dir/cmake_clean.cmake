@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ghz_comparison.dir/ghz_comparison.cpp.o"
+  "CMakeFiles/ghz_comparison.dir/ghz_comparison.cpp.o.d"
+  "ghz_comparison"
+  "ghz_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ghz_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multipath.dir/multipath.cpp.o"
+  "CMakeFiles/multipath.dir/multipath.cpp.o.d"
+  "multipath"
+  "multipath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multipath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_service.dir/protocol_service.cpp.o"
+  "CMakeFiles/protocol_service.dir/protocol_service.cpp.o.d"
+  "protocol_service"
+  "protocol_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

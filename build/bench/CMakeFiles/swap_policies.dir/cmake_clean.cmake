@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swap_policies.dir/swap_policies.cpp.o"
+  "CMakeFiles/swap_policies.dir/swap_policies.cpp.o.d"
+  "swap_policies"
+  "swap_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swap_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

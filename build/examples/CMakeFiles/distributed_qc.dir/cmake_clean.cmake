@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_qc.dir/distributed_qc.cpp.o"
+  "CMakeFiles/distributed_qc.dir/distributed_qc.cpp.o.d"
+  "distributed_qc"
+  "distributed_qc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_qc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repeater_tuning.dir/repeater_tuning.cpp.o"
+  "CMakeFiles/repeater_tuning.dir/repeater_tuning.cpp.o.d"
+  "repeater_tuning"
+  "repeater_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repeater_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

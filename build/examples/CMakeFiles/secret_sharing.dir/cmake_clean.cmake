@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secret_sharing.dir/secret_sharing.cpp.o"
+  "CMakeFiles/secret_sharing.dir/secret_sharing.cpp.o.d"
+  "secret_sharing"
+  "secret_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secret_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

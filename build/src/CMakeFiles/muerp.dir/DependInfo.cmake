@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/eqcast.cpp" "src/CMakeFiles/muerp.dir/baselines/eqcast.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/baselines/eqcast.cpp.o.d"
+  "/root/repo/src/baselines/nfusion.cpp" "src/CMakeFiles/muerp.dir/baselines/nfusion.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/baselines/nfusion.cpp.o.d"
+  "/root/repo/src/experiment/config.cpp" "src/CMakeFiles/muerp.dir/experiment/config.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/experiment/config.cpp.o.d"
+  "/root/repo/src/experiment/report.cpp" "src/CMakeFiles/muerp.dir/experiment/report.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/experiment/report.cpp.o.d"
+  "/root/repo/src/experiment/runner.cpp" "src/CMakeFiles/muerp.dir/experiment/runner.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/experiment/runner.cpp.o.d"
+  "/root/repo/src/experiment/scenario.cpp" "src/CMakeFiles/muerp.dir/experiment/scenario.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/experiment/scenario.cpp.o.d"
+  "/root/repo/src/extensions/fidelity.cpp" "src/CMakeFiles/muerp.dir/extensions/fidelity.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/extensions/fidelity.cpp.o.d"
+  "/root/repo/src/extensions/ghz.cpp" "src/CMakeFiles/muerp.dir/extensions/ghz.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/extensions/ghz.cpp.o.d"
+  "/root/repo/src/extensions/multigroup.cpp" "src/CMakeFiles/muerp.dir/extensions/multigroup.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/extensions/multigroup.cpp.o.d"
+  "/root/repo/src/extensions/purification.cpp" "src/CMakeFiles/muerp.dir/extensions/purification.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/extensions/purification.cpp.o.d"
+  "/root/repo/src/graph/algorithms.cpp" "src/CMakeFiles/muerp.dir/graph/algorithms.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/graph/algorithms.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/muerp.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/network/channel.cpp" "src/CMakeFiles/muerp.dir/network/channel.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/network/channel.cpp.o.d"
+  "/root/repo/src/network/network_builder.cpp" "src/CMakeFiles/muerp.dir/network/network_builder.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/network/network_builder.cpp.o.d"
+  "/root/repo/src/network/quantum_network.cpp" "src/CMakeFiles/muerp.dir/network/quantum_network.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/network/quantum_network.cpp.o.d"
+  "/root/repo/src/network/rate.cpp" "src/CMakeFiles/muerp.dir/network/rate.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/network/rate.cpp.o.d"
+  "/root/repo/src/network/serialization.cpp" "src/CMakeFiles/muerp.dir/network/serialization.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/network/serialization.cpp.o.d"
+  "/root/repo/src/network/svg.cpp" "src/CMakeFiles/muerp.dir/network/svg.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/network/svg.cpp.o.d"
+  "/root/repo/src/routing/annealing.cpp" "src/CMakeFiles/muerp.dir/routing/annealing.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/routing/annealing.cpp.o.d"
+  "/root/repo/src/routing/backup.cpp" "src/CMakeFiles/muerp.dir/routing/backup.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/routing/backup.cpp.o.d"
+  "/root/repo/src/routing/capacity_planning.cpp" "src/CMakeFiles/muerp.dir/routing/capacity_planning.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/routing/capacity_planning.cpp.o.d"
+  "/root/repo/src/routing/channel_finder.cpp" "src/CMakeFiles/muerp.dir/routing/channel_finder.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/routing/channel_finder.cpp.o.d"
+  "/root/repo/src/routing/conflict_free.cpp" "src/CMakeFiles/muerp.dir/routing/conflict_free.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/routing/conflict_free.cpp.o.d"
+  "/root/repo/src/routing/disjoint_pair.cpp" "src/CMakeFiles/muerp.dir/routing/disjoint_pair.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/routing/disjoint_pair.cpp.o.d"
+  "/root/repo/src/routing/exact_solver.cpp" "src/CMakeFiles/muerp.dir/routing/exact_solver.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/routing/exact_solver.cpp.o.d"
+  "/root/repo/src/routing/feasibility.cpp" "src/CMakeFiles/muerp.dir/routing/feasibility.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/routing/feasibility.cpp.o.d"
+  "/root/repo/src/routing/fiber_limits.cpp" "src/CMakeFiles/muerp.dir/routing/fiber_limits.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/routing/fiber_limits.cpp.o.d"
+  "/root/repo/src/routing/k_shortest.cpp" "src/CMakeFiles/muerp.dir/routing/k_shortest.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/routing/k_shortest.cpp.o.d"
+  "/root/repo/src/routing/local_search.cpp" "src/CMakeFiles/muerp.dir/routing/local_search.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/routing/local_search.cpp.o.d"
+  "/root/repo/src/routing/multipath.cpp" "src/CMakeFiles/muerp.dir/routing/multipath.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/routing/multipath.cpp.o.d"
+  "/root/repo/src/routing/optimal_tree.cpp" "src/CMakeFiles/muerp.dir/routing/optimal_tree.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/routing/optimal_tree.cpp.o.d"
+  "/root/repo/src/routing/plan.cpp" "src/CMakeFiles/muerp.dir/routing/plan.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/routing/plan.cpp.o.d"
+  "/root/repo/src/routing/prim_based.cpp" "src/CMakeFiles/muerp.dir/routing/prim_based.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/routing/prim_based.cpp.o.d"
+  "/root/repo/src/simulation/decoherence.cpp" "src/CMakeFiles/muerp.dir/simulation/decoherence.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/simulation/decoherence.cpp.o.d"
+  "/root/repo/src/simulation/failure.cpp" "src/CMakeFiles/muerp.dir/simulation/failure.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/simulation/failure.cpp.o.d"
+  "/root/repo/src/simulation/monte_carlo.cpp" "src/CMakeFiles/muerp.dir/simulation/monte_carlo.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/simulation/monte_carlo.cpp.o.d"
+  "/root/repo/src/simulation/protocol.cpp" "src/CMakeFiles/muerp.dir/simulation/protocol.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/simulation/protocol.cpp.o.d"
+  "/root/repo/src/simulation/qubit_machine.cpp" "src/CMakeFiles/muerp.dir/simulation/qubit_machine.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/simulation/qubit_machine.cpp.o.d"
+  "/root/repo/src/simulation/swap_policy.cpp" "src/CMakeFiles/muerp.dir/simulation/swap_policy.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/simulation/swap_policy.cpp.o.d"
+  "/root/repo/src/simulation/time_slotted.cpp" "src/CMakeFiles/muerp.dir/simulation/time_slotted.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/simulation/time_slotted.cpp.o.d"
+  "/root/repo/src/support/cli.cpp" "src/CMakeFiles/muerp.dir/support/cli.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/support/cli.cpp.o.d"
+  "/root/repo/src/support/geometry.cpp" "src/CMakeFiles/muerp.dir/support/geometry.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/support/geometry.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "src/CMakeFiles/muerp.dir/support/rng.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/support/rng.cpp.o.d"
+  "/root/repo/src/support/statistics.cpp" "src/CMakeFiles/muerp.dir/support/statistics.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/support/statistics.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/CMakeFiles/muerp.dir/support/table.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/support/table.cpp.o.d"
+  "/root/repo/src/support/union_find.cpp" "src/CMakeFiles/muerp.dir/support/union_find.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/support/union_find.cpp.o.d"
+  "/root/repo/src/topology/analysis.cpp" "src/CMakeFiles/muerp.dir/topology/analysis.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/topology/analysis.cpp.o.d"
+  "/root/repo/src/topology/perturb.cpp" "src/CMakeFiles/muerp.dir/topology/perturb.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/topology/perturb.cpp.o.d"
+  "/root/repo/src/topology/reference.cpp" "src/CMakeFiles/muerp.dir/topology/reference.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/topology/reference.cpp.o.d"
+  "/root/repo/src/topology/structured.cpp" "src/CMakeFiles/muerp.dir/topology/structured.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/topology/structured.cpp.o.d"
+  "/root/repo/src/topology/volchenkov.cpp" "src/CMakeFiles/muerp.dir/topology/volchenkov.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/topology/volchenkov.cpp.o.d"
+  "/root/repo/src/topology/watts_strogatz.cpp" "src/CMakeFiles/muerp.dir/topology/watts_strogatz.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/topology/watts_strogatz.cpp.o.d"
+  "/root/repo/src/topology/waxman.cpp" "src/CMakeFiles/muerp.dir/topology/waxman.cpp.o" "gcc" "src/CMakeFiles/muerp.dir/topology/waxman.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

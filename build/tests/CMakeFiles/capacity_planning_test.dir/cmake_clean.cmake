@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capacity_planning_test.dir/routing/capacity_planning_test.cpp.o"
+  "CMakeFiles/capacity_planning_test.dir/routing/capacity_planning_test.cpp.o.d"
+  "capacity_planning_test"
+  "capacity_planning_test.pdb"
+  "capacity_planning_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacity_planning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_finder_test.dir/routing/channel_finder_test.cpp.o"
+  "CMakeFiles/channel_finder_test.dir/routing/channel_finder_test.cpp.o.d"
+  "channel_finder_test"
+  "channel_finder_test.pdb"
+  "channel_finder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_finder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conflict_free_test.dir/routing/conflict_free_test.cpp.o"
+  "CMakeFiles/conflict_free_test.dir/routing/conflict_free_test.cpp.o.d"
+  "conflict_free_test"
+  "conflict_free_test.pdb"
+  "conflict_free_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conflict_free_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

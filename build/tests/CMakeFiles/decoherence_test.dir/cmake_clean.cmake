@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decoherence_test.dir/simulation/decoherence_test.cpp.o"
+  "CMakeFiles/decoherence_test.dir/simulation/decoherence_test.cpp.o.d"
+  "decoherence_test"
+  "decoherence_test.pdb"
+  "decoherence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decoherence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

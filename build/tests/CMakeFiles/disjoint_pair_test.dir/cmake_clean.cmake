@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disjoint_pair_test.dir/routing/disjoint_pair_test.cpp.o"
+  "CMakeFiles/disjoint_pair_test.dir/routing/disjoint_pair_test.cpp.o.d"
+  "disjoint_pair_test"
+  "disjoint_pair_test.pdb"
+  "disjoint_pair_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disjoint_pair_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

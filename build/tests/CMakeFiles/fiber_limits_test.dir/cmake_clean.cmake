@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fiber_limits_test.dir/routing/fiber_limits_test.cpp.o"
+  "CMakeFiles/fiber_limits_test.dir/routing/fiber_limits_test.cpp.o.d"
+  "fiber_limits_test"
+  "fiber_limits_test.pdb"
+  "fiber_limits_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fiber_limits_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ghz_test.dir/extensions/ghz_test.cpp.o"
+  "CMakeFiles/ghz_test.dir/extensions/ghz_test.cpp.o.d"
+  "ghz_test"
+  "ghz_test.pdb"
+  "ghz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ghz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

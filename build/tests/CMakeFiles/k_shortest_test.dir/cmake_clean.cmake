@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k_shortest_test.dir/routing/k_shortest_test.cpp.o"
+  "CMakeFiles/k_shortest_test.dir/routing/k_shortest_test.cpp.o.d"
+  "k_shortest_test"
+  "k_shortest_test.pdb"
+  "k_shortest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k_shortest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multipath_test.dir/routing/multipath_test.cpp.o"
+  "CMakeFiles/multipath_test.dir/routing/multipath_test.cpp.o.d"
+  "multipath_test"
+  "multipath_test.pdb"
+  "multipath_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multipath_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

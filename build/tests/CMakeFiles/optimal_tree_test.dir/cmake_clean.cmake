@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimal_tree_test.dir/routing/optimal_tree_test.cpp.o"
+  "CMakeFiles/optimal_tree_test.dir/routing/optimal_tree_test.cpp.o.d"
+  "optimal_tree_test"
+  "optimal_tree_test.pdb"
+  "optimal_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimal_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

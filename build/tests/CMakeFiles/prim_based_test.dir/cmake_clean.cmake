@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prim_based_test.dir/routing/prim_based_test.cpp.o"
+  "CMakeFiles/prim_based_test.dir/routing/prim_based_test.cpp.o.d"
+  "prim_based_test"
+  "prim_based_test.pdb"
+  "prim_based_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prim_based_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/purification_test.dir/extensions/purification_test.cpp.o"
+  "CMakeFiles/purification_test.dir/extensions/purification_test.cpp.o.d"
+  "purification_test"
+  "purification_test.pdb"
+  "purification_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/purification_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qubit_machine_test.dir/simulation/qubit_machine_test.cpp.o"
+  "CMakeFiles/qubit_machine_test.dir/simulation/qubit_machine_test.cpp.o.d"
+  "qubit_machine_test"
+  "qubit_machine_test.pdb"
+  "qubit_machine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qubit_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

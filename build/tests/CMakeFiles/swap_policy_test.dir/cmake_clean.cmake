@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swap_policy_test.dir/simulation/swap_policy_test.cpp.o"
+  "CMakeFiles/swap_policy_test.dir/simulation/swap_policy_test.cpp.o.d"
+  "swap_policy_test"
+  "swap_policy_test.pdb"
+  "swap_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swap_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

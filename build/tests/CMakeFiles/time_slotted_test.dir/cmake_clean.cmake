@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_slotted_test.dir/simulation/time_slotted_test.cpp.o"
+  "CMakeFiles/time_slotted_test.dir/simulation/time_slotted_test.cpp.o.d"
+  "time_slotted_test"
+  "time_slotted_test.pdb"
+  "time_slotted_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_slotted_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muerpctl.dir/muerpctl.cpp.o"
+  "CMakeFiles/muerpctl.dir/muerpctl.cpp.o.d"
+  "muerpctl"
+  "muerpctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muerpctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
