@@ -4,14 +4,31 @@
 //   Algorithms 3/4: O(|U|^2 (|E| + |V| log |V|))
 // The google-benchmark sweeps scale |V| and |U| so the growth curves can be
 // eyeballed against those bounds.
+//
+// `perf_algorithms --compare[=out.json]` instead runs the CachedChannelFinder
+// before/after comparison: every routing algorithm is timed on the §V-A
+// default scenario (50 switches, 10 users, Waxman, 20 networks) with finder
+// memoization disabled and then enabled, the per-repetition rates are checked
+// bit-identical, and the wall-clock times + routing perf counters are written
+// to BENCH_routing.json (or the given path).
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "baselines/eqcast.hpp"
 #include "baselines/nfusion.hpp"
 #include "experiment/scenario.hpp"
 #include "routing/channel_finder.hpp"
 #include "routing/conflict_free.hpp"
+#include "routing/local_search.hpp"
 #include "routing/optimal_tree.hpp"
+#include "routing/perf_counters.hpp"
 #include "routing/prim_based.hpp"
 
 namespace {
@@ -92,6 +109,207 @@ void BM_NetworkScale_Algorithm3(benchmark::State& state) {
 }
 BENCHMARK(BM_NetworkScale_Algorithm3)->Arg(25)->Arg(50)->Arg(100)->Arg(200);
 
+// ---------------------------------------------------------------------------
+// --compare mode: cached vs. uncached ChannelFinder on the §V-A defaults.
+// ---------------------------------------------------------------------------
+
+/// Rounds per mode; each entry's wall time is best-round * kRounds.
+constexpr std::size_t kRounds = 5;
+
+struct CompareEntry {
+  std::string name;
+  double uncached_ms = 0.0;
+  double cached_ms = 0.0;
+  std::vector<double> uncached_rates;
+  std::vector<double> cached_rates;
+  routing::PerfCounters uncached_counters;
+  routing::PerfCounters cached_counters;
+
+  double speedup() const {
+    return cached_ms > 0.0 ? uncached_ms / cached_ms : 0.0;
+  }
+  bool identical() const { return uncached_rates == cached_rates; }
+};
+
+/// Timed passes of `algo` over all pre-built instances, split into rounds;
+/// the reported time is best-round * rounds, which filters scheduler noise
+/// the way best-of-N microbenchmarks do. Rates are collected from the first
+/// repetition sweep so cached/uncached runs can be compared bit-for-bit.
+template <typename Algo>
+void run_mode(const std::vector<experiment::Instance>& instances,
+              const Algo& algo, bool cached, std::size_t rounds,
+              std::size_t passes_per_round, double& out_ms,
+              std::vector<double>& out_rates,
+              routing::PerfCounters& out_counters) {
+  routing::set_finder_cache_enabled(cached);
+  routing::reset_perf_counters();
+  out_rates.clear();
+  double best_round_ms = 0.0;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t pass = 0; pass < passes_per_round; ++pass) {
+      for (const experiment::Instance& inst : instances) {
+        const double rate = algo(inst);
+        if (round == 0 && pass == 0) out_rates.push_back(rate);
+      }
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    const double round_ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    if (round == 0 || round_ms < best_round_ms) best_round_ms = round_ms;
+  }
+  out_ms = best_round_ms * static_cast<double>(rounds);
+  out_counters = routing::perf_counters();
+}
+
+template <typename Algo>
+CompareEntry compare_algorithm(const std::string& name,
+                               const std::vector<experiment::Instance>& instances,
+                               const Algo& algo, std::size_t passes) {
+  CompareEntry entry;
+  entry.name = name;
+  run_mode(instances, algo, /*cached=*/false, kRounds, passes / kRounds,
+           entry.uncached_ms, entry.uncached_rates, entry.uncached_counters);
+  run_mode(instances, algo, /*cached=*/true, kRounds, passes / kRounds,
+           entry.cached_ms, entry.cached_rates, entry.cached_counters);
+  return entry;
+}
+
+void write_counters_json(std::ofstream& out,
+                         const routing::PerfCounters& counters) {
+  out << "{\"dijkstra_runs\": " << counters.dijkstra_runs
+      << ", \"heap_pops\": " << counters.heap_pops
+      << ", \"cache_hits\": " << counters.cache_hits
+      << ", \"cache_misses\": " << counters.cache_misses
+      << ", \"cache_invalidations\": " << counters.cache_invalidations << "}";
+}
+
+int run_compare(const std::string& output_path) {
+  experiment::Scenario scenario;  // §V-A defaults: 50 switches, 10 users,
+                                  // Waxman, Q=4, q=0.9, 20 networks
+  std::vector<experiment::Instance> instances;
+  instances.reserve(scenario.repetitions);
+  for (std::size_t rep = 0; rep < scenario.repetitions; ++rep) {
+    instances.push_back(experiment::instantiate(scenario, rep));
+  }
+
+  // Several passes over the 20 networks amortize timer noise; rates are
+  // compared from the first pass (all passes are deterministic anyway).
+  constexpr std::size_t kPasses = 25;
+  static_assert(kPasses % kRounds == 0);
+
+  std::vector<CompareEntry> entries;
+  entries.push_back(compare_algorithm(
+      "Alg-3 conflict_free", instances, [](const experiment::Instance& inst) {
+        return routing::conflict_free(inst.network, inst.users).rate;
+      }, kPasses));
+  entries.push_back(compare_algorithm(
+      "Alg-4 prim_based", instances, [](const experiment::Instance& inst) {
+        return routing::prim_based_from(inst.network, inst.users, 0).rate;
+      }, kPasses));
+  entries.push_back(compare_algorithm(
+      "Alg-4 + local_search", instances, [](const experiment::Instance& inst) {
+        auto tree = routing::prim_based_from(inst.network, inst.users, 0);
+        routing::improve_tree(inst.network, inst.users, tree, 8);
+        return tree.rate;
+      }, kPasses));
+  entries.push_back(compare_algorithm(
+      "E-Q-CAST", instances, [](const experiment::Instance& inst) {
+        return baselines::extended_qcast(inst.network, inst.users).rate;
+      }, kPasses));
+  entries.push_back(compare_algorithm(
+      "N-Fusion", instances, [](const experiment::Instance& inst) {
+        return baselines::n_fusion(inst.network, inst.users).rate;
+      }, kPasses));
+  routing::set_finder_cache_enabled(true);
+
+  // Headline: Alg-4 prim_based, the greedy tree-growth hot path the cache
+  // targets — every round re-runs |tree| Dijkstras without it. Alg-3 spends
+  // its time in the one-shot Algorithm-2 seed (|U| fresh Dijkstras no
+  // per-call cache can amortize; its Phase-2 greedy loop runs only when the
+  // seed fails to connect), so it is reported but cannot speed up much by
+  // construction. The Alg-3 + Alg-4 total is kept for transparency.
+  const CompareEntry& hot_path = entries[1];
+  double greedy_uncached = 0.0;
+  double greedy_cached = 0.0;
+  for (std::size_t i = 0; i < 2; ++i) {
+    greedy_uncached += entries[i].uncached_ms;
+    greedy_cached += entries[i].cached_ms;
+  }
+  const double greedy_speedup =
+      greedy_cached > 0.0 ? greedy_uncached / greedy_cached : 0.0;
+
+  bool all_identical = true;
+  std::printf(
+      "CachedChannelFinder before/after — §V-A defaults, %zu passes "
+      "(best of %zu rounds)\n",
+      kPasses, kRounds);
+  std::printf("%-22s %12s %12s %9s %10s\n", "algorithm", "uncached ms",
+              "cached ms", "speedup", "identical");
+  for (const CompareEntry& e : entries) {
+    all_identical = all_identical && e.identical();
+    std::printf("%-22s %12.2f %12.2f %8.2fx %10s\n", e.name.c_str(),
+                e.uncached_ms, e.cached_ms, e.speedup(),
+                e.identical() ? "yes" : "NO");
+  }
+  std::printf(
+      "greedy hot path (Alg-4 tree growth): %.2f -> %.2f ms (%.2fx)\n",
+      hot_path.uncached_ms, hot_path.cached_ms, hot_path.speedup());
+  std::printf("greedy total (Alg-3 + Alg-4): %.2f -> %.2f ms (%.2fx)\n",
+              greedy_uncached, greedy_cached, greedy_speedup);
+
+  std::ofstream out(output_path);
+  if (!out) {
+    std::cerr << "cannot write " << output_path << "\n";
+    return 1;
+  }
+  out << "{\n  \"scenario\": {\"topology\": \"Waxman\", \"switches\": "
+      << scenario.switch_count << ", \"users\": " << scenario.user_count
+      << ", \"qubits_per_switch\": " << scenario.qubits_per_switch
+      << ", \"repetitions\": " << scenario.repetitions
+      << ", \"passes\": " << kPasses << "},\n";
+  out << "  \"algorithms\": [\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const CompareEntry& e = entries[i];
+    out << "    {\"name\": \"" << e.name << "\", \"uncached_ms\": "
+        << e.uncached_ms << ", \"cached_ms\": " << e.cached_ms
+        << ", \"speedup\": " << e.speedup() << ", \"identical\": "
+        << (e.identical() ? "true" : "false") << ",\n     \"uncached\": ";
+    write_counters_json(out, e.uncached_counters);
+    out << ",\n     \"cached\": ";
+    write_counters_json(out, e.cached_counters);
+    out << "}" << (i + 1 < entries.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"greedy_hot_path\": {\"name\": \"" << hot_path.name
+      << "\", \"uncached_ms\": " << hot_path.uncached_ms
+      << ", \"cached_ms\": " << hot_path.cached_ms
+      << ", \"speedup\": " << hot_path.speedup() << "},\n";
+  out << "  \"greedy_total\": {\"uncached_ms\": " << greedy_uncached
+      << ", \"cached_ms\": " << greedy_cached << ", \"speedup\": "
+      << greedy_speedup << "}\n}\n";
+  std::printf("wrote %s\n", output_path.c_str());
+
+  if (!all_identical) {
+    std::cerr << "FAIL: cached and uncached rates diverged\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg == "--compare") return run_compare("BENCH_routing.json");
+    if (arg.rfind("--compare=", 0) == 0) {
+      return run_compare(std::string(arg.substr(10)));
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

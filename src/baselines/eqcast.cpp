@@ -12,7 +12,7 @@ net::EntanglementTree extended_qcast(const net::QuantumNetwork& network,
   assert(!users.empty());
   if (users.size() == 1) return routing::make_tree({}, true);
 
-  const routing::ChannelFinder finder(network);
+  routing::CachedChannelFinder finder(network);
   net::CapacityState capacity(network);
   std::vector<net::Channel> committed;
   committed.reserve(users.size() - 1);

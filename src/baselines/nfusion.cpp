@@ -4,15 +4,15 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
-#include <unordered_set>
+#include <optional>
+#include <span>
+#include <vector>
 
-#include "graph/algorithms.hpp"
+#include "routing/channel_finder.hpp"
 
 namespace muerp::baselines {
 
 namespace {
-
-constexpr double kInf = std::numeric_limits<double>::infinity();
 
 double log_fusion_success(const net::QuantumNetwork& network,
                           const NFusionParams& params) {
@@ -28,49 +28,55 @@ std::optional<FusionPlan> build_star(const net::QuantumNetwork& network,
                                      const NFusionParams& params) {
   const double log_qf = log_fusion_success(network, params);
   net::CapacityState capacity(network);
+  // Algorithm 1's machinery over the fusion metric: q is replaced by q_f
+  // both in the edge weight (alpha * L - ln q_f) and the rate division.
+  // The cached finder keeps the centre's shortest-path tree alive across
+  // commits that flip no reachable relay status.
+  routing::CachedChannelFinder finder(network, std::exp(log_qf), log_qf);
 
-  std::unordered_set<net::NodeId> pending;
+  // Pending users as a NodeId-indexed bitmap (scanned once per user per
+  // round below; a hash set would dominate the scan).
+  std::vector<char> pending(network.graph().node_count(), 0);
+  std::size_t pending_count = 0;
   for (net::NodeId u : users) {
-    if (u != center) pending.insert(u);
+    if (u != center) {
+      pending[u] = 1;
+      ++pending_count;
+    }
   }
 
   FusionPlan plan;
   plan.center = center;
   double neg_log_total = -static_cast<double>(users.size() - 2) * log_qf;
 
-  // Greedy nearest-first attachment; capacities change after each commit, so
-  // the single-source search from the centre is re-run per round.
-  while (!pending.empty()) {
-    const auto weight = [&](graph::EdgeId e) {
-      return network.physical().attenuation *
-                 network.graph().edge(e).length_km -
-             log_qf;
-    };
-    const auto relay_ok = [&](net::NodeId v) {
-      return network.is_switch(v) && capacity.free_qubits(v) >= 2;
-    };
-    const auto sp = graph::dijkstra(network.graph(), center, weight, relay_ok);
-
-    net::NodeId best_user = graph::kInvalidNode;
+  // Greedy nearest-first attachment under residual capacity: scan the
+  // centre's distance array for the closest pending user, then extract only
+  // that winner into a Channel.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  while (pending_count > 0) {
     double best_dist = kInf;
-    for (net::NodeId u : pending) {
-      if (sp.distance[u] < best_dist) {
-        best_dist = sp.distance[u];
-        best_user = u;
+    net::NodeId best_destination = 0;
+    const std::span<const double> dist = finder.distances(center, capacity);
+    for (net::NodeId user : network.users()) {
+      if (!pending[user]) continue;
+      if (dist[user] < best_dist) {
+        best_dist = dist[user];
+        best_destination = user;
       }
     }
-    if (best_user == graph::kInvalidNode) return std::nullopt;
+    if (best_dist == kInf) return std::nullopt;
+    std::optional<net::Channel> best =
+        finder.extract_scanned(center, best_destination, capacity);
+    assert(best);
 
-    net::Channel channel;
-    channel.path =
-        graph::reconstruct_path(network.graph(), sp, center, best_user);
-    // exp(-dist)/q_f: the distance counts one fusion factor per link, but a
-    // channel with l links performs only l-1 relay fusions.
-    channel.rate = std::exp(-best_dist) / std::exp(log_qf);
-    neg_log_total += best_dist + log_qf;  // -log(channel rate)
-    capacity.commit_channel(channel.path);
-    plan.channels.push_back(std::move(channel));
-    pending.erase(best_user);
+    // best->rate is exp(-dist)/q_f: the distance counts one fusion factor
+    // per link, but a channel with l links performs only l-1 relay fusions;
+    // neg_log_rate is the matching dist + ln q_f.
+    neg_log_total += best->neg_log_rate;
+    capacity.commit_channel(best->path);
+    pending[best->destination()] = 0;
+    --pending_count;
+    plan.channels.push_back(std::move(*best));
   }
 
   plan.rate = std::exp(-neg_log_total);

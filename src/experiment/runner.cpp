@@ -1,7 +1,10 @@
 #include "experiment/runner.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <exception>
+#include <mutex>
 #include <thread>
 
 #include "baselines/eqcast.hpp"
@@ -91,17 +94,21 @@ ScenarioResult run_scenario(const Scenario& scenario,
   return run_scenario(scenario, kAllAlgorithms, options);
 }
 
-ScenarioResult run_scenario_parallel(const Scenario& scenario,
-                                     std::span<const Algorithm> algorithms,
-                                     const RunnerOptions& options,
-                                     unsigned threads) {
+namespace detail {
+
+void parallel_for_reps(std::size_t repetitions, unsigned threads,
+                       const std::function<void(std::size_t)>& body) {
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
   threads = std::min<unsigned>(
-      threads, static_cast<unsigned>(std::max<std::size_t>(1, scenario.repetitions)));
+      threads, static_cast<unsigned>(std::max<std::size_t>(1, repetitions)));
 
-  ScenarioResult result;
-  result.rates.assign(algorithms.size(),
-                      std::vector<double>(scenario.repetitions, 0.0));
+  // A worker exception must reach the caller, not std::terminate the
+  // process: the first one is captured under the mutex, the remaining
+  // workers drain their loops early via the flag, and every thread is
+  // joined before the rethrow.
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  std::atomic<bool> failed{false};
 
   // Static work split: worker w handles repetitions w, w+threads, ... Each
   // repetition writes to its own pre-sized slots, so no synchronization is
@@ -110,16 +117,40 @@ ScenarioResult run_scenario_parallel(const Scenario& scenario,
   pool.reserve(threads);
   for (unsigned w = 0; w < threads; ++w) {
     pool.emplace_back([&, w] {
-      for (std::size_t rep = w; rep < scenario.repetitions; rep += threads) {
+      try {
+        for (std::size_t rep = w; rep < repetitions; rep += threads) {
+          if (failed.load(std::memory_order_relaxed)) return;
+          body(rep);
+        }
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace detail
+
+ScenarioResult run_scenario_parallel(const Scenario& scenario,
+                                     std::span<const Algorithm> algorithms,
+                                     const RunnerOptions& options,
+                                     unsigned threads) {
+  ScenarioResult result;
+  result.rates.assign(algorithms.size(),
+                      std::vector<double>(scenario.repetitions, 0.0));
+
+  detail::parallel_for_reps(
+      scenario.repetitions, threads, [&](std::size_t rep) {
         Instance instance = instantiate(scenario, rep);
         for (std::size_t a = 0; a < algorithms.size(); ++a) {
           result.rates[a][rep] =
               run_algorithm(algorithms[a], instance, options);
         }
-      }
-    });
-  }
-  for (std::thread& t : pool) t.join();
+      });
   return result;
 }
 

@@ -10,6 +10,8 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -69,10 +71,24 @@ ScenarioResult run_scenario(const Scenario& scenario,
 /// Parallel variant: repetitions are independent (each has its own RNG
 /// stream split from the scenario seed), so they run on a thread pool.
 /// Results are bit-identical to run_scenario regardless of thread count;
-/// `threads` = 0 picks the hardware concurrency.
+/// `threads` = 0 picks the hardware concurrency. If any repetition throws,
+/// all workers are joined and the first exception is rethrown here.
 ScenarioResult run_scenario_parallel(const Scenario& scenario,
                                      std::span<const Algorithm> algorithms,
                                      const RunnerOptions& options = {},
                                      unsigned threads = 0);
+
+namespace detail {
+
+/// Work-splitting core of run_scenario_parallel: runs body(rep) for every
+/// rep in [0, repetitions) across `threads` workers (worker w handles
+/// repetitions w, w+threads, ...). A throwing body stops the fleet after
+/// the in-flight repetitions: the first exception is captured, every worker
+/// is joined, and the exception is rethrown on the calling thread —
+/// never std::terminate. Exposed so tests can drive the exception path.
+void parallel_for_reps(std::size_t repetitions, unsigned threads,
+                       const std::function<void(std::size_t)>& body);
+
+}  // namespace detail
 
 }  // namespace muerp::experiment

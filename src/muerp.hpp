@@ -40,6 +40,7 @@
 #include "routing/local_search.hpp"       // IWYU pragma: export
 #include "routing/multipath.hpp"          // IWYU pragma: export
 #include "routing/optimal_tree.hpp"       // IWYU pragma: export
+#include "routing/perf_counters.hpp"      // IWYU pragma: export
 #include "routing/plan.hpp"               // IWYU pragma: export
 #include "routing/prim_based.hpp"         // IWYU pragma: export
 #include "simulation/decoherence.hpp"     // IWYU pragma: export

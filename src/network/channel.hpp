@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <span>
 #include <string>
 #include <vector>
@@ -23,6 +24,12 @@ struct Channel {
   std::vector<graph::NodeId> path;
   /// Entanglement rate P_Lambda of Eq. (1).
   double rate = 0.0;
+  /// -ln(P_Lambda), as accumulated by the negative-log routing metric.
+  /// Unlike `rate`, which underflows to 0 for extremely lossy channels,
+  /// this stays finite for every found channel, so feasibility and
+  /// best-candidate decisions compare it instead of `rate`. Infinity for a
+  /// default-constructed (absent) channel.
+  double neg_log_rate = std::numeric_limits<double>::infinity();
 
   graph::NodeId source() const noexcept { return path.front(); }
   graph::NodeId destination() const noexcept { return path.back(); }

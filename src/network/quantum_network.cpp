@@ -1,5 +1,6 @@
 #include "network/quantum_network.hpp"
 
+#include <atomic>
 #include <limits>
 
 namespace muerp::net {
@@ -36,11 +37,37 @@ void QuantumNetwork::set_topology(graph::Graph pruned) {
   graph_ = std::move(pruned);
 }
 
+namespace {
+
+std::uint64_t next_capacity_state_id() noexcept {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
 CapacityState::CapacityState(const QuantumNetwork& network)
-    : network_(&network), free_(network.node_count()) {
+    : network_(&network),
+      free_(network.node_count()),
+      id_(next_capacity_state_id()) {
   for (NodeId v = 0; v < free_.size(); ++v) {
     free_[v] = network.qubits(v);
   }
+}
+
+CapacityState::CapacityState(const CapacityState& other)
+    : network_(other.network_),
+      free_(other.free_),
+      id_(next_capacity_state_id()) {}
+
+CapacityState& CapacityState::operator=(const CapacityState& other) {
+  if (this != &other) {
+    network_ = other.network_;
+    free_ = other.free_;
+    flips_.clear();
+    id_ = next_capacity_state_id();
+  }
+  return *this;
 }
 
 int CapacityState::free_qubits(NodeId v) const noexcept {
@@ -55,6 +82,7 @@ void CapacityState::commit_channel(std::span<const NodeId> path) {
     assert(network_->is_switch(v) && "channel interiors must be switches");
     assert(free_[v] >= 2 && "capacity violated at commit");
     free_[v] -= 2;
+    if (free_[v] < 2) flips_.push_back({v, false});  // can_relay: true -> false
   }
 }
 
@@ -63,8 +91,10 @@ void CapacityState::release_channel(std::span<const NodeId> path) {
   for (std::size_t i = 1; i + 1 < path.size(); ++i) {
     const NodeId v = path[i];
     assert(network_->is_switch(v));
+    const bool could_relay = free_[v] >= 2;
     free_[v] += 2;
     assert(free_[v] <= network_->qubits(v));
+    if (!could_relay) flips_.push_back({v, true});  // can_relay: false -> true
   }
 }
 

@@ -100,12 +100,38 @@ class QuantumNetwork {
   double log_swap_ = 0.0;
 };
 
+/// One can_relay() status change at a switch, as recorded in the
+/// CapacityState flip log. The direction lets consumers treat losses and
+/// gains of relay capability differently: a loss only affects shortest
+/// paths routed *through* the switch, a gain may open new ones anywhere
+/// the switch is reachable.
+struct RelayFlip {
+  NodeId node;
+  bool can_relay_now;  // status immediately after the flip
+};
+
 /// Mutable residual-qubit tracker used while channels are being committed.
 /// Users are unbounded (§II-A: "sufficient capacity"); switches start at Q_v
 /// and lose 2 qubits per committed channel that relays through them.
+///
+/// The routing weight never depends on residual capacity — only the binary
+/// can_relay() predicate does — so a shortest-path tree computed under this
+/// state stays valid until some switch's relay status *flips*. The state
+/// therefore keeps a monotonically increasing epoch (one tick per flip) plus
+/// the flip log itself, which CachedChannelFinder consumes to decide whether
+/// a memoized tree is still exact (see routing/channel_finder.hpp for the
+/// invalidation contract).
 class CapacityState {
  public:
   explicit CapacityState(const QuantumNetwork& network);
+
+  /// Copies track the same residuals but start a fresh identity (new id,
+  /// empty flip log): finder caches keyed to the original never alias a
+  /// copy that later diverges.
+  CapacityState(const CapacityState& other);
+  CapacityState& operator=(const CapacityState& other);
+  CapacityState(CapacityState&&) noexcept = default;
+  CapacityState& operator=(CapacityState&&) noexcept = default;
 
   /// Free qubits at v; users report a large sentinel (never exhausted).
   int free_qubits(NodeId v) const noexcept;
@@ -121,9 +147,25 @@ class CapacityState {
   /// Reverses commit_channel for the same path.
   void release_channel(std::span<const NodeId> path);
 
+  /// Process-unique identity of this state (fresh per construction/copy).
+  std::uint64_t id() const noexcept { return id_; }
+
+  /// Number of can_relay() flips recorded so far; advances by one per
+  /// switch whose status changed during a commit or release.
+  std::uint64_t epoch() const noexcept { return flips_.size(); }
+
+  /// The flips recorded at epochs [since, epoch()), in order, each with the
+  /// switch's post-flip relay status. `since` must not exceed epoch().
+  std::span<const RelayFlip> flips_since(std::uint64_t since) const noexcept {
+    assert(since <= flips_.size());
+    return {flips_.data() + since, flips_.size() - since};
+  }
+
  private:
   const QuantumNetwork* network_;
   std::vector<int> free_;
+  std::vector<RelayFlip> flips_;
+  std::uint64_t id_;
 };
 
 }  // namespace muerp::net

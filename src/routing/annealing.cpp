@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "network/rate.hpp"
+#include "routing/channel_finder.hpp"
 #include "routing/k_shortest.hpp"
 #include "routing/plan.hpp"
 #include "support/union_find.hpp"
@@ -51,6 +52,10 @@ AnnealingStats anneal_tree(const net::QuantumNetwork& network,
     capacity.commit_channel(ch.path);
   }
 
+  // Serves the k_best base paths from memoized per-source trees; proposals
+  // that flip no reachable relay status reuse them across iterations.
+  CachedChannelFinder finder(network);
+
   net::EntanglementTree best = tree;
   double current_log = std::log(tree.rate);
   double best_log = current_log;
@@ -73,7 +78,7 @@ AnnealingStats anneal_tree(const net::QuantumNetwork& network,
     const net::NodeId a = left[rng.uniform_index(left.size())];
     const net::NodeId b = right[rng.uniform_index(right.size())];
     const auto candidates =
-        k_best_channels(network, a, b, capacity, params.k_candidates);
+        k_best_channels(network, a, b, capacity, params.k_candidates, &finder);
 
     bool moved = false;
     if (!candidates.empty()) {

@@ -15,9 +15,33 @@
 //
 // A single run from a source user yields best channels to *all* users (the
 // complexity optimization of §IV-B), which find_best_channels exposes.
+//
+// CachedChannelFinder memoizes those per-source shortest-path trees across
+// capacity commits/releases. The edge weight is capacity-independent — only
+// the binary can_relay() predicate gates traversal — so a tree computed at
+// CapacityState epoch e keeps serving *exact* answers at user destinations
+// (the only entries consumers read) until a relay-status flip can touch a
+// source->user path:
+//   - a switch flipping true->false breaks a path only if it lies ON some
+//     source->user shortest path (tracked per tree in on_user_path);
+//   - a switch flipping false->true may open shorter paths anywhere it is
+//     reachable (dist < inf);
+//   - an unreachable switch flipping either way cannot affect the tree (no
+//     path reaches it, so no path can cross it).
+// The finder replays CapacityState::flips_since(e) per query and recomputes
+// only invalidated sources, making the greedy tree-growth loops of
+// Algorithms 3/4 (and the baselines) cheap when commits leave relay
+// statuses untouched. After an accepted true->false flip off the user
+// paths, dist entries at *interior* nodes routed through the flipped switch
+// can go stale (they under-estimate, never over-estimate, and finite never
+// masquerades as infinity) — which keeps the reachability test above
+// conservative and every user-facing answer bit-identical to the uncached
+// finder.
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "network/channel.hpp"
@@ -28,13 +52,26 @@ namespace muerp::routing {
 class ChannelFinder {
  public:
   explicit ChannelFinder(const net::QuantumNetwork& network)
-      : network_(&network) {}
+      : network_(&network),
+        swap_success_(network.physical().swap_success),
+        log_swap_(network.log_swap_success()) {}
+
+  /// Custom swap factor: `swap_success` replaces q both in the edge weight
+  /// (alpha * L - log_swap) and in the Eq. (1) division. `log_swap` is
+  /// passed separately (not recomputed) so callers that already work in log
+  /// space — N-FUSION's fusion metric — keep bit-identical arithmetic.
+  ChannelFinder(const net::QuantumNetwork& network, double swap_success,
+                double log_swap)
+      : network_(&network), swap_success_(swap_success), log_swap_(log_swap) {}
 
   /// Best channel from `source` to `destination` under `capacity`;
   /// nullopt when no capacity-respecting channel exists (Line 19).
+  /// `routing_distance`, when non-null, receives the raw Dijkstra distance
+  /// (Yen's algorithm seeds its candidate ordering with it).
   std::optional<net::Channel> find_best_channel(
       net::NodeId source, net::NodeId destination,
-      const net::CapacityState& capacity) const;
+      const net::CapacityState& capacity,
+      double* routing_distance = nullptr) const;
 
   /// One Dijkstra run from `source`: best channels to every *other* user
   /// that is reachable under `capacity`. Entries are in ascending order of
@@ -43,6 +80,8 @@ class ChannelFinder {
       net::NodeId source, const net::CapacityState& capacity) const;
 
  private:
+  friend class CachedChannelFinder;
+
   /// Shared Dijkstra; fills dist/parent arrays sized to the node count.
   void run_dijkstra(net::NodeId source, const net::CapacityState& capacity,
                     std::vector<double>& dist,
@@ -56,6 +95,95 @@ class ChannelFinder {
       const std::vector<graph::EdgeId>& parent) const;
 
   const net::QuantumNetwork* network_;
+  double swap_success_;
+  double log_swap_;
+};
+
+/// Memoizing wrapper around ChannelFinder (see the invalidation contract in
+/// the header comment). Not thread-safe: one instance per algorithm run, on
+/// one thread, like the CapacityState it observes. Construction snapshots
+/// finder_cache_enabled(); when disabled the wrapper degrades to a plain
+/// finder that reuses its scratch buffers.
+class CachedChannelFinder {
+ public:
+  explicit CachedChannelFinder(const net::QuantumNetwork& network);
+  CachedChannelFinder(const net::QuantumNetwork& network, double swap_success,
+                      double log_swap);
+
+  /// Identical results to ChannelFinder::find_best_channel.
+  std::optional<net::Channel> find_best_channel(
+      net::NodeId source, net::NodeId destination,
+      const net::CapacityState& capacity, double* routing_distance = nullptr);
+
+  /// Identical results to ChannelFinder::find_best_channels.
+  std::vector<net::Channel> find_best_channels(
+      net::NodeId source, const net::CapacityState& capacity);
+
+  /// Routing distances from `source` under `capacity`, indexed by NodeId
+  /// (infinity = unreachable). Entries at *user* nodes are always exact;
+  /// interior-node entries may be stale after relay flips (see the header
+  /// comment). This is the cheap selection path for the greedy loops:
+  /// scanning user entries costs O(|U|) per source, against the
+  /// O(path * |U|) Channel construction of find_best_channels, and a cache
+  /// hit does no Dijkstra work at all. The span aliases the cache entry for
+  /// `source` — treat it as invalidated by any subsequent query on this
+  /// finder: scan it first, then re-extract the winner with
+  /// find_best_channel.
+  std::span<const double> distances(net::NodeId source,
+                                    const net::CapacityState& capacity);
+
+  /// Channel to `destination` extracted from the tree a *prior* distances()
+  /// or find_best_channel call left buffered for `source` — never runs
+  /// Dijkstra, in either cache mode. Precondition (asserted): no
+  /// commit/release was applied to `capacity` since that call, so the
+  /// buffered tree is exactly what a fresh Dijkstra would produce. This is
+  /// how the greedy loops extract their per-round winner: the scan and the
+  /// extraction share one tree, like the original single-run code path.
+  std::optional<net::Channel> extract_scanned(
+      net::NodeId source, net::NodeId destination,
+      const net::CapacityState& capacity);
+
+ private:
+  struct CachedTree {
+    std::vector<double> dist;
+    std::vector<graph::EdgeId> parent;
+    /// 1 for nodes lying on some source->user shortest path (the only part
+    /// of the tree consumers ever read). Built lazily the first time an
+    /// invalidation check needs it — one-shot queries never pay for it.
+    std::vector<char> on_user_path;
+    std::uint64_t state_id = 0;  // CapacityState::id() the tree was built on
+    std::uint64_t epoch = 0;     // flips already accounted for
+    bool valid = false;
+    bool marks_built = false;
+  };
+
+  /// Fills `tree.on_user_path` from its dist/parent arrays. Valid to call
+  /// any time after the Dijkstra run: accepted flips never alter the
+  /// source->user paths (that is the invalidation criterion), so the marks
+  /// come out the same whether built eagerly or on first use.
+  void build_marks(CachedTree& tree, net::NodeId source) const;
+
+  /// True if the flip log tail invalidates `tree`. Flips are coalesced per
+  /// node first: a status that flipped an even number of times is back where
+  /// the tree last saw it, and the transient states between queries are
+  /// unobservable (local_search releases a channel and usually re-commits
+  /// the very same path — a net no-op this check sees through).
+  bool invalidated_by_flips(CachedTree& tree, net::NodeId source,
+                            std::span<const net::RelayFlip> flips);
+
+  /// Returns the up-to-date shortest-path tree from `source`, recomputing
+  /// it when the cache is cold, keyed to a different CapacityState, or hit
+  /// by a reachable relay-status flip.
+  CachedTree& tree_for(net::NodeId source, const net::CapacityState& capacity);
+
+  ChannelFinder base_;
+  bool enabled_;
+  std::vector<CachedTree> cache_;  // indexed by source NodeId
+
+  // Scratch for invalidated_by_flips (node-indexed; zeroed between calls).
+  std::vector<char> flip_parity_;
+  std::vector<char> flip_status_;
+  std::vector<net::NodeId> flip_nodes_;
 };
 
 }  // namespace muerp::routing

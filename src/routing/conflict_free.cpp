@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
+#include <optional>
+#include <span>
 #include <unordered_map>
 
 #include "routing/channel_finder.hpp"
@@ -24,24 +27,19 @@ bool fits([[maybe_unused]] const net::QuantumNetwork& network,
   return true;
 }
 
-}  // namespace
-
-net::EntanglementTree conflict_free(const net::QuantumNetwork& network,
-                                    std::span<const net::NodeId> users) {
-  return conflict_free_from(network, users,
-                            optimal_special_case(network, users));
-}
-
-net::EntanglementTree conflict_free_from(
-    const net::QuantumNetwork& network, std::span<const net::NodeId> users,
-    const net::EntanglementTree& initial) {
+/// Both conflict_free entry points funnel here; `capacity` must be fresh
+/// (no commits yet), `finder` may already hold trees queried against it.
+net::EntanglementTree conflict_free_shared(const net::QuantumNetwork& network,
+                                           std::span<const net::NodeId> users,
+                                           const net::EntanglementTree& initial,
+                                           CachedChannelFinder& finder,
+                                           net::CapacityState& capacity) {
   assert(!users.empty());
   if (users.size() == 1) return make_tree({}, true);
 
   std::unordered_map<net::NodeId, std::size_t> index;
   for (std::size_t i = 0; i < users.size(); ++i) index[users[i]] = i;
 
-  net::CapacityState capacity(network);
   support::UnionFind unions(users.size());
   std::vector<net::Channel> committed;
 
@@ -64,31 +62,71 @@ net::EntanglementTree conflict_free_from(
     committed.push_back(*c);
   }
 
-  // Phase 2: reconnect the unions greedily under residual capacities.
-  const ChannelFinder finder(network);
+  // Phase 2: reconnect the unions greedily under residual capacities. The
+  // cached finder keeps per-source shortest-path trees alive across commits
+  // that flip no reachable relay status — including the trees Algorithm 2
+  // computed for the seed — so each round mostly scans distance arrays
+  // instead of re-running |U| Dijkstras; only the winner becomes a Channel.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
   while (unions.set_count() > 1) {
-    net::Channel best;
-    best.rate = 0.0;  // "CurrentRate <- 0" (Line 17)
+    // "CurrentRate <- 0" (Line 17); compared on routing distance
+    // (= -log(rate) up to the constant swap term) so channels whose rate
+    // underflowed to 0 remain selectable (see prim_based.cpp).
+    double best_dist = kInf;
+    net::NodeId best_source = 0;
+    net::NodeId best_destination = 0;
     for (net::NodeId source : users) {
-      // One Dijkstra per source covers all cross-union destinations.
-      for (net::Channel& candidate : finder.find_best_channels(source, capacity)) {
-        const auto dst = index.find(candidate.destination());
+      // One Dijkstra (at most) per source covers all cross-union pairs.
+      const std::size_t source_index = index.at(source);
+      const std::span<const double> dist = finder.distances(source, capacity);
+      for (net::NodeId user : network.users()) {
+        if (user <= source) continue;  // pair seen once
+        const auto dst = index.find(user);
         if (dst == index.end()) continue;
-        if (candidate.destination() < source) continue;  // pair seen once
-        if (unions.connected(index.at(source), dst->second)) continue;
-        if (candidate.rate > best.rate) best = std::move(candidate);
+        if (unions.connected(source_index, dst->second)) continue;
+        if (dist[user] < best_dist) {
+          best_dist = dist[user];
+          best_source = source;
+          best_destination = user;
+        }
       }
     }
-    if (best.rate == 0.0) {
+    if (best_dist == kInf) {
       // Line 25: no feasible channel bridges any two unions — terminate.
       return make_tree(std::move(committed), false);
     }
-    capacity.commit_channel(best.path);
-    unions.unite(index.at(best.source()), index.at(best.destination()));
-    committed.push_back(std::move(best));
+    std::optional<net::Channel> best =
+        finder.extract_scanned(best_source, best_destination, capacity);
+    assert(best);
+    capacity.commit_channel(best->path);
+    unions.unite(index.at(best->source()), index.at(best->destination()));
+    committed.push_back(std::move(*best));
   }
 
   return make_tree(std::move(committed), true);
+}
+
+}  // namespace
+
+net::EntanglementTree conflict_free(const net::QuantumNetwork& network,
+                                    std::span<const net::NodeId> users) {
+  // One finder serves both stages: Algorithm 2 queries it against the
+  // still-uncommitted capacity object Phase 2 runs under, so Phase 2's
+  // first sweep reuses the seed's shortest-path trees wherever Phase 1's
+  // commits flipped no reachable relay status.
+  net::CapacityState capacity(network);
+  CachedChannelFinder finder(network);
+  const net::EntanglementTree initial =
+      optimal_special_case(network, users, finder, capacity);
+  return conflict_free_shared(network, users, initial, finder, capacity);
+}
+
+net::EntanglementTree conflict_free_from(
+    const net::QuantumNetwork& network, std::span<const net::NodeId> users,
+    const net::EntanglementTree& initial) {
+  net::CapacityState capacity(network);
+  CachedChannelFinder finder(network);
+  return conflict_free_shared(network, users, initial, finder, capacity);
 }
 
 }  // namespace muerp::routing

@@ -9,6 +9,8 @@
 #include <unordered_set>
 
 #include "network/rate.hpp"
+#include "routing/channel_finder.hpp"
+#include "routing/perf_counters.hpp"
 
 namespace muerp::routing {
 
@@ -33,6 +35,8 @@ std::optional<WeightedPath> restricted_dijkstra(
     net::NodeId target, const net::CapacityState& capacity,
     const std::unordered_set<graph::EdgeId>& banned_edges,
     const std::unordered_set<net::NodeId>& banned_nodes) {
+  PerfCounters& counters = perf_counters();
+  ++counters.dijkstra_runs;
   const auto& g = network.graph();
   std::vector<double> dist(g.node_count(), kInf);
   std::vector<graph::EdgeId> parent(g.node_count(), graph::kInvalidEdge);
@@ -44,6 +48,7 @@ std::optional<WeightedPath> restricted_dijkstra(
   while (!heap.empty()) {
     const auto [d, v] = heap.top();
     heap.pop();
+    ++counters.heap_pops;
     if (d > dist[v]) continue;
     if (v != source &&
         (!network.is_switch(v) || capacity.free_qubits(v) < 2)) {
@@ -92,7 +97,8 @@ std::vector<net::Channel> k_best_channels(const net::QuantumNetwork& network,
                                           net::NodeId source,
                                           net::NodeId destination,
                                           const net::CapacityState& capacity,
-                                          std::size_t k) {
+                                          std::size_t k,
+                                          CachedChannelFinder* finder) {
   assert(network.is_user(source) && network.is_user(destination));
   assert(source != destination);
   std::vector<net::Channel> result;
@@ -101,10 +107,23 @@ std::vector<net::Channel> k_best_channels(const net::QuantumNetwork& network,
   std::vector<WeightedPath> accepted;  // A in Yen's terms
   std::set<WeightedPath> candidates;   // B: ordered, deduplicated
 
-  auto first = restricted_dijkstra(network, source, destination, capacity,
-                                   {}, {});
-  if (!first) return result;
-  accepted.push_back(std::move(*first));
+  if (finder != nullptr) {
+    // The unrestricted base path is exactly Algorithm 1's answer — take it
+    // from the memoized per-source tree instead of a fresh Dijkstra.
+    double distance = kInf;
+    auto ch = finder->find_best_channel(source, destination, capacity,
+                                        &distance);
+    if (!ch) return result;
+    WeightedPath first;
+    first.nodes = std::move(ch->path);
+    first.cost = distance;
+    accepted.push_back(std::move(first));
+  } else {
+    auto first = restricted_dijkstra(network, source, destination, capacity,
+                                     {}, {});
+    if (!first) return result;
+    accepted.push_back(std::move(*first));
+  }
 
   while (accepted.size() < k) {
     const WeightedPath& previous = accepted.back();
@@ -156,6 +175,7 @@ std::vector<net::Channel> k_best_channels(const net::QuantumNetwork& network,
     net::Channel channel;
     channel.rate = net::rate_from_routing_distance(
         p.cost, network.physical().swap_success);
+    channel.neg_log_rate = p.cost + network.log_swap_success();
     channel.path = std::move(p.nodes);
     result.push_back(std::move(channel));
   }

@@ -18,13 +18,20 @@
 
 namespace muerp::routing {
 
+class CachedChannelFinder;
+
 /// Up to `k` distinct channels from `source` to `destination`, best first
 /// (strictly decreasing rate ties broken arbitrarily). Fewer are returned
 /// when the graph has fewer simple channels. k = 0 returns empty.
+///
+/// `finder`, when non-null, serves the initial (unrestricted) shortest path
+/// from its memoized per-source trees — the spur searches of Yen's loop ban
+/// edges/nodes and always run fresh. Results are identical either way.
 std::vector<net::Channel> k_best_channels(const net::QuantumNetwork& network,
                                           net::NodeId source,
                                           net::NodeId destination,
                                           const net::CapacityState& capacity,
-                                          std::size_t k);
+                                          std::size_t k,
+                                          CachedChannelFinder* finder = nullptr);
 
 }  // namespace muerp::routing

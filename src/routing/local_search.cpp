@@ -1,6 +1,7 @@
 #include "routing/local_search.hpp"
 
 #include <cassert>
+#include <span>
 #include <unordered_map>
 
 #include "network/rate.hpp"
@@ -51,7 +52,10 @@ LocalSearchStats improve_tree(const net::QuantumNetwork& network,
     capacity.commit_channel(ch.path);
   }
 
-  const ChannelFinder finder(network);
+  // Cached finder: releasing/committing a channel flips relay statuses only
+  // at switches crossing the 2-qubit threshold, so most of the |U| source
+  // trees queried per candidate survive between exchanges.
+  CachedChannelFinder finder(network);
   bool improved = true;
   while (improved && stats.sweeps < max_sweeps) {
     improved = false;
@@ -63,19 +67,36 @@ LocalSearchStats improve_tree(const net::QuantumNetwork& network,
       capacity.release_channel(current.path);
       const auto side = split_sides(users, index, tree.channels, c);
 
-      net::Channel best = current;  // keeping the channel is the floor
+      // Keeping the channel is the floor; candidates are compared on rates
+      // recomputed from the distance arrays (identical arithmetic to
+      // Channel extraction) and only a winning bridge is materialized.
+      double best_rate = current.rate;
+      net::NodeId best_source = 0;
+      net::NodeId best_destination = 0;
+      bool found = false;
       for (std::size_t i = 0; i < users.size(); ++i) {
         if (side[i] != 0) continue;
-        for (net::Channel& candidate :
-             finder.find_best_channels(users[i], capacity)) {
-          const auto dst = index.find(candidate.destination());
+        const std::span<const double> dist =
+            finder.distances(users[i], capacity);
+        for (net::NodeId user : network.users()) {
+          const auto dst = index.find(user);
           if (dst == index.end() || side[dst->second] != 1) continue;
-          if (candidate.rate > best.rate) best = std::move(candidate);
+          const double rate = net::rate_from_routing_distance(
+              dist[user], network.physical().swap_success);
+          if (rate > best_rate) {
+            best_rate = rate;
+            best_source = users[i];
+            best_destination = user;
+            found = true;
+          }
         }
       }
 
-      if (best.rate > current.rate * (1.0 + 1e-12)) {
-        tree.channels[c] = std::move(best);
+      if (found && best_rate > current.rate * (1.0 + 1e-12)) {
+        auto best =
+            finder.extract_scanned(best_source, best_destination, capacity);
+        assert(best);
+        tree.channels[c] = std::move(*best);
         ++stats.exchanges;
         improved = true;
       }

@@ -21,8 +21,9 @@ double bundle_success(std::span<const net::Channel> channels) noexcept {
 MultipathPlan provision_multipath(const net::QuantumNetwork& network,
                                   const net::EntanglementTree& tree,
                                   const MultipathOptions& options) {
-  assert(tree.feasible);
   MultipathPlan plan;
+  if (!tree.feasible) return plan;  // infeasible in, infeasible (rate 0) out
+  plan.feasible = true;
   plan.bundles.resize(tree.channels.size());
 
   net::CapacityState capacity(network);
@@ -32,7 +33,7 @@ MultipathPlan provision_multipath(const net::QuantumNetwork& network,
     plan.bundles[i].bundle_rate = tree.channels[i].rate;
   }
 
-  const ChannelFinder finder(network);
+  CachedChannelFinder finder(network);
   // Greedy marginal-gain loop: each iteration adds the single redundant
   // channel (over all edges) with the largest log-rate improvement.
   while (true) {

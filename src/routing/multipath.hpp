@@ -39,6 +39,9 @@ struct MultipathPlan {
   /// Product of bundle rates (the boosted Eq. 2).
   double rate = 0.0;
   std::size_t redundant_channels = 0;
+  /// True when provisioned from a feasible tree. Infeasible plans carry no
+  /// bundles and must report rate 0 — simulators check this before sampling.
+  bool feasible = false;
 };
 
 struct MultipathOptions {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
+#include <span>
 #include <unordered_map>
 
 #include "routing/channel_finder.hpp"
@@ -21,6 +23,15 @@ bool sufficient_condition_holds(const net::QuantumNetwork& network,
 
 net::EntanglementTree optimal_special_case(
     const net::QuantumNetwork& network, std::span<const net::NodeId> users) {
+  CachedChannelFinder finder(network);
+  const net::CapacityState fresh(network);
+  return optimal_special_case(network, users, finder, fresh);
+}
+
+net::EntanglementTree optimal_special_case(const net::QuantumNetwork& network,
+                                           std::span<const net::NodeId> users,
+                                           CachedChannelFinder& finder,
+                                           const net::CapacityState& capacity) {
   assert(!users.empty());
   if (users.size() == 1) return make_tree({}, true);
 
@@ -31,31 +42,49 @@ net::EntanglementTree optimal_special_case(
   }
   assert(index.size() == users.size() && "users must be distinct");
 
-  // Step 1: all-pairs best channels. One Dijkstra per source covers every
-  // destination; keep each unordered pair once (source id < destination id).
-  const ChannelFinder finder(network);
-  const net::CapacityState fresh(network);
-  std::vector<net::Channel> candidates;
+  // Step 1: all-pairs routing distances. One Dijkstra per source covers
+  // every destination; keep each unordered pair once (source < destination).
+  // Channels are only materialized for the |U|-1 pairs Kruskal keeps.
+  struct Candidate {
+    double dist;
+    net::NodeId source;
+    net::NodeId destination;
+  };
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<char> requested(network.graph().node_count(), 0);
+  for (net::NodeId u : users) requested[u] = 1;
+  std::vector<Candidate> candidates;
+  candidates.reserve(users.size() * (users.size() - 1) / 2);
   for (net::NodeId source : users) {
-    for (net::Channel& channel : finder.find_best_channels(source, fresh)) {
-      if (!index.contains(channel.destination())) continue;
-      if (channel.destination() < source) continue;  // pair already covered
-      candidates.push_back(std::move(channel));
+    const std::span<const double> dist = finder.distances(source, capacity);
+    for (net::NodeId user : network.users()) {
+      if (user <= source) continue;  // pair already covered
+      if (!requested[user]) continue;
+      if (dist[user] == kInf) continue;
+      candidates.push_back({dist[user], source, user});
     }
   }
 
-  // Step 2: Kruskal over users in descending rate order (Lines 6-13).
+  // Step 2: Kruskal over users in descending rate order (Lines 6-13) ==
+  // ascending routing-distance order (exp is monotone, and -log distances
+  // keep ordering channels whose rates underflowed to equal doubles); the
+  // endpoint ids make ties deterministic.
   std::sort(candidates.begin(), candidates.end(),
-            [](const net::Channel& l, const net::Channel& r) {
-              return l.rate > r.rate;
+            [](const Candidate& l, const Candidate& r) {
+              if (l.dist != r.dist) return l.dist < r.dist;
+              if (l.source != r.source) return l.source < r.source;
+              return l.destination < r.destination;
             });
   support::UnionFind unions(users.size());
   std::vector<net::Channel> selected;
-  for (net::Channel& channel : candidates) {
+  for (const Candidate& c : candidates) {
     if (selected.size() == users.size() - 1) break;
-    const std::size_t a = index.at(channel.source());
-    const std::size_t b = index.at(channel.destination());
-    if (unions.unite(a, b)) selected.push_back(std::move(channel));
+    if (!unions.unite(index.at(c.source), index.at(c.destination))) continue;
+    // `capacity` is untouched since Step 1, so every source's buffered tree
+    // is still exact and extraction never re-runs Dijkstra.
+    auto channel = finder.extract_scanned(c.source, c.destination, capacity);
+    assert(channel);
+    selected.push_back(std::move(*channel));
   }
 
   const bool feasible = unions.set_count() == 1;

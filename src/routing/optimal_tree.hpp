@@ -28,6 +28,8 @@
 
 namespace muerp::routing {
 
+class CachedChannelFinder;
+
 /// True if Q_r >= 2*|users| for every switch (Theorem 3's hypothesis).
 bool sufficient_condition_holds(const net::QuantumNetwork& network,
                                 std::span<const net::NodeId> users);
@@ -37,5 +39,16 @@ bool sufficient_condition_holds(const net::QuantumNetwork& network,
 /// infeasible (rate 0) only if the users are not mutually reachable.
 net::EntanglementTree optimal_special_case(const net::QuantumNetwork& network,
                                            std::span<const net::NodeId> users);
+
+/// Algorithm 2 evaluated through a caller-supplied finder and capacity
+/// state. `capacity` must be consistent with the commits already applied to
+/// it (Algorithm 2 itself is capacity-oblivious, so callers normally pass it
+/// untouched). Algorithm 3 uses this to seed its Phase-2 finder: the
+/// per-source shortest-path trees computed here stay cached and are reused
+/// by Phase 2 wherever Phase 1's commits flipped no reachable relay status.
+net::EntanglementTree optimal_special_case(const net::QuantumNetwork& network,
+                                           std::span<const net::NodeId> users,
+                                           CachedChannelFinder& finder,
+                                           const net::CapacityState& capacity);
 
 }  // namespace muerp::routing

@@ -1,0 +1,36 @@
+#include "routing/perf_counters.hpp"
+
+#include <atomic>
+
+namespace muerp::routing {
+
+namespace {
+
+thread_local PerfCounters tls_counters;
+
+std::atomic<bool> cache_enabled{true};
+
+}  // namespace
+
+PerfCounters& PerfCounters::operator-=(const PerfCounters& other) noexcept {
+  dijkstra_runs -= other.dijkstra_runs;
+  heap_pops -= other.heap_pops;
+  cache_hits -= other.cache_hits;
+  cache_misses -= other.cache_misses;
+  cache_invalidations -= other.cache_invalidations;
+  return *this;
+}
+
+PerfCounters& perf_counters() noexcept { return tls_counters; }
+
+void reset_perf_counters() noexcept { tls_counters = PerfCounters{}; }
+
+bool finder_cache_enabled() noexcept {
+  return cache_enabled.load(std::memory_order_relaxed);
+}
+
+void set_finder_cache_enabled(bool enabled) noexcept {
+  cache_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace muerp::routing

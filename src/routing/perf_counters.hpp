@@ -1,0 +1,54 @@
+// Lightweight instrumentation of the routing hot path.
+//
+// Every Dijkstra the routing layer runs — ChannelFinder, the cached finder,
+// Yen's restricted searches — ticks the thread-local counters exposed here,
+// so benchmarks and experiments can attribute wall-clock time to algorithmic
+// work (dijkstra_runs, heap_pops) and observe how well CachedChannelFinder
+// amortizes it (cache_hits / cache_misses / cache_invalidations). Counters
+// are thread-local: the parallel experiment runner's workers never contend,
+// and a single-threaded bench reads a complete picture from its own thread.
+//
+// The global cache toggle lets benchmarks and tests run the exact same
+// algorithm code with memoization disabled (every query recomputes) for
+// before/after comparisons; results are bit-identical either way.
+#pragma once
+
+#include <cstdint>
+
+namespace muerp::routing {
+
+/// Counters accumulated by the routing layer on the current thread.
+struct PerfCounters {
+  /// Full single-source Dijkstra runs (cache misses recompute; disabled
+  /// caches recompute every query).
+  std::uint64_t dijkstra_runs = 0;
+  /// Priority-queue pops across all Dijkstra runs (stale entries included).
+  std::uint64_t heap_pops = 0;
+  /// Cached shortest-path trees served without recomputation.
+  std::uint64_t cache_hits = 0;
+  /// Queries that found no usable cached tree and ran Dijkstra.
+  std::uint64_t cache_misses = 0;
+  /// Cached trees discarded because a can_relay() flip reached them.
+  std::uint64_t cache_invalidations = 0;
+
+  PerfCounters& operator-=(const PerfCounters& other) noexcept;
+  friend PerfCounters operator-(PerfCounters lhs,
+                                const PerfCounters& rhs) noexcept {
+    lhs -= rhs;
+    return lhs;
+  }
+};
+
+/// The current thread's counters; mutable so callers may snapshot or zero
+/// selected fields.
+PerfCounters& perf_counters() noexcept;
+
+/// Zeroes the current thread's counters.
+void reset_perf_counters() noexcept;
+
+/// Global switch for CachedChannelFinder memoization (default: enabled).
+/// Read once at finder construction; flip it only between algorithm runs.
+bool finder_cache_enabled() noexcept;
+void set_finder_cache_enabled(bool enabled) noexcept;
+
+}  // namespace muerp::routing

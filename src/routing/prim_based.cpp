@@ -1,7 +1,9 @@
 #include "routing/prim_based.hpp"
 
 #include <cassert>
-#include <unordered_set>
+#include <limits>
+#include <optional>
+#include <span>
 #include <vector>
 
 #include "routing/channel_finder.hpp"
@@ -24,32 +26,59 @@ net::EntanglementTree prim_based_shared(const net::QuantumNetwork& network,
   assert(seed_user_index < users.size());
   if (users.size() == 1) return make_tree({}, true);
 
-  std::vector<net::NodeId> connected{users[seed_user_index]};   // U1
-  std::unordered_set<net::NodeId> pending;                      // U2
+  std::vector<net::NodeId> connected{users[seed_user_index]};  // U1
+  // U2 as a NodeId-indexed bitmap: the selection scan below tests membership
+  // once per (source, user) pair, which a hash set would dominate.
+  std::vector<char> pending(network.graph().node_count(), 0);
+  std::size_t pending_count = 0;
   for (std::size_t i = 0; i < users.size(); ++i) {
-    if (i != seed_user_index) pending.insert(users[i]);
+    if (i != seed_user_index) {
+      pending[users[i]] = 1;
+      ++pending_count;
+    }
   }
 
-  const ChannelFinder finder(network);
+  // The cached finder memoizes one shortest-path tree per connected source;
+  // a commit only invalidates trees that a flipped switch can reach, so most
+  // growth iterations re-run Dijkstra for the newly connected user alone.
+  // Selection scans the raw distance arrays — building Channel objects for
+  // every candidate would cost more than the memoized Dijkstras save — and
+  // only the winning (source, destination) pair is extracted into a Channel.
+  CachedChannelFinder finder(network);
   std::vector<net::Channel> committed;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
 
-  while (!pending.empty()) {
-    net::Channel best;
-    best.rate = 0.0;  // "CurrentRate <- 0" (Line 5)
+  while (pending_count > 0) {
+    // "CurrentRate <- 0" (Line 5). Candidates compare on routing distance
+    // (= -log(rate) up to the constant swap term): a feasible channel whose
+    // Eq. (1) rate underflowed to 0 still beats "no channel", so extremely
+    // lossy trees stay feasible.
+    double best_dist = kInf;
+    net::NodeId best_source = 0;
+    net::NodeId best_destination = 0;
     for (net::NodeId source : connected) {
-      for (net::Channel& candidate : finder.find_best_channels(source, capacity)) {
-        if (!pending.contains(candidate.destination())) continue;
-        if (candidate.rate > best.rate) best = std::move(candidate);
+      const std::span<const double> dist = finder.distances(source, capacity);
+      for (net::NodeId user : network.users()) {
+        if (!pending[user]) continue;
+        if (dist[user] < best_dist) {
+          best_dist = dist[user];
+          best_source = source;
+          best_destination = user;
+        }
       }
     }
-    if (best.rate == 0.0) {
+    if (best_dist == kInf) {
       // Line 13: U1 and U2 cannot be bridged under residual capacity.
       return make_tree(std::move(committed), false);
     }
-    capacity.commit_channel(best.path);
-    pending.erase(best.destination());
-    connected.push_back(best.destination());
-    committed.push_back(std::move(best));
+    std::optional<net::Channel> best =
+        finder.extract_scanned(best_source, best_destination, capacity);
+    assert(best);
+    capacity.commit_channel(best->path);
+    pending[best->destination()] = 0;
+    --pending_count;
+    connected.push_back(best->destination());
+    committed.push_back(std::move(*best));
   }
 
   return make_tree(std::move(committed), true);

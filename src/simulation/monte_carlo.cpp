@@ -86,6 +86,7 @@ Estimate MonteCarloSimulator::estimate_tree_rate(
 
 bool MonteCarloSimulator::attempt_multipath(
     const routing::MultipathPlan& plan, support::Rng& rng) const {
+  if (!plan.feasible) return false;
   for (const routing::ChannelBundle& bundle : plan.bundles) {
     bool served = false;
     // All members attempt physically (they hold independent qubits); the
@@ -102,6 +103,9 @@ bool MonteCarloSimulator::attempt_multipath(
 Estimate MonteCarloSimulator::estimate_multipath_rate(
     const routing::MultipathPlan& plan, std::uint64_t rounds,
     support::Rng& rng) const {
+  // Mirror estimate_tree_rate / estimate_fusion_rate: an infeasible plan
+  // reports rate 0 instead of sampling whatever channels it carries.
+  if (!plan.feasible) return from_counts(0, rounds);
   std::uint64_t successes = 0;
   for (std::uint64_t r = 0; r < rounds; ++r) {
     if (attempt_multipath(plan, rng)) ++successes;

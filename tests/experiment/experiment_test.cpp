@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <stdexcept>
+
 #include "experiment/runner.hpp"
 #include "experiment/scenario.hpp"
 #include "graph/algorithms.hpp"
@@ -166,6 +169,43 @@ TEST(Runner, DeterministicAcrossCalls) {
       EXPECT_DOUBLE_EQ(r1.rates[a][rep], r2.rates[a][rep]);
     }
   }
+}
+
+// Regression: a throwing repetition used to escape a worker thread and call
+// std::terminate. The runner must join every worker and rethrow the first
+// exception on the calling thread instead.
+TEST(Runner, ParallelForRepsRethrowsWorkerExceptions) {
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    std::atomic<std::size_t> completed{0};
+    EXPECT_THROW(
+        detail::parallel_for_reps(16, threads,
+                                  [&](std::size_t rep) {
+                                    if (rep == 5) {
+                                      throw std::runtime_error("rep 5 failed");
+                                    }
+                                    completed.fetch_add(1);
+                                  }),
+        std::runtime_error);
+    // Workers were joined, not abandoned: nothing runs after the call.
+    const std::size_t snapshot = completed.load();
+    EXPECT_LE(snapshot, 15u);
+    EXPECT_EQ(completed.load(), snapshot);
+  }
+}
+
+TEST(Runner, ParallelForRepsRethrowsNonStdExceptions) {
+  EXPECT_THROW(
+      detail::parallel_for_reps(4, 2, [](std::size_t rep) {
+        if (rep == 0) throw 42;  // NOLINT: exercising the catch (...) path
+      }),
+      int);
+}
+
+TEST(Runner, ParallelForRepsCompletesWithoutExceptions) {
+  std::atomic<std::size_t> completed{0};
+  detail::parallel_for_reps(10, 3,
+                            [&](std::size_t) { completed.fetch_add(1); });
+  EXPECT_EQ(completed.load(), 10u);
 }
 
 }  // namespace

@@ -1,0 +1,306 @@
+// CachedChannelFinder correctness: the memoized finder must be externally
+// indistinguishable from a fresh ChannelFinder under any interleaving of
+// commits and releases, in both cache modes. Also covers the CapacityState
+// epoch / RelayFlip accounting the invalidation contract rests on, and the
+// neg_log_rate sentinel fix (rates that underflow to 0 stay feasible).
+#include "routing/channel_finder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "network/network_builder.hpp"
+#include "routing/conflict_free.hpp"
+#include "routing/perf_counters.hpp"
+#include "routing/prim_based.hpp"
+#include "support/rng.hpp"
+#include "topology/structured.hpp"
+#include "topology/waxman.hpp"
+
+namespace muerp::routing {
+namespace {
+
+using net::NodeId;
+
+/// Restores the global cache toggle on scope exit so a failing test cannot
+/// poison the rest of the suite.
+struct CacheToggleGuard {
+  bool saved = finder_cache_enabled();
+  ~CacheToggleGuard() { set_finder_cache_enabled(saved); }
+};
+
+net::QuantumNetwork two_path_network(int good_qubits, int far_qubits) {
+  // u0 - good - u1 is the shortest route; far is a reachable detour.
+  net::NetworkBuilder b;
+  b.add_user({0, 0});                    // u0 = 0
+  b.add_user({200, 0});                  // u1 = 1
+  b.add_switch({100, 0}, good_qubits);   // good = 2
+  b.add_switch({100, 500}, far_qubits);  // far = 3
+  b.connect_euclidean(0, 2);
+  b.connect_euclidean(2, 1);
+  b.connect_euclidean(0, 3);
+  b.connect_euclidean(3, 1);
+  return std::move(b).build({1e-4, 0.9});
+}
+
+TEST(CapacityStateFlips, EpochAdvancesOnlyOnRelayStatusChanges) {
+  const auto net = two_path_network(/*good_qubits=*/4, /*far_qubits=*/2);
+  net::CapacityState cap(net);
+  EXPECT_EQ(cap.epoch(), 0u);
+
+  const std::vector<NodeId> through_good{0, 2, 1};
+  cap.commit_channel(through_good);  // 4 -> 2 free: still can relay
+  EXPECT_EQ(cap.epoch(), 0u);
+  cap.commit_channel(through_good);  // 2 -> 0 free: flips to false
+  ASSERT_EQ(cap.epoch(), 1u);
+  EXPECT_EQ(cap.flips_since(0)[0].node, 2u);
+  EXPECT_FALSE(cap.flips_since(0)[0].can_relay_now);
+
+  cap.release_channel(through_good);  // 0 -> 2 free: flips back to true
+  ASSERT_EQ(cap.epoch(), 2u);
+  EXPECT_EQ(cap.flips_since(1)[0].node, 2u);
+  EXPECT_TRUE(cap.flips_since(1)[0].can_relay_now);
+  cap.release_channel(through_good);  // 2 -> 4 free: no status change
+  EXPECT_EQ(cap.epoch(), 2u);
+  EXPECT_TRUE(cap.flips_since(2).empty());
+}
+
+TEST(CapacityStateFlips, CopiesStartAFreshIdentity) {
+  const auto net = two_path_network(4, 2);
+  net::CapacityState cap(net);
+  const std::vector<NodeId> path{0, 2, 1};
+  cap.commit_channel(path);
+  cap.commit_channel(path);
+  ASSERT_EQ(cap.epoch(), 1u);
+
+  const net::CapacityState copy(cap);
+  EXPECT_NE(copy.id(), cap.id());
+  EXPECT_EQ(copy.epoch(), 0u);
+  EXPECT_EQ(copy.free_qubits(2), cap.free_qubits(2));
+}
+
+TEST(CachedFinder, LossOffTheUserPathsKeepsTheTree) {
+  CacheToggleGuard guard;
+  set_finder_cache_enabled(true);
+  const auto net = two_path_network(/*good_qubits=*/4, /*far_qubits=*/2);
+  net::CapacityState cap(net);
+  CachedChannelFinder finder(net);
+
+  reset_perf_counters();
+  (void)finder.distances(0, cap);
+  EXPECT_EQ(perf_counters().dijkstra_runs, 1u);
+
+  // The detour switch loses relay capability. It is reachable from u0 but
+  // lies on no u0->user shortest path, so the cached tree must survive.
+  const std::vector<NodeId> through_far{0, 3, 1};
+  cap.commit_channel(through_far);
+  ASSERT_EQ(cap.epoch(), 1u);
+  (void)finder.distances(0, cap);
+  EXPECT_EQ(perf_counters().dijkstra_runs, 1u);
+  EXPECT_EQ(perf_counters().cache_hits, 1u);
+
+  // Gaining relay capability anywhere reachable may open shorter paths:
+  // releasing the detour must invalidate.
+  cap.release_channel(through_far);
+  (void)finder.distances(0, cap);
+  EXPECT_EQ(perf_counters().dijkstra_runs, 2u);
+  EXPECT_EQ(perf_counters().cache_invalidations, 1u);
+}
+
+TEST(CachedFinder, LossOnTheUserPathInvalidates) {
+  CacheToggleGuard guard;
+  set_finder_cache_enabled(true);
+  const auto net = two_path_network(/*good_qubits=*/2, /*far_qubits=*/4);
+  net::CapacityState cap(net);
+  CachedChannelFinder finder(net);
+
+  reset_perf_counters();
+  const auto before = finder.find_best_channel(0, 1, cap);
+  ASSERT_TRUE(before.has_value());
+  EXPECT_EQ(before->path, (std::vector<NodeId>{0, 2, 1}));
+
+  cap.commit_channel(before->path);  // good: 2 -> 0 free, on the user path
+  const auto after = finder.find_best_channel(0, 1, cap);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->path, (std::vector<NodeId>{0, 3, 1}));
+  EXPECT_EQ(perf_counters().cache_invalidations, 1u);
+}
+
+TEST(CachedFinder, ReleaseRecommitPairsCoalesceToANoOp) {
+  CacheToggleGuard guard;
+  set_finder_cache_enabled(true);
+  const auto net = two_path_network(/*good_qubits=*/2, /*far_qubits=*/4);
+  net::CapacityState cap(net);
+  CachedChannelFinder finder(net);
+
+  const std::vector<NodeId> through_good{0, 2, 1};
+  cap.commit_channel(through_good);  // good flips false before the tree runs
+
+  reset_perf_counters();
+  (void)finder.distances(0, cap);
+  ASSERT_EQ(perf_counters().dijkstra_runs, 1u);
+
+  // local_search's signature move: release a channel, then re-commit the
+  // very same path. Both flips at `good` cancel; the tree must be served
+  // from cache even though the raw flip log grew by two entries.
+  cap.release_channel(through_good);
+  cap.commit_channel(through_good);
+  ASSERT_EQ(cap.epoch(), 3u);
+  (void)finder.distances(0, cap);
+  EXPECT_EQ(perf_counters().dijkstra_runs, 1u);
+  EXPECT_EQ(perf_counters().cache_hits, 1u);
+  EXPECT_EQ(perf_counters().cache_invalidations, 0u);
+}
+
+TEST(CachedFinder, ExtractScannedMatchesFreshExtraction) {
+  CacheToggleGuard guard;
+  for (const bool cached : {false, true}) {
+    set_finder_cache_enabled(cached);
+    support::Rng rng(11);
+    auto topo = topology::make_erdos_renyi(14, 0.3, {1000.0, 1000.0}, rng);
+    const auto net =
+        net::assign_random_users(std::move(topo), 4, 4, {1e-3, 0.9}, rng);
+    const ChannelFinder oracle(net);
+    CachedChannelFinder finder(net);
+    const net::CapacityState cap(net);
+
+    for (const NodeId src : net.users()) {
+      const auto dist = finder.distances(src, cap);
+      for (const NodeId dst : net.users()) {
+        if (dst == src) continue;
+        double oracle_dist = 0.0;
+        const auto expected =
+            oracle.find_best_channel(src, dst, cap, &oracle_dist);
+        const auto got = finder.extract_scanned(src, dst, cap);
+        ASSERT_EQ(got.has_value(), expected.has_value());
+        if (!expected.has_value()) {
+          EXPECT_EQ(dist[dst], std::numeric_limits<double>::infinity());
+          continue;
+        }
+        EXPECT_EQ(dist[dst], oracle_dist);  // bitwise: same Dijkstra
+        EXPECT_EQ(got->path, expected->path);
+        EXPECT_EQ(got->rate, expected->rate);
+        EXPECT_EQ(got->neg_log_rate, expected->neg_log_rate);
+      }
+    }
+  }
+}
+
+// The core acceptance property: under a random interleaving of queries,
+// commits, and releases, the cached finder answers exactly like a fresh
+// ChannelFinder at every step.
+class CachedFinderInterleaved : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(CachedFinderInterleaved, BitIdenticalToUncachedOracle) {
+  CacheToggleGuard guard;
+  set_finder_cache_enabled(true);
+  support::Rng rng(GetParam());
+  auto topo = topology::make_erdos_renyi(16, 0.3, {1000.0, 1000.0}, rng);
+  const auto net =
+      net::assign_random_users(std::move(topo), 5, 4, {1e-3, 0.9}, rng);
+  const ChannelFinder oracle(net);
+  CachedChannelFinder finder(net);
+  net::CapacityState cap(net);
+
+  std::vector<std::vector<NodeId>> committed;
+  const auto users = net.users();
+  for (int step = 0; step < 120; ++step) {
+    const std::size_t ai = rng.uniform_index(users.size());
+    const std::size_t bi =
+        (ai + 1 + rng.uniform_index(users.size() - 1)) % users.size();
+    const NodeId a = users[ai];
+    const NodeId b = users[bi];
+    const auto expected = oracle.find_best_channel(a, b, cap);
+    const auto got = finder.find_best_channel(a, b, cap);
+    ASSERT_EQ(got.has_value(), expected.has_value()) << "step " << step;
+    if (expected.has_value()) {
+      EXPECT_EQ(got->path, expected->path) << "step " << step;
+      EXPECT_EQ(got->rate, expected->rate) << "step " << step;
+      EXPECT_EQ(got->neg_log_rate, expected->neg_log_rate) << "step " << step;
+    }
+
+    const double action = rng.uniform();
+    if (action < 0.45 && expected.has_value()) {
+      cap.commit_channel(expected->path);
+      committed.push_back(expected->path);
+    } else if (action < 0.65 && !committed.empty()) {
+      const std::size_t idx = rng.uniform_index(committed.size());
+      cap.release_channel(committed[idx]);
+      committed.erase(committed.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CachedFinderInterleaved,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// Whole-algorithm equivalence: flipping the global toggle must not change
+// what the greedy algorithms compute, only how often they run Dijkstra.
+class CacheToggleAlgorithms : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CacheToggleAlgorithms, GreedyAlgorithmsUnaffectedByCacheMode) {
+  CacheToggleGuard guard;
+  support::Rng rng(GetParam());
+  topology::WaxmanParams params;
+  params.node_count = 48;
+  auto topo = topology::generate_waxman(params, rng);
+  const auto net =
+      net::assign_random_users(std::move(topo), 8, 4, {1e-4, 0.9}, rng);
+
+  set_finder_cache_enabled(false);
+  const auto prim_off = prim_based_from(net, net.users(), 0);
+  const auto conflict_off = conflict_free(net, net.users());
+  set_finder_cache_enabled(true);
+  const auto prim_on = prim_based_from(net, net.users(), 0);
+  const auto conflict_on = conflict_free(net, net.users());
+
+  EXPECT_EQ(prim_on.feasible, prim_off.feasible);
+  EXPECT_EQ(prim_on.rate, prim_off.rate);
+  ASSERT_EQ(prim_on.channels.size(), prim_off.channels.size());
+  for (std::size_t i = 0; i < prim_on.channels.size(); ++i) {
+    EXPECT_EQ(prim_on.channels[i].path, prim_off.channels[i].path);
+  }
+  EXPECT_EQ(conflict_on.feasible, conflict_off.feasible);
+  EXPECT_EQ(conflict_on.rate, conflict_off.rate);
+  ASSERT_EQ(conflict_on.channels.size(), conflict_off.channels.size());
+  for (std::size_t i = 0; i < conflict_on.channels.size(); ++i) {
+    EXPECT_EQ(conflict_on.channels[i].path, conflict_off.channels[i].path);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheToggleAlgorithms,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// Regression for the `rate == 0.0` sentinel bug: a channel over extremely
+// lossy fiber underflows rate to 0 but is still a real, feasible channel —
+// neg_log_rate stays finite and the greedy algorithms must not treat it as
+// "no channel found".
+TEST(CachedFinder, UnderflowedRateStaysFeasible) {
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({1, 0});
+  const NodeId sw = b.add_switch({0, 1}, 4);
+  b.connect(u0, sw, 1.0e7);  // alpha * L = 1000 per link
+  b.connect(sw, u1, 1.0e7);
+  const auto net = std::move(b).build({1e-4, 0.9});
+
+  CachedChannelFinder finder(net);
+  const net::CapacityState cap(net);
+  const auto ch = finder.find_best_channel(u0, u1, cap);
+  ASSERT_TRUE(ch.has_value());
+  EXPECT_EQ(ch->rate, 0.0);  // exp(-2000) underflows
+  EXPECT_TRUE(std::isfinite(ch->neg_log_rate));
+  EXPECT_NEAR(ch->neg_log_rate, 2000.0 - std::log(0.9), 1e-6);
+
+  const auto tree = prim_based_from(net, net.users(), 0);
+  EXPECT_TRUE(tree.feasible);
+  EXPECT_EQ(tree.rate, 0.0);
+  ASSERT_EQ(tree.channels.size(), 1u);
+  EXPECT_TRUE(std::isfinite(tree.channels[0].neg_log_rate));
+}
+
+}  // namespace
+}  // namespace muerp::routing
