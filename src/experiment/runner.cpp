@@ -1,17 +1,14 @@
 #include "experiment/runner.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cassert>
-#include <exception>
-#include <mutex>
-#include <thread>
 
 #include "baselines/eqcast.hpp"
 #include "baselines/nfusion.hpp"
 #include "routing/conflict_free.hpp"
 #include "routing/optimal_tree.hpp"
 #include "routing/prim_based.hpp"
+#include "support/thread_pool.hpp"
 
 namespace muerp::experiment {
 
@@ -98,39 +95,14 @@ namespace detail {
 
 void parallel_for_reps(std::size_t repetitions, unsigned threads,
                        const std::function<void(std::size_t)>& body) {
-  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
-  threads = std::min<unsigned>(
-      threads, static_cast<unsigned>(std::max<std::size_t>(1, repetitions)));
-
-  // A worker exception must reach the caller, not std::terminate the
-  // process: the first one is captured under the mutex, the remaining
-  // workers drain their loops early via the flag, and every thread is
-  // joined before the rethrow.
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
-  std::atomic<bool> failed{false};
-
-  // Static work split: worker w handles repetitions w, w+threads, ... Each
-  // repetition writes to its own pre-sized slots, so no synchronization is
-  // needed beyond join().
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (unsigned w = 0; w < threads; ++w) {
-    pool.emplace_back([&, w] {
-      try {
-        for (std::size_t rep = w; rep < repetitions; rep += threads) {
-          if (failed.load(std::memory_order_relaxed)) return;
-          body(rep);
-        }
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-        failed.store(true, std::memory_order_relaxed);
-      }
-    });
-  }
-  for (std::thread& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  // The shared pool replaces the seed's per-call std::thread spawn/join: it
+  // clamps its size to the hardware concurrency once at construction (the
+  // seed oversubscribed when callers asked for more threads than cores) and
+  // keeps workers — and their warm thread-local SPF kernel state — alive
+  // across calls. Work split, early stop on failure, and first-exception
+  // rethrow all match the seed; each repetition writes its own pre-sized
+  // slots, so results are bit-identical for any thread count.
+  support::ThreadPool::shared().parallel_for(repetitions, threads, body);
 }
 
 }  // namespace detail

@@ -4,13 +4,13 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
-#include <queue>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "graph/spf_kernel.hpp"
 #include "network/rate.hpp"
 #include "routing/plan.hpp"
+#include "support/node_index.hpp"
 #include "support/union_find.hpp"
 
 namespace muerp::ext {
@@ -75,18 +75,21 @@ std::optional<net::Channel> find_fidelity_constrained_channel(
   std::vector<Label> arena;
   std::vector<double> best_fid_cost(network.node_count(), kInf);
 
-  const auto cmp = [&](std::size_t l, std::size_t r) {
-    return arena[l].rate_cost > arena[r].rate_cost;
+  // Labels pop in (rate cost, arena index) order: the index tie-break makes
+  // equal-cost pops deterministic, which std::priority_queue never promised.
+  const auto less = [&](std::size_t l, std::size_t r) {
+    if (arena[l].rate_cost != arena[r].rate_cost) {
+      return arena[l].rate_cost < arena[r].rate_cost;
+    }
+    return l < r;
   };
-  std::priority_queue<std::size_t, std::vector<std::size_t>, decltype(cmp)>
-      heap(cmp);
+  graph::spf::DaryHeap<std::size_t, decltype(less)> heap(less);
 
   arena.push_back({0.0, 0.0, source, -1});
   heap.push(0);
 
   while (!heap.empty()) {
-    const std::size_t idx = heap.top();
-    heap.pop();
+    const std::size_t idx = heap.pop_min();
     const Label label = arena[idx];
     if (label.fid_cost >= best_fid_cost[label.node]) continue;  // dominated
     best_fid_cost[label.node] = label.fid_cost;
@@ -132,8 +135,7 @@ net::EntanglementTree fidelity_aware_greedy(
   assert(!users.empty());
   if (users.size() == 1) return routing::make_tree({}, true);
 
-  std::unordered_map<net::NodeId, std::size_t> index;
-  for (std::size_t i = 0; i < users.size(); ++i) index[users[i]] = i;
+  const support::NodeIndex index(users);
 
   net::CapacityState capacity(network);
   support::UnionFind unions(users.size());

@@ -4,9 +4,9 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
-#include <queue>
 #include <unordered_set>
 
+#include "graph/spf_kernel.hpp"
 #include "network/rate.hpp"
 #include "routing/plan.hpp"
 
@@ -110,17 +110,20 @@ std::optional<PurifiedChannel> find_purified_channel(
 
   std::vector<Label> arena;
   std::vector<double> best_fid_cost(network.node_count(), kInf);
-  const auto cmp = [&](std::size_t l, std::size_t r) {
-    return arena[l].rate_cost > arena[r].rate_cost;
+  // Labels pop in (rate cost, arena index) order: the index tie-break makes
+  // equal-cost pops deterministic, which std::priority_queue never promised.
+  const auto less = [&](std::size_t l, std::size_t r) {
+    if (arena[l].rate_cost != arena[r].rate_cost) {
+      return arena[l].rate_cost < arena[r].rate_cost;
+    }
+    return l < r;
   };
-  std::priority_queue<std::size_t, std::vector<std::size_t>, decltype(cmp)>
-      heap(cmp);
+  graph::spf::DaryHeap<std::size_t, decltype(less)> heap(less);
   arena.push_back({0.0, 0.0, source, -1, 0});
   heap.push(0);
 
   while (!heap.empty()) {
-    const std::size_t idx = heap.top();
-    heap.pop();
+    const std::size_t idx = heap.pop_min();
     const Label label = arena[idx];
     if (label.fid_cost >= best_fid_cost[label.node]) continue;
     best_fid_cost[label.node] = label.fid_cost;

@@ -6,6 +6,7 @@
 #include <numeric>
 #include <queue>
 
+#include "graph/spf_kernel.hpp"
 #include "support/union_find.hpp"
 
 namespace muerp::graph {
@@ -73,6 +74,32 @@ std::vector<std::optional<std::size_t>> bfs_hops(const Graph& graph,
 ShortestPaths dijkstra(const Graph& graph, NodeId source,
                        const std::function<double(EdgeId)>& weight,
                        const std::function<bool(NodeId)>& allow_through) {
+  assert(source < graph.node_count());
+  // Thin shim over the SPF kernel: the std::function signature stays for
+  // tests and cold paths, while the kernel supplies the CSR walk, the warm
+  // per-thread workspace, and the indexed heap. The weight functor reads the
+  // per-slot edge id, so callbacks keep their edge-id contract.
+  auto& ctx = spf::thread_context();
+  const spf::Csr& csr = ctx.csr_for(graph);
+  if (allow_through) {
+    spf::run(
+        csr, ctx.workspace, source,
+        [&](std::size_t slot) { return weight(csr.edge_id(slot)); },
+        [&](NodeId v) { return allow_through(v); });
+  } else {
+    spf::run(
+        csr, ctx.workspace, source,
+        [&](std::size_t slot) { return weight(csr.edge_id(slot)); },
+        [](NodeId) { return true; });
+  }
+  ShortestPaths result;
+  ctx.workspace.extract(result.distance, result.parent_edge);
+  return result;
+}
+
+ShortestPaths dijkstra_legacy(const Graph& graph, NodeId source,
+                              const std::function<double(EdgeId)>& weight,
+                              const std::function<bool(NodeId)>& allow_through) {
   assert(source < graph.node_count());
   ShortestPaths result;
   result.distance.assign(graph.node_count(), kInf);

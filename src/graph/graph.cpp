@@ -1,20 +1,26 @@
 #include "graph/graph.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 
 namespace muerp::graph {
+
+namespace detail {
+
+std::uint64_t next_topology_version() noexcept {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace detail
 
 Graph::Graph(std::size_t node_count) : adjacency_(node_count) {}
 
 NodeId Graph::add_node() {
   adjacency_.emplace_back();
+  version_ = detail::next_topology_version();
   return static_cast<NodeId>(adjacency_.size() - 1);
-}
-
-std::uint64_t Graph::key(NodeId a, NodeId b) noexcept {
-  if (a > b) std::swap(a, b);
-  return (static_cast<std::uint64_t>(a) << 32) | b;
 }
 
 EdgeId Graph::add_edge(NodeId a, NodeId b, double length_km) {
@@ -27,18 +33,24 @@ EdgeId Graph::add_edge(NodeId a, NodeId b, double length_km) {
   edges_.push_back({a, b, length_km});
   adjacency_[a].push_back({b, id});
   adjacency_[b].push_back({a, id});
-  edge_index_.emplace(key(a, b), id);
+  version_ = detail::next_topology_version();
   return id;
 }
 
 bool Graph::has_edge(NodeId a, NodeId b) const noexcept {
-  return edge_index_.contains(key(a, b));
+  return find_edge(a, b).has_value();
 }
 
 std::optional<EdgeId> Graph::find_edge(NodeId a, NodeId b) const noexcept {
-  const auto it = edge_index_.find(key(a, b));
-  if (it == edge_index_.end()) return std::nullopt;
-  return it->second;
+  // Scanning the lower-degree endpoint's adjacency beats a hash lookup at
+  // realistic degrees (§V-A averages 6), and keeps the lookup inside memory
+  // the routing loops have already touched.
+  if (a >= node_count() || b >= node_count()) return std::nullopt;
+  if (adjacency_[b].size() < adjacency_[a].size()) std::swap(a, b);
+  for (const Neighbor& n : adjacency_[a]) {
+    if (n.node == b) return n.edge;
+  }
+  return std::nullopt;
 }
 
 void Graph::remove_edge(EdgeId id) {
@@ -56,11 +68,10 @@ void Graph::remove_edge(EdgeId id) {
   };
   detach(removed.a, id);
   detach(removed.b, id);
-  edge_index_.erase(key(removed.a, removed.b));
 
   const auto last = static_cast<EdgeId>(edges_.size() - 1);
   if (id != last) {
-    // Swap-with-last: re-point the moved edge's adjacency entries and index.
+    // Swap-with-last: re-point the moved edge's adjacency entries.
     const Edge moved = edges_[last];
     edges_[id] = moved;
     for (NodeId endpoint : {moved.a, moved.b}) {
@@ -68,9 +79,9 @@ void Graph::remove_edge(EdgeId id) {
         if (n.edge == last) n.edge = id;
       }
     }
-    edge_index_[key(moved.a, moved.b)] = id;
   }
   edges_.pop_back();
+  version_ = detail::next_topology_version();
 }
 
 double Graph::average_degree() const noexcept {

@@ -12,13 +12,17 @@
 #include <cstdint>
 #include <optional>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 namespace muerp::graph {
 
 using NodeId = std::uint32_t;
 using EdgeId = std::uint32_t;
+
+namespace detail {
+/// Process-unique, monotonically increasing topology version (never 0).
+std::uint64_t next_topology_version() noexcept;
+}  // namespace detail
 
 inline constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
 inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
@@ -45,6 +49,26 @@ class Graph {
 
   /// Creates a graph with `node_count` isolated vertices.
   explicit Graph(std::size_t node_count);
+
+  // Copies share the source's topology version (equal content), so derived
+  // caches built against the original keep serving the copy. Moves leave the
+  // source with a fresh version: its content changed to empty, and a stale
+  // version there would alias caches built from the moved-away topology.
+  Graph(const Graph&) = default;
+  Graph& operator=(const Graph&) = default;
+  Graph(Graph&& other) noexcept
+      : edges_(std::move(other.edges_)),
+        adjacency_(std::move(other.adjacency_)),
+        version_(other.version_) {
+    other.version_ = detail::next_topology_version();
+  }
+  Graph& operator=(Graph&& other) noexcept {
+    edges_ = std::move(other.edges_);
+    adjacency_ = std::move(other.adjacency_);
+    version_ = other.version_;
+    other.version_ = detail::next_topology_version();
+    return *this;
+  }
 
   std::size_t node_count() const noexcept { return adjacency_.size(); }
   std::size_t edge_count() const noexcept { return edges_.size(); }
@@ -82,12 +106,18 @@ class Graph {
   /// Sum of degrees / node count; 0 for an empty graph.
   double average_degree() const noexcept;
 
- private:
-  static std::uint64_t key(NodeId a, NodeId b) noexcept;
+  /// Process-unique version of this topology: reassigned on every mutation
+  /// (add_node / add_edge / remove_edge), never reused by another topology
+  /// state. Two graphs reporting the same version have identical content
+  /// (copies share it), so derived structures — the SPF kernel's CSR view —
+  /// can key their caches on the version alone, with no address-reuse (ABA)
+  /// hazard when a graph is destroyed and another allocated in its place.
+  std::uint64_t topology_version() const noexcept { return version_; }
 
+ private:
   std::vector<Edge> edges_;
   std::vector<std::vector<Neighbor>> adjacency_;
-  std::unordered_map<std::uint64_t, EdgeId> edge_index_;
+  std::uint64_t version_ = detail::next_topology_version();
 };
 
 }  // namespace muerp::graph

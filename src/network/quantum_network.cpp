@@ -70,11 +70,6 @@ CapacityState& CapacityState::operator=(const CapacityState& other) {
   return *this;
 }
 
-int CapacityState::free_qubits(NodeId v) const noexcept {
-  if (network_->is_user(v)) return std::numeric_limits<int>::max();
-  return free_[v];
-}
-
 void CapacityState::commit_channel(std::span<const NodeId> path) {
   assert(path.size() >= 2);
   for (std::size_t i = 1; i + 1 < path.size(); ++i) {

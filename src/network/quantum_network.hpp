@@ -13,6 +13,7 @@
 #include <cassert>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -134,7 +135,12 @@ class CapacityState {
   CapacityState& operator=(CapacityState&&) noexcept = default;
 
   /// Free qubits at v; users report a large sentinel (never exhausted).
-  int free_qubits(NodeId v) const noexcept;
+  /// Inline: the SPF kernel's expansion filter calls this once per settled
+  /// vertex, where an out-of-line call is measurable.
+  int free_qubits(NodeId v) const noexcept {
+    if (network_->is_user(v)) return std::numeric_limits<int>::max();
+    return free_[v];
+  }
 
   /// True if v can relay one more channel (>= 2 free qubits, or a user —
   /// although channels never relay through users, endpoints call this too).

@@ -2,13 +2,13 @@
 
 #include <cassert>
 #include <cmath>
-#include <unordered_map>
 #include <vector>
 
 #include "network/rate.hpp"
 #include "routing/channel_finder.hpp"
 #include "routing/k_shortest.hpp"
 #include "routing/plan.hpp"
+#include "support/node_index.hpp"
 #include "support/union_find.hpp"
 
 namespace muerp::routing {
@@ -18,7 +18,7 @@ namespace {
 /// Users on each side after deleting channel `removed`; side[i] in {0, 1}.
 std::vector<int> split_sides(
     std::span<const net::NodeId> users,
-    const std::unordered_map<net::NodeId, std::size_t>& index,
+    const support::NodeIndex& index,
     const std::vector<net::Channel>& channels, std::size_t removed) {
   support::UnionFind uf(users.size());
   for (std::size_t c = 0; c < channels.size(); ++c) {
@@ -44,8 +44,7 @@ AnnealingStats anneal_tree(const net::QuantumNetwork& network,
   if (!tree.feasible || tree.channels.empty()) return stats;
   assert(params.cooling > 0.0 && params.cooling <= 1.0);
 
-  std::unordered_map<net::NodeId, std::size_t> index;
-  for (std::size_t i = 0; i < users.size(); ++i) index[users[i]] = i;
+  const support::NodeIndex index(users);
 
   net::CapacityState capacity(network);
   for (const net::Channel& ch : tree.channels) {

@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
-#include <queue>
 #include <unordered_set>
 #include <vector>
 
+#include "graph/spf_kernel.hpp"
 #include "network/rate.hpp"
 #include "routing/disjoint_pair.hpp"
 #include "routing/plan.hpp"
@@ -24,38 +24,30 @@ std::optional<net::Channel> banned_edge_dijkstra(
     net::NodeId destination, const net::CapacityState& capacity,
     const std::unordered_set<graph::EdgeId>& banned) {
   const auto& g = network.graph();
-  std::vector<double> dist(g.node_count(), kInf);
-  std::vector<graph::EdgeId> parent(g.node_count(), graph::kInvalidEdge);
-  dist[source] = 0.0;
-  using Entry = std::pair<double, net::NodeId>;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
-  heap.emplace(0.0, source);
-  while (!heap.empty()) {
-    const auto [d, v] = heap.top();
-    heap.pop();
-    if (d > dist[v]) continue;
-    if (v != source &&
-        (!network.is_switch(v) || capacity.free_qubits(v) < 2)) {
-      continue;
-    }
-    for (const graph::Neighbor& nb : g.neighbors(v)) {
-      if (banned.contains(nb.edge)) continue;
-      const double candidate = d + network.edge_routing_weight(nb.edge);
-      if (candidate < dist[nb.node]) {
-        dist[nb.node] = candidate;
-        parent[nb.node] = nb.edge;
-        heap.emplace(candidate, nb.node);
-      }
-    }
-  }
-  if (dist[destination] == kInf) return std::nullopt;
+  auto& ctx = graph::spf::thread_context();
+  const graph::spf::Csr& csr = ctx.affine_csr_for(
+      g, network.physical().attenuation, -network.log_swap_success());
+  // The primary's fibers are banned arcs (+infinity weight); the search
+  // stops as soon as the single destination settles.
+  graph::spf::run(
+      csr, ctx.workspace, source,
+      [&](std::size_t slot) {
+        if (banned.contains(csr.edge_id(slot))) return kInf;
+        return csr.value(slot);
+      },
+      [&](net::NodeId v) {
+        return network.is_switch(v) && capacity.free_qubits(v) >= 2;
+      },
+      destination);
+  const graph::spf::SpfWorkspace& ws = ctx.workspace;
+  if (ws.dist(destination) == kInf) return std::nullopt;
   net::Channel channel;
   channel.rate = net::rate_from_routing_distance(
-      dist[destination], network.physical().swap_success);
+      ws.dist(destination), network.physical().swap_success);
   net::NodeId cursor = destination;
   channel.path.push_back(cursor);
   while (cursor != source) {
-    const graph::EdgeId via = parent[cursor];
+    const graph::EdgeId via = ws.parent(cursor);
     cursor = g.edge(via).other(cursor);
     channel.path.push_back(cursor);
   }

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
-#include <queue>
 
+#include "graph/spf_kernel.hpp"
 #include "network/rate.hpp"
 #include "routing/perf_counters.hpp"
 
@@ -21,37 +21,24 @@ void ChannelFinder::run_dijkstra(net::NodeId source,
   PerfCounters& counters = perf_counters();
   ++counters.dijkstra_runs;
 
-  const auto& g = network_->graph();
-  dist.assign(g.node_count(), kInf);
-  parent.assign(g.node_count(), graph::kInvalidEdge);
-  dist[source] = 0.0;
-
-  using Entry = std::pair<double, net::NodeId>;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
-  heap.emplace(0.0, source);
-
-  const double attenuation = network_->physical().attenuation;
-  while (!heap.empty()) {
-    const auto [d, v] = heap.top();
-    heap.pop();
-    ++counters.heap_pops;
-    if (d > dist[v]) continue;  // stale heap entry
-    // Only the source user and switches with >= 2 free qubits may relay
-    // (Def. 2 + Algorithm 1 Line 11); other users are reachable endpoints.
-    if (v != source &&
-        (!network_->is_switch(v) || capacity.free_qubits(v) < 2)) {
-      continue;
-    }
-    for (const graph::Neighbor& nb : g.neighbors(v)) {
-      const double w = attenuation * g.edge(nb.edge).length_km - log_swap_;
-      const double candidate = d + w;
-      if (candidate < dist[nb.node]) {
-        dist[nb.node] = candidate;
-        parent[nb.node] = nb.edge;
-        heap.emplace(candidate, nb.node);
-      }
-    }
-  }
+  auto& ctx = graph::spf::thread_context();
+  // Affine view values carry the paper's alpha * L(e) - ln(q) pre-baked
+  // (x + (-y) == x - y exactly in IEEE arithmetic, so every distance stays
+  // bit-identical to the seed loop's per-edge computation). The expansion
+  // gate is Def. 2 + Algorithm 1 Line 11: only the source user and switches
+  // with >= 2 free qubits relay; other users are reachable endpoints. Trees
+  // are always run to exhaustion (no settle_target): the cached finder's
+  // invalidation contract reads switch reachability across the whole tree.
+  const graph::spf::Csr& csr = ctx.affine_csr_for(
+      network_->graph(), network_->physical().attenuation, -log_swap_);
+  graph::spf::run(
+      csr, ctx.workspace, source,
+      [&](std::size_t slot) { return csr.value(slot); },
+      [&](net::NodeId v) {
+        return network_->is_switch(v) && capacity.free_qubits(v) >= 2;
+      },
+      graph::kInvalidNode, &counters.heap_pops);
+  ctx.workspace.extract(dist, parent);
 }
 
 std::optional<net::Channel> ChannelFinder::extract_channel(

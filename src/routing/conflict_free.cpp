@@ -5,11 +5,11 @@
 #include <limits>
 #include <optional>
 #include <span>
-#include <unordered_map>
 
 #include "routing/channel_finder.hpp"
 #include "routing/optimal_tree.hpp"
 #include "routing/plan.hpp"
+#include "support/node_index.hpp"
 #include "support/union_find.hpp"
 
 namespace muerp::routing {
@@ -37,8 +37,7 @@ net::EntanglementTree conflict_free_shared(const net::QuantumNetwork& network,
   assert(!users.empty());
   if (users.size() == 1) return make_tree({}, true);
 
-  std::unordered_map<net::NodeId, std::size_t> index;
-  for (std::size_t i = 0; i < users.size(); ++i) index[users[i]] = i;
+  const support::NodeIndex index(users);
 
   support::UnionFind unions(users.size());
   std::vector<net::Channel> committed;
@@ -54,11 +53,11 @@ net::EntanglementTree conflict_free_shared(const net::QuantumNetwork& network,
   for (const net::Channel* c : seeds) {
     const auto src = index.find(c->source());
     const auto dst = index.find(c->destination());
-    if (src == index.end() || dst == index.end()) continue;
-    if (unions.connected(src->second, dst->second)) continue;
+    if (!src || !dst) continue;
+    if (unions.connected(*src, *dst)) continue;
     if (!fits(network, capacity, c->path)) continue;  // Line 13: dropped
     capacity.commit_channel(c->path);
-    unions.unite(src->second, dst->second);
+    unions.unite(*src, *dst);
     committed.push_back(*c);
   }
 
@@ -82,8 +81,8 @@ net::EntanglementTree conflict_free_shared(const net::QuantumNetwork& network,
       for (net::NodeId user : network.users()) {
         if (user <= source) continue;  // pair seen once
         const auto dst = index.find(user);
-        if (dst == index.end()) continue;
-        if (unions.connected(source_index, dst->second)) continue;
+        if (!dst) continue;
+        if (unions.connected(source_index, *dst)) continue;
         if (dist[user] < best_dist) {
           best_dist = dist[user];
           best_source = source;

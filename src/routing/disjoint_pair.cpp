@@ -4,9 +4,9 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
-#include <queue>
 #include <vector>
 
+#include "graph/spf_kernel.hpp"
 #include "network/rate.hpp"
 
 namespace muerp::routing {
@@ -45,28 +45,39 @@ struct Dijkstra {
 
 Dijkstra shortest_paths(const SplitGraph& g, std::size_t source,
                         const std::vector<bool>& arc_removed) {
-  Dijkstra result;
-  result.dist.assign(g.out.size(), kInf);
-  result.parent_arc.assign(g.out.size(), kNone);
-  result.dist[source] = 0.0;
-  using Entry = std::pair<double, std::size_t>;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
-  heap.emplace(0.0, source);
-  while (!heap.empty()) {
-    const auto [d, v] = heap.top();
-    heap.pop();
-    if (d > result.dist[v]) continue;
-    for (std::size_t arc_id : g.out[v]) {
-      if (arc_id < arc_removed.size() && arc_removed[arc_id]) continue;
+  // Flatten the split digraph into the kernel's CSR form. The thread's
+  // Graph-keyed CSR cache does not apply (this is not a Graph), but its warm
+  // workspace does; a thread-local view keeps the flattening allocation-free
+  // across Suurballe calls. Values carry the clamped arc cost (reduced costs
+  // can be a hair negative from floating-point cancellation).
+  thread_local graph::spf::Csr csr;
+  csr.begin(g.arcs.size());
+  for (const auto& out_arcs : g.out) {
+    for (std::size_t arc_id : out_arcs) {
       const auto& arc = g.arcs[arc_id];
       assert(arc.cost >= -1e-12 && "Suurballe needs non-negative costs");
-      const double candidate = d + std::max(arc.cost, 0.0);
-      if (candidate < result.dist[arc.to]) {
-        result.dist[arc.to] = candidate;
-        result.parent_arc[arc.to] = arc_id;
-        heap.emplace(candidate, arc.to);
-      }
+      csr.add_arc(static_cast<graph::NodeId>(arc.to),
+                  static_cast<graph::EdgeId>(arc_id),
+                  std::max(arc.cost, 0.0));
     }
+    csr.finish_row();
+  }
+  graph::spf::SpfWorkspace& ws = graph::spf::thread_context().workspace;
+  graph::spf::run(
+      csr, ws, static_cast<graph::NodeId>(source),
+      [&](std::size_t slot) {
+        const graph::EdgeId id = csr.edge_id(slot);
+        if (id < arc_removed.size() && arc_removed[id]) return kInf;
+        return csr.value(slot);
+      },
+      [](graph::NodeId) { return true; });
+  Dijkstra result;
+  result.dist.resize(g.out.size());
+  result.parent_arc.resize(g.out.size());
+  for (std::size_t v = 0; v < g.out.size(); ++v) {
+    result.dist[v] = ws.dist(static_cast<graph::NodeId>(v));
+    const graph::EdgeId p = ws.parent(static_cast<graph::NodeId>(v));
+    result.parent_arc[v] = p == graph::kInvalidEdge ? kNone : p;
   }
   return result;
 }

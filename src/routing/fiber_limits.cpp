@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
-#include <queue>
 #include <unordered_set>
 
+#include "graph/spf_kernel.hpp"
 #include "network/rate.hpp"
 #include "routing/plan.hpp"
 
@@ -47,38 +47,30 @@ std::optional<net::Channel> find_best_channel_fiber_aware(
     net::NodeId destination, const JointCapacity& capacity) {
   assert(network.is_user(source) && network.is_user(destination));
   const auto& g = network.graph();
-  std::vector<double> dist(g.node_count(), kInf);
-  std::vector<graph::EdgeId> parent(g.node_count(), graph::kInvalidEdge);
-  dist[source] = 0.0;
-  using Entry = std::pair<double, net::NodeId>;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
-  heap.emplace(0.0, source);
-  while (!heap.empty()) {
-    const auto [d, v] = heap.top();
-    heap.pop();
-    if (d > dist[v]) continue;
-    if (v != source &&
-        (!network.is_switch(v) || capacity.free_qubits(v) < 2)) {
-      continue;
-    }
-    for (const graph::Neighbor& nb : g.neighbors(v)) {
-      if (capacity.free_cores(nb.edge) < 1) continue;  // fiber exhausted
-      const double candidate = d + network.edge_routing_weight(nb.edge);
-      if (candidate < dist[nb.node]) {
-        dist[nb.node] = candidate;
-        parent[nb.node] = nb.edge;
-        heap.emplace(candidate, nb.node);
-      }
-    }
-  }
-  if (dist[destination] == kInf) return std::nullopt;
+  auto& ctx = graph::spf::thread_context();
+  const graph::spf::Csr& csr = ctx.affine_csr_for(
+      g, network.physical().attenuation, -network.log_swap_success());
+  // An exhausted fiber (no free core) is a banned arc: +infinity weight.
+  // Single destination, so the search stops when `destination` settles.
+  graph::spf::run(
+      csr, ctx.workspace, source,
+      [&](std::size_t slot) {
+        if (capacity.free_cores(csr.edge_id(slot)) < 1) return kInf;
+        return csr.value(slot);
+      },
+      [&](net::NodeId v) {
+        return network.is_switch(v) && capacity.free_qubits(v) >= 2;
+      },
+      destination);
+  const graph::spf::SpfWorkspace& ws = ctx.workspace;
+  if (ws.dist(destination) == kInf) return std::nullopt;
   net::Channel channel;
   channel.rate = net::rate_from_routing_distance(
-      dist[destination], network.physical().swap_success);
+      ws.dist(destination), network.physical().swap_success);
   net::NodeId cursor = destination;
   channel.path.push_back(cursor);
   while (cursor != source) {
-    const graph::EdgeId via = parent[cursor];
+    const graph::EdgeId via = ws.parent(cursor);
     cursor = g.edge(via).other(cursor);
     channel.path.push_back(cursor);
   }

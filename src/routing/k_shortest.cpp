@@ -4,10 +4,10 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
-#include <queue>
 #include <set>
 #include <unordered_set>
 
+#include "graph/spf_kernel.hpp"
 #include "network/rate.hpp"
 #include "routing/channel_finder.hpp"
 #include "routing/perf_counters.hpp"
@@ -38,41 +38,35 @@ std::optional<WeightedPath> restricted_dijkstra(
   PerfCounters& counters = perf_counters();
   ++counters.dijkstra_runs;
   const auto& g = network.graph();
-  std::vector<double> dist(g.node_count(), kInf);
-  std::vector<graph::EdgeId> parent(g.node_count(), graph::kInvalidEdge);
-  dist[source] = 0.0;
-  using Entry = std::pair<double, net::NodeId>;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
-  heap.emplace(0.0, source);
-
-  while (!heap.empty()) {
-    const auto [d, v] = heap.top();
-    heap.pop();
-    ++counters.heap_pops;
-    if (d > dist[v]) continue;
-    if (v != source &&
-        (!network.is_switch(v) || capacity.free_qubits(v) < 2)) {
-      continue;
-    }
-    for (const graph::Neighbor& nb : g.neighbors(v)) {
-      if (banned_edges.contains(nb.edge)) continue;
-      if (banned_nodes.contains(nb.node)) continue;
-      const double candidate = d + network.edge_routing_weight(nb.edge);
-      if (candidate < dist[nb.node]) {
-        dist[nb.node] = candidate;
-        parent[nb.node] = nb.edge;
-        heap.emplace(candidate, nb.node);
-      }
-    }
-  }
-  if (dist[target] == kInf) return std::nullopt;
+  auto& ctx = graph::spf::thread_context();
+  const graph::spf::Csr& csr = ctx.affine_csr_for(
+      g, network.physical().attenuation, -network.log_swap_success());
+  // Affine values pre-bake edge_routing_weight; bans are +infinity weight
+  // (the kernel drops such arcs at relaxation), and the single destination
+  // lets the search stop as soon as `target` settles — Yen's spur searches
+  // rarely need the full tree.
+  graph::spf::run(
+      csr, ctx.workspace, source,
+      [&](std::size_t slot) {
+        if (banned_edges.contains(csr.edge_id(slot)) ||
+            banned_nodes.contains(csr.target(slot))) {
+          return kInf;
+        }
+        return csr.value(slot);
+      },
+      [&](net::NodeId v) {
+        return network.is_switch(v) && capacity.free_qubits(v) >= 2;
+      },
+      target, &counters.heap_pops);
+  const graph::spf::SpfWorkspace& ws = ctx.workspace;
+  if (ws.dist(target) == kInf) return std::nullopt;
 
   WeightedPath path;
-  path.cost = dist[target];
+  path.cost = ws.dist(target);
   net::NodeId cursor = target;
   path.nodes.push_back(cursor);
   while (cursor != source) {
-    const graph::EdgeId via = parent[cursor];
+    const graph::EdgeId via = ws.parent(cursor);
     cursor = g.edge(via).other(cursor);
     path.nodes.push_back(cursor);
   }

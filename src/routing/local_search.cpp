@@ -2,11 +2,11 @@
 
 #include <cassert>
 #include <span>
-#include <unordered_map>
 
 #include "network/rate.hpp"
 #include "routing/channel_finder.hpp"
 #include "routing/plan.hpp"
+#include "support/node_index.hpp"
 #include "support/union_find.hpp"
 
 namespace muerp::routing {
@@ -17,7 +17,7 @@ namespace {
 /// `removed` from the tree; side[i] is 0 or 1 per user index.
 std::vector<int> split_sides(
     std::span<const net::NodeId> users,
-    const std::unordered_map<net::NodeId, std::size_t>& index,
+    const support::NodeIndex& index,
     const std::vector<net::Channel>& channels, std::size_t removed) {
   support::UnionFind uf(users.size());
   for (std::size_t c = 0; c < channels.size(); ++c) {
@@ -43,8 +43,7 @@ LocalSearchStats improve_tree(const net::QuantumNetwork& network,
   LocalSearchStats stats;
   if (!tree.feasible || tree.channels.size() < 1) return stats;
 
-  std::unordered_map<net::NodeId, std::size_t> index;
-  for (std::size_t i = 0; i < users.size(); ++i) index[users[i]] = i;
+  const support::NodeIndex index(users);
 
   // Rebuild the committed-capacity state from the current tree.
   net::CapacityState capacity(network);
@@ -80,7 +79,7 @@ LocalSearchStats improve_tree(const net::QuantumNetwork& network,
             finder.distances(users[i], capacity);
         for (net::NodeId user : network.users()) {
           const auto dst = index.find(user);
-          if (dst == index.end() || side[dst->second] != 1) continue;
+          if (!dst || side[*dst] != 1) continue;
           const double rate = net::rate_from_routing_distance(
               dist[user], network.physical().swap_success);
           if (rate > best_rate) {

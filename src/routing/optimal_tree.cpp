@@ -4,10 +4,10 @@
 #include <cassert>
 #include <limits>
 #include <span>
-#include <unordered_map>
 
 #include "routing/channel_finder.hpp"
 #include "routing/plan.hpp"
+#include "support/node_index.hpp"
 #include "support/union_find.hpp"
 
 namespace muerp::routing {
@@ -35,12 +35,11 @@ net::EntanglementTree optimal_special_case(const net::QuantumNetwork& network,
   assert(!users.empty());
   if (users.size() == 1) return make_tree({}, true);
 
-  std::unordered_map<net::NodeId, std::size_t> index;
-  for (std::size_t i = 0; i < users.size(); ++i) {
-    assert(network.is_user(users[i]));
-    index[users[i]] = i;
-  }
+  const support::NodeIndex index(users);
   assert(index.size() == users.size() && "users must be distinct");
+#ifndef NDEBUG
+  for (const net::NodeId user : users) assert(network.is_user(user));
+#endif
 
   // Step 1: all-pairs routing distances. One Dijkstra per source covers
   // every destination; keep each unordered pair once (source < destination).

@@ -1,8 +1,8 @@
 #include "routing/plan.hpp"
 
-#include <unordered_map>
 
 #include "network/rate.hpp"
+#include "support/node_index.hpp"
 #include "support/union_find.hpp"
 
 namespace muerp::routing {
@@ -20,14 +20,13 @@ bool channels_span_users(std::span<const net::NodeId> users,
                          std::span<const net::Channel> channels) {
   if (users.size() <= 1) return channels.empty();
   if (channels.size() != users.size() - 1) return false;
-  std::unordered_map<net::NodeId, std::size_t> index;
-  for (std::size_t i = 0; i < users.size(); ++i) index[users[i]] = i;
+  const support::NodeIndex index(users);
   support::UnionFind uf(users.size());
   for (const net::Channel& c : channels) {
     const auto src = index.find(c.source());
     const auto dst = index.find(c.destination());
-    if (src == index.end() || dst == index.end()) return false;
-    if (!uf.unite(src->second, dst->second)) return false;
+    if (!src || !dst) return false;
+    if (!uf.unite(*src, *dst)) return false;
   }
   return uf.set_count() == 1;
 }

@@ -1,0 +1,66 @@
+// Dense NodeId -> position lookup for small node sets.
+//
+// Every tree-construction algorithm keeps its user set as a vector and needs
+// the inverse mapping (which position is user u?) to drive a UnionFind or a
+// per-user state array. The seed hand-rolled a std::unordered_map rebuild at
+// each call site; this helper replaces those blocks with one allocation-light
+// structure: a flat slot table indexed by NodeId (node ids are dense small
+// integers, so the table tops out at the graph's node count).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace muerp::support {
+
+class NodeIndex {
+ public:
+  NodeIndex() = default;
+
+  /// Builds the index for `nodes`: nodes[i] maps to i. Ids must be unique.
+  explicit NodeIndex(std::span<const graph::NodeId> nodes) { rebuild(nodes); }
+
+  /// Re-targets the index at a new node set, reusing the table's capacity.
+  void rebuild(std::span<const graph::NodeId> nodes) {
+    slot_.clear();
+    count_ = nodes.size();
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const graph::NodeId node = nodes[i];
+      if (node >= slot_.size()) slot_.resize(node + 1, kEmpty);
+      assert(slot_[node] == kEmpty && "duplicate node in NodeIndex");
+      slot_[node] = i;
+    }
+  }
+
+  /// Number of indexed nodes.
+  std::size_t size() const noexcept { return count_; }
+
+  bool contains(graph::NodeId node) const noexcept {
+    return node < slot_.size() && slot_[node] != kEmpty;
+  }
+
+  /// Position of `node`; must be indexed.
+  std::size_t at(graph::NodeId node) const noexcept {
+    assert(contains(node));
+    return slot_[node];
+  }
+
+  /// Position of `node`, or nullopt when it is not in the set.
+  std::optional<std::size_t> find(graph::NodeId node) const noexcept {
+    if (!contains(node)) return std::nullopt;
+    return slot_[node];
+  }
+
+ private:
+  static constexpr std::size_t kEmpty = static_cast<std::size_t>(-1);
+
+  std::vector<std::size_t> slot_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace muerp::support

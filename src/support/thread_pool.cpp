@@ -1,0 +1,116 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace muerp::support {
+
+namespace {
+
+// True on threads currently executing a pool job; parallel_for consults it
+// to fall back to an inline loop instead of deadlocking on its own pool.
+thread_local bool t_in_pool_worker = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned requested) {
+  const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned size =
+      requested == 0 ? hardware : std::min(requested, hardware);
+  workers_.reserve(size);
+  for (unsigned w = 0; w < size; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(job_mutex_);
+    shutdown_ = true;
+  }
+  job_ready_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::parallel_for(std::size_t count, unsigned max_workers,
+                              const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (t_in_pool_worker) {
+    // Nested use from a worker: the pool is busy running the outer job, so
+    // run the loop inline. Sequential, but deadlock-free.
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  unsigned stride = worker_count();
+  if (max_workers != 0) stride = std::min(stride, max_workers);
+  stride = static_cast<unsigned>(
+      std::min<std::size_t>(stride, std::max<std::size_t>(1, count)));
+
+  const std::lock_guard<std::mutex> submit_lock(submit_mutex_);
+  std::unique_lock<std::mutex> lock(job_mutex_);
+  job_ = {count, stride, &body};
+  workers_remaining_ = stride;
+  first_error_ = nullptr;
+  failed_.store(false, std::memory_order_relaxed);
+  ++job_sequence_;
+  lock.unlock();
+  job_ready_.notify_all();
+
+  lock.lock();
+  job_done_.wait(lock, [&] { return workers_remaining_ == 0; });
+  job_.body = nullptr;
+  const std::exception_ptr error = first_error_;
+  lock.unlock();
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::worker_loop(unsigned worker_id) {
+  std::uint64_t last_seen_job = 0;
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(job_mutex_);
+      job_ready_.wait(lock, [&] {
+        return shutdown_ || job_sequence_ != last_seen_job;
+      });
+      if (shutdown_) return;
+      last_seen_job = job_sequence_;
+      job = job_;
+      if (worker_id >= job.stride) continue;  // not participating this job
+    }
+
+    t_in_pool_worker = true;
+    std::exception_ptr error;
+    // Static strided split, identical to the seed's std::thread version:
+    // index i runs on worker i % stride, each index exactly once.
+    for (std::size_t i = worker_id; i < job.count;
+         i += job.stride) {
+      if (failed_.load(std::memory_order_relaxed)) break;
+      try {
+        (*job.body)(i);
+      } catch (...) {
+        error = std::current_exception();
+        break;
+      }
+    }
+    t_in_pool_worker = false;
+
+    {
+      const std::lock_guard<std::mutex> lock(job_mutex_);
+      if (error) {
+        failed_.store(true, std::memory_order_relaxed);
+        if (!first_error_) first_error_ = error;
+      }
+      assert(workers_remaining_ > 0);
+      if (--workers_remaining_ == 0) job_done_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace muerp::support

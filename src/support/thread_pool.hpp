@@ -1,0 +1,88 @@
+// Persistent worker pool for repetition-parallel experiment runs.
+//
+// The seed's parallel_for_reps spawned and joined std::threads on every
+// call, which a sweep binary pays per sweep point — and tearing workers down
+// also discards their warm thread-local state (the SPF kernel's CSR view and
+// workspace live in thread_local storage, so a fresh thread re-derives them
+// from scratch). This pool is created once, clamps its size to the hardware
+// concurrency at construction (callers asking for more threads than cores
+// oversubscribed the seed version), and keeps its workers parked between
+// parallel_for calls.
+//
+// Semantics match the seed exactly: worker w handles indices w, w+workers,
+// w+2*workers, ... so each index lands on a deterministic worker and writes
+// its own pre-sized result slot; a throwing body stops the fleet after the
+// in-flight indices and the first exception is rethrown on the calling
+// thread. parallel_for itself is serialized by a mutex — concurrent callers
+// queue up rather than interleave — and a body that re-enters parallel_for
+// from a worker thread runs its loop inline (sequentially) instead of
+// deadlocking on the pool.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace muerp::support {
+
+class ThreadPool {
+ public:
+  /// A pool with min(requested, hardware_concurrency) workers; `requested`
+  /// = 0 means one worker per hardware thread.
+  explicit ThreadPool(unsigned requested = 0);
+
+  /// Joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of workers (>= 1).
+  unsigned worker_count() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Runs body(i) for every i in [0, count), striding indices across at most
+  /// `max_workers` workers (0 = all of them). Blocks until every index ran;
+  /// rethrows the first body exception after the fleet stopped. Safe to call
+  /// from a worker of this pool: the loop then runs inline on that worker.
+  void parallel_for(std::size_t count, unsigned max_workers,
+                    const std::function<void(std::size_t)>& body);
+
+  /// The process-wide pool, created on first use with one worker per
+  /// hardware thread. Experiment runners share it so thread-local kernel
+  /// state stays warm across scenarios and sweep points.
+  static ThreadPool& shared();
+
+ private:
+  struct Job {
+    std::size_t count = 0;
+    unsigned stride = 0;  // number of participating workers
+    const std::function<void(std::size_t)>* body = nullptr;
+  };
+
+  void worker_loop(unsigned worker_id);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex submit_mutex_;  // serializes parallel_for calls
+
+  std::mutex job_mutex_;  // guards everything below
+  std::condition_variable job_ready_;
+  std::condition_variable job_done_;
+  Job job_;
+  std::uint64_t job_sequence_ = 0;  // bumped per job; wakes the workers
+  unsigned workers_remaining_ = 0;  // workers still running the current job
+  std::exception_ptr first_error_;
+  // Read lock-free by workers mid-loop (purely an early-out), so atomic.
+  std::atomic<bool> failed_{false};
+  bool shutdown_ = false;
+};
+
+}  // namespace muerp::support

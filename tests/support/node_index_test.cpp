@@ -1,0 +1,55 @@
+// NodeIndex tests: the dense NodeId -> position lookup that replaced the
+// hand-rolled unordered_map rebuilds in the tree-construction algorithms.
+#include "support/node_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace muerp {
+namespace {
+
+TEST(NodeIndex, EmptyIndexContainsNothing) {
+  support::NodeIndex index;
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_FALSE(index.contains(0));
+  EXPECT_FALSE(index.find(42).has_value());
+}
+
+TEST(NodeIndex, MapsNodesToTheirPositions) {
+  const std::vector<graph::NodeId> nodes = {17, 3, 99, 0};
+  support::NodeIndex index(nodes);
+  EXPECT_EQ(index.size(), 4u);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    ASSERT_TRUE(index.contains(nodes[i]));
+    EXPECT_EQ(index.at(nodes[i]), i);
+    EXPECT_EQ(index.find(nodes[i]), i);
+  }
+  EXPECT_FALSE(index.contains(1));
+  EXPECT_FALSE(index.contains(98));
+  EXPECT_FALSE(index.contains(100));  // beyond the table
+}
+
+TEST(NodeIndex, RebuildRetargetsTheIndex) {
+  const std::vector<graph::NodeId> first = {5, 9, 2};
+  const std::vector<graph::NodeId> second = {9, 4};
+  support::NodeIndex index(first);
+  index.rebuild(second);
+  EXPECT_EQ(index.size(), 2u);
+  EXPECT_EQ(index.at(9), 0u);
+  EXPECT_EQ(index.at(4), 1u);
+  // Members of the old set must be forgotten.
+  EXPECT_FALSE(index.contains(5));
+  EXPECT_FALSE(index.contains(2));
+}
+
+TEST(NodeIndex, RebuildToEmptySet) {
+  const std::vector<graph::NodeId> nodes = {1, 2, 3};
+  support::NodeIndex index(nodes);
+  index.rebuild({});
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_FALSE(index.contains(1));
+}
+
+}  // namespace
+}  // namespace muerp

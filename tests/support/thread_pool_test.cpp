@@ -1,0 +1,116 @@
+// ThreadPool tests: deterministic index striding, exception rethrow, worker
+// clamping, re-entrant inline execution, and the runner-level guarantee that
+// a parallel scenario run matches the sequential one exactly at any thread
+// count.
+#include "support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "experiment/runner.hpp"
+#include "experiment/scenario.hpp"
+
+namespace muerp {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  support::ThreadPool pool(4);
+  for (std::size_t count : {0u, 1u, 3u, 17u, 128u}) {
+    std::vector<std::atomic<int>> hits(count);
+    pool.parallel_for(count, 0,
+                      [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ThreadPool, ClampsWorkersToHardwareConcurrency) {
+  const unsigned cores = std::thread::hardware_concurrency();
+  support::ThreadPool pool(10000);
+  EXPECT_GE(pool.worker_count(), 1u);
+  if (cores > 0) {
+    EXPECT_LE(pool.worker_count(), cores)
+        << "the seed oversubscribed; the pool must not";
+  }
+}
+
+TEST(ThreadPool, MaxWorkersLimitsStriding) {
+  // With max_workers = 1 the single participating worker must walk the
+  // indices in order, making the observed sequence deterministic.
+  support::ThreadPool pool(4);
+  std::vector<std::size_t> order;
+  pool.parallel_for(9, 1, [&](std::size_t i) { order.push_back(i); });
+  std::vector<std::size_t> expected(9);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, RethrowsFirstBodyException) {
+  support::ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.parallel_for(64, 0,
+                        [&](std::size_t i) {
+                          ran.fetch_add(1);
+                          if (i == 5) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  EXPECT_GE(ran.load(), 1);
+  // The pool must stay usable after a failed job.
+  std::atomic<int> after{0};
+  pool.parallel_for(8, 0, [&](std::size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 8);
+}
+
+TEST(ThreadPool, ReentrantParallelForRunsInline) {
+  support::ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for(4, 0, [&](std::size_t) {
+    // A body calling back into the pool must not deadlock; the nested loop
+    // runs inline on the worker.
+    pool.parallel_for(3, 0, [&](std::size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 12);
+}
+
+TEST(RunScenarioParallel, BitIdenticalAcrossThreadCounts) {
+  experiment::Scenario scenario;
+  scenario.switch_count = 12;
+  scenario.user_count = 4;
+  scenario.repetitions = 6;
+  const std::array<experiment::Algorithm, 2> algorithms = {
+      experiment::Algorithm::kAlg3Conflict, experiment::Algorithm::kAlg4Prim};
+
+  const experiment::ScenarioResult sequential =
+      experiment::run_scenario(scenario, algorithms);
+  for (unsigned threads : {1u, 2u, 5u}) {
+    const experiment::ScenarioResult parallel =
+        experiment::run_scenario_parallel(scenario, algorithms, {}, threads);
+    ASSERT_EQ(parallel.rates.size(), sequential.rates.size());
+    for (std::size_t a = 0; a < sequential.rates.size(); ++a) {
+      ASSERT_EQ(parallel.rates[a].size(), sequential.rates[a].size());
+      for (std::size_t r = 0; r < sequential.rates[a].size(); ++r) {
+        EXPECT_EQ(parallel.rates[a][r], sequential.rates[a][r])
+            << "threads " << threads << " algorithm " << a << " rep " << r;
+      }
+    }
+  }
+}
+
+TEST(RunScenarioParallel, RethrowsRepetitionException) {
+  EXPECT_THROW(experiment::detail::parallel_for_reps(
+                   10, 3,
+                   [](std::size_t rep) {
+                     if (rep == 4) throw std::invalid_argument("rep failed");
+                   }),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace muerp
