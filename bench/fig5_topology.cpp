@@ -7,7 +7,8 @@
 // (its fusion star cannot fit Q = 4 switches along the ring).
 #include "figure_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const muerp::bench::TraceGuard trace(argc, argv);
   using namespace muerp;
   std::vector<bench::SweepPoint> points;
   for (experiment::TopologyKind kind :

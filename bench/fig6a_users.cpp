@@ -4,7 +4,8 @@
 // channels, and Eq. (2) multiplies another sub-unity factor per channel.
 #include "figure_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const muerp::bench::TraceGuard trace(argc, argv);
   using namespace muerp;
   std::vector<bench::SweepPoint> points;
   for (std::size_t users : {4u, 6u, 8u, 10u, 12u, 14u}) {

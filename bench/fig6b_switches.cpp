@@ -7,7 +7,8 @@
 // this between 40 and 50 switches).
 #include "figure_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const muerp::bench::TraceGuard trace(argc, argv);
   using namespace muerp;
   std::vector<bench::SweepPoint> points;
   for (std::size_t switches : {10u, 20u, 30u, 40u, 50u}) {

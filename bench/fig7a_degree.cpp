@@ -4,7 +4,8 @@
 // candidates, so every algorithm finds better trees.
 #include "figure_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const muerp::bench::TraceGuard trace(argc, argv);
   using namespace muerp;
   std::vector<bench::SweepPoint> points;
   for (double degree : {4.0, 6.0, 8.0, 10.0}) {

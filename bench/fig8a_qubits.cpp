@@ -7,7 +7,8 @@
 // and the baselines come alive as Q grows; baselines keep rising at Q = 8.
 #include "figure_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const muerp::bench::TraceGuard trace(argc, argv);
   using namespace muerp;
   std::vector<bench::SweepPoint> points;
   for (int qubits : {2, 4, 6, 8}) {

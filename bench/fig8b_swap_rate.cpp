@@ -6,7 +6,8 @@
 
 #include "figure_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const muerp::bench::TraceGuard trace(argc, argv);
   using namespace muerp;
   std::vector<bench::SweepPoint> points;
   for (double q : {0.7, 0.8, 0.9, 1.0}) {

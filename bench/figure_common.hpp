@@ -2,18 +2,24 @@
 //
 // Each bench binary regenerates one figure of the paper's §V evaluation:
 // it sweeps a single scenario parameter, averages the entanglement rate of
-// all five algorithms over the scenario's 20 random networks (zeros counted,
-// exactly like the paper), and prints the resulting series as a table plus
-// a CSV block for external plotting.
+// all five algorithms (resolved through the RouterRegistry) over the
+// scenario's 20 random networks (zeros counted, exactly like the paper),
+// and prints the resulting series as a table plus a CSV block for external
+// plotting. Passing --trace=out.json to any figure bench records a Chrome
+// trace of the whole run (see TraceGuard).
 #pragma once
 
 #include <iostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "experiment/runner.hpp"
 #include "experiment/scenario.hpp"
+#include "routing/router.hpp"
 #include "support/table.hpp"
+#include "support/telemetry/export.hpp"
+#include "support/telemetry/trace.hpp"
 
 namespace muerp::bench {
 
@@ -22,15 +28,51 @@ struct SweepPoint {
   experiment::Scenario scenario;
 };
 
+/// RAII handling of a bench's `--trace=out.json` flag: enables TraceEvent
+/// recording for the guard's lifetime and writes the Chrome trace_event
+/// file (chrome://tracing, ui.perfetto.dev) at scope exit. Does nothing
+/// when the flag is absent, and records nothing in MUERP_TELEMETRY=OFF
+/// builds (the file is then an empty event array).
+class TraceGuard {
+ public:
+  TraceGuard(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg(argv[i]);
+      if (arg.rfind("--trace=", 0) == 0) path_ = std::string(arg.substr(8));
+    }
+    if (!path_.empty()) support::telemetry::set_tracing(true);
+  }
+  ~TraceGuard() {
+    if (path_.empty()) return;
+    support::telemetry::set_tracing(false);
+    const long events = support::telemetry::write_chrome_trace_file(path_);
+    if (events < 0) {
+      std::cerr << "failed to write trace file " << path_ << '\n';
+    } else {
+      std::cerr << "wrote " << events << " trace events to " << path_
+                << " (load in chrome://tracing)\n";
+    }
+  }
+  TraceGuard(const TraceGuard&) = delete;
+  TraceGuard& operator=(const TraceGuard&) = delete;
+
+ private:
+  std::string path_;
+};
+
 /// Runs every sweep point and prints two tables: mean entanglement rate and
 /// feasible fraction per algorithm.
 inline void run_figure(const std::string& figure_title,
                        const std::string& param_name,
                        const std::vector<SweepPoint>& points,
                        const experiment::RunnerOptions& options = {}) {
+  const std::span<const std::string> algorithms =
+      experiment::paper_algorithm_names();
+  const routing::RouterRegistry& registry =
+      routing::RouterRegistry::instance();
   std::vector<std::string> columns{param_name};
-  for (experiment::Algorithm a : experiment::kAllAlgorithms) {
-    columns.emplace_back(experiment::algorithm_name(a));
+  for (const std::string& name : algorithms) {
+    columns.emplace_back(registry.at(name).display_name());
   }
   support::Table rates(figure_title + " — mean entanglement rate", columns);
   support::Table stderrs(
@@ -38,11 +80,12 @@ inline void run_figure(const std::string& figure_title,
   support::Table feasible(figure_title + " — feasible fraction", columns);
 
   for (const SweepPoint& point : points) {
-    const auto result = experiment::run_scenario(point.scenario, options);
+    const auto result =
+        experiment::run_scenario(point.scenario, algorithms, options);
     std::vector<double> means;
     std::vector<double> errors;
     std::vector<double> fractions;
-    for (std::size_t a = 0; a < experiment::kAllAlgorithms.size(); ++a) {
+    for (std::size_t a = 0; a < algorithms.size(); ++a) {
       means.push_back(result.mean_rate(a));
       errors.push_back(result.stderr_rate(a));
       fractions.push_back(result.feasible_fraction(a));

@@ -18,6 +18,7 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <string>
 #include <string_view>
@@ -33,6 +34,8 @@
 #include "routing/optimal_tree.hpp"
 #include "routing/perf_counters.hpp"
 #include "routing/prim_based.hpp"
+#include "support/table.hpp"
+#include "support/telemetry/export.hpp"
 
 namespace {
 
@@ -58,7 +61,7 @@ BENCHMARK(BM_Algorithm1_SingleSource)->Arg(25)->Arg(50)->Arg(100)->Arg(200);
 
 void BM_Algorithm2_Optimal(benchmark::State& state) {
   const auto inst = make_instance(50, static_cast<std::size_t>(state.range(0)));
-  const auto boosted = experiment::with_uniform_switch_qubits(
+  const auto boosted = net::with_uniform_switch_qubits(
       inst.network, 2 * static_cast<int>(inst.users.size()));
   for (auto _ : state) {
     benchmark::DoNotOptimize(
@@ -178,6 +181,17 @@ CompareEntry compare_algorithm(const std::string& name,
   return entry;
 }
 
+/// Full-precision rate array so an ON-build and an OFF-build JSON can be
+/// diffed bit-for-bit (6-significant-digit default would mask divergence).
+void write_rates_json(std::ofstream& out, const std::vector<double>& rates) {
+  out << '[';
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    if (i) out << ", ";
+    out << std::setprecision(17) << rates[i];
+  }
+  out << ']' << std::setprecision(6);
+}
+
 void write_counters_json(std::ofstream& out,
                          const routing::PerfCounters& counters) {
   out << "{\"dijkstra_runs\": " << counters.dijkstra_runs
@@ -277,6 +291,8 @@ KernelCompare compare_kernel(
 }
 
 int run_compare(const std::string& output_path) {
+  namespace tel = muerp::support::telemetry;
+  const tel::Snapshot tel_before = tel::capture_process();
   experiment::Scenario scenario;  // §V-A defaults: 50 switches, 10 users,
                                   // Waxman, Q=4, q=0.9, 20 networks
   std::vector<experiment::Instance> instances;
@@ -350,6 +366,13 @@ int run_compare(const std::string& output_path) {
   std::printf("greedy total (Alg-3 + Alg-4): %.2f -> %.2f ms (%.2fx)\n",
               greedy_uncached, greedy_cached, greedy_speedup);
 
+  // Span/counter attribution of everything --compare ran above. In
+  // MUERP_TELEMETRY=OFF builds the delta is empty and "enabled" is false;
+  // diffing the per-algorithm rates arrays between an ON and an OFF build's
+  // JSON verifies telemetry is pure observation (bit-identical rates).
+  tel::Snapshot tel_delta = tel::capture_process();
+  tel_delta.subtract(tel_before);
+
   const KernelCompare kernel = compare_kernel(instances);
   all_identical = all_identical && kernel.identical;
   std::printf(
@@ -359,6 +382,11 @@ int run_compare(const std::string& output_path) {
   std::printf("%-22s %12.3f   (%.2fx, identical: %s)\n", "spf kernel",
               kernel.kernel_us, kernel.speedup(),
               kernel.identical ? "yes" : "NO");
+
+  if (!tel_delta.empty()) {
+    std::cout << '\n'
+              << tel::spans_table(tel_delta, "telemetry spans (--compare run)");
+  }
 
   std::ofstream out(output_path);
   if (!out) {
@@ -380,9 +408,15 @@ int run_compare(const std::string& output_path) {
     write_counters_json(out, e.uncached_counters);
     out << ",\n     \"cached\": ";
     write_counters_json(out, e.cached_counters);
+    out << ",\n     \"rates\": ";
+    write_rates_json(out, e.cached_rates);
     out << "}" << (i + 1 < entries.size() ? "," : "") << "\n";
   }
   out << "  ],\n";
+  out << "  \"telemetry\": {\"enabled\": "
+      << (MUERP_TELEMETRY_ENABLED ? "true" : "false") << ", \"snapshot\": ";
+  tel::write_json(out, tel_delta, /*indent=*/0);
+  out << "},\n";
   out << "  \"greedy_hot_path\": {\"name\": \"" << hot_path.name
       << "\", \"uncached_ms\": " << hot_path.uncached_ms
       << ", \"cached_ms\": " << hot_path.cached_ms

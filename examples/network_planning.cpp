@@ -90,7 +90,7 @@ int main() {
                          support::format_rate(feasible->tree.rate)});
     // The rate ceiling is set by the topology, not the budget: measure it
     // at a generous Q, then size for 90% of it.
-    const auto boosted = experiment::with_uniform_switch_qubits(
+    const auto boosted = net::with_uniform_switch_qubits(
         inst.network, 64);
     const double best_rate =
         routing::conflict_free(boosted, inst.users).rate;

@@ -4,11 +4,13 @@
 
 #include "routing/channel_finder.hpp"
 #include "routing/plan.hpp"
+#include "support/telemetry/telemetry.hpp"
 
 namespace muerp::baselines {
 
 net::EntanglementTree extended_qcast(const net::QuantumNetwork& network,
                                      std::span<const net::NodeId> users) {
+  MUERP_SPAN("eqcast/chain");
   assert(!users.empty());
   if (users.size() == 1) return routing::make_tree({}, true);
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "routing/channel_finder.hpp"
+#include "support/telemetry/telemetry.hpp"
 
 namespace muerp::baselines {
 
@@ -26,6 +27,7 @@ std::optional<FusionPlan> build_star(const net::QuantumNetwork& network,
                                      std::span<const net::NodeId> users,
                                      net::NodeId center,
                                      const NFusionParams& params) {
+  MUERP_SPAN("nfusion/build_star");
   const double log_qf = log_fusion_success(network, params);
   net::CapacityState capacity(network);
   // Algorithm 1's machinery over the fusion metric: q is replaced by q_f

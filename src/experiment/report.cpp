@@ -4,6 +4,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "routing/router.hpp"
+
 namespace muerp::experiment {
 
 namespace {
@@ -46,9 +48,11 @@ FigureResult ReportBuilder::run_sweep(
     const std::string& id, const std::string& title,
     const std::string& param_name,
     const std::vector<std::pair<std::string, Scenario>>& points) const {
+  const std::span<const std::string> algorithms = paper_algorithm_names();
+  const routing::RouterRegistry& registry = routing::RouterRegistry::instance();
   std::vector<std::string> columns{param_name};
-  for (Algorithm a : kAllAlgorithms) {
-    columns.emplace_back(algorithm_name(a));
+  for (const std::string& name : algorithms) {
+    columns.emplace_back(registry.at(name).display_name());
   }
   FigureResult figure{id, title,
                       support::Table(title + " — mean entanglement rate",
@@ -57,11 +61,11 @@ FigureResult ReportBuilder::run_sweep(
   for (const auto& [label, scenario] : points) {
     const ScenarioResult result =
         options_.parallel
-            ? run_scenario_parallel(scenario, kAllAlgorithms)
-            : run_scenario(scenario, kAllAlgorithms);
+            ? run_scenario_parallel(scenario, algorithms)
+            : run_scenario(scenario, algorithms);
     std::vector<double> means;
     std::vector<double> fractions;
-    for (std::size_t a = 0; a < kAllAlgorithms.size(); ++a) {
+    for (std::size_t a = 0; a < algorithms.size(); ++a) {
       means.push_back(result.mean_rate(a));
       fractions.push_back(result.feasible_fraction(a));
     }

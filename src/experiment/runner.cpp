@@ -2,12 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string_view>
 
-#include "baselines/eqcast.hpp"
-#include "baselines/nfusion.hpp"
-#include "routing/conflict_free.hpp"
-#include "routing/optimal_tree.hpp"
-#include "routing/prim_based.hpp"
+#include "routing/router.hpp"
+#include "support/telemetry/telemetry.hpp"
 #include "support/thread_pool.hpp"
 
 namespace muerp::experiment {
@@ -28,30 +26,131 @@ const char* algorithm_name(Algorithm algorithm) noexcept {
   return "?";
 }
 
+const char* algorithm_key(Algorithm algorithm) noexcept {
+  switch (algorithm) {
+    case Algorithm::kAlg2Optimal:
+      return "alg2";
+    case Algorithm::kAlg3Conflict:
+      return "alg3";
+    case Algorithm::kAlg4Prim:
+      return "alg4";
+    case Algorithm::kEQCast:
+      return "eqcast";
+    case Algorithm::kNFusion:
+      return "nfusion";
+  }
+  return "?";
+}
+
+std::span<const std::string> paper_algorithm_names() noexcept {
+  static const std::vector<std::string> names = {"alg2", "alg3", "alg4",
+                                                 "eqcast", "nfusion"};
+  return names;
+}
+
+namespace {
+
+double run_router(const routing::Router& router, Instance& instance,
+                  const RunnerOptions& options) {
+  routing::RoutingRequest request;
+  request.network = &instance.network;
+  request.users = instance.users;
+  request.rng = &instance.rng;
+  request.options.nfusion = options.nfusion;
+  return router.route_tree(request).rate;
+}
+
+std::vector<const routing::Router*> resolve(
+    std::span<const std::string> names) {
+  const routing::RouterRegistry& registry =
+      routing::RouterRegistry::instance();
+  std::vector<const routing::Router*> routers;
+  routers.reserve(names.size());
+  for (const std::string& name : names) routers.push_back(&registry.at(name));
+  return routers;
+}
+
+std::vector<const routing::Router*> resolve(
+    std::span<const Algorithm> algorithms) {
+  const routing::RouterRegistry& registry =
+      routing::RouterRegistry::instance();
+  std::vector<const routing::Router*> routers;
+  routers.reserve(algorithms.size());
+  for (const Algorithm a : algorithms) {
+    routers.push_back(&registry.at(algorithm_key(a)));
+  }
+  return routers;
+}
+
+/// Shared serial/parallel core. Telemetry is collected into per
+/// (algorithm, repetition) slots on whichever worker runs the repetition,
+/// then merged in repetition order after the join: deterministic for any
+/// thread count, and pure observation — no RNG stream or rate changes.
+ScenarioResult run_scenario_impl(
+    const Scenario& scenario,
+    std::span<const routing::Router* const> routers,
+    const RunnerOptions& options, bool parallel, unsigned threads) {
+  namespace tel = support::telemetry;
+  ScenarioResult result;
+  result.rates.assign(routers.size(),
+                      std::vector<double>(scenario.repetitions, 0.0));
+  result.telemetry.assign(routers.size(), tel::Snapshot{});
+
+  std::vector<std::vector<tel::Snapshot>> deltas(
+      routers.size(), std::vector<tel::Snapshot>(scenario.repetitions));
+
+  // "runner/<name>" spans attribute wall time per algorithm inside a rep
+  // (and nest the algorithm's own spans below themselves in the flame view).
+  std::vector<tel::SpanId> spans;
+  spans.reserve(routers.size());
+  for (const routing::Router* router : routers) {
+    spans.push_back(tel::intern_span("runner/" + router->name()));
+  }
+
+  const auto body = [&](std::size_t rep) {
+    const std::uint64_t rep_start = tel::monotonic_now_ns();
+    Instance instance = instantiate(scenario, rep);
+    for (std::size_t a = 0; a < routers.size(); ++a) {
+      const tel::Snapshot before = tel::capture_thread();
+      {
+        const tel::ScopedSpan span(spans[a]);
+        result.rates[a][rep] = run_router(*routers[a], instance, options);
+      }
+      tel::Snapshot after = tel::capture_thread();
+      after.subtract(before);
+      deltas[a][rep] = std::move(after);
+    }
+    MUERP_HISTOGRAM_OBSERVE(
+        "runner/rep_ms",
+        static_cast<double>(tel::monotonic_now_ns() - rep_start) / 1e6);
+  };
+
+  if (parallel) {
+    detail::parallel_for_reps(scenario.repetitions, threads, body);
+  } else {
+    for (std::size_t rep = 0; rep < scenario.repetitions; ++rep) body(rep);
+  }
+
+  for (std::size_t a = 0; a < routers.size(); ++a) {
+    for (std::size_t rep = 0; rep < scenario.repetitions; ++rep) {
+      result.telemetry[a].merge(deltas[a][rep]);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
 double run_algorithm(Algorithm algorithm, Instance& instance,
                      const RunnerOptions& options) {
-  switch (algorithm) {
-    case Algorithm::kAlg2Optimal: {
-      // Paper Fig. 8(a): "The switches in Algorithm 2 ha[ve] 2|U| qubits" —
-      // Algorithm 2 always runs under its sufficient condition.
-      const auto boosted = with_uniform_switch_qubits(
-          instance.network, 2 * static_cast<int>(instance.users.size()));
-      return routing::optimal_special_case(boosted, instance.users).rate;
-    }
-    case Algorithm::kAlg3Conflict:
-      return routing::conflict_free(instance.network, instance.users).rate;
-    case Algorithm::kAlg4Prim:
-      return routing::prim_based(instance.network, instance.users,
-                                 instance.rng)
-          .rate;
-    case Algorithm::kEQCast:
-      return baselines::extended_qcast(instance.network, instance.users).rate;
-    case Algorithm::kNFusion:
-      return baselines::n_fusion(instance.network, instance.users,
-                                 options.nfusion)
-          .rate;
-  }
-  return 0.0;
+  return run_algorithm(algorithm_key(algorithm), instance, options);
+}
+
+double run_algorithm(std::string_view algorithm, Instance& instance,
+                     const RunnerOptions& options) {
+  const routing::Router& router =
+      routing::RouterRegistry::instance().at(algorithm);
+  return run_router(router, instance, options);
 }
 
 double ScenarioResult::mean_rate(std::size_t algorithm_index) const {
@@ -72,23 +171,20 @@ double ScenarioResult::stderr_rate(std::size_t algorithm_index) const {
 ScenarioResult run_scenario(const Scenario& scenario,
                             std::span<const Algorithm> algorithms,
                             const RunnerOptions& options) {
-  ScenarioResult result;
-  result.rates.assign(algorithms.size(), {});
-  for (auto& row : result.rates) row.reserve(scenario.repetitions);
+  return run_scenario_impl(scenario, resolve(algorithms), options,
+                           /*parallel=*/false, /*threads=*/0);
+}
 
-  for (std::size_t rep = 0; rep < scenario.repetitions; ++rep) {
-    Instance instance = instantiate(scenario, rep);
-    for (std::size_t a = 0; a < algorithms.size(); ++a) {
-      result.rates[a].push_back(
-          run_algorithm(algorithms[a], instance, options));
-    }
-  }
-  return result;
+ScenarioResult run_scenario(const Scenario& scenario,
+                            std::span<const std::string> algorithms,
+                            const RunnerOptions& options) {
+  return run_scenario_impl(scenario, resolve(algorithms), options,
+                           /*parallel=*/false, /*threads=*/0);
 }
 
 ScenarioResult run_scenario(const Scenario& scenario,
                             const RunnerOptions& options) {
-  return run_scenario(scenario, kAllAlgorithms, options);
+  return run_scenario(scenario, paper_algorithm_names(), options);
 }
 
 namespace detail {
@@ -111,19 +207,16 @@ ScenarioResult run_scenario_parallel(const Scenario& scenario,
                                      std::span<const Algorithm> algorithms,
                                      const RunnerOptions& options,
                                      unsigned threads) {
-  ScenarioResult result;
-  result.rates.assign(algorithms.size(),
-                      std::vector<double>(scenario.repetitions, 0.0));
+  return run_scenario_impl(scenario, resolve(algorithms), options,
+                           /*parallel=*/true, threads);
+}
 
-  detail::parallel_for_reps(
-      scenario.repetitions, threads, [&](std::size_t rep) {
-        Instance instance = instantiate(scenario, rep);
-        for (std::size_t a = 0; a < algorithms.size(); ++a) {
-          result.rates[a][rep] =
-              run_algorithm(algorithms[a], instance, options);
-        }
-      });
-  return result;
+ScenarioResult run_scenario_parallel(const Scenario& scenario,
+                                     std::span<const std::string> algorithms,
+                                     const RunnerOptions& options,
+                                     unsigned threads) {
+  return run_scenario_impl(scenario, resolve(algorithms), options,
+                           /*parallel=*/true, threads);
 }
 
 }  // namespace muerp::experiment

@@ -1,23 +1,35 @@
-// Experiment runner: evaluates the five §V algorithms over a scenario.
+// Experiment runner: evaluates registered routing algorithms over a scenario.
 //
 // For each of the scenario's repetitions the runner instantiates a random
 // network and scores every requested algorithm on it, yielding the same
 // quantity the paper plots: the multi-user entanglement rate (Eq. 2), with 0
 // recorded when an algorithm fails to build a spanning entanglement tree.
-// Algorithm 2 is evaluated the way the paper evaluates it — on a copy of the
-// network whose switches are pinned at 2|U| qubits so its sufficient
-// condition holds (explicit in Fig. 8(a), implicit elsewhere).
+// Algorithms are selected by routing::RouterRegistry name ("alg2", "alg4",
+// "eqcast", ...); the Algorithm enum and kAllAlgorithms remain as aliases
+// for the paper's five. Algorithm 2 is evaluated the way the paper evaluates
+// it — on a copy of the network whose switches are pinned at 2|U| qubits so
+// its sufficient condition holds (explicit in Fig. 8(a), implicit
+// elsewhere); that policy lives in the "alg2" Router.
+//
+// Each run also attributes telemetry: ScenarioResult.telemetry[a] is the
+// merged counter/span delta algorithm `a` produced across all repetitions,
+// collected per (algorithm, repetition) slot on the worker that ran it and
+// merged in repetition order after the join — deterministic for any thread
+// count, and empty in MUERP_TELEMETRY=OFF builds. Rates and RNG streams are
+// bit-identical whether telemetry is compiled in or out.
 #pragma once
 
 #include <array>
 #include <cstddef>
 #include <functional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "baselines/nfusion.hpp"
 #include "experiment/scenario.hpp"
 #include "support/statistics.hpp"
+#include "support/telemetry/metrics.hpp"
 
 namespace muerp::experiment {
 
@@ -34,7 +46,15 @@ inline constexpr std::array<Algorithm, 5> kAllAlgorithms = {
     Algorithm::kAlg2Optimal, Algorithm::kAlg3Conflict, Algorithm::kAlg4Prim,
     Algorithm::kEQCast, Algorithm::kNFusion};
 
+/// Display name ("Alg-2"), equal to the Router's display_name().
 const char* algorithm_name(Algorithm algorithm) noexcept;
+
+/// RouterRegistry key ("alg2") for an enum value.
+const char* algorithm_key(Algorithm algorithm) noexcept;
+
+/// Registry names of the paper's five algorithms in plotting order —
+/// the default selection for sweeps and figures.
+std::span<const std::string> paper_algorithm_names() noexcept;
 
 struct RunnerOptions {
   baselines::NFusionParams nfusion;
@@ -45,10 +65,20 @@ struct RunnerOptions {
 double run_algorithm(Algorithm algorithm, Instance& instance,
                      const RunnerOptions& options = {});
 
-/// Per-algorithm rates across all repetitions of a scenario.
+/// Same, selecting the algorithm by registry name; throws std::out_of_range
+/// for unknown names.
+double run_algorithm(std::string_view algorithm, Instance& instance,
+                     const RunnerOptions& options = {});
+
+/// Per-algorithm rates (and telemetry) across all repetitions of a scenario.
 struct ScenarioResult {
-  /// rates[a][r] = rate of kAllAlgorithms-order algorithm `a` on rep `r`.
+  /// rates[a][r] = rate of requested algorithm `a` on repetition `r`.
   std::vector<std::vector<double>> rates;
+
+  /// telemetry[a] = counters/spans algorithm `a` accumulated over all
+  /// repetitions, merged deterministically (see file comment). Empty
+  /// snapshots when MUERP_TELEMETRY=OFF.
+  std::vector<support::telemetry::Snapshot> telemetry;
 
   /// Arithmetic mean over repetitions, zeros included (paper's averaging).
   double mean_rate(std::size_t algorithm_index) const;
@@ -64,7 +94,12 @@ ScenarioResult run_scenario(const Scenario& scenario,
                             std::span<const Algorithm> algorithms,
                             const RunnerOptions& options = {});
 
-/// Convenience overload over all five algorithms.
+/// Registry-name selection (any registered router, not just the paper five).
+ScenarioResult run_scenario(const Scenario& scenario,
+                            std::span<const std::string> algorithms,
+                            const RunnerOptions& options = {});
+
+/// Convenience overload over the paper's five algorithms.
 ScenarioResult run_scenario(const Scenario& scenario,
                             const RunnerOptions& options = {});
 
@@ -75,6 +110,11 @@ ScenarioResult run_scenario(const Scenario& scenario,
 /// all workers are joined and the first exception is rethrown here.
 ScenarioResult run_scenario_parallel(const Scenario& scenario,
                                      std::span<const Algorithm> algorithms,
+                                     const RunnerOptions& options = {},
+                                     unsigned threads = 0);
+
+ScenarioResult run_scenario_parallel(const Scenario& scenario,
+                                     std::span<const std::string> algorithms,
                                      const RunnerOptions& options = {},
                                      unsigned threads = 0);
 

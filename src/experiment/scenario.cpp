@@ -73,20 +73,4 @@ Instance instantiate(const Scenario& scenario, std::size_t repetition) {
   return Instance{std::move(network), std::move(users), std::move(rng)};
 }
 
-net::QuantumNetwork with_uniform_switch_qubits(
-    const net::QuantumNetwork& network, int qubits) {
-  assert(qubits >= 0);
-  std::vector<net::NodeKind> kinds(network.node_count());
-  std::vector<int> budget(network.node_count());
-  std::vector<support::Point2D> positions(network.positions().begin(),
-                                          network.positions().end());
-  for (net::NodeId v = 0; v < network.node_count(); ++v) {
-    kinds[v] = network.kind(v);
-    budget[v] = network.is_switch(v) ? qubits : 0;
-  }
-  return net::QuantumNetwork(network.graph(), std::move(positions),
-                             std::move(kinds), std::move(budget),
-                             network.physical());
-}
-
 }  // namespace muerp::experiment

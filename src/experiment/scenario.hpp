@@ -52,10 +52,8 @@ struct Instance {
 /// Builds repetition `repetition` of `scenario` (0-based).
 Instance instantiate(const Scenario& scenario, std::size_t repetition);
 
-/// Copy of `network` with every switch's budget replaced by `qubits` —
-/// used to evaluate Algorithm 2 under its sufficient condition (the paper
-/// pins Algorithm 2's switches at 2|U| qubits in Fig. 8(a)).
-net::QuantumNetwork with_uniform_switch_qubits(
-    const net::QuantumNetwork& network, int qubits);
+// with_uniform_switch_qubits moved to net:: (network/quantum_network.hpp)
+// so routing::Router can apply Algorithm 2's sufficient-condition boost
+// without depending on the experiment layer.
 
 }  // namespace muerp::experiment

@@ -48,6 +48,7 @@
 #endif
 
 #include "graph/graph.hpp"
+#include "support/telemetry/telemetry.hpp"
 
 namespace muerp::graph::spf {
 
@@ -420,7 +421,8 @@ inline std::size_t& scan_frontier_max_nodes() noexcept {
 /// settles: its distance and path are final, and with strictly positive
 /// weights no consumer of a single destination can observe the difference.
 /// `pop_counter`, when non-null, accumulates settled nodes (the routing
-/// layer's PerfCounters hook; the graph layer stays dependency-free).
+/// layer's hook into its own named counters; the plain pointer keeps the
+/// inner loop free of atomics).
 template <typename WeightFn, typename AllowExpandFn>
 void run(const Csr& csr, SpfWorkspace& workspace, NodeId source,
          WeightFn&& weight, AllowExpandFn&& allow_expand,
@@ -429,6 +431,7 @@ void run(const Csr& csr, SpfWorkspace& workspace, NodeId source,
   const std::size_t n = csr.node_count();
   workspace.begin(n);
   if (n <= scan_frontier_max_nodes()) {
+    MUERP_COUNTER_INC("spf/scan_runs");
     workspace.scan_begin();
     workspace.seed_scan(source);
     for (;;) {
@@ -448,6 +451,7 @@ void run(const Csr& csr, SpfWorkspace& workspace, NodeId source,
     }
     return;
   }
+  MUERP_COUNTER_INC("spf/heap_runs");
   workspace.seed(source);
   while (!workspace.heap_empty()) {
     const NodeId v = workspace.heap_pop_min();
@@ -493,8 +497,12 @@ struct Context {
   const Csr& csr_for(const Graph& graph) {
     const std::uint64_t version = graph.topology_version();
     for (BaseEntry& e : base_entries_) {
-      if (e.version == version) return e.csr;
+      if (e.version == version) {
+        MUERP_COUNTER_INC("spf/csr_cache_hits");
+        return e.csr;
+      }
     }
+    MUERP_COUNTER_INC("spf/csr_builds");
     BaseEntry& e = next_base_slot();
     e.csr.build_from(graph);
     e.version = version;
@@ -510,9 +518,11 @@ struct Context {
     const std::uint64_t version = graph.topology_version();
     for (AffineEntry& e : affine_entries_) {
       if (e.version == version && e.scale == scale && e.offset == offset) {
+        MUERP_COUNTER_INC("spf/affine_csr_cache_hits");
         return e.csr;
       }
     }
+    MUERP_COUNTER_INC("spf/affine_csr_builds");
     const Csr& base = csr_for(graph);
     AffineEntry& e = next_affine_slot();
     e.csr.offsets = base.offsets;

@@ -43,6 +43,7 @@
 #include "routing/perf_counters.hpp"      // IWYU pragma: export
 #include "routing/plan.hpp"               // IWYU pragma: export
 #include "routing/prim_based.hpp"         // IWYU pragma: export
+#include "routing/router.hpp"             // IWYU pragma: export
 #include "simulation/decoherence.hpp"     // IWYU pragma: export
 #include "simulation/failure.hpp"         // IWYU pragma: export
 #include "simulation/monte_carlo.hpp"     // IWYU pragma: export
@@ -54,6 +55,8 @@
 #include "support/rng.hpp"                // IWYU pragma: export
 #include "support/statistics.hpp"         // IWYU pragma: export
 #include "support/table.hpp"              // IWYU pragma: export
+#include "support/telemetry/export.hpp"   // IWYU pragma: export
+#include "support/telemetry/telemetry.hpp"  // IWYU pragma: export
 #include "topology/analysis.hpp"          // IWYU pragma: export
 #include "topology/perturb.hpp"           // IWYU pragma: export
 #include "topology/reference.hpp"         // IWYU pragma: export

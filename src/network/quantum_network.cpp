@@ -1,6 +1,7 @@
 #include "network/quantum_network.hpp"
 
 #include <atomic>
+#include <cassert>
 #include <limits>
 
 namespace muerp::net {
@@ -91,6 +92,22 @@ void CapacityState::release_channel(std::span<const NodeId> path) {
     assert(free_[v] <= network_->qubits(v));
     if (!could_relay) flips_.push_back({v, true});  // can_relay: false -> true
   }
+}
+
+QuantumNetwork with_uniform_switch_qubits(const QuantumNetwork& network,
+                                          int qubits) {
+  assert(qubits >= 0);
+  std::vector<NodeKind> kinds(network.node_count());
+  std::vector<int> budget(network.node_count());
+  std::vector<support::Point2D> positions(network.positions().begin(),
+                                          network.positions().end());
+  for (NodeId v = 0; v < network.node_count(); ++v) {
+    kinds[v] = network.kind(v);
+    budget[v] = network.is_switch(v) ? qubits : 0;
+  }
+  return QuantumNetwork(network.graph(), std::move(positions),
+                        std::move(kinds), std::move(budget),
+                        network.physical());
 }
 
 }  // namespace muerp::net

@@ -101,6 +101,12 @@ class QuantumNetwork {
   double log_swap_ = 0.0;
 };
 
+/// Copy of `network` with every switch's budget replaced by `qubits` —
+/// used to evaluate Algorithm 2 under its sufficient condition (the paper
+/// pins Algorithm 2's switches at 2|U| qubits in Fig. 8(a)).
+QuantumNetwork with_uniform_switch_qubits(const QuantumNetwork& network,
+                                          int qubits);
+
 /// One can_relay() status change at a switch, as recorded in the
 /// CapacityState flip log. The direction lets consumers treat losses and
 /// gains of relay capability differently: a loss only affects shortest

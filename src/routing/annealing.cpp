@@ -9,6 +9,7 @@
 #include "routing/k_shortest.hpp"
 #include "routing/plan.hpp"
 #include "support/node_index.hpp"
+#include "support/telemetry/telemetry.hpp"
 #include "support/union_find.hpp"
 
 namespace muerp::routing {
@@ -40,6 +41,7 @@ AnnealingStats anneal_tree(const net::QuantumNetwork& network,
                            std::span<const net::NodeId> users,
                            net::EntanglementTree& tree,
                            const AnnealingParams& params, support::Rng& rng) {
+  MUERP_SPAN("annealing/anneal");
   AnnealingStats stats;
   if (!tree.feasible || tree.channels.empty()) return stats;
   assert(params.cooling > 0.0 && params.cooling <= 1.0);

@@ -12,14 +12,25 @@ namespace muerp::routing {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// A Counter is just its registry id; copying one at namespace scope bakes
+// the id into this TU so the per-Dijkstra hot path skips the accessor call
+// and its function-local-static guard. Registration order is safe: the
+// accessors immortalize the registry before interning.
+const support::telemetry::Counter kDijkstraRuns = metrics::dijkstra_runs();
+const support::telemetry::Counter kHeapPops = metrics::heap_pops();
+const support::telemetry::Counter kCacheHits = metrics::cache_hits();
+const support::telemetry::Counter kCacheMisses = metrics::cache_misses();
+const support::telemetry::Counter kCacheInvalidations =
+    metrics::cache_invalidations();
+const support::telemetry::Counter kFlipsCoalesced = metrics::flips_coalesced();
 }  // namespace
 
 void ChannelFinder::run_dijkstra(net::NodeId source,
                                  const net::CapacityState& capacity,
                                  std::vector<double>& dist,
                                  std::vector<graph::EdgeId>& parent) const {
-  PerfCounters& counters = perf_counters();
-  ++counters.dijkstra_runs;
+  kDijkstraRuns.add(1);
 
   auto& ctx = graph::spf::thread_context();
   // Affine view values carry the paper's alpha * L(e) - ln(q) pre-baked
@@ -31,13 +42,15 @@ void ChannelFinder::run_dijkstra(net::NodeId source,
   // invalidation contract reads switch reachability across the whole tree.
   const graph::spf::Csr& csr = ctx.affine_csr_for(
       network_->graph(), network_->physical().attenuation, -log_swap_);
+  std::uint64_t pops = 0;  // kernel hook is a plain pointer; fold in once
   graph::spf::run(
       csr, ctx.workspace, source,
       [&](std::size_t slot) { return csr.value(slot); },
       [&](net::NodeId v) {
         return network_->is_switch(v) && capacity.free_qubits(v) >= 2;
       },
-      graph::kInvalidNode, &counters.heap_pops);
+      graph::kInvalidNode, &pops);
+  kHeapPops.add(pops);
   ctx.workspace.extract(dist, parent);
 }
 
@@ -120,9 +133,11 @@ bool CachedChannelFinder::invalidated_by_flips(
     flip_status_[f.node] = f.can_relay_now ? 1 : 0;
   }
   bool invalidated = false;
+  std::uint64_t coalesced = 0;
   for (const net::NodeId v : flip_nodes_) {
     const bool net_flip = flip_parity_[v] != 0;
     flip_parity_[v] = 0;  // reset scratch for the next call
+    if (!net_flip) ++coalesced;
     if (invalidated || !net_flip) continue;
     // A switch that *lost* relay capability breaks the tree only if it sits
     // on a source->user path (the only entries consumers read); one that
@@ -134,6 +149,7 @@ bool CachedChannelFinder::invalidated_by_flips(
       invalidated = tree.on_user_path[v] != 0;
     }
   }
+  if (coalesced != 0) kFlipsCoalesced.add(coalesced);
   return invalidated;
 }
 
@@ -145,12 +161,12 @@ CachedChannelFinder::CachedTree& CachedChannelFinder::tree_for(
     if (!invalidated_by_flips(tree, source,
                               capacity.flips_since(tree.epoch))) {
       tree.epoch = capacity.epoch();
-      ++perf_counters().cache_hits;
+      kCacheHits.add(1);
       return tree;
     }
-    ++perf_counters().cache_invalidations;
+    kCacheInvalidations.add(1);
   }
-  if (enabled_) ++perf_counters().cache_misses;
+  if (enabled_) kCacheMisses.add(1);
   base_.run_dijkstra(source, capacity, tree.dist, tree.parent);
   tree.state_id = capacity.id();
   tree.epoch = capacity.epoch();

@@ -10,6 +10,7 @@
 #include "routing/optimal_tree.hpp"
 #include "routing/plan.hpp"
 #include "support/node_index.hpp"
+#include "support/telemetry/telemetry.hpp"
 #include "support/union_find.hpp"
 
 namespace muerp::routing {
@@ -43,22 +44,25 @@ net::EntanglementTree conflict_free_shared(const net::QuantumNetwork& network,
   std::vector<net::Channel> committed;
 
   // Phase 1: replay the seed channels best-first; keep those that fit.
-  std::vector<const net::Channel*> seeds;
-  seeds.reserve(initial.channels.size());
-  for (const net::Channel& c : initial.channels) seeds.push_back(&c);
-  std::sort(seeds.begin(), seeds.end(),
-            [](const net::Channel* l, const net::Channel* r) {
-              return l->rate > r->rate;
-            });
-  for (const net::Channel* c : seeds) {
-    const auto src = index.find(c->source());
-    const auto dst = index.find(c->destination());
-    if (!src || !dst) continue;
-    if (unions.connected(*src, *dst)) continue;
-    if (!fits(network, capacity, c->path)) continue;  // Line 13: dropped
-    capacity.commit_channel(c->path);
-    unions.unite(*src, *dst);
-    committed.push_back(*c);
+  {
+    MUERP_SPAN("conflict_free/replay_seed");
+    std::vector<const net::Channel*> seeds;
+    seeds.reserve(initial.channels.size());
+    for (const net::Channel& c : initial.channels) seeds.push_back(&c);
+    std::sort(seeds.begin(), seeds.end(),
+              [](const net::Channel* l, const net::Channel* r) {
+                return l->rate > r->rate;
+              });
+    for (const net::Channel* c : seeds) {
+      const auto src = index.find(c->source());
+      const auto dst = index.find(c->destination());
+      if (!src || !dst) continue;
+      if (unions.connected(*src, *dst)) continue;
+      if (!fits(network, capacity, c->path)) continue;  // Line 13: dropped
+      capacity.commit_channel(c->path);
+      unions.unite(*src, *dst);
+      committed.push_back(*c);
+    }
   }
 
   // Phase 2: reconnect the unions greedily under residual capacities. The
@@ -74,19 +78,23 @@ net::EntanglementTree conflict_free_shared(const net::QuantumNetwork& network,
     double best_dist = kInf;
     net::NodeId best_source = 0;
     net::NodeId best_destination = 0;
-    for (net::NodeId source : users) {
-      // One Dijkstra (at most) per source covers all cross-union pairs.
-      const std::size_t source_index = index.at(source);
-      const std::span<const double> dist = finder.distances(source, capacity);
-      for (net::NodeId user : network.users()) {
-        if (user <= source) continue;  // pair seen once
-        const auto dst = index.find(user);
-        if (!dst) continue;
-        if (unions.connected(source_index, *dst)) continue;
-        if (dist[user] < best_dist) {
-          best_dist = dist[user];
-          best_source = source;
-          best_destination = user;
+    {
+      MUERP_SPAN("conflict_free/reconnect_search");
+      for (net::NodeId source : users) {
+        // One Dijkstra (at most) per source covers all cross-union pairs.
+        const std::size_t source_index = index.at(source);
+        const std::span<const double> dist =
+            finder.distances(source, capacity);
+        for (net::NodeId user : network.users()) {
+          if (user <= source) continue;  // pair seen once
+          const auto dst = index.find(user);
+          if (!dst) continue;
+          if (unions.connected(source_index, *dst)) continue;
+          if (dist[user] < best_dist) {
+            best_dist = dist[user];
+            best_source = source;
+            best_destination = user;
+          }
         }
       }
     }

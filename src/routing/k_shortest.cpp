@@ -18,6 +18,11 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+// TU-local copies bake the counter ids in so the per-spur-search hot path
+// skips the accessor call (see channel_finder.cpp).
+const support::telemetry::Counter kDijkstraRuns = metrics::dijkstra_runs();
+const support::telemetry::Counter kHeapPops = metrics::heap_pops();
+
 struct WeightedPath {
   std::vector<net::NodeId> nodes;
   double cost = kInf;  // sum of alpha*L - ln(q) over edges
@@ -35,8 +40,7 @@ std::optional<WeightedPath> restricted_dijkstra(
     net::NodeId target, const net::CapacityState& capacity,
     const std::unordered_set<graph::EdgeId>& banned_edges,
     const std::unordered_set<net::NodeId>& banned_nodes) {
-  PerfCounters& counters = perf_counters();
-  ++counters.dijkstra_runs;
+  kDijkstraRuns.add(1);
   const auto& g = network.graph();
   auto& ctx = graph::spf::thread_context();
   const graph::spf::Csr& csr = ctx.affine_csr_for(
@@ -45,6 +49,7 @@ std::optional<WeightedPath> restricted_dijkstra(
   // (the kernel drops such arcs at relaxation), and the single destination
   // lets the search stop as soon as `target` settles — Yen's spur searches
   // rarely need the full tree.
+  std::uint64_t pops = 0;
   graph::spf::run(
       csr, ctx.workspace, source,
       [&](std::size_t slot) {
@@ -57,7 +62,8 @@ std::optional<WeightedPath> restricted_dijkstra(
       [&](net::NodeId v) {
         return network.is_switch(v) && capacity.free_qubits(v) >= 2;
       },
-      target, &counters.heap_pops);
+      target, &pops);
+  kHeapPops.add(pops);
   const graph::spf::SpfWorkspace& ws = ctx.workspace;
   if (ws.dist(target) == kInf) return std::nullopt;
 

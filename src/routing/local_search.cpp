@@ -7,6 +7,7 @@
 #include "routing/channel_finder.hpp"
 #include "routing/plan.hpp"
 #include "support/node_index.hpp"
+#include "support/telemetry/telemetry.hpp"
 #include "support/union_find.hpp"
 
 namespace muerp::routing {
@@ -40,6 +41,7 @@ LocalSearchStats improve_tree(const net::QuantumNetwork& network,
                               std::span<const net::NodeId> users,
                               net::EntanglementTree& tree,
                               std::size_t max_sweeps) {
+  MUERP_SPAN("local_search/improve");
   LocalSearchStats stats;
   if (!tree.feasible || tree.channels.size() < 1) return stats;
 

@@ -8,6 +8,7 @@
 #include "routing/channel_finder.hpp"
 #include "routing/plan.hpp"
 #include "support/node_index.hpp"
+#include "support/telemetry/telemetry.hpp"
 #include "support/union_find.hpp"
 
 namespace muerp::routing {
@@ -54,13 +55,16 @@ net::EntanglementTree optimal_special_case(const net::QuantumNetwork& network,
   for (net::NodeId u : users) requested[u] = 1;
   std::vector<Candidate> candidates;
   candidates.reserve(users.size() * (users.size() - 1) / 2);
-  for (net::NodeId source : users) {
-    const std::span<const double> dist = finder.distances(source, capacity);
-    for (net::NodeId user : network.users()) {
-      if (user <= source) continue;  // pair already covered
-      if (!requested[user]) continue;
-      if (dist[user] == kInf) continue;
-      candidates.push_back({dist[user], source, user});
+  {
+    MUERP_SPAN("optimal_tree/pair_channels");
+    for (net::NodeId source : users) {
+      const std::span<const double> dist = finder.distances(source, capacity);
+      for (net::NodeId user : network.users()) {
+        if (user <= source) continue;  // pair already covered
+        if (!requested[user]) continue;
+        if (dist[user] == kInf) continue;
+        candidates.push_back({dist[user], source, user});
+      }
     }
   }
 
@@ -68,6 +72,7 @@ net::EntanglementTree optimal_special_case(const net::QuantumNetwork& network,
   // ascending routing-distance order (exp is monotone, and -log distances
   // keep ordering channels whose rates underflowed to equal doubles); the
   // endpoint ids make ties deterministic.
+  MUERP_SPAN("optimal_tree/kruskal");
   std::sort(candidates.begin(), candidates.end(),
             [](const Candidate& l, const Candidate& r) {
               if (l.dist != r.dist) return l.dist < r.dist;

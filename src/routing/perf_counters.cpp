@@ -4,9 +4,60 @@
 
 namespace muerp::routing {
 
+namespace metrics {
+
+// Function-local statics: registered once, safe from the static-init order
+// fiasco, and shared by every translation unit that ticks them.
+const support::telemetry::Counter& dijkstra_runs() {
+  static const support::telemetry::Counter c("routing/dijkstra_runs");
+  return c;
+}
+
+const support::telemetry::Counter& heap_pops() {
+  static const support::telemetry::Counter c("routing/heap_pops");
+  return c;
+}
+
+const support::telemetry::Counter& cache_hits() {
+  static const support::telemetry::Counter c("routing/cache_hits");
+  return c;
+}
+
+const support::telemetry::Counter& cache_misses() {
+  static const support::telemetry::Counter c("routing/cache_misses");
+  return c;
+}
+
+const support::telemetry::Counter& cache_invalidations() {
+  static const support::telemetry::Counter c("routing/cache_invalidations");
+  return c;
+}
+
+const support::telemetry::Counter& flips_coalesced() {
+  static const support::telemetry::Counter c("routing/flips_coalesced");
+  return c;
+}
+
+}  // namespace metrics
+
 namespace {
 
-thread_local PerfCounters tls_counters;
+std::uint64_t raw(const support::telemetry::Counter& counter) noexcept {
+  return support::telemetry::counter_thread_value(counter.id());
+}
+
+thread_local PerfCounters tls_baseline;
+thread_local PerfCounters tls_view;
+
+PerfCounters current_raw() noexcept {
+  PerfCounters c;
+  c.dijkstra_runs = raw(metrics::dijkstra_runs());
+  c.heap_pops = raw(metrics::heap_pops());
+  c.cache_hits = raw(metrics::cache_hits());
+  c.cache_misses = raw(metrics::cache_misses());
+  c.cache_invalidations = raw(metrics::cache_invalidations());
+  return c;
+}
 
 std::atomic<bool> cache_enabled{true};
 
@@ -21,9 +72,12 @@ PerfCounters& PerfCounters::operator-=(const PerfCounters& other) noexcept {
   return *this;
 }
 
-PerfCounters& perf_counters() noexcept { return tls_counters; }
+PerfCounters& perf_counters() noexcept {
+  tls_view = current_raw() - tls_baseline;
+  return tls_view;
+}
 
-void reset_perf_counters() noexcept { tls_counters = PerfCounters{}; }
+void reset_perf_counters() noexcept { tls_baseline = current_raw(); }
 
 bool finder_cache_enabled() noexcept {
   return cache_enabled.load(std::memory_order_relaxed);

@@ -1,12 +1,17 @@
-// Lightweight instrumentation of the routing hot path.
+// Routing hot-path instrumentation, backed by the telemetry registry.
 //
-// Every Dijkstra the routing layer runs — ChannelFinder, the cached finder,
-// Yen's restricted searches — ticks the thread-local counters exposed here,
-// so benchmarks and experiments can attribute wall-clock time to algorithmic
-// work (dijkstra_runs, heap_pops) and observe how well CachedChannelFinder
-// amortizes it (cache_hits / cache_misses / cache_invalidations). Counters
-// are thread-local: the parallel experiment runner's workers never contend,
-// and a single-threaded bench reads a complete picture from its own thread.
+// The routing layer's counters — every Dijkstra run by ChannelFinder, the
+// cached finder and Yen's restricted searches, plus the cache hit/miss/
+// invalidation bookkeeping — live in support::telemetry as named counters
+// (see the metrics namespace below), so they show up in snapshots, JSON
+// exports and `bench/perf_algorithms --compare` alongside spans.
+//
+// The PerfCounters struct and perf_counters()/reset_perf_counters() remain
+// as a compatibility view for existing benches and tests: perf_counters()
+// reconstructs "this thread's counts since the last reset" by subtracting a
+// thread-local baseline from the registry's thread shard. In a
+// MUERP_TELEMETRY=OFF build the registry is stubbed out and every field
+// reads zero.
 //
 // The global cache toggle lets benchmarks and tests run the exact same
 // algorithm code with memoization disabled (every query recomputes) for
@@ -15,9 +20,12 @@
 
 #include <cstdint>
 
+#include "support/telemetry/metrics.hpp"
+
 namespace muerp::routing {
 
-/// Counters accumulated by the routing layer on the current thread.
+/// Per-thread view of the routing counters since the last reset (zeros when
+/// telemetry is compiled out).
 struct PerfCounters {
   /// Full single-source Dijkstra runs (cache misses recompute; disabled
   /// caches recompute every query).
@@ -39,16 +47,30 @@ struct PerfCounters {
   }
 };
 
-/// The current thread's counters; mutable so callers may snapshot or zero
-/// selected fields.
+/// The current thread's counters since the last reset_perf_counters() on
+/// this thread. Returns a reference to a thread-local view refreshed on
+/// each call; mutating it does not affect the registry.
 PerfCounters& perf_counters() noexcept;
 
-/// Zeroes the current thread's counters.
+/// Re-baselines the view: subsequent perf_counters() reads start from zero.
 void reset_perf_counters() noexcept;
 
 /// Global switch for CachedChannelFinder memoization (default: enabled).
 /// Read once at finder construction; flip it only between algorithm runs.
 bool finder_cache_enabled() noexcept;
 void set_finder_cache_enabled(bool enabled) noexcept;
+
+/// The registry-backed instruments the routing layer ticks. Exposed so the
+/// instrumented code (and tests) share one registration per name.
+namespace metrics {
+const support::telemetry::Counter& dijkstra_runs();
+const support::telemetry::Counter& heap_pops();
+const support::telemetry::Counter& cache_hits();
+const support::telemetry::Counter& cache_misses();
+const support::telemetry::Counter& cache_invalidations();
+/// Relay flips folded away by CachedChannelFinder's flip-log coalescing
+/// (a flip and its opposite cancel before any tree is invalidated).
+const support::telemetry::Counter& flips_coalesced();
+}  // namespace metrics
 
 }  // namespace muerp::routing

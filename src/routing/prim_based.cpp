@@ -8,6 +8,7 @@
 
 #include "routing/channel_finder.hpp"
 #include "routing/plan.hpp"
+#include "support/telemetry/telemetry.hpp"
 
 namespace muerp::routing {
 
@@ -22,6 +23,7 @@ net::EntanglementTree prim_based_shared(const net::QuantumNetwork& network,
                                         std::span<const net::NodeId> users,
                                         std::size_t seed_user_index,
                                         net::CapacityState& capacity) {
+  MUERP_SPAN("prim_based/grow");
   assert(!users.empty());
   assert(seed_user_index < users.size());
   if (users.size() == 1) return make_tree({}, true);
@@ -56,14 +58,18 @@ net::EntanglementTree prim_based_shared(const net::QuantumNetwork& network,
     double best_dist = kInf;
     net::NodeId best_source = 0;
     net::NodeId best_destination = 0;
-    for (net::NodeId source : connected) {
-      const std::span<const double> dist = finder.distances(source, capacity);
-      for (net::NodeId user : network.users()) {
-        if (!pending[user]) continue;
-        if (dist[user] < best_dist) {
-          best_dist = dist[user];
-          best_source = source;
-          best_destination = user;
+    {
+      MUERP_SPAN("prim_based/channel_search");
+      for (net::NodeId source : connected) {
+        const std::span<const double> dist =
+            finder.distances(source, capacity);
+        for (net::NodeId user : network.users()) {
+          if (!pending[user]) continue;
+          if (dist[user] < best_dist) {
+            best_dist = dist[user];
+            best_source = source;
+            best_destination = user;
+          }
         }
       }
     }

@@ -1,0 +1,235 @@
+#include "routing/router.hpp"
+
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "baselines/eqcast.hpp"
+#include "routing/conflict_free.hpp"
+#include "routing/local_search.hpp"
+#include "routing/optimal_tree.hpp"
+#include "routing/plan.hpp"
+#include "routing/prim_based.hpp"
+
+namespace muerp::routing {
+
+Router::Router(std::string name, std::string display_name)
+    : name_(std::move(name)),
+      display_name_(std::move(display_name)),
+      span_(support::telemetry::intern_span("router/" + name_)) {}
+
+net::EntanglementTree Router::route_tree(const RoutingRequest& request) const {
+  if (request.network == nullptr) {
+    throw std::invalid_argument("RoutingRequest.network is null");
+  }
+  const std::span<const net::NodeId> users =
+      request.users.empty() ? request.network->users() : request.users;
+  if (users.empty()) {
+    throw std::invalid_argument("RoutingRequest has no users");
+  }
+  // A private deterministic stream when the caller passes none: one-shot
+  // calls stay reproducible without threading an Rng everywhere.
+  support::Rng fallback(request.network->node_count());
+  support::Rng& rng = request.rng != nullptr ? *request.rng : fallback;
+  const support::telemetry::ScopedSpan span(span_);
+  return route_impl(*request.network, users, rng, request.options);
+}
+
+RoutingOutcome Router::route(const RoutingRequest& request) const {
+  namespace tel = support::telemetry;
+  RoutingOutcome outcome;
+  const tel::Snapshot before = tel::capture_thread();
+  const auto start = std::chrono::steady_clock::now();
+  outcome.tree = route_tree(request);
+  const auto stop = std::chrono::steady_clock::now();
+  outcome.elapsed_ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+  outcome.telemetry = tel::capture_thread();
+  outcome.telemetry.subtract(before);
+  return outcome;
+}
+
+namespace {
+
+class Alg2Router final : public Router {
+ public:
+  Alg2Router() : Router("alg2", "Alg-2") {}
+
+ private:
+  net::EntanglementTree route_impl(const net::QuantumNetwork& network,
+                                   std::span<const net::NodeId> users,
+                                   support::Rng&,
+                                   const RouterOptions& options) const final {
+    if (!options.pin_alg2_sufficient) {
+      return optimal_special_case(network, users);
+    }
+    const net::QuantumNetwork boosted = net::with_uniform_switch_qubits(
+        network, 2 * static_cast<int>(users.size()));
+    return optimal_special_case(boosted, users);
+  }
+};
+
+class Alg3Router final : public Router {
+ public:
+  Alg3Router() : Router("alg3", "Alg-3") {}
+
+ private:
+  net::EntanglementTree route_impl(const net::QuantumNetwork& network,
+                                   std::span<const net::NodeId> users,
+                                   support::Rng&,
+                                   const RouterOptions&) const final {
+    return conflict_free(network, users);
+  }
+};
+
+class Alg4Router final : public Router {
+ public:
+  Alg4Router() : Router("alg4", "Alg-4") {}
+
+ private:
+  net::EntanglementTree route_impl(const net::QuantumNetwork& network,
+                                   std::span<const net::NodeId> users,
+                                   support::Rng& rng,
+                                   const RouterOptions&) const final {
+    return prim_based(network, users, rng);
+  }
+};
+
+class EqcastRouter final : public Router {
+ public:
+  EqcastRouter() : Router("eqcast", "E-Q-CAST") {}
+
+ private:
+  net::EntanglementTree route_impl(const net::QuantumNetwork& network,
+                                   std::span<const net::NodeId> users,
+                                   support::Rng&,
+                                   const RouterOptions&) const final {
+    return baselines::extended_qcast(network, users);
+  }
+};
+
+class NFusionRouter final : public Router {
+ public:
+  NFusionRouter() : Router("nfusion", "N-Fusion") {}
+
+ private:
+  net::EntanglementTree route_impl(const net::QuantumNetwork& network,
+                                   std::span<const net::NodeId> users,
+                                   support::Rng&,
+                                   const RouterOptions& options) const final {
+    baselines::FusionPlan plan =
+        baselines::n_fusion(network, users, options.nfusion);
+    // The star is a legitimate EntanglementTree; its rate is the fusion-model
+    // GHZ rate rather than the product of channel rates, so validate_tree's
+    // rate identity does not apply (same convention as the fig8 benches).
+    net::EntanglementTree tree;
+    tree.channels = std::move(plan.channels);
+    tree.rate = plan.rate;
+    tree.feasible = plan.feasible;
+    return tree;
+  }
+};
+
+class Alg4LocalSearchRouter final : public Router {
+ public:
+  Alg4LocalSearchRouter() : Router("alg4ls", "Alg-4+LS") {}
+
+ private:
+  net::EntanglementTree route_impl(const net::QuantumNetwork& network,
+                                   std::span<const net::NodeId> users,
+                                   support::Rng& rng,
+                                   const RouterOptions& options) const final {
+    net::EntanglementTree tree = prim_based(network, users, rng);
+    improve_tree(network, users, tree, options.local_search_max_sweeps);
+    return tree;
+  }
+};
+
+class AnnealingRouter final : public Router {
+ public:
+  AnnealingRouter() : Router("annealing", "Alg-4+SA") {}
+
+ private:
+  net::EntanglementTree route_impl(const net::QuantumNetwork& network,
+                                   std::span<const net::NodeId> users,
+                                   support::Rng& rng,
+                                   const RouterOptions& options) const final {
+    net::EntanglementTree tree = prim_based(network, users, rng);
+    anneal_tree(network, users, tree, options.annealing, rng);
+    return tree;
+  }
+};
+
+}  // namespace
+
+RouterRegistry& RouterRegistry::instance() {
+  static RouterRegistry registry;
+  return registry;
+}
+
+// Built-ins are registered here rather than via per-TU static initializers:
+// muerp is a static library, and the linker drops initializers living in
+// otherwise-unreferenced objects.
+RouterRegistry::RouterRegistry() {
+  add("alg2", [] { return std::make_unique<Alg2Router>(); });
+  add("alg3", [] { return std::make_unique<Alg3Router>(); });
+  add("alg4", [] { return std::make_unique<Alg4Router>(); });
+  add("eqcast", [] { return std::make_unique<EqcastRouter>(); });
+  add("nfusion", [] { return std::make_unique<NFusionRouter>(); });
+  add("alg4ls", [] { return std::make_unique<Alg4LocalSearchRouter>(); });
+  add("annealing", [] { return std::make_unique<AnnealingRouter>(); });
+}
+
+void RouterRegistry::add(std::string name, Factory factory) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const Entry& e : entries_) {
+    if (e.name == name) {
+      throw std::invalid_argument("router '" + name + "' already registered");
+    }
+  }
+  entries_.push_back({std::move(name), std::move(factory), nullptr});
+}
+
+const Router& RouterRegistry::materialize(const Entry& entry) const {
+  // Caller holds mutex_.
+  if (!entry.router) {
+    entry.router = entry.factory();
+  }
+  return *entry.router;
+}
+
+const Router* RouterRegistry::find(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const Entry& e : entries_) {
+    if (e.name == name) return &materialize(e);
+  }
+  return nullptr;
+}
+
+const Router& RouterRegistry::at(std::string_view name) const {
+  if (const Router* router = find(name)) return *router;
+  std::ostringstream message;
+  message << "unknown router '" << name << "' (known:";
+  for (const std::string& known : names()) message << ' ' << known;
+  message << ')';
+  throw std::out_of_range(message.str());
+}
+
+bool RouterRegistry::contains(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const Entry& e : entries_) {
+    if (e.name == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> RouterRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.name);
+  return out;
+}
+
+}  // namespace muerp::routing

@@ -1,0 +1,256 @@
+#include "support/telemetry/export.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "support/table.hpp"
+
+namespace muerp::support::telemetry {
+
+namespace {
+
+constexpr double kNsPerMs = 1e6;
+
+void write_json_string(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf]
+              << "0123456789abcdef"[c & 0xf];
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void write_json_number(std::ostream& out, double v) {
+  if (!std::isfinite(v)) {
+    out << "null";  // JSON has no Infinity/NaN
+    return;
+  }
+  std::ostringstream tmp;
+  tmp.precision(std::numeric_limits<double>::max_digits10);
+  tmp << v;
+  out << tmp.str();
+}
+
+struct Indenter {
+  int width;
+  int level = 0;
+  void newline(std::ostream& out) const {
+    if (width <= 0) return;
+    out << '\n';
+    for (int i = 0; i < width * level; ++i) out << ' ';
+  }
+};
+
+/// Span indices sorted hot-first (total time desc, then label for
+/// determinism), zero-count labels dropped.
+std::vector<std::size_t> hot_span_order(const Snapshot& snapshot) {
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < snapshot.spans.size(); ++i) {
+    if (snapshot.spans[i].count != 0) order.push_back(i);
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (snapshot.spans[a].total_ns != snapshot.spans[b].total_ns) {
+      return snapshot.spans[a].total_ns > snapshot.spans[b].total_ns;
+    }
+    return span_label(static_cast<SpanId>(a)) <
+           span_label(static_cast<SpanId>(b));
+  });
+  return order;
+}
+
+}  // namespace
+
+void write_json(std::ostream& out, const Snapshot& snapshot, int indent) {
+  Indenter ind{indent};
+  const auto open = [&](char c) {
+    out << c;
+    ++ind.level;
+  };
+  const auto close = [&](char c) {
+    --ind.level;
+    ind.newline(out);
+    out << c;
+  };
+
+  open('{');
+
+  ind.newline(out);
+  out << "\"counters\": ";
+  open('{');
+  bool first = true;
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (snapshot.counters[i] == 0) continue;
+    if (!first) out << ',';
+    first = false;
+    ind.newline(out);
+    write_json_string(out, counter_name(static_cast<std::uint32_t>(i)));
+    out << ": " << snapshot.counters[i];
+  }
+  close('}');
+  out << ',';
+
+  ind.newline(out);
+  out << "\"gauges\": ";
+  open('{');
+  first = true;
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    if (!first) out << ',';
+    first = false;
+    ind.newline(out);
+    write_json_string(out, gauge_name(static_cast<std::uint32_t>(i)));
+    out << ": ";
+    write_json_number(out, snapshot.gauges[i]);
+  }
+  close('}');
+  out << ',';
+
+  ind.newline(out);
+  out << "\"histograms\": ";
+  open('{');
+  first = true;
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramData& h = snapshot.histograms[i];
+    if (h.count == 0) continue;
+    if (!first) out << ',';
+    first = false;
+    ind.newline(out);
+    write_json_string(out, histogram_name(static_cast<std::uint32_t>(i)));
+    out << ": ";
+    open('{');
+    ind.newline(out);
+    out << "\"count\": " << h.count << ',';
+    ind.newline(out);
+    out << "\"sum\": ";
+    write_json_number(out, h.sum);
+    out << ',';
+    ind.newline(out);
+    out << "\"mean\": ";
+    write_json_number(out, h.sum / static_cast<double>(h.count));
+    out << ',';
+    ind.newline(out);
+    out << "\"buckets\": [";
+    bool first_bucket = true;
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      if (h.buckets[b] == 0) continue;
+      if (!first_bucket) out << ", ";
+      first_bucket = false;
+      out << "[";
+      write_json_number(out, histogram_bucket_upper_bound(b));
+      out << ", " << h.buckets[b] << "]";
+    }
+    out << ']';
+    close('}');
+  }
+  close('}');
+  out << ',';
+
+  ind.newline(out);
+  out << "\"spans\": ";
+  open('[');
+  first = true;
+  for (const std::size_t i : hot_span_order(snapshot)) {
+    const SpanStats& s = snapshot.spans[i];
+    if (!first) out << ',';
+    first = false;
+    ind.newline(out);
+    out << "{\"label\": ";
+    write_json_string(out, span_label(static_cast<SpanId>(i)));
+    out << ", \"count\": " << s.count << ", \"total_ms\": ";
+    write_json_number(out, static_cast<double>(s.total_ns) / kNsPerMs);
+    out << ", \"self_ms\": ";
+    write_json_number(out, static_cast<double>(s.self_ns) / kNsPerMs);
+    out << '}';
+  }
+  close(']');
+
+  close('}');
+}
+
+std::string to_json(const Snapshot& snapshot) {
+  std::ostringstream out;
+  write_json(out, snapshot);
+  return out.str();
+}
+
+Table spans_table(const Snapshot& snapshot, std::string title) {
+  Table table(std::move(title), {"span", "calls", "total_ms", "self_ms"});
+  for (const std::size_t i : hot_span_order(snapshot)) {
+    const SpanStats& s = snapshot.spans[i];
+    table.add_row(span_label(static_cast<SpanId>(i)),
+                  {static_cast<double>(s.count),
+                   static_cast<double>(s.total_ns) / kNsPerMs,
+                   static_cast<double>(s.self_ns) / kNsPerMs});
+  }
+  return table;
+}
+
+Table counters_table(const Snapshot& snapshot, std::string title) {
+  Table table(std::move(title), {"counter", "value"});
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (snapshot.counters[i] == 0) continue;
+    table.add_row(counter_name(static_cast<std::uint32_t>(i)),
+                  {static_cast<double>(snapshot.counters[i])});
+  }
+  return table;
+}
+
+void write_chrome_trace(std::ostream& out,
+                        std::span<const TraceEvent> events) {
+  // The trace_event "JSON Array Format": viewers accept a bare array of
+  // complete ("X") events with microsecond ts/dur.
+  out << "[\n";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out << ",\n";
+    first = false;
+    out << R"({"name": )";
+    write_json_string(out, span_label(e.span));
+    out << R"(, "cat": "muerp", "ph": "X", "pid": 1, "tid": )" << e.thread
+        << R"(, "ts": )";
+    write_json_number(out, static_cast<double>(e.start_ns) / 1e3);
+    out << R"(, "dur": )";
+    write_json_number(out, static_cast<double>(e.duration_ns) / 1e3);
+    out << R"(, "args": {"depth": )" << e.depth << "}}";
+  }
+  out << "\n]\n";
+}
+
+long write_chrome_trace_file(const std::string& path) {
+  std::vector<TraceEvent> events = drain_trace_events();
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.thread < b.thread;
+            });
+  std::ofstream out(path);
+  if (!out) return -1;
+  write_chrome_trace(out, events);
+  return static_cast<long>(events.size());
+}
+
+}  // namespace muerp::support::telemetry

@@ -1,0 +1,59 @@
+// Snapshot and trace exporters.
+//
+// Three consumers, three formats:
+//   - JSON objects for machine diffing (bench/perf_algorithms --compare
+//     merges one into BENCH_routing.json; muerpctl --telemetry writes one);
+//   - support::Table for human-readable flame-style summaries;
+//   - Chrome trace_event files (load in chrome://tracing or
+//     https://ui.perfetto.dev) built from drained TraceEvents.
+//
+// All of these work identically in MUERP_TELEMETRY=OFF builds — snapshots
+// are simply empty, so the output degenerates gracefully instead of
+// requiring #if at the call sites.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "support/telemetry/metrics.hpp"
+#include "support/telemetry/trace.hpp"
+
+namespace muerp::support {
+class Table;
+}
+
+namespace muerp::support::telemetry {
+
+/// Writes `snapshot` as a JSON object:
+///   {"counters": {name: value, ...},            // zero entries omitted
+///    "gauges": {name: value, ...},
+///    "histograms": {name: {"count": n, "sum": s, "mean": m,
+///                          "buckets": [[upper_bound, count], ...]}, ...},
+///    "spans": [{"label": l, "count": n, "total_ms": t, "self_ms": s}, ...]}
+/// Spans are sorted by total time descending (the flame view's hot-first
+/// order); histogram buckets with zero count are omitted.
+void write_json(std::ostream& out, const Snapshot& snapshot,
+                int indent = 2);
+
+std::string to_json(const Snapshot& snapshot);
+
+/// Flame-style span summary: label / calls / total ms / self ms, sorted by
+/// total descending. Labels with zero count are skipped.
+Table spans_table(const Snapshot& snapshot,
+                  std::string title = "telemetry spans");
+
+/// Non-zero counters, one row each.
+Table counters_table(const Snapshot& snapshot,
+                     std::string title = "telemetry counters");
+
+/// Writes `events` in Chrome trace_event JSON array format ("X" complete
+/// events, microsecond timestamps, one pid, tid = telemetry thread index).
+void write_chrome_trace(std::ostream& out, std::span<const TraceEvent> events);
+
+/// Drains all buffered events and writes them to `path`, sorted by start
+/// time. Returns the number of events written, or -1 if the file could not
+/// be opened.
+long write_chrome_trace_file(const std::string& path);
+
+}  // namespace muerp::support::telemetry

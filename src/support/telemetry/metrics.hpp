@@ -1,0 +1,203 @@
+// Metrics registry: named counters, gauges and histograms with lock-free
+// thread-local shards.
+//
+// Hot-path writes touch only the calling thread's shard — a single-writer
+// store of relaxed atomics — so instrumented code never contends and a
+// concurrent scrape (capture_process) from another thread is race-free:
+// readers see some recent value of every cell, and thread exit folds the
+// shard into a mutex-protected "retired" accumulator so no sample is lost
+// when pool workers wind down.
+//
+// Instruments are registered by name on first construction (function-local
+// statics behind the MUERP_COUNTER_ADD / MUERP_HISTOGRAM_OBSERVE macros in
+// telemetry.hpp) and identified by a small dense id afterwards, so a
+// Snapshot is just id-indexed vectors of numbers: cheap to capture, subtract
+// and merge. Names are resolved only at export time.
+//
+// When the library is configured with -DMUERP_TELEMETRY=OFF every class
+// below collapses to an empty stub and captures return empty snapshots;
+// see telemetry.hpp for the macro-level no-ops.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef MUERP_TELEMETRY_ENABLED
+#define MUERP_TELEMETRY_ENABLED 1  // standalone use outside the CMake build
+#endif
+
+namespace muerp::support::telemetry {
+
+/// Hard caps on distinct instruments per kind. Shards are fixed-size arrays
+/// so registration never reallocates under a concurrent scrape; exceeding a
+/// cap throws std::length_error at registration (a programming error).
+inline constexpr std::size_t kMaxCounters = 64;
+inline constexpr std::size_t kMaxGauges = 16;
+inline constexpr std::size_t kMaxHistograms = 16;
+inline constexpr std::size_t kMaxSpans = 64;
+
+/// Histograms use fixed power-of-two buckets: bucket i counts observations
+/// in (2^(i-1), 2^i] (bucket 0 takes everything <= 1, the last bucket is
+/// unbounded). Good enough for latency-style data spanning many decades
+/// without per-histogram configuration.
+inline constexpr std::size_t kHistogramBuckets = 40;
+
+/// Inclusive upper bound of `bucket` (+infinity for the last one).
+double histogram_bucket_upper_bound(std::size_t bucket) noexcept;
+
+/// Index of the bucket `value` falls into (NaN and values <= 1 land in 0).
+std::size_t histogram_bucket_index(double value) noexcept;
+
+struct HistogramData {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+
+  friend bool operator==(const HistogramData&, const HistogramData&) = default;
+};
+
+/// Flame-style aggregate for one span label: total time includes children,
+/// self time excludes them.
+struct SpanStats {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t self_ns = 0;
+
+  friend bool operator==(const SpanStats&, const SpanStats&) = default;
+};
+
+/// Point-in-time copy of metric values, indexed by instrument id. Vectors
+/// may be shorter than the registry (instruments registered after capture);
+/// merge/subtract treat missing entries as zero. Snapshots are plain data:
+/// safe to move across threads, store in results, diff across runs.
+struct Snapshot {
+  std::vector<std::uint64_t> counters;
+  std::vector<double> gauges;
+  std::vector<HistogramData> histograms;
+  std::vector<SpanStats> spans;
+
+  /// Element-wise accumulate. Gauges take `other`'s value where it has one
+  /// (last writer wins — gauges are levels, not totals).
+  Snapshot& merge(const Snapshot& other);
+
+  /// Element-wise subtract (for before/after deltas). Counters saturate at
+  /// zero rather than wrapping, so a stale baseline can't produce garbage.
+  Snapshot& subtract(const Snapshot& other);
+
+  /// True when no counter, histogram or span recorded anything.
+  bool empty() const noexcept;
+
+  friend bool operator==(const Snapshot&, const Snapshot&) = default;
+};
+
+#if MUERP_TELEMETRY_ENABLED
+
+namespace detail {
+/// The calling thread's counter shard (kMaxCounters relaxed-atomic cells),
+/// or nullptr before the shard exists / after the thread retired it. A
+/// trivially-initialized constinit pointer, so the inline Counter::add fast
+/// path is one TLS load with no init guard — this matters on per-Dijkstra
+/// counters. Set when the shard is built, cleared on thread exit.
+extern constinit thread_local std::atomic<std::uint64_t>* tls_counter_cells;
+
+/// Builds the shard and returns its counter array (once per thread).
+std::atomic<std::uint64_t>* counter_cells_slow() noexcept;
+}  // namespace detail
+
+/// A named monotonic counter. Construction registers (or re-finds) the name;
+/// keep instances `static` (or cache them in long-lived objects) so
+/// registration happens once. add() is a few nanoseconds: one relaxed
+/// load + store on this thread's shard, fully inlined.
+class Counter {
+ public:
+  explicit Counter(std::string_view name);
+  void add(std::uint64_t n = 1) const noexcept {
+    std::atomic<std::uint64_t>* cells = detail::tls_counter_cells;
+    if (cells == nullptr) cells = detail::counter_cells_slow();
+    std::atomic<std::uint64_t>& cell = cells[id_];
+    // Single-writer relaxed read-modify-write: only the owning thread
+    // stores, so load+store is exact and scrapers racing in see a recent
+    // value.
+    cell.store(cell.load(std::memory_order_relaxed) + n,
+               std::memory_order_relaxed);
+  }
+  std::uint32_t id() const noexcept { return id_; }
+
+ private:
+  std::uint32_t id_;
+};
+
+/// A named level (last write wins, process-global rather than sharded —
+/// gauges are set rarely, read at scrape).
+class Gauge {
+ public:
+  explicit Gauge(std::string_view name);
+  void set(double value) const noexcept;
+  std::uint32_t id() const noexcept { return id_; }
+
+ private:
+  std::uint32_t id_;
+};
+
+/// A named power-of-two-bucket histogram (see kHistogramBuckets).
+class Histogram {
+ public:
+  explicit Histogram(std::string_view name);
+  void observe(double value) const noexcept;
+  std::uint32_t id() const noexcept { return id_; }
+
+ private:
+  std::uint32_t id_;
+};
+
+/// Values accumulated by the calling thread only (plus nothing from retired
+/// threads). The natural basis for per-rep deltas inside a worker.
+Snapshot capture_thread();
+
+/// Values accumulated by every live thread plus all retired shards.
+Snapshot capture_process();
+
+/// This thread's raw value of one counter (used by the PerfCounters shim).
+std::uint64_t counter_thread_value(std::uint32_t id) noexcept;
+
+#else  // MUERP_TELEMETRY_ENABLED
+
+class Counter {
+ public:
+  explicit Counter(std::string_view) noexcept {}
+  void add(std::uint64_t = 1) const noexcept {}
+  std::uint32_t id() const noexcept { return 0; }
+};
+
+class Gauge {
+ public:
+  explicit Gauge(std::string_view) noexcept {}
+  void set(double) const noexcept {}
+  std::uint32_t id() const noexcept { return 0; }
+};
+
+class Histogram {
+ public:
+  explicit Histogram(std::string_view) noexcept {}
+  void observe(double) const noexcept {}
+  std::uint32_t id() const noexcept { return 0; }
+};
+
+inline Snapshot capture_thread() { return {}; }
+inline Snapshot capture_process() { return {}; }
+inline std::uint64_t counter_thread_value(std::uint32_t) noexcept { return 0; }
+
+#endif  // MUERP_TELEMETRY_ENABLED
+
+/// Name lookups for export (empty string for unknown ids; all ids are
+/// unknown in an OFF build, whose snapshots are empty anyway).
+std::string counter_name(std::uint32_t id);
+std::string gauge_name(std::uint32_t id);
+std::string histogram_name(std::uint32_t id);
+
+}  // namespace muerp::support::telemetry

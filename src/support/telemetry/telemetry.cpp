@@ -1,0 +1,456 @@
+#include "support/telemetry/metrics.hpp"
+#include "support/telemetry/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <mutex>
+#include <new>
+#include <stdexcept>
+
+namespace muerp::support::telemetry {
+
+std::uint64_t monotonic_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+double histogram_bucket_upper_bound(std::size_t bucket) noexcept {
+  if (bucket + 1 >= kHistogramBuckets) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::ldexp(1.0, static_cast<int>(bucket));
+}
+
+std::size_t histogram_bucket_index(double value) noexcept {
+  if (!(value > 1.0)) return 0;  // NaN, negatives and (0, 1] all land here
+  // Bucket i spans (2^(i-1), 2^i]: exact powers of two stay in their own
+  // bucket, anything above rounds up.
+  const int exponent = std::ilogb(value);
+  std::size_t index = static_cast<std::size_t>(exponent);
+  if (std::ldexp(1.0, exponent) != value) ++index;
+  return std::min(index, kHistogramBuckets - 1);
+}
+
+namespace {
+
+template <typename T>
+void accumulate_resized(std::vector<T>& into, const std::vector<T>& from) {
+  if (into.size() < from.size()) into.resize(from.size());
+}
+
+}  // namespace
+
+Snapshot& Snapshot::merge(const Snapshot& other) {
+  accumulate_resized(counters, other.counters);
+  for (std::size_t i = 0; i < other.counters.size(); ++i) {
+    counters[i] += other.counters[i];
+  }
+  accumulate_resized(gauges, other.gauges);
+  for (std::size_t i = 0; i < other.gauges.size(); ++i) {
+    gauges[i] = other.gauges[i];
+  }
+  accumulate_resized(histograms, other.histograms);
+  for (std::size_t i = 0; i < other.histograms.size(); ++i) {
+    HistogramData& h = histograms[i];
+    const HistogramData& o = other.histograms[i];
+    h.count += o.count;
+    h.sum += o.sum;
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      h.buckets[b] += o.buckets[b];
+    }
+  }
+  accumulate_resized(spans, other.spans);
+  for (std::size_t i = 0; i < other.spans.size(); ++i) {
+    spans[i].count += other.spans[i].count;
+    spans[i].total_ns += other.spans[i].total_ns;
+    spans[i].self_ns += other.spans[i].self_ns;
+  }
+  return *this;
+}
+
+namespace {
+
+std::uint64_t saturating_sub(std::uint64_t a, std::uint64_t b) noexcept {
+  return a > b ? a - b : 0;
+}
+
+}  // namespace
+
+Snapshot& Snapshot::subtract(const Snapshot& other) {
+  accumulate_resized(counters, other.counters);
+  for (std::size_t i = 0; i < other.counters.size(); ++i) {
+    counters[i] = saturating_sub(counters[i], other.counters[i]);
+  }
+  // Gauges are levels: the delta keeps the current level unchanged.
+  accumulate_resized(histograms, other.histograms);
+  for (std::size_t i = 0; i < other.histograms.size(); ++i) {
+    HistogramData& h = histograms[i];
+    const HistogramData& o = other.histograms[i];
+    h.count = saturating_sub(h.count, o.count);
+    h.sum -= o.sum;
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      h.buckets[b] = saturating_sub(h.buckets[b], o.buckets[b]);
+    }
+  }
+  accumulate_resized(spans, other.spans);
+  for (std::size_t i = 0; i < other.spans.size(); ++i) {
+    spans[i].count = saturating_sub(spans[i].count, other.spans[i].count);
+    spans[i].total_ns =
+        saturating_sub(spans[i].total_ns, other.spans[i].total_ns);
+    spans[i].self_ns = saturating_sub(spans[i].self_ns, other.spans[i].self_ns);
+  }
+  return *this;
+}
+
+bool Snapshot::empty() const noexcept {
+  const auto nonzero = [](std::uint64_t v) { return v != 0; };
+  if (std::any_of(counters.begin(), counters.end(), nonzero)) return false;
+  for (const HistogramData& h : histograms) {
+    if (h.count != 0) return false;
+  }
+  for (const SpanStats& s : spans) {
+    if (s.count != 0) return false;
+  }
+  return true;
+}
+
+#if MUERP_TELEMETRY_ENABLED
+
+namespace {
+
+/// Cap on buffered TraceEvents per thread while tracing (32 B each, so 2 MiB
+/// per thread worst case). Overflow increments `dropped` and moves on.
+constexpr std::size_t kTraceRingCapacity = 1 << 16;
+
+struct AtomicHistogram {
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<double> sum{0.0};
+  std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets{};
+};
+
+struct AtomicSpan {
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> total_ns{0};
+  std::atomic<std::uint64_t> self_ns{0};
+};
+
+struct SpanFrame {
+  SpanId id = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t child_ns = 0;  ///< accumulated duration of direct children
+};
+
+// Single-writer relaxed read-modify-write: only the owning thread stores,
+// so load+store (no RMW instruction) is exact, and concurrent scrapers
+// reading relaxed see a consistent-enough recent value without a race.
+void bump(std::atomic<std::uint64_t>& cell, std::uint64_t n) noexcept {
+  cell.store(cell.load(std::memory_order_relaxed) + n,
+             std::memory_order_relaxed);
+}
+
+void bump(std::atomic<double>& cell, double v) noexcept {
+  cell.store(cell.load(std::memory_order_relaxed) + v,
+             std::memory_order_relaxed);
+}
+
+struct Registry;
+Registry& registry();
+
+/// One thread's shard: fixed-size atomic arrays (ids index directly), the
+/// span stack (owner-only), and the trace ring (mutex-guarded, taken only
+/// while tracing is on or at drain).
+struct ThreadState {
+  std::array<std::atomic<std::uint64_t>, kMaxCounters> counters{};
+  std::array<AtomicHistogram, kMaxHistograms> histograms{};
+  std::array<AtomicSpan, kMaxSpans> spans{};
+  std::vector<SpanFrame> stack;
+  std::mutex ring_mutex;
+  std::vector<TraceEvent> ring;
+  std::uint64_t dropped = 0;  // guarded by ring_mutex
+  std::uint32_t thread_index = 0;
+
+  ThreadState();
+  ~ThreadState();
+};
+
+/// Process-wide state. Immortalized in static storage (never destroyed) so
+/// thread_local ThreadState destructors — including ThreadPool workers
+/// joining during static teardown — can always fold into it.
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::string> counter_names;
+  std::vector<std::string> gauge_names;
+  std::vector<std::string> histogram_names;
+  std::vector<std::string> span_names;
+  std::array<std::atomic<double>, kMaxGauges> gauges{};
+  std::vector<ThreadState*> threads;
+  std::uint32_t next_thread_index = 0;
+  Snapshot retired;  // shards of exited threads, folded under `mutex`
+  std::vector<TraceEvent> retired_events;
+  std::uint64_t retired_dropped = 0;
+  std::atomic<bool> tracing{false};
+};
+
+Registry& registry() {
+  alignas(Registry) static char storage[sizeof(Registry)];
+  static Registry* instance = new (storage) Registry;
+  return *instance;
+}
+
+// Fast-path TLS access. A function-local `thread_local ThreadState` has a
+// nontrivial constructor, so every naive access pays the TLS init-guard
+// wrapper — measurable on per-Dijkstra counters. The constinit pointer is
+// trivially initialized (no guard, one TLS load); it is set on first touch
+// and cleared by ~ThreadState so late writers rebuild instead of dangling.
+constinit thread_local ThreadState* tls_fast = nullptr;
+
+ThreadState& make_tls() {
+  thread_local ThreadState state;
+  tls_fast = &state;
+  detail::tls_counter_cells = state.counters.data();
+  return state;
+}
+
+inline ThreadState& tls() {
+  ThreadState* state = tls_fast;
+  return state != nullptr ? *state : make_tls();
+}
+
+ThreadState::ThreadState() {
+  stack.reserve(16);
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  thread_index = r.next_thread_index++;
+  r.threads.push_back(this);
+}
+
+/// Copies the live values of one shard into `out` (resizing to the registry
+/// name counts, which the caller reads under the registry mutex or knows to
+/// be stable).
+void read_shard(const ThreadState& t, std::size_t n_counters,
+                std::size_t n_histograms, std::size_t n_spans, Snapshot& out) {
+  out.counters.resize(std::max(out.counters.size(), n_counters));
+  for (std::size_t i = 0; i < n_counters; ++i) {
+    out.counters[i] += t.counters[i].load(std::memory_order_relaxed);
+  }
+  out.histograms.resize(std::max(out.histograms.size(), n_histograms));
+  for (std::size_t i = 0; i < n_histograms; ++i) {
+    HistogramData& h = out.histograms[i];
+    const AtomicHistogram& a = t.histograms[i];
+    h.count += a.count.load(std::memory_order_relaxed);
+    h.sum += a.sum.load(std::memory_order_relaxed);
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      h.buckets[b] += a.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  out.spans.resize(std::max(out.spans.size(), n_spans));
+  for (std::size_t i = 0; i < n_spans; ++i) {
+    SpanStats& s = out.spans[i];
+    const AtomicSpan& a = t.spans[i];
+    s.count += a.count.load(std::memory_order_relaxed);
+    s.total_ns += a.total_ns.load(std::memory_order_relaxed);
+    s.self_ns += a.self_ns.load(std::memory_order_relaxed);
+  }
+}
+
+ThreadState::~ThreadState() {
+  tls_fast = nullptr;
+  detail::tls_counter_cells = nullptr;
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  read_shard(*this, r.counter_names.size(), r.histogram_names.size(),
+             r.span_names.size(), r.retired);
+  {
+    const std::lock_guard<std::mutex> ring_lock(ring_mutex);
+    r.retired_events.insert(r.retired_events.end(), ring.begin(), ring.end());
+    r.retired_dropped += dropped;
+  }
+  std::erase(r.threads, this);
+}
+
+std::uint32_t intern(std::vector<std::string>& names, std::string_view name,
+                     std::size_t max, const char* kind) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<std::uint32_t>(i);
+  }
+  if (names.size() >= max) {
+    throw std::length_error(std::string("telemetry: too many ") + kind +
+                            " instruments (registering '" +
+                            std::string(name) + "')");
+  }
+  names.emplace_back(name);
+  return static_cast<std::uint32_t>(names.size() - 1);
+}
+
+std::string lookup(const std::vector<std::string>& names, std::uint32_t id) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  if (id >= names.size()) return {};
+  return names[id];
+}
+
+}  // namespace
+
+namespace detail {
+
+constinit thread_local std::atomic<std::uint64_t>* tls_counter_cells = nullptr;
+
+std::atomic<std::uint64_t>* counter_cells_slow() noexcept {
+  return make_tls().counters.data();
+}
+
+}  // namespace detail
+
+Counter::Counter(std::string_view name)
+    : id_(intern(registry().counter_names, name, kMaxCounters, "counter")) {}
+
+Gauge::Gauge(std::string_view name)
+    : id_(intern(registry().gauge_names, name, kMaxGauges, "gauge")) {}
+
+void Gauge::set(double value) const noexcept {
+  registry().gauges[id_].store(value, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::string_view name)
+    : id_(intern(registry().histogram_names, name, kMaxHistograms,
+                 "histogram")) {}
+
+void Histogram::observe(double value) const noexcept {
+  AtomicHistogram& h = tls().histograms[id_];
+  bump(h.count, 1);
+  bump(h.sum, value);
+  bump(h.buckets[histogram_bucket_index(value)], 1);
+}
+
+std::uint64_t counter_thread_value(std::uint32_t id) noexcept {
+  return tls().counters[id].load(std::memory_order_relaxed);
+}
+
+Snapshot capture_thread() {
+  Registry& r = registry();
+  std::size_t n_counters = 0, n_histograms = 0, n_spans = 0;
+  {
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    n_counters = r.counter_names.size();
+    n_histograms = r.histogram_names.size();
+    n_spans = r.span_names.size();
+  }
+  Snapshot out;
+  read_shard(tls(), n_counters, n_histograms, n_spans, out);
+  return out;
+}
+
+Snapshot capture_process() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  Snapshot out = r.retired;
+  const std::size_t n_counters = r.counter_names.size();
+  const std::size_t n_histograms = r.histogram_names.size();
+  const std::size_t n_spans = r.span_names.size();
+  for (const ThreadState* t : r.threads) {
+    read_shard(*t, n_counters, n_histograms, n_spans, out);
+  }
+  out.gauges.resize(r.gauge_names.size());
+  for (std::size_t i = 0; i < out.gauges.size(); ++i) {
+    out.gauges[i] = r.gauges[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+SpanId intern_span(std::string_view label) {
+  return intern(registry().span_names, label, kMaxSpans, "span");
+}
+
+ScopedSpan::ScopedSpan(SpanId id) noexcept : id_(id) {
+  tls().stack.push_back({id, monotonic_now_ns(), 0});
+}
+
+ScopedSpan::~ScopedSpan() {
+  ThreadState& t = tls();
+  assert(!t.stack.empty() && t.stack.back().id == id_);
+  const SpanFrame frame = t.stack.back();
+  t.stack.pop_back();
+  const std::uint64_t duration = monotonic_now_ns() - frame.start_ns;
+  AtomicSpan& agg = t.spans[frame.id];
+  bump(agg.count, 1);
+  bump(agg.total_ns, duration);
+  bump(agg.self_ns, duration - std::min(frame.child_ns, duration));
+  if (!t.stack.empty()) t.stack.back().child_ns += duration;
+  if (registry().tracing.load(std::memory_order_relaxed)) {
+    const std::lock_guard<std::mutex> lock(t.ring_mutex);
+    if (t.ring.size() < kTraceRingCapacity) {
+      t.ring.push_back({frame.id, t.thread_index,
+                        static_cast<std::uint32_t>(t.stack.size()),
+                        frame.start_ns, duration});
+    } else {
+      ++t.dropped;
+    }
+  }
+}
+
+void set_tracing(bool enabled) noexcept {
+  registry().tracing.store(enabled, std::memory_order_relaxed);
+}
+
+bool tracing_enabled() noexcept {
+  return registry().tracing.load(std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> drain_trace_events() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<TraceEvent> out = std::move(r.retired_events);
+  r.retired_events.clear();
+  for (ThreadState* t : r.threads) {
+    const std::lock_guard<std::mutex> ring_lock(t->ring_mutex);
+    out.insert(out.end(), t->ring.begin(), t->ring.end());
+    t->ring.clear();
+  }
+  return out;
+}
+
+std::uint64_t trace_events_dropped() noexcept {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  std::uint64_t total = r.retired_dropped;
+  for (ThreadState* t : r.threads) {
+    const std::lock_guard<std::mutex> ring_lock(t->ring_mutex);
+    total += t->dropped;
+  }
+  return total;
+}
+
+std::string counter_name(std::uint32_t id) {
+  return lookup(registry().counter_names, id);
+}
+
+std::string gauge_name(std::uint32_t id) {
+  return lookup(registry().gauge_names, id);
+}
+
+std::string histogram_name(std::uint32_t id) {
+  return lookup(registry().histogram_names, id);
+}
+
+std::string span_label(SpanId id) {
+  return lookup(registry().span_names, id);
+}
+
+#else  // MUERP_TELEMETRY_ENABLED
+
+std::string counter_name(std::uint32_t) { return {}; }
+std::string gauge_name(std::uint32_t) { return {}; }
+std::string histogram_name(std::uint32_t) { return {}; }
+std::string span_label(SpanId) { return {}; }
+
+#endif  // MUERP_TELEMETRY_ENABLED
+
+}  // namespace muerp::support::telemetry

@@ -1,0 +1,65 @@
+// Umbrella header + instrumentation macros.
+//
+// Instrumented code uses these macros instead of naming telemetry types, so
+// a -DMUERP_TELEMETRY=OFF build compiles every site to nothing (the label
+// string literals don't even reach the binary). Each macro hides a
+// function-local static instrument, registered on first execution:
+//
+//   MUERP_SPAN("prim_based/channel_search");       // RAII, scoped to block
+//   MUERP_COUNTER_INC("spf/csr_builds");
+//   MUERP_COUNTER_ADD("spf/heap_pops", pops);
+//   MUERP_HISTOGRAM_OBSERVE("runner/rep_ms", ms);
+//   MUERP_GAUGE_SET("runner/threads", n);
+//
+// Labels are plain strings with '/'-separated components by convention
+// (subsystem first); the exporters group and sort by the full label.
+#pragma once
+
+#include "support/telemetry/metrics.hpp"
+#include "support/telemetry/trace.hpp"
+
+#define MUERP_TELEMETRY_CONCAT_IMPL(a, b) a##b
+#define MUERP_TELEMETRY_CONCAT(a, b) MUERP_TELEMETRY_CONCAT_IMPL(a, b)
+
+#if MUERP_TELEMETRY_ENABLED
+
+/// Times the rest of the enclosing block under `label`.
+#define MUERP_SPAN(label)                                                     \
+  static const ::muerp::support::telemetry::SpanId MUERP_TELEMETRY_CONCAT(    \
+      muerp_span_id_, __LINE__) =                                             \
+      ::muerp::support::telemetry::intern_span(label);                        \
+  const ::muerp::support::telemetry::ScopedSpan MUERP_TELEMETRY_CONCAT(       \
+      muerp_span_, __LINE__)(MUERP_TELEMETRY_CONCAT(muerp_span_id_, __LINE__))
+
+#define MUERP_COUNTER_ADD(label, n)                                           \
+  do {                                                                        \
+    static const ::muerp::support::telemetry::Counter muerp_counter_(label);  \
+    muerp_counter_.add(static_cast<std::uint64_t>(n));                        \
+  } while (0)
+
+#define MUERP_COUNTER_INC(label) MUERP_COUNTER_ADD(label, 1)
+
+#define MUERP_GAUGE_SET(label, value)                                         \
+  do {                                                                        \
+    static const ::muerp::support::telemetry::Gauge muerp_gauge_(label);      \
+    muerp_gauge_.set(static_cast<double>(value));                             \
+  } while (0)
+
+#define MUERP_HISTOGRAM_OBSERVE(label, value)                                 \
+  do {                                                                        \
+    static const ::muerp::support::telemetry::Histogram muerp_histogram_(     \
+        label);                                                               \
+    muerp_histogram_.observe(static_cast<double>(value));                     \
+  } while (0)
+
+#else  // MUERP_TELEMETRY_ENABLED
+
+// Arguments are swallowed unevaluated; sizeof keeps "set but unused"
+// variables warning-free without generating code.
+#define MUERP_SPAN(label) static_cast<void>(0)
+#define MUERP_COUNTER_ADD(label, n) static_cast<void>(sizeof(n))
+#define MUERP_COUNTER_INC(label) static_cast<void>(0)
+#define MUERP_GAUGE_SET(label, value) static_cast<void>(sizeof(value))
+#define MUERP_HISTOGRAM_OBSERVE(label, value) static_cast<void>(sizeof(value))
+
+#endif  // MUERP_TELEMETRY_ENABLED

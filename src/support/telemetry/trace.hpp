@@ -1,0 +1,96 @@
+// Scoped-span tracer with per-thread ring buffers.
+//
+// A span is a labelled region of code: `MUERP_SPAN("prim_based/round")`
+// (telemetry.hpp) interns the label once per call site, then each execution
+// pushes a frame on the thread's span stack, and the destructor folds the
+// elapsed monotonic time into the per-thread SpanStats shard — total time,
+// and self time computed as duration minus the time spent in child spans.
+// That aggregate path costs two steady_clock reads plus a few relaxed
+// stores, cheap enough to leave on in production runs.
+//
+// Individual timestamped events are recorded only while tracing is enabled
+// at runtime (set_tracing(true)): each span completion then also appends a
+// TraceEvent to a bounded per-thread ring (overflow counts as dropped, never
+// blocks). drain_trace_events() collects and clears every thread's ring;
+// export.hpp turns the result into a Chrome trace_event file readable in
+// chrome://tracing or https://ui.perfetto.dev.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/telemetry/metrics.hpp"
+
+namespace muerp::support::telemetry {
+
+using SpanId = std::uint32_t;
+
+/// One completed span occurrence (recorded only while tracing is enabled).
+struct TraceEvent {
+  SpanId span = 0;
+  std::uint32_t thread = 0;    ///< dense index assigned at thread birth
+  std::uint32_t depth = 0;     ///< nesting depth at entry (0 = top level)
+  std::uint64_t start_ns = 0;  ///< monotonic (steady_clock) nanoseconds
+  std::uint64_t duration_ns = 0;
+};
+
+#if MUERP_TELEMETRY_ENABLED
+
+/// Registers `label` (idempotent) and returns its dense id. Call once per
+/// call site via a function-local static; throws std::length_error past
+/// kMaxSpans.
+SpanId intern_span(std::string_view label);
+
+/// RAII span frame. Must be strictly scoped (the tracer assumes LIFO
+/// nesting per thread, which C++ object lifetime guarantees).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(SpanId id) noexcept;
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  SpanId id_;
+};
+
+/// Runtime switch for TraceEvent recording (aggregates are always on).
+void set_tracing(bool enabled) noexcept;
+bool tracing_enabled() noexcept;
+
+/// Moves every thread's buffered events (plus events from exited threads)
+/// out of the tracer. Unordered across threads; exporters sort by start_ns.
+std::vector<TraceEvent> drain_trace_events();
+
+/// Events discarded because a per-thread ring was full, since process start.
+std::uint64_t trace_events_dropped() noexcept;
+
+/// Monotonic nanoseconds on the clock spans use (for correlating external
+/// timestamps with a trace).
+std::uint64_t monotonic_now_ns() noexcept;
+
+#else  // MUERP_TELEMETRY_ENABLED
+
+inline SpanId intern_span(std::string_view) noexcept { return 0; }
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(SpanId) noexcept {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+};
+
+inline void set_tracing(bool) noexcept {}
+inline bool tracing_enabled() noexcept { return false; }
+inline std::vector<TraceEvent> drain_trace_events() { return {}; }
+inline std::uint64_t trace_events_dropped() noexcept { return 0; }
+std::uint64_t monotonic_now_ns() noexcept;  // still real: benches time with it
+
+#endif  // MUERP_TELEMETRY_ENABLED
+
+/// Label lookup for export ("" for unknown ids).
+std::string span_label(SpanId id);
+
+}  // namespace muerp::support::telemetry

@@ -80,7 +80,7 @@ TEST(Scenario, TopologyNames) {
 
 TEST(Scenario, UniformQubitOverride) {
   const Instance inst = instantiate(small_scenario(), 0);
-  const auto boosted = with_uniform_switch_qubits(inst.network, 10);
+  const auto boosted = net::with_uniform_switch_qubits(inst.network, 10);
   EXPECT_EQ(boosted.node_count(), inst.network.node_count());
   for (net::NodeId sw : boosted.switches()) {
     EXPECT_EQ(boosted.qubits(sw), 10);

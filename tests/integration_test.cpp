@@ -34,7 +34,7 @@ TEST_P(TopologySweep, AllAlgorithmOutputsAreValid) {
   for (std::size_t rep = 0; rep < 4; ++rep) {
     experiment::Instance inst = experiment::instantiate(s, rep);
 
-    const auto boosted = experiment::with_uniform_switch_qubits(
+    const auto boosted = net::with_uniform_switch_qubits(
         inst.network, 2 * static_cast<int>(inst.users.size()));
     const auto alg2 = routing::optimal_special_case(boosted, inst.users);
     EXPECT_EQ(net::validate_tree(boosted, inst.users, alg2), "");

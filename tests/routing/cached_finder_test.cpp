@@ -24,6 +24,15 @@ namespace {
 
 using net::NodeId;
 
+// Counter assertions are meaningful only when the telemetry layer is
+// compiled in: MUERP_TELEMETRY=OFF builds stub the registry-backed counters
+// to zero, while every behavioral expectation below still applies.
+#if MUERP_TELEMETRY_ENABLED
+#define MUERP_EXPECT_COUNTERS 1
+#else
+#define MUERP_EXPECT_COUNTERS 0
+#endif
+
 /// Restores the global cache toggle on scope exit so a failing test cannot
 /// poison the rest of the suite.
 struct CacheToggleGuard {
@@ -90,7 +99,9 @@ TEST(CachedFinder, LossOffTheUserPathsKeepsTheTree) {
 
   reset_perf_counters();
   (void)finder.distances(0, cap);
+#if MUERP_EXPECT_COUNTERS
   EXPECT_EQ(perf_counters().dijkstra_runs, 1u);
+#endif
 
   // The detour switch loses relay capability. It is reachable from u0 but
   // lies on no u0->user shortest path, so the cached tree must survive.
@@ -98,15 +109,19 @@ TEST(CachedFinder, LossOffTheUserPathsKeepsTheTree) {
   cap.commit_channel(through_far);
   ASSERT_EQ(cap.epoch(), 1u);
   (void)finder.distances(0, cap);
+#if MUERP_EXPECT_COUNTERS
   EXPECT_EQ(perf_counters().dijkstra_runs, 1u);
   EXPECT_EQ(perf_counters().cache_hits, 1u);
+#endif
 
   // Gaining relay capability anywhere reachable may open shorter paths:
   // releasing the detour must invalidate.
   cap.release_channel(through_far);
   (void)finder.distances(0, cap);
+#if MUERP_EXPECT_COUNTERS
   EXPECT_EQ(perf_counters().dijkstra_runs, 2u);
   EXPECT_EQ(perf_counters().cache_invalidations, 1u);
+#endif
 }
 
 TEST(CachedFinder, LossOnTheUserPathInvalidates) {
@@ -125,7 +140,9 @@ TEST(CachedFinder, LossOnTheUserPathInvalidates) {
   const auto after = finder.find_best_channel(0, 1, cap);
   ASSERT_TRUE(after.has_value());
   EXPECT_EQ(after->path, (std::vector<NodeId>{0, 3, 1}));
+#if MUERP_EXPECT_COUNTERS
   EXPECT_EQ(perf_counters().cache_invalidations, 1u);
+#endif
 }
 
 TEST(CachedFinder, ReleaseRecommitPairsCoalesceToANoOp) {
@@ -140,7 +157,9 @@ TEST(CachedFinder, ReleaseRecommitPairsCoalesceToANoOp) {
 
   reset_perf_counters();
   (void)finder.distances(0, cap);
+#if MUERP_EXPECT_COUNTERS
   ASSERT_EQ(perf_counters().dijkstra_runs, 1u);
+#endif
 
   // local_search's signature move: release a channel, then re-commit the
   // very same path. Both flips at `good` cancel; the tree must be served
@@ -149,9 +168,11 @@ TEST(CachedFinder, ReleaseRecommitPairsCoalesceToANoOp) {
   cap.commit_channel(through_good);
   ASSERT_EQ(cap.epoch(), 3u);
   (void)finder.distances(0, cap);
+#if MUERP_EXPECT_COUNTERS
   EXPECT_EQ(perf_counters().dijkstra_runs, 1u);
   EXPECT_EQ(perf_counters().cache_hits, 1u);
   EXPECT_EQ(perf_counters().cache_invalidations, 0u);
+#endif
 }
 
 TEST(CachedFinder, ExtractScannedMatchesFreshExtraction) {

@@ -32,7 +32,7 @@ TEST(CapacityPlanning, FindsExactMinimumOnTheHub) {
   EXPECT_EQ(result->qubits_per_switch, 4);  // 2 channels x 2 qubits
   EXPECT_TRUE(result->tree.feasible);
   // The tree lives on the budgeted copy of the network.
-  const auto budgeted = experiment::with_uniform_switch_qubits(
+  const auto budgeted = net::with_uniform_switch_qubits(
       net, result->qubits_per_switch);
   EXPECT_EQ(net::validate_tree(budgeted, net.users(), result->tree), "");
 }

@@ -1,0 +1,227 @@
+// Router facade + RouterRegistry: the registry must expose all seven
+// built-ins, and routing through the facade must be bit-identical to the
+// legacy free functions on the paper's §V-A default scenario — the facade
+// adds telemetry attribution, never behavior.
+#include "routing/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "baselines/eqcast.hpp"
+#include "baselines/nfusion.hpp"
+#include "experiment/runner.hpp"
+#include "experiment/scenario.hpp"
+#include "network/quantum_network.hpp"
+#include "routing/conflict_free.hpp"
+#include "routing/local_search.hpp"
+#include "routing/optimal_tree.hpp"
+#include "routing/prim_based.hpp"
+
+namespace muerp::routing {
+namespace {
+
+void expect_same_tree(const net::EntanglementTree& got,
+                      const net::EntanglementTree& expected,
+                      const std::string& context) {
+  EXPECT_EQ(got.feasible, expected.feasible) << context;
+  EXPECT_EQ(got.rate, expected.rate) << context;  // bitwise, not approximate
+  ASSERT_EQ(got.channels.size(), expected.channels.size()) << context;
+  for (std::size_t i = 0; i < got.channels.size(); ++i) {
+    EXPECT_EQ(got.channels[i].path, expected.channels[i].path)
+        << context << " channel " << i;
+    EXPECT_EQ(got.channels[i].rate, expected.channels[i].rate)
+        << context << " channel " << i;
+  }
+}
+
+RoutingRequest request_for(const experiment::Instance& instance,
+                           support::Rng* rng = nullptr) {
+  RoutingRequest request;
+  request.network = &instance.network;
+  request.users = instance.users;
+  request.rng = rng;
+  return request;
+}
+
+TEST(RouterRegistry, ListsAllSevenBuiltinsInOrder) {
+  const RouterRegistry& registry = RouterRegistry::instance();
+  const std::vector<std::string> expected = {
+      "alg2", "alg3", "alg4", "eqcast", "nfusion", "alg4ls", "annealing"};
+  EXPECT_EQ(registry.names(), expected);
+  for (const std::string& name : expected) {
+    EXPECT_TRUE(registry.contains(name)) << name;
+    EXPECT_EQ(registry.at(name).name(), name);
+  }
+  EXPECT_EQ(registry.at("alg2").display_name(), "Alg-2");
+  EXPECT_EQ(registry.at("nfusion").display_name(), "N-Fusion");
+  EXPECT_EQ(registry.find("no_such_router"), nullptr);
+  EXPECT_FALSE(registry.contains("no_such_router"));
+}
+
+TEST(RouterRegistry, UnknownNameThrowsWithTheKnownList) {
+  try {
+    RouterRegistry::instance().at("bogus");
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("bogus"), std::string::npos) << message;
+    EXPECT_NE(message.find("alg4"), std::string::npos) << message;
+  }
+}
+
+TEST(Router, RejectsMalformedRequests) {
+  const Router& router = RouterRegistry::instance().at("alg3");
+  RoutingRequest request;  // null network
+  EXPECT_THROW(router.route_tree(request), std::invalid_argument);
+
+  // An empty user span falls back to network->users(), which is non-empty
+  // for any instantiated scenario — so this must succeed.
+  experiment::Scenario scenario;
+  scenario.repetitions = 1;
+  const experiment::Instance instance = experiment::instantiate(scenario, 0);
+  request.network = &instance.network;
+  request.users = {};
+  EXPECT_NO_THROW(router.route_tree(request));
+}
+
+// Facade vs. legacy free functions, §V-A defaults (50 switches, 10 users,
+// Waxman), several instantiations. Each algorithm must match bit-for-bit.
+class RouterEquivalence : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  experiment::Instance instance_ = experiment::instantiate({}, GetParam());
+};
+
+TEST_P(RouterEquivalence, Alg2MatchesOptimalSpecialCaseWithPinnedBudget) {
+  const auto& registry = RouterRegistry::instance();
+  const auto got = registry.at("alg2").route_tree(request_for(instance_));
+  const auto boosted = net::with_uniform_switch_qubits(
+      instance_.network, 2 * static_cast<int>(instance_.users.size()));
+  expect_same_tree(got, optimal_special_case(boosted, instance_.users),
+                   "alg2");
+
+  // pin_alg2_sufficient=false must instead run on the raw network.
+  RoutingRequest raw = request_for(instance_);
+  raw.options.pin_alg2_sufficient = false;
+  expect_same_tree(registry.at("alg2").route_tree(raw),
+                   optimal_special_case(instance_.network, instance_.users),
+                   "alg2 raw");
+}
+
+TEST_P(RouterEquivalence, Alg3MatchesConflictFree) {
+  const auto got =
+      RouterRegistry::instance().at("alg3").route_tree(request_for(instance_));
+  expect_same_tree(got, conflict_free(instance_.network, instance_.users),
+                   "alg3");
+}
+
+TEST_P(RouterEquivalence, Alg4MatchesPrimBasedOnTheSameRngStream) {
+  const auto got = RouterRegistry::instance().at("alg4").route_tree(
+      request_for(instance_, &instance_.rng));
+  // Same scenario + repetition = same RNG stream for the oracle.
+  experiment::Instance oracle = experiment::instantiate({}, GetParam());
+  expect_same_tree(got, prim_based(oracle.network, oracle.users, oracle.rng),
+                   "alg4");
+}
+
+TEST_P(RouterEquivalence, EqcastMatchesExtendedQcast) {
+  const auto got = RouterRegistry::instance().at("eqcast").route_tree(
+      request_for(instance_));
+  expect_same_tree(got,
+                   baselines::extended_qcast(instance_.network,
+                                             instance_.users),
+                   "eqcast");
+}
+
+TEST_P(RouterEquivalence, NFusionTreeCarriesThePlanVerbatim) {
+  const auto got = RouterRegistry::instance().at("nfusion").route_tree(
+      request_for(instance_));
+  const baselines::FusionPlan plan =
+      baselines::n_fusion(instance_.network, instance_.users);
+  EXPECT_EQ(got.feasible, plan.feasible);
+  EXPECT_EQ(got.rate, plan.rate);
+  ASSERT_EQ(got.channels.size(), plan.channels.size());
+  for (std::size_t i = 0; i < got.channels.size(); ++i) {
+    EXPECT_EQ(got.channels[i].path, plan.channels[i].path);
+  }
+}
+
+TEST_P(RouterEquivalence, Alg4LsMatchesPrimPlusImprove) {
+  const auto got = RouterRegistry::instance().at("alg4ls").route_tree(
+      request_for(instance_, &instance_.rng));
+  experiment::Instance oracle = experiment::instantiate({}, GetParam());
+  auto expected = prim_based(oracle.network, oracle.users, oracle.rng);
+  improve_tree(oracle.network, oracle.users, expected);
+  expect_same_tree(got, expected, "alg4ls");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RouterEquivalence,
+                         ::testing::Values<std::size_t>(0, 1, 2));
+
+TEST(Router, RouteReportsElapsedAndTelemetry) {
+  experiment::Scenario scenario;
+  const experiment::Instance instance = experiment::instantiate(scenario, 0);
+  const RoutingOutcome outcome =
+      RouterRegistry::instance().at("alg3").route(request_for(instance));
+  EXPECT_GE(outcome.elapsed_ms, 0.0);
+  expect_same_tree(outcome.tree,
+                   conflict_free(instance.network, instance.users), "route()");
+#if MUERP_TELEMETRY_ENABLED
+  // The delta must attribute this very call: the router/alg3 span fired
+  // once, and Alg-3's Dijkstra counters moved.
+  const auto id = support::telemetry::intern_span("router/alg3");
+  ASSERT_GT(outcome.tree.channels.size(), 0u);
+  ASSERT_GT(outcome.telemetry.spans.size(), id);
+  EXPECT_EQ(outcome.telemetry.spans[id].count, 1u);
+  EXPECT_FALSE(outcome.telemetry.empty());
+#else
+  EXPECT_TRUE(outcome.telemetry.empty());
+#endif
+}
+
+TEST(Runner, NameSelectionMatchesEnumSelection) {
+  experiment::Scenario scenario;
+  scenario.repetitions = 4;
+  const auto by_enum =
+      experiment::run_scenario(scenario, experiment::kAllAlgorithms);
+  const std::vector<std::string> names(
+      experiment::paper_algorithm_names().begin(),
+      experiment::paper_algorithm_names().end());
+  const auto by_name = experiment::run_scenario(scenario, names);
+  EXPECT_EQ(by_enum.rates, by_name.rates);  // bitwise
+
+  const auto parallel = experiment::run_scenario_parallel(scenario, names);
+  EXPECT_EQ(parallel.rates, by_name.rates);
+
+#if MUERP_TELEMETRY_ENABLED
+  ASSERT_EQ(by_name.telemetry.size(), names.size());
+  for (std::size_t a = 0; a < names.size(); ++a) {
+    EXPECT_FALSE(by_name.telemetry[a].empty()) << names[a];
+    // Deterministic attribution: serial and parallel runs agree exactly on
+    // everything but wall-clock (spans count the same, times differ).
+    ASSERT_EQ(parallel.telemetry[a].counters.size(),
+              by_name.telemetry[a].counters.size());
+    EXPECT_EQ(parallel.telemetry[a].counters, by_name.telemetry[a].counters)
+        << names[a];
+  }
+#else
+  for (const auto& snapshot : by_name.telemetry) {
+    EXPECT_TRUE(snapshot.empty());
+  }
+#endif
+}
+
+TEST(Runner, RunAlgorithmByNameMatchesEnum) {
+  experiment::Scenario scenario;
+  scenario.repetitions = 1;
+  experiment::Instance a = experiment::instantiate(scenario, 0);
+  experiment::Instance b = experiment::instantiate(scenario, 0);
+  EXPECT_EQ(experiment::run_algorithm(experiment::Algorithm::kAlg4Prim, a),
+            experiment::run_algorithm("alg4", b));
+  EXPECT_THROW(experiment::run_algorithm("bogus", a), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace muerp::routing

@@ -1,0 +1,327 @@
+// Telemetry layer: shard capture/merge algebra, histogram bucket bounds,
+// span nesting/self-time accounting, trace-event recording, and cross-thread
+// aggregation (live shards + retired folds). The whole file also compiles in
+// MUERP_TELEMETRY=OFF builds, where it instead pins down the no-op contract:
+// macros expand to nothing and captures return empty snapshots.
+#include "support/telemetry/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/table.hpp"
+#include "support/telemetry/export.hpp"
+#include "support/telemetry/metrics.hpp"
+#include "support/telemetry/trace.hpp"
+
+namespace muerp::support::telemetry {
+namespace {
+
+std::uint64_t counter_at(const Snapshot& snapshot, std::uint32_t id) {
+  return id < snapshot.counters.size() ? snapshot.counters[id] : 0;
+}
+
+/// Burns a little real time so span durations are strictly positive even on
+/// coarse clocks.
+[[maybe_unused]] void spin(std::uint64_t iterations = 20000) {
+  std::uint64_t acc = 0;
+  for (std::uint64_t i = 0; i < iterations; ++i) acc += i * 2654435761u;
+  volatile std::uint64_t sink = acc;  // keep the loop observable
+  static_cast<void>(sink);
+}
+
+TEST(HistogramBuckets, IndexAndBoundsAgree) {
+  // Every bucket's inclusive upper bound maps back into that bucket, and
+  // nudging past it lands in the next one.
+  for (std::size_t b = 0; b + 1 < kHistogramBuckets; ++b) {
+    const double upper = histogram_bucket_upper_bound(b);
+    EXPECT_EQ(histogram_bucket_index(upper), b) << "bucket " << b;
+    EXPECT_EQ(histogram_bucket_index(std::nextafter(
+                  upper, std::numeric_limits<double>::infinity())),
+              b + 1)
+        << "bucket " << b;
+  }
+  EXPECT_TRUE(std::isinf(
+      histogram_bucket_upper_bound(kHistogramBuckets - 1)));
+
+  // Degenerate inputs all land somewhere valid.
+  EXPECT_EQ(histogram_bucket_index(0.0), 0u);
+  EXPECT_EQ(histogram_bucket_index(-5.0), 0u);
+  EXPECT_EQ(histogram_bucket_index(std::nan("")), 0u);
+  EXPECT_EQ(histogram_bucket_index(std::numeric_limits<double>::infinity()),
+            kHistogramBuckets - 1);
+  EXPECT_EQ(histogram_bucket_index(1e300), kHistogramBuckets - 1);
+}
+
+TEST(SnapshotAlgebra, MergeIsAssociativeAndTreatsMissingAsZero) {
+  Snapshot a;
+  a.counters = {1, 2};
+  a.spans = {{1, 100, 60}};
+  Snapshot b;
+  b.counters = {10, 0, 5};
+  b.gauges = {3.5};
+  Snapshot c;
+  c.counters = {0, 7};
+  c.gauges = {-1.0};
+  c.histograms.emplace_back();
+  c.histograms[0].count = 2;
+  c.histograms[0].sum = 9.0;
+  c.histograms[0].buckets[3] = 2;
+
+  Snapshot left = a;
+  left.merge(b);
+  left.merge(c);
+  Snapshot bc = b;
+  bc.merge(c);
+  Snapshot right = a;
+  right.merge(bc);
+  EXPECT_EQ(left, right);
+
+  EXPECT_EQ(left.counters, (std::vector<std::uint64_t>{11, 9, 5}));
+  EXPECT_EQ(left.gauges, (std::vector<double>{-1.0}));  // last writer wins
+  EXPECT_EQ(left.histograms[0].count, 2u);
+  EXPECT_EQ(left.spans[0].total_ns, 100u);
+}
+
+TEST(SnapshotAlgebra, SubtractSaturatesAndInvertsMerge) {
+  Snapshot before;
+  before.counters = {5, 100};
+  Snapshot after;
+  after.counters = {7, 40, 3};  // 40 < 100: stale baseline must not wrap
+  after.subtract(before);
+  EXPECT_EQ(after.counters, (std::vector<std::uint64_t>{2, 0, 3}));
+
+  Snapshot delta;
+  delta.counters = {4};
+  delta.spans = {{2, 50, 50}};
+  Snapshot sum = before;
+  sum.merge(delta);
+  sum.subtract(before);
+  EXPECT_EQ(counter_at(sum, 0), 4u);
+  EXPECT_EQ(sum.spans[0], (SpanStats{2, 50, 50}));
+}
+
+TEST(SnapshotAlgebra, EmptyIgnoresGaugeLevels) {
+  Snapshot s;
+  EXPECT_TRUE(s.empty());
+  s.gauges = {42.0};  // a level, not an accumulation
+  EXPECT_TRUE(s.empty());
+  s.counters = {0, 1};
+  EXPECT_FALSE(s.empty());
+}
+
+#if MUERP_TELEMETRY_ENABLED
+
+TEST(Counters, ThreadCaptureSeesExactIncrements) {
+  static const Counter counter("test/counter_exact");
+  const Snapshot before = capture_thread();
+  counter.add();
+  counter.add(41);
+  Snapshot after = capture_thread();
+  after.subtract(before);
+  EXPECT_EQ(counter_at(after, counter.id()), 42u);
+  EXPECT_EQ(counter_name(counter.id()), "test/counter_exact");
+
+  // Re-registering the same name yields the same id (macro restart safety).
+  const Counter again("test/counter_exact");
+  EXPECT_EQ(again.id(), counter.id());
+}
+
+TEST(Counters, MacrosAccumulateUnderTheirLabel) {
+  const Snapshot before = capture_thread();
+  for (int i = 0; i < 3; ++i) MUERP_COUNTER_INC("test/macro_counter");
+  MUERP_COUNTER_ADD("test/macro_counter", 7);
+  Snapshot after = capture_thread();
+  after.subtract(before);
+  const Counter handle("test/macro_counter");
+  EXPECT_EQ(counter_at(after, handle.id()), 10u);
+}
+
+TEST(Histograms, ObservationsLandInTheRightBuckets) {
+  static const Histogram histogram("test/histogram");
+  const Snapshot before = capture_thread();
+  histogram.observe(0.5);   // bucket 0
+  histogram.observe(3.0);   // (2, 4] -> bucket 2
+  histogram.observe(3.5);   // bucket 2 again
+  Snapshot after = capture_thread();
+  after.subtract(before);
+  ASSERT_GT(after.histograms.size(), histogram.id());
+  const HistogramData& data = after.histograms[histogram.id()];
+  EXPECT_EQ(data.count, 3u);
+  EXPECT_DOUBLE_EQ(data.sum, 7.0);
+  EXPECT_EQ(data.buckets[0], 1u);
+  EXPECT_EQ(data.buckets[2], 2u);
+}
+
+TEST(Gauges, LastWriteWinsAtProcessScope) {
+  static const Gauge gauge("test/gauge");
+  gauge.set(1.5);
+  gauge.set(-2.5);
+  const Snapshot process = capture_process();
+  ASSERT_GT(process.gauges.size(), gauge.id());
+  EXPECT_DOUBLE_EQ(process.gauges[gauge.id()], -2.5);
+}
+
+TEST(Spans, NestingSplitsSelfFromTotalExactly) {
+  const SpanId outer = intern_span("test/span_outer");
+  const SpanId inner = intern_span("test/span_inner");
+  EXPECT_EQ(span_label(outer), "test/span_outer");
+
+  const Snapshot before = capture_thread();
+  {
+    const ScopedSpan outer_span(outer);
+    spin();
+    {
+      const ScopedSpan inner_span(inner);
+      spin();
+    }
+    spin();
+  }
+  Snapshot after = capture_thread();
+  after.subtract(before);
+  ASSERT_GT(after.spans.size(), std::max(outer, inner));
+  const SpanStats& outer_stats = after.spans[outer];
+  const SpanStats& inner_stats = after.spans[inner];
+  EXPECT_EQ(outer_stats.count, 1u);
+  EXPECT_EQ(inner_stats.count, 1u);
+  EXPECT_GT(inner_stats.total_ns, 0u);
+  EXPECT_EQ(inner_stats.self_ns, inner_stats.total_ns);  // leaf span
+  // The inner span is wholly nested, so outer self + inner total must
+  // reconstruct outer total exactly — this is the flame-view invariant.
+  EXPECT_EQ(outer_stats.self_ns + inner_stats.total_ns, outer_stats.total_ns);
+}
+
+TEST(Spans, MacroVariantAggregatesPerLabel) {
+  const Snapshot before = capture_thread();
+  for (int i = 0; i < 4; ++i) {
+    MUERP_SPAN("test/span_macro");
+    spin(2000);
+  }
+  Snapshot after = capture_thread();
+  after.subtract(before);
+  const SpanId id = intern_span("test/span_macro");
+  ASSERT_GT(after.spans.size(), id);
+  EXPECT_EQ(after.spans[id].count, 4u);
+}
+
+TEST(Tracing, EventsRecordedOnlyWhileEnabled) {
+  const SpanId parent = intern_span("test/trace_parent");
+  const SpanId child = intern_span("test/trace_child");
+  drain_trace_events();  // discard anything earlier tests left behind
+
+  {
+    const ScopedSpan off(parent);  // tracing disabled: no event
+  }
+  set_tracing(true);
+  EXPECT_TRUE(tracing_enabled());
+  {
+    const ScopedSpan p(parent);
+    const ScopedSpan c(child);
+    spin();
+  }
+  set_tracing(false);
+  EXPECT_FALSE(tracing_enabled());
+
+  const std::vector<TraceEvent> events = drain_trace_events();
+  ASSERT_EQ(events.size(), 2u);
+  const TraceEvent* parent_event = nullptr;
+  const TraceEvent* child_event = nullptr;
+  for (const TraceEvent& e : events) {
+    if (e.span == parent) parent_event = &e;
+    if (e.span == child) child_event = &e;
+  }
+  ASSERT_NE(parent_event, nullptr);
+  ASSERT_NE(child_event, nullptr);
+  EXPECT_EQ(child_event->depth, parent_event->depth + 1);
+  EXPECT_GE(child_event->start_ns, parent_event->start_ns);
+  EXPECT_LE(child_event->duration_ns, parent_event->duration_ns);
+  EXPECT_TRUE(drain_trace_events().empty());
+}
+
+TEST(Threads, ProcessCaptureFoldsLiveAndRetiredShards) {
+  static const Counter counter("test/thread_counter");
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 1000;
+
+  const Snapshot before = capture_process();
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) counter.add();
+    });
+  }
+  for (std::thread& w : workers) w.join();  // shards fold into `retired`
+  Snapshot after = capture_process();
+  after.subtract(before);
+  EXPECT_EQ(counter_at(after, counter.id()), kThreads * kPerThread);
+  // This thread never touched the counter.
+  Snapshot local = capture_thread();
+  EXPECT_EQ(counter_at(local, counter.id()), 0u)
+      << "worker increments leaked into the owner thread's shard";
+}
+
+TEST(Export, JsonAndTablesRenderNonEmptySnapshots) {
+  static const Counter counter("test/export_counter");
+  const Snapshot before = capture_thread();
+  counter.add(3);
+  {
+    MUERP_SPAN("test/export_span");
+    spin(2000);
+  }
+  Snapshot delta = capture_thread();
+  delta.subtract(before);
+
+  const std::string json = to_json(delta);
+  EXPECT_NE(json.find("\"test/export_counter\": 3"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("test/export_span"), std::string::npos) << json;
+
+  const Table spans = spans_table(delta);
+  EXPECT_NE(spans.to_csv().find("test/export_span"), std::string::npos);
+  const Table counters = counters_table(delta);
+  EXPECT_NE(counters.to_csv().find("test/export_counter"), std::string::npos);
+}
+
+#else  // MUERP_TELEMETRY_ENABLED
+
+TEST(TelemetryOff, EverythingCompilesToNothing) {
+  MUERP_COUNTER_INC("off/counter");
+  MUERP_COUNTER_ADD("off/counter", 5);
+  MUERP_GAUGE_SET("off/gauge", 1.0);
+  MUERP_HISTOGRAM_OBSERVE("off/histogram", 2.0);
+  {
+    MUERP_SPAN("off/span");
+  }
+  set_tracing(true);  // must be accepted and ignored
+  EXPECT_FALSE(tracing_enabled());
+  EXPECT_TRUE(capture_thread().empty());
+  EXPECT_TRUE(capture_process().empty());
+  EXPECT_TRUE(drain_trace_events().empty());
+  EXPECT_EQ(span_label(0), "");
+  EXPECT_EQ(counter_name(0), "");
+}
+
+TEST(TelemetryOff, MonotonicClockStillWorks) {
+  const std::uint64_t a = monotonic_now_ns();
+  const std::uint64_t b = monotonic_now_ns();
+  EXPECT_GE(b, a);
+}
+
+#endif  // MUERP_TELEMETRY_ENABLED
+
+TEST(Export, EmptySnapshotDegeneratesGracefully) {
+  const Snapshot empty;
+  const std::string json = to_json(empty);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos) << json;
+  EXPECT_EQ(spans_table(empty).to_csv().find("test/"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace muerp::support::telemetry

@@ -17,10 +17,13 @@
 //   muerpctl route --net n.txt --svg plan.svg
 //   muerpctl screen --net n.txt
 //   muerpctl simulate --net n.txt --algorithm alg4 --rounds 100000
-//   muerpctl sweep --config scenario.cfg
+//   muerpctl sweep --config scenario.cfg --algorithms alg4,alg4ls,annealing
+//   muerpctl sweep --config scenario.cfg --telemetry tel.json --trace tr.json
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "muerp.hpp"
 
@@ -119,28 +122,68 @@ int cmd_info(const net::QuantumNetwork& network) {
   return 0;
 }
 
+std::string known_algorithms() {
+  std::string known;
+  for (const std::string& name : routing::RouterRegistry::instance().names()) {
+    if (!known.empty()) known += '|';
+    known += name;
+  }
+  return known;
+}
+
+/// Routes through the RouterRegistry: any registered name works, including
+/// the satellites (alg4ls, annealing) and nfusion (star-shaped tree whose
+/// rate follows the fusion model rather than the channel-rate product).
 net::EntanglementTree route_with(const std::string& algorithm,
                                  const net::QuantumNetwork& network,
                                  support::Rng& rng, std::string* error) {
-  const auto users = network.users();
-  if (algorithm == "alg2") {
-    const auto boosted = experiment::with_uniform_switch_qubits(
-        network, 2 * static_cast<int>(users.size()));
-    return routing::optimal_special_case(boosted, users);
+  const routing::Router* router =
+      routing::RouterRegistry::instance().find(algorithm);
+  if (router == nullptr) {
+    *error = "unknown --algorithm '" + algorithm + "' (" +
+             known_algorithms() + ")";
+    return {};
   }
-  if (algorithm == "alg3") return routing::conflict_free(network, users);
-  if (algorithm == "alg4") return routing::prim_based(network, users, rng);
-  if (algorithm == "eqcast") return baselines::extended_qcast(network, users);
-  *error = "unknown --algorithm '" + algorithm +
-           "' (alg2|alg3|alg4|eqcast; nfusion has no tree form)";
-  return {};
+  routing::RoutingRequest request;
+  request.network = &network;
+  request.rng = &rng;
+  return router->route_tree(request);
+}
+
+/// Parses the --algorithms comma list; empty selects the paper's five.
+/// Returns false (with *error set) when a name is not registered.
+bool parse_algorithms(const std::string& list, std::vector<std::string>* out,
+                      std::string* error) {
+  if (list.empty()) {
+    const auto names = experiment::paper_algorithm_names();
+    out->assign(names.begin(), names.end());
+    return true;
+  }
+  const auto& registry = routing::RouterRegistry::instance();
+  std::string name;
+  std::istringstream stream(list);
+  while (std::getline(stream, name, ',')) {
+    if (name.empty()) continue;
+    if (!registry.contains(name)) {
+      *error = "unknown algorithm '" + name + "' in --algorithms (" +
+               known_algorithms() + ")";
+      return false;
+    }
+    out->push_back(name);
+  }
+  if (out->empty()) {
+    *error = "--algorithms selected nothing";
+    return false;
+  }
+  return true;
 }
 
 int cmd_route(const support::CliParser& cli,
               const net::QuantumNetwork& network) {
   support::Rng rng(cli.get_int("seed").value_or(1));
+  const std::string algorithm = cli.get_string("algorithm");
   std::string error;
-  auto tree = route_with(cli.get_string("algorithm"), network, rng, &error);
+  auto tree = route_with(algorithm, network, rng, &error);
   if (!error.empty()) return fail(error);
 
   if (cli.get_bool("local-search") && tree.feasible) {
@@ -157,7 +200,12 @@ int cmd_route(const support::CliParser& cli,
               << screen.reason << '\n';
     return 2;
   }
-  const auto validation = net::validate_tree(network, network.users(), tree);
+  // N-Fusion's rate follows the fusion model, not the channel-rate product
+  // validate_tree checks, so the identity intentionally does not apply.
+  const std::string validation =
+      algorithm == "nfusion"
+          ? std::string()
+          : net::validate_tree(network, network.users(), tree);
   std::cout << "rate " << support::format_rate(tree.rate) << " over "
             << tree.channels.size() << " channels ("
             << (validation.empty() ? "valid" : validation) << ")\n";
@@ -188,24 +236,50 @@ int cmd_sweep(const support::CliParser& cli) {
     return fail(path + ": " + std::get<std::string>(parsed));
   }
   const auto& scenario = std::get<experiment::Scenario>(parsed);
+
+  std::vector<std::string> algorithms;
+  std::string error;
+  if (!parse_algorithms(cli.get_string("algorithms"), &algorithms, &error)) {
+    return fail(error);
+  }
+  const auto& registry = routing::RouterRegistry::instance();
+
   std::cout << "# effective scenario\n"
             << experiment::scenario_to_config(scenario) << '\n';
-  const auto result = experiment::run_scenario_parallel(
-      scenario, experiment::kAllAlgorithms);
+  const auto result = experiment::run_scenario_parallel(scenario, algorithms);
   std::vector<std::string> columns{"metric"};
-  for (experiment::Algorithm a : experiment::kAllAlgorithms) {
-    columns.emplace_back(experiment::algorithm_name(a));
+  for (const std::string& name : algorithms) {
+    columns.emplace_back(registry.at(name).display_name());
   }
   support::Table table("scenario sweep (" + path + ")", std::move(columns));
   std::vector<double> means;
   std::vector<double> fractions;
-  for (std::size_t a = 0; a < experiment::kAllAlgorithms.size(); ++a) {
+  for (std::size_t a = 0; a < algorithms.size(); ++a) {
     means.push_back(result.mean_rate(a));
     fractions.push_back(result.feasible_fraction(a));
   }
   table.add_row("mean rate", std::move(means));
   table.add_row("feasible fraction", std::move(fractions));
   std::cout << table;
+
+  // --telemetry: one JSON object per algorithm, keyed by registry name,
+  // holding the counters/spans that algorithm accumulated over the sweep.
+  if (const std::string out = cli.get_string("telemetry"); !out.empty()) {
+    std::ofstream file(out);
+    if (!file) return fail("cannot write " + out);
+    file << "{\n";
+    for (std::size_t a = 0; a < algorithms.size(); ++a) {
+      file << "  \"" << algorithms[a] << "\": ";
+      support::telemetry::write_json(file, result.telemetry[a]);
+      file << (a + 1 < algorithms.size() ? "," : "") << '\n';
+    }
+    file << "}\n";
+    std::cout << "telemetry written to " << out << '\n';
+    const auto spans = support::telemetry::spans_table(
+        result.telemetry.back(),
+        "spans: " + registry.at(algorithms.back()).display_name());
+    std::cout << spans;
+  }
   return 0;
 }
 
@@ -300,7 +374,10 @@ int main(int argc, char** argv) {
   cli.add_flag("seed", "random seed", "1");
   cli.add_flag("out", "output network file (generate)", "");
   cli.add_flag("net", "input network file", "");
-  cli.add_flag("algorithm", "alg2|alg3|alg4|eqcast", "alg3");
+  cli.add_flag("algorithm", "registry name (route/simulate)", "alg3");
+  cli.add_flag("algorithms", "comma list of registry names (sweep)", "");
+  cli.add_flag("telemetry", "write per-algorithm telemetry JSON (sweep)", "");
+  cli.add_flag("trace", "write a Chrome trace of the whole run", "");
   cli.add_flag("local-search", "apply the exchange pass after routing");
   cli.add_flag("dot", "write Graphviz DOT of the plan", "");
   cli.add_flag("svg", "write an SVG rendering of the plan", "");
@@ -315,17 +392,43 @@ int main(int argc, char** argv) {
                  " simulate sweep\n";
     return 1;
   }
-  const std::string& command = cli.positional()[0];
-  if (command == "generate") return cmd_generate(cli);
-  if (command == "sweep") return cmd_sweep(cli);
+  // --trace records every span of the run as Chrome trace events
+  // (chrome://tracing); a no-op in MUERP_TELEMETRY=OFF builds.
+  const std::string trace = cli.get_string("trace");
+  if (!trace.empty()) support::telemetry::set_tracing(true);
 
-  const auto network = load(cli.get_string("net"));
-  if (!network) return 1;
-  if (command == "info") return cmd_info(*network);
-  if (command == "analyze") return cmd_analyze(*network);
-  if (command == "screen") return cmd_screen(*network);
-  if (command == "route") return cmd_route(cli, *network);
-  if (command == "plan") return cmd_plan(cli, *network);
-  if (command == "simulate") return cmd_simulate(cli, *network);
-  return fail("unknown subcommand '" + command + "'");
+  const std::string& command = cli.positional()[0];
+  int status = 0;
+  if (command == "generate") {
+    status = cmd_generate(cli);
+  } else if (command == "sweep") {
+    status = cmd_sweep(cli);
+  } else {
+    const auto network = load(cli.get_string("net"));
+    if (!network) return 1;
+    if (command == "info") {
+      status = cmd_info(*network);
+    } else if (command == "analyze") {
+      status = cmd_analyze(*network);
+    } else if (command == "screen") {
+      status = cmd_screen(*network);
+    } else if (command == "route") {
+      status = cmd_route(cli, *network);
+    } else if (command == "plan") {
+      status = cmd_plan(cli, *network);
+    } else if (command == "simulate") {
+      status = cmd_simulate(cli, *network);
+    } else {
+      return fail("unknown subcommand '" + command + "'");
+    }
+  }
+
+  if (!trace.empty()) {
+    support::telemetry::set_tracing(false);
+    const long events = support::telemetry::write_chrome_trace_file(trace);
+    if (events < 0) return fail("cannot write trace file " + trace);
+    std::cerr << "wrote " << events << " trace events to " << trace
+              << " (load in chrome://tracing)\n";
+  }
+  return status;
 }
