@@ -8,6 +8,7 @@
 #include "figure_common.hpp"
 
 int main(int argc, char** argv) {
+  if (!muerp::bench::apply_log_flags(argc, argv)) return 1;
   const muerp::bench::TraceGuard trace(argc, argv);
   using namespace muerp;
   std::vector<bench::SweepPoint> points;

@@ -14,10 +14,12 @@
 #include "experiment/scenario.hpp"
 #include "support/statistics.hpp"
 #include "support/table.hpp"
+#include "figure_common.hpp"
 #include "topology/perturb.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace muerp;
+  if (!bench::apply_log_flags(argc, argv)) return 1;
 
   experiment::Scenario base;  // paper defaults except degree
   base.average_degree = 20.0;  // 600 edges over 60 nodes

@@ -19,9 +19,39 @@
 #include "routing/router.hpp"
 #include "support/table.hpp"
 #include "support/telemetry/export.hpp"
+#include "support/telemetry/log.hpp"
 #include "support/telemetry/trace.hpp"
 
 namespace muerp::bench {
+
+/// Applies the shared `--log-level=<debug|info|warn|error|off>` and
+/// `--log-format=<text|json>` flags every figure bench accepts, so a sweep
+/// can stream the runner's structured events (scenario_start/finish) to
+/// stderr. Returns false after printing a message on an unknown value; all
+/// other arguments are ignored (benches parse their own flags).
+inline bool apply_log_flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg.rfind("--log-level=", 0) == 0) {
+      support::telemetry::LogLevel level;
+      if (!support::telemetry::parse_log_level(arg.substr(12), &level)) {
+        std::cerr << "unknown --log-level '" << arg.substr(12)
+                  << "' (debug|info|warn|error|off)\n";
+        return false;
+      }
+      support::telemetry::set_log_level(level);
+    } else if (arg.rfind("--log-format=", 0) == 0) {
+      support::telemetry::LogFormat format;
+      if (!support::telemetry::parse_log_format(arg.substr(13), &format)) {
+        std::cerr << "unknown --log-format '" << arg.substr(13)
+                  << "' (text|json)\n";
+        return false;
+      }
+      support::telemetry::set_log_format(format);
+    }
+  }
+  return true;
+}
 
 struct SweepPoint {
   std::string label;

@@ -1,10 +1,14 @@
 #include "experiment/report.hpp"
 
+#include <array>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "routing/router.hpp"
+#include "support/statistics.hpp"
+#include "topology/perturb.hpp"
 
 namespace muerp::experiment {
 
@@ -130,6 +134,79 @@ FigureResult ReportBuilder::fig7a_degree() const {
                    points);
 }
 
+FigureResult ReportBuilder::fig7b_edge_removal() const {
+  // Paper setup: degree 20 over 60 nodes = 600 fibers; remove 30 uniformly
+  // random fibers per step until the graph is gone. Unlike the sweeps, a
+  // repetition is a trajectory — the same network instance pruned step by
+  // step — so the loop runs per repetition and folds per step afterwards.
+  Scenario base = base_scenario(options_);
+  base.average_degree = 20.0;
+  constexpr std::size_t kRemovePerStep = 30;
+  const std::size_t total_edges =
+      (base.switch_count + base.user_count) *
+      static_cast<std::size_t>(base.average_degree) / 2;
+  const std::size_t steps = total_edges / kRemovePerStep;
+
+  // rates[rep][step][algorithm]; each repetition fills its own slot, so the
+  // parallel fold is deterministic for any thread count.
+  std::vector<std::vector<std::array<double, kAllAlgorithms.size()>>> rates(
+      base.repetitions,
+      std::vector<std::array<double, kAllAlgorithms.size()>>(steps + 1));
+
+  const auto body = [&](std::size_t rep) {
+    Instance inst = instantiate(base, rep);
+    support::Rng removal_rng = support::Rng(base.seed ^ 0x9e37).split(rep);
+    for (std::size_t step = 0; step <= steps; ++step) {
+      for (std::size_t a = 0; a < kAllAlgorithms.size(); ++a) {
+        rates[rep][step][a] = run_algorithm(kAllAlgorithms[a], inst);
+      }
+      auto pruned = inst.network.graph();
+      topology::remove_random_edges(pruned, kRemovePerStep, removal_rng);
+      inst.network.set_topology(std::move(pruned));
+    }
+  };
+  if (options_.parallel) {
+    detail::parallel_for_reps(base.repetitions, 0, body);
+  } else {
+    for (std::size_t rep = 0; rep < base.repetitions; ++rep) body(rep);
+  }
+
+  std::vector<std::string> columns{"removed-ratio"};
+  for (const Algorithm a : kAllAlgorithms) {
+    columns.emplace_back(algorithm_name(a));
+  }
+  FigureResult figure{
+      "fig7b", "Fig. 7(b): rate vs removed edges ratio",
+      support::Table("Fig. 7(b): rate vs removed edges ratio"
+                     " — mean entanglement rate",
+                     columns),
+      support::Table("Fig. 7(b): rate vs removed edges ratio"
+                     " — feasible fraction",
+                     columns)};
+  for (std::size_t step = 0; step <= steps; ++step) {
+    std::vector<double> means;
+    std::vector<double> fractions;
+    for (std::size_t a = 0; a < kAllAlgorithms.size(); ++a) {
+      support::Accumulator acc;
+      std::size_t feasible = 0;
+      for (std::size_t rep = 0; rep < base.repetitions; ++rep) {
+        acc.add(rates[rep][step][a]);
+        if (rates[rep][step][a] > 0.0) ++feasible;
+      }
+      means.push_back(acc.mean());
+      fractions.push_back(static_cast<double>(feasible) /
+                          static_cast<double>(base.repetitions));
+    }
+    char label[16];
+    std::snprintf(label, sizeof label, "%.2f",
+                  static_cast<double>(step * kRemovePerStep) /
+                      static_cast<double>(total_edges));
+    figure.rates.add_row(label, std::move(means));
+    figure.feasibility.add_row(label, std::move(fractions));
+  }
+  return figure;
+}
+
 FigureResult ReportBuilder::fig8a_qubits() const {
   std::vector<std::pair<std::string, Scenario>> points;
   for (int qubits : {2, 4, 6, 8}) {
@@ -160,6 +237,7 @@ std::vector<FigureResult> ReportBuilder::all_figures() const {
   figures.push_back(fig6a_users());
   figures.push_back(fig6b_switches());
   figures.push_back(fig7a_degree());
+  figures.push_back(fig7b_edge_removal());
   figures.push_back(fig8a_qubits());
   figures.push_back(fig8b_swap_rate());
   return figures;
@@ -186,8 +264,6 @@ bool ReportBuilder::write_report(const std::string& directory) const {
     if (!csv) return false;
     csv << figure.rates.to_csv();
   }
-  md << "\nFig. 7(b) (progressive edge removal) is produced by "
-        "`bench/fig7b_edge_removal`.\n";
   return static_cast<bool>(md);
 }
 

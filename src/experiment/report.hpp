@@ -47,11 +47,14 @@ class ReportBuilder {
   FigureResult fig6a_users() const;
   FigureResult fig6b_switches() const;
   FigureResult fig7a_degree() const;
+  /// Progressive edge removal (the one figure that is a trajectory per
+  /// network instance rather than an independent sweep: each repetition
+  /// draws one dense Waxman network and prunes it 30 fibers at a time).
+  FigureResult fig7b_edge_removal() const;
   FigureResult fig8a_qubits() const;
   FigureResult fig8b_swap_rate() const;
 
-  /// All of the above, in paper order. (Fig. 7(b) needs progressive edge
-  /// removal and stays in its dedicated bench binary.)
+  /// All of the above, in paper order.
   std::vector<FigureResult> all_figures() const;
 
   /// Writes REPORT.md + per-figure CSVs into `directory` (created if

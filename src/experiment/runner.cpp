@@ -95,6 +95,13 @@ ScenarioResult run_scenario_impl(
   result.rates.assign(routers.size(),
                       std::vector<double>(scenario.repetitions, 0.0));
   result.telemetry.assign(routers.size(), tel::Snapshot{});
+  const std::uint64_t scenario_start = tel::monotonic_now_ns();
+  MUERP_LOG_INFO("runner/scenario_start",
+                 tel::field("switches", scenario.switch_count),
+                 tel::field("users", scenario.user_count),
+                 tel::field("repetitions", scenario.repetitions),
+                 tel::field("algorithms", routers.size()),
+                 tel::field("parallel", parallel));
 
   std::vector<std::vector<tel::Snapshot>> deltas(
       routers.size(), std::vector<tel::Snapshot>(scenario.repetitions));
@@ -131,11 +138,24 @@ ScenarioResult run_scenario_impl(
     for (std::size_t rep = 0; rep < scenario.repetitions; ++rep) body(rep);
   }
 
+  // The fold itself is observable work (it walks every per-rep snapshot),
+  // so it gets its own debug event with the merge count.
   for (std::size_t a = 0; a < routers.size(); ++a) {
     for (std::size_t rep = 0; rep < scenario.repetitions; ++rep) {
       result.telemetry[a].merge(deltas[a][rep]);
     }
   }
+  MUERP_LOG_DEBUG("runner/telemetry_fold",
+                  tel::field("snapshots",
+                             routers.size() * scenario.repetitions));
+  MUERP_LOG_INFO(
+      "runner/scenario_finish",
+      tel::field("repetitions", scenario.repetitions),
+      tel::field("algorithms", routers.size()),
+      tel::field("elapsed_ms",
+                 static_cast<double>(tel::monotonic_now_ns() -
+                                     scenario_start) /
+                     1e6));
   return result;
 }
 

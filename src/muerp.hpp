@@ -49,6 +49,7 @@
 #include "simulation/monte_carlo.hpp"     // IWYU pragma: export
 #include "simulation/protocol.hpp"        // IWYU pragma: export
 #include "simulation/qubit_machine.hpp"   // IWYU pragma: export
+#include "simulation/session_service.hpp"  // IWYU pragma: export
 #include "simulation/swap_policy.hpp"     // IWYU pragma: export
 #include "simulation/time_slotted.hpp"    // IWYU pragma: export
 #include "support/cli.hpp"                // IWYU pragma: export
@@ -56,6 +57,7 @@
 #include "support/statistics.hpp"         // IWYU pragma: export
 #include "support/table.hpp"              // IWYU pragma: export
 #include "support/telemetry/export.hpp"   // IWYU pragma: export
+#include "support/telemetry/http_exporter.hpp"  // IWYU pragma: export
 #include "support/telemetry/telemetry.hpp"  // IWYU pragma: export
 #include "topology/analysis.hpp"          // IWYU pragma: export
 #include "topology/perturb.hpp"           // IWYU pragma: export

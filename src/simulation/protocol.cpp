@@ -1,111 +1,21 @@
 #include "simulation/protocol.hpp"
 
-#include <algorithm>
-#include <cassert>
-#include <vector>
-
-#include "routing/prim_based.hpp"
-#include "support/statistics.hpp"
+#include "simulation/session_service.hpp"
 
 namespace muerp::sim {
 
-namespace {
-
-struct ActiveSession {
-  net::EntanglementTree tree;
-  std::uint64_t admitted_slot = 0;
-};
-
-}  // namespace
-
+// The horizon loop lives in SessionService (which muerpd also drives one
+// slot at a time); run() replays it to the configured horizon. The service
+// consumes the Rng in exactly the order the original in-line loop did, so
+// seeded results are unchanged.
 ProtocolMetrics ProtocolSimulator::run(support::Rng& rng) const {
-  assert(params_.min_group_size >= 2);
-  assert(params_.max_group_size >= params_.min_group_size);
-  assert(params_.max_group_size <= network_->users().size());
-
-  ProtocolMetrics metrics;
-  net::CapacityState capacity(*network_);
-  std::vector<ActiveSession> active;
-  support::Accumulator completion_slots;
-
-  int total_switch_qubits = 0;
-  for (net::NodeId sw : network_->switches()) {
-    total_switch_qubits += network_->qubits(sw);
-  }
-  double utilization_sum = 0.0;
-
-  const auto held_qubits = [&]() {
-    int held = 0;
-    for (net::NodeId sw : network_->switches()) {
-      held += network_->qubits(sw) - capacity.free_qubits(sw);
-    }
-    return held;
-  };
-
+  SessionServiceConfig config;
+  config.params = params_;
+  SessionService service(*network_, std::move(config), rng);
   for (std::uint64_t slot = 1; slot <= params_.horizon_slots; ++slot) {
-    // 1. Arrivals: the central node routes against residual capacity.
-    if (rng.bernoulli(params_.arrival_prob_per_slot)) {
-      ++metrics.sessions_arrived;
-      const std::size_t size = params_.min_group_size +
-                               rng.uniform_index(params_.max_group_size -
-                                                 params_.min_group_size + 1);
-      std::vector<net::NodeId> group;
-      for (std::size_t idx :
-           rng.sample_indices(network_->users().size(), size)) {
-        group.push_back(network_->users()[idx]);
-      }
-      const auto seed = static_cast<std::size_t>(rng.uniform_index(size));
-      // prim_based_shared deducts as it commits; on failure, roll the
-      // partial commits back so a rejected session holds nothing.
-      auto tree =
-          routing::prim_based_shared(*network_, group, seed, capacity);
-      if (tree.feasible) {
-        ++metrics.sessions_admitted;
-        active.push_back({std::move(tree), slot});
-      } else {
-        ++metrics.sessions_rejected;
-        for (const net::Channel& ch : tree.channels) {
-          capacity.release_channel(ch.path);
-        }
-      }
-    }
-
-    // 2. Execution windows: every active session attempts its whole tree;
-    //    per-window success probability is exactly Eq. (2).
-    for (std::size_t i = 0; i < active.size();) {
-      ActiveSession& session = active[i];
-      const bool success = rng.bernoulli(session.tree.rate);
-      const bool timed_out = !success && slot - session.admitted_slot >=
-                                             params_.session_timeout_slots;
-      if (success || timed_out) {
-        if (success) {
-          ++metrics.sessions_completed;
-          completion_slots.add(
-              static_cast<double>(slot - session.admitted_slot + 1));
-        } else {
-          ++metrics.sessions_timed_out;
-        }
-        for (const net::Channel& ch : session.tree.channels) {
-          capacity.release_channel(ch.path);
-        }
-        active[i] = std::move(active.back());
-        active.pop_back();
-      } else {
-        ++i;
-      }
-    }
-
-    if (total_switch_qubits > 0) {
-      utilization_sum += static_cast<double>(held_qubits()) /
-                         static_cast<double>(total_switch_qubits);
-    }
+    service.step();
   }
-
-  metrics.sessions_in_flight = active.size();
-  metrics.mean_completion_slots = completion_slots.mean();
-  metrics.mean_qubit_utilization =
-      utilization_sum / static_cast<double>(params_.horizon_slots);
-  return metrics;
+  return service.metrics();
 }
 
 }  // namespace muerp::sim

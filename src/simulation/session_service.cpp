@@ -1,0 +1,214 @@
+#include "simulation/session_service.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "routing/prim_based.hpp"
+#include "support/telemetry/telemetry.hpp"
+
+namespace muerp::sim {
+
+using support::telemetry::field;
+
+namespace {
+
+/// True when deducting 2 qubits per interior vertex of every channel in
+/// `tree` stays within `capacity` — the admission guard for registry
+/// algorithms that do not track residuals themselves.
+bool tree_fits_capacity(const net::QuantumNetwork& network,
+                        const net::EntanglementTree& tree,
+                        const net::CapacityState& capacity) {
+  std::vector<int> demand(network.node_count(), 0);
+  for (const net::Channel& ch : tree.channels) {
+    for (std::size_t i = 1; i + 1 < ch.path.size(); ++i) {
+      demand[ch.path[i]] += 2;
+    }
+  }
+  for (net::NodeId sw : network.switches()) {
+    if (demand[sw] > capacity.free_qubits(sw)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+SessionService::SessionService(const net::QuantumNetwork& network,
+                               SessionServiceConfig config, support::Rng& rng)
+    : network_(&network),
+      config_(std::move(config)),
+      rng_(&rng),
+      capacity_(network) {
+  assert(config_.params.min_group_size >= 2);
+  assert(config_.params.max_group_size >= config_.params.min_group_size);
+  assert(config_.params.max_group_size <= network_->users().size());
+  if (!config_.algorithm.empty()) {
+    router_ = &routing::RouterRegistry::instance().at(config_.algorithm);
+  }
+  for (net::NodeId sw : network_->switches()) {
+    total_switch_qubits_ += network_->qubits(sw);
+  }
+}
+
+double SessionService::qubit_utilization() const noexcept {
+  if (total_switch_qubits_ <= 0) return 0.0;
+  int held = 0;
+  for (net::NodeId sw : network_->switches()) {
+    held += network_->qubits(sw) - capacity_.free_qubits(sw);
+  }
+  return static_cast<double>(held) / static_cast<double>(total_switch_qubits_);
+}
+
+net::EntanglementTree SessionService::admit(
+    const std::vector<net::NodeId>& group) {
+  const auto seed =
+      static_cast<std::size_t>(rng_->uniform_index(group.size()));
+  if (router_ == nullptr) {
+    // prim_based_shared deducts as it commits; on failure, roll the partial
+    // commits back so a rejected session holds nothing.
+    auto tree = routing::prim_based_shared(*network_, group, seed, capacity_);
+    if (!tree.feasible) {
+      for (const net::Channel& ch : tree.channels) {
+        capacity_.release_channel(ch.path);
+      }
+    }
+    return tree;
+  }
+  // Registry algorithms see the residual network: a copy whose switch
+  // budgets are the qubits currently free, so capacity-aware routers route
+  // around held qubits.
+  std::vector<net::NodeKind> kinds(network_->node_count());
+  std::vector<int> residual_qubits(network_->node_count());
+  for (std::size_t i = 0; i < network_->node_count(); ++i) {
+    const auto v = static_cast<net::NodeId>(i);
+    kinds[i] = network_->kind(v);
+    residual_qubits[i] =
+        network_->is_switch(v) ? capacity_.free_qubits(v) : network_->qubits(v);
+  }
+  const net::QuantumNetwork residual(
+      network_->graph(),
+      std::vector<support::Point2D>(network_->positions().begin(),
+                                    network_->positions().end()),
+      std::move(kinds), std::move(residual_qubits), network_->physical());
+  routing::RoutingRequest request;
+  request.network = &residual;
+  request.users = group;
+  request.rng = rng_;
+  request.options = config_.router_options;
+  net::EntanglementTree tree = router_->route_tree(request);
+  // Admission guard: a capacity-oblivious baseline may return a tree the
+  // residual network cannot host. Such a session is rejected, not trimmed.
+  if (tree.feasible && !tree_fits_capacity(*network_, tree, capacity_)) {
+    tree.feasible = false;
+  }
+  if (tree.feasible) {
+    for (const net::Channel& ch : tree.channels) {
+      capacity_.commit_channel(ch.path);
+    }
+  }
+  return tree;
+}
+
+SlotReport SessionService::step() {
+  SlotReport report;
+  report.slot = ++slot_;
+
+  // 1. Arrivals: the central node routes against residual capacity.
+  if (rng_->bernoulli(config_.params.arrival_prob_per_slot)) {
+    report.arrived = true;
+    ++totals_.sessions_arrived;
+    MUERP_COUNTER_INC("session/arrived");
+    const std::size_t size =
+        config_.params.min_group_size +
+        rng_->uniform_index(config_.params.max_group_size -
+                            config_.params.min_group_size + 1);
+    std::vector<net::NodeId> group;
+    for (std::size_t idx :
+         rng_->sample_indices(network_->users().size(), size)) {
+      group.push_back(network_->users()[idx]);
+    }
+    auto tree = admit(group);
+    if (tree.feasible) {
+      report.admitted = true;
+      report.admitted_rate = tree.rate;
+      ++totals_.sessions_admitted;
+      MUERP_COUNTER_INC("session/admitted");
+      MUERP_HISTOGRAM_OBSERVE("session/admitted_rate_ppm", tree.rate * 1e6);
+      MUERP_LOG_INFO("session/admitted", field("slot", slot_),
+                     field("group_size", size), field("rate", tree.rate),
+                     field("channels", tree.channels.size()),
+                     field("active", active_.size() + 1));
+      active_.push_back({std::move(tree), slot_, size});
+    } else {
+      ++totals_.sessions_rejected;
+      const double utilization = qubit_utilization();
+      MUERP_COUNTER_INC("session/rejected");
+      MUERP_LOG_INFO("session/rejected", field("slot", slot_),
+                     field("group_size", size),
+                     field("active", active_.size()),
+                     field("qubit_utilization", utilization));
+      // Rejection with most of the qubit pool pledged is saturation (the
+      // switch fabric, not the topology, refused the session).
+      if (utilization >= 0.9) {
+        MUERP_COUNTER_INC("session/switch_saturation");
+        MUERP_LOG_INFO("session/switch_saturation", field("slot", slot_),
+                       field("qubit_utilization", utilization),
+                       field("active", active_.size()));
+      }
+    }
+  }
+
+  // 2. Execution windows: every active session attempts its whole tree;
+  //    per-window success probability is exactly Eq. (2).
+  for (std::size_t i = 0; i < active_.size();) {
+    ActiveSession& session = active_[i];
+    const bool success = rng_->bernoulli(session.tree.rate);
+    const bool timed_out = !success && slot_ - session.admitted_slot >=
+                                           config_.params.session_timeout_slots;
+    if (success || timed_out) {
+      const std::uint64_t held_slots = slot_ - session.admitted_slot + 1;
+      if (success) {
+        ++report.completed;
+        ++totals_.sessions_completed;
+        completion_slots_.add(static_cast<double>(held_slots));
+        MUERP_COUNTER_INC("session/completed");
+        MUERP_HISTOGRAM_OBSERVE("session/completion_slots", held_slots);
+        MUERP_LOG_INFO("session/completed", field("slot", slot_),
+                       field("group_size", session.group_size),
+                       field("held_slots", held_slots));
+      } else {
+        ++report.timed_out;
+        ++totals_.sessions_timed_out;
+        MUERP_COUNTER_INC("session/timed_out");
+        MUERP_LOG_INFO("session/timeout", field("slot", slot_),
+                       field("group_size", session.group_size),
+                       field("held_slots", held_slots),
+                       field("rate", session.tree.rate));
+      }
+      for (const net::Channel& ch : session.tree.channels) {
+        capacity_.release_channel(ch.path);
+      }
+      active_[i] = std::move(active_.back());
+      active_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+
+  report.active_sessions = active_.size();
+  report.qubit_utilization = qubit_utilization();
+  utilization_sum_ += report.qubit_utilization;
+  MUERP_GAUGE_SET("session/active", active_.size());
+  MUERP_GAUGE_SET("session/qubit_utilization", report.qubit_utilization);
+  return report;
+}
+
+ProtocolMetrics SessionService::metrics() const {
+  ProtocolMetrics m = totals_;
+  m.sessions_in_flight = active_.size();
+  m.mean_completion_slots = completion_slots_.mean();
+  m.mean_qubit_utilization =
+      slot_ == 0 ? 0.0 : utilization_sum_ / static_cast<double>(slot_);
+  return m;
+}
+
+}  // namespace muerp::sim

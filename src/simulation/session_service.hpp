@@ -1,0 +1,110 @@
+// Stepped multi-user session service — the §II-B control loop as a
+// long-lived object.
+//
+// ProtocolSimulator::run() scores a whole horizon in one call; a daemon
+// (tools/muerpd.cpp) and incremental tests need the same loop advanced one
+// execution window at a time while the process keeps serving /metrics.
+// SessionService extracts that loop: each step() plays exactly one slot —
+// Bernoulli arrival, admission routing against residual switch capacity,
+// one execution attempt per active session at its tree rate (Eq. (2)),
+// timeout expiry — and reports what happened. ProtocolSimulator delegates
+// to it verbatim (same Rng call sequence, so seeded results are unchanged).
+//
+// Admission routing is pluggable: the default empty `algorithm` uses the
+// capacity-sharing Prim pass (routing::prim_based_shared) the simulator
+// always used; naming a routing::RouterRegistry entry ("alg3", "eqcast",
+// ...) instead routes each arrival on a residual-capacity copy of the
+// network, after which the returned tree is admitted only if it fits the
+// qubits actually free — so even a capacity-oblivious baseline cannot
+// oversubscribe a switch.
+//
+// Every step emits structured telemetry: session/* counters, gauges for
+// active sessions and qubit utilization, a completion-slots histogram, and
+// MUERP_LOG events (session/admitted, session/rejected, session/completed,
+// session/timeout) carrying slot, group size and tree rate fields.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "network/channel.hpp"
+#include "network/quantum_network.hpp"
+#include "routing/router.hpp"
+#include "simulation/protocol.hpp"
+#include "support/rng.hpp"
+#include "support/statistics.hpp"
+
+namespace muerp::sim {
+
+struct SessionServiceConfig {
+  ProtocolParams params;
+  /// RouterRegistry name used for admission routing; empty selects the
+  /// built-in capacity-sharing Prim pass (the ProtocolSimulator default).
+  std::string algorithm;
+  /// Forwarded to the registry router when `algorithm` is non-empty.
+  routing::RouterOptions router_options;
+};
+
+/// What one step() observed — the per-slot feed a daemon exports.
+struct SlotReport {
+  std::uint64_t slot = 0;
+  bool arrived = false;
+  bool admitted = false;
+  /// Entanglement rate of the tree admitted this slot (0 when none).
+  double admitted_rate = 0.0;
+  std::uint64_t completed = 0;
+  std::uint64_t timed_out = 0;
+  /// Sessions holding qubits after this slot's expiries.
+  std::size_t active_sessions = 0;
+  /// Fraction of all switch qubits pledged after this slot.
+  double qubit_utilization = 0.0;
+};
+
+class SessionService {
+ public:
+  /// `network` and `rng` must outlive the service; the rng is advanced by
+  /// every step() in a deterministic order.
+  SessionService(const net::QuantumNetwork& network,
+                 SessionServiceConfig config, support::Rng& rng);
+
+  /// Plays the next execution window. Call freely forever — the horizon in
+  /// config.params bounds ProtocolSimulator, not the service.
+  SlotReport step();
+
+  std::uint64_t slot() const noexcept { return slot_; }
+  std::size_t active_sessions() const noexcept { return active_.size(); }
+
+  /// Fraction of all switch qubits currently pledged to sessions.
+  double qubit_utilization() const noexcept;
+
+  /// Totals so far with the mean/in-flight fields computed — the same
+  /// numbers ProtocolSimulator::run() returns after the full horizon.
+  ProtocolMetrics metrics() const;
+
+ private:
+  struct ActiveSession {
+    net::EntanglementTree tree;
+    std::uint64_t admitted_slot = 0;
+    std::size_t group_size = 0;
+  };
+
+  /// Routes one arrival group; returns a feasible tree already committed to
+  /// capacity_, or an infeasible one with nothing held.
+  net::EntanglementTree admit(const std::vector<net::NodeId>& group);
+
+  const net::QuantumNetwork* network_;
+  SessionServiceConfig config_;
+  support::Rng* rng_;
+  const routing::Router* router_ = nullptr;  // null => shared-Prim admission
+
+  net::CapacityState capacity_;
+  std::vector<ActiveSession> active_;
+  ProtocolMetrics totals_;
+  support::Accumulator completion_slots_;
+  std::uint64_t slot_ = 0;
+  int total_switch_qubits_ = 0;
+  double utilization_sum_ = 0.0;
+};
+
+}  // namespace muerp::sim

@@ -5,6 +5,7 @@
 
 #include "simulation/monte_carlo.hpp"
 #include "support/statistics.hpp"
+#include "support/telemetry/telemetry.hpp"
 
 namespace muerp::sim {
 
@@ -50,10 +51,30 @@ CompletionStats TimeSlottedSimulator::measure(const net::EntanglementTree& tree,
     } else {
       ++stats.completed_runs;
       acc.add(static_cast<double>(slots));
+      MUERP_HISTOGRAM_OBSERVE("time_slotted/completion_slots", slots);
     }
   }
+  MUERP_COUNTER_ADD("time_slotted/runs", runs);
+  MUERP_COUNTER_ADD("time_slotted/aborted", stats.aborted_runs);
   stats.mean_slots = acc.mean();
   stats.stddev_slots = acc.stddev();
+  MUERP_LOG_DEBUG("time_slotted/measure",
+                  support::telemetry::field("runs", runs),
+                  support::telemetry::field("completed", stats.completed_runs),
+                  support::telemetry::field("aborted", stats.aborted_runs),
+                  support::telemetry::field("mean_slots", stats.mean_slots));
+  // A batch dominated by aborts means the tree cannot complete within
+  // max_slots at this decoherence budget — the saturation signal the
+  // Fig. 10-style experiments look for.
+  if (runs > 0 && stats.aborted_runs * 2 > runs) {
+    MUERP_LOG_INFO(
+        "time_slotted/saturated",
+        support::telemetry::field("aborted_fraction",
+                                  static_cast<double>(stats.aborted_runs) /
+                                      static_cast<double>(runs)),
+        support::telemetry::field("max_slots", params_.max_slots),
+        support::telemetry::field("memory_slots", params_.memory_slots));
+  }
   return stats;
 }
 

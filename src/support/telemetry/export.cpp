@@ -153,6 +153,18 @@ void write_json(std::ostream& out, const Snapshot& snapshot, int indent) {
     write_json_number(out, h.sum / static_cast<double>(h.count));
     out << ',';
     ind.newline(out);
+    out << "\"p50\": ";
+    write_json_number(out, h.quantile(0.5));
+    out << ',';
+    ind.newline(out);
+    out << "\"p95\": ";
+    write_json_number(out, h.quantile(0.95));
+    out << ',';
+    ind.newline(out);
+    out << "\"p99\": ";
+    write_json_number(out, h.quantile(0.99));
+    out << ',';
+    ind.newline(out);
     out << "\"buckets\": [";
     bool first_bucket = true;
     for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
@@ -217,6 +229,154 @@ Table counters_table(const Snapshot& snapshot, std::string title) {
                   {static_cast<double>(snapshot.counters[i])});
   }
   return table;
+}
+
+Table histograms_table(const Snapshot& snapshot, std::string title) {
+  Table table(std::move(title),
+              {"histogram", "count", "mean", "p50", "p95", "p99"});
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramData& h = snapshot.histograms[i];
+    if (h.count == 0) continue;
+    table.add_row(histogram_name(static_cast<std::uint32_t>(i)),
+                  {static_cast<double>(h.count),
+                   h.sum / static_cast<double>(h.count), h.quantile(0.5),
+                   h.quantile(0.95), h.quantile(0.99)});
+  }
+  return table;
+}
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; everything else (the '/'
+/// separators of our labels, '-', ...) maps to '_'.
+std::string sanitize_metric_name(std::string_view name) {
+  std::string out = "muerp_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+/// Label *values* keep the original label but escape backslash, double
+/// quote and newline per the exposition format.
+void write_label_value(std::ostream& out, std::string_view value) {
+  out << '"';
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out << "\\\\";
+        break;
+      case '"':
+        out << "\\\"";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      default:
+        out << c;
+    }
+  }
+  out << '"';
+}
+
+void write_metric_number(std::ostream& out, double v) {
+  if (std::isnan(v)) {
+    out << "NaN";
+  } else if (std::isinf(v)) {
+    out << (v > 0 ? "+Inf" : "-Inf");
+  } else {
+    std::ostringstream tmp;
+    tmp.precision(std::numeric_limits<double>::max_digits10);
+    tmp << v;
+    out << tmp.str();
+  }
+}
+
+}  // namespace
+
+void write_openmetrics(std::ostream& out, const Snapshot& snapshot) {
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (snapshot.counters[i] == 0) continue;
+    const std::string name =
+        sanitize_metric_name(counter_name(static_cast<std::uint32_t>(i)));
+    out << "# TYPE " << name << "_total counter\n";
+    out << name << "_total " << snapshot.counters[i] << '\n';
+  }
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    const std::string name =
+        sanitize_metric_name(gauge_name(static_cast<std::uint32_t>(i)));
+    out << "# TYPE " << name << " gauge\n";
+    out << name << ' ';
+    write_metric_number(out, snapshot.gauges[i]);
+    out << '\n';
+  }
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramData& h = snapshot.histograms[i];
+    if (h.count == 0) continue;
+    const std::string name =
+        sanitize_metric_name(histogram_name(static_cast<std::uint32_t>(i)));
+    out << "# TYPE " << name << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      cumulative += h.buckets[b];
+      // Sparse exposition: only buckets that change the cumulative count,
+      // plus the mandatory +Inf bucket. Prometheus interpolates correctly
+      // from any monotone subset of bucket bounds.
+      if (h.buckets[b] == 0 && b + 1 < kHistogramBuckets) continue;
+      out << name << "_bucket{le=";
+      std::ostringstream le;
+      write_metric_number(le, histogram_bucket_upper_bound(b));
+      write_label_value(out, le.str());
+      out << "} " << cumulative << '\n';
+    }
+    out << name << "_sum ";
+    write_metric_number(out, h.sum);
+    out << '\n';
+    out << name << "_count " << h.count << '\n';
+    out << "# TYPE " << name << "_quantile gauge\n";
+    for (const double q : {0.5, 0.95, 0.99}) {
+      out << name << "_quantile{q=";
+      std::ostringstream qs;
+      qs << q;
+      write_label_value(out, qs.str());
+      out << "} ";
+      write_metric_number(out, h.quantile(q));
+      out << '\n';
+    }
+  }
+  bool span_headers = false;
+  for (const std::size_t i : hot_span_order(snapshot)) {
+    const SpanStats& s = snapshot.spans[i];
+    if (!span_headers) {
+      out << "# TYPE muerp_span_calls_total counter\n"
+          << "# TYPE muerp_span_total_seconds gauge\n"
+          << "# TYPE muerp_span_self_seconds gauge\n";
+      span_headers = true;
+    }
+    const std::string label = span_label(static_cast<SpanId>(i));
+    out << "muerp_span_calls_total{span=";
+    write_label_value(out, label);
+    out << "} " << s.count << '\n';
+    out << "muerp_span_total_seconds{span=";
+    write_label_value(out, label);
+    out << "} ";
+    write_metric_number(out, static_cast<double>(s.total_ns) / 1e9);
+    out << '\n';
+    out << "muerp_span_self_seconds{span=";
+    write_label_value(out, label);
+    out << "} ";
+    write_metric_number(out, static_cast<double>(s.self_ns) / 1e9);
+    out << '\n';
+  }
+  out << "# EOF\n";
+}
+
+std::string to_openmetrics(const Snapshot& snapshot) {
+  std::ostringstream out;
+  write_openmetrics(out, snapshot);
+  return out.str();
 }
 
 void write_chrome_trace(std::ostream& out,

@@ -29,10 +29,12 @@ namespace muerp::support::telemetry {
 ///   {"counters": {name: value, ...},            // zero entries omitted
 ///    "gauges": {name: value, ...},
 ///    "histograms": {name: {"count": n, "sum": s, "mean": m,
+///                          "p50": ..., "p95": ..., "p99": ...,
 ///                          "buckets": [[upper_bound, count], ...]}, ...},
 ///    "spans": [{"label": l, "count": n, "total_ms": t, "self_ms": s}, ...]}
 /// Spans are sorted by total time descending (the flame view's hot-first
-/// order); histogram buckets with zero count are omitted.
+/// order); histogram buckets with zero count are omitted. p50/p95/p99 are
+/// the bucket-interpolated HistogramData::quantile estimates.
 void write_json(std::ostream& out, const Snapshot& snapshot,
                 int indent = 2);
 
@@ -46,6 +48,31 @@ Table spans_table(const Snapshot& snapshot,
 /// Non-zero counters, one row each.
 Table counters_table(const Snapshot& snapshot,
                      std::string title = "telemetry counters");
+
+/// Non-empty histograms: count / mean / p50 / p95 / p99 (bucket-interpolated
+/// quantiles), one row each.
+Table histograms_table(const Snapshot& snapshot,
+                       std::string title = "telemetry histograms");
+
+/// Writes `snapshot` in the Prometheus text exposition format (also valid
+/// as scraped by OpenMetrics consumers): instrument names are sanitized to
+/// [a-zA-Z0-9_:] and prefixed with "muerp_",
+///   - counters  -> `muerp_<name>_total` with `# TYPE ... counter`,
+///   - gauges    -> `muerp_<name>`       with `# TYPE ... gauge`,
+///   - histograms-> `muerp_<name>` histogram families with cumulative
+///                  `_bucket{le="..."}` series plus `_sum`/`_count`, and a
+///                  companion `muerp_<name>_quantile{q="0.5|0.95|0.99"}`
+///                  gauge family carrying the bucket-interpolated
+///                  p50/p95/p99 (Prometheus derives quantiles server-side;
+///                  the gauges serve dashboards scraping with plain curl),
+///   - spans     -> `muerp_span_calls_total`, `muerp_span_total_seconds`
+///                  and `muerp_span_self_seconds` labelled
+///                  {span="<label>"} (label values escaped per the spec).
+/// Ends with "# EOF". Empty instruments are omitted so an OFF build
+/// exposes an (almost) empty, still valid page.
+void write_openmetrics(std::ostream& out, const Snapshot& snapshot);
+
+std::string to_openmetrics(const Snapshot& snapshot);
 
 /// Writes `events` in Chrome trace_event JSON array format ("X" complete
 /// events, microsecond timestamps, one pid, tid = telemetry thread index).

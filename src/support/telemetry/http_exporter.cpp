@@ -1,0 +1,205 @@
+#include "support/telemetry/http_exporter.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "support/telemetry/export.hpp"
+#include "support/telemetry/log.hpp"
+#include "support/telemetry/metrics.hpp"
+#include "support/telemetry/trace.hpp"
+
+namespace muerp::support::telemetry {
+
+namespace {
+
+/// Reads until the end of the request headers (CRLFCRLF) or the peer stops
+/// sending; returns the first line. GET requests have no body, so this is
+/// all the parsing /metrics-style endpoints need.
+std::string read_request_line(int fd) {
+  std::string buffer;
+  char chunk[1024];
+  while (buffer.find("\r\n\r\n") == std::string::npos &&
+         buffer.size() < 16 * 1024) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  return buffer.substr(0, buffer.find("\r\n"));
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string http_response(int status, const char* status_text,
+                          const char* content_type, const std::string& body) {
+  std::ostringstream out;
+  out << "HTTP/1.1 " << status << ' ' << status_text << "\r\n"
+      << "Content-Type: " << content_type << "\r\n"
+      << "Content-Length: " << body.size() << "\r\n"
+      << "Connection: close\r\n\r\n"
+      << body;
+  return out.str();
+}
+
+}  // namespace
+
+HttpExporter::HttpExporter() : HttpExporter(Options()) {}
+
+HttpExporter::HttpExporter(Options options) : options_(std::move(options)) {}
+
+HttpExporter::~HttpExporter() { stop(); }
+
+bool HttpExporter::start(std::string* error) {
+  if (running_.load()) return true;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    if (error != nullptr) {
+      *error = "invalid bind address '" + options_.bind_address + "'";
+    }
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+          0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  bound_port_ = ntohs(bound.sin_port);
+
+  start_ns_ = monotonic_now_ns();
+  running_.store(true);
+  acceptor_ = std::thread([this] { serve(); });
+  return true;
+}
+
+void HttpExporter::stop() {
+  if (!running_.exchange(false)) {
+    if (acceptor_.joinable()) acceptor_.join();
+    return;
+  }
+  // shutdown() wakes the blocking accept() (returns with an error on
+  // Linux); close() alone can leave it sleeping.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void HttpExporter::set_health_fields(
+    std::function<void(std::string&)> appender) {
+  const std::lock_guard<std::mutex> lock(health_mutex_);
+  health_appender_ = std::move(appender);
+}
+
+void HttpExporter::serve() {
+  while (running_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load()) break;
+      if (errno == EINTR) continue;
+      break;  // listening socket gone
+    }
+    const std::string request_line = read_request_line(fd);
+    const std::string response = respond(request_line);
+    send_all(fd, response);
+    ::close(fd);
+    requests_.fetch_add(1);
+  }
+}
+
+std::string HttpExporter::respond(const std::string& request_line) {
+  // "GET /path HTTP/1.1" — everything else 400/404s.
+  std::istringstream parse(request_line);
+  std::string method;
+  std::string path;
+  parse >> method >> path;
+  if (method != "GET") {
+    return http_response(405, "Method Not Allowed", "text/plain",
+                         "only GET is supported\n");
+  }
+  // Strip a query string — scrapers sometimes append one.
+  if (const std::size_t q = path.find('?'); q != std::string::npos) {
+    path.resize(q);
+  }
+
+  if (path == "/metrics") {
+    return http_response(200, "OK",
+                         "text/plain; version=0.0.4; charset=utf-8",
+                         to_openmetrics(capture_process()));
+  }
+  if (path == "/healthz") {
+    std::string body = "{\"status\": \"ok\"";
+    body += ", \"uptime_s\": ";
+    {
+      std::ostringstream uptime;
+      uptime << static_cast<double>(monotonic_now_ns() - start_ns_) / 1e9;
+      body += uptime.str();
+    }
+    body += ", \"requests\": " + std::to_string(requests_.load());
+    body += ", \"telemetry\": ";
+    body += MUERP_TELEMETRY_ENABLED ? "true" : "false";
+    {
+      const std::lock_guard<std::mutex> lock(health_mutex_);
+      if (health_appender_) health_appender_(body);
+    }
+    body += "}\n";
+    return http_response(200, "OK", "application/json", body);
+  }
+  if (path == "/snapshot.json") {
+    std::ostringstream body;
+    body << "{\"metrics\": ";
+    write_json(body, capture_process(), /*indent=*/0);
+    body << ", \"events\": [";
+    const std::vector<LogEvent> events = recent_log_events();
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      if (i != 0) body << ", ";
+      body << render_log_event(events[i], LogFormat::kJson);
+    }
+    body << "]}\n";
+    return http_response(200, "OK", "application/json", body.str());
+  }
+  if (path == "/") {
+    return http_response(200, "OK", "text/plain",
+                         "muerp telemetry endpoint\n"
+                         "  /metrics        Prometheus text exposition\n"
+                         "  /healthz        health JSON\n"
+                         "  /snapshot.json  metrics + recent events JSON\n");
+  }
+  return http_response(404, "Not Found", "text/plain",
+                       "unknown path; try /metrics, /healthz or "
+                       "/snapshot.json\n");
+}
+
+}  // namespace muerp::support::telemetry

@@ -1,0 +1,90 @@
+// Dependency-free HTTP endpoint for the live telemetry registry.
+//
+// A single acceptor thread serves blocking, one-request-per-connection
+// HTTP/1.1 over a loopback (by default) TCP socket:
+//
+//   GET /metrics        capture_process() in Prometheus text exposition
+//                       format (write_openmetrics) — point a Prometheus
+//                       scrape job or `curl` here;
+//   GET /healthz        small JSON health document: {"status": "ok",
+//                       "uptime_s": ..., "requests": ...} plus any fields
+//                       the owning tool registered via set_health_fields
+//                       (muerpd adds slot/active-session/admission data);
+//   GET /snapshot.json  {"metrics": <export.hpp write_json>,
+//                        "events": [<recent structured log events>]} — the
+//                       full observable state in one machine-readable page.
+//
+// Scrapes read the same lock-free shards the hot paths write, so serving
+// /metrics never blocks routing work; the exporter is deliberately
+// single-threaded and synchronous (a scrape every few seconds from one
+// Prometheus is the design load, not a web server). The class works
+// identically in -DMUERP_TELEMETRY=OFF builds — pages are served with
+// whatever the stub registry returns (empty metrics), which keeps /healthz
+// usable everywhere.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace muerp::support::telemetry {
+
+class HttpExporter {
+ public:
+  struct Options {
+    /// TCP port to bind; 0 picks an ephemeral port (read it back via
+    /// port() after start()).
+    std::uint16_t port = 0;
+    /// Bind address. The default stays off the network; "0.0.0.0" exposes
+    /// the endpoint to the LAN (what a containerized muerpd wants).
+    std::string bind_address = "127.0.0.1";
+  };
+
+  HttpExporter();
+  explicit HttpExporter(Options options);
+  ~HttpExporter();
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  /// Binds, listens and starts the acceptor thread. Returns false (with
+  /// *error set when non-null) if the socket could not be bound.
+  bool start(std::string* error = nullptr);
+
+  /// Stops accepting, joins the acceptor thread. Idempotent; also called
+  /// by the destructor.
+  void stop();
+
+  bool running() const noexcept { return running_.load(); }
+
+  /// The bound port (resolves port 0 requests); 0 before start().
+  std::uint16_t port() const noexcept { return bound_port_; }
+
+  /// Total requests answered (including 404s) since start().
+  std::uint64_t requests_served() const noexcept {
+    return requests_.load();
+  }
+
+  /// Registers a callback appending extra `"key": value` JSON members to
+  /// the /healthz document (called per request under the exporter's lock;
+  /// it must emit a leading ", " before each member it writes).
+  void set_health_fields(std::function<void(std::string&)> appender);
+
+ private:
+  void serve();
+  std::string respond(const std::string& request_line);
+
+  Options options_;
+  int listen_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::uint64_t start_ns_ = 0;
+  std::thread acceptor_;
+  std::mutex health_mutex_;
+  std::function<void(std::string&)> health_appender_;
+};
+
+}  // namespace muerp::support::telemetry

@@ -23,6 +23,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -58,8 +59,20 @@ struct HistogramData {
   double sum = 0.0;
   std::array<std::uint64_t, kHistogramBuckets> buckets{};
 
+  /// Bucket-interpolated quantile estimate for q in [0, 1]: the bucket
+  /// containing the q-th observation is located, then the position inside
+  /// it is interpolated linearly between the bucket bounds (bucket 0 spans
+  /// [0, 1]; the unbounded overflow bucket reports its lower bound, the
+  /// most honest answer a bounded histogram can give). Returns 0 for an
+  /// empty histogram; q is clamped to [0, 1].
+  double quantile(double q) const noexcept;
+
   friend bool operator==(const HistogramData&, const HistogramData&) = default;
 };
+
+/// quantile() over several probabilities at once (e.g. {0.5, 0.95, 0.99}).
+std::vector<double> quantiles(const HistogramData& histogram,
+                              std::span<const double> probabilities);
 
 /// Flame-style aggregate for one span label: total time includes children,
 /// self time excludes them.
@@ -165,6 +178,10 @@ Snapshot capture_process();
 /// This thread's raw value of one counter (used by the PerfCounters shim).
 std::uint64_t counter_thread_value(std::uint32_t id) noexcept;
 
+/// The dense index the registry assigned this thread (creating the shard if
+/// needed) — the same value TraceEvent.thread and log events carry.
+std::uint32_t current_thread_index() noexcept;
+
 #else  // MUERP_TELEMETRY_ENABLED
 
 class Counter {
@@ -191,6 +208,7 @@ class Histogram {
 inline Snapshot capture_thread() { return {}; }
 inline Snapshot capture_process() { return {}; }
 inline std::uint64_t counter_thread_value(std::uint32_t) noexcept { return 0; }
+inline std::uint32_t current_thread_index() noexcept { return 0; }
 
 #endif  // MUERP_TELEMETRY_ENABLED
 

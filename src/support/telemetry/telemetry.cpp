@@ -37,6 +37,39 @@ std::size_t histogram_bucket_index(double value) noexcept {
   return std::min(index, kHistogramBuckets - 1);
 }
 
+double HistogramData::quantile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  // Rank of the q-th observation (1-based, ceil), then walk the cumulative
+  // bucket counts until it is reached.
+  const double rank = std::max(1.0, std::ceil(q * static_cast<double>(count)));
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    const std::uint64_t next = cumulative + buckets[b];
+    if (static_cast<double>(next) >= rank) {
+      const double upper = histogram_bucket_upper_bound(b);
+      const double lower = b == 0 ? 0.0 : histogram_bucket_upper_bound(b - 1);
+      if (!std::isfinite(upper)) return lower;  // unbounded overflow bucket
+      // Linear interpolation of the rank's position inside this bucket.
+      const double into_bucket =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(buckets[b]);
+      return lower + (upper - lower) * into_bucket;
+    }
+    cumulative = next;
+  }
+  return histogram_bucket_upper_bound(kHistogramBuckets - 2);  // unreachable
+}
+
+std::vector<double> quantiles(const HistogramData& histogram,
+                              std::span<const double> probabilities) {
+  std::vector<double> out;
+  out.reserve(probabilities.size());
+  for (const double q : probabilities) out.push_back(histogram.quantile(q));
+  return out;
+}
+
 namespace {
 
 template <typename T>
@@ -144,6 +177,7 @@ struct SpanFrame {
   SpanId id = 0;
   std::uint64_t start_ns = 0;
   std::uint64_t child_ns = 0;  ///< accumulated duration of direct children
+  std::uint64_t trace_id = 0;  ///< inherited from the top-level frame
 };
 
 // Single-writer relaxed read-modify-write: only the owning thread stores,
@@ -174,6 +208,7 @@ struct ThreadState {
   std::vector<TraceEvent> ring;
   std::uint64_t dropped = 0;  // guarded by ring_mutex
   std::uint32_t thread_index = 0;
+  std::uint64_t trace_counter = 0;  ///< top-level span entries on this thread
 
   ThreadState();
   ~ThreadState();
@@ -334,6 +369,8 @@ std::uint64_t counter_thread_value(std::uint32_t id) noexcept {
   return tls().counters[id].load(std::memory_order_relaxed);
 }
 
+std::uint32_t current_thread_index() noexcept { return tls().thread_index; }
+
 Snapshot capture_thread() {
   Registry& r = registry();
   std::size_t n_counters = 0, n_histograms = 0, n_spans = 0;
@@ -370,7 +407,22 @@ SpanId intern_span(std::string_view label) {
 }
 
 ScopedSpan::ScopedSpan(SpanId id) noexcept : id_(id) {
-  tls().stack.push_back({id, monotonic_now_ns(), 0});
+  ThreadState& t = tls();
+  // A fresh top-level span starts a new trace; nested spans inherit it.
+  const std::uint64_t trace_id =
+      t.stack.empty()
+          ? (static_cast<std::uint64_t>(t.thread_index) << 32) |
+                (++t.trace_counter & 0xffffffffULL)
+          : t.stack.back().trace_id;
+  t.stack.push_back({id, monotonic_now_ns(), 0, trace_id});
+}
+
+SpanContext current_span_context() noexcept {
+  const ThreadState& t = tls();
+  if (t.stack.empty()) return {};
+  const SpanFrame& frame = t.stack.back();
+  return {true, frame.id, static_cast<std::uint32_t>(t.stack.size()),
+          frame.trace_id};
 }
 
 ScopedSpan::~ScopedSpan() {

@@ -15,6 +15,7 @@
 // (subsystem first); the exporters group and sort by the full label.
 #pragma once
 
+#include "support/telemetry/log.hpp"
 #include "support/telemetry/metrics.hpp"
 #include "support/telemetry/trace.hpp"
 

@@ -36,12 +36,29 @@ struct TraceEvent {
   std::uint64_t duration_ns = 0;
 };
 
+/// Where the calling thread currently is in the span tree — the correlation
+/// anchor the structured log attaches to every event (log.hpp). `trace_id`
+/// is assigned when the thread enters a top-level span and shared by every
+/// nested span (and log event) until that span exits, so all activity of
+/// one logical operation carries one id. It encodes the thread index in the
+/// high 32 bits, so ids are process-unique without synchronization.
+struct SpanContext {
+  bool active = false;         ///< false outside any span (fields are 0)
+  SpanId span = 0;             ///< innermost open span
+  std::uint32_t depth = 0;     ///< nesting depth (1 = top level)
+  std::uint64_t trace_id = 0;  ///< stable across one top-level span entry
+};
+
 #if MUERP_TELEMETRY_ENABLED
 
 /// Registers `label` (idempotent) and returns its dense id. Call once per
 /// call site via a function-local static; throws std::length_error past
 /// kMaxSpans.
 SpanId intern_span(std::string_view label);
+
+/// The calling thread's innermost open span and its trace id; `active` is
+/// false (all fields zero) outside any span.
+SpanContext current_span_context() noexcept;
 
 /// RAII span frame. Must be strictly scoped (the tracer assumes LIFO
 /// nesting per thread, which C++ object lifetime guarantees).
@@ -74,6 +91,7 @@ std::uint64_t monotonic_now_ns() noexcept;
 #else  // MUERP_TELEMETRY_ENABLED
 
 inline SpanId intern_span(std::string_view) noexcept { return 0; }
+inline SpanContext current_span_context() noexcept { return {}; }
 
 class ScopedSpan {
  public:

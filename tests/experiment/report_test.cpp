@@ -31,13 +31,14 @@ TEST(Report, FigureShapes) {
 TEST(Report, AllFiguresInPaperOrder) {
   const ReportBuilder builder(tiny_options());
   const auto figures = builder.all_figures();
-  ASSERT_EQ(figures.size(), 6u);
+  ASSERT_EQ(figures.size(), 7u);
   EXPECT_EQ(figures[0].id, "fig5");
   EXPECT_EQ(figures[1].id, "fig6a");
   EXPECT_EQ(figures[2].id, "fig6b");
   EXPECT_EQ(figures[3].id, "fig7a");
-  EXPECT_EQ(figures[4].id, "fig8a");
-  EXPECT_EQ(figures[5].id, "fig8b");
+  EXPECT_EQ(figures[4].id, "fig7b");
+  EXPECT_EQ(figures[5].id, "fig8a");
+  EXPECT_EQ(figures[6].id, "fig8b");
 }
 
 TEST(Report, ParallelMatchesSerial) {
@@ -68,7 +69,7 @@ TEST(Report, WritesArtifactDirectory) {
   EXPECT_NE(text.find("\\|U\\|"), std::string::npos);
   EXPECT_EQ(text.find("| |U| |"), std::string::npos);
 
-  for (const char* id : {"fig5", "fig6a", "fig6b", "fig7a", "fig8a",
+  for (const char* id : {"fig5", "fig6a", "fig6b", "fig7a", "fig7b", "fig8a",
                          "fig8b"}) {
     EXPECT_TRUE(std::filesystem::exists(dir + "/" + id + ".csv")) << id;
   }

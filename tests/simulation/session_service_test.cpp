@@ -1,0 +1,167 @@
+#include "simulation/session_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include "experiment/scenario.hpp"
+#include "simulation/protocol.hpp"
+
+namespace muerp::sim {
+namespace {
+
+net::QuantumNetwork service_network(std::uint64_t seed = 11) {
+  experiment::Scenario s;
+  s.switch_count = 30;
+  s.user_count = 8;
+  s.qubits_per_switch = 6;
+  s.attenuation = 2e-5;
+  s.seed = seed;
+  return experiment::instantiate(s, 0).network;
+}
+
+ProtocolParams light_params() {
+  ProtocolParams params;
+  params.horizon_slots = 4000;
+  params.arrival_prob_per_slot = 0.05;
+  return params;
+}
+
+/// Steps a service over a full horizon and returns its metrics plus every
+/// slot report for invariants checking.
+ProtocolMetrics run_stepped(SessionService& service, std::uint64_t slots,
+                            std::vector<SlotReport>* reports = nullptr) {
+  for (std::uint64_t i = 0; i < slots; ++i) {
+    const SlotReport report = service.step();
+    if (reports != nullptr) reports->push_back(report);
+  }
+  return service.metrics();
+}
+
+TEST(SessionService, SteppedRunMatchesProtocolSimulator) {
+  const auto net = service_network();
+  const ProtocolParams params = light_params();
+
+  support::Rng sim_rng(7);
+  const ProtocolMetrics expected =
+      ProtocolSimulator(net, params).run(sim_rng);
+
+  support::Rng svc_rng(7);
+  SessionService service(net, SessionServiceConfig{params, "", {}}, svc_rng);
+  const ProtocolMetrics actual = run_stepped(service, params.horizon_slots);
+
+  EXPECT_EQ(actual.sessions_arrived, expected.sessions_arrived);
+  EXPECT_EQ(actual.sessions_admitted, expected.sessions_admitted);
+  EXPECT_EQ(actual.sessions_rejected, expected.sessions_rejected);
+  EXPECT_EQ(actual.sessions_completed, expected.sessions_completed);
+  EXPECT_EQ(actual.sessions_timed_out, expected.sessions_timed_out);
+  EXPECT_EQ(actual.sessions_in_flight, expected.sessions_in_flight);
+  EXPECT_DOUBLE_EQ(actual.mean_completion_slots,
+                   expected.mean_completion_slots);
+  EXPECT_DOUBLE_EQ(actual.mean_qubit_utilization,
+                   expected.mean_qubit_utilization);
+}
+
+TEST(SessionService, SlotReportsSumToMetrics) {
+  const auto net = service_network();
+  const ProtocolParams params = light_params();
+  support::Rng rng(3);
+  SessionService service(net, SessionServiceConfig{params, "", {}}, rng);
+  std::vector<SlotReport> reports;
+  const ProtocolMetrics m =
+      run_stepped(service, params.horizon_slots, &reports);
+
+  std::uint64_t arrived = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t timed_out = 0;
+  for (const SlotReport& r : reports) {
+    arrived += r.arrived ? 1 : 0;
+    admitted += r.admitted ? 1 : 0;
+    completed += r.completed;
+    timed_out += r.timed_out;
+    EXPECT_GE(r.qubit_utilization, 0.0);
+    EXPECT_LE(r.qubit_utilization, 1.0);
+    if (r.admitted) {
+      EXPECT_GT(r.admitted_rate, 0.0);
+    }
+  }
+  EXPECT_EQ(arrived, m.sessions_arrived);
+  EXPECT_EQ(admitted, m.sessions_admitted);
+  EXPECT_EQ(completed, m.sessions_completed);
+  EXPECT_EQ(timed_out, m.sessions_timed_out);
+  EXPECT_EQ(reports.back().slot, params.horizon_slots);
+  EXPECT_EQ(service.slot(), params.horizon_slots);
+  EXPECT_EQ(m.sessions_in_flight, service.active_sessions());
+}
+
+TEST(SessionService, RegistryAlgorithmAccountingIsConsistent) {
+  const auto net = service_network();
+  ProtocolParams params = light_params();
+  SessionServiceConfig config;
+  config.params = params;
+  config.algorithm = "alg3";
+  config.router_options.pin_alg2_sufficient = false;
+  support::Rng rng(5);
+  SessionService service(net, config, rng);
+  const ProtocolMetrics m = run_stepped(service, params.horizon_slots);
+
+  EXPECT_GT(m.sessions_arrived, 0u);
+  EXPECT_EQ(m.sessions_arrived, m.sessions_admitted + m.sessions_rejected);
+  EXPECT_EQ(m.sessions_admitted,
+            m.sessions_completed + m.sessions_timed_out + m.sessions_in_flight);
+  EXPECT_GE(m.mean_qubit_utilization, 0.0);
+  EXPECT_LE(m.mean_qubit_utilization, 1.0);
+}
+
+TEST(SessionService, RegistryAlgorithmNeverOversubscribesCapacity) {
+  const auto net = service_network(17);
+  ProtocolParams params;
+  params.horizon_slots = 3000;
+  params.arrival_prob_per_slot = 0.5;  // heavy load to stress admission
+  params.session_timeout_slots = 800;
+  SessionServiceConfig config;
+  config.params = params;
+  config.algorithm = "eqcast";  // capacity-oblivious baseline
+  config.router_options.pin_alg2_sufficient = false;
+  support::Rng rng(9);
+  SessionService service(net, config, rng);
+  for (std::uint64_t i = 0; i < params.horizon_slots; ++i) {
+    service.step();
+    // The residual-capacity guard must keep the pledge fraction physical
+    // after every single slot, even for a router that ignores capacity.
+    ASSERT_LE(service.qubit_utilization(), 1.0 + 1e-12) << "slot " << i;
+  }
+}
+
+TEST(SessionService, UnknownAlgorithmThrows) {
+  const auto net = service_network();
+  SessionServiceConfig config;
+  config.algorithm = "definitely-not-a-router";
+  support::Rng rng(1);
+  EXPECT_THROW(SessionService(net, config, rng), std::exception);
+}
+
+TEST(SessionService, ZeroArrivalStaysIdle) {
+  const auto net = service_network();
+  ProtocolParams params = light_params();
+  params.arrival_prob_per_slot = 0.0;
+  support::Rng rng(2);
+  SessionService service(net, SessionServiceConfig{params, "", {}}, rng);
+  const ProtocolMetrics m = run_stepped(service, 500);
+  EXPECT_EQ(m.sessions_arrived, 0u);
+  EXPECT_EQ(service.active_sessions(), 0u);
+  EXPECT_DOUBLE_EQ(service.qubit_utilization(), 0.0);
+}
+
+TEST(SessionService, StepsBeyondProtocolHorizonKeepWorking) {
+  const auto net = service_network();
+  ProtocolParams params = light_params();
+  params.horizon_slots = 100;  // the service is not bounded by it
+  support::Rng rng(4);
+  SessionService service(net, SessionServiceConfig{params, "", {}}, rng);
+  const ProtocolMetrics m = run_stepped(service, 2000);
+  EXPECT_EQ(service.slot(), 2000u);
+  EXPECT_GT(m.sessions_arrived, 0u);
+}
+
+}  // namespace
+}  // namespace muerp::sim

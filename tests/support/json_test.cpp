@@ -1,0 +1,98 @@
+#include "support/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace muerp::support::json {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse("null").value.is_null());
+  EXPECT_TRUE(parse("true").value.bool_value);
+  EXPECT_FALSE(parse("false").value.bool_value);
+  EXPECT_DOUBLE_EQ(parse("42").value.number_value, 42.0);
+  EXPECT_DOUBLE_EQ(parse("-3.25e2").value.number_value, -325.0);
+  EXPECT_EQ(parse("\"hi\"").value.string_value, "hi");
+}
+
+TEST(JsonParse, NumberPrecisionSurvives) {
+  const auto r = parse("1.7976931348623157e308");
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value.number_value, 1.7976931348623157e308);
+}
+
+TEST(JsonParse, NestedContainers) {
+  const auto r = parse(R"({"a": [1, {"b": "c"}, null], "d": {"e": true}})");
+  ASSERT_TRUE(r.ok()) << r.error;
+  const Value& v = r.value;
+  ASSERT_TRUE(v.is_object());
+  ASSERT_TRUE(v["a"].is_array());
+  EXPECT_EQ(v["a"].elements.size(), 3u);
+  EXPECT_DOUBLE_EQ(v["a"][0].number_value, 1.0);
+  EXPECT_EQ(v["a"][1]["b"].string_value, "c");
+  EXPECT_TRUE(v["a"][2].is_null());
+  EXPECT_TRUE(v["d"]["e"].bool_value);
+}
+
+TEST(JsonParse, MemberOrderPreserved) {
+  const auto r = parse(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value.members.size(), 3u);
+  EXPECT_EQ(r.value.members[0].first, "z");
+  EXPECT_EQ(r.value.members[1].first, "a");
+  EXPECT_EQ(r.value.members[2].first, "m");
+}
+
+TEST(JsonParse, StringEscapes) {
+  const auto r = parse(R"("q\" b\\ s\/ \b \f \n \r \t uA bmp€")");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.value.string_value, "q\" b\\ s/ \b \f \n \r \t uA bmp\xe2\x82\xac");
+}
+
+TEST(JsonParse, RejectsMalformed) {
+  EXPECT_FALSE(parse("").ok());
+  EXPECT_FALSE(parse("{").ok());
+  EXPECT_FALSE(parse("[1,]").ok());
+  EXPECT_FALSE(parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(parse("\"unterminated").ok());
+  EXPECT_FALSE(parse("\"bad \\x escape\"").ok());
+  EXPECT_FALSE(parse("nul").ok());
+  EXPECT_FALSE(parse("\"raw control \x01\"").ok());
+}
+
+TEST(JsonParse, RejectsTrailingGarbage) {
+  const auto r = parse("{} extra");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("offset"), std::string::npos);
+}
+
+TEST(JsonParse, RejectsSurrogateEscapes) {
+  EXPECT_FALSE(parse(R"("\uD83D\uDE00")").ok());
+  EXPECT_FALSE(parse(R"("\uDC00")").ok());
+}
+
+TEST(JsonParse, RawUtf8PassesThrough) {
+  const auto r = parse("\"caf\xc3\xa9\"");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.value.string_value, "caf\xc3\xa9");
+}
+
+TEST(JsonParse, WhitespaceTolerant) {
+  const auto r = parse("  \n\t{ \"a\" :\n[ 1 , 2 ]\t} \n ");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.value["a"].elements.size(), 2u);
+}
+
+TEST(JsonValue, MissesReturnSharedNull) {
+  const auto r = parse(R"({"a": 1})");
+  ASSERT_TRUE(r.ok());
+  // Chained lookups through absent keys/indices never crash.
+  const Value& miss = r.value["nope"]["deeper"][7]["more"];
+  EXPECT_TRUE(miss.is_null());
+  EXPECT_EQ(r.value.find("nope"), nullptr);
+  EXPECT_NE(r.value.find("a"), nullptr);
+  // Non-object lookup is also a safe miss.
+  EXPECT_TRUE(r.value["a"]["not_an_object"].is_null());
+}
+
+}  // namespace
+}  // namespace muerp::support::json

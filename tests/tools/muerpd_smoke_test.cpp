@@ -1,0 +1,96 @@
+// End-to-end smoke test for the muerpd daemon: spawn the real binary on an
+// ephemeral port, scrape its HTTP plane while the session loop is live, and
+// verify a clean bounded-run exit. The binary path is injected by CMake as
+// MUERPD_BINARY.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace {
+
+std::string http_get(std::uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  std::string response;
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n";
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0 &&
+      ::send(fd, request.data(), request.size(), 0) ==
+          static_cast<ssize_t>(request.size())) {
+    char buffer[4096];
+    ssize_t n = 0;
+    while ((n = ::recv(fd, buffer, sizeof buffer, 0)) > 0) {
+      response.append(buffer, static_cast<std::size_t>(n));
+    }
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(MuerpdSmoke, ServesMetricsAndExitsCleanly) {
+  // Bounded run: ~4000 paced slots at 1 ms leave several seconds of live
+  // scraping window, then the daemon exits on its own.
+  const std::string command = std::string(MUERPD_BINARY) +
+                              " --port 0 --slots 4000 --slot-ms 1"
+                              " --arrival 0.2 --seed 3 2>/dev/null";
+  FILE* pipe = ::popen(command.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+
+  // First stdout line announces the bound endpoint:
+  //   muerpd: serving on 127.0.0.1:<port>
+  char line[256] = {};
+  ASSERT_NE(std::fgets(line, sizeof line, pipe), nullptr);
+  const std::string serving(line);
+  ASSERT_NE(serving.find("muerpd: serving on 127.0.0.1:"), std::string::npos)
+      << serving;
+  const std::uint16_t port = static_cast<std::uint16_t>(
+      std::strtoul(serving.c_str() + serving.rfind(':') + 1, nullptr, 10));
+  ASSERT_NE(port, 0);
+
+  // Live scrape: a valid exposition page and a healthy health document.
+  const std::string metrics = http_get(port, "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("# EOF"), std::string::npos);
+  const std::string health = http_get(port, "/healthz");
+  EXPECT_NE(health.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(health.find("\"status\": \"ok\""), std::string::npos);
+  EXPECT_NE(health.find("\"algorithm\""), std::string::npos);
+
+  // Drain the remaining output; the daemon must finish its bounded run and
+  // exit 0, printing the summary table.
+  std::string rest;
+  while (std::fgets(line, sizeof line, pipe) != nullptr) rest += line;
+  const int status = ::pclose(pipe);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  EXPECT_NE(rest.find("muerpd session service"), std::string::npos);
+  EXPECT_NE(rest.find("sessions arrived"), std::string::npos);
+}
+
+TEST(MuerpdSmoke, RejectsUnknownAlgorithm) {
+  const std::string command =
+      std::string(MUERPD_BINARY) +
+      " --port 0 --slots 1 --algorithm no-such-router 2>/dev/null";
+  FILE* pipe = ::popen(command.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  char line[256];
+  while (std::fgets(line, sizeof line, pipe) != nullptr) {
+  }
+  const int status = ::pclose(pipe);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_NE(WEXITSTATUS(status), 0);
+}
+
+}  // namespace

@@ -378,6 +378,10 @@ int main(int argc, char** argv) {
   cli.add_flag("algorithms", "comma list of registry names (sweep)", "");
   cli.add_flag("telemetry", "write per-algorithm telemetry JSON (sweep)", "");
   cli.add_flag("trace", "write a Chrome trace of the whole run", "");
+  cli.add_flag("log-level", "structured event log: debug|info|warn|error|off",
+               "warn");
+  cli.add_flag("log-format", "structured event log rendering: text|json",
+               "text");
   cli.add_flag("local-search", "apply the exchange pass after routing");
   cli.add_flag("dot", "write Graphviz DOT of the plan", "");
   cli.add_flag("svg", "write an SVG rendering of the plan", "");
@@ -392,6 +396,23 @@ int main(int argc, char** argv) {
                  " simulate sweep\n";
     return 1;
   }
+  // Structured event log knobs; the default (warn, text) keeps existing
+  // output unchanged.
+  support::telemetry::LogLevel log_level;
+  if (!support::telemetry::parse_log_level(cli.get_string("log-level"),
+                                           &log_level)) {
+    return fail("unknown --log-level '" + cli.get_string("log-level") +
+                "' (debug|info|warn|error|off)");
+  }
+  support::telemetry::set_log_level(log_level);
+  support::telemetry::LogFormat log_format;
+  if (!support::telemetry::parse_log_format(cli.get_string("log-format"),
+                                            &log_format)) {
+    return fail("unknown --log-format '" + cli.get_string("log-format") +
+                "' (text|json)");
+  }
+  support::telemetry::set_log_format(log_format);
+
   // --trace records every span of the run as Chrome trace events
   // (chrome://tracing); a no-op in MUERP_TELEMETRY=OFF builds.
   const std::string trace = cli.get_string("trace");

@@ -1,0 +1,257 @@
+// muerpd — long-running entanglement routing service with a live
+// observability plane.
+//
+// Wraps sim::SessionService (arrivals -> admission routing -> execution
+// windows) in a paced slot loop and exposes the full telemetry registry
+// over HTTP while it runs:
+//
+//   GET /metrics        Prometheus text exposition (scrape target)
+//   GET /healthz        liveness JSON with slot/session/admission state
+//   GET /snapshot.json  metrics + recent structured log events
+//
+// Examples:
+//   muerpd --port 9464                       # paper-default Waxman network
+//   muerpd --net n.txt --algorithm alg3      # serve a saved network
+//   muerpd --slots 20000 --slot-ms 0         # finite, unpaced (benchmarks)
+//   muerpd --log-format json --log-level debug
+//
+// The daemon prints "serving on <addr>:<port>" once the endpoint is up
+// (port 0 binds an ephemeral port — tests parse the line), then steps one
+// execution window every --slot-ms until --slots windows elapsed or
+// SIGINT/SIGTERM. Exit prints the ProtocolMetrics summary table.
+#include <csignal>
+#include <chrono>
+#include <iostream>
+#include <mutex>
+#include <thread>
+
+#include "muerp.hpp"
+
+namespace {
+
+using namespace muerp;
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_stop(int) { g_stop = 1; }
+
+int fail(const std::string& message) {
+  std::cerr << "muerpd: " << message << '\n';
+  return 1;
+}
+
+std::string known_algorithms() {
+  std::string known;
+  for (const std::string& name : routing::RouterRegistry::instance().names()) {
+    if (!known.empty()) known += '|';
+    known += name;
+  }
+  return known;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::CliParser cli(
+      "muerpd — entanglement routing session service with /metrics");
+  cli.add_flag("net", "network file (else generate from scenario flags)", "");
+  cli.add_flag("topology", "waxman|ws|volchenkov (generated)", "waxman");
+  cli.add_flag("switches", "switch count (generated)", "50");
+  cli.add_flag("users", "user count (generated)", "10");
+  cli.add_flag("qubits", "qubits per switch (generated)", "6");
+  cli.add_flag("degree", "average degree (generated)", "6");
+  cli.add_flag("alpha", "fiber attenuation 1/km (generated)", "2e-5");
+  cli.add_flag("swap", "BSM success probability (generated)", "0.9");
+  cli.add_flag("seed", "random seed (network + arrivals)", "1");
+  cli.add_flag("algorithm",
+               "admission router: shared-prim or a registry name", "");
+  cli.add_flag("arrival", "session arrival probability per slot", "0.05");
+  cli.add_flag("min-group", "smallest session group size", "2");
+  cli.add_flag("max-group", "largest session group size", "4");
+  cli.add_flag("timeout", "session timeout in slots", "500");
+  cli.add_flag("slots", "stop after this many slots (0 = until signal)", "0");
+  cli.add_flag("slot-ms", "pacing: milliseconds per slot (0 = unpaced)", "10");
+  cli.add_flag("port", "HTTP port (0 = ephemeral)", "9464");
+  cli.add_flag("bind", "HTTP bind address", "127.0.0.1");
+  cli.add_flag("log-level", "debug|info|warn|error|off", "info");
+  cli.add_flag("log-format", "text|json", "text");
+  if (!cli.parse(argc, argv)) return 1;
+
+  // Observability knobs first, so network construction already logs.
+  support::telemetry::LogLevel level;
+  if (!support::telemetry::parse_log_level(cli.get_string("log-level"),
+                                           &level)) {
+    return fail("unknown --log-level '" + cli.get_string("log-level") +
+                "' (debug|info|warn|error|off)");
+  }
+  support::telemetry::set_log_level(level);
+  support::telemetry::LogFormat format;
+  if (!support::telemetry::parse_log_format(cli.get_string("log-format"),
+                                            &format)) {
+    return fail("unknown --log-format '" + cli.get_string("log-format") +
+                "' (text|json)");
+  }
+  support::telemetry::set_log_format(format);
+
+  // The served network: a file, or a scenario-generated instance.
+  std::optional<net::QuantumNetwork> network;
+  if (const std::string path = cli.get_string("net"); !path.empty()) {
+    auto result = net::load_network_file(path);
+    if (std::holds_alternative<std::string>(result)) {
+      return fail("cannot load " + path + ": " +
+                  std::get<std::string>(result));
+    }
+    network = std::move(std::get<net::QuantumNetwork>(result));
+  } else {
+    experiment::Scenario s;
+    const std::string kind = cli.get_string("topology");
+    if (kind == "waxman") {
+      s.topology = experiment::TopologyKind::kWaxman;
+    } else if (kind == "ws") {
+      s.topology = experiment::TopologyKind::kWattsStrogatz;
+    } else if (kind == "volchenkov") {
+      s.topology = experiment::TopologyKind::kVolchenkov;
+    } else {
+      return fail("unknown --topology '" + kind + "' (waxman|ws|volchenkov)");
+    }
+    s.switch_count =
+        static_cast<std::size_t>(cli.get_int("switches").value_or(50));
+    s.user_count = static_cast<std::size_t>(cli.get_int("users").value_or(10));
+    s.qubits_per_switch = static_cast<int>(cli.get_int("qubits").value_or(6));
+    s.average_degree = cli.get_double("degree").value_or(6.0);
+    s.attenuation = cli.get_double("alpha").value_or(2e-5);
+    s.swap_success = cli.get_double("swap").value_or(0.9);
+    s.seed = static_cast<std::uint64_t>(cli.get_int("seed").value_or(1));
+    network = std::move(experiment::instantiate(s, 0).network);
+  }
+
+  sim::SessionServiceConfig config;
+  config.algorithm = cli.get_string("algorithm");
+  if (config.algorithm == "shared-prim") config.algorithm.clear();
+  if (!config.algorithm.empty() &&
+      !routing::RouterRegistry::instance().contains(config.algorithm)) {
+    return fail("unknown --algorithm '" + config.algorithm +
+                "' (shared-prim|" + known_algorithms() + ")");
+  }
+  // Registry admission routes on a residual-capacity copy; Algorithm 2's
+  // sufficient-condition boost would fake qubits the service doesn't have.
+  config.router_options.pin_alg2_sufficient = false;
+  config.params.arrival_prob_per_slot = cli.get_double("arrival").value_or(0.05);
+  config.params.min_group_size =
+      static_cast<std::size_t>(cli.get_int("min-group").value_or(2));
+  config.params.max_group_size =
+      static_cast<std::size_t>(cli.get_int("max-group").value_or(4));
+  config.params.session_timeout_slots =
+      static_cast<std::uint64_t>(cli.get_int("timeout").value_or(500));
+  if (config.params.min_group_size < 2 ||
+      config.params.max_group_size < config.params.min_group_size ||
+      config.params.max_group_size > network->users().size()) {
+    return fail("group sizes must satisfy 2 <= min <= max <= user count (" +
+                std::to_string(network->users().size()) + ")");
+  }
+  const auto max_slots =
+      static_cast<std::uint64_t>(cli.get_int("slots").value_or(0));
+  const auto slot_ms = cli.get_int("slot-ms").value_or(10);
+  const std::string algorithm_label =
+      config.algorithm.empty() ? "shared-prim" : config.algorithm;
+
+  support::Rng rng(cli.get_int("seed").value_or(1));
+  sim::SessionService service(*network, config, rng);
+
+  // Observability plane up before the first slot so a scraper never sees
+  // connection refused while the service is live.
+  support::telemetry::HttpExporter::Options http;
+  http.port = static_cast<std::uint16_t>(cli.get_int("port").value_or(9464));
+  http.bind_address = cli.get_string("bind");
+  support::telemetry::HttpExporter exporter(http);
+  // /healthz reads the service from the acceptor thread while the main loop
+  // steps it, so both sides take this mutex around service access.
+  std::mutex service_mutex;
+  exporter.set_health_fields([&service, &service_mutex,
+                              &algorithm_label](std::string& body) {
+    const std::lock_guard<std::mutex> lock(service_mutex);
+    body += ", \"algorithm\": \"" + algorithm_label + "\"";
+    body += ", \"slot\": " + std::to_string(service.slot());
+    body += ", \"active_sessions\": " +
+            std::to_string(service.active_sessions());
+    const auto m = service.metrics();
+    body += ", \"sessions_arrived\": " + std::to_string(m.sessions_arrived);
+    body += ", \"sessions_admitted\": " + std::to_string(m.sessions_admitted);
+    body += ", \"sessions_completed\": " +
+            std::to_string(m.sessions_completed);
+  });
+  std::string error;
+  if (!exporter.start(&error)) {
+    return fail("cannot serve on " + http.bind_address + ":" +
+                std::to_string(http.port) + ": " + error);
+  }
+  std::cout << "muerpd: serving on " << http.bind_address << ":"
+            << exporter.port() << std::endl;
+  MUERP_LOG_INFO("muerpd/start", support::telemetry::field(
+                                     "algorithm", algorithm_label),
+                 support::telemetry::field("port", exporter.port()),
+                 support::telemetry::field("users", network->users().size()),
+                 support::telemetry::field("switches",
+                                           network->switches().size()));
+
+  std::signal(SIGINT, handle_stop);
+  std::signal(SIGTERM, handle_stop);
+
+  // Per-algorithm instruments (runtime labels — one daemon, one algorithm,
+  // but a Prometheus server aggregating several muerpds can tell them
+  // apart by name).
+  const support::telemetry::Counter slots_counter("muerpd/slots/" +
+                                                  algorithm_label);
+  const support::telemetry::Counter requests_counter("muerpd/requests/" +
+                                                     algorithm_label);
+  const support::telemetry::Counter admitted_counter("muerpd/admitted/" +
+                                                     algorithm_label);
+  const support::telemetry::Counter completed_counter("muerpd/completed/" +
+                                                      algorithm_label);
+  const support::telemetry::Histogram slot_us_histogram("muerpd/slot_us/" +
+                                                        algorithm_label);
+
+  while (g_stop == 0 && (max_slots == 0 || service.slot() < max_slots)) {
+    const auto wake = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(slot_ms);
+    const std::uint64_t t0 = support::telemetry::monotonic_now_ns();
+    sim::SlotReport report;
+    {
+      const std::lock_guard<std::mutex> lock(service_mutex);
+      report = service.step();
+    }
+    slot_us_histogram.observe(
+        static_cast<double>(support::telemetry::monotonic_now_ns() - t0) /
+        1e3);
+    slots_counter.add();
+    if (report.arrived) requests_counter.add();
+    if (report.admitted) admitted_counter.add();
+    if (report.completed > 0) completed_counter.add(report.completed);
+    if (slot_ms > 0 && g_stop == 0) std::this_thread::sleep_until(wake);
+  }
+
+  const sim::ProtocolMetrics m = service.metrics();
+  MUERP_LOG_INFO("muerpd/stop", support::telemetry::field("slot", service.slot()),
+                 support::telemetry::field("arrived", m.sessions_arrived),
+                 support::telemetry::field("completed", m.sessions_completed));
+  exporter.stop();
+
+  support::Table summary("muerpd session service (" + algorithm_label + ")",
+                         {"metric", "value"});
+  summary.add_row("slots played", {static_cast<double>(service.slot())});
+  summary.add_row("sessions arrived",
+                  {static_cast<double>(m.sessions_arrived)});
+  summary.add_row("sessions admitted",
+                  {static_cast<double>(m.sessions_admitted)});
+  summary.add_row("sessions completed",
+                  {static_cast<double>(m.sessions_completed)});
+  summary.add_row("sessions timed out",
+                  {static_cast<double>(m.sessions_timed_out)});
+  summary.add_row("admitted fraction", {m.admitted_fraction()});
+  summary.add_row("mean completion slots", {m.mean_completion_slots});
+  summary.add_row("mean qubit utilization", {m.mean_qubit_utilization});
+  summary.add_row("http requests served",
+                  {static_cast<double>(exporter.requests_served())});
+  std::cout << summary;
+  return 0;
+}
