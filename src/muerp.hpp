@@ -58,7 +58,9 @@
 #include "support/table.hpp"              // IWYU pragma: export
 #include "support/telemetry/export.hpp"   // IWYU pragma: export
 #include "support/telemetry/http_exporter.hpp"  // IWYU pragma: export
+#include "support/telemetry/sampler.hpp"  // IWYU pragma: export
 #include "support/telemetry/telemetry.hpp"  // IWYU pragma: export
+#include "support/telemetry/timeseries.hpp"  // IWYU pragma: export
 #include "topology/analysis.hpp"          // IWYU pragma: export
 #include "topology/perturb.hpp"           // IWYU pragma: export
 #include "topology/reference.hpp"         // IWYU pragma: export

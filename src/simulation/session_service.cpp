@@ -10,6 +10,9 @@ namespace muerp::sim {
 
 using support::telemetry::field;
 
+/// Per-session events go through the config.log_events_per_second bucket.
+constexpr auto kInfo = support::telemetry::LogLevel::kInfo;
+
 namespace {
 
 /// True when deducting 2 qubits per interior vertex of every channel in
@@ -37,6 +40,8 @@ SessionService::SessionService(const net::QuantumNetwork& network,
     : network_(&network),
       config_(std::move(config)),
       rng_(&rng),
+      log_bucket_(config_.log_events_per_second,
+                  config_.log_events_per_second),
       capacity_(network) {
   assert(config_.params.min_group_size >= 2);
   assert(config_.params.max_group_size >= config_.params.min_group_size);
@@ -112,8 +117,11 @@ SlotReport SessionService::step() {
   SlotReport report;
   report.slot = ++slot_;
 
-  // 1. Arrivals: the central node routes against residual capacity.
-  if (rng_->bernoulli(config_.params.arrival_prob_per_slot)) {
+  // 1. Arrivals: the central node routes against residual capacity. The
+  //    enabled check comes first so a draining service (arrivals off) skips
+  //    the draw; when enabled the Rng sequence is untouched.
+  if (arrivals_enabled_ &&
+      rng_->bernoulli(config_.params.arrival_prob_per_slot)) {
     report.arrived = true;
     ++totals_.sessions_arrived;
     MUERP_COUNTER_INC("session/arrived");
@@ -133,19 +141,20 @@ SlotReport SessionService::step() {
       ++totals_.sessions_admitted;
       MUERP_COUNTER_INC("session/admitted");
       MUERP_HISTOGRAM_OBSERVE("session/admitted_rate_ppm", tree.rate * 1e6);
-      MUERP_LOG_INFO("session/admitted", field("slot", slot_),
-                     field("group_size", size), field("rate", tree.rate),
-                     field("channels", tree.channels.size()),
-                     field("active", active_.size() + 1));
+      MUERP_LOG_RATE_LIMITED(log_bucket_, kInfo, "session/admitted",
+                             field("slot", slot_), field("group_size", size),
+                             field("rate", tree.rate),
+                             field("channels", tree.channels.size()),
+                             field("active", active_.size() + 1));
       active_.push_back({std::move(tree), slot_, size});
     } else {
       ++totals_.sessions_rejected;
       const double utilization = qubit_utilization();
       MUERP_COUNTER_INC("session/rejected");
-      MUERP_LOG_INFO("session/rejected", field("slot", slot_),
-                     field("group_size", size),
-                     field("active", active_.size()),
-                     field("qubit_utilization", utilization));
+      MUERP_LOG_RATE_LIMITED(log_bucket_, kInfo, "session/rejected",
+                             field("slot", slot_), field("group_size", size),
+                             field("active", active_.size()),
+                             field("qubit_utilization", utilization));
       // Rejection with most of the qubit pool pledged is saturation (the
       // switch fabric, not the topology, refused the session).
       if (utilization >= 0.9) {
@@ -172,17 +181,19 @@ SlotReport SessionService::step() {
         completion_slots_.add(static_cast<double>(held_slots));
         MUERP_COUNTER_INC("session/completed");
         MUERP_HISTOGRAM_OBSERVE("session/completion_slots", held_slots);
-        MUERP_LOG_INFO("session/completed", field("slot", slot_),
-                       field("group_size", session.group_size),
-                       field("held_slots", held_slots));
+        MUERP_LOG_RATE_LIMITED(log_bucket_, kInfo, "session/completed",
+                               field("slot", slot_),
+                               field("group_size", session.group_size),
+                               field("held_slots", held_slots));
       } else {
         ++report.timed_out;
         ++totals_.sessions_timed_out;
         MUERP_COUNTER_INC("session/timed_out");
-        MUERP_LOG_INFO("session/timeout", field("slot", slot_),
-                       field("group_size", session.group_size),
-                       field("held_slots", held_slots),
-                       field("rate", session.tree.rate));
+        MUERP_LOG_RATE_LIMITED(log_bucket_, kInfo, "session/timeout",
+                               field("slot", slot_),
+                               field("group_size", session.group_size),
+                               field("held_slots", held_slots),
+                               field("rate", session.tree.rate));
       }
       for (const net::Channel& ch : session.tree.channels) {
         capacity_.release_channel(ch.path);

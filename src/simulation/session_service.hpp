@@ -34,6 +34,7 @@
 #include "simulation/protocol.hpp"
 #include "support/rng.hpp"
 #include "support/statistics.hpp"
+#include "support/telemetry/log.hpp"
 
 namespace muerp::sim {
 
@@ -44,6 +45,13 @@ struct SessionServiceConfig {
   std::string algorithm;
   /// Forwarded to the registry router when `algorithm` is non-empty.
   routing::RouterOptions router_options;
+  /// Token-bucket budget for per-session MUERP_LOG events (admitted /
+  /// rejected / completed / timeout). 0 (the default) means unlimited —
+  /// the historical behavior; a daemon serving thousands of slots per
+  /// second opts into a budget so the log ring keeps hours of context
+  /// instead of milliseconds. Suppressed counts are readable via
+  /// SessionService::log_events_suppressed().
+  double log_events_per_second = 0.0;
 };
 
 /// What one step() observed — the per-slot feed a daemon exports.
@@ -75,6 +83,22 @@ class SessionService {
   std::uint64_t slot() const noexcept { return slot_; }
   std::size_t active_sessions() const noexcept { return active_.size(); }
 
+  /// Gates the Bernoulli arrival draw. While enabled (the default) the Rng
+  /// call sequence is exactly the historical one — ProtocolSimulator's
+  /// seeded results depend on that. Disabling skips the draw entirely:
+  /// active sessions keep playing execution windows but nothing new is
+  /// admitted, which is how muerpd drains in-flight work on SIGTERM.
+  void set_arrivals_enabled(bool enabled) noexcept {
+    arrivals_enabled_ = enabled;
+  }
+  bool arrivals_enabled() const noexcept { return arrivals_enabled_; }
+
+  /// Per-session log events dropped by the config.log_events_per_second
+  /// budget (always 0 when the budget is 0 / telemetry is compiled out).
+  std::uint64_t log_events_suppressed() const noexcept {
+    return log_bucket_.suppressed();
+  }
+
   /// Fraction of all switch qubits currently pledged to sessions.
   double qubit_utilization() const noexcept;
 
@@ -97,6 +121,8 @@ class SessionService {
   SessionServiceConfig config_;
   support::Rng* rng_;
   const routing::Router* router_ = nullptr;  // null => shared-Prim admission
+  bool arrivals_enabled_ = true;
+  support::telemetry::LogTokenBucket log_bucket_;
 
   net::CapacityState capacity_;
   std::vector<ActiveSession> active_;

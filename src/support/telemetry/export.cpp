@@ -245,6 +245,20 @@ Table histograms_table(const Snapshot& snapshot, std::string title) {
   return table;
 }
 
+std::string snapshot_document(const Snapshot& snapshot,
+                              std::span<const LogEvent> events) {
+  std::ostringstream body;
+  body << "{\"metrics\": ";
+  write_json(body, snapshot, /*indent=*/0);
+  body << ", \"events\": [";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i != 0) body << ", ";
+    body << render_log_event(events[i], LogFormat::kJson);
+  }
+  body << "]}\n";
+  return body.str();
+}
+
 namespace {
 
 /// Prometheus metric names allow [a-zA-Z0-9_:]; everything else (the '/'

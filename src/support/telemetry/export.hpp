@@ -16,6 +16,7 @@
 #include <span>
 #include <string>
 
+#include "support/telemetry/log.hpp"
 #include "support/telemetry/metrics.hpp"
 #include "support/telemetry/trace.hpp"
 
@@ -53,6 +54,13 @@ Table counters_table(const Snapshot& snapshot,
 /// quantiles), one row each.
 Table histograms_table(const Snapshot& snapshot,
                        std::string title = "telemetry histograms");
+
+/// The /snapshot.json document: {"metrics": <write_json>, "events":
+/// [<rendered log events>]} with a trailing newline. Shared by the HTTP
+/// exporter and muerpd's --snapshot-out shutdown dump so both emit the
+/// exact same page.
+std::string snapshot_document(const Snapshot& snapshot,
+                              std::span<const LogEvent> events);
 
 /// Writes `snapshot` in the Prometheus text exposition format (also valid
 /// as scraped by OpenMetrics consumers): instrument names are sanitized to

@@ -4,34 +4,49 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <cmath>
+#include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <sstream>
 
 #include "support/telemetry/export.hpp"
 #include "support/telemetry/log.hpp"
 #include "support/telemetry/metrics.hpp"
+#include "support/telemetry/timeseries.hpp"
 #include "support/telemetry/trace.hpp"
 
 namespace muerp::support::telemetry {
 
 namespace {
 
-/// Reads until the end of the request headers (CRLFCRLF) or the peer stops
-/// sending; returns the first line. GET requests have no body, so this is
-/// all the parsing /metrics-style endpoints need.
-std::string read_request_line(int fd) {
+/// Outcome of reading one request head (up to CRLFCRLF).
+enum class ReadStatus { kOk, kEmpty, kTooLarge };
+
+/// Reads until the end of the request headers (CRLFCRLF), the peer stops
+/// sending, the recv timeout fires, or `max_bytes` is exceeded; returns the
+/// first line. GET requests have no body, so this is all the parsing
+/// /metrics-style endpoints need. EINTR is retried; a timeout (EAGAIN under
+/// SO_RCVTIMEO) ends the read with whatever arrived so far.
+ReadStatus read_request_line(int fd, std::size_t max_bytes,
+                             std::string* line) {
   std::string buffer;
   char chunk[1024];
-  while (buffer.find("\r\n\r\n") == std::string::npos &&
-         buffer.size() < 16 * 1024) {
+  while (buffer.find("\r\n\r\n") == std::string::npos) {
+    if (buffer.size() >= max_bytes) return ReadStatus::kTooLarge;
     const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
-    if (n <= 0) break;
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // peer closed, timed out, or errored
     buffer.append(chunk, static_cast<std::size_t>(n));
   }
-  return buffer.substr(0, buffer.find("\r\n"));
+  const std::size_t eol = buffer.find("\r\n");
+  if (eol == std::string::npos && buffer.empty()) return ReadStatus::kEmpty;
+  *line = buffer.substr(0, eol);
+  return ReadStatus::kOk;
 }
 
 void send_all(int fd, const std::string& data) {
@@ -39,9 +54,91 @@ void send_all(int fd, const std::string& data) {
   while (sent < data.size()) {
     const ssize_t n =
         ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
-    if (n <= 0) return;
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return;  // peer gone or send timeout — nothing to salvage
     sent += static_cast<std::size_t>(n);
   }
+}
+
+/// %XX-decodes one query component ('+' means space per form encoding).
+std::string url_decode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out.push_back(' ');
+    } else if (s[i] == '%' && i + 2 < s.size()) {
+      const auto hex = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        return -1;
+      };
+      const int hi = hex(s[i + 1]);
+      const int lo = hex(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+      } else {
+        out.push_back('%');
+      }
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+/// First value of `key` in a raw "a=1&b=2" query string, decoded; empty
+/// when absent.
+std::string query_param(std::string_view query, std::string_view key) {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string_view::npos) amp = query.size();
+    const std::string_view pair = query.substr(pos, amp - pos);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key) {
+      return url_decode(pair.substr(eq + 1));
+    }
+    pos = amp + 1;
+  }
+  return {};
+}
+
+/// Strictly positive seconds, or `fallback` when the parameter is absent;
+/// NaN flags a malformed value.
+double seconds_param(std::string_view query, std::string_view key,
+                     double fallback) {
+  const std::string raw = query_param(query, key);
+  if (raw.empty()) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(raw.c_str(), &end);
+  if (end == raw.c_str() || *end != '\0' || !std::isfinite(value) ||
+      value <= 0.0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return value;
+}
+
+void append_json_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  std::ostringstream tmp;
+  tmp.precision(std::numeric_limits<double>::max_digits10);
+  tmp << v;
+  out += tmp.str();
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+  }
+  out.push_back('"');
 }
 
 std::string http_response(int status, const char* status_text,
@@ -123,6 +220,10 @@ void HttpExporter::set_health_fields(
   health_appender_ = std::move(appender);
 }
 
+void HttpExporter::set_time_series(const TimeSeriesStore* store) {
+  time_series_.store(store);
+}
+
 void HttpExporter::serve() {
   while (running_.load()) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
@@ -131,16 +232,31 @@ void HttpExporter::serve() {
       if (errno == EINTR) continue;
       break;  // listening socket gone
     }
-    const std::string request_line = read_request_line(fd);
-    const std::string response = respond(request_line);
-    send_all(fd, response);
+    if (options_.recv_timeout_ms > 0) {
+      timeval timeout{};
+      timeout.tv_sec = options_.recv_timeout_ms / 1000;
+      timeout.tv_usec = (options_.recv_timeout_ms % 1000) * 1000;
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof timeout);
+    }
+    std::string request_line;
+    const ReadStatus status =
+        read_request_line(fd, options_.max_request_bytes, &request_line);
+    if (status == ReadStatus::kTooLarge) {
+      send_all(fd, http_response(431, "Request Header Fields Too Large",
+                                 "text/plain", "request head too large\n"));
+    } else if (status == ReadStatus::kOk) {
+      send_all(fd, respond(request_line));
+    }
+    // kEmpty: the client connected and sent nothing before closing or
+    // timing out — drop it without counting a request.
     ::close(fd);
-    requests_.fetch_add(1);
+    if (status != ReadStatus::kEmpty) requests_.fetch_add(1);
   }
 }
 
 std::string HttpExporter::respond(const std::string& request_line) {
-  // "GET /path HTTP/1.1" — everything else 400/404s.
+  // "GET /path[?query] HTTP/1.1" — everything else 400/404s.
   std::istringstream parse(request_line);
   std::string method;
   std::string path;
@@ -149,9 +265,19 @@ std::string HttpExporter::respond(const std::string& request_line) {
     return http_response(405, "Method Not Allowed", "text/plain",
                          "only GET is supported\n");
   }
-  // Strip a query string — scrapers sometimes append one.
+  // Split off the query string (the /api/v1 endpoints consume it; plain
+  // scrape paths ignore whatever a scraper appended).
+  std::string query;
   if (const std::size_t q = path.find('?'); q != std::string::npos) {
+    query = path.substr(q + 1);
     path.resize(q);
+  }
+
+  if (path == "/api/v1/range") {
+    return respond_range(query);
+  }
+  if (path == "/api/v1/metrics") {
+    return respond_series_index();
   }
 
   if (path == "/metrics") {
@@ -178,28 +304,102 @@ std::string HttpExporter::respond(const std::string& request_line) {
     return http_response(200, "OK", "application/json", body);
   }
   if (path == "/snapshot.json") {
-    std::ostringstream body;
-    body << "{\"metrics\": ";
-    write_json(body, capture_process(), /*indent=*/0);
-    body << ", \"events\": [";
     const std::vector<LogEvent> events = recent_log_events();
-    for (std::size_t i = 0; i < events.size(); ++i) {
-      if (i != 0) body << ", ";
-      body << render_log_event(events[i], LogFormat::kJson);
-    }
-    body << "]}\n";
-    return http_response(200, "OK", "application/json", body.str());
+    return http_response(200, "OK", "application/json",
+                         snapshot_document(capture_process(), events));
   }
   if (path == "/") {
-    return http_response(200, "OK", "text/plain",
-                         "muerp telemetry endpoint\n"
-                         "  /metrics        Prometheus text exposition\n"
-                         "  /healthz        health JSON\n"
-                         "  /snapshot.json  metrics + recent events JSON\n");
+    return http_response(
+        200, "OK", "text/plain",
+        "muerp telemetry endpoint\n"
+        "  /metrics         Prometheus text exposition\n"
+        "  /healthz         health JSON\n"
+        "  /snapshot.json   metrics + recent events JSON\n"
+        "  /api/v1/range    windowed time series "
+        "(?metric=...&window=<s>&step=<s>)\n"
+        "  /api/v1/metrics  names the time-series store has history for\n");
   }
   return http_response(404, "Not Found", "text/plain",
-                       "unknown path; try /metrics, /healthz or "
-                       "/snapshot.json\n");
+                       "unknown path; try /metrics, /healthz, "
+                       "/snapshot.json or /api/v1/range\n");
+}
+
+std::string HttpExporter::respond_range(const std::string& query) {
+  const TimeSeriesStore* store = time_series_.load();
+  if (store == nullptr) {
+    return http_response(404, "Not Found", "application/json",
+                         "{\"error\": \"no time-series store attached\"}\n");
+  }
+  const std::string metric = query_param(query, "metric");
+  if (metric.empty()) {
+    return http_response(400, "Bad Request", "application/json",
+                         "{\"error\": \"missing ?metric=\"}\n");
+  }
+  const double window_s = seconds_param(query, "window", 60.0);
+  const double step_s = seconds_param(query, "step", 1.0);
+  if (!(window_s > 0.0) || !(step_s > 0.0) || window_s > 86400.0 ||
+      step_s > window_s) {
+    return http_response(
+        400, "Bad Request", "application/json",
+        "{\"error\": \"window/step must satisfy 0 < step <= window <= "
+        "86400 seconds\"}\n");
+  }
+  const auto window_ns = static_cast<std::uint64_t>(window_s * 1e9);
+  const auto step_ns = static_cast<std::uint64_t>(step_s * 1e9);
+  const RangeSeries series = store->range(metric, window_ns, step_ns);
+
+  std::string body = "{\"metric\": ";
+  append_json_string(body, metric);
+  body += ", \"kind\": \"";
+  body += metric_kind_name(series.kind);
+  body += "\", \"window_s\": ";
+  append_json_number(body, window_s);
+  body += ", \"step_s\": ";
+  append_json_number(body, step_s);
+  body += ", \"samples\": " + std::to_string(store->size());
+  body += ", \"points\": [";
+  const bool histogram = series.kind == MetricKind::kHistogram;
+  for (std::size_t i = 0; i < series.points.size(); ++i) {
+    const RangePoint& p = series.points[i];
+    if (i != 0) body += ", ";
+    body += "{\"t_s\": ";
+    append_json_number(body, p.t_s);
+    body += ", \"value\": ";
+    append_json_number(body, p.value);
+    if (histogram) {
+      body += ", \"p50\": ";
+      append_json_number(body, p.p50);
+      body += ", \"p95\": ";
+      append_json_number(body, p.p95);
+      body += ", \"p99\": ";
+      append_json_number(body, p.p99);
+    }
+    body += '}';
+  }
+  body += "]}\n";
+  return http_response(200, "OK", "application/json", body);
+}
+
+std::string HttpExporter::respond_series_index() {
+  const TimeSeriesStore* store = time_series_.load();
+  if (store == nullptr) {
+    return http_response(404, "Not Found", "application/json",
+                         "{\"error\": \"no time-series store attached\"}\n");
+  }
+  std::string body = "{\"samples\": " + std::to_string(store->size());
+  body += ", \"capacity\": " + std::to_string(store->capacity());
+  body += ", \"metrics\": [";
+  const std::vector<MetricEntry> entries = store->metrics();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (i != 0) body += ", ";
+    body += "{\"name\": ";
+    append_json_string(body, entries[i].name);
+    body += ", \"kind\": \"";
+    body += metric_kind_name(entries[i].kind);
+    body += "\"}";
+  }
+  body += "]}\n";
+  return http_response(200, "OK", "application/json", body);
 }
 
 }  // namespace muerp::support::telemetry

@@ -12,7 +12,21 @@
 //                       (muerpd adds slot/active-session/admission data);
 //   GET /snapshot.json  {"metrics": <export.hpp write_json>,
 //                        "events": [<recent structured log events>]} — the
-//                       full observable state in one machine-readable page.
+//                       full observable state in one machine-readable page;
+//   GET /api/v1/range   windowed time-series queries against an attached
+//                       TimeSeriesStore (set_time_series):
+//                       ?metric=<name>&window=<s>&step=<s> returns
+//                       {"metric", "kind", "window_s", "step_s", "samples",
+//                        "points": [{"t_s", "value"[, "p50","p95","p99"]}]}
+//                       — counters as per-second rates, gauges as levels,
+//                       histograms as windowed-exact quantiles per step;
+//   GET /api/v1/metrics names the store has history for, plus retention.
+//
+// Robustness: request heads are read under a fixed byte budget with a
+// recv timeout (a slow or stalled client cannot pin the acceptor forever),
+// EINTR is retried on both the read and write side, partial send()s resume,
+// and the listener sets SO_REUSEADDR so a restarted daemon rebinds its port
+// immediately instead of waiting out TIME_WAIT.
 //
 // Scrapes read the same lock-free shards the hot paths write, so serving
 // /metrics never blocks routing work; the exporter is deliberately
@@ -24,6 +38,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <mutex>
@@ -31,6 +46,8 @@
 #include <thread>
 
 namespace muerp::support::telemetry {
+
+class TimeSeriesStore;
 
 class HttpExporter {
  public:
@@ -41,6 +58,11 @@ class HttpExporter {
     /// Bind address. The default stays off the network; "0.0.0.0" exposes
     /// the endpoint to the LAN (what a containerized muerpd wants).
     std::string bind_address = "127.0.0.1";
+    /// Per-connection receive timeout: a client that connects and then
+    /// stalls is dropped after this long instead of pinning the acceptor.
+    int recv_timeout_ms = 2000;
+    /// Request heads larger than this are answered 431 and closed.
+    std::size_t max_request_bytes = 8192;
   };
 
   HttpExporter();
@@ -72,9 +94,15 @@ class HttpExporter {
   /// it must emit a leading ", " before each member it writes).
   void set_health_fields(std::function<void(std::string&)> appender);
 
+  /// Attaches the historical time-series plane served under /api/v1/
+  /// (nullptr detaches; the store must outlive the exporter while set).
+  void set_time_series(const TimeSeriesStore* store);
+
  private:
   void serve();
   std::string respond(const std::string& request_line);
+  std::string respond_range(const std::string& query);
+  std::string respond_series_index();
 
   Options options_;
   int listen_fd_ = -1;
@@ -85,6 +113,7 @@ class HttpExporter {
   std::thread acceptor_;
   std::mutex health_mutex_;
   std::function<void(std::string&)> health_appender_;
+  std::atomic<const TimeSeriesStore*> time_series_{nullptr};
 };
 
 }  // namespace muerp::support::telemetry

@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <initializer_list>
 #include <iosfwd>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -177,6 +178,33 @@ std::uint64_t log_events_emitted() noexcept;
 /// newline) — exposed for the exporters and tests.
 std::string render_log_event(const LogEvent& event, LogFormat format);
 
+/// Wall-clock token bucket for rate-limiting noisy log call sites (per-slot
+/// events in a long daemon run would otherwise flood the ring and the
+/// sink). Refills `per_second` tokens up to `burst`; try_acquire() takes
+/// one token or counts the event as suppressed. Thread-safe; pair it with
+/// MUERP_LOG_RATE_LIMITED so suppressed events keep their fields
+/// unevaluated.
+class LogTokenBucket {
+ public:
+  /// `per_second` <= 0 disables limiting: every try_acquire() succeeds.
+  LogTokenBucket(double per_second, double burst) noexcept;
+  LogTokenBucket(const LogTokenBucket&) = delete;
+  LogTokenBucket& operator=(const LogTokenBucket&) = delete;
+
+  bool try_acquire() noexcept;
+
+  /// Events refused since construction.
+  std::uint64_t suppressed() const noexcept;
+
+ private:
+  const double per_second_;
+  const double burst_;
+  mutable std::mutex mutex_;
+  double tokens_;                 // guarded by mutex_
+  std::uint64_t last_ns_ = 0;     // guarded by mutex_
+  std::uint64_t suppressed_ = 0;  // guarded by mutex_
+};
+
 #else  // MUERP_TELEMETRY_ENABLED
 
 inline LogLevel log_level() noexcept { return LogLevel::kOff; }
@@ -193,6 +221,15 @@ inline std::vector<LogEvent> recent_log_events(std::size_t = 256) {
 inline std::uint64_t log_events_emitted() noexcept { return 0; }
 inline std::string render_log_event(const LogEvent&, LogFormat) { return {}; }
 
+class LogTokenBucket {
+ public:
+  LogTokenBucket(double, double) noexcept {}
+  LogTokenBucket(const LogTokenBucket&) = delete;
+  LogTokenBucket& operator=(const LogTokenBucket&) = delete;
+  bool try_acquire() noexcept { return false; }
+  std::uint64_t suppressed() const noexcept { return 0; }
+};
+
 #endif  // MUERP_TELEMETRY_ENABLED
 
 }  // namespace muerp::support::telemetry
@@ -208,11 +245,39 @@ inline std::string render_log_event(const LogEvent&, LogFormat) { return {}; }
     }                                                                         \
   } while (0)
 
+/// MUERP_LOG that emits only every n-th execution of this call site (the
+/// 1st, n+1-th, ...). The counter advances only when `level` clears the
+/// threshold, so lowering the level later still starts at the 1st event.
+#define MUERP_LOG_EVERY_N(n, level, name, ...)                                \
+  do {                                                                        \
+    if (::muerp::support::telemetry::log_enabled(level)) {                    \
+      static ::std::atomic<::std::uint64_t> muerp_log_every_{0};              \
+      if (muerp_log_every_.fetch_add(1, ::std::memory_order_relaxed) %        \
+              static_cast<::std::uint64_t>(n) ==                              \
+          0) {                                                                \
+        ::muerp::support::telemetry::log_event(level, name, {__VA_ARGS__});   \
+      }                                                                       \
+    }                                                                         \
+  } while (0)
+
+/// MUERP_LOG gated by a LogTokenBucket: suppressed events never evaluate
+/// their field expressions and are counted by bucket.suppressed().
+#define MUERP_LOG_RATE_LIMITED(bucket, level, name, ...)                      \
+  do {                                                                        \
+    if (::muerp::support::telemetry::log_enabled(level) &&                    \
+        (bucket).try_acquire()) {                                             \
+      ::muerp::support::telemetry::log_event(level, name, {__VA_ARGS__});     \
+    }                                                                         \
+  } while (0)
+
 #else  // MUERP_TELEMETRY_ENABLED
 
 // Arguments are swallowed unevaluated (sizeof of a lambda type keeps any
 // referenced variables "used" without generating code).
 #define MUERP_LOG(level, name, ...) static_cast<void>(0)
+#define MUERP_LOG_EVERY_N(n, level, name, ...) static_cast<void>(sizeof(n))
+#define MUERP_LOG_RATE_LIMITED(bucket, level, name, ...)                      \
+  static_cast<void>(sizeof(&(bucket)))
 
 #endif  // MUERP_TELEMETRY_ENABLED
 

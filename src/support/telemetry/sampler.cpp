@@ -1,0 +1,59 @@
+#include "support/telemetry/sampler.hpp"
+
+#if MUERP_TELEMETRY_ENABLED
+
+#include "support/telemetry/trace.hpp"
+
+namespace muerp::support::telemetry {
+
+Sampler::Sampler(TimeSeriesStore& store) : Sampler(store, Options{}) {}
+
+Sampler::Sampler(TimeSeriesStore& store, Options options)
+    : store_(&store), options_(options) {
+  if (options_.interval <= std::chrono::milliseconds(0)) {
+    options_.interval = std::chrono::milliseconds(1);
+  }
+}
+
+Sampler::~Sampler() { stop(); }
+
+void Sampler::start() {
+  if (running_.load()) return;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_requested_ = false;
+  }
+  running_.store(true);
+  thread_ = std::thread([this] { run(); });
+}
+
+void Sampler::stop() {
+  if (!running_.exchange(false)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Sampler::run() {
+  // The first sample is taken immediately: it establishes the store's
+  // delta baseline, so real increments show up one interval later.
+  while (true) {
+    store_->append(monotonic_now_ns(), capture_process());
+    samples_.fetch_add(1);
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (cv_.wait_for(lock, options_.interval,
+                     [this] { return stop_requested_; })) {
+      break;
+    }
+  }
+}
+
+}  // namespace muerp::support::telemetry
+
+#endif  // MUERP_TELEMETRY_ENABLED

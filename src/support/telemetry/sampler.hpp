@@ -1,0 +1,89 @@
+// Background snapshot sampler feeding a TimeSeriesStore.
+//
+// One thread captures capture_process() at a fixed interval and appends it
+// to the store, stamped with monotonic_now_ns(). Scrapes read the same
+// lock-free shards the hot paths write, so sampling never blocks routing
+// work; the only synchronization is the store's own mutex at append time.
+//
+// start() takes the first sample immediately (it becomes the store's delta
+// baseline), so windowed queries have data one interval after startup.
+// stop() is prompt — the wait is a condition variable, not a sleep — and
+// idempotent; the destructor stops too.
+//
+// Under -DMUERP_TELEMETRY=OFF the sampler compiles to an inert stub: no
+// thread is ever spawned, start()/stop() are no-ops, and tools keep their
+// --sample-interval-ms flags parsing identically.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "support/telemetry/timeseries.hpp"
+
+namespace muerp::support::telemetry {
+
+#if MUERP_TELEMETRY_ENABLED
+
+class Sampler {
+ public:
+  struct Options {
+    std::chrono::milliseconds interval{1000};
+  };
+
+  /// `store` must outlive the sampler.
+  explicit Sampler(TimeSeriesStore& store);
+  Sampler(TimeSeriesStore& store, Options options);
+  ~Sampler();
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Spawns the sampling thread (idempotent while running).
+  void start();
+
+  /// Stops and joins the thread. Idempotent.
+  void stop();
+
+  bool running() const noexcept { return running_.load(); }
+
+  /// Snapshots captured since construction (across start/stop cycles).
+  std::uint64_t samples_taken() const noexcept { return samples_.load(); }
+
+ private:
+  void run();
+
+  TimeSeriesStore* store_;
+  Options options_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;  // guarded by mutex_
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> samples_{0};
+  std::thread thread_;
+};
+
+#else  // MUERP_TELEMETRY_ENABLED
+
+class Sampler {
+ public:
+  struct Options {
+    std::chrono::milliseconds interval{1000};
+  };
+
+  explicit Sampler(TimeSeriesStore&) {}
+  Sampler(TimeSeriesStore&, Options) {}
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  void start() {}
+  void stop() {}
+  bool running() const noexcept { return false; }
+  std::uint64_t samples_taken() const noexcept { return 0; }
+};
+
+#endif  // MUERP_TELEMETRY_ENABLED
+
+}  // namespace muerp::support::telemetry

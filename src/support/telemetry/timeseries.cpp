@@ -1,0 +1,291 @@
+#include "support/telemetry/timeseries.hpp"
+
+#include <algorithm>
+
+namespace muerp::support::telemetry {
+
+std::string_view metric_kind_name(MetricKind kind) noexcept {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+    case MetricKind::kNone:
+      break;
+  }
+  return "none";
+}
+
+#if MUERP_TELEMETRY_ENABLED
+
+namespace {
+
+/// Range queries allocate one accumulator per step; cap the step count so a
+/// hostile window/step combination cannot balloon the transient allocation.
+constexpr std::uint64_t kMaxRangeSteps = 4096;
+
+std::uint64_t saturating_sub(std::uint64_t a, std::uint64_t b) noexcept {
+  return a > b ? a - b : 0;
+}
+
+}  // namespace
+
+TimeSeriesStore::TimeSeriesStore(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 2)) {
+  ring_.reserve(capacity_);
+}
+
+const TimeSeriesStore::Sample& TimeSeriesStore::sample(
+    std::size_t logical) const {
+  const std::size_t start = ring_.size() < capacity_ ? 0 : ring_next_;
+  return ring_[(start + logical) % ring_.size()];
+}
+
+void TimeSeriesStore::append(std::uint64_t t_ns, const Snapshot& snapshot) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!ring_.empty() && t_ns < sample(ring_.size() - 1).t_ns) return;
+
+  Sample s;
+  s.t_ns = t_ns;
+  s.gauges.reserve(snapshot.gauges.size());
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    s.gauges.emplace_back(static_cast<std::uint32_t>(i), snapshot.gauges[i]);
+  }
+  if (have_baseline_) {
+    for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+      const std::uint64_t prev =
+          i < last_.counters.size() ? last_.counters[i] : 0;
+      const std::uint64_t inc = saturating_sub(snapshot.counters[i], prev);
+      if (inc != 0) s.counters.emplace_back(static_cast<std::uint32_t>(i), inc);
+    }
+    for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+      const HistogramData& now = snapshot.histograms[i];
+      static const HistogramData kEmpty{};
+      const HistogramData& prev =
+          i < last_.histograms.size() ? last_.histograms[i] : kEmpty;
+      if (now.count == prev.count) continue;
+      HistogramDelta d;
+      d.id = static_cast<std::uint32_t>(i);
+      d.count = saturating_sub(now.count, prev.count);
+      d.sum = now.sum - prev.sum;
+      for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+        const std::uint64_t inc = saturating_sub(now.buckets[b],
+                                                 prev.buckets[b]);
+        if (inc != 0) d.buckets.emplace_back(static_cast<std::uint16_t>(b),
+                                             inc);
+      }
+      s.histograms.push_back(std::move(d));
+    }
+  }
+  have_baseline_ = true;
+  last_ = snapshot;
+  ++appended_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(s));
+  } else {
+    ring_[ring_next_] = std::move(s);
+    ring_next_ = (ring_next_ + 1) % capacity_;
+  }
+}
+
+std::size_t TimeSeriesStore::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+std::uint64_t TimeSeriesStore::samples_appended() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return appended_;
+}
+
+std::size_t TimeSeriesStore::approx_bytes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t bytes = ring_.capacity() * sizeof(Sample);
+  for (const Sample& s : ring_) {
+    bytes += s.counters.capacity() * sizeof(s.counters[0]);
+    bytes += s.gauges.capacity() * sizeof(s.gauges[0]);
+    for (const HistogramDelta& d : s.histograms) {
+      bytes += sizeof(HistogramDelta) +
+               d.buckets.capacity() * sizeof(d.buckets[0]);
+    }
+  }
+  // The cumulative baseline snapshot held for delta encoding.
+  bytes += last_.counters.capacity() * sizeof(std::uint64_t);
+  bytes += last_.gauges.capacity() * sizeof(double);
+  bytes += last_.histograms.capacity() * sizeof(HistogramData);
+  bytes += last_.spans.capacity() * sizeof(SpanStats);
+  return bytes;
+}
+
+MetricKind TimeSeriesStore::resolve(std::string_view name,
+                                    std::uint32_t* id) const {
+  for (std::size_t i = 0; i < last_.counters.size(); ++i) {
+    if (counter_name(static_cast<std::uint32_t>(i)) == name) {
+      *id = static_cast<std::uint32_t>(i);
+      return MetricKind::kCounter;
+    }
+  }
+  for (std::size_t i = 0; i < last_.gauges.size(); ++i) {
+    if (gauge_name(static_cast<std::uint32_t>(i)) == name) {
+      *id = static_cast<std::uint32_t>(i);
+      return MetricKind::kGauge;
+    }
+  }
+  for (std::size_t i = 0; i < last_.histograms.size(); ++i) {
+    if (histogram_name(static_cast<std::uint32_t>(i)) == name) {
+      *id = static_cast<std::uint32_t>(i);
+      return MetricKind::kHistogram;
+    }
+  }
+  return MetricKind::kNone;
+}
+
+double TimeSeriesStore::rate(std::string_view counter,
+                             std::uint64_t window_ns) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint32_t id = 0;
+  if (resolve(counter, &id) != MetricKind::kCounter || ring_.size() < 2) {
+    return 0.0;
+  }
+  const std::uint64_t end = sample(ring_.size() - 1).t_ns;
+  const std::uint64_t cutoff = saturating_sub(end, window_ns);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const Sample& s = sample(i);
+    if (s.t_ns <= cutoff) continue;
+    for (const auto& [cid, inc] : s.counters) {
+      if (cid == id) total += inc;
+    }
+  }
+  // The oldest retained sample is a pure baseline (no increments), so the
+  // covered wall time starts there at the earliest.
+  const std::uint64_t covered =
+      end - std::max(cutoff, sample(0).t_ns);
+  if (covered == 0) return 0.0;
+  return static_cast<double>(total) * 1e9 / static_cast<double>(covered);
+}
+
+HistogramData TimeSeriesStore::delta(std::string_view histogram,
+                                     std::uint64_t window_ns) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  HistogramData out;
+  std::uint32_t id = 0;
+  if (resolve(histogram, &id) != MetricKind::kHistogram || ring_.empty()) {
+    return out;
+  }
+  const std::uint64_t end = sample(ring_.size() - 1).t_ns;
+  const std::uint64_t cutoff = saturating_sub(end, window_ns);
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const Sample& s = sample(i);
+    if (s.t_ns <= cutoff) continue;
+    for (const HistogramDelta& d : s.histograms) {
+      if (d.id != id) continue;
+      out.count += d.count;
+      out.sum += d.sum;
+      for (const auto& [b, inc] : d.buckets) out.buckets[b] += inc;
+    }
+  }
+  return out;
+}
+
+RangeSeries TimeSeriesStore::range(std::string_view metric,
+                                   std::uint64_t window_ns,
+                                   std::uint64_t step_ns) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  RangeSeries series;
+  if (step_ns == 0 || window_ns < step_ns) return series;
+  std::uint32_t id = 0;
+  series.kind = resolve(metric, &id);
+  if (series.kind == MetricKind::kNone || ring_.empty()) return series;
+
+  const std::uint64_t steps = std::min(window_ns / step_ns, kMaxRangeSteps);
+  const std::uint64_t end = sample(ring_.size() - 1).t_ns;
+  const std::uint64_t start = saturating_sub(end, steps * step_ns);
+  const double step_s = static_cast<double>(step_ns) / 1e9;
+
+  std::vector<char> occupied(steps, 0);
+  std::vector<double> values(steps, 0.0);  // counter sums / gauge levels
+  std::vector<HistogramData> bins;
+  if (series.kind == MetricKind::kHistogram) bins.resize(steps);
+
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const Sample& s = sample(i);
+    if (s.t_ns <= start) continue;
+    const std::uint64_t k = std::min((s.t_ns - start - 1) / step_ns,
+                                     steps - 1);
+    switch (series.kind) {
+      case MetricKind::kCounter:
+        for (const auto& [cid, inc] : s.counters) {
+          if (cid == id) values[k] += static_cast<double>(inc);
+        }
+        occupied[k] = 1;
+        break;
+      case MetricKind::kGauge:
+        // Samples arrive oldest-first, so the last write wins per bin —
+        // the gauge level at the bin's newest sample.
+        for (const auto& [gid, level] : s.gauges) {
+          if (gid == id) {
+            values[k] = level;
+            occupied[k] = 1;
+          }
+        }
+        break;
+      case MetricKind::kHistogram:
+        for (const HistogramDelta& d : s.histograms) {
+          if (d.id != id) continue;
+          bins[k].count += d.count;
+          bins[k].sum += d.sum;
+          for (const auto& [b, inc] : d.buckets) bins[k].buckets[b] += inc;
+        }
+        occupied[k] = 1;
+        break;
+      case MetricKind::kNone:
+        break;
+    }
+  }
+
+  for (std::uint64_t k = 0; k < steps; ++k) {
+    if (occupied[k] == 0) continue;
+    RangePoint point;
+    point.t_s = static_cast<double>(start + (k + 1) * step_ns) / 1e9;
+    if (series.kind == MetricKind::kHistogram) {
+      const HistogramData& h = bins[k];
+      point.value = static_cast<double>(h.count) / step_s;
+      point.p50 = h.quantile(0.5);
+      point.p95 = h.quantile(0.95);
+      point.p99 = h.quantile(0.99);
+    } else if (series.kind == MetricKind::kCounter) {
+      point.value = values[k] / step_s;
+    } else {
+      point.value = values[k];
+    }
+    series.points.push_back(point);
+  }
+  return series;
+}
+
+std::vector<MetricEntry> TimeSeriesStore::metrics() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MetricEntry> out;
+  for (std::size_t i = 0; i < last_.counters.size(); ++i) {
+    std::string name = counter_name(static_cast<std::uint32_t>(i));
+    if (!name.empty()) out.push_back({MetricKind::kCounter, std::move(name)});
+  }
+  for (std::size_t i = 0; i < last_.gauges.size(); ++i) {
+    std::string name = gauge_name(static_cast<std::uint32_t>(i));
+    if (!name.empty()) out.push_back({MetricKind::kGauge, std::move(name)});
+  }
+  for (std::size_t i = 0; i < last_.histograms.size(); ++i) {
+    std::string name = histogram_name(static_cast<std::uint32_t>(i));
+    if (!name.empty()) {
+      out.push_back({MetricKind::kHistogram, std::move(name)});
+    }
+  }
+  return out;
+}
+
+#endif  // MUERP_TELEMETRY_ENABLED
+
+}  // namespace muerp::support::telemetry

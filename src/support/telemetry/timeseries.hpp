@@ -1,0 +1,184 @@
+// In-process historical time series over the metrics registry.
+//
+// /metrics and /snapshot.json answer "what are the counters now"; a
+// routing daemon serving time-slotted traffic is defined by its dynamics —
+// admission rate per window, slot-latency quantiles over the last minute.
+// TimeSeriesStore holds that history in a fixed-capacity ring of
+// periodically captured Snapshots, delta-encoded against the previous
+// sample so memory stays bounded and windowed queries are exact:
+//
+//   - counters are stored as sparse per-sample increments, so
+//     rate(name, window) is the true increment over the window divided by
+//     the covered wall time — no lifetime-cumulative skew;
+//   - histograms are stored as sparse bucket increments, so
+//     delta(name, window) reconstructs the exact HistogramData observed
+//     inside the window and HistogramData::quantile gives windowed
+//     p50/p95/p99, not since-process-start quantiles;
+//   - gauges are levels and stored as sampled values.
+//
+// The first sample only establishes the delta baseline (it carries no
+// increments — a counter's cumulative value since process start is not an
+// increment "within" any window). Span aggregates are not sampled: their
+// self/total times are already exposed per scrape and would double the
+// per-sample footprint for little windowed value.
+//
+// A background Sampler (sampler.hpp) appends at a fixed interval; the HTTP
+// exporter answers GET /api/v1/range from the same store. All methods take
+// an internal mutex: one writer (the sampler) and concurrent readers (HTTP
+// acceptor, tests) are safe.
+//
+// Under -DMUERP_TELEMETRY=OFF the store compiles to an inert stub — appends
+// drop everything, queries return empty — while the class shape (and the
+// CLI flags of tools that configure it) stays identical.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/telemetry/metrics.hpp"
+
+namespace muerp::support::telemetry {
+
+/// What a metric name resolved to inside the store's history.
+enum class MetricKind : std::uint8_t { kNone, kCounter, kGauge, kHistogram };
+
+/// "counter" / "gauge" / "histogram" / "none".
+std::string_view metric_kind_name(MetricKind kind) noexcept;
+
+/// One aggregated step of a range query. `value` is the per-second rate of
+/// counter increments (or histogram observations) inside the step, or the
+/// sampled level for gauges. Quantiles are filled for histograms only and
+/// are exact over the step's observations (bucket-interpolated).
+struct RangePoint {
+  double t_s = 0.0;  ///< step end, seconds on the monotonic span clock
+  double value = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// A range query result: one point per step that contained at least one
+/// sample, oldest first. kind == kNone means the metric name matched no
+/// instrument seen by the store (points empty).
+struct RangeSeries {
+  MetricKind kind = MetricKind::kNone;
+  std::vector<RangePoint> points;
+};
+
+/// A metric the store has history for.
+struct MetricEntry {
+  MetricKind kind = MetricKind::kNone;
+  std::string name;
+};
+
+#if MUERP_TELEMETRY_ENABLED
+
+class TimeSeriesStore {
+ public:
+  /// `capacity` samples are retained; the oldest is overwritten once full.
+  /// Retention in wall time is capacity x sampling interval (e.g. 600
+  /// samples at 1 s = 10 minutes).
+  explicit TimeSeriesStore(std::size_t capacity = 600);
+
+  /// Appends one captured snapshot stamped `t_ns` (monotonic_now_ns()).
+  /// Samples must arrive in nondecreasing time order — the sampler's single
+  /// writer thread guarantees it; out-of-order appends are dropped.
+  void append(std::uint64_t t_ns, const Snapshot& snapshot);
+
+  /// Samples currently retained (<= capacity).
+  std::size_t size() const;
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Samples ever appended (including the ones the ring already dropped).
+  std::uint64_t samples_appended() const;
+
+  /// Heap footprint of the retained samples (the boundedness contract a
+  /// unit test asserts: grows to a plateau, never past it).
+  std::size_t approx_bytes() const;
+
+  /// Counter increments per second over the trailing `window_ns`, measured
+  /// back from the newest sample. The window is clamped to the retained
+  /// history; 0 when the name is unknown or fewer than two samples exist.
+  double rate(std::string_view counter, std::uint64_t window_ns) const;
+
+  /// Exact observations recorded inside the trailing `window_ns` as a
+  /// HistogramData (empty when unknown). `.quantile(q)` on the result is
+  /// the windowed quantile.
+  HistogramData delta(std::string_view histogram,
+                      std::uint64_t window_ns) const;
+
+  /// Steps the trailing `window_ns` into `step_ns` bins ending at the
+  /// newest sample and aggregates each bin (see RangePoint). Invalid
+  /// arguments (zero step, window smaller than step) yield an empty series.
+  RangeSeries range(std::string_view metric, std::uint64_t window_ns,
+                    std::uint64_t step_ns) const;
+
+  /// Every instrument name the history has seen, counters first.
+  std::vector<MetricEntry> metrics() const;
+
+ private:
+  /// Sparse per-histogram increment between consecutive samples.
+  struct HistogramDelta {
+    std::uint32_t id = 0;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    /// (bucket index, increment), only buckets that moved.
+    std::vector<std::pair<std::uint16_t, std::uint64_t>> buckets;
+  };
+
+  /// One retained sample: increments since the previous sample plus gauge
+  /// levels. Zero increments are not stored.
+  struct Sample {
+    std::uint64_t t_ns = 0;
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> counters;
+    std::vector<std::pair<std::uint32_t, double>> gauges;
+    std::vector<HistogramDelta> histograms;
+  };
+
+  /// Ring access, oldest-first logical indexing. Callers hold mutex_.
+  const Sample& sample(std::size_t logical) const;
+
+  /// Resolves `name` against the instruments seen so far. Callers hold
+  /// mutex_.
+  MetricKind resolve(std::string_view name, std::uint32_t* id) const;
+
+  mutable std::mutex mutex_;
+  const std::size_t capacity_;
+  std::vector<Sample> ring_;
+  std::size_t ring_next_ = 0;    ///< overwrite cursor once full
+  std::uint64_t appended_ = 0;
+  bool have_baseline_ = false;
+  Snapshot last_;                ///< cumulative values of the newest sample
+};
+
+#else  // MUERP_TELEMETRY_ENABLED
+
+/// Inert stub: same shape, drops everything. Tools keep their sampling CLI
+/// flags real without a single #if at the call sites.
+class TimeSeriesStore {
+ public:
+  explicit TimeSeriesStore(std::size_t capacity = 600)
+      : capacity_(capacity) {}
+  void append(std::uint64_t, const Snapshot&) {}
+  std::size_t size() const { return 0; }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::uint64_t samples_appended() const { return 0; }
+  std::size_t approx_bytes() const { return 0; }
+  double rate(std::string_view, std::uint64_t) const { return 0.0; }
+  HistogramData delta(std::string_view, std::uint64_t) const { return {}; }
+  RangeSeries range(std::string_view, std::uint64_t, std::uint64_t) const {
+    return {};
+  }
+  std::vector<MetricEntry> metrics() const { return {}; }
+
+ private:
+  const std::size_t capacity_;
+};
+
+#endif  // MUERP_TELEMETRY_ENABLED
+
+}  // namespace muerp::support::telemetry

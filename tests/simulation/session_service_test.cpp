@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <iostream>
+
 #include "experiment/scenario.hpp"
 #include "simulation/protocol.hpp"
 
@@ -150,6 +152,57 @@ TEST(SessionService, ZeroArrivalStaysIdle) {
   EXPECT_EQ(m.sessions_arrived, 0u);
   EXPECT_EQ(service.active_sessions(), 0u);
   EXPECT_DOUBLE_EQ(service.qubit_utilization(), 0.0);
+}
+
+TEST(SessionService, DisablingArrivalsDrainsTheServiceForShutdown) {
+  const auto net = service_network();
+  ProtocolParams params = light_params();
+  params.arrival_prob_per_slot = 0.3;  // keep sessions in flight
+  support::Rng rng(6);
+  SessionService service(net, SessionServiceConfig{params, "", {}}, rng);
+  run_stepped(service, 500);
+  EXPECT_TRUE(service.arrivals_enabled());
+
+  service.set_arrivals_enabled(false);
+  EXPECT_FALSE(service.arrivals_enabled());
+  const std::uint64_t arrived_at_stop = service.metrics().sessions_arrived;
+  // Every admitted session either completes or times out within the
+  // timeout horizon once the arrival process is frozen.
+  run_stepped(service, params.session_timeout_slots + 1);
+  EXPECT_EQ(service.metrics().sessions_arrived, arrived_at_stop);
+  EXPECT_EQ(service.active_sessions(), 0u);
+
+  service.set_arrivals_enabled(true);
+  const ProtocolMetrics after = run_stepped(service, 500);
+  EXPECT_GT(after.sessions_arrived, arrived_at_stop);
+}
+
+TEST(SessionService, LogRateLimitCountsSuppressedSessionEvents) {
+  const auto net = service_network();
+  ProtocolParams params = light_params();
+  params.arrival_prob_per_slot = 0.5;
+  support::Rng rng(8);
+  SessionServiceConfig config{params, "", {}};
+  EXPECT_EQ(config.log_events_per_second, 0.0);  // unlimited by default
+  config.log_events_per_second = 0.001;  // ~one token, then suppression
+  SessionService service(net, config, rng);
+  EXPECT_EQ(service.log_events_suppressed(), 0u);
+
+  // Suppression only counts events that clear the level threshold, so opt
+  // into kInfo (ring-only, no stream spam) for the duration of the run.
+  support::telemetry::set_log_sink(nullptr);
+  support::telemetry::set_log_level(support::telemetry::LogLevel::kInfo);
+  const ProtocolMetrics m = run_stepped(service, 2000);
+  support::telemetry::set_log_level(support::telemetry::LogLevel::kWarn);
+  support::telemetry::set_log_sink(&std::cerr);
+
+  EXPECT_GT(m.sessions_arrived, 100u);
+#if MUERP_TELEMETRY_ENABLED
+  // Per-session info events vastly outnumber the bucket's budget.
+  EXPECT_GT(service.log_events_suppressed(), 0u);
+#else
+  EXPECT_EQ(service.log_events_suppressed(), 0u);
+#endif
 }
 
 TEST(SessionService, StepsBeyondProtocolHorizonKeepWorking) {

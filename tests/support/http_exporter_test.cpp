@@ -7,11 +7,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 #include <string>
 
 #include "support/json.hpp"
 #include "support/telemetry/telemetry.hpp"
+#include "support/telemetry/timeseries.hpp"
 
 namespace muerp::support::telemetry {
 namespace {
@@ -137,7 +139,165 @@ TEST(HttpExporter, IndexPageLinksTheEndpoints) {
   EXPECT_NE(body.find("/metrics"), std::string::npos);
   EXPECT_NE(body.find("/healthz"), std::string::npos);
   EXPECT_NE(body.find("/snapshot.json"), std::string::npos);
+  EXPECT_NE(body.find("/api/v1/range"), std::string::npos);
 }
+
+TEST(HttpExporter, RangeApiWithoutStoreIs404) {
+  HttpExporter exporter;
+  ASSERT_TRUE(exporter.start());
+  const std::string response =
+      http_get(exporter.port(), "/api/v1/range?metric=x");
+  EXPECT_NE(response.find("404"), std::string::npos);
+  EXPECT_NE(response.find("no time-series store attached"),
+            std::string::npos);
+  EXPECT_NE(http_get(exporter.port(), "/api/v1/metrics").find("404"),
+            std::string::npos);
+}
+
+TEST(HttpExporter, RangeApiValidatesItsParameters) {
+  TimeSeriesStore store(8);
+  HttpExporter exporter;
+  exporter.set_time_series(&store);
+  ASSERT_TRUE(exporter.start());
+  // Missing ?metric=.
+  EXPECT_NE(http_get(exporter.port(), "/api/v1/range").find("400"),
+            std::string::npos);
+  // step > window, zero window, absurd window, unparsable numbers.
+  for (const char* bad :
+       {"window=1&step=5", "window=0", "step=0", "window=100000000",
+        "window=abc", "step=1e999"}) {
+    const std::string response = http_get(
+        exporter.port(),
+        std::string("/api/v1/range?metric=x&") + bad);
+    EXPECT_NE(response.find("400"), std::string::npos) << bad;
+  }
+  // A well-formed query for an unknown metric answers kind "none".
+  const std::string body = body_of(
+      http_get(exporter.port(), "/api/v1/range?metric=nope&window=4&step=1"));
+  const auto doc = json::parse(body);
+  ASSERT_TRUE(doc.ok()) << doc.error;
+  EXPECT_EQ(doc.value["kind"].string_value, "none");
+  EXPECT_TRUE(doc.value["points"].elements.empty());
+}
+
+TEST(HttpExporter, OversizedRequestHeadIs431) {
+  HttpExporter::Options options;
+  options.max_request_bytes = 512;
+  HttpExporter exporter(options);
+  ASSERT_TRUE(exporter.start());
+  const std::string padding(2048, 'x');
+  const std::string response = http_request(
+      exporter.port(), "GET /healthz HTTP/1.1\r\nHost: x\r\nX-Pad: " +
+                           padding + "\r\nConnection: close\r\n\r\n");
+  EXPECT_NE(response.find("431"), std::string::npos) << response;
+  // The exporter keeps serving afterwards.
+  EXPECT_NE(http_get(exporter.port(), "/healthz").find("200"),
+            std::string::npos);
+}
+
+TEST(HttpExporter, StalledClientIsDroppedByRecvTimeout) {
+  HttpExporter::Options options;
+  options.recv_timeout_ms = 100;
+  HttpExporter exporter(options);
+  ASSERT_TRUE(exporter.start());
+  // A complete request line but no terminating CRLFCRLF: the server waits
+  // out the recv timeout, then answers what it has instead of pinning the
+  // acceptor forever.
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::string response = http_request(
+      exporter.port(), "GET /healthz HTTP/1.1\r\nHost: x\r\n");
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_NE(response.find("200"), std::string::npos);
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            5000);
+  // And an untouched connection (nothing sent) is dropped uncounted.
+  EXPECT_NE(http_get(exporter.port(), "/healthz").find("200"),
+            std::string::npos);
+}
+
+#if MUERP_TELEMETRY_ENABLED
+
+TEST(HttpExporter, RangeApiServesSeriesFromAttachedStore) {
+  static const Counter counter("http_test/range_counter");
+  static const Histogram histogram("http_test/range_hist");
+  constexpr std::uint64_t kSecond = 1'000'000'000ull;
+
+  TimeSeriesStore store(16);
+  Snapshot cumulative;
+  cumulative.counters.resize(counter.id() + 1, 0);
+  cumulative.histograms.resize(histogram.id() + 1);
+  store.append(100 * kSecond, cumulative);  // baseline
+  cumulative.counters[counter.id()] = 7;
+  cumulative.histograms[histogram.id()].count = 3;
+  cumulative.histograms[histogram.id()].sum = 18.0;
+  cumulative.histograms[histogram.id()].buckets[3] = 3;  // {5, 6, 7}
+  store.append(101 * kSecond, cumulative);
+
+  HttpExporter exporter;
+  exporter.set_time_series(&store);
+  ASSERT_TRUE(exporter.start());
+
+  const std::string counter_body = body_of(http_get(
+      exporter.port(),
+      "/api/v1/range?metric=http_test/range_counter&window=4&step=1"));
+  const auto counter_doc = json::parse(counter_body);
+  ASSERT_TRUE(counter_doc.ok()) << counter_doc.error;
+  EXPECT_EQ(counter_doc.value["kind"].string_value, "counter");
+  EXPECT_DOUBLE_EQ(counter_doc.value["samples"].number_value, 2.0);
+  const auto& counter_points = counter_doc.value["points"].elements;
+  ASSERT_FALSE(counter_points.empty());
+  EXPECT_DOUBLE_EQ(counter_points.back()["value"].number_value, 7.0);
+
+  const std::string hist_body = body_of(http_get(
+      exporter.port(),
+      "/api/v1/range?metric=http_test/range_hist&window=4&step=1"));
+  const auto hist_doc = json::parse(hist_body);
+  ASSERT_TRUE(hist_doc.ok()) << hist_doc.error;
+  EXPECT_EQ(hist_doc.value["kind"].string_value, "histogram");
+  const auto& hist_points = hist_doc.value["points"].elements;
+  ASSERT_FALSE(hist_points.empty());
+  EXPECT_NEAR(hist_points.back()["p50"].number_value,
+              4.0 + 4.0 * (2.0 / 3.0), 1e-9);
+  EXPECT_DOUBLE_EQ(hist_points.back()["p95"].number_value, 8.0);
+  EXPECT_DOUBLE_EQ(hist_points.back()["p99"].number_value, 8.0);
+
+  const std::string index_body =
+      body_of(http_get(exporter.port(), "/api/v1/metrics"));
+  const auto index_doc = json::parse(index_body);
+  ASSERT_TRUE(index_doc.ok()) << index_doc.error;
+  EXPECT_DOUBLE_EQ(index_doc.value["samples"].number_value, 2.0);
+  bool listed = false;
+  for (const auto& entry : index_doc.value["metrics"].elements) {
+    if (entry["name"].string_value == "http_test/range_counter") {
+      listed = true;
+      EXPECT_EQ(entry["kind"].string_value, "counter");
+    }
+  }
+  EXPECT_TRUE(listed);
+}
+
+#else  // MUERP_TELEMETRY_ENABLED
+
+TEST(HttpExporter, RangeApiServesEmptySeriesWhenTelemetryOff) {
+  TimeSeriesStore store(8);
+  HttpExporter exporter;
+  exporter.set_time_series(&store);
+  ASSERT_TRUE(exporter.start());
+  const std::string body = body_of(http_get(
+      exporter.port(), "/api/v1/range?metric=x&window=4&step=1"));
+  const auto doc = json::parse(body);
+  ASSERT_TRUE(doc.ok()) << doc.error;
+  EXPECT_EQ(doc.value["kind"].string_value, "none");
+  EXPECT_TRUE(doc.value["points"].elements.empty());
+  const std::string index =
+      body_of(http_get(exporter.port(), "/api/v1/metrics"));
+  const auto index_doc = json::parse(index);
+  ASSERT_TRUE(index_doc.ok()) << index_doc.error;
+  EXPECT_TRUE(index_doc.value["metrics"].elements.empty());
+}
+
+#endif  // MUERP_TELEMETRY_ENABLED
 
 }  // namespace
 }  // namespace muerp::support::telemetry

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <sstream>
 #include <thread>
 
@@ -185,6 +186,80 @@ TEST_F(LogTest, RecentEventsAreNewestLastAndBounded) {
   EXPECT_EQ(events[1].name, "log_test/ring_c");
 }
 
+TEST_F(LogTest, EveryNEmitsFirstAndEveryNth) {
+  const std::uint64_t before = log_events_emitted();
+  for (int i = 0; i < 10; ++i) {
+    MUERP_LOG_EVERY_N(4, LogLevel::kInfo, "log_test/every_n",
+                      field("i", i));
+  }
+  // Executions 0, 4 and 8 emit.
+  EXPECT_EQ(log_events_emitted(), before + 3);
+  const auto events = recent_log_events(3);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events.back().name, "log_test/every_n");
+  EXPECT_EQ(events.back().fields[0].second, "8");
+}
+
+TEST_F(LogTest, EveryNSkipsCounterWhenLevelFiltered) {
+  set_log_level(LogLevel::kError);
+  int evaluations = 0;
+  // Filtered executions advance neither the counter nor the fields...
+  for (int i = 0; i < 5; ++i) {
+    MUERP_LOG_EVERY_N(3, LogLevel::kDebug, "log_test/every_n_filtered",
+                      field("n", ++evaluations));
+  }
+  EXPECT_EQ(evaluations, 0);
+  // ...so lowering the level later still starts at the 1st event.
+  set_log_level(LogLevel::kDebug);
+  const std::uint64_t before = log_events_emitted();
+  MUERP_LOG_EVERY_N(3, LogLevel::kDebug, "log_test/every_n_filtered",
+                    field("n", ++evaluations));
+  EXPECT_EQ(log_events_emitted(), before + 1);
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LogTest, TokenBucketLimitsAndCountsSuppressed) {
+  // 1 token/s with burst 3: the first three acquire immediately, the rest
+  // are suppressed until real time refills — which this test does not wait
+  // for.
+  LogTokenBucket bucket(1.0, 3.0);
+  int emitted = 0;
+  for (int i = 0; i < 10; ++i) {
+    MUERP_LOG_RATE_LIMITED(bucket, LogLevel::kInfo, "log_test/bucket",
+                           field("n", ++emitted));
+  }
+  EXPECT_EQ(emitted, 3);
+  EXPECT_EQ(bucket.suppressed(), 7u);
+}
+
+TEST_F(LogTest, TokenBucketZeroRateIsUnlimited) {
+  LogTokenBucket bucket(0.0, 0.0);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(bucket.try_acquire());
+  EXPECT_EQ(bucket.suppressed(), 0u);
+}
+
+TEST_F(LogTest, TokenBucketRefillsOverTime) {
+  LogTokenBucket bucket(1000.0, 1.0);  // 1 token per millisecond, burst 1
+  EXPECT_TRUE(bucket.try_acquire());
+  // Drain and wait for a refill; generous deadline for slow machines.
+  bool reacquired = false;
+  for (int i = 0; i < 2000 && !reacquired; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    reacquired = bucket.try_acquire();
+  }
+  EXPECT_TRUE(reacquired);
+}
+
+TEST_F(LogTest, RateLimitedKeepsFieldsUnevaluatedWhenSuppressed) {
+  LogTokenBucket bucket(0.001, 1.0);  // effectively one event, ever
+  int evaluations = 0;
+  MUERP_LOG_RATE_LIMITED(bucket, LogLevel::kInfo, "log_test/bucket_lazy",
+                         field("n", ++evaluations));
+  MUERP_LOG_RATE_LIMITED(bucket, LogLevel::kInfo, "log_test/bucket_lazy",
+                         field("n", ++evaluations));
+  EXPECT_EQ(evaluations, 1);
+}
+
 TEST_F(LogTest, RenderMatchesSinkLine) {
   set_log_format(LogFormat::kJson);
   MUERP_LOG_ERROR("log_test/render", field("k", 1));
@@ -212,6 +287,18 @@ TEST(LogOffStubs, EverythingIsInert) {
   EXPECT_EQ(log_events_emitted(), 0u);
   EXPECT_TRUE(recent_log_events().empty());
   EXPECT_TRUE(render_log_event(LogEvent{}, LogFormat::kJson).empty());
+}
+
+TEST(LogOffStubs, RateLimitMacrosAreInert) {
+  LogTokenBucket bucket(1.0, 10.0);
+  int evaluations = 0;
+  MUERP_LOG_EVERY_N(3, LogLevel::kError, "log_test/off_every",
+                    field("n", ++evaluations));
+  MUERP_LOG_RATE_LIMITED(bucket, LogLevel::kError, "log_test/off_bucket",
+                         field("n", ++evaluations));
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_FALSE(bucket.try_acquire());  // nothing ever emits
+  EXPECT_EQ(bucket.suppressed(), 0u);
 }
 
 #endif  // MUERP_TELEMETRY_ENABLED

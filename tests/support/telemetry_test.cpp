@@ -59,6 +59,58 @@ TEST(HistogramBuckets, IndexAndBoundsAgree) {
   EXPECT_EQ(histogram_bucket_index(1e300), kHistogramBuckets - 1);
 }
 
+TEST(HistogramQuantiles, EmptyHistogramAnswersZero) {
+  const HistogramData empty{};
+  EXPECT_DOUBLE_EQ(empty.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(1.0), 0.0);
+}
+
+TEST(HistogramQuantiles, SingleBucketInterpolatesLinearly) {
+  // Four observations, all in bucket 3 = (4, 8].
+  HistogramData h{};
+  h.count = 4;
+  h.buckets[3] = 4;
+  // rank = max(1, ceil(q * 4)) lands 1/4, 2/4, 4/4 into the bucket.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 6.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 8.0);
+  // q is clamped to [0, 1].
+  EXPECT_DOUBLE_EQ(h.quantile(-0.5), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
+}
+
+TEST(HistogramQuantiles, LowestBucketInterpolatesFromZero) {
+  HistogramData h{};
+  h.count = 2;
+  h.buckets[0] = 2;  // (0, 1]
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1.0);
+}
+
+TEST(HistogramQuantiles, OverflowBucketAnswersItsLowerBound) {
+  // Mass in the unbounded last bucket cannot be interpolated; the estimate
+  // degrades to the bucket's finite lower bound.
+  HistogramData h{};
+  h.count = 3;
+  h.buckets[kHistogramBuckets - 1] = 3;
+  const double lower = histogram_bucket_upper_bound(kHistogramBuckets - 2);
+  EXPECT_TRUE(std::isfinite(lower));
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), lower);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), lower);
+}
+
+TEST(HistogramQuantiles, RankWalksCumulativeBuckets) {
+  HistogramData h{};
+  h.count = 4;
+  h.buckets[0] = 1;  // (0, 1]
+  h.buckets[2] = 3;  // (2, 4]
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 1.0);  // rank 1: all of bucket 0
+  // rank 2 = first observation of bucket 2: 1/3 into (2, 4].
+  EXPECT_NEAR(h.quantile(0.5), 2.0 + 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);
+}
+
 TEST(SnapshotAlgebra, MergeIsAssociativeAndTreatsMissingAsZero) {
   Snapshot a;
   a.counters = {1, 2};

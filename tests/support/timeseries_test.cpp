@@ -1,0 +1,317 @@
+// TimeSeriesStore and Sampler: delta encoding against synthetic snapshots,
+// bounded-memory ring behavior, windowed rate / quantile / range queries
+// against hand-computed references, and the background sampler's lifecycle.
+// In MUERP_TELEMETRY=OFF builds the file instead pins down the stub
+// contract: appends drop, queries return empty, the sampler never runs.
+#include "support/telemetry/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "support/telemetry/metrics.hpp"
+#include "support/telemetry/sampler.hpp"
+
+namespace muerp::support::telemetry {
+namespace {
+
+constexpr std::uint64_t kSecond = 1'000'000'000ull;
+
+TEST(MetricKindNames, AllKindsNamed) {
+  EXPECT_EQ(metric_kind_name(MetricKind::kCounter), "counter");
+  EXPECT_EQ(metric_kind_name(MetricKind::kGauge), "gauge");
+  EXPECT_EQ(metric_kind_name(MetricKind::kHistogram), "histogram");
+  EXPECT_EQ(metric_kind_name(MetricKind::kNone), "none");
+}
+
+#if MUERP_TELEMETRY_ENABLED
+
+/// A cumulative snapshot with one counter set — what capture_process()
+/// would return if only this counter had ever been touched.
+Snapshot counter_snapshot(std::uint32_t id, std::uint64_t value) {
+  Snapshot s;
+  s.counters.resize(id + 1, 0);
+  s.counters[id] = value;
+  return s;
+}
+
+TEST(TimeSeriesStore, RingAndMemoryStayBounded) {
+  static const Counter counter("ts/bounded");
+  TimeSeriesStore store(8);
+  EXPECT_EQ(store.capacity(), 8u);
+
+  std::size_t bytes_at_2x = 0;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    store.append(i * kSecond, counter_snapshot(counter.id(), i * 3));
+    EXPECT_LE(store.size(), 8u);
+    if (i == 15) bytes_at_2x = store.approx_bytes();
+  }
+  EXPECT_EQ(store.size(), 8u);
+  EXPECT_EQ(store.samples_appended(), 100u);
+  // Every sample has the same shape, so the footprint reaches its plateau
+  // by the second time around the ring and never grows past it.
+  EXPECT_GT(bytes_at_2x, 0u);
+  EXPECT_EQ(store.approx_bytes(), bytes_at_2x);
+}
+
+TEST(TimeSeriesStore, OutOfOrderAppendsAreDropped) {
+  static const Counter counter("ts/out_of_order");
+  TimeSeriesStore store(4);
+  store.append(5 * kSecond, counter_snapshot(counter.id(), 1));
+  store.append(3 * kSecond, counter_snapshot(counter.id(), 2));  // dropped
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.samples_appended(), 1u);
+  store.append(5 * kSecond, counter_snapshot(counter.id(), 2));  // equal: ok
+  EXPECT_EQ(store.samples_appended(), 2u);
+}
+
+TEST(TimeSeriesStore, RateIsIncrementsOverCoveredWallTime) {
+  static const Counter counter("ts/rate");
+  TimeSeriesStore store(16);
+  const std::uint64_t t0 = 100 * kSecond;
+  store.append(t0, counter_snapshot(counter.id(), 100));  // baseline
+  store.append(t0 + kSecond, counter_snapshot(counter.id(), 110));   // +10
+  store.append(t0 + 2 * kSecond, counter_snapshot(counter.id(), 130));  // +20
+
+  // Full 2 s window: 30 increments / 2 s.
+  EXPECT_DOUBLE_EQ(store.rate("ts/rate", 2 * kSecond), 15.0);
+  // Trailing 1 s window: only the +20 sample.
+  EXPECT_DOUBLE_EQ(store.rate("ts/rate", kSecond), 20.0);
+  // A window longer than history is clamped to the retained 2 s.
+  EXPECT_DOUBLE_EQ(store.rate("ts/rate", 1000 * kSecond), 15.0);
+  // Unknown names and non-counters answer 0.
+  EXPECT_DOUBLE_EQ(store.rate("ts/definitely_not_registered", kSecond), 0.0);
+}
+
+TEST(TimeSeriesStore, BaselineSampleCarriesNoIncrements) {
+  static const Counter counter("ts/baseline");
+  TimeSeriesStore store(8);
+  // The counter was already at 1'000'000 when sampling started; that
+  // history must not appear as a rate spike in the first window.
+  store.append(kSecond, counter_snapshot(counter.id(), 1'000'000));
+  store.append(2 * kSecond, counter_snapshot(counter.id(), 1'000'005));
+  EXPECT_DOUBLE_EQ(store.rate("ts/baseline", 10 * kSecond), 5.0);
+}
+
+TEST(TimeSeriesStore, WindowedHistogramQuantilesMatchHandComputation) {
+  static const Histogram histogram("ts/hist");
+  TimeSeriesStore store(16);
+  const auto id = histogram.id();
+
+  Snapshot cumulative;
+  cumulative.histograms.resize(id + 1);
+  store.append(100 * kSecond, cumulative);  // empty baseline
+
+  // Observations {5, 6, 7}: all in bucket 3 = (4, 8].
+  cumulative.histograms[id].count = 3;
+  cumulative.histograms[id].sum = 18.0;
+  cumulative.histograms[id].buckets[3] = 3;
+  store.append(101 * kSecond, cumulative);
+
+  const HistogramData window = store.delta("ts/hist", 10 * kSecond);
+  EXPECT_EQ(window.count, 3u);
+  EXPECT_DOUBLE_EQ(window.sum, 18.0);
+  // rank = ceil(0.5 * 3) = 2, interpolated 2/3 into (4, 8].
+  EXPECT_NEAR(window.quantile(0.5), 4.0 + 4.0 * (2.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(window.quantile(1.0), 8.0);
+
+  // Two observations <= 1 land much later; a short trailing window sees
+  // only them — windowed quantiles, not since-process-start quantiles.
+  cumulative.histograms[id].count = 5;
+  cumulative.histograms[id].sum = 19.0;
+  cumulative.histograms[id].buckets[0] = 2;
+  store.append(120 * kSecond, cumulative);
+  const HistogramData recent = store.delta("ts/hist", 5 * kSecond);
+  EXPECT_EQ(recent.count, 2u);
+  EXPECT_DOUBLE_EQ(recent.quantile(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(recent.quantile(1.0), 1.0);
+}
+
+TEST(TimeSeriesStore, RangeBinsCounterRatesAndGaugeLevels) {
+  static const Counter counter("ts/range_counter");
+  static const Gauge gauge("ts/range_gauge");
+  TimeSeriesStore store(16);
+  const std::uint64_t t0 = 100 * kSecond;
+  const std::uint64_t cumulative[4] = {0, 5, 5, 8};
+  const double levels[4] = {1.0, 2.0, 3.0, 4.0};
+  for (int i = 0; i < 4; ++i) {
+    Snapshot s = counter_snapshot(counter.id(), cumulative[i]);
+    s.gauges.resize(gauge.id() + 1, 0.0);
+    s.gauges[gauge.id()] = levels[i];
+    store.append(t0 + static_cast<std::uint64_t>(i) * kSecond, s);
+  }
+
+  const RangeSeries rates =
+      store.range("ts/range_counter", 4 * kSecond, kSecond);
+  EXPECT_EQ(rates.kind, MetricKind::kCounter);
+  ASSERT_EQ(rates.points.size(), 4u);
+  // Bins end at the newest sample; values are increments per second.
+  const double expected[4] = {0.0, 5.0, 0.0, 3.0};
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(rates.points[i].value, expected[i]) << "bin " << i;
+    EXPECT_DOUBLE_EQ(rates.points[i].t_s, 100.0 + i) << "bin " << i;
+  }
+
+  const RangeSeries level_series =
+      store.range("ts/range_gauge", 4 * kSecond, kSecond);
+  EXPECT_EQ(level_series.kind, MetricKind::kGauge);
+  ASSERT_EQ(level_series.points.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(level_series.points[i].value, levels[i]) << "bin " << i;
+  }
+}
+
+TEST(TimeSeriesStore, RangeFillsHistogramQuantilesPerStep) {
+  static const Histogram histogram("ts/range_hist");
+  TimeSeriesStore store(16);
+  const auto id = histogram.id();
+  Snapshot cumulative;
+  cumulative.histograms.resize(id + 1);
+  store.append(10 * kSecond, cumulative);
+  cumulative.histograms[id].count = 3;
+  cumulative.histograms[id].sum = 18.0;
+  cumulative.histograms[id].buckets[3] = 3;  // {5, 6, 7}
+  store.append(11 * kSecond, cumulative);
+
+  const RangeSeries series =
+      store.range("ts/range_hist", 2 * kSecond, kSecond);
+  EXPECT_EQ(series.kind, MetricKind::kHistogram);
+  ASSERT_EQ(series.points.size(), 2u);
+  const RangePoint& active = series.points.back();
+  EXPECT_DOUBLE_EQ(active.value, 3.0);  // observations per second
+  EXPECT_NEAR(active.p50, 4.0 + 4.0 * (2.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(active.p95, 8.0);
+  EXPECT_DOUBLE_EQ(active.p99, 8.0);
+}
+
+TEST(TimeSeriesStore, RangeRejectsBadArgumentsAndUnknownMetrics) {
+  static const Counter counter("ts/range_bad");
+  TimeSeriesStore store(8);
+  store.append(kSecond, counter_snapshot(counter.id(), 1));
+  EXPECT_TRUE(store.range("ts/range_bad", kSecond, 0).points.empty());
+  EXPECT_TRUE(
+      store.range("ts/range_bad", kSecond, 2 * kSecond).points.empty());
+  const RangeSeries unknown = store.range("ts/nope", kSecond, kSecond);
+  EXPECT_EQ(unknown.kind, MetricKind::kNone);
+  EXPECT_TRUE(unknown.points.empty());
+}
+
+TEST(TimeSeriesStore, MetricsListsEveryInstrumentSeen) {
+  static const Counter counter("ts/listing_counter");
+  static const Gauge gauge("ts/listing_gauge");
+  TimeSeriesStore store(4);
+  Snapshot s = counter_snapshot(counter.id(), 1);
+  s.gauges.resize(gauge.id() + 1, 0.0);
+  store.append(kSecond, s);
+
+  bool saw_counter = false;
+  bool saw_gauge = false;
+  for (const MetricEntry& entry : store.metrics()) {
+    if (entry.name == "ts/listing_counter") {
+      saw_counter = true;
+      EXPECT_EQ(entry.kind, MetricKind::kCounter);
+    }
+    if (entry.name == "ts/listing_gauge") {
+      saw_gauge = true;
+      EXPECT_EQ(entry.kind, MetricKind::kGauge);
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_gauge);
+}
+
+TEST(Sampler, CapturesAtIntervalAndStopsPromptly) {
+  static const Counter counter("ts/sampler_counter");
+  TimeSeriesStore store(64);
+  Sampler::Options options;
+  options.interval = std::chrono::milliseconds(5);
+  Sampler sampler(store, options);
+  EXPECT_FALSE(sampler.running());
+  sampler.start();
+  EXPECT_TRUE(sampler.running());
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (store.size() < 3 && std::chrono::steady_clock::now() < deadline) {
+    counter.add();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(store.size(), 3u);
+
+  sampler.stop();
+  EXPECT_FALSE(sampler.running());
+  const std::uint64_t taken = sampler.samples_taken();
+  EXPECT_GE(taken, 3u);
+  sampler.stop();  // idempotent
+  EXPECT_EQ(sampler.samples_taken(), taken);
+
+  // Restart keeps appending to the same store.
+  sampler.start();
+  const auto restart_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (sampler.samples_taken() == taken &&
+         std::chrono::steady_clock::now() < restart_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  sampler.stop();
+  EXPECT_GT(sampler.samples_taken(), taken);
+}
+
+TEST(Sampler, LiveCountersShowUpInWindowedQueries) {
+  static const Counter counter("ts/sampler_live");
+  TimeSeriesStore store(128);
+  Sampler::Options options;
+  options.interval = std::chrono::milliseconds(5);
+  Sampler sampler(store, options);
+  sampler.start();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (store.size() < 4 && std::chrono::steady_clock::now() < deadline) {
+    counter.add(10);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  sampler.stop();
+  EXPECT_GT(store.rate("ts/sampler_live", 60 * kSecond), 0.0);
+  const RangeSeries series =
+      store.range("ts/sampler_live", 60 * kSecond, kSecond);
+  EXPECT_EQ(series.kind, MetricKind::kCounter);
+  EXPECT_FALSE(series.points.empty());
+}
+
+#else  // MUERP_TELEMETRY_ENABLED
+
+TEST(TimeSeriesOff, StoreIsInert) {
+  TimeSeriesStore store(100);
+  EXPECT_EQ(store.capacity(), 100u);
+  store.append(kSecond, Snapshot{});
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.samples_appended(), 0u);
+  EXPECT_EQ(store.approx_bytes(), 0u);
+  EXPECT_DOUBLE_EQ(store.rate("x", kSecond), 0.0);
+  EXPECT_EQ(store.delta("x", kSecond).count, 0u);
+  const RangeSeries series = store.range("x", kSecond, kSecond);
+  EXPECT_EQ(series.kind, MetricKind::kNone);
+  EXPECT_TRUE(series.points.empty());
+  EXPECT_TRUE(store.metrics().empty());
+}
+
+TEST(TimeSeriesOff, SamplerNeverRuns) {
+  TimeSeriesStore store(10);
+  Sampler::Options options;
+  options.interval = std::chrono::milliseconds(1);
+  Sampler sampler(store, options);
+  sampler.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(sampler.running());
+  EXPECT_EQ(sampler.samples_taken(), 0u);
+  sampler.stop();
+  EXPECT_EQ(store.size(), 0u);
+}
+
+#endif  // MUERP_TELEMETRY_ENABLED
+
+}  // namespace
+}  // namespace muerp::support::telemetry

@@ -5,14 +5,22 @@
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
+
+#include "support/json.hpp"
+#include "support/telemetry/metrics.hpp"
 
 namespace {
 
@@ -77,6 +85,156 @@ TEST(MuerpdSmoke, ServesMetricsAndExitsCleanly) {
   EXPECT_EQ(WEXITSTATUS(status), 0);
   EXPECT_NE(rest.find("muerpd session service"), std::string::npos);
   EXPECT_NE(rest.find("sessions arrived"), std::string::npos);
+}
+
+/// A muerpd child spawned directly (no shell) so the test owns its PID and
+/// can deliver real signals. stdout arrives over `out`; stderr is dropped.
+struct DaemonProcess {
+  pid_t pid = -1;
+  FILE* out = nullptr;
+};
+
+DaemonProcess spawn_muerpd(const std::vector<std::string>& extra_args) {
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) != 0) return {};
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return {};
+  }
+  if (pid == 0) {
+    ::close(fds[0]);
+    ::dup2(fds[1], STDOUT_FILENO);
+    ::close(fds[1]);
+    const int devnull = ::open("/dev/null", O_WRONLY);
+    if (devnull >= 0) ::dup2(devnull, STDERR_FILENO);
+    std::vector<std::string> args = {MUERPD_BINARY};
+    args.insert(args.end(), extra_args.begin(), extra_args.end());
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv(MUERPD_BINARY, argv.data());
+    ::_exit(127);
+  }
+  ::close(fds[1]);
+  return {pid, ::fdopen(fds[0], "r")};
+}
+
+/// Reads muerpd's announcement line and returns the bound port (0 on parse
+/// failure).
+std::uint16_t read_serving_port(FILE* out) {
+  char line[256] = {};
+  if (std::fgets(line, sizeof line, out) == nullptr) return 0;
+  const std::string serving(line);
+  if (serving.find("muerpd: serving on 127.0.0.1:") == std::string::npos) {
+    return 0;
+  }
+  return static_cast<std::uint16_t>(
+      std::strtoul(serving.c_str() + serving.rfind(':') + 1, nullptr, 10));
+}
+
+TEST(MuerpdSmoke, MuerptopOnceRendersLivePanels) {
+  // Fast slots and a 50 ms sampler so a fraction of a second of wall time
+  // already yields several time-series samples.
+  const std::string command = std::string(MUERPD_BINARY) +
+                              " --port 0 --slots 6000 --slot-ms 1"
+                              " --arrival 0.3 --seed 5"
+                              " --sample-interval-ms 50 2>/dev/null";
+  FILE* pipe = ::popen(command.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  char line[256] = {};
+  ASSERT_NE(std::fgets(line, sizeof line, pipe), nullptr);
+  const std::string serving(line);
+  const std::uint16_t port = static_cast<std::uint16_t>(
+      std::strtoul(serving.c_str() + serving.rfind(':') + 1, nullptr, 10));
+  ASSERT_NE(port, 0);
+
+  // Let the sampler take a handful of snapshots before rendering.
+  ::usleep(500 * 1000);
+
+#if MUERP_TELEMETRY_ENABLED
+  // The range API serves real non-empty series while the daemon is live.
+  const std::string index = http_get(port, "/api/v1/metrics");
+  EXPECT_NE(index.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(index.find("muerpd/slots/"), std::string::npos) << index;
+#endif
+
+  const std::string top_command =
+      std::string(MUERPTOP_BINARY) + " --once --ascii --endpoint 127.0.0.1:" +
+      std::to_string(port) + " --window 10 2>/dev/null";
+  FILE* top = ::popen(top_command.c_str(), "r");
+  ASSERT_NE(top, nullptr);
+  std::string dashboard;
+  while (std::fgets(line, sizeof line, top) != nullptr) dashboard += line;
+  const int top_status = ::pclose(top);
+  ASSERT_TRUE(WIFEXITED(top_status));
+  EXPECT_EQ(WEXITSTATUS(top_status), 0) << dashboard;
+
+  // The three panels render in every build; the header carries live health.
+  EXPECT_NE(dashboard.find("admission"), std::string::npos) << dashboard;
+  EXPECT_NE(dashboard.find("slot latency (us)"), std::string::npos);
+  EXPECT_NE(dashboard.find("p50"), std::string::npos);
+  EXPECT_NE(dashboard.find("p95"), std::string::npos);
+  EXPECT_NE(dashboard.find("sessions"), std::string::npos);
+  EXPECT_NE(dashboard.find("slot "), std::string::npos);
+#if MUERP_TELEMETRY_ENABLED
+  // With telemetry compiled in the admission panel shows real per-second
+  // rates for the active algorithm (series fetched from /api/v1/range).
+  EXPECT_NE(dashboard.find("requests/s"), std::string::npos) << dashboard;
+  EXPECT_NE(dashboard.find("slots/s"), std::string::npos);
+#endif
+
+  while (std::fgets(line, sizeof line, pipe) != nullptr) {
+  }
+  const int status = ::pclose(pipe);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+TEST(MuerpdSmoke, SigtermDrainsAndWritesSnapshot) {
+  const std::string snapshot_path =
+      ::testing::TempDir() + "muerpd_smoke_snapshot.json";
+  std::remove(snapshot_path.c_str());
+
+  DaemonProcess daemon = spawn_muerpd(
+      {"--port", "0", "--slots", "0", "--slot-ms", "1", "--arrival", "0.3",
+       "--seed", "7", "--timeout", "50", "--sample-interval-ms", "50",
+       "--snapshot-out", snapshot_path});
+  ASSERT_GT(daemon.pid, 0);
+  ASSERT_NE(daemon.out, nullptr);
+  const std::uint16_t port = read_serving_port(daemon.out);
+  ASSERT_NE(port, 0);
+
+  // Let it serve a few sessions, then ask for a graceful shutdown.
+  ::usleep(300 * 1000);
+  EXPECT_NE(http_get(port, "/healthz").find("\"status\": \"ok\""),
+            std::string::npos);
+  ASSERT_EQ(::kill(daemon.pid, SIGTERM), 0);
+
+  std::string rest;
+  char line[256];
+  while (std::fgets(line, sizeof line, daemon.out) != nullptr) rest += line;
+  std::fclose(daemon.out);
+  int status = 0;
+  ASSERT_EQ(::waitpid(daemon.pid, &status, 0), daemon.pid);
+  ASSERT_TRUE(WIFEXITED(status)) << rest;
+  EXPECT_EQ(WEXITSTATUS(status), 0) << rest;
+  // The summary table still prints after a signal-initiated drain.
+  EXPECT_NE(rest.find("muerpd session service"), std::string::npos) << rest;
+  EXPECT_NE(rest.find("sessions arrived"), std::string::npos);
+
+  // The farewell snapshot parses as the /snapshot.json document.
+  std::ifstream in(snapshot_path);
+  ASSERT_TRUE(in.good()) << snapshot_path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const auto doc = muerp::support::json::parse(buffer.str());
+  ASSERT_TRUE(doc.ok()) << doc.error;
+  EXPECT_TRUE(doc.value["metrics"].is_object());
+  EXPECT_TRUE(doc.value["events"].is_array());
+  std::remove(snapshot_path.c_str());
 }
 
 TEST(MuerpdSmoke, RejectsUnknownAlgorithm) {

@@ -8,19 +8,33 @@
 //   GET /metrics        Prometheus text exposition (scrape target)
 //   GET /healthz        liveness JSON with slot/session/admission state
 //   GET /snapshot.json  metrics + recent structured log events
+//   GET /api/v1/range   windowed time-series queries (rates / levels /
+//                       exact per-window quantiles) against the sampler's
+//                       history ring — what tools/muerptop renders
+//   GET /api/v1/metrics names the history ring has data for
+//
+// A background Sampler captures the whole registry every
+// --sample-interval-ms into a TimeSeriesStore holding --retention samples
+// (default 600 x 1 s = the last 10 minutes, delta-encoded).
 //
 // Examples:
 //   muerpd --port 9464                       # paper-default Waxman network
 //   muerpd --net n.txt --algorithm alg3      # serve a saved network
 //   muerpd --slots 20000 --slot-ms 0         # finite, unpaced (benchmarks)
 //   muerpd --log-format json --log-level debug
+//   muerpd --sample-interval-ms 250 --retention 2400   # 10 min at 4 Hz
 //
 // The daemon prints "serving on <addr>:<port>" once the endpoint is up
 // (port 0 binds an ephemeral port — tests parse the line), then steps one
 // execution window every --slot-ms until --slots windows elapsed or
-// SIGINT/SIGTERM. Exit prints the ProtocolMetrics summary table.
+// SIGINT/SIGTERM. The first signal shuts down gracefully: arrivals stop
+// and in-flight sessions drain (completed or timed out, unpaced) before
+// the final muerpd/shutdown event; a second signal skips the drain. With
+// --snapshot-out the exiting daemon writes one last /snapshot.json
+// document to that path. Exit prints the ProtocolMetrics summary table.
 #include <csignal>
 #include <chrono>
+#include <fstream>
 #include <iostream>
 #include <mutex>
 #include <thread>
@@ -31,9 +45,11 @@ namespace {
 
 using namespace muerp;
 
+// Counts delivered stop signals: 1 = graceful (drain in-flight sessions),
+// 2+ = immediate (skip the drain too).
 volatile std::sig_atomic_t g_stop = 0;
 
-void handle_stop(int) { g_stop = 1; }
+void handle_stop(int) { g_stop = g_stop + 1; }
 
 int fail(const std::string& message) {
   std::cerr << "muerpd: " << message << '\n';
@@ -75,6 +91,15 @@ int main(int argc, char** argv) {
   cli.add_flag("bind", "HTTP bind address", "127.0.0.1");
   cli.add_flag("log-level", "debug|info|warn|error|off", "info");
   cli.add_flag("log-format", "text|json", "text");
+  cli.add_flag("log-rate",
+               "per-session log events per second (0 = unlimited)", "0");
+  cli.add_flag("sample-interval-ms",
+               "time-series sampling period for /api/v1/range", "1000");
+  cli.add_flag("retention",
+               "time-series samples kept (retention = this x interval)",
+               "600");
+  cli.add_flag("snapshot-out",
+               "write a final /snapshot.json document here on exit", "");
   if (!cli.parse(argc, argv)) return 1;
 
   // Observability knobs first, so network construction already logs.
@@ -149,9 +174,16 @@ int main(int argc, char** argv) {
     return fail("group sizes must satisfy 2 <= min <= max <= user count (" +
                 std::to_string(network->users().size()) + ")");
   }
+  config.log_events_per_second = cli.get_double("log-rate").value_or(0.0);
   const auto max_slots =
       static_cast<std::uint64_t>(cli.get_int("slots").value_or(0));
   const auto slot_ms = cli.get_int("slot-ms").value_or(10);
+  const auto sample_interval_ms =
+      cli.get_int("sample-interval-ms").value_or(1000);
+  const auto retention = cli.get_int("retention").value_or(600);
+  if (sample_interval_ms <= 0) return fail("--sample-interval-ms must be > 0");
+  if (retention < 2) return fail("--retention must be >= 2");
+  const std::string snapshot_out = cli.get_string("snapshot-out");
   const std::string algorithm_label =
       config.algorithm.empty() ? "shared-prim" : config.algorithm;
 
@@ -164,6 +196,16 @@ int main(int argc, char** argv) {
   http.port = static_cast<std::uint16_t>(cli.get_int("port").value_or(9464));
   http.bind_address = cli.get_string("bind");
   support::telemetry::HttpExporter exporter(http);
+  // Historical plane: the sampler captures the registry into the store on
+  // its own thread; the exporter serves windowed queries from it under
+  // /api/v1/. In MUERP_TELEMETRY=OFF builds both are inert stubs and the
+  // endpoints serve empty series — the flags still parse.
+  support::telemetry::TimeSeriesStore store(
+      static_cast<std::size_t>(retention));
+  support::telemetry::Sampler::Options sampler_options;
+  sampler_options.interval = std::chrono::milliseconds(sample_interval_ms);
+  support::telemetry::Sampler sampler(store, sampler_options);
+  exporter.set_time_series(&store);
   // /healthz reads the service from the acceptor thread while the main loop
   // steps it, so both sides take this mutex around service access.
   std::mutex service_mutex;
@@ -185,6 +227,7 @@ int main(int argc, char** argv) {
     return fail("cannot serve on " + http.bind_address + ":" +
                 std::to_string(http.port) + ": " + error);
   }
+  sampler.start();
   std::cout << "muerpd: serving on " << http.bind_address << ":"
             << exporter.port() << std::endl;
   MUERP_LOG_INFO("muerpd/start", support::telemetry::field(
@@ -227,14 +270,67 @@ int main(int argc, char** argv) {
     if (report.arrived) requests_counter.add();
     if (report.admitted) admitted_counter.add();
     if (report.completed > 0) completed_counter.add(report.completed);
+    // Heartbeat: one debug line per 256 slots, not one per slot.
+    MUERP_LOG_EVERY_N(256, support::telemetry::LogLevel::kDebug, "muerpd/slot",
+                      support::telemetry::field("slot", report.slot),
+                      support::telemetry::field("active",
+                                                report.active_sessions),
+                      support::telemetry::field("qubit_utilization",
+                                                report.qubit_utilization));
     if (slot_ms > 0 && g_stop == 0) std::this_thread::sleep_until(wake);
   }
 
+  // Graceful shutdown: a first signal stops arrivals and plays unpaced
+  // slots until the in-flight sessions complete or time out (bounded by
+  // the session timeout); a second signal skips the drain.
+  std::uint64_t drain_slots = 0;
+  std::uint64_t drained_completed = 0;
+  if (g_stop != 0) {
+    const std::uint64_t drain_cap = config.params.session_timeout_slots + 1;
+    {
+      const std::lock_guard<std::mutex> lock(service_mutex);
+      service.set_arrivals_enabled(false);
+    }
+    while (g_stop < 2 && drain_slots < drain_cap) {
+      sim::SlotReport report;
+      {
+        const std::lock_guard<std::mutex> lock(service_mutex);
+        if (service.active_sessions() == 0) break;
+        report = service.step();
+      }
+      ++drain_slots;
+      slots_counter.add();
+      if (report.completed > 0) completed_counter.add(report.completed);
+      drained_completed += report.completed;
+    }
+  }
+
   const sim::ProtocolMetrics m = service.metrics();
-  MUERP_LOG_INFO("muerpd/stop", support::telemetry::field("slot", service.slot()),
+  MUERP_LOG_INFO("muerpd/shutdown",
+                 support::telemetry::field("slot", service.slot()),
                  support::telemetry::field("arrived", m.sessions_arrived),
-                 support::telemetry::field("completed", m.sessions_completed));
+                 support::telemetry::field("completed", m.sessions_completed),
+                 support::telemetry::field("drain_slots", drain_slots),
+                 support::telemetry::field("drained_completed",
+                                           drained_completed),
+                 support::telemetry::field("active_remaining",
+                                           service.active_sessions()),
+                 support::telemetry::field("log_suppressed",
+                                           service.log_events_suppressed()));
+  sampler.stop();
   exporter.stop();
+
+  if (!snapshot_out.empty()) {
+    std::ofstream out(snapshot_out);
+    if (out) {
+      out << support::telemetry::snapshot_document(
+          support::telemetry::capture_process(),
+          support::telemetry::recent_log_events());
+    } else {
+      std::cerr << "muerpd: cannot write --snapshot-out " << snapshot_out
+                << '\n';
+    }
+  }
 
   support::Table summary("muerpd session service (" + algorithm_label + ")",
                          {"metric", "value"});
@@ -252,6 +348,10 @@ int main(int argc, char** argv) {
   summary.add_row("mean qubit utilization", {m.mean_qubit_utilization});
   summary.add_row("http requests served",
                   {static_cast<double>(exporter.requests_served())});
+  summary.add_row("time-series samples",
+                  {static_cast<double>(sampler.samples_taken())});
+  summary.add_row("log events suppressed",
+                  {static_cast<double>(service.log_events_suppressed())});
   std::cout << summary;
   return 0;
 }

@@ -1,0 +1,355 @@
+// muerptop — live terminal dashboard for a running muerpd.
+//
+// Polls the daemon's HTTP observability plane with the repo's own JSON
+// reader and plain POSIX sockets (no dependencies):
+//
+//   GET /healthz         status line: algorithm, slot, active sessions;
+//   GET /api/v1/metrics  discovers which series the history ring holds;
+//   GET /api/v1/range    windowed values — counters as per-second rates,
+//                        gauges as levels, histograms as exact per-window
+//                        p50/p95 — rendered as sparklines.
+//
+// Panels (per the daemon's admission algorithm): admission rates
+// (requests/admitted/completed per second), slot latency quantiles from
+// muerpd/slot_us, and session-state gauges.
+//
+//   muerptop                                   # 127.0.0.1:9464 at 1 Hz
+//   muerptop --endpoint 127.0.0.1:9700 --window 120
+//   muerptop --once                            # one frame, no screen
+//                                              # clearing — CI/scripts
+//   muerptop --ascii                           # no Unicode block glyphs
+//
+// Exit codes: 0 rendered at least one frame, 1 bad flags, 2 the endpoint
+// could not be reached or answered a malformed document.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/cli.hpp"
+#include "support/json.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void handle_stop(int) { g_stop = 1; }
+
+int fail(const std::string& message) {
+  std::cerr << "muerptop: " << message << '\n';
+  return 2;
+}
+
+// ---------------------------------------------------------------------------
+// Minimal blocking HTTP/1.1 GET client (IPv4, Connection: close).
+
+struct HttpResponse {
+  int status = 0;
+  std::string body;
+};
+
+bool http_get(const std::string& host, std::uint16_t port,
+              const std::string& target, HttpResponse* out,
+              std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = "socket: " + std::string(std::strerror(errno));
+    return false;
+  }
+  timeval timeout{};
+  timeout.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof timeout);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    *error = "endpoint host must be an IPv4 address, got '" + host + "'";
+    return false;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    *error = "connect " + host + ":" + std::to_string(port) + ": " +
+             std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  const std::string request = "GET " + target +
+                              " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      *error = "send: " + std::string(std::strerror(errno));
+      ::close(fd);
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      *error = "recv: " + std::string(std::strerror(errno));
+      ::close(fd);
+      return false;
+    }
+    if (n == 0) break;
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  if (response.rfind("HTTP/1.", 0) != 0) {
+    *error = "malformed response";
+    return false;
+  }
+  out->status = std::atoi(response.c_str() + 9);
+  const std::size_t head_end = response.find("\r\n\r\n");
+  out->body = head_end == std::string::npos ? std::string()
+                                            : response.substr(head_end + 4);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Range-query results.
+
+struct Series {
+  bool ok = false;
+  std::string kind;
+  std::vector<double> value;  // rate (counter), level (gauge), p50 (histogram)
+  std::vector<double> p95;
+  double latest(const std::vector<double>& v) const {
+    return v.empty() ? 0.0 : v.back();
+  }
+};
+
+Series fetch_range(const std::string& host, std::uint16_t port,
+                   const std::string& metric, long window_s, long step_s) {
+  Series series;
+  HttpResponse response;
+  std::string error;
+  const std::string target = "/api/v1/range?metric=" + metric +
+                             "&window=" + std::to_string(window_s) +
+                             "&step=" + std::to_string(step_s);
+  if (!http_get(host, port, target, &response, &error) ||
+      response.status != 200) {
+    return series;
+  }
+  const auto parsed = muerp::support::json::parse(response.body);
+  if (!parsed.ok()) return series;
+  const auto& doc = parsed.value;
+  series.kind = doc["kind"].string_value;
+  for (const auto& point : doc["points"].elements) {
+    if (series.kind == "histogram") {
+      series.value.push_back(point["p50"].number_value);
+      series.p95.push_back(point["p95"].number_value);
+    } else {
+      series.value.push_back(point["value"].number_value);
+    }
+  }
+  series.ok = true;
+  return series;
+}
+
+// ---------------------------------------------------------------------------
+// Rendering.
+
+/// Scales `values` against their max into an 8-level sparkline. Counters
+/// and latencies are non-negative, so the baseline is pinned at zero — two
+/// frames with the same shape render the same regardless of offset noise.
+std::string sparkline(const std::vector<double>& values, bool ascii,
+                      std::size_t width) {
+  static const char* const kBlocks[8] = {"▁", "▂", "▃",
+                                         "▄", "▅", "▆",
+                                         "▇", "█"};
+  static const char kAscii[8] = {'.', ':', '-', '=', '+', '*', '#', '%'};
+  if (values.empty()) return "(no data)";
+  const std::size_t start =
+      values.size() > width ? values.size() - width : 0;
+  double max = 0.0;
+  for (std::size_t i = start; i < values.size(); ++i) {
+    if (values[i] > max) max = values[i];
+  }
+  std::string out;
+  for (std::size_t i = start; i < values.size(); ++i) {
+    int level =
+        max > 0.0 ? static_cast<int>(values[i] / max * 7.0 + 0.5) : 0;
+    if (level < 0) level = 0;
+    if (level > 7) level = 7;
+    if (ascii) {
+      out.push_back(kAscii[level]);
+    } else {
+      out += kBlocks[level];
+    }
+  }
+  return out;
+}
+
+std::string format_value(double v) {
+  char buffer[32];
+  if (v != 0.0 && (v < 0.01 || v >= 1e6)) {
+    std::snprintf(buffer, sizeof buffer, "%10.3g", v);
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%10.2f", v);
+  }
+  return buffer;
+}
+
+void render_row(std::string& frame, const std::string& label, double latest,
+                const std::vector<double>& values, bool ascii,
+                std::size_t width) {
+  char head[64];
+  std::snprintf(head, sizeof head, "  %-14s", label.c_str());
+  frame += head;
+  frame += format_value(latest);
+  frame += "  ";
+  frame += sparkline(values, ascii, width);
+  frame += '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  muerp::support::CliParser cli(
+      "muerptop — live terminal dashboard for a running muerpd");
+  cli.add_flag("endpoint", "muerpd HTTP endpoint (ipv4:port)",
+               "127.0.0.1:9464");
+  cli.add_flag("interval-ms", "refresh period", "1000");
+  cli.add_flag("window", "history window in seconds", "60");
+  cli.add_flag("step", "seconds per sparkline column (0 = window/60)", "0");
+  cli.add_flag("once", "render one frame and exit (no screen clearing)");
+  cli.add_flag("ascii", "ASCII sparklines instead of Unicode blocks");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const std::string endpoint = cli.get_string("endpoint");
+  const std::size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= endpoint.size()) {
+    std::cerr << "muerptop: --endpoint must be host:port\n";
+    return 1;
+  }
+  const std::string host = endpoint.substr(0, colon);
+  const int port_value = std::atoi(endpoint.c_str() + colon + 1);
+  if (port_value <= 0 || port_value > 65535) {
+    std::cerr << "muerptop: bad port in --endpoint '" << endpoint << "'\n";
+    return 1;
+  }
+  const auto port = static_cast<std::uint16_t>(port_value);
+  const long interval_ms = cli.get_int("interval-ms").value_or(1000);
+  const long window_s = cli.get_int("window").value_or(60);
+  long step_s = cli.get_int("step").value_or(0);
+  if (window_s <= 0) {
+    std::cerr << "muerptop: --window must be > 0\n";
+    return 1;
+  }
+  if (step_s <= 0) step_s = window_s / 60 > 0 ? window_s / 60 : 1;
+  const bool once = cli.get_bool("once");
+  const bool ascii = cli.get_bool("ascii");
+  const auto width = static_cast<std::size_t>(window_s / step_s);
+
+  std::signal(SIGINT, handle_stop);
+  std::signal(SIGTERM, handle_stop);
+
+  bool rendered = false;
+  while (g_stop == 0) {
+    // Health first: connection failures before the first frame are fatal
+    // (exit 2); afterwards the dashboard keeps polling through restarts.
+    HttpResponse health;
+    std::string error;
+    if (!http_get(host, port, "/healthz", &health, &error) ||
+        health.status != 200) {
+      if (!rendered) {
+        return fail(error.empty() ? "/healthz returned " +
+                                        std::to_string(health.status)
+                                  : error);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+      continue;
+    }
+    const auto health_doc = muerp::support::json::parse(health.body);
+    if (!health_doc.ok()) {
+      if (!rendered) return fail("/healthz: " + health_doc.error);
+      continue;
+    }
+    const auto& h = health_doc.value;
+    const std::string algorithm = h["algorithm"].string_value;
+
+    std::string frame;
+    {
+      char head[256];
+      std::snprintf(head, sizeof head,
+                    "muerptop — %s  algorithm %s  uptime %.1fs  slot %.0f  "
+                    "active %.0f\n",
+                    endpoint.c_str(),
+                    algorithm.empty() ? "?" : algorithm.c_str(),
+                    h["uptime_s"].number_value, h["slot"].number_value,
+                    h["active_sessions"].number_value);
+      frame += head;
+      std::snprintf(head, sizeof head,
+                    "arrived %.0f  admitted %.0f  completed %.0f  "
+                    "(window %lds, step %lds)\n",
+                    h["sessions_arrived"].number_value,
+                    h["sessions_admitted"].number_value,
+                    h["sessions_completed"].number_value, window_s, step_s);
+      frame += head;
+    }
+
+    // Admission panel: counter rates per second.
+    frame += "admission\n";
+    const char* const kRates[][2] = {
+        {"requests/s", "muerpd/requests/"},
+        {"admitted/s", "muerpd/admitted/"},
+        {"completed/s", "muerpd/completed/"},
+        {"slots/s", "muerpd/slots/"},
+    };
+    for (const auto& row : kRates) {
+      const Series series = fetch_range(
+          host, port, row[1] + algorithm, window_s, step_s);
+      render_row(frame, row[0], series.latest(series.value), series.value,
+                 ascii, width);
+    }
+
+    // Latency panel: windowed-exact histogram quantiles per step.
+    frame += "slot latency (us)\n";
+    const Series slot_us =
+        fetch_range(host, port, "muerpd/slot_us/" + algorithm, window_s,
+                    step_s);
+    render_row(frame, "p50", slot_us.latest(slot_us.value), slot_us.value,
+               ascii, width);
+    render_row(frame, "p95", slot_us.latest(slot_us.p95), slot_us.p95, ascii,
+               width);
+
+    // Session panel: gauge levels.
+    frame += "sessions\n";
+    const char* const kGauges[][2] = {
+        {"active", "session/active"},
+        {"qubit_util", "session/qubit_utilization"},
+    };
+    for (const auto& row : kGauges) {
+      const Series series =
+          fetch_range(host, port, row[1], window_s, step_s);
+      render_row(frame, row[0], series.latest(series.value), series.value,
+                 ascii, width);
+    }
+
+    if (!once && rendered) std::cout << "\x1b[2J\x1b[H";
+    std::cout << frame << std::flush;
+    rendered = true;
+    if (once) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+  return rendered ? 0 : 2;
+}
