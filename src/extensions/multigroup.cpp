@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <numeric>
 #include <unordered_set>
 
+#include "routing/batch_router.hpp"
 #include "routing/channel_finder.hpp"
 #include "routing/plan.hpp"
 #include "routing/prim_based.hpp"
@@ -23,19 +25,85 @@ const char* group_order_name(GroupOrder order) noexcept {
   return "?";
 }
 
+namespace {
+
+#ifndef NDEBUG
+void assert_disjoint(const net::QuantumNetwork& network,
+                     std::span<const GroupRequest> groups) {
+  std::unordered_set<net::NodeId> seen;
+  for (const GroupRequest& g : groups) {
+    for (net::NodeId u : g.users) {
+      assert(network.is_user(u));
+      assert(seen.insert(u).second && "groups must be disjoint");
+    }
+  }
+}
+#endif
+
+routing::BatchPolicy to_batch_policy(GroupOrder order) noexcept {
+  switch (order) {
+    case GroupOrder::kSmallestFirst:
+      return routing::BatchPolicy::kSmallestFirst;
+    case GroupOrder::kLargestFirst:
+      return routing::BatchPolicy::kLargestFirst;
+    case GroupOrder::kGivenOrder:
+      break;
+  }
+  return routing::BatchPolicy::kGivenOrder;
+}
+
+/// Routes `groups` through the batch kernel under `policy` and repackages
+/// the result in the extension-layer shape (the structs are field-for-field
+/// mirrors; only the namespaces differ).
+MultiGroupResult route_batched(const net::QuantumNetwork& network,
+                               std::span<const GroupRequest> groups,
+                               routing::BatchPolicy policy,
+                               support::Rng& rng) {
+  std::vector<routing::BatchRequest> requests;
+  requests.reserve(groups.size());
+  for (const GroupRequest& group : groups) {
+    requests.push_back({std::span<const net::NodeId>(group.users)});
+  }
+  routing::BatchRouter router(network);
+  routing::BatchOptions options;
+  options.policy = policy;
+  routing::BatchResult batch = router.route(requests, options, rng);
+
+  MultiGroupResult result;
+  result.outcomes.reserve(batch.outcomes.size());
+  for (routing::BatchGroupOutcome& outcome : batch.outcomes) {
+    result.outcomes.push_back(
+        {outcome.request_index, std::move(outcome.tree)});
+  }
+  result.groups_served = batch.groups_served;
+  result.served_product_rate = batch.served_product_rate;
+  result.all_served = batch.all_served;
+  return result;
+}
+
+}  // namespace
+
 MultiGroupResult route_groups(const net::QuantumNetwork& network,
                               std::span<const GroupRequest> groups,
                               GroupOrder order, support::Rng& rng) {
 #ifndef NDEBUG
-  {
-    std::unordered_set<net::NodeId> seen;
-    for (const GroupRequest& g : groups) {
-      for (net::NodeId u : g.users) {
-        assert(network.is_user(u));
-        assert(seen.insert(u).second && "groups must be disjoint");
-      }
-    }
-  }
+  assert_disjoint(network, groups);
+#endif
+  return route_batched(network, groups, to_batch_policy(order), rng);
+}
+
+MultiGroupResult route_groups_interleaved(const net::QuantumNetwork& network,
+                                          std::span<const GroupRequest> groups,
+                                          support::Rng& rng) {
+  return route_batched(network, groups, routing::BatchPolicy::kFairShare,
+                       rng);
+}
+
+MultiGroupResult route_groups_reference(const net::QuantumNetwork& network,
+                                        std::span<const GroupRequest> groups,
+                                        GroupOrder order, support::Rng& rng) {
+#ifndef NDEBUG
+  assert_disjoint(network, groups);
 #endif
 
   std::vector<std::size_t> admission(groups.size());
@@ -101,9 +169,9 @@ struct GrowingGroup {
 
 }  // namespace
 
-MultiGroupResult route_groups_interleaved(const net::QuantumNetwork& network,
-                                          std::span<const GroupRequest> groups,
-                                          support::Rng& rng) {
+MultiGroupResult route_groups_interleaved_reference(
+    const net::QuantumNetwork& network, std::span<const GroupRequest> groups,
+    support::Rng& rng) {
   MultiGroupResult result;
   net::CapacityState capacity(network);
   const routing::ChannelFinder finder(network);
@@ -125,21 +193,26 @@ MultiGroupResult route_groups_interleaved(const net::QuantumNetwork& network,
   }
 
   // Rounds: each unfinished group commits its single best channel in turn.
+  // Candidates compare on neg_log_rate (finite for every found channel,
+  // infinity for the default-constructed "none yet"): an extremely lossy
+  // channel whose Eq. (1) rate underflowed to 0 still beats "no channel",
+  // so long chains stay feasible.
   bool any_unfinished = true;
   while (any_unfinished) {
     any_unfinished = false;
     for (GrowingGroup& group : growing) {
       if (group.finished()) continue;
       net::Channel best;
-      best.rate = 0.0;
       for (net::NodeId source : group.connected) {
         for (net::Channel& candidate :
              finder.find_best_channels(source, capacity)) {
           if (!group.pending.contains(candidate.destination())) continue;
-          if (candidate.rate > best.rate) best = std::move(candidate);
+          if (candidate.neg_log_rate < best.neg_log_rate) {
+            best = std::move(candidate);
+          }
         }
       }
-      if (best.rate == 0.0) {
+      if (std::isinf(best.neg_log_rate)) {
         group.failed = true;
         continue;
       }

@@ -38,6 +38,17 @@ void QuantumNetwork::set_topology(graph::Graph pruned) {
   graph_ = std::move(pruned);
 }
 
+ResidualNetworkView::ResidualNetworkView(const QuantumNetwork& base)
+    : base_(&base), residual_(base) {}
+
+const QuantumNetwork& ResidualNetworkView::sync(const CapacityState& capacity) {
+  for (NodeId sw : base_->switches()) {
+    const int free = capacity.free_qubits(sw);
+    if (residual_.qubits(sw) != free) residual_.set_switch_qubits(sw, free);
+  }
+  return residual_;
+}
+
 namespace {
 
 std::uint64_t next_capacity_state_id() noexcept {

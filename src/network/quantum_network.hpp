@@ -90,6 +90,15 @@ class QuantumNetwork {
   /// (used by the Fig. 7(b) edge-removal experiment).
   void set_topology(graph::Graph pruned);
 
+  /// Overwrites a switch's qubit budget in place (ResidualNetworkView
+  /// patches residual copies between admissions this way). Everything
+  /// derived from budgets — channel_capacity, CapacityState construction —
+  /// reads qubits_ directly, so no other state needs refreshing.
+  void set_switch_qubits(NodeId v, int qubits) noexcept {
+    assert(is_switch(v) && qubits >= 0);
+    qubits_[v] = qubits;
+  }
+
  private:
   graph::Graph graph_;
   std::vector<support::Point2D> positions_;
@@ -106,6 +115,33 @@ class QuantumNetwork {
 /// pins Algorithm 2's switches at 2|U| qubits in Fig. 8(a)).
 QuantumNetwork with_uniform_switch_qubits(const QuantumNetwork& network,
                                           int qubits);
+
+class CapacityState;
+
+/// Cached residual-capacity copy of a base network.
+///
+/// Registry routers see residual capacity as a QuantumNetwork whose switch
+/// budgets are the qubits currently free. Rebuilding that copy from scratch
+/// per admission is O(topology); a long-lived view instead keeps one copy
+/// and patches only the switch budgets that changed since the last sync.
+/// The copy shares the base graph's topology version, so SPF CSR caches
+/// built against one sync keep serving later ones.
+class ResidualNetworkView {
+ public:
+  explicit ResidualNetworkView(const QuantumNetwork& base);
+
+  /// Patches the residual copy so every switch budget equals
+  /// `capacity.free_qubits` and returns it. `capacity` must be a state over
+  /// the base network (or an equal-size one — only switch ids are read).
+  const QuantumNetwork& sync(const CapacityState& capacity);
+
+  /// The residual copy as of the last sync() (full budgets before any).
+  const QuantumNetwork& network() const noexcept { return residual_; }
+
+ private:
+  const QuantumNetwork* base_;
+  QuantumNetwork residual_;
+};
 
 /// One can_relay() status change at a switch, as recorded in the
 /// CapacityState flip log. The direction lets consumers treat losses and

@@ -31,4 +31,19 @@ bool channels_span_users(std::span<const net::NodeId> users,
   return uf.set_count() == 1;
 }
 
+bool tree_fits_capacity(const net::QuantumNetwork& network,
+                        const net::EntanglementTree& tree,
+                        const net::CapacityState& capacity) {
+  std::vector<int> demand(network.node_count(), 0);
+  for (const net::Channel& ch : tree.channels) {
+    for (std::size_t i = 1; i + 1 < ch.path.size(); ++i) {
+      demand[ch.path[i]] += 2;
+    }
+  }
+  for (net::NodeId sw : network.switches()) {
+    if (demand[sw] > capacity.free_qubits(sw)) return false;
+  }
+  return true;
+}
+
 }  // namespace muerp::routing

@@ -22,4 +22,11 @@ net::EntanglementTree make_tree(std::vector<net::Channel> channels,
 bool channels_span_users(std::span<const net::NodeId> users,
                          std::span<const net::Channel> channels);
 
+/// True when deducting 2 qubits per interior vertex of every channel in
+/// `tree` stays within `capacity` — the admission guard for algorithms that
+/// do not track residuals themselves (SessionService, Router batch mode).
+bool tree_fits_capacity(const net::QuantumNetwork& network,
+                        const net::EntanglementTree& tree,
+                        const net::CapacityState& capacity);
+
 }  // namespace muerp::routing

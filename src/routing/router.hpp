@@ -43,6 +43,7 @@
 #include "network/channel.hpp"
 #include "network/quantum_network.hpp"
 #include "routing/annealing.hpp"
+#include "routing/batch_router.hpp"
 #include "support/rng.hpp"
 #include "support/telemetry/metrics.hpp"
 #include "support/telemetry/trace.hpp"
@@ -82,6 +83,37 @@ struct RoutingOutcome {
   support::telemetry::Snapshot telemetry;
 };
 
+/// A batch of concurrent group requests contending for one capacity pool —
+/// the first-class entry point to the batch routing kernel.
+struct BatchRoutingRequest {
+  const net::QuantumNetwork* network = nullptr;
+  /// One entry per group; spans must outlive the call. Empty groups get a
+  /// trivial feasible tree without consuming randomness.
+  std::span<const BatchRequest> groups;
+  /// Contention resolution: admission policy plus failure semantics (and
+  /// the optional per-group admission-latency sink).
+  BatchOptions batch;
+  /// Stream for randomized routers; null gives a deterministic private Rng.
+  support::Rng* rng = nullptr;
+  RouterOptions options;
+  /// Residual pool the batch draws from. Null routes against a private
+  /// full-capacity pool; non-null lets a service admit bursts against its
+  /// live state (committed channels deduct from it in place).
+  net::CapacityState* capacity = nullptr;
+  /// Caller-owned residual-network cache for routers whose route_impl runs
+  /// on a residual copy (every non-batch-native registry algorithm). Null
+  /// builds a throwaway view per call; a long-lived caller passes its own
+  /// so successive batches amortize the copy.
+  net::ResidualNetworkView* residual_view = nullptr;
+};
+
+struct BatchRoutingOutcome {
+  BatchResult result;
+  double elapsed_ms = 0.0;
+  /// This-thread telemetry delta attributed to the call.
+  support::telemetry::Snapshot telemetry;
+};
+
 class Router {
  public:
   explicit Router(std::string name, std::string display_name);
@@ -102,12 +134,39 @@ class Router {
   /// route_tree plus wall time and a this-thread telemetry delta.
   RoutingOutcome route(const RoutingRequest& request) const;
 
+  /// Routes a batch of group requests under one "router/<name>" span.
+  /// Batch-native routers ("alg4") run the BatchRouter kernel directly;
+  /// every other algorithm gets the generic per-group pass: admission
+  /// ordering by policy, route_impl on the synced residual view, a
+  /// tree_fits_capacity admission guard, then commit. The generic pass
+  /// rejects BatchPolicy::kFairShare (interleaved growth needs kernel
+  /// cooperation) with std::invalid_argument.
+  BatchResult route_batch_trees(const BatchRoutingRequest& request) const;
+
+  /// route_batch_trees plus wall time and a this-thread telemetry delta.
+  BatchRoutingOutcome route_batch(const BatchRoutingRequest& request) const;
+
  private:
   virtual net::EntanglementTree route_impl(const net::QuantumNetwork& network,
                                            std::span<const net::NodeId> users,
                                            support::Rng& rng,
                                            const RouterOptions& options)
       const = 0;
+
+  /// Batch hook; the default is the generic per-group pass described at
+  /// route_batch_trees. `capacity` is always valid (the public entry
+  /// substitutes a private full pool when the request leaves it null).
+  /// `residual` may be null — the generic pass then builds a throwaway view
+  /// over `network`; batch-native overrides ignore it entirely, which is
+  /// why the public entry does not eagerly build one.
+  virtual BatchResult route_batch_impl(const net::QuantumNetwork& network,
+                                       std::span<const BatchRequest> groups,
+                                       const BatchOptions& batch,
+                                       support::Rng& rng,
+                                       const RouterOptions& options,
+                                       net::CapacityState& capacity,
+                                       net::ResidualNetworkView* residual)
+      const;
 
   std::string name_;
   std::string display_name_;

@@ -1,8 +1,11 @@
 #include "simulation/session_service.hpp"
 
 #include <cassert>
+#include <optional>
+#include <stdexcept>
 #include <utility>
 
+#include "routing/plan.hpp"
 #include "routing/prim_based.hpp"
 #include "support/telemetry/telemetry.hpp"
 
@@ -12,28 +15,6 @@ using support::telemetry::field;
 
 /// Per-session events go through the config.log_events_per_second bucket.
 constexpr auto kInfo = support::telemetry::LogLevel::kInfo;
-
-namespace {
-
-/// True when deducting 2 qubits per interior vertex of every channel in
-/// `tree` stays within `capacity` — the admission guard for registry
-/// algorithms that do not track residuals themselves.
-bool tree_fits_capacity(const net::QuantumNetwork& network,
-                        const net::EntanglementTree& tree,
-                        const net::CapacityState& capacity) {
-  std::vector<int> demand(network.node_count(), 0);
-  for (const net::Channel& ch : tree.channels) {
-    for (std::size_t i = 1; i + 1 < ch.path.size(); ++i) {
-      demand[ch.path[i]] += 2;
-    }
-  }
-  for (net::NodeId sw : network.switches()) {
-    if (demand[sw] > capacity.free_qubits(sw)) return false;
-  }
-  return true;
-}
-
-}  // namespace
 
 SessionService::SessionService(const net::QuantumNetwork& network,
                                SessionServiceConfig config, support::Rng& rng)
@@ -46,8 +27,24 @@ SessionService::SessionService(const net::QuantumNetwork& network,
   assert(config_.params.min_group_size >= 2);
   assert(config_.params.max_group_size >= config_.params.min_group_size);
   assert(config_.params.max_group_size <= network_->users().size());
+  assert(config_.arrival_burst >= 1);
   if (!config_.algorithm.empty()) {
     router_ = &routing::RouterRegistry::instance().at(config_.algorithm);
+  }
+  if (config_.arrival_burst > 1 &&
+      config_.batch_policy == routing::BatchPolicy::kFairShare &&
+      router_ != nullptr && config_.algorithm != "alg4") {
+    // Fail at construction, not mid-simulation: the generic batch pass
+    // would throw on the first burst anyway.
+    throw std::invalid_argument(
+        "SessionServiceConfig: fair-share burst admission needs the "
+        "batch-native kernel (algorithm \"\" or \"alg4\"), not '" +
+        config_.algorithm + "'");
+  }
+  if (router_ != nullptr) {
+    residual_view_.emplace(network);
+  } else if (config_.arrival_burst > 1) {
+    batch_router_.emplace(network);
   }
   for (net::NodeId sw : network_->switches()) {
     total_switch_qubits_ += network_->qubits(sw);
@@ -80,29 +77,39 @@ net::EntanglementTree SessionService::admit(
   }
   // Registry algorithms see the residual network: a copy whose switch
   // budgets are the qubits currently free, so capacity-aware routers route
-  // around held qubits.
-  std::vector<net::NodeKind> kinds(network_->node_count());
-  std::vector<int> residual_qubits(network_->node_count());
-  for (std::size_t i = 0; i < network_->node_count(); ++i) {
-    const auto v = static_cast<net::NodeId>(i);
-    kinds[i] = network_->kind(v);
-    residual_qubits[i] =
-        network_->is_switch(v) ? capacity_.free_qubits(v) : network_->qubits(v);
+  // around held qubits. The cached view patches only the budgets that
+  // changed since the last admission; the rebuild_residual_view oracle knob
+  // keeps the historical from-scratch construction for bit-identity tests.
+  std::optional<net::QuantumNetwork> rebuilt;
+  const net::QuantumNetwork* residual = nullptr;
+  if (config_.rebuild_residual_view) {
+    std::vector<net::NodeKind> kinds(network_->node_count());
+    std::vector<int> residual_qubits(network_->node_count());
+    for (std::size_t i = 0; i < network_->node_count(); ++i) {
+      const auto v = static_cast<net::NodeId>(i);
+      kinds[i] = network_->kind(v);
+      residual_qubits[i] = network_->is_switch(v) ? capacity_.free_qubits(v)
+                                                  : network_->qubits(v);
+    }
+    rebuilt.emplace(
+        network_->graph(),
+        std::vector<support::Point2D>(network_->positions().begin(),
+                                      network_->positions().end()),
+        std::move(kinds), std::move(residual_qubits), network_->physical());
+    residual = &*rebuilt;
+  } else {
+    residual = &residual_view_->sync(capacity_);
   }
-  const net::QuantumNetwork residual(
-      network_->graph(),
-      std::vector<support::Point2D>(network_->positions().begin(),
-                                    network_->positions().end()),
-      std::move(kinds), std::move(residual_qubits), network_->physical());
   routing::RoutingRequest request;
-  request.network = &residual;
+  request.network = residual;
   request.users = group;
   request.rng = rng_;
   request.options = config_.router_options;
   net::EntanglementTree tree = router_->route_tree(request);
   // Admission guard: a capacity-oblivious baseline may return a tree the
   // residual network cannot host. Such a session is rejected, not trimmed.
-  if (tree.feasible && !tree_fits_capacity(*network_, tree, capacity_)) {
+  if (tree.feasible &&
+      !routing::tree_fits_capacity(*network_, tree, capacity_)) {
     tree.feasible = false;
   }
   if (tree.feasible) {
@@ -113,16 +120,107 @@ net::EntanglementTree SessionService::admit(
   return tree;
 }
 
+void SessionService::admit_batch(SlotReport& report) {
+  const std::size_t burst = batch_groups_.size();
+  report.arrived = true;
+  report.arrivals += static_cast<std::uint32_t>(burst);
+  totals_.sessions_arrived += burst;
+  MUERP_COUNTER_ADD("session/arrived", burst);
+
+  batch_requests_.clear();
+  for (const std::vector<net::NodeId>& group : batch_groups_) {
+    batch_requests_.push_back({std::span<const net::NodeId>(group)});
+  }
+  routing::BatchOptions options;
+  options.policy = config_.batch_policy;
+  // Service semantics: a rejected session holds nothing (the same rollback
+  // admit() performs for the shared-Prim path).
+  options.release_on_failure = true;
+
+  routing::BatchResult result;
+  if (router_ == nullptr) {
+    result = batch_router_->route_shared(batch_requests_, options, *rng_,
+                                         capacity_);
+  } else {
+    routing::BatchRoutingRequest request;
+    request.network = network_;
+    request.groups = batch_requests_;
+    request.batch = options;
+    request.rng = rng_;
+    request.options = config_.router_options;
+    request.capacity = &capacity_;
+    request.residual_view = &*residual_view_;
+    result = router_->route_batch_trees(request);
+  }
+
+  // Per-session accounting in admission order, mirroring the single-arrival
+  // path field for field.
+  for (routing::BatchGroupOutcome& outcome : result.outcomes) {
+    const std::size_t size = batch_groups_[outcome.request_index].size();
+    net::EntanglementTree& tree = outcome.tree;
+    if (tree.feasible) {
+      if (!report.admitted) {
+        report.admitted = true;
+        report.admitted_rate = tree.rate;
+      }
+      ++report.admissions;
+      ++totals_.sessions_admitted;
+      MUERP_COUNTER_INC("session/admitted");
+      MUERP_HISTOGRAM_OBSERVE("session/admitted_rate_ppm", tree.rate * 1e6);
+      MUERP_LOG_RATE_LIMITED(log_bucket_, kInfo, "session/admitted",
+                             field("slot", slot_), field("group_size", size),
+                             field("rate", tree.rate),
+                             field("channels", tree.channels.size()),
+                             field("active", active_.size() + 1));
+      active_.push_back({std::move(tree), slot_, size});
+    } else {
+      ++totals_.sessions_rejected;
+      const double utilization = qubit_utilization();
+      MUERP_COUNTER_INC("session/rejected");
+      MUERP_LOG_RATE_LIMITED(log_bucket_, kInfo, "session/rejected",
+                             field("slot", slot_), field("group_size", size),
+                             field("active", active_.size()),
+                             field("qubit_utilization", utilization));
+      if (utilization >= 0.9) {
+        MUERP_COUNTER_INC("session/switch_saturation");
+        MUERP_LOG_INFO("session/switch_saturation", field("slot", slot_),
+                       field("qubit_utilization", utilization),
+                       field("active", active_.size()));
+      }
+    }
+  }
+}
+
 SlotReport SessionService::step() {
   SlotReport report;
   report.slot = ++slot_;
 
   // 1. Arrivals: the central node routes against residual capacity. The
   //    enabled check comes first so a draining service (arrivals off) skips
-  //    the draw; when enabled the Rng sequence is untouched.
-  if (arrivals_enabled_ &&
-      rng_->bernoulli(config_.params.arrival_prob_per_slot)) {
+  //    the draw; when enabled and arrival_burst <= 1 the Rng sequence is the
+  //    untouched historical one. Burst intake (arrival_burst > 1) draws its
+  //    whole burst up front and admits it as one batch — a new, documented
+  //    draw sequence.
+  if (arrivals_enabled_ && config_.arrival_burst > 1) {
+    batch_groups_.clear();
+    for (std::size_t a = 0; a < config_.arrival_burst; ++a) {
+      if (!rng_->bernoulli(config_.params.arrival_prob_per_slot)) continue;
+      const std::size_t size =
+          config_.params.min_group_size +
+          rng_->uniform_index(config_.params.max_group_size -
+                              config_.params.min_group_size + 1);
+      std::vector<net::NodeId> group;
+      for (std::size_t idx :
+           rng_->sample_indices(network_->users().size(), size)) {
+        group.push_back(network_->users()[idx]);
+      }
+      batch_groups_.push_back(std::move(group));
+    }
+    if (!batch_groups_.empty()) admit_batch(report);
+  } else if (arrivals_enabled_ &&
+             rng_->bernoulli(config_.params.arrival_prob_per_slot)) {
     report.arrived = true;
+    report.arrivals = 1;
     ++totals_.sessions_arrived;
     MUERP_COUNTER_INC("session/arrived");
     const std::size_t size =
@@ -137,6 +235,7 @@ SlotReport SessionService::step() {
     auto tree = admit(group);
     if (tree.feasible) {
       report.admitted = true;
+      report.admissions = 1;
       report.admitted_rate = tree.rate;
       ++totals_.sessions_admitted;
       MUERP_COUNTER_INC("session/admitted");

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,23 @@ struct SessionServiceConfig {
   /// instead of milliseconds. Suppressed counts are readable via
   /// SessionService::log_events_suppressed().
   double log_events_per_second = 0.0;
+  /// Arrival attempts per slot. 1 (the default) keeps the historical loop
+  /// — one Bernoulli draw, one admit() — and its exact Rng sequence.
+  /// Larger values draw up to `arrival_burst` independent Bernoulli
+  /// arrivals per slot and admit them as ONE batch through the routing
+  /// kernel, amortizing CSR builds and residual-view syncs across the
+  /// burst. This is a different (documented) Rng sequence: all arrival
+  /// groups are generated before any routing happens.
+  std::size_t arrival_burst = 1;
+  /// Contention-resolution policy for burst admission (ignored when
+  /// arrival_burst <= 1). kFairShare requires the batch-native kernel:
+  /// empty `algorithm` or "alg4".
+  routing::BatchPolicy batch_policy = routing::BatchPolicy::kGivenOrder;
+  /// Oracle knob: reconstruct the registry router's residual network from
+  /// scratch on every admission (the historical O(topology) path) instead
+  /// of syncing the cached ResidualNetworkView. Admission decisions are
+  /// bit-identical either way — tests assert it.
+  bool rebuild_residual_view = false;
 };
 
 /// What one step() observed — the per-slot feed a daemon exports.
@@ -59,7 +77,11 @@ struct SlotReport {
   std::uint64_t slot = 0;
   bool arrived = false;
   bool admitted = false;
-  /// Entanglement rate of the tree admitted this slot (0 when none).
+  /// Arrival/admission counts this slot (0 or 1 when arrival_burst <= 1;
+  /// up to arrival_burst under burst intake).
+  std::uint32_t arrivals = 0;
+  std::uint32_t admissions = 0;
+  /// Entanglement rate of the first tree admitted this slot (0 when none).
   double admitted_rate = 0.0;
   std::uint64_t completed = 0;
   std::uint64_t timed_out = 0;
@@ -117,12 +139,27 @@ class SessionService {
   /// capacity_, or an infeasible one with nothing held.
   net::EntanglementTree admit(const std::vector<net::NodeId>& group);
 
+  /// Admits the burst staged in batch_groups_ as one batch: routes them
+  /// through the batch kernel against capacity_, then applies the same
+  /// per-session counters/logs admit() arrivals get, in admission order.
+  void admit_batch(SlotReport& report);
+
   const net::QuantumNetwork* network_;
   SessionServiceConfig config_;
   support::Rng* rng_;
   const routing::Router* router_ = nullptr;  // null => shared-Prim admission
   bool arrivals_enabled_ = true;
   support::telemetry::LogTokenBucket log_bucket_;
+
+  /// Cached residual-network copy for registry admission (satellite fix:
+  /// the historical code rebuilt this O(topology) object every arrival).
+  std::optional<net::ResidualNetworkView> residual_view_;
+  /// Persistent batch kernel for burst intake with the built-in shared-Prim
+  /// admission (slab arrays survive across slots).
+  std::optional<routing::BatchRouter> batch_router_;
+  /// Scratch: this slot's burst of arrival groups and their request views.
+  std::vector<std::vector<net::NodeId>> batch_groups_;
+  std::vector<routing::BatchRequest> batch_requests_;
 
   net::CapacityState capacity_;
   std::vector<ActiveSession> active_;

@@ -187,6 +187,50 @@ TEST(MultiGroupInterleaved, FairnessVersusSequentialOnAsymmetricLoad) {
   }
 }
 
+TEST(MultiGroupInterleaved, LongChainSurvivesRateUnderflow) {
+  // Regression: two users joined only by a chain so lossy that the Eq. (1)
+  // rate underflows to exactly 0.0. The interleaved scheduler used to
+  // select candidates by `rate > best.rate` with best.rate initialized to
+  // 0.0 — an underflowed (but real) channel never beat the "no channel"
+  // sentinel and the group failed spuriously. Selection now compares
+  // neg_log_rate (finite for any found channel, +inf for none), matching
+  // the sequential path's underflow fix.
+  net::NetworkBuilder b;
+  const NodeId u0 = b.add_user({0, 0});
+  const NodeId u1 = b.add_user({100, 0});
+  NodeId prev = u0;
+  for (int i = 0; i < 20; ++i) {
+    const NodeId sw = b.add_switch({10.0 * (i + 1), 0}, 2);
+    b.connect(prev, sw, 5.0e5);  // 500k km per hop: alpha*L = 50 per edge
+    prev = sw;
+  }
+  b.connect(prev, u1, 5.0e5);
+  const auto network = std::move(b).build({1e-4, 0.9});
+
+  GroupRequest pair;
+  pair.users = {u0, u1};
+  const std::vector<GroupRequest> groups{pair};
+
+  support::Rng r1(21);
+  const auto reference =
+      route_groups_interleaved_reference(network, groups, r1);
+  EXPECT_TRUE(reference.outcomes[0].tree.feasible);
+  EXPECT_EQ(reference.groups_served, 1u);
+  EXPECT_EQ(reference.outcomes[0].tree.rate, 0.0);  // underflowed, yet served
+
+  support::Rng r2(21);
+  const auto batched = route_groups_interleaved(network, groups, r2);
+  EXPECT_TRUE(batched.outcomes[0].tree.feasible);
+  EXPECT_EQ(batched.groups_served, 1u);
+  EXPECT_EQ(batched.outcomes[0].tree.rate, 0.0);
+
+  // The sequential path (fixed in an earlier change) agrees.
+  support::Rng r3(21);
+  const auto sequential =
+      route_groups(network, groups, GroupOrder::kGivenOrder, r3);
+  EXPECT_TRUE(sequential.outcomes[0].tree.feasible);
+}
+
 TEST(MultiGroupInterleaved, MinServedRateMatchesOutcomes) {
   auto fx = shared_hub(4);
   support::Rng rng(15);

@@ -205,6 +205,147 @@ TEST(SessionService, LogRateLimitCountsSuppressedSessionEvents) {
 #endif
 }
 
+TEST(SessionService, CachedResidualViewMatchesRebuildOracle) {
+  // Satellite fix: registry admission used to reconstruct the full residual
+  // QuantumNetwork every arrival. The cached ResidualNetworkView patches
+  // switch budgets in place; admission decisions must be bit-identical.
+  for (const char* algorithm : {"alg3", "eqcast"}) {
+    const auto net = service_network();
+    ProtocolParams params = light_params();
+    params.horizon_slots = 1500;
+    params.arrival_prob_per_slot = 0.3;
+
+    SessionServiceConfig cached_config;
+    cached_config.params = params;
+    cached_config.algorithm = algorithm;
+    cached_config.router_options.pin_alg2_sufficient = false;
+    SessionServiceConfig oracle_config = cached_config;
+    oracle_config.rebuild_residual_view = true;
+
+    support::Rng cached_rng(13);
+    support::Rng oracle_rng(13);
+    SessionService cached(net, cached_config, cached_rng);
+    SessionService oracle(net, oracle_config, oracle_rng);
+
+    for (std::uint64_t i = 0; i < params.horizon_slots; ++i) {
+      const SlotReport a = cached.step();
+      const SlotReport b = oracle.step();
+      ASSERT_EQ(a.arrived, b.arrived) << algorithm << " slot " << i;
+      ASSERT_EQ(a.admitted, b.admitted) << algorithm << " slot " << i;
+      ASSERT_EQ(a.admitted_rate, b.admitted_rate)
+          << algorithm << " slot " << i;  // bitwise
+      ASSERT_EQ(a.completed, b.completed) << algorithm << " slot " << i;
+      ASSERT_EQ(a.timed_out, b.timed_out) << algorithm << " slot " << i;
+      ASSERT_EQ(a.qubit_utilization, b.qubit_utilization)
+          << algorithm << " slot " << i;
+    }
+    const ProtocolMetrics ma = cached.metrics();
+    const ProtocolMetrics mb = oracle.metrics();
+    EXPECT_EQ(ma.sessions_admitted, mb.sessions_admitted);
+    EXPECT_EQ(ma.sessions_rejected, mb.sessions_rejected);
+    EXPECT_GT(ma.sessions_arrived, 0u);
+  }
+}
+
+TEST(SessionService, BurstIntakeAccountingStaysConsistent) {
+  const auto net = service_network();
+  ProtocolParams params = light_params();
+  params.horizon_slots = 2000;
+  params.arrival_prob_per_slot = 0.3;
+  SessionServiceConfig config{params, "", {}};
+  config.arrival_burst = 4;
+  support::Rng rng(19);
+  SessionService service(net, config, rng);
+
+  std::vector<SlotReport> reports;
+  const ProtocolMetrics m =
+      run_stepped(service, params.horizon_slots, &reports);
+
+  std::uint64_t arrivals = 0;
+  std::uint64_t admissions = 0;
+  for (const SlotReport& r : reports) {
+    EXPECT_LE(r.arrivals, config.arrival_burst);
+    EXPECT_LE(r.admissions, r.arrivals);
+    EXPECT_EQ(r.arrived, r.arrivals > 0);
+    EXPECT_EQ(r.admitted, r.admissions > 0);
+    if (r.admitted) {
+      EXPECT_GT(r.admitted_rate, 0.0);
+    }
+    EXPECT_GE(r.qubit_utilization, 0.0);
+    EXPECT_LE(r.qubit_utilization, 1.0);
+    arrivals += r.arrivals;
+    admissions += r.admissions;
+  }
+  EXPECT_GT(m.sessions_arrived, 0u);
+  EXPECT_EQ(arrivals, m.sessions_arrived);
+  EXPECT_EQ(admissions, m.sessions_admitted);
+  EXPECT_EQ(m.sessions_arrived, m.sessions_admitted + m.sessions_rejected);
+  EXPECT_EQ(m.sessions_admitted,
+            m.sessions_completed + m.sessions_timed_out + m.sessions_in_flight);
+}
+
+TEST(SessionService, BurstIntakeWorksAcrossPoliciesAndRouters) {
+  // Every (policy, router) combination the service supports stays
+  // physical under heavy burst load: no oversubscription, consistent
+  // accounting. fair-share is restricted to the batch-native kernels.
+  struct Case {
+    const char* algorithm;
+    routing::BatchPolicy policy;
+  };
+  const Case cases[] = {
+      {"", routing::BatchPolicy::kFairShare},
+      {"", routing::BatchPolicy::kGreedy},
+      {"alg4", routing::BatchPolicy::kFairShare},
+      {"alg3", routing::BatchPolicy::kGivenOrder},
+      {"eqcast", routing::BatchPolicy::kGreedy},
+      {"eqcast", routing::BatchPolicy::kSmallestFirst},
+  };
+  for (const Case& c : cases) {
+    const auto net = service_network(17);
+    ProtocolParams params;
+    params.horizon_slots = 600;
+    params.arrival_prob_per_slot = 0.5;
+    params.session_timeout_slots = 300;
+    SessionServiceConfig config;
+    config.params = params;
+    config.algorithm = c.algorithm;
+    config.router_options.pin_alg2_sufficient = false;
+    config.arrival_burst = 3;
+    config.batch_policy = c.policy;
+    support::Rng rng(23);
+    SessionService service(net, config, rng);
+    for (std::uint64_t i = 0; i < params.horizon_slots; ++i) {
+      service.step();
+      ASSERT_LE(service.qubit_utilization(), 1.0 + 1e-12)
+          << c.algorithm << "/" << routing::batch_policy_name(c.policy)
+          << " slot " << i;
+    }
+    const ProtocolMetrics m = service.metrics();
+    EXPECT_GT(m.sessions_arrived, 0u)
+        << c.algorithm << "/" << routing::batch_policy_name(c.policy);
+    EXPECT_EQ(m.sessions_arrived, m.sessions_admitted + m.sessions_rejected);
+  }
+}
+
+TEST(SessionService, BurstFairShareNeedsBatchNativeKernel) {
+  const auto net = service_network();
+  SessionServiceConfig config;
+  config.params = light_params();
+  config.arrival_burst = 2;
+  config.batch_policy = routing::BatchPolicy::kFairShare;
+  config.algorithm = "alg3";
+  config.router_options.pin_alg2_sufficient = false;
+  support::Rng rng(1);
+  EXPECT_THROW(SessionService(net, config, rng), std::invalid_argument);
+
+  config.algorithm = "alg4";
+  support::Rng rng2(1);
+  EXPECT_NO_THROW(SessionService(net, config, rng2));
+  config.algorithm = "";
+  support::Rng rng3(1);
+  EXPECT_NO_THROW(SessionService(net, config, rng3));
+}
+
 TEST(SessionService, StepsBeyondProtocolHorizonKeepWorking) {
   const auto net = service_network();
   ProtocolParams params = light_params();

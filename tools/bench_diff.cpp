@@ -134,6 +134,11 @@ int main(int argc, char** argv) {
       "committed baseline");
   cli.add_flag("baseline", "committed benchmark JSON", "BENCH_routing.json");
   cli.add_flag("current", "freshly generated benchmark JSON", "");
+  cli.add_flag("batch-baseline",
+               "committed batch_routing JSON (gates run only when "
+               "--batch-current is also given)",
+               "");
+  cli.add_flag("batch-current", "freshly generated batch_routing JSON", "");
   cli.add_flag("tolerance", "allowed relative drift (0.15 = 15%)", "0.15");
   cli.add_flag("allow-rate-drift",
                "rate array mismatch warns instead of failing");
@@ -253,6 +258,89 @@ int main(int argc, char** argv) {
   } else {
     std::cout << "(telemetry snapshot missing from one side; span and "
                  "counter gates skipped)\n";
+  }
+
+  // Batch-kernel gates (bench/batch_routing output). Same philosophy: the
+  // batch-vs-reference speedup and the groups/sec ratio are machine-
+  // relative and gate drop-only; the identical flags and rate arrays are
+  // exact; admission-latency quantiles are absolute microseconds and only
+  // inform. Runs only when both files are supplied so the routing gate
+  // keeps working standalone.
+  const std::string batch_baseline_path = cli.get_string("batch-baseline");
+  const std::string batch_current_path = cli.get_string("batch-current");
+  if (!batch_baseline_path.empty() && !batch_current_path.empty()) {
+    std::string batch_baseline_text;
+    std::string batch_current_text;
+    if (!read_file(batch_baseline_path, &batch_baseline_text)) {
+      return fail("cannot read " + batch_baseline_path);
+    }
+    if (!read_file(batch_current_path, &batch_current_text)) {
+      return fail("cannot read " + batch_current_path);
+    }
+    const ParseResult batch_baseline =
+        muerp::support::json::parse(batch_baseline_text);
+    if (!batch_baseline.ok()) {
+      return fail(batch_baseline_path + ": " + batch_baseline.error);
+    }
+    const ParseResult batch_current =
+        muerp::support::json::parse(batch_current_text);
+    if (!batch_current.ok()) {
+      return fail(batch_current_path + ": " + batch_current.error);
+    }
+
+    muerp::support::Table batch_table(
+        "batch kernel vs sequential reference",
+        {"policy", "base speedup", "cur speedup", "base groups/s",
+         "cur groups/s"});
+    for (const char* section : {"given_order", "fair_share"}) {
+      const Value& base_sec = batch_baseline.value[section];
+      const Value& cur_sec = batch_current.value[section];
+      batch_table.add_row(section,
+                          {base_sec["speedup"].number_value,
+                           cur_sec["speedup"].number_value,
+                           base_sec["batch_groups_per_sec"].number_value,
+                           cur_sec["batch_groups_per_sec"].number_value});
+      gate.check_speedup(std::string("batch ") + section + " speedup",
+                         base_sec["speedup"].number_value,
+                         cur_sec["speedup"].number_value);
+      gate.check_flag(std::string("batch ") + section + " identical",
+                      base_sec["identical"].bool_value,
+                      cur_sec["identical"].bool_value);
+      if (!rates_identical(base_sec, cur_sec)) {
+        if (allow_rate_drift) {
+          std::cerr << "WARN batch " << section
+                    << ": rate arrays differ from baseline (allowed)\n";
+        } else {
+          ++gate.failures;
+          std::cerr << "FAIL batch " << section
+                    << ": rate arrays differ from baseline (routing results "
+                       "changed; re-commit the baseline if intended)\n";
+        }
+      }
+    }
+    std::cout << batch_table;
+    const Value& base_admit = batch_baseline.value["admit_us"];
+    const Value& cur_admit = batch_current.value["admit_us"];
+    std::cout << "admission latency us (informational): p50 "
+              << base_admit["p50"].number_value << " -> "
+              << cur_admit["p50"].number_value << ", p99 "
+              << base_admit["p99"].number_value << " -> "
+              << cur_admit["p99"].number_value << '\n';
+
+    const Value& base_batch_tel = batch_baseline.value["telemetry"];
+    const Value& cur_batch_tel = batch_current.value["telemetry"];
+    if (base_batch_tel["enabled"].bool_value &&
+        cur_batch_tel["enabled"].bool_value) {
+      for (const auto& [counter, base_value] :
+           base_batch_tel["snapshot"]["counters"].members) {
+        gate.check_count(
+            "batch counter " + counter, base_value.number_value,
+            cur_batch_tel["snapshot"]["counters"][counter].number_value);
+      }
+    } else {
+      std::cout << "(batch telemetry snapshot missing from one side; "
+                   "counter gates skipped)\n";
+    }
   }
 
   if (gate.failures > 0) {

@@ -82,6 +82,14 @@ int main(int argc, char** argv) {
   cli.add_flag("algorithm",
                "admission router: shared-prim or a registry name", "");
   cli.add_flag("arrival", "session arrival probability per slot", "0.05");
+  cli.add_flag("arrival-burst",
+               "arrival attempts per slot; >1 admits each slot's arrivals "
+               "as one batch through the routing kernel",
+               "1");
+  cli.add_flag("batch-policy",
+               "burst admission order: given-order|smallest-first|"
+               "largest-first|greedy|fair-share",
+               "given-order");
   cli.add_flag("min-group", "smallest session group size", "2");
   cli.add_flag("max-group", "largest session group size", "4");
   cli.add_flag("timeout", "session timeout in slots", "500");
@@ -175,6 +183,21 @@ int main(int argc, char** argv) {
                 std::to_string(network->users().size()) + ")");
   }
   config.log_events_per_second = cli.get_double("log-rate").value_or(0.0);
+  const auto arrival_burst = cli.get_int("arrival-burst").value_or(1);
+  if (arrival_burst < 1) return fail("--arrival-burst must be >= 1");
+  config.arrival_burst = static_cast<std::size_t>(arrival_burst);
+  if (!routing::parse_batch_policy(cli.get_string("batch-policy"),
+                                   &config.batch_policy)) {
+    return fail("unknown --batch-policy '" + cli.get_string("batch-policy") +
+                "' (given-order|smallest-first|largest-first|greedy|"
+                "fair-share)");
+  }
+  if (config.arrival_burst > 1 &&
+      config.batch_policy == routing::BatchPolicy::kFairShare &&
+      !config.algorithm.empty() && config.algorithm != "alg4") {
+    return fail("--batch-policy fair-share needs --algorithm shared-prim or "
+                "alg4 (batch-native kernel)");
+  }
   const auto max_slots =
       static_cast<std::uint64_t>(cli.get_int("slots").value_or(0));
   const auto slot_ms = cli.get_int("slot-ms").value_or(10);
