@@ -1,0 +1,292 @@
+// session_throughput — sessions/sec benchmark for the sharded session plane.
+//
+// Plays the same seeded session workload (Waxman topology, pair sessions,
+// near-saturating arrivals) through three configurations:
+//
+//   * baseline: one plain sim::SessionService — the historical muerpd data
+//     path: one Rng, one capacity pool, a cold prim_based_shared pass per
+//     arrival;
+//   * identity arm: sim::ShardedSessionService with lane_count == 1 on the
+//     same seed and config — asserted bit-identical to the baseline
+//     (metrics compare equal field for field);
+//   * sharded arms: 8 lanes stepped by 1/2/4/8 shard workers with
+//     batch_single_arrivals — per-lane persistent BatchRouter admission
+//     (warm slabs, pair fast path) on per-lane capacity slices. All four
+//     shard counts are asserted to produce bit-identical merged metrics
+//     (the lane decomposition, not the worker count, defines the result).
+//
+// Reported per arm: sessions/sec (arrivals routed per wall-second) and
+// admission-latency p50/p95/p99. The headline `speedup` is the 8-shard
+// arm's sessions/sec over the baseline's — machine-relative, gated
+// drop-only by tools/bench_diff --session-baseline/--session-current. The
+// identity flags and the merged session counts are machine-independent and
+// gate exactly. Exits non-zero if any identity assertion fails, so CI
+// catches a divergence even without the diff gate.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "experiment/scenario.hpp"
+#include "simulation/session_service.hpp"
+#include "simulation/sharded_session_service.hpp"
+#include "support/rng.hpp"
+#include "support/statistics.hpp"
+#include "support/table.hpp"
+#include "support/telemetry/export.hpp"
+#include "support/telemetry/telemetry.hpp"
+
+namespace {
+
+using namespace muerp;
+namespace tel = support::telemetry;
+
+constexpr std::size_t kSwitches = 100;
+constexpr std::size_t kUsers = 128;
+// Large enough that an 8-way lane slice still gives every lane 16 qubits
+// per switch. Headroom matters twice: a lane needs >= 2 free qubits at a
+// switch to relay at all, and slab reuse in the warm admission path dies
+// whenever a switch crosses that boundary (every crossing is a relay flip,
+// and flips invalidate cached trees) — tight slices turn every admission
+// into a fresh Dijkstra.
+constexpr int kQubitsPerSwitch = 128;
+constexpr std::uint64_t kSlots = 5000;
+constexpr double kArrivalProb = 0.9;
+constexpr std::uint64_t kTimeoutSlots = 50;
+constexpr std::size_t kLanes = 8;
+constexpr std::uint64_t kTickBatch = 64;  // run_slots granularity (muerpd's)
+constexpr std::uint64_t kSeed = 11;
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+sim::SessionServiceConfig base_config() {
+  sim::SessionServiceConfig config;
+  config.params.arrival_prob_per_slot = kArrivalProb;
+  config.params.min_group_size = 2;
+  config.params.max_group_size = 2;  // pair sessions: the warm fast path
+  config.params.session_timeout_slots = kTimeoutSlots;
+  return config;
+}
+
+struct Quantiles {
+  std::size_t count = 0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+Quantiles admit_quantiles(std::vector<double> admit_us) {
+  Quantiles q;
+  q.count = admit_us.size();
+  std::sort(admit_us.begin(), admit_us.end());
+  q.p50 = support::quantile(admit_us, 0.50);
+  q.p95 = support::quantile(admit_us, 0.95);
+  q.p99 = support::quantile(admit_us, 0.99);
+  return q;
+}
+
+struct ArmResult {
+  double elapsed_ms = 0.0;
+  sim::ProtocolMetrics metrics;
+  Quantiles admit;
+
+  double sessions_per_sec() const {
+    return elapsed_ms > 0.0 ? static_cast<double>(metrics.sessions_arrived) /
+                                  (elapsed_ms / 1e3)
+                            : 0.0;
+  }
+};
+
+bool metrics_identical(const sim::ProtocolMetrics& a,
+                       const sim::ProtocolMetrics& b) {
+  return a.sessions_arrived == b.sessions_arrived &&
+         a.sessions_admitted == b.sessions_admitted &&
+         a.sessions_rejected == b.sessions_rejected &&
+         a.sessions_completed == b.sessions_completed &&
+         a.sessions_timed_out == b.sessions_timed_out &&
+         a.sessions_in_flight == b.sessions_in_flight &&
+         a.mean_completion_slots == b.mean_completion_slots &&  // bitwise
+         a.mean_qubit_utilization == b.mean_qubit_utilization;  // bitwise
+}
+
+ArmResult run_baseline(const net::QuantumNetwork& network) {
+  std::vector<double> admit_us;
+  sim::SessionServiceConfig config = base_config();
+  config.admit_us = &admit_us;
+  support::Rng rng(kSeed);
+  sim::SessionService service(network, config, rng);
+  ArmResult arm;
+  const auto start = Clock::now();
+  for (std::uint64_t s = 0; s < kSlots; ++s) service.step();
+  arm.elapsed_ms = ms_since(start);
+  arm.metrics = service.metrics();
+  arm.admit = admit_quantiles(std::move(admit_us));
+  return arm;
+}
+
+ArmResult run_sharded(const net::QuantumNetwork& network, std::size_t lanes,
+                      std::size_t shards, bool batch_single) {
+  sim::ShardedSessionServiceConfig config;
+  config.base = base_config();
+  config.base.batch_single_arrivals = batch_single;
+  config.lane_count = lanes;
+  config.shard_count = shards;
+  config.record_admit_us = true;
+  sim::ShardedSessionService service(network, config, kSeed);
+  ArmResult arm;
+  const auto start = Clock::now();
+  for (std::uint64_t played = 0; played < kSlots; played += kTickBatch) {
+    service.run_slots(std::min<std::uint64_t>(kTickBatch, kSlots - played));
+  }
+  arm.elapsed_ms = ms_since(start);
+  arm.metrics = service.metrics();
+  std::vector<double> admit_us;
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    const auto lane_us = service.lane_admit_us(lane);
+    admit_us.insert(admit_us.end(), lane_us.begin(), lane_us.end());
+  }
+  arm.admit = admit_quantiles(std::move(admit_us));
+  return arm;
+}
+
+void write_admit_json(std::ostream& out, const Quantiles& q) {
+  out << "{\"count\": " << q.count << ", \"p50\": " << q.p50
+      << ", \"p95\": " << q.p95 << ", \"p99\": " << q.p99 << "}";
+}
+
+int run(const std::string& output_path) {
+  experiment::Scenario s;
+  s.switch_count = kSwitches;
+  s.user_count = kUsers;
+  s.qubits_per_switch = kQubitsPerSwitch;
+  s.seed = 7;
+  const net::QuantumNetwork network =
+      std::move(experiment::instantiate(s, 0).network);
+
+  const tel::Snapshot before = tel::capture_process();
+
+  const ArmResult baseline = run_baseline(network);
+  // Identity arm: 1 lane, 1 shard, historical admission path — must be the
+  // same computation as the baseline, bit for bit.
+  const ArmResult lane1 =
+      run_sharded(network, /*lanes=*/1, /*shards=*/1, /*batch_single=*/false);
+  const bool identical_lane1 =
+      metrics_identical(baseline.metrics, lane1.metrics);
+
+  const std::size_t shard_counts[] = {1, 2, 4, 8};
+  std::vector<ArmResult> sharded;
+  for (const std::size_t shards : shard_counts) {
+    sharded.push_back(
+        run_sharded(network, kLanes, shards, /*batch_single=*/true));
+  }
+  bool identical_across_shards = true;
+  for (std::size_t i = 1; i < sharded.size(); ++i) {
+    identical_across_shards &=
+        metrics_identical(sharded[0].metrics, sharded[i].metrics);
+  }
+
+  tel::Snapshot delta = tel::capture_process();
+  delta.subtract(before);
+
+  const ArmResult& best = sharded.back();  // 8 shards
+  const double speedup =
+      baseline.sessions_per_sec() > 0.0
+          ? best.sessions_per_sec() / baseline.sessions_per_sec()
+          : 0.0;
+
+  support::Table table(
+      "sharded session plane vs single SessionService (" +
+          std::to_string(kSlots) + " slots, pair sessions)",
+      {"arm", "elapsed ms", "sessions/s", "admit p50 us", "admit p99 us"});
+  table.add_row("baseline (1 lane, cold)",
+                {baseline.elapsed_ms, baseline.sessions_per_sec(),
+                 baseline.admit.p50, baseline.admit.p99});
+  for (std::size_t i = 0; i < sharded.size(); ++i) {
+    table.add_row(std::to_string(kLanes) + " lanes / " +
+                      std::to_string(shard_counts[i]) + " shards",
+                  {sharded[i].elapsed_ms, sharded[i].sessions_per_sec(),
+                   sharded[i].admit.p50, sharded[i].admit.p99});
+  }
+  std::cout << table;
+  std::cout << "speedup (8 shards vs baseline): " << speedup
+            << "x; identical_lane1 " << (identical_lane1 ? "yes" : "NO")
+            << ", identical_across_shards "
+            << (identical_across_shards ? "yes" : "NO") << "\n";
+
+  std::ofstream out(output_path);
+  out << std::setprecision(17);
+  out << "{\n  \"scenario\": {\"topology\": \"Waxman\", \"switches\": "
+      << kSwitches << ", \"users\": " << kUsers
+      << ", \"qubits_per_switch\": " << kQubitsPerSwitch
+      << ", \"slots\": " << kSlots << ", \"arrival\": " << kArrivalProb
+      << ", \"lanes\": " << kLanes << ", \"timeout\": " << kTimeoutSlots
+      << "},\n";
+  out << "  \"baseline\": {\"elapsed_ms\": " << baseline.elapsed_ms
+      << ", \"sessions_per_sec\": " << baseline.sessions_per_sec()
+      << ", \"arrived\": " << baseline.metrics.sessions_arrived
+      << ", \"admitted\": " << baseline.metrics.sessions_admitted
+      << ", \"completed\": " << baseline.metrics.sessions_completed
+      << ",\n    \"admit_us\": ";
+  write_admit_json(out, baseline.admit);
+  out << "},\n";
+  out << "  \"sharded\": [\n";
+  for (std::size_t i = 0; i < sharded.size(); ++i) {
+    out << "    {\"shards\": " << shard_counts[i] << ", \"lanes\": " << kLanes
+        << ", \"elapsed_ms\": " << sharded[i].elapsed_ms
+        << ", \"sessions_per_sec\": " << sharded[i].sessions_per_sec()
+        << ", \"admit_us\": ";
+    write_admit_json(out, sharded[i].admit);
+    out << "}" << (i + 1 < sharded.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"speedup\": " << speedup << ",\n";
+  out << "  \"identical_lane1\": " << (identical_lane1 ? "true" : "false")
+      << ",\n";
+  out << "  \"identical_across_shards\": "
+      << (identical_across_shards ? "true" : "false") << ",\n";
+  out << "  \"counts\": {\"arrived\": " << best.metrics.sessions_arrived
+      << ", \"admitted\": " << best.metrics.sessions_admitted
+      << ", \"completed\": " << best.metrics.sessions_completed << "},\n";
+  out << "  \"telemetry\": {\"enabled\": "
+      << (MUERP_TELEMETRY_ENABLED ? "true" : "false") << ", \"snapshot\": ";
+  tel::write_json(out, delta, /*indent=*/0);
+  out << "}\n}\n";
+  std::printf("wrote %s\n", output_path.c_str());
+
+  if (!identical_lane1) {
+    std::cerr << "FAIL: 1-lane sharded service diverged from "
+                 "SessionService\n";
+    return 1;
+  }
+  if (!identical_across_shards) {
+    std::cerr << "FAIL: merged metrics differ across shard counts\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string output_path = "BENCH_session.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg.rfind("--out=", 0) == 0) {
+      output_path = std::string(arg.substr(6));
+    } else {
+      std::cerr << "usage: session_throughput [--out=FILE]\n";
+      return 2;
+    }
+  }
+  return run(output_path);
+}

@@ -50,10 +50,12 @@
 #include "simulation/protocol.hpp"        // IWYU pragma: export
 #include "simulation/qubit_machine.hpp"   // IWYU pragma: export
 #include "simulation/session_service.hpp"  // IWYU pragma: export
+#include "simulation/sharded_session_service.hpp"  // IWYU pragma: export
 #include "simulation/swap_policy.hpp"     // IWYU pragma: export
 #include "simulation/time_slotted.hpp"    // IWYU pragma: export
 #include "support/cli.hpp"                // IWYU pragma: export
 #include "support/rng.hpp"                // IWYU pragma: export
+#include "support/scheduler.hpp"          // IWYU pragma: export
 #include "support/statistics.hpp"         // IWYU pragma: export
 #include "support/table.hpp"              // IWYU pragma: export
 #include "support/telemetry/export.hpp"   // IWYU pragma: export

@@ -31,7 +31,7 @@ SessionService::SessionService(const net::QuantumNetwork& network,
   if (!config_.algorithm.empty()) {
     router_ = &routing::RouterRegistry::instance().at(config_.algorithm);
   }
-  if (config_.arrival_burst > 1 &&
+  if ((config_.arrival_burst > 1 || config_.batch_single_arrivals) &&
       config_.batch_policy == routing::BatchPolicy::kFairShare &&
       router_ != nullptr && config_.algorithm != "alg4") {
     // Fail at construction, not mid-simulation: the generic batch pass
@@ -43,7 +43,7 @@ SessionService::SessionService(const net::QuantumNetwork& network,
   }
   if (router_ != nullptr) {
     residual_view_.emplace(network);
-  } else if (config_.arrival_burst > 1) {
+  } else if (config_.arrival_burst > 1 || config_.batch_single_arrivals) {
     batch_router_.emplace(network);
   }
   for (net::NodeId sw : network_->switches()) {
@@ -136,6 +136,9 @@ void SessionService::admit_batch(SlotReport& report) {
   // Service semantics: a rejected session holds nothing (the same rollback
   // admit() performs for the shared-Prim path).
   options.release_on_failure = true;
+  if (config_.admit_us != nullptr) {
+    options.admit_us = &admit_us_scratch_;  // kernel clears it per call
+  }
 
   routing::BatchResult result;
   if (router_ == nullptr) {
@@ -152,6 +155,10 @@ void SessionService::admit_batch(SlotReport& report) {
     request.residual_view = &*residual_view_;
     result = router_->route_batch_trees(request);
   }
+  if (config_.admit_us != nullptr) {
+    config_.admit_us->insert(config_.admit_us->end(), admit_us_scratch_.begin(),
+                             admit_us_scratch_.end());
+  }
 
   // Per-session accounting in admission order, mirroring the single-arrival
   // path field for field.
@@ -163,6 +170,7 @@ void SessionService::admit_batch(SlotReport& report) {
         report.admitted = true;
         report.admitted_rate = tree.rate;
       }
+      report.admitted_rate_sum += tree.rate;
       ++report.admissions;
       ++totals_.sessions_admitted;
       MUERP_COUNTER_INC("session/admitted");
@@ -200,8 +208,12 @@ SlotReport SessionService::step() {
   //    the draw; when enabled and arrival_burst <= 1 the Rng sequence is the
   //    untouched historical one. Burst intake (arrival_burst > 1) draws its
   //    whole burst up front and admits it as one batch — a new, documented
-  //    draw sequence.
-  if (arrivals_enabled_ && config_.arrival_burst > 1) {
+  //    draw sequence. batch_single_arrivals routes a lone arrival through
+  //    the same batch path as a batch of one; with arrival_burst == 1 that
+  //    is STILL the historical draw sequence (bernoulli, size, members,
+  //    then the kernel's uniform_index seed — exactly what admit() drew).
+  if (arrivals_enabled_ &&
+      (config_.arrival_burst > 1 || config_.batch_single_arrivals)) {
     batch_groups_.clear();
     for (std::size_t a = 0; a < config_.arrival_burst; ++a) {
       if (!rng_->bernoulli(config_.params.arrival_prob_per_slot)) continue;
@@ -232,11 +244,22 @@ SlotReport SessionService::step() {
          rng_->sample_indices(network_->users().size(), size)) {
       group.push_back(network_->users()[idx]);
     }
+    const std::uint64_t admit_t0 =
+        config_.admit_us != nullptr
+            ? support::telemetry::monotonic_now_ns()
+            : 0;
     auto tree = admit(group);
+    if (config_.admit_us != nullptr) {
+      config_.admit_us->push_back(
+          static_cast<double>(support::telemetry::monotonic_now_ns() -
+                              admit_t0) /
+          1e3);
+    }
     if (tree.feasible) {
       report.admitted = true;
       report.admissions = 1;
       report.admitted_rate = tree.rate;
+      report.admitted_rate_sum = tree.rate;
       ++totals_.sessions_admitted;
       MUERP_COUNTER_INC("session/admitted");
       MUERP_HISTOGRAM_OBSERVE("session/admitted_rate_ppm", tree.rate * 1e6);

@@ -65,6 +65,22 @@ struct SessionServiceConfig {
   /// arrival_burst <= 1). kFairShare requires the batch-native kernel:
   /// empty `algorithm` or "alg4".
   routing::BatchPolicy batch_policy = routing::BatchPolicy::kGivenOrder;
+  /// Routes single arrivals (arrival_burst <= 1) through the batch kernel as
+  /// a batch of one instead of the cold per-arrival prim_based_shared pass.
+  /// Admission decisions AND the Rng draw sequence are bit-identical to the
+  /// historical path (the kernel draws the same uniform_index seed before
+  /// routing, and route_one is bit-identical to prim_based_shared — tests
+  /// assert both); what changes is cost: the kernel's slot-major slabs and
+  /// pair fast path persist across slots, so steady-state admissions skip
+  /// the per-arrival Dijkstra rebuild. This is the lever the sharded
+  /// session plane uses for its per-lane throughput.
+  bool batch_single_arrivals = false;
+  /// Optional admission-latency sink: when set, every routed arrival
+  /// appends its admission wall time in microseconds (admitted or not, in
+  /// admission order). The vector is appended to, never cleared — callers
+  /// own its lifetime and reset. Used by bench/session_throughput for
+  /// p50/p95/p99.
+  std::vector<double>* admit_us = nullptr;
   /// Oracle knob: reconstruct the registry router's residual network from
   /// scratch on every admission (the historical O(topology) path) instead
   /// of syncing the cached ResidualNetworkView. Admission decisions are
@@ -83,6 +99,11 @@ struct SlotReport {
   std::uint32_t admissions = 0;
   /// Entanglement rate of the first tree admitted this slot (0 when none).
   double admitted_rate = 0.0;
+  /// Sum of the rates of ALL trees admitted this slot. Equal to
+  /// admitted_rate when at most one session is admitted per slot; under
+  /// burst intake this is the field that sees every admission (satellite
+  /// fix: admitted_rate alone truncated burst telemetry to the first tree).
+  double admitted_rate_sum = 0.0;
   std::uint64_t completed = 0;
   std::uint64_t timed_out = 0;
   /// Sessions holding qubits after this slot's expiries.
@@ -160,6 +181,9 @@ class SessionService {
   /// Scratch: this slot's burst of arrival groups and their request views.
   std::vector<std::vector<net::NodeId>> batch_groups_;
   std::vector<routing::BatchRequest> batch_requests_;
+  /// Scratch for per-route admission latencies (BatchOptions::admit_us is
+  /// cleared per route call; config_.admit_us accumulates across slots).
+  std::vector<double> admit_us_scratch_;
 
   net::CapacityState capacity_;
   std::vector<ActiveSession> active_;

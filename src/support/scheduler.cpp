@@ -1,0 +1,82 @@
+#include "support/scheduler.hpp"
+
+#include <algorithm>
+
+namespace muerp::support {
+
+SlotScheduler::SlotScheduler(Options options)
+    : options_(options), start_(Clock::now()) {}
+
+std::uint64_t SlotScheduler::due_at(Clock::time_point now) const noexcept {
+  if (now <= start_) {
+    return 0;
+  }
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now - start_);
+  // Slot k is due once start_ + (k + 1) * period has passed; elapsed /
+  // period counts exactly the due slots on the fixed grid.
+  const std::uint64_t ticked =
+      static_cast<std::uint64_t>(elapsed.count() / options_.period.count());
+  return ticked > played_ ? ticked - played_ : 0;
+}
+
+std::uint64_t SlotScheduler::acquire() {
+  if (options_.period <= std::chrono::nanoseconds::zero()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stop_ ? 0 : std::max<std::uint64_t>(1, options_.max_batch);
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  const std::uint64_t kicks_seen = kicks_;
+  for (;;) {
+    if (stop_) {
+      return 0;
+    }
+    const auto now = Clock::now();
+    const std::uint64_t due = due_at(now);
+    if (due > 0) {
+      return std::min<std::uint64_t>(due, std::max<std::uint64_t>(
+                                              1, options_.max_batch));
+    }
+    if (kicks_ != kicks_seen) {
+      // A control event interrupted the wait before any slot came due;
+      // hand control back so the loop can service it.
+      return 0;
+    }
+    const auto next_due =
+        start_ + options_.period * static_cast<std::int64_t>(played_ + 1);
+    const auto deadline = std::min(next_due, now + kPollInterval);
+    cv_.wait_until(lock, deadline, [&] {
+      return stop_ || kicks_ != kicks_seen || Clock::now() >= deadline;
+    });
+    if (!stop_ && kicks_ == kicks_seen && Clock::now() >= deadline &&
+        next_due > deadline) {
+      // Poll-bound expiry with nothing due: surface control to the caller
+      // so externally set flags (e.g. signal handlers) are observed.
+      return 0;
+    }
+  }
+}
+
+void SlotScheduler::kick() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++kicks_;
+  }
+  cv_.notify_all();
+}
+
+void SlotScheduler::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool SlotScheduler::stopped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stop_;
+}
+
+}  // namespace muerp::support

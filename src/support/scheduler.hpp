@@ -1,0 +1,91 @@
+// Event-driven slot scheduler for long-running paced services.
+//
+// muerpd's seed loop paced itself with one sleep_until per slot: every slot
+// paid a syscall-grade sleep, a slow slot silently pushed the whole cadence
+// back, and nothing could wake the loop early for a control event. This
+// scheduler inverts that: the loop blocks on a condition variable until the
+// next slot is *due* (or a control event / stop arrives) and is then told
+// how many slots are due — one in the steady state, a catch-up batch when
+// the loop fell behind. Batching due slots is what lets a sharded session
+// plane amortize one parallel dispatch over many slots instead of paying a
+// wake-sleep cycle per slot.
+//
+// The deadline grid is fixed at construction time (slot k is due at
+// start + k * period), so catch-up never drifts the cadence: a burst of
+// slow slots is repaid by a batch, after which the loop is back on grid.
+// kick() wakes a blocked acquire() immediately (the control-plane hook —
+// a config change or shutdown request must not wait out a slot period);
+// stop() does the same and makes every future acquire() return 0.
+//
+// Threading: acquire()/advance() belong to the single service loop thread;
+// kick()/stop() may be called from any thread. Not async-signal-safe —
+// signal handlers should set a flag the loop observes after acquire()
+// returns (acquire() bounds its waits so a pending flag is observed within
+// kPollInterval even when no slot is due for much longer).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace muerp::support {
+
+class SlotScheduler {
+ public:
+  struct Options {
+    /// Time between consecutive slots. zero() = unpaced: every acquire()
+    /// returns max_batch immediately (benchmark / drain mode).
+    std::chrono::nanoseconds period{std::chrono::milliseconds(10)};
+    /// Largest batch of due slots one acquire() hands out. Bounds how long
+    /// the loop runs between wake-ups (and how stale the published health
+    /// snapshot can get) when catching up.
+    std::uint64_t max_batch = 64;
+  };
+
+  explicit SlotScheduler(Options options);
+
+  /// Blocks until at least one slot is due, then returns the number of due
+  /// slots, capped at max_batch. Returns 0 when stop() was called, or when
+  /// a kick() (or the internal poll bound) woke the wait before anything
+  /// was due — callers re-check their control flags and call acquire()
+  /// again. The caller must report the slots it actually played via
+  /// advance() before the next acquire().
+  std::uint64_t acquire();
+
+  /// Marks `played` slots as done, advancing the due baseline.
+  void advance(std::uint64_t played) noexcept { played_ += played; }
+
+  /// Slots handed out and advanced so far.
+  std::uint64_t slots_played() const noexcept { return played_; }
+
+  /// Wakes a blocked acquire() now (control event). Thread-safe.
+  void kick();
+
+  /// Wakes a blocked acquire() and makes it (and every later call) return
+  /// 0. Thread-safe, idempotent.
+  void stop();
+
+  bool stopped() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// Upper bound on one cv wait, so acquire() observes externally set flags
+  /// (signal handlers can't kick()) even when the next slot is far out.
+  static constexpr std::chrono::milliseconds kPollInterval{200};
+
+  /// Slots due at `now` beyond those already played.
+  std::uint64_t due_at(Clock::time_point now) const noexcept;
+
+  Options options_;
+  Clock::time_point start_;
+  std::uint64_t played_ = 0;  // loop-thread only
+
+  mutable std::mutex mutex_;  // guards the two fields below
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::uint64_t kicks_ = 0;  // bumped per kick(); unblocks the current wait
+};
+
+}  // namespace muerp::support

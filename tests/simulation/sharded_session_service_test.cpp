@@ -1,0 +1,257 @@
+#include "simulation/sharded_session_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "experiment/scenario.hpp"
+#include "simulation/protocol.hpp"
+#include "simulation/session_service.hpp"
+#include "support/rng.hpp"
+
+namespace muerp::sim {
+namespace {
+
+net::QuantumNetwork sharded_network(std::uint64_t seed = 11) {
+  experiment::Scenario s;
+  s.switch_count = 30;
+  s.user_count = 8;
+  // 16 qubits so a 4-lane slice still leaves every lane 4 per switch —
+  // enough relay headroom that lanes actually admit sessions.
+  s.qubits_per_switch = 16;
+  s.attenuation = 2e-5;
+  s.seed = seed;
+  return experiment::instantiate(s, 0).network;
+}
+
+ShardedSessionServiceConfig sharded_config(std::size_t lanes,
+                                           std::size_t shards,
+                                           bool batch_single = true) {
+  ShardedSessionServiceConfig config;
+  config.base.params.arrival_prob_per_slot = 0.4;
+  config.base.params.session_timeout_slots = 40;
+  config.base.batch_single_arrivals = batch_single;
+  config.lane_count = lanes;
+  config.shard_count = shards;
+  return config;
+}
+
+/// Exact (bitwise for the doubles) equality — the determinism contract.
+void expect_metrics_identical(const ProtocolMetrics& a,
+                              const ProtocolMetrics& b) {
+  EXPECT_EQ(a.sessions_arrived, b.sessions_arrived);
+  EXPECT_EQ(a.sessions_admitted, b.sessions_admitted);
+  EXPECT_EQ(a.sessions_rejected, b.sessions_rejected);
+  EXPECT_EQ(a.sessions_completed, b.sessions_completed);
+  EXPECT_EQ(a.sessions_timed_out, b.sessions_timed_out);
+  EXPECT_EQ(a.sessions_in_flight, b.sessions_in_flight);
+  EXPECT_EQ(a.mean_completion_slots, b.mean_completion_slots);
+  EXPECT_EQ(a.mean_qubit_utilization, b.mean_qubit_utilization);
+}
+
+struct RunOutcome {
+  ProtocolMetrics metrics;
+  std::vector<ShardTickReport> ticks;
+  std::uint64_t drain_slots = 0;
+};
+
+/// Plays `slots` slots in uneven run_slots chunks, then drains.
+RunOutcome play(ShardedSessionService& service, std::uint64_t slots,
+                bool drain = false) {
+  RunOutcome outcome;
+  const std::uint64_t chunks[] = {1, 7, 64, 3};
+  std::uint64_t played = 0;
+  std::size_t next = 0;
+  while (played < slots) {
+    const std::uint64_t n =
+        std::min(chunks[next++ % 4], slots - played);
+    outcome.ticks.push_back(service.run_slots(n));
+    played += n;
+  }
+  if (drain) {
+    service.set_arrivals_enabled(false);
+    while (service.active_sessions() > 0 && outcome.drain_slots < 10000) {
+      service.step();
+      ++outcome.drain_slots;
+    }
+  }
+  outcome.metrics = service.metrics();
+  return outcome;
+}
+
+TEST(ShardedSessionService, Lane1BitIdenticalToSessionService) {
+  const auto net = sharded_network();
+  // The 1-lane service must reproduce a plain SessionService on the same
+  // seed bit for bit — including with the historical (non-batch) admission
+  // path, which is the muerpd default.
+  for (const bool batch_single : {false, true}) {
+    ShardedSessionServiceConfig config =
+        sharded_config(/*lanes=*/1, /*shards=*/1, batch_single);
+    ShardedSessionService sharded(net, config, /*seed=*/7);
+    for (int i = 0; i < 500; ++i) sharded.step();
+
+    support::Rng rng(7);
+    SessionService plain(net, config.base, rng);
+    for (int i = 0; i < 500; ++i) plain.step();
+
+    expect_metrics_identical(sharded.metrics(), plain.metrics());
+    EXPECT_EQ(sharded.active_sessions(), plain.active_sessions());
+    EXPECT_EQ(sharded.qubit_utilization(), plain.qubit_utilization());
+  }
+}
+
+TEST(ShardedSessionService, MergedTotalsIdenticalAcrossShardCounts) {
+  const auto net = sharded_network();
+  RunOutcome reference;
+  bool first = true;
+  for (const std::size_t shards : {1u, 2u, 8u}) {
+    ShardedSessionService service(net, sharded_config(/*lanes=*/4, shards),
+                                  /*seed=*/21);
+    RunOutcome outcome = play(service, 400);
+    if (first) {
+      reference = std::move(outcome);
+      first = false;
+      ASSERT_GT(reference.metrics.sessions_arrived, 0u);
+      ASSERT_GT(reference.metrics.sessions_admitted, 0u);
+      continue;
+    }
+    expect_metrics_identical(outcome.metrics, reference.metrics);
+    // The per-tick merge is deterministic too, not just the final totals.
+    ASSERT_EQ(outcome.ticks.size(), reference.ticks.size());
+    for (std::size_t i = 0; i < outcome.ticks.size(); ++i) {
+      EXPECT_EQ(outcome.ticks[i].arrivals, reference.ticks[i].arrivals);
+      EXPECT_EQ(outcome.ticks[i].admissions, reference.ticks[i].admissions);
+      EXPECT_EQ(outcome.ticks[i].completed, reference.ticks[i].completed);
+      EXPECT_EQ(outcome.ticks[i].timed_out, reference.ticks[i].timed_out);
+      EXPECT_EQ(outcome.ticks[i].admitted_rate_sum,
+                reference.ticks[i].admitted_rate_sum);
+      EXPECT_EQ(outcome.ticks[i].active_sessions,
+                reference.ticks[i].active_sessions);
+      EXPECT_EQ(outcome.ticks[i].qubit_utilization,
+                reference.ticks[i].qubit_utilization);
+    }
+  }
+}
+
+TEST(ShardedSessionService, DrainIdenticalAcrossShardCounts) {
+  const auto net = sharded_network();
+  RunOutcome reference;
+  bool first = true;
+  for (const std::size_t shards : {1u, 2u, 8u}) {
+    ShardedSessionService service(net, sharded_config(/*lanes=*/4, shards),
+                                  /*seed=*/33);
+    RunOutcome outcome = play(service, 300, /*drain=*/true);
+    EXPECT_EQ(service.active_sessions(), 0u);
+    if (first) {
+      reference = std::move(outcome);
+      first = false;
+      continue;
+    }
+    expect_metrics_identical(outcome.metrics, reference.metrics);
+    EXPECT_EQ(outcome.drain_slots, reference.drain_slots);
+  }
+}
+
+TEST(ShardedSessionService, RepeatedRunsDeterministic) {
+  const auto net = sharded_network();
+  ShardedSessionService first(net, sharded_config(/*lanes=*/4, /*shards=*/8),
+                              /*seed=*/5);
+  ShardedSessionService second(net, sharded_config(/*lanes=*/4, /*shards=*/8),
+                               /*seed=*/5);
+  play(first, 300);
+  play(second, 300);
+  expect_metrics_identical(first.metrics(), second.metrics());
+}
+
+TEST(ShardedSessionService, RunSlotsMatchesSingleSteps) {
+  const auto net = sharded_network();
+  ShardedSessionService batched(net, sharded_config(/*lanes=*/4, /*shards=*/2),
+                                /*seed=*/9);
+  ShardedSessionService stepped(net, sharded_config(/*lanes=*/4, /*shards=*/2),
+                                /*seed=*/9);
+  const ShardTickReport merged = batched.run_slots(100);
+  ShardTickReport accumulated;
+  for (int i = 0; i < 100; ++i) {
+    const ShardTickReport tick = stepped.step();
+    accumulated.slots += tick.slots;
+    accumulated.arrivals += tick.arrivals;
+    accumulated.admissions += tick.admissions;
+    accumulated.completed += tick.completed;
+    accumulated.timed_out += tick.timed_out;
+    accumulated.admitted_rate_sum += tick.admitted_rate_sum;
+  }
+  EXPECT_EQ(merged.slots, 100u);
+  EXPECT_EQ(merged.arrivals, accumulated.arrivals);
+  EXPECT_EQ(merged.admissions, accumulated.admissions);
+  EXPECT_EQ(merged.completed, accumulated.completed);
+  EXPECT_EQ(merged.timed_out, accumulated.timed_out);
+  EXPECT_DOUBLE_EQ(merged.admitted_rate_sum, accumulated.admitted_rate_sum);
+  expect_metrics_identical(batched.metrics(), stepped.metrics());
+}
+
+TEST(ShardedSessionService, LaneMetricsSumToMergedCounters) {
+  const auto net = sharded_network();
+  ShardedSessionService service(net, sharded_config(/*lanes=*/4, /*shards=*/2),
+                                /*seed=*/17);
+  play(service, 300);
+  const ProtocolMetrics merged = service.metrics();
+  std::uint64_t arrived = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t completed = 0;
+  for (std::size_t lane = 0; lane < service.lane_count(); ++lane) {
+    const ProtocolMetrics m = service.lane_metrics(lane);
+    arrived += m.sessions_arrived;
+    admitted += m.sessions_admitted;
+    completed += m.sessions_completed;
+  }
+  EXPECT_EQ(arrived, merged.sessions_arrived);
+  EXPECT_EQ(admitted, merged.sessions_admitted);
+  EXPECT_EQ(completed, merged.sessions_completed);
+}
+
+TEST(ShardedSessionService, RecordsPerLaneAdmissionLatencies) {
+  const auto net = sharded_network();
+  ShardedSessionServiceConfig config = sharded_config(/*lanes=*/2,
+                                                      /*shards=*/2);
+  config.record_admit_us = true;
+  ShardedSessionService service(net, config, /*seed=*/13);
+  play(service, 300);
+  std::size_t recorded = 0;
+  for (std::size_t lane = 0; lane < service.lane_count(); ++lane) {
+    for (const double us : service.lane_admit_us(lane)) {
+      EXPECT_GE(us, 0.0);
+      ++recorded;
+    }
+  }
+  // One latency per routed arrival, admitted or not.
+  EXPECT_EQ(recorded, service.metrics().sessions_arrived);
+}
+
+TEST(ShardedSessionService, RejectsInvalidConfigs) {
+  const auto net = sharded_network();
+  EXPECT_THROW(ShardedSessionService(net, sharded_config(0, 1), 1),
+               std::invalid_argument);
+  EXPECT_THROW(ShardedSessionService(net, sharded_config(1, 0), 1),
+               std::invalid_argument);
+  ShardedSessionServiceConfig config = sharded_config(1, 1);
+  std::vector<double> sink;
+  config.base.admit_us = &sink;
+  EXPECT_THROW(ShardedSessionService(net, config, 1), std::invalid_argument);
+}
+
+TEST(ShardedSessionService, RunSlotsZeroReportsStateWithoutAdvancing) {
+  const auto net = sharded_network();
+  ShardedSessionService service(net, sharded_config(/*lanes=*/2, /*shards=*/1),
+                                /*seed=*/3);
+  service.run_slots(50);
+  const std::uint64_t slot = service.slot();
+  const ShardTickReport tick = service.run_slots(0);
+  EXPECT_EQ(service.slot(), slot);
+  EXPECT_EQ(tick.slots, 0u);
+  EXPECT_EQ(tick.arrivals, 0u);
+  EXPECT_EQ(tick.active_sessions, service.active_sessions());
+}
+
+}  // namespace
+}  // namespace muerp::sim

@@ -1,9 +1,10 @@
 // muerpd — long-running entanglement routing service with a live
 // observability plane.
 //
-// Wraps sim::SessionService (arrivals -> admission routing -> execution
-// windows) in a paced slot loop and exposes the full telemetry registry
-// over HTTP while it runs:
+// Wraps sim::ShardedSessionService (arrivals -> admission routing ->
+// execution windows, partitioned into deterministic lanes stepped by up to
+// --shards worker threads) in an event-driven slot loop and exposes the
+// full telemetry registry over HTTP while it runs:
 //
 //   GET /metrics        Prometheus text exposition (scrape target)
 //   GET /healthz        liveness JSON with slot/session/admission state
@@ -25,19 +26,27 @@
 //   muerpd --sample-interval-ms 250 --retention 2400   # 10 min at 4 Hz
 //
 // The daemon prints "serving on <addr>:<port>" once the endpoint is up
-// (port 0 binds an ephemeral port — tests parse the line), then steps one
-// execution window every --slot-ms until --slots windows elapsed or
-// SIGINT/SIGTERM. The first signal shuts down gracefully: arrivals stop
+// (port 0 binds an ephemeral port — tests parse the line), then plays
+// execution windows on a fixed --slot-ms grid until --slots windows
+// elapsed or SIGINT/SIGTERM. Pacing is event-driven (SlotScheduler), not
+// sleep-paced: the loop blocks until the next slot is due and, when a slow
+// routing pass put it behind the grid, catches up by playing the backlog
+// as one batch (at most --tick-batch slots per wake) — one parallel
+// dispatch across the session lanes instead of one sleep per slot.
+// /healthz reads a published atomic snapshot, so scrapes never wait for a
+// routing pass.
+//
+// The first signal shuts down gracefully: arrivals stop
 // and in-flight sessions drain (completed or timed out, unpaced) before
 // the final muerpd/shutdown event; a second signal skips the drain. With
 // --snapshot-out the exiting daemon writes one last /snapshot.json
 // document to that path. Exit prints the ProtocolMetrics summary table.
+#include <algorithm>
+#include <atomic>
 #include <csignal>
 #include <chrono>
 #include <fstream>
 #include <iostream>
-#include <mutex>
-#include <thread>
 
 #include "muerp.hpp"
 
@@ -93,6 +102,19 @@ int main(int argc, char** argv) {
   cli.add_flag("min-group", "smallest session group size", "2");
   cli.add_flag("max-group", "largest session group size", "4");
   cli.add_flag("timeout", "session timeout in slots", "500");
+  cli.add_flag("batch-single",
+               "route single arrivals through the persistent batch kernel "
+               "(bit-identical admissions, warm slabs across slots)",
+               "false");
+  cli.add_flag("lanes",
+               "deterministic session lanes (traffic/capacity partitions; "
+               "results depend on this, not on --shards)",
+               "1");
+  cli.add_flag("shards",
+               "worker threads stepping the lanes (performance only)", "1");
+  cli.add_flag("tick-batch",
+               "max due slots played per scheduler wake when catching up",
+               "64");
   cli.add_flag("slots", "stop after this many slots (0 = until signal)", "0");
   cli.add_flag("slot-ms", "pacing: milliseconds per slot (0 = unpaced)", "10");
   cli.add_flag("port", "HTTP port (0 = ephemeral)", "9464");
@@ -198,6 +220,13 @@ int main(int argc, char** argv) {
     return fail("--batch-policy fair-share needs --algorithm shared-prim or "
                 "alg4 (batch-native kernel)");
   }
+  config.batch_single_arrivals = cli.get_bool("batch-single");
+  const auto lanes = cli.get_int("lanes").value_or(1);
+  const auto shards = cli.get_int("shards").value_or(1);
+  const auto tick_batch = cli.get_int("tick-batch").value_or(64);
+  if (lanes < 1) return fail("--lanes must be >= 1");
+  if (shards < 1) return fail("--shards must be >= 1");
+  if (tick_batch < 1) return fail("--tick-batch must be >= 1");
   const auto max_slots =
       static_cast<std::uint64_t>(cli.get_int("slots").value_or(0));
   const auto slot_ms = cli.get_int("slot-ms").value_or(10);
@@ -210,8 +239,13 @@ int main(int argc, char** argv) {
   const std::string algorithm_label =
       config.algorithm.empty() ? "shared-prim" : config.algorithm;
 
-  support::Rng rng(cli.get_int("seed").value_or(1));
-  sim::SessionService service(*network, config, rng);
+  sim::ShardedSessionServiceConfig sharded_config;
+  sharded_config.base = config;
+  sharded_config.lane_count = static_cast<std::size_t>(lanes);
+  sharded_config.shard_count = static_cast<std::size_t>(shards);
+  sim::ShardedSessionService service(
+      *network, sharded_config,
+      static_cast<std::uint64_t>(cli.get_int("seed").value_or(1)));
 
   // Observability plane up before the first slot so a scraper never sees
   // connection refused while the service is live.
@@ -229,21 +263,41 @@ int main(int argc, char** argv) {
   sampler_options.interval = std::chrono::milliseconds(sample_interval_ms);
   support::telemetry::Sampler sampler(store, sampler_options);
   exporter.set_time_series(&store);
-  // /healthz reads the service from the acceptor thread while the main loop
-  // steps it, so both sides take this mutex around service access.
-  std::mutex service_mutex;
-  exporter.set_health_fields([&service, &service_mutex,
-                              &algorithm_label](std::string& body) {
-    const std::lock_guard<std::mutex> lock(service_mutex);
+  // /healthz reads a published snapshot, not the live service: the main
+  // loop stores these atomics after every tick, the acceptor thread loads
+  // them — a scrape never waits out a routing pass (the seed held a mutex
+  // across the whole service.step() here).
+  struct HealthSnapshot {
+    std::atomic<std::uint64_t> slot{0};
+    std::atomic<std::uint64_t> active{0};
+    std::atomic<std::uint64_t> arrived{0};
+    std::atomic<std::uint64_t> admitted{0};
+    std::atomic<std::uint64_t> completed{0};
+  };
+  HealthSnapshot health;
+  const auto publish_health = [&service, &health] {
+    const sim::ProtocolMetrics m = service.metrics();
+    health.slot.store(service.slot(), std::memory_order_relaxed);
+    health.active.store(service.active_sessions(), std::memory_order_relaxed);
+    health.arrived.store(m.sessions_arrived, std::memory_order_relaxed);
+    health.admitted.store(m.sessions_admitted, std::memory_order_relaxed);
+    health.completed.store(m.sessions_completed, std::memory_order_relaxed);
+  };
+  exporter.set_health_fields([&health, &algorithm_label, lanes,
+                              shards](std::string& body) {
     body += ", \"algorithm\": \"" + algorithm_label + "\"";
-    body += ", \"slot\": " + std::to_string(service.slot());
+    body += ", \"slot\": " +
+            std::to_string(health.slot.load(std::memory_order_relaxed));
     body += ", \"active_sessions\": " +
-            std::to_string(service.active_sessions());
-    const auto m = service.metrics();
-    body += ", \"sessions_arrived\": " + std::to_string(m.sessions_arrived);
-    body += ", \"sessions_admitted\": " + std::to_string(m.sessions_admitted);
+            std::to_string(health.active.load(std::memory_order_relaxed));
+    body += ", \"sessions_arrived\": " +
+            std::to_string(health.arrived.load(std::memory_order_relaxed));
+    body += ", \"sessions_admitted\": " +
+            std::to_string(health.admitted.load(std::memory_order_relaxed));
     body += ", \"sessions_completed\": " +
-            std::to_string(m.sessions_completed);
+            std::to_string(health.completed.load(std::memory_order_relaxed));
+    body += ", \"lanes\": " + std::to_string(lanes);
+    body += ", \"shards\": " + std::to_string(shards);
   });
   std::string error;
   if (!exporter.start(&error)) {
@@ -251,6 +305,7 @@ int main(int argc, char** argv) {
                 std::to_string(http.port) + ": " + error);
   }
   sampler.start();
+  publish_health();  // slot-0 snapshot, so early scrapes see real fields
   std::cout << "muerpd: serving on " << http.bind_address << ":"
             << exporter.port() << std::endl;
   MUERP_LOG_INFO("muerpd/start", support::telemetry::field(
@@ -277,30 +332,43 @@ int main(int argc, char** argv) {
   const support::telemetry::Histogram slot_us_histogram("muerpd/slot_us/" +
                                                         algorithm_label);
 
+  // Event-driven slot loop: block until the next slot on the fixed grid is
+  // due, play every due slot as one batch (one parallel dispatch across the
+  // lanes), publish the health snapshot, repeat. acquire() bounds its waits
+  // so a signal (which cannot wake the condition variable) is observed
+  // promptly; a 0 return is just a control wake.
+  support::SlotScheduler::Options pace;
+  pace.period = std::chrono::milliseconds(slot_ms);
+  pace.max_batch = static_cast<std::uint64_t>(tick_batch);
+  support::SlotScheduler scheduler(pace);
   while (g_stop == 0 && (max_slots == 0 || service.slot() < max_slots)) {
-    const auto wake = std::chrono::steady_clock::now() +
-                      std::chrono::milliseconds(slot_ms);
-    const std::uint64_t t0 = support::telemetry::monotonic_now_ns();
-    sim::SlotReport report;
-    {
-      const std::lock_guard<std::mutex> lock(service_mutex);
-      report = service.step();
+    std::uint64_t due = scheduler.acquire();
+    if (due == 0) continue;  // control wake: re-check g_stop / max_slots
+    if (max_slots != 0) {
+      due = std::min<std::uint64_t>(due, max_slots - service.slot());
     }
-    slot_us_histogram.observe(
+    const std::uint64_t t0 = support::telemetry::monotonic_now_ns();
+    const sim::ShardTickReport tick = service.run_slots(due);
+    scheduler.advance(due);
+    // Mean per-slot latency over the batch (one observation per slot keeps
+    // the histogram's count equal to the slot count, as before).
+    const double per_slot_us =
         static_cast<double>(support::telemetry::monotonic_now_ns() - t0) /
-        1e3);
-    slots_counter.add();
-    if (report.arrived) requests_counter.add();
-    if (report.admitted) admitted_counter.add();
-    if (report.completed > 0) completed_counter.add(report.completed);
-    // Heartbeat: one debug line per 256 slots, not one per slot.
+        (1e3 * static_cast<double>(due));
+    for (std::uint64_t s = 0; s < due; ++s) slot_us_histogram.observe(per_slot_us);
+    slots_counter.add(due);
+    requests_counter.add(tick.arrivals);
+    admitted_counter.add(tick.admissions);
+    if (tick.completed > 0) completed_counter.add(tick.completed);
+    publish_health();
+    // Heartbeat: one debug line per 256 wakes, not one per slot.
     MUERP_LOG_EVERY_N(256, support::telemetry::LogLevel::kDebug, "muerpd/slot",
-                      support::telemetry::field("slot", report.slot),
+                      support::telemetry::field("slot", service.slot()),
+                      support::telemetry::field("batch", due),
                       support::telemetry::field("active",
-                                                report.active_sessions),
+                                                tick.active_sessions),
                       support::telemetry::field("qubit_utilization",
-                                                report.qubit_utilization));
-    if (slot_ms > 0 && g_stop == 0) std::this_thread::sleep_until(wake);
+                                                tick.qubit_utilization));
   }
 
   // Graceful shutdown: a first signal stops arrivals and plays unpaced
@@ -310,21 +378,15 @@ int main(int argc, char** argv) {
   std::uint64_t drained_completed = 0;
   if (g_stop != 0) {
     const std::uint64_t drain_cap = config.params.session_timeout_slots + 1;
-    {
-      const std::lock_guard<std::mutex> lock(service_mutex);
-      service.set_arrivals_enabled(false);
-    }
+    service.set_arrivals_enabled(false);
     while (g_stop < 2 && drain_slots < drain_cap) {
-      sim::SlotReport report;
-      {
-        const std::lock_guard<std::mutex> lock(service_mutex);
-        if (service.active_sessions() == 0) break;
-        report = service.step();
-      }
+      if (service.active_sessions() == 0) break;
+      const sim::ShardTickReport tick = service.step();
       ++drain_slots;
       slots_counter.add();
-      if (report.completed > 0) completed_counter.add(report.completed);
-      drained_completed += report.completed;
+      if (tick.completed > 0) completed_counter.add(tick.completed);
+      drained_completed += tick.completed;
+      publish_health();
     }
   }
 
