@@ -28,6 +28,8 @@
 #include "support/statistics.hpp"
 #include "support/table.hpp"
 
+#include "figure_common.hpp"
+
 namespace {
 
 using namespace muerp;
@@ -174,7 +176,10 @@ void ablation_local_search() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  muerp::bench::BenchCli cli("bench_ablations");
+  if (const auto status = cli.parse(argc, argv)) return *status;
+  const muerp::bench::TraceGuard trace(cli.trace_path());
   ablation_fusion_penalty();
   ablation_phase1();
   ablation_prim_seed();

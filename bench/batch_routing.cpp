@@ -36,6 +36,8 @@
 #include "support/telemetry/export.hpp"
 #include "support/telemetry/telemetry.hpp"
 
+#include "figure_common.hpp"
+
 namespace {
 
 using namespace muerp;
@@ -281,15 +283,9 @@ int run(const std::string& output_path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string output_path = "BENCH_batch.json";
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view arg(argv[i]);
-    if (arg.rfind("--out=", 0) == 0) {
-      output_path = std::string(arg.substr(6));
-    } else {
-      std::cerr << "usage: batch_routing [--out=FILE]\n";
-      return 2;
-    }
-  }
-  return run(output_path);
+  muerp::bench::BenchCli cli("bench_batch_routing");
+  cli.cli.add_flag("out", "perf-gate JSON output file", "BENCH_batch.json");
+  if (const auto status = cli.parse(argc, argv)) return *status;
+  const muerp::bench::TraceGuard trace(cli.trace_path());
+  return run(cli.cli.get_string("out"));
 }

@@ -12,7 +12,12 @@
 #include "support/statistics.hpp"
 #include "support/table.hpp"
 
-int main() {
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  muerp::bench::BenchCli cli("bench_ext_multigroup");
+  if (const auto status = cli.parse(argc, argv)) return *status;
+  const muerp::bench::TraceGuard trace(cli.trace_path());
   using namespace muerp;
 
   support::Table table(

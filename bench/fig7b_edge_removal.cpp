@@ -19,7 +19,9 @@
 
 int main(int argc, char** argv) {
   using namespace muerp;
-  if (!bench::apply_log_flags(argc, argv)) return 1;
+  bench::BenchCli cli("bench_fig7b_edge_removal");
+  if (const auto status = cli.parse(argc, argv)) return *status;
+  const bench::TraceGuard trace(cli.trace_path());
 
   experiment::Scenario base;  // paper defaults except degree
   base.average_degree = 20.0;  // 600 edges over 60 nodes

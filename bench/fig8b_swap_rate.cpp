@@ -7,8 +7,9 @@
 #include "figure_common.hpp"
 
 int main(int argc, char** argv) {
-  if (!muerp::bench::apply_log_flags(argc, argv)) return 1;
-  const muerp::bench::TraceGuard trace(argc, argv);
+  muerp::bench::BenchCli cli("bench_fig8b_swap_rate");
+  if (const auto status = cli.parse(argc, argv)) return *status;
+  const muerp::bench::TraceGuard trace(cli.trace_path());
   using namespace muerp;
   std::vector<bench::SweepPoint> points;
   for (double q : {0.7, 0.8, 0.9, 1.0}) {

@@ -10,13 +10,14 @@
 #pragma once
 
 #include <iostream>
+#include <optional>
 #include <string>
-#include <string_view>
 #include <vector>
 
 #include "experiment/runner.hpp"
 #include "experiment/scenario.hpp"
 #include "routing/router.hpp"
+#include "support/cli.hpp"
 #include "support/table.hpp"
 #include "support/telemetry/export.hpp"
 #include "support/telemetry/log.hpp"
@@ -24,52 +25,65 @@
 
 namespace muerp::bench {
 
-/// Applies the shared `--log-level=<debug|info|warn|error|off>` and
-/// `--log-format=<text|json>` flags every figure bench accepts, so a sweep
-/// can stream the runner's structured events (scenario_start/finish) to
-/// stderr. Returns false after printing a message on an unknown value; all
-/// other arguments are ignored (benches parse their own flags).
-inline bool apply_log_flags(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view arg(argv[i]);
-    if (arg.rfind("--log-level=", 0) == 0) {
+/// The shared flag set every bench binary accepts — a thin CliParser wrapper
+/// so benches inherit the tool-wide conventions: `--flag value` and
+/// `--flag=value` both work, unknown flags are rejected with usage on
+/// stderr, `--help` exits 0, a typo'd flag exits 2. Benches with extra
+/// flags register them on `cli` before calling parse().
+class BenchCli {
+ public:
+  explicit BenchCli(const std::string& description) : cli(description) {
+    cli.add_flag("log-level",
+                 "stream structured events: debug|info|warn|error|off", "");
+    cli.add_flag("log-format", "structured event rendering: text|json", "");
+    cli.add_flag("trace", "write a Chrome trace of the whole run", "");
+  }
+
+  /// Parses argv and applies the log flags. Returns the process exit code
+  /// when the bench should stop (0 after --help, 2 on a bad flag or value),
+  /// nullopt to proceed.
+  std::optional<int> parse(int argc, char** argv) {
+    if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 2;
+    if (const std::string value = cli.get_string("log-level");
+        !value.empty()) {
       support::telemetry::LogLevel level;
-      if (!support::telemetry::parse_log_level(arg.substr(12), &level)) {
-        std::cerr << "unknown --log-level '" << arg.substr(12)
+      if (!support::telemetry::parse_log_level(value, &level)) {
+        std::cerr << "unknown --log-level '" << value
                   << "' (debug|info|warn|error|off)\n";
-        return false;
+        return 2;
       }
       support::telemetry::set_log_level(level);
-    } else if (arg.rfind("--log-format=", 0) == 0) {
+    }
+    if (const std::string value = cli.get_string("log-format");
+        !value.empty()) {
       support::telemetry::LogFormat format;
-      if (!support::telemetry::parse_log_format(arg.substr(13), &format)) {
-        std::cerr << "unknown --log-format '" << arg.substr(13)
-                  << "' (text|json)\n";
-        return false;
+      if (!support::telemetry::parse_log_format(value, &format)) {
+        std::cerr << "unknown --log-format '" << value << "' (text|json)\n";
+        return 2;
       }
       support::telemetry::set_log_format(format);
     }
+    return std::nullopt;
   }
-  return true;
-}
+
+  std::string trace_path() const { return cli.get_string("trace"); }
+
+  support::CliParser cli;
+};
 
 struct SweepPoint {
   std::string label;
   experiment::Scenario scenario;
 };
 
-/// RAII handling of a bench's `--trace=out.json` flag: enables TraceEvent
+/// RAII handling of a bench's `--trace out.json` flag: enables TraceEvent
 /// recording for the guard's lifetime and writes the Chrome trace_event
 /// file (chrome://tracing, ui.perfetto.dev) at scope exit. Does nothing
-/// when the flag is absent, and records nothing in MUERP_TELEMETRY=OFF
+/// when the path is empty, and records nothing in MUERP_TELEMETRY=OFF
 /// builds (the file is then an empty event array).
 class TraceGuard {
  public:
-  TraceGuard(int argc, char** argv) {
-    for (int i = 1; i < argc; ++i) {
-      const std::string_view arg(argv[i]);
-      if (arg.rfind("--trace=", 0) == 0) path_ = std::string(arg.substr(8));
-    }
+  explicit TraceGuard(std::string path) : path_(std::move(path)) {
     if (!path_.empty()) support::telemetry::set_tracing(true);
   }
   ~TraceGuard() {

@@ -14,7 +14,12 @@
 #include "support/statistics.hpp"
 #include "support/table.hpp"
 
-int main() {
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  muerp::bench::BenchCli cli("bench_ghz_comparison");
+  if (const auto status = cli.parse(argc, argv)) return *status;
+  const muerp::bench::TraceGuard trace(cli.trace_path());
   using namespace muerp;
 
   experiment::Scenario s;  // paper defaults, 10 users

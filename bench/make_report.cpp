@@ -12,7 +12,7 @@ int main(int argc, char** argv) {
   cli.add_flag("out", "artifact directory", "muerp_report");
   cli.add_flag("repetitions", "random networks per sweep point", "20");
   cli.add_flag("seed", "scenario seed", "");
-  if (!cli.parse(argc, argv)) return 1;
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 2;
 
   experiment::ReportOptions options;
   options.repetitions =

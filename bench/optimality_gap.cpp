@@ -21,7 +21,12 @@
 #include "support/table.hpp"
 #include "topology/structured.hpp"
 
-int main() {
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  muerp::bench::BenchCli cli("bench_optimality_gap");
+  if (const auto status = cli.parse(argc, argv)) return *status;
+  const muerp::bench::TraceGuard trace(cli.trace_path());
   using namespace muerp;
 
   support::Table table(

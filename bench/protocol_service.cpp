@@ -11,7 +11,12 @@
 #include "simulation/protocol.hpp"
 #include "support/table.hpp"
 
-int main() {
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  muerp::bench::BenchCli cli("bench_protocol_service");
+  if (const auto status = cli.parse(argc, argv)) return *status;
+  const muerp::bench::TraceGuard trace(cli.trace_path());
   using namespace muerp;
 
   experiment::Scenario s;

@@ -41,6 +41,8 @@
 #include "support/telemetry/export.hpp"
 #include "support/telemetry/telemetry.hpp"
 
+#include "figure_common.hpp"
+
 namespace {
 
 using namespace muerp;
@@ -278,15 +280,9 @@ int run(const std::string& output_path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string output_path = "BENCH_session.json";
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view arg(argv[i]);
-    if (arg.rfind("--out=", 0) == 0) {
-      output_path = std::string(arg.substr(6));
-    } else {
-      std::cerr << "usage: session_throughput [--out=FILE]\n";
-      return 2;
-    }
-  }
-  return run(output_path);
+  muerp::bench::BenchCli cli("bench_session_throughput");
+  cli.cli.add_flag("out", "perf-gate JSON output file", "BENCH_session.json");
+  if (const auto status = cli.parse(argc, argv)) return *status;
+  const muerp::bench::TraceGuard trace(cli.trace_path());
+  return run(cli.cli.get_string("out"));
 }

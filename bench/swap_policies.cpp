@@ -13,6 +13,8 @@
 #include "simulation/swap_policy.hpp"
 #include "support/table.hpp"
 
+#include "figure_common.hpp"
+
 namespace {
 
 using namespace muerp;
@@ -45,7 +47,10 @@ Chain make_chain(std::size_t switches) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  muerp::bench::BenchCli cli("bench_swap_policies");
+  if (const auto status = cli.parse(argc, argv)) return *status;
+  const muerp::bench::TraceGuard trace(cli.trace_path());
   support::Table table(
       "Swap policies: mean slots to end-to-end entanglement (memory 8 slots)",
       {"switches", "single-shot rate", "swap-asap", "balanced", "linear"});

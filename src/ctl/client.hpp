@@ -1,0 +1,41 @@
+// Minimal blocking HTTP/1.1 client for talking to a muerp daemon's control
+// endpoint (IPv4, Connection: close — the exporter serves one request per
+// connection anyway). This is the transport behind `muerpctl ctl ...`; it
+// lives in the library so tests can drive a live daemon without shelling
+// out to the tool.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace muerp::ctl {
+
+struct HttpResult {
+  int status = 0;
+  std::string body;
+};
+
+/// "host:port" or "port" (host defaults to 127.0.0.1). Returns false with
+/// *error set when the string does not parse.
+bool parse_endpoint(const std::string& endpoint, std::string* host,
+                    std::uint16_t* port, std::string* error);
+
+/// Blocking GET of `target`. Returns false with *error set on transport
+/// failure; HTTP error statuses are returned as success with out->status.
+bool http_get(const std::string& host, std::uint16_t port,
+              const std::string& target, HttpResult* out, std::string* error);
+
+/// Blocking POST of `body` to `target` (Content-Type: application/json).
+bool http_post(const std::string& host, std::uint16_t port,
+               const std::string& target, const std::string& body,
+               HttpResult* out, std::string* error);
+
+/// POSTs a {"cmd", "args"} envelope to POST /api/v1/ctl on `endpoint` and
+/// returns the raw response body (the JSON envelope). `args_json` must be a
+/// JSON object or empty (treated as no args). Transport failures return
+/// false with *error set; command failures are in the envelope.
+bool ctl_request(const std::string& endpoint, const std::string& cmd,
+                 const std::string& args_json, HttpResult* out,
+                 std::string* error);
+
+}  // namespace muerp::ctl

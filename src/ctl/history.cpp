@@ -1,0 +1,246 @@
+#include "ctl/history.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+
+namespace muerp::ctl {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'U', 'E', 'R', 'P', 'H', 'L', '\x01'};
+constexpr std::size_t kMagicSize = sizeof(kMagic);
+// u32 kind + u32 reserved + 6 x u64 counters.
+constexpr std::uint32_t kPayloadSize = 4 + 4 + 6 * 8;
+constexpr std::size_t kFrameSize = 4 + 4 + kPayloadSize;
+
+void put_u32(unsigned char* out, std::uint32_t v) {
+  out[0] = static_cast<unsigned char>(v);
+  out[1] = static_cast<unsigned char>(v >> 8);
+  out[2] = static_cast<unsigned char>(v >> 16);
+  out[3] = static_cast<unsigned char>(v >> 24);
+}
+
+void put_u64(unsigned char* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<unsigned char>(v >> (8 * i));
+  }
+}
+
+std::uint32_t get_u32(const unsigned char* in) {
+  return static_cast<std::uint32_t>(in[0]) |
+         static_cast<std::uint32_t>(in[1]) << 8 |
+         static_cast<std::uint32_t>(in[2]) << 16 |
+         static_cast<std::uint32_t>(in[3]) << 24;
+}
+
+std::uint64_t get_u64(const unsigned char* in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  }
+  return v;
+}
+
+void encode_payload(const HistoryRecord& record, unsigned char* out) {
+  put_u32(out, record.kind);
+  put_u32(out + 4, 0);  // reserved
+  put_u64(out + 8, record.slots);
+  put_u64(out + 16, record.arrived);
+  put_u64(out + 24, record.admitted);
+  put_u64(out + 32, record.completed);
+  put_u64(out + 40, record.timed_out);
+  put_u64(out + 48, record.rejected);
+}
+
+void accumulate(HistoryTotals& totals, const HistoryRecord& record) {
+  ++totals.records;
+  if (record.kind == 1) ++totals.runs;
+  // Counter sums come from delta records only: a future kind may repurpose
+  // the payload fields, and summing them here would corrupt the lifetime
+  // view an old daemon serves from a newer file.
+  if (record.kind != 0) return;
+  totals.slots += record.slots;
+  totals.arrived += record.arrived;
+  totals.admitted += record.admitted;
+  totals.completed += record.completed;
+  totals.timed_out += record.timed_out;
+  totals.rejected += record.rejected;
+}
+
+bool read_exact(int fd, void* buf, std::size_t size, std::size_t* got) {
+  auto* out = static_cast<unsigned char*>(buf);
+  std::size_t total = 0;
+  while (total < size) {
+    const ssize_t n = ::read(fd, out + total, size - total);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;
+    total += static_cast<std::size_t>(n);
+  }
+  *got = total;
+  return total == size;
+}
+
+bool write_all(int fd, const void* buf, std::size_t size) {
+  const auto* in = static_cast<const unsigned char*>(buf);
+  std::size_t total = 0;
+  while (total < size) {
+    const ssize_t n = ::write(fd, in + total, size - total);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    total += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void set_error(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+}  // namespace
+
+HistoryLog::~HistoryLog() { close(); }
+
+std::uint32_t HistoryLog::crc32(const void* data, std::size_t size) noexcept {
+  // Bitwise reflected CRC-32 (polynomial 0xEDB88320). Records are ~64
+  // bytes and appends are paced, so a lookup table would be noise.
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc ^= bytes[i];
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+    }
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+bool HistoryLog::open(const std::string& path, std::string* error) {
+  close();
+  replayed_ = HistoryTotals{};
+  appended_ = HistoryTotals{};
+  truncated_ = 0;
+
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    set_error(error, "cannot open history file '" + path +
+                         "': " + std::strerror(errno));
+    return false;
+  }
+
+  // Header: a fresh file gets the magic; an existing one must match it.
+  std::array<unsigned char, kMagicSize> magic{};
+  std::size_t got = 0;
+  read_exact(fd, magic.data(), magic.size(), &got);
+  if (got == 0) {
+    if (!write_all(fd, kMagic, kMagicSize)) {
+      set_error(error, "cannot write history header to '" + path +
+                           "': " + std::strerror(errno));
+      ::close(fd);
+      return false;
+    }
+  } else if (got < kMagicSize ||
+             std::memcmp(magic.data(), kMagic, kMagicSize) != 0) {
+    set_error(error,
+              "'" + path + "' is not a muerp history file (bad magic)");
+    ::close(fd);
+    return false;
+  }
+
+  // Replay framed records until EOF or the first torn/corrupt frame.
+  std::uint64_t good_end = kMagicSize;
+  for (;;) {
+    std::array<unsigned char, 8> frame{};
+    if (!read_exact(fd, frame.data(), frame.size(), &got)) {
+      truncated_ = got;  // torn frame header (0 bytes at clean EOF)
+      break;
+    }
+    const std::uint32_t len = get_u32(frame.data());
+    const std::uint32_t crc = get_u32(frame.data() + 4);
+    // A sane payload is small; a huge length means garbage framing.
+    if (len < 8 || len > 4096) {
+      truncated_ = frame.size();
+      break;
+    }
+    std::array<unsigned char, 4096> payload{};
+    if (!read_exact(fd, payload.data(), len, &got) ||
+        crc32(payload.data(), len) != crc) {
+      truncated_ = frame.size() + got;
+      break;
+    }
+    HistoryRecord record;
+    record.kind = get_u32(payload.data());
+    if (len >= kPayloadSize) {
+      record.slots = get_u64(payload.data() + 8);
+      record.arrived = get_u64(payload.data() + 16);
+      record.admitted = get_u64(payload.data() + 24);
+      record.completed = get_u64(payload.data() + 32);
+      record.timed_out = get_u64(payload.data() + 40);
+      record.rejected = get_u64(payload.data() + 48);
+    }
+    accumulate(replayed_, record);
+    good_end += frame.size() + len;
+  }
+
+  // Count any bytes past the last good frame (not just the partial read)
+  // and drop them so the next append lands on a frame boundary.
+  const off_t file_end = ::lseek(fd, 0, SEEK_END);
+  if (file_end > 0 && static_cast<std::uint64_t>(file_end) > good_end) {
+    truncated_ = static_cast<std::uint64_t>(file_end) - good_end;
+    if (::ftruncate(fd, static_cast<off_t>(good_end)) != 0) {
+      set_error(error, "cannot truncate corrupt tail of '" + path +
+                           "': " + std::strerror(errno));
+      ::close(fd);
+      return false;
+    }
+    ::lseek(fd, static_cast<off_t>(good_end), SEEK_SET);
+  } else {
+    truncated_ = 0;
+  }
+
+  fd_ = fd;
+  return true;
+}
+
+bool HistoryLog::append(const HistoryRecord& record) {
+  if (fd_ < 0) return false;
+  // One write(2) for the whole frame: a crash mid-append leaves one torn
+  // record at the tail, which the next open() truncates away.
+  std::array<unsigned char, kFrameSize> frame{};
+  encode_payload(record, frame.data() + 8);
+  put_u32(frame.data(), kPayloadSize);
+  put_u32(frame.data() + 4, crc32(frame.data() + 8, kPayloadSize));
+  if (!write_all(fd_, frame.data(), frame.size())) return false;
+  accumulate(appended_, record);
+  return true;
+}
+
+HistoryTotals HistoryLog::lifetime() const noexcept {
+  HistoryTotals t = replayed_;
+  t.runs += appended_.runs;
+  t.records += appended_.records;
+  t.slots += appended_.slots;
+  t.arrived += appended_.arrived;
+  t.admitted += appended_.admitted;
+  t.completed += appended_.completed;
+  t.timed_out += appended_.timed_out;
+  t.rejected += appended_.rejected;
+  return t;
+}
+
+void HistoryLog::close() {
+  if (fd_ < 0) return;
+  ::fsync(fd_);
+  ::close(fd_);
+  fd_ = -1;
+}
+
+}  // namespace muerp::ctl

@@ -1,0 +1,104 @@
+// Persistent session-history table: append-only, crash-safe run records.
+//
+// muerpd's in-memory ProtocolMetrics die with the process; the ROADMAP's
+// control plane wants a restarted daemon to answer `ctl get lifetime` with
+// counts that span every run against the same history file. This log makes
+// that durable without a database dependency:
+//
+//   file    := magic("MUERPHL\x01") record*
+//   record  := u32 payload_len | u32 crc32(payload) | payload
+//   payload := u32 kind | u32 reserved(0) | 6 x u64 little-endian
+//              (slots, arrived, admitted, completed, timed_out, rejected)
+//
+// kind 0 records are COUNTER DELTAS since the previous append (never
+// cumulative totals), so lifetime totals are a pure sum over records and a
+// lost tail costs only the last interval. kind 1 marks a run start (all
+// counters zero) so lifetime() can report how many daemon runs the file
+// spans. Unknown kinds are summed as zero and preserved — a newer daemon's
+// records do not break an older reader.
+//
+// Crash safety: every append is a single write(2) of one fully framed
+// record, so a crash leaves at most one torn record at the tail. open()
+// replays the file, stops at the first record whose frame is short or whose
+// CRC mismatches, and truncates the tail away — the next append continues
+// from the last good record. Not fsync'd per append (a paced daemon appends
+// a few times a second); close() fsyncs once.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace muerp::ctl {
+
+/// One append's counter deltas. kind 0 = delta, kind 1 = run start.
+struct HistoryRecord {
+  std::uint32_t kind = 0;
+  std::uint64_t slots = 0;
+  std::uint64_t arrived = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t timed_out = 0;
+  std::uint64_t rejected = 0;
+};
+
+/// Sum over records (replayed and/or appended), plus bookkeeping.
+struct HistoryTotals {
+  std::uint64_t runs = 0;  // kind-1 records seen
+  std::uint64_t records = 0;
+  std::uint64_t slots = 0;
+  std::uint64_t arrived = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t timed_out = 0;
+  std::uint64_t rejected = 0;
+};
+
+class HistoryLog {
+ public:
+  HistoryLog() = default;
+  ~HistoryLog();
+  HistoryLog(const HistoryLog&) = delete;
+  HistoryLog& operator=(const HistoryLog&) = delete;
+
+  /// Opens (creating if absent) and replays `path`. A corrupt or torn tail
+  /// is truncated; bytes_truncated() reports how many were dropped. Returns
+  /// false (with *error set when non-null) on I/O errors or a foreign
+  /// magic. Reopening an open log closes it first.
+  bool open(const std::string& path, std::string* error = nullptr);
+
+  bool is_open() const noexcept { return fd_ >= 0; }
+
+  /// Totals replayed from the file at open() time (previous runs).
+  const HistoryTotals& replayed() const noexcept { return replayed_; }
+
+  /// Totals appended by THIS process since open().
+  const HistoryTotals& appended() const noexcept { return appended_; }
+
+  /// replayed() + appended(): the whole-file view `ctl get lifetime` serves.
+  HistoryTotals lifetime() const noexcept;
+
+  /// Bytes dropped from a torn/corrupt tail during open() (0 normally).
+  std::uint64_t bytes_truncated() const noexcept { return truncated_; }
+
+  /// Appends one framed record (a single write). Returns false on I/O
+  /// error or when the log is not open.
+  bool append(const HistoryRecord& record);
+
+  /// Convenience: append a kind-1 run-start marker.
+  bool begin_run() { return append(HistoryRecord{1, 0, 0, 0, 0, 0, 0}); }
+
+  /// fsyncs and closes. Idempotent; also called by the destructor.
+  void close();
+
+  /// CRC-32 (IEEE 802.3, reflected 0xEDB88320) over `size` bytes — the
+  /// record checksum, exposed for tests to forge corrupt frames.
+  static std::uint32_t crc32(const void* data, std::size_t size) noexcept;
+
+ private:
+  int fd_ = -1;
+  HistoryTotals replayed_;
+  HistoryTotals appended_;
+  std::uint64_t truncated_ = 0;
+};
+
+}  // namespace muerp::ctl

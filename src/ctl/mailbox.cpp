@@ -1,0 +1,86 @@
+#include "ctl/mailbox.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace muerp::ctl {
+
+namespace {
+
+CommandResult shutting_down() {
+  return CommandResult::failure(kErrShuttingDown,
+                                "daemon is shutting down");
+}
+
+}  // namespace
+
+void ControlMailbox::set_wake(std::function<void()> wake) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  wake_ = std::move(wake);
+}
+
+CommandResult ControlMailbox::submit(Action action) {
+  std::future<CommandResult> future;
+  std::function<void()> wake;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return shutting_down();
+    Entry entry;
+    entry.action = std::move(action);
+    future = entry.promise.get_future();
+    pending_.push_back(std::move(entry));
+    wake = wake_;
+    cv_.notify_all();
+  }
+  if (wake) wake();
+  return future.get();
+}
+
+std::size_t ControlMailbox::drain() {
+  std::deque<Entry> batch;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    batch.swap(pending_);
+  }
+  for (Entry& entry : batch) {
+    CommandResult result;
+    try {
+      result = entry.action();
+    } catch (const std::exception& e) {
+      result = CommandResult::failure(
+          kErrInternal, std::string("control action threw: ") + e.what());
+    } catch (...) {
+      result = CommandResult::failure(kErrInternal, "control action threw");
+    }
+    entry.promise.set_value(std::move(result));
+  }
+  return batch.size();
+}
+
+bool ControlMailbox::wait_pending(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait_for(lock, timeout,
+               [this] { return !pending_.empty() || closed_; });
+  return !pending_.empty();
+}
+
+bool ControlMailbox::closed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+void ControlMailbox::close() {
+  std::deque<Entry> orphaned;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return;
+    closed_ = true;
+    orphaned.swap(pending_);
+    cv_.notify_all();
+  }
+  for (Entry& entry : orphaned) {
+    entry.promise.set_value(shutting_down());
+  }
+}
+
+}  // namespace muerp::ctl

@@ -1,0 +1,73 @@
+// Applied-between-steps command mailbox for the daemon loop.
+//
+// Control commands arrive on the HTTP acceptor thread but must mutate the
+// session services only at tick boundaries — a setter racing a run_slots()
+// pass would tear lane state and break the determinism contract (lane Rng
+// sequences must advance only inside step()). The mailbox serializes that:
+// any thread submit()s a closure and blocks; the single loop thread calls
+// drain() between scheduler batches, runs every pending closure in arrival
+// order, and the submitters wake with their results.
+//
+// submit() also fires the wake callback (muerpd wires it to
+// SlotScheduler::kick()), so a command never waits out a slot period — the
+// loop wakes, drains, and goes back to the deadline grid.
+//
+// close() ends the protocol: every pending and future submit() completes
+// immediately with a kErrShuttingDown failure. muerpd closes the mailbox
+// BEFORE stopping the HTTP exporter, so an acceptor thread blocked in
+// submit() can finish its response and the exporter join cannot deadlock.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+
+#include "ctl/command_registry.hpp"
+
+namespace muerp::ctl {
+
+class ControlMailbox {
+ public:
+  using Action = std::function<CommandResult()>;
+
+  /// Callback fired on every submit() so a blocked loop wakes promptly.
+  /// Call before the first submit (wiring, not steady-state mutation).
+  void set_wake(std::function<void()> wake);
+
+  /// Enqueues `action` and blocks until the loop thread ran it (or the
+  /// mailbox closed). Never call from the loop thread itself — drain()
+  /// would never run and submit() would wait forever.
+  CommandResult submit(Action action);
+
+  /// Loop thread: runs every pending action in arrival order, fulfilling
+  /// the matching submit()s. Returns how many ran. A throwing action
+  /// becomes a kErrInternal result rather than terminating the loop.
+  std::size_t drain();
+
+  /// Loop thread: blocks until an action is pending, close() was called,
+  /// or `timeout` elapsed; returns true when something is pending. Lets a
+  /// paused, unpaced loop idle without spinning.
+  bool wait_pending(std::chrono::milliseconds timeout);
+
+  bool closed() const;
+
+  /// Fails all pending and future submits with kErrShuttingDown. Idempotent.
+  void close();
+
+ private:
+  struct Entry {
+    Action action;
+    std::promise<CommandResult> promise;
+  };
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;  // signals the loop thread (wait_pending)
+  std::deque<Entry> pending_;
+  std::function<void()> wake_;
+  bool closed_ = false;
+};
+
+}  // namespace muerp::ctl

@@ -11,6 +11,10 @@
 
 #include "baselines/eqcast.hpp"           // IWYU pragma: export
 #include "baselines/nfusion.hpp"          // IWYU pragma: export
+#include "ctl/client.hpp"                 // IWYU pragma: export
+#include "ctl/command_registry.hpp"       // IWYU pragma: export
+#include "ctl/history.hpp"                // IWYU pragma: export
+#include "ctl/mailbox.hpp"                // IWYU pragma: export
 #include "experiment/config.hpp"          // IWYU pragma: export
 #include "experiment/report.hpp"          // IWYU pragma: export
 #include "experiment/runner.hpp"          // IWYU pragma: export

@@ -31,24 +31,121 @@ SessionService::SessionService(const net::QuantumNetwork& network,
   if (!config_.algorithm.empty()) {
     router_ = &routing::RouterRegistry::instance().at(config_.algorithm);
   }
-  if ((config_.arrival_burst > 1 || config_.batch_single_arrivals) &&
-      config_.batch_policy == routing::BatchPolicy::kFairShare &&
-      router_ != nullptr && config_.algorithm != "alg4") {
+  std::string error;
+  if (!validate_batch_combination(config_.algorithm, config_.batch_policy,
+                                  config_.arrival_burst, &error)) {
     // Fail at construction, not mid-simulation: the generic batch pass
     // would throw on the first burst anyway.
-    throw std::invalid_argument(
-        "SessionServiceConfig: fair-share burst admission needs the "
-        "batch-native kernel (algorithm \"\" or \"alg4\"), not '" +
-        config_.algorithm + "'");
+    throw std::invalid_argument("SessionServiceConfig: " + error);
   }
-  if (router_ != nullptr) {
-    residual_view_.emplace(network);
-  } else if (config_.arrival_burst > 1 || config_.batch_single_arrivals) {
-    batch_router_.emplace(network);
-  }
+  ensure_admission_state();
   for (net::NodeId sw : network_->switches()) {
     total_switch_qubits_ += network_->qubits(sw);
   }
+}
+
+bool SessionService::validate_batch_combination(const std::string& algorithm,
+                                                routing::BatchPolicy policy,
+                                                std::size_t burst,
+                                                std::string* error) const {
+  if ((burst > 1 || config_.batch_single_arrivals) &&
+      policy == routing::BatchPolicy::kFairShare && !algorithm.empty() &&
+      algorithm != "alg4") {
+    if (error != nullptr) {
+      *error =
+          "fair-share burst admission needs the batch-native kernel "
+          "(algorithm \"\" or \"alg4\"), not '" +
+          algorithm + "'";
+    }
+    return false;
+  }
+  return true;
+}
+
+void SessionService::ensure_admission_state() {
+  if (router_ != nullptr) {
+    if (!residual_view_) residual_view_.emplace(*network_);
+  } else if (config_.arrival_burst > 1 || config_.batch_single_arrivals) {
+    if (!batch_router_) batch_router_.emplace(*network_);
+  }
+}
+
+bool SessionService::set_arrival_prob(double prob, std::string* error) {
+  if (!(prob >= 0.0 && prob <= 1.0)) {  // also rejects NaN
+    if (error != nullptr) {
+      *error = "arrival probability must be in [0, 1]";
+    }
+    return false;
+  }
+  config_.params.arrival_prob_per_slot = prob;
+  return true;
+}
+
+bool SessionService::set_arrival_burst(std::size_t burst,
+                                       std::string* error) {
+  if (burst < 1) {
+    if (error != nullptr) *error = "arrival burst must be >= 1";
+    return false;
+  }
+  if (!validate_batch_combination(config_.algorithm, config_.batch_policy,
+                                  burst, error)) {
+    return false;
+  }
+  config_.arrival_burst = burst;
+  ensure_admission_state();
+  return true;
+}
+
+bool SessionService::set_batch_policy(routing::BatchPolicy policy,
+                                      std::string* error) {
+  if (!validate_batch_combination(config_.algorithm, policy,
+                                  config_.arrival_burst, error)) {
+    return false;
+  }
+  config_.batch_policy = policy;
+  return true;
+}
+
+bool SessionService::set_algorithm(const std::string& algorithm,
+                                   std::string* error) {
+  const routing::Router* router = nullptr;
+  if (!algorithm.empty()) {
+    router = routing::RouterRegistry::instance().find(algorithm);
+    if (router == nullptr) {
+      if (error != nullptr) {
+        std::string known;
+        for (const std::string& name :
+             routing::RouterRegistry::instance().names()) {
+          if (!known.empty()) known += ", ";
+          known += name;
+        }
+        *error = "unknown algorithm '" + algorithm + "' (known: " + known +
+                 ", or \"\" for the built-in shared-Prim pass)";
+      }
+      return false;
+    }
+  }
+  if (!validate_batch_combination(algorithm, config_.batch_policy,
+                                  config_.arrival_burst, error)) {
+    return false;
+  }
+  config_.algorithm = algorithm;
+  router_ = router;
+  ensure_admission_state();
+  return true;
+}
+
+bool SessionService::set_log_events_per_second(double per_second,
+                                               std::string* error) {
+  if (!(per_second >= 0.0)) {  // also rejects NaN
+    if (error != nullptr) {
+      *error = "log events per second must be >= 0 (0 = unlimited)";
+    }
+    return false;
+  }
+  config_.log_events_per_second = per_second;
+  log_bucket_.reconfigure(per_second, per_second);
+  return true;
 }
 
 double SessionService::qubit_utilization() const noexcept {

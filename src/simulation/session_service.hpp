@@ -142,6 +142,50 @@ class SessionService {
     return log_bucket_.suppressed();
   }
 
+  // -------------------------------------------------------------------------
+  // Runtime mutators for the live control plane (`muerpctl ctl set ...`).
+  //
+  // Safe only BETWEEN step() calls — muerpd applies them through its
+  // tick-boundary mailbox. They mutate intake configuration, never Rng
+  // state or active sessions, so a run whose changed knob is not exercised
+  // stays bit-identical. The bool setters return false (message in *error
+  // when non-null) instead of throwing: a bad live request must not take
+  // the daemon down.
+
+  /// Bernoulli arrival probability per slot. Rejects values outside [0, 1].
+  bool set_arrival_prob(double prob, std::string* error = nullptr);
+  double arrival_prob() const noexcept {
+    return config_.params.arrival_prob_per_slot;
+  }
+
+  /// Arrival attempts per slot (>= 1). Switching 1 <-> N changes which
+  /// (documented) draw sequence later slots use, exactly as if the service
+  /// had been constructed with the new value.
+  bool set_arrival_burst(std::size_t burst, std::string* error = nullptr);
+  std::size_t arrival_burst() const noexcept { return config_.arrival_burst; }
+
+  /// Burst contention policy. Rejects fair-share when the current
+  /// algorithm lacks the batch-native kernel.
+  bool set_batch_policy(routing::BatchPolicy policy,
+                        std::string* error = nullptr);
+  routing::BatchPolicy batch_policy() const noexcept {
+    return config_.batch_policy;
+  }
+
+  /// Admission algorithm by registry name ("" = built-in shared Prim).
+  /// Rejects unknown names and combinations the batch policy forbids.
+  /// Active sessions keep the trees their admission-time algorithm built.
+  bool set_algorithm(const std::string& algorithm,
+                     std::string* error = nullptr);
+  const std::string& algorithm() const noexcept { return config_.algorithm; }
+
+  /// Reconfigures the per-session log-event budget (0 = unlimited).
+  bool set_log_events_per_second(double per_second,
+                                 std::string* error = nullptr);
+  double log_events_per_second() const noexcept {
+    return config_.log_events_per_second;
+  }
+
   /// Fraction of all switch qubits currently pledged to sessions.
   double qubit_utilization() const noexcept;
 
@@ -164,6 +208,17 @@ class SessionService {
   /// through the batch kernel against capacity_, then applies the same
   /// per-session counters/logs admit() arrivals get, in admission order.
   void admit_batch(SlotReport& report);
+
+  /// (Re)creates the residual view / batch kernel the current algorithm +
+  /// intake mode needs — shared by the constructor and the runtime setters.
+  void ensure_admission_state();
+
+  /// The constructor-time fair-share validation, reusable by the setters;
+  /// returns false with *error when the combination is invalid.
+  bool validate_batch_combination(const std::string& algorithm,
+                                  routing::BatchPolicy policy,
+                                  std::size_t burst,
+                                  std::string* error) const;
 
   const net::QuantumNetwork* network_;
   SessionServiceConfig config_;

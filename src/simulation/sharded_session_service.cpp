@@ -175,6 +175,85 @@ void ShardedSessionService::set_arrivals_enabled(bool enabled) noexcept {
   for (const auto& lane : lanes_) lane->service->set_arrivals_enabled(enabled);
 }
 
+bool ShardedSessionService::arrivals_enabled() const noexcept {
+  return lanes_.front()->service->arrivals_enabled();
+}
+
+// Forwarded setters validate against lane 0 first so a rejection mutates
+// nothing; lanes past 0 then apply a value lane 0 already accepted (every
+// lane shares one configuration, so acceptance is uniform).
+bool ShardedSessionService::set_arrival_prob(double prob,
+                                             std::string* error) {
+  if (!lanes_.front()->service->set_arrival_prob(prob, error)) return false;
+  for (std::size_t l = 1; l < lanes_.size(); ++l) {
+    lanes_[l]->service->set_arrival_prob(prob);
+  }
+  return true;
+}
+
+double ShardedSessionService::arrival_prob() const noexcept {
+  return lanes_.front()->service->arrival_prob();
+}
+
+bool ShardedSessionService::set_arrival_burst(std::size_t burst,
+                                              std::string* error) {
+  if (!lanes_.front()->service->set_arrival_burst(burst, error)) return false;
+  for (std::size_t l = 1; l < lanes_.size(); ++l) {
+    lanes_[l]->service->set_arrival_burst(burst);
+  }
+  config_.base.arrival_burst = burst;
+  return true;
+}
+
+std::size_t ShardedSessionService::arrival_burst() const noexcept {
+  return lanes_.front()->service->arrival_burst();
+}
+
+bool ShardedSessionService::set_batch_policy(routing::BatchPolicy policy,
+                                             std::string* error) {
+  if (!lanes_.front()->service->set_batch_policy(policy, error)) return false;
+  for (std::size_t l = 1; l < lanes_.size(); ++l) {
+    lanes_[l]->service->set_batch_policy(policy);
+  }
+  config_.base.batch_policy = policy;
+  return true;
+}
+
+routing::BatchPolicy ShardedSessionService::batch_policy() const noexcept {
+  return lanes_.front()->service->batch_policy();
+}
+
+bool ShardedSessionService::set_algorithm(const std::string& algorithm,
+                                          std::string* error) {
+  if (!lanes_.front()->service->set_algorithm(algorithm, error)) return false;
+  for (std::size_t l = 1; l < lanes_.size(); ++l) {
+    lanes_[l]->service->set_algorithm(algorithm);
+  }
+  config_.base.algorithm = algorithm;
+  return true;
+}
+
+const std::string& ShardedSessionService::algorithm() const noexcept {
+  return lanes_.front()->service->algorithm();
+}
+
+bool ShardedSessionService::set_log_events_per_second(double per_second,
+                                                      std::string* error) {
+  if (!lanes_.front()->service->set_log_events_per_second(per_second,
+                                                          error)) {
+    return false;
+  }
+  for (std::size_t l = 1; l < lanes_.size(); ++l) {
+    lanes_[l]->service->set_log_events_per_second(per_second);
+  }
+  config_.base.log_events_per_second = per_second;
+  return true;
+}
+
+double ShardedSessionService::log_events_per_second() const noexcept {
+  return lanes_.front()->service->log_events_per_second();
+}
+
 double ShardedSessionService::qubit_utilization() const noexcept {
   if (total_switch_qubits_ <= 0) return 0.0;
   double weighted = 0.0;

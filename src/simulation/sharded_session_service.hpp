@@ -120,6 +120,28 @@ class ShardedSessionService {
   /// invocations only.
   void set_arrivals_enabled(bool enabled) noexcept;
 
+  bool arrivals_enabled() const noexcept;
+
+  // -------------------------------------------------------------------------
+  // Runtime mutators, forwarded to every lane (ctl plane; call between
+  // run_slots invocations only). All-or-nothing: the new value is validated
+  // against lane 0 first, so a rejection leaves every lane unchanged.
+  // Getters read lane 0 — lanes always share one configuration.
+
+  bool set_arrival_prob(double prob, std::string* error = nullptr);
+  double arrival_prob() const noexcept;
+  bool set_arrival_burst(std::size_t burst, std::string* error = nullptr);
+  std::size_t arrival_burst() const noexcept;
+  bool set_batch_policy(routing::BatchPolicy policy,
+                        std::string* error = nullptr);
+  routing::BatchPolicy batch_policy() const noexcept;
+  bool set_algorithm(const std::string& algorithm,
+                     std::string* error = nullptr);
+  const std::string& algorithm() const noexcept;
+  bool set_log_events_per_second(double per_second,
+                                 std::string* error = nullptr);
+  double log_events_per_second() const noexcept;
+
   /// Qubit-weighted utilization across lanes.
   double qubit_utilization() const noexcept;
 

@@ -23,6 +23,7 @@ bool CliParser::parse(int argc, const char* const* argv) {
     }
     arg.erase(0, 2);
     if (arg == "help") {
+      help_requested_ = true;
       std::fputs(usage(argv[0]).c_str(), stderr);
       return false;
     }

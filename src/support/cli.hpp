@@ -40,6 +40,11 @@ class CliParser {
     return positional_;
   }
 
+  /// True when parse() returned false because of --help rather than a bad
+  /// flag. Tools use it for the exit-code convention `--help` = 0, typo'd
+  /// flag = 2: `return cli.help_requested() ? 0 : 2;`.
+  bool help_requested() const noexcept { return help_requested_; }
+
   /// The generated usage text.
   std::string usage(const std::string& program_name) const;
 
@@ -53,6 +58,7 @@ class CliParser {
   std::string description_;
   std::map<std::string, Flag> flags_;
   std::vector<std::string> positional_;
+  bool help_requested_ = false;
 };
 
 }  // namespace muerp::support

@@ -7,6 +7,8 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <cmath>
 #include <cstdlib>
@@ -24,28 +26,105 @@ namespace muerp::support::telemetry {
 
 namespace {
 
-/// Outcome of reading one request head (up to CRLFCRLF).
-enum class ReadStatus { kOk, kEmpty, kTooLarge };
+/// Outcome of reading one request off a connection.
+enum class ReadStatus { kOk, kEmpty, kHeadTooLarge, kBodyTooLarge };
 
-/// Reads until the end of the request headers (CRLFCRLF), the peer stops
-/// sending, the recv timeout fires, or `max_bytes` is exceeded; returns the
-/// first line. GET requests have no body, so this is all the parsing
-/// /metrics-style endpoints need. EINTR is retried; a timeout (EAGAIN under
-/// SO_RCVTIMEO) ends the read with whatever arrived so far.
-ReadStatus read_request_line(int fd, std::size_t max_bytes,
-                             std::string* line) {
+const char* reason_phrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 413:
+      return "Payload Too Large";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+/// Case-insensitive Content-Length lookup in a raw header block; -1 when
+/// absent or malformed.
+long content_length_of(std::string_view head) {
+  std::size_t pos = 0;
+  while (pos < head.size()) {
+    std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    const std::string_view line = head.substr(pos, eol - pos);
+    const std::size_t colon = line.find(':');
+    if (colon != std::string_view::npos) {
+      std::string name(line.substr(0, colon));
+      std::transform(name.begin(), name.end(), name.begin(),
+                     [](unsigned char c) { return std::tolower(c); });
+      if (name == "content-length") {
+        std::string value(line.substr(colon + 1));
+        const std::size_t first = value.find_first_not_of(" \t");
+        if (first == std::string::npos) return -1;
+        char* end = nullptr;
+        const long n = std::strtol(value.c_str() + first, &end, 10);
+        if (end == value.c_str() + first || n < 0) return -1;
+        return n;
+      }
+    }
+    pos = eol + 2;
+  }
+  return -1;
+}
+
+/// Reads one full request: head up to CRLFCRLF under the head budget, then
+/// Content-Length body bytes under the body budget. GETs have no body and
+/// end at the blank line, exactly as before. EINTR is retried; a timeout
+/// (EAGAIN under SO_RCVTIMEO) ends the read with whatever arrived so far.
+ReadStatus read_request(int fd, std::size_t max_head_bytes,
+                        std::size_t max_body_bytes, HttpRequest* request) {
   std::string buffer;
   char chunk[1024];
-  while (buffer.find("\r\n\r\n") == std::string::npos) {
-    if (buffer.size() >= max_bytes) return ReadStatus::kTooLarge;
+  std::size_t head_end;
+  while ((head_end = buffer.find("\r\n\r\n")) == std::string::npos) {
+    if (buffer.size() >= max_head_bytes) return ReadStatus::kHeadTooLarge;
     const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;  // peer closed, timed out, or errored
     buffer.append(chunk, static_cast<std::size_t>(n));
   }
-  const std::size_t eol = buffer.find("\r\n");
-  if (eol == std::string::npos && buffer.empty()) return ReadStatus::kEmpty;
-  *line = buffer.substr(0, eol);
+  if (buffer.empty()) return ReadStatus::kEmpty;
+  if (head_end == std::string::npos) head_end = buffer.size();
+
+  const std::size_t eol = std::min(buffer.find("\r\n"), head_end);
+  const std::string request_line = buffer.substr(0, eol);
+  std::istringstream parse(request_line);
+  parse >> request->method >> request->path;
+  if (const std::size_t q = request->path.find('?');
+      q != std::string::npos) {
+    request->query = request->path.substr(q + 1);
+    request->path.resize(q);
+  }
+
+  const long declared = content_length_of(
+      std::string_view(buffer).substr(eol, head_end - eol));
+  if (declared <= 0) return ReadStatus::kOk;
+  if (static_cast<std::size_t>(declared) > max_body_bytes) {
+    return ReadStatus::kBodyTooLarge;
+  }
+  const std::size_t body_start =
+      std::min(head_end + 4, buffer.size());
+  request->body = buffer.substr(body_start);
+  while (request->body.size() < static_cast<std::size_t>(declared)) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // truncated body: serve what arrived
+    request->body.append(chunk, static_cast<std::size_t>(n));
+  }
+  if (request->body.size() > static_cast<std::size_t>(declared)) {
+    request->body.resize(static_cast<std::size_t>(declared));
+  }
   return ReadStatus::kOk;
 }
 
@@ -141,24 +220,48 @@ void append_json_string(std::string& out, std::string_view s) {
   out.push_back('"');
 }
 
-std::string http_response(int status, const char* status_text,
-                          const char* content_type, const std::string& body) {
+}  // namespace
+
+std::string HttpExporter::response(int status, const char* content_type,
+                                   const std::string& body,
+                                   const std::string& extra_headers) {
   std::ostringstream out;
-  out << "HTTP/1.1 " << status << ' ' << status_text << "\r\n"
+  out << "HTTP/1.1 " << status << ' ' << reason_phrase(status) << "\r\n"
       << "Content-Type: " << content_type << "\r\n"
       << "Content-Length: " << body.size() << "\r\n"
-      << "Connection: close\r\n\r\n"
+      << extra_headers << "Connection: close\r\n\r\n"
       << body;
   return out.str();
 }
 
-}  // namespace
-
 HttpExporter::HttpExporter() : HttpExporter(Options()) {}
 
-HttpExporter::HttpExporter(Options options) : options_(std::move(options)) {}
+HttpExporter::HttpExporter(Options options) : options_(std::move(options)) {
+  register_builtin_routes();
+}
 
 HttpExporter::~HttpExporter() { stop(); }
+
+void HttpExporter::register_builtin_routes() {
+  add_route("GET", "/metrics", [](const HttpRequest&) {
+    return response(200, "text/plain; version=0.0.4; charset=utf-8",
+                    to_openmetrics(capture_process()));
+  });
+  add_route("GET", "/healthz",
+            [this](const HttpRequest&) { return respond_health(); });
+  add_route("GET", "/snapshot.json", [](const HttpRequest&) {
+    const std::vector<LogEvent> events = recent_log_events();
+    return response(200, "application/json",
+                    snapshot_document(capture_process(), events));
+  });
+  add_route("GET", "/api/v1/range", [this](const HttpRequest& request) {
+    return respond_range(request.query);
+  });
+  add_route("GET", "/api/v1/metrics",
+            [this](const HttpRequest&) { return respond_series_index(); });
+  add_route("GET", "/",
+            [this](const HttpRequest&) { return respond_index(); });
+}
 
 bool HttpExporter::start(std::string* error) {
   if (running_.load()) return true;
@@ -214,6 +317,19 @@ void HttpExporter::stop() {
   listen_fd_ = -1;
 }
 
+void HttpExporter::add_route(std::string method, std::string path,
+                             RouteHandler handler) {
+  const std::lock_guard<std::mutex> lock(routes_mutex_);
+  for (Route& route : routes_) {
+    if (route.method == method && route.path == path) {
+      route.handler = std::move(handler);
+      return;
+    }
+  }
+  routes_.push_back(Route{std::move(method), std::move(path),
+                          std::move(handler)});
+}
+
 void HttpExporter::set_health_fields(
     std::function<void(std::string&)> appender) {
   const std::lock_guard<std::mutex> lock(health_mutex_);
@@ -239,14 +355,18 @@ void HttpExporter::serve() {
       ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
       ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof timeout);
     }
-    std::string request_line;
+    HttpRequest request;
     const ReadStatus status =
-        read_request_line(fd, options_.max_request_bytes, &request_line);
-    if (status == ReadStatus::kTooLarge) {
-      send_all(fd, http_response(431, "Request Header Fields Too Large",
-                                 "text/plain", "request head too large\n"));
+        read_request(fd, options_.max_request_bytes, options_.max_body_bytes,
+                     &request);
+    if (status == ReadStatus::kHeadTooLarge) {
+      send_all(fd,
+               response(431, "text/plain", "request head too large\n"));
+    } else if (status == ReadStatus::kBodyTooLarge) {
+      send_all(fd,
+               response(413, "text/plain", "request body too large\n"));
     } else if (status == ReadStatus::kOk) {
-      send_all(fd, respond(request_line));
+      send_all(fd, respond(request));
     }
     // kEmpty: the client connected and sent nothing before closing or
     // timing out — drop it without counting a request.
@@ -255,92 +375,99 @@ void HttpExporter::serve() {
   }
 }
 
-std::string HttpExporter::respond(const std::string& request_line) {
-  // "GET /path[?query] HTTP/1.1" — everything else 400/404s.
-  std::istringstream parse(request_line);
-  std::string method;
-  std::string path;
-  parse >> method >> path;
-  if (method != "GET") {
-    return http_response(405, "Method Not Allowed", "text/plain",
-                         "only GET is supported\n");
-  }
-  // Split off the query string (the /api/v1 endpoints consume it; plain
-  // scrape paths ignore whatever a scraper appended).
-  std::string query;
-  if (const std::size_t q = path.find('?'); q != std::string::npos) {
-    query = path.substr(q + 1);
-    path.resize(q);
-  }
-
-  if (path == "/api/v1/range") {
-    return respond_range(query);
-  }
-  if (path == "/api/v1/metrics") {
-    return respond_series_index();
-  }
-
-  if (path == "/metrics") {
-    return http_response(200, "OK",
-                         "text/plain; version=0.0.4; charset=utf-8",
-                         to_openmetrics(capture_process()));
-  }
-  if (path == "/healthz") {
-    std::string body = "{\"status\": \"ok\"";
-    body += ", \"uptime_s\": ";
-    {
-      std::ostringstream uptime;
-      uptime << static_cast<double>(monotonic_now_ns() - start_ns_) / 1e9;
-      body += uptime.str();
+std::string HttpExporter::respond(const HttpRequest& request) {
+  RouteHandler handler;
+  std::string allow;
+  {
+    const std::lock_guard<std::mutex> lock(routes_mutex_);
+    for (const Route& route : routes_) {
+      if (route.path != request.path) continue;
+      if (route.method == request.method) {
+        handler = route.handler;
+        break;
+      }
+      // Path exists under another method — collect it for Allow:.
+      if (!allow.empty()) allow += ", ";
+      allow += route.method;
     }
-    body += ", \"requests\": " + std::to_string(requests_.load());
-    body += ", \"telemetry\": ";
-    body += MUERP_TELEMETRY_ENABLED ? "true" : "false";
-    {
-      const std::lock_guard<std::mutex> lock(health_mutex_);
-      if (health_appender_) health_appender_(body);
+  }
+  if (handler) return handler(request);
+  if (!allow.empty()) {
+    return response(405, "application/json",
+                    "{\"error\": \"method " + request.method +
+                        " not allowed here; use " + allow + "\"}\n",
+                    "Allow: " + allow + "\r\n");
+  }
+  return respond_not_found();
+}
+
+std::string HttpExporter::respond_health() {
+  std::string body = "{\"status\": \"ok\"";
+  body += ", \"uptime_s\": ";
+  {
+    std::ostringstream uptime;
+    uptime << static_cast<double>(monotonic_now_ns() - start_ns_) / 1e9;
+    body += uptime.str();
+  }
+  body += ", \"requests\": " + std::to_string(requests_.load());
+  body += ", \"telemetry\": ";
+  body += MUERP_TELEMETRY_ENABLED ? "true" : "false";
+  {
+    const std::lock_guard<std::mutex> lock(health_mutex_);
+    if (health_appender_) health_appender_(body);
+  }
+  body += "}\n";
+  return response(200, "application/json", body);
+}
+
+std::string HttpExporter::respond_index() {
+  std::string body =
+      "muerp telemetry endpoint\n"
+      "  /metrics         Prometheus text exposition\n"
+      "  /healthz         health JSON\n"
+      "  /snapshot.json   metrics + recent events JSON\n"
+      "  /api/v1/range    windowed time series "
+      "(?metric=...&window=<s>&step=<s>)\n"
+      "  /api/v1/metrics  names the time-series store has history for\n";
+  // Routes mounted by the owning tool, so `curl /` stays a full sitemap.
+  const std::lock_guard<std::mutex> lock(routes_mutex_);
+  for (const Route& route : routes_) {
+    if (route.method == "GET") continue;
+    body += "  " + route.path + "  (" + route.method + ")\n";
+  }
+  return response(200, "text/plain", body);
+}
+
+std::string HttpExporter::respond_not_found() {
+  std::string paths;
+  {
+    const std::lock_guard<std::mutex> lock(routes_mutex_);
+    for (const Route& route : routes_) {
+      if (route.path == "/") continue;
+      if (!paths.empty()) paths += ", ";
+      paths += route.path;
     }
-    body += "}\n";
-    return http_response(200, "OK", "application/json", body);
   }
-  if (path == "/snapshot.json") {
-    const std::vector<LogEvent> events = recent_log_events();
-    return http_response(200, "OK", "application/json",
-                         snapshot_document(capture_process(), events));
-  }
-  if (path == "/") {
-    return http_response(
-        200, "OK", "text/plain",
-        "muerp telemetry endpoint\n"
-        "  /metrics         Prometheus text exposition\n"
-        "  /healthz         health JSON\n"
-        "  /snapshot.json   metrics + recent events JSON\n"
-        "  /api/v1/range    windowed time series "
-        "(?metric=...&window=<s>&step=<s>)\n"
-        "  /api/v1/metrics  names the time-series store has history for\n");
-  }
-  return http_response(404, "Not Found", "text/plain",
-                       "unknown path; try /metrics, /healthz, "
-                       "/snapshot.json or /api/v1/range\n");
+  return response(404, "text/plain", "unknown path; try " + paths + "\n");
 }
 
 std::string HttpExporter::respond_range(const std::string& query) {
   const TimeSeriesStore* store = time_series_.load();
   if (store == nullptr) {
-    return http_response(404, "Not Found", "application/json",
-                         "{\"error\": \"no time-series store attached\"}\n");
+    return response(404, "application/json",
+                    "{\"error\": \"no time-series store attached\"}\n");
   }
   const std::string metric = query_param(query, "metric");
   if (metric.empty()) {
-    return http_response(400, "Bad Request", "application/json",
-                         "{\"error\": \"missing ?metric=\"}\n");
+    return response(400, "application/json",
+                    "{\"error\": \"missing ?metric=\"}\n");
   }
   const double window_s = seconds_param(query, "window", 60.0);
   const double step_s = seconds_param(query, "step", 1.0);
   if (!(window_s > 0.0) || !(step_s > 0.0) || window_s > 86400.0 ||
       step_s > window_s) {
-    return http_response(
-        400, "Bad Request", "application/json",
+    return response(
+        400, "application/json",
         "{\"error\": \"window/step must satisfy 0 < step <= window <= "
         "86400 seconds\"}\n");
   }
@@ -377,14 +504,14 @@ std::string HttpExporter::respond_range(const std::string& query) {
     body += '}';
   }
   body += "]}\n";
-  return http_response(200, "OK", "application/json", body);
+  return response(200, "application/json", body);
 }
 
 std::string HttpExporter::respond_series_index() {
   const TimeSeriesStore* store = time_series_.load();
   if (store == nullptr) {
-    return http_response(404, "Not Found", "application/json",
-                         "{\"error\": \"no time-series store attached\"}\n");
+    return response(404, "application/json",
+                    "{\"error\": \"no time-series store attached\"}\n");
   }
   std::string body = "{\"samples\": " + std::to_string(store->size());
   body += ", \"capacity\": " + std::to_string(store->capacity());
@@ -399,7 +526,7 @@ std::string HttpExporter::respond_series_index() {
     body += "\"}";
   }
   body += "]}\n";
-  return http_response(200, "OK", "application/json", body);
+  return response(200, "application/json", body);
 }
 
 }  // namespace muerp::support::telemetry

@@ -1,7 +1,10 @@
 // Dependency-free HTTP endpoint for the live telemetry registry.
 //
 // A single acceptor thread serves blocking, one-request-per-connection
-// HTTP/1.1 over a loopback (by default) TCP socket:
+// HTTP/1.1 over a loopback (by default) TCP socket. Endpoints are rows in a
+// (method, path) -> handler route table; the built-ins are registered at
+// construction and owners add their own with add_route() (muerpd mounts
+// POST /api/v1/ctl this way):
 //
 //   GET /metrics        capture_process() in Prometheus text exposition
 //                       format (write_openmetrics) — point a Prometheus
@@ -22,6 +25,13 @@
 //                       histograms as windowed-exact quantiles per step;
 //   GET /api/v1/metrics names the store has history for, plus retention.
 //
+// Routing is exact on (method, path): an unknown path 404s with the list of
+// registered paths; a known path hit with the wrong method gets a JSON 405
+// carrying an `Allow:` header naming the methods that would have worked.
+// Request bodies are read per Content-Length (what POST routes consume) and
+// bounded by max_body_bytes — oversize bodies are answered 413 without
+// invoking the route.
+//
 // Robustness: request heads are read under a fixed byte budget with a
 // recv timeout (a slow or stalled client cannot pin the acceptor forever),
 // EINTR is retried on both the read and write side, partial send()s resume,
@@ -34,7 +44,7 @@
 // Prometheus is the design load, not a web server). The class works
 // identically in -DMUERP_TELEMETRY=OFF builds — pages are served with
 // whatever the stub registry returns (empty metrics), which keeps /healthz
-// usable everywhere.
+// and any add_route() endpoints usable everywhere.
 #pragma once
 
 #include <atomic>
@@ -44,10 +54,21 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 namespace muerp::support::telemetry {
 
 class TimeSeriesStore;
+
+/// One parsed request as a route handler sees it. `query` is the raw
+/// (undecoded) string after '?'; `body` is the Content-Length-delimited
+/// payload (empty for GET).
+struct HttpRequest {
+  std::string method;
+  std::string path;
+  std::string query;
+  std::string body;
+};
 
 class HttpExporter {
  public:
@@ -63,7 +84,13 @@ class HttpExporter {
     int recv_timeout_ms = 2000;
     /// Request heads larger than this are answered 431 and closed.
     std::size_t max_request_bytes = 8192;
+    /// Request bodies larger than this are answered 413 and closed.
+    std::size_t max_body_bytes = 65536;
   };
+
+  /// A route handler returns the COMPLETE response bytes — build them with
+  /// response(). Handlers run on the acceptor thread, one at a time.
+  using RouteHandler = std::function<std::string(const HttpRequest&)>;
 
   HttpExporter();
   explicit HttpExporter(Options options);
@@ -89,6 +116,12 @@ class HttpExporter {
     return requests_.load();
   }
 
+  /// Mounts `handler` at exact (method, path) — registration is data, not a
+  /// new if/else branch. Replaces any existing route for the same pair
+  /// (callers can shadow a built-in). `method` is uppercase ("GET",
+  /// "POST"); `path` has no query part.
+  void add_route(std::string method, std::string path, RouteHandler handler);
+
   /// Registers a callback appending extra `"key": value` JSON members to
   /// the /healthz document (called per request under the exporter's lock;
   /// it must emit a leading ", " before each member it writes).
@@ -98,9 +131,26 @@ class HttpExporter {
   /// (nullptr detaches; the store must outlive the exporter while set).
   void set_time_series(const TimeSeriesStore* store);
 
+  /// Builds a complete HTTP/1.1 response (status line, Content-Type,
+  /// Content-Length, Connection: close). `extra_headers` is zero or more
+  /// full "Name: value\r\n" lines spliced into the head.
+  static std::string response(int status, const char* content_type,
+                              const std::string& body,
+                              const std::string& extra_headers = {});
+
  private:
+  struct Route {
+    std::string method;
+    std::string path;
+    RouteHandler handler;
+  };
+
+  void register_builtin_routes();
   void serve();
-  std::string respond(const std::string& request_line);
+  std::string respond(const HttpRequest& request);
+  std::string respond_health();
+  std::string respond_index();
+  std::string respond_not_found();
   std::string respond_range(const std::string& query);
   std::string respond_series_index();
 
@@ -114,6 +164,8 @@ class HttpExporter {
   std::mutex health_mutex_;
   std::function<void(std::string&)> health_appender_;
   std::atomic<const TimeSeriesStore*> time_series_{nullptr};
+  mutable std::mutex routes_mutex_;
+  std::vector<Route> routes_;
 };
 
 }  // namespace muerp::support::telemetry

@@ -287,9 +287,9 @@ LogTokenBucket::LogTokenBucket(double per_second, double burst) noexcept
       tokens_(burst_) {}
 
 bool LogTokenBucket::try_acquire() noexcept {
-  if (per_second_ <= 0.0) return true;
   const std::uint64_t now = monotonic_now_ns();
   const std::lock_guard<std::mutex> lock(mutex_);
+  if (per_second_ <= 0.0) return true;
   if (last_ns_ != 0 && now > last_ns_) {
     tokens_ = std::min(
         burst_, tokens_ + static_cast<double>(now - last_ns_) / 1e9 *
@@ -307,6 +307,13 @@ bool LogTokenBucket::try_acquire() noexcept {
 std::uint64_t LogTokenBucket::suppressed() const noexcept {
   const std::lock_guard<std::mutex> lock(mutex_);
   return suppressed_;
+}
+
+void LogTokenBucket::reconfigure(double per_second, double burst) noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  per_second_ = per_second;
+  burst_ = burst < 1.0 ? 1.0 : burst;
+  if (tokens_ > burst_) tokens_ = burst_;
 }
 
 }  // namespace muerp::support::telemetry

@@ -196,9 +196,14 @@ class LogTokenBucket {
   /// Events refused since construction.
   std::uint64_t suppressed() const noexcept;
 
+  /// Swaps in a new rate/burst, clamping stored tokens to the new burst.
+  /// The suppressed() count carries over — it is a lifetime total. Lets the
+  /// control plane retune a live daemon's log budget (`ctl set log-rate`).
+  void reconfigure(double per_second, double burst) noexcept;
+
  private:
-  const double per_second_;
-  const double burst_;
+  double per_second_;  // guarded by mutex_ (reconfigure vs try_acquire)
+  double burst_;       // guarded by mutex_
   mutable std::mutex mutex_;
   double tokens_;                 // guarded by mutex_
   std::uint64_t last_ns_ = 0;     // guarded by mutex_
@@ -228,6 +233,7 @@ class LogTokenBucket {
   LogTokenBucket& operator=(const LogTokenBucket&) = delete;
   bool try_acquire() noexcept { return false; }
   std::uint64_t suppressed() const noexcept { return 0; }
+  void reconfigure(double, double) noexcept {}
 };
 
 #endif  // MUERP_TELEMETRY_ENABLED

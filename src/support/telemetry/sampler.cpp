@@ -40,6 +40,22 @@ void Sampler::stop() {
   if (thread_.joinable()) thread_.join();
 }
 
+void Sampler::set_interval(std::chrono::milliseconds interval) {
+  if (interval <= std::chrono::milliseconds(0)) {
+    interval = std::chrono::milliseconds(1);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    options_.interval = interval;
+  }
+  cv_.notify_all();  // re-arm a sleeping run() on the new cadence
+}
+
+std::chrono::milliseconds Sampler::interval() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return options_.interval;
+}
+
 void Sampler::run() {
   // The first sample is taken immediately: it establishes the store's
   // delta baseline, so real increments show up one interval later.
@@ -47,10 +63,19 @@ void Sampler::run() {
     store_->append(monotonic_now_ns(), capture_process());
     samples_.fetch_add(1);
     std::unique_lock<std::mutex> lock(mutex_);
-    if (cv_.wait_for(lock, options_.interval,
-                     [this] { return stop_requested_; })) {
-      break;
+    // wait_until in a loop (not wait_for with a predicate) so a
+    // set_interval() wake re-arms the deadline on the new cadence instead
+    // of finishing out the old wait.
+    std::chrono::milliseconds armed = options_.interval;
+    auto deadline = std::chrono::steady_clock::now() + armed;
+    while (!stop_requested_) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+      if (options_.interval != armed) {
+        armed = options_.interval;
+        deadline = std::chrono::steady_clock::now() + armed;
+      }
     }
+    if (stop_requested_) break;
   }
 }
 

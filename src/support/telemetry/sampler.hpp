@@ -52,12 +52,19 @@ class Sampler {
   /// Snapshots captured since construction (across start/stop cycles).
   std::uint64_t samples_taken() const noexcept { return samples_.load(); }
 
+  /// Retunes the cadence; <= 0 clamps to 1ms. Safe while running — the
+  /// thread is woken so the new interval applies from the next wait, not
+  /// after one more old-length sleep (`ctl set sample-interval-ms`).
+  void set_interval(std::chrono::milliseconds interval);
+
+  std::chrono::milliseconds interval() const;
+
  private:
   void run();
 
   TimeSeriesStore* store_;
-  Options options_;
-  std::mutex mutex_;
+  Options options_;  // interval guarded by mutex_ after construction
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_requested_ = false;  // guarded by mutex_
   std::atomic<bool> running_{false};
@@ -82,6 +89,10 @@ class Sampler {
   void stop() {}
   bool running() const noexcept { return false; }
   std::uint64_t samples_taken() const noexcept { return 0; }
+  void set_interval(std::chrono::milliseconds) {}
+  std::chrono::milliseconds interval() const {
+    return std::chrono::milliseconds(0);
+  }
 };
 
 #endif  // MUERP_TELEMETRY_ENABLED

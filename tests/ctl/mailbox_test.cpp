@@ -1,0 +1,131 @@
+#include "ctl/mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "ctl/command_registry.hpp"
+
+namespace muerp::ctl {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(ControlMailbox, SubmitBlocksUntilDrainRunsTheAction) {
+  ControlMailbox mailbox;
+  std::atomic<bool> ran{false};
+  CommandResult result;
+  std::thread submitter([&] {
+    result = mailbox.submit([&] {
+      ran = true;
+      return CommandResult::success("42");
+    });
+  });
+  // The action must not run until the loop thread drains.
+  ASSERT_TRUE(mailbox.wait_pending(1000ms));
+  EXPECT_FALSE(ran.load());
+  EXPECT_EQ(mailbox.drain(), 1u);
+  submitter.join();
+  EXPECT_TRUE(ran.load());
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.result_json, "42");
+}
+
+TEST(ControlMailbox, WakeFiresOnEverySubmit) {
+  ControlMailbox mailbox;
+  std::atomic<int> wakes{0};
+  mailbox.set_wake([&] { ++wakes; });
+  std::thread loop([&] {
+    for (int drained = 0; drained < 2;) {
+      drained += static_cast<int>(mailbox.drain());
+      std::this_thread::sleep_for(1ms);
+    }
+  });
+  mailbox.submit([] { return CommandResult::success(); });
+  mailbox.submit([] { return CommandResult::success(); });
+  loop.join();
+  EXPECT_EQ(wakes.load(), 2);
+}
+
+TEST(ControlMailbox, ActionsRunInArrivalOrder) {
+  ControlMailbox mailbox;
+  std::vector<int> order;
+  // The wake callback fires after each enqueue, so it is an exact "entry i
+  // is in the deque" signal: thread i submits only once i entries are
+  // queued, making the arrival order deterministically 0, 1, 2, 3.
+  std::atomic<int> queued{0};
+  mailbox.set_wake([&queued] { ++queued; });
+  std::vector<std::thread> submitters;
+  for (int i = 0; i < 4; ++i) {
+    submitters.emplace_back([&mailbox, &order, &queued, i] {
+      while (queued.load() != i) std::this_thread::yield();
+      mailbox.submit([&order, i] {
+        order.push_back(i);
+        return CommandResult::success();
+      });
+    });
+  }
+  while (queued.load() != 4) std::this_thread::yield();
+  EXPECT_EQ(mailbox.drain(), 4u);
+  for (std::thread& t : submitters) t.join();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ControlMailbox, ThrowingActionBecomesInternalError) {
+  ControlMailbox mailbox;
+  CommandResult result;
+  std::thread submitter([&] {
+    result = mailbox.submit(
+        []() -> CommandResult { throw std::runtime_error("bad"); });
+  });
+  ASSERT_TRUE(mailbox.wait_pending(1000ms));
+  EXPECT_EQ(mailbox.drain(), 1u);
+  submitter.join();
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.code, kErrInternal);
+}
+
+TEST(ControlMailbox, CloseFailsPendingAndFutureSubmits) {
+  ControlMailbox mailbox;
+  CommandResult pending;
+  std::thread submitter([&] {
+    pending = mailbox.submit([] { return CommandResult::success(); });
+  });
+  ASSERT_TRUE(mailbox.wait_pending(1000ms));
+  mailbox.close();
+  submitter.join();
+  EXPECT_FALSE(pending.ok);
+  EXPECT_EQ(pending.code, kErrShuttingDown);
+  EXPECT_TRUE(mailbox.closed());
+
+  const CommandResult after =
+      mailbox.submit([] { return CommandResult::success(); });
+  EXPECT_FALSE(after.ok);
+  EXPECT_EQ(after.code, kErrShuttingDown);
+  mailbox.close();  // idempotent
+}
+
+TEST(ControlMailbox, WaitPendingTimesOutWhenIdle) {
+  ControlMailbox mailbox;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(mailbox.wait_pending(20ms));
+  EXPECT_GE(std::chrono::steady_clock::now() - start, 15ms);
+}
+
+TEST(ControlMailbox, WaitPendingReturnsOnClose) {
+  ControlMailbox mailbox;
+  std::thread closer([&] {
+    std::this_thread::sleep_for(10ms);
+    mailbox.close();
+  });
+  // Returns (false: nothing pending) well before the full timeout.
+  EXPECT_FALSE(mailbox.wait_pending(5000ms));
+  closer.join();
+}
+
+}  // namespace
+}  // namespace muerp::ctl

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <iostream>
+#include <limits>
 
 #include "experiment/scenario.hpp"
 #include "simulation/protocol.hpp"
@@ -455,6 +456,105 @@ TEST(SessionService, StepsBeyondProtocolHorizonKeepWorking) {
   const ProtocolMetrics m = run_stepped(service, 2000);
   EXPECT_EQ(service.slot(), 2000u);
   EXPECT_GT(m.sessions_arrived, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Runtime mutators (the ctl plane's `set` verbs apply these between steps).
+
+TEST(SessionService, IdentitySettersPreserveTheSlotTrajectory) {
+  const auto net = service_network();
+  const ProtocolParams params = light_params();
+
+  support::Rng plain_rng(7);
+  SessionService plain(net, SessionServiceConfig{params, "", {}}, plain_rng);
+  const ProtocolMetrics expected = run_stepped(plain, 2000);
+
+  // Same run, but mid-flight every setter re-applies its current value —
+  // what a pause/resume cycle with unchanged config does. Must be a no-op.
+  support::Rng poked_rng(7);
+  SessionService poked(net, SessionServiceConfig{params, "", {}}, poked_rng);
+  run_stepped(poked, 1000);
+  std::string error;
+  ASSERT_TRUE(poked.set_arrival_prob(poked.arrival_prob(), &error)) << error;
+  ASSERT_TRUE(poked.set_arrival_burst(poked.arrival_burst(), &error)) << error;
+  ASSERT_TRUE(poked.set_batch_policy(poked.batch_policy(), &error)) << error;
+  ASSERT_TRUE(poked.set_algorithm(poked.algorithm(), &error)) << error;
+  ASSERT_TRUE(poked.set_log_events_per_second(poked.log_events_per_second(),
+                                              &error))
+      << error;
+  const ProtocolMetrics actual = run_stepped(poked, 1000);
+
+  EXPECT_EQ(actual.sessions_arrived, expected.sessions_arrived);
+  EXPECT_EQ(actual.sessions_admitted, expected.sessions_admitted);
+  EXPECT_EQ(actual.sessions_completed, expected.sessions_completed);
+  EXPECT_EQ(actual.sessions_timed_out, expected.sessions_timed_out);
+  EXPECT_DOUBLE_EQ(actual.mean_completion_slots,
+                   expected.mean_completion_slots);
+  EXPECT_DOUBLE_EQ(actual.mean_qubit_utilization,
+                   expected.mean_qubit_utilization);
+}
+
+TEST(SessionService, SettersRejectInvalidValuesAndKeepTheOldOnes) {
+  const auto net = service_network();
+  support::Rng rng(7);
+  SessionService service(net, SessionServiceConfig{light_params(), "", {}},
+                         rng);
+  std::string error;
+
+  EXPECT_FALSE(service.set_arrival_prob(1.5, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(service.set_arrival_prob(-0.1, &error));
+  EXPECT_FALSE(
+      service.set_arrival_prob(std::numeric_limits<double>::quiet_NaN(),
+                               &error));
+  EXPECT_DOUBLE_EQ(service.arrival_prob(), 0.05);
+
+  EXPECT_FALSE(service.set_arrival_burst(0, &error));
+  EXPECT_EQ(service.arrival_burst(), 1u);
+
+  EXPECT_FALSE(service.set_algorithm("no-such-router", &error));
+  EXPECT_NE(error.find("no-such-router"), std::string::npos);
+  EXPECT_EQ(service.algorithm(), "");
+
+  EXPECT_FALSE(service.set_log_events_per_second(-1.0, &error));
+}
+
+TEST(SessionService, SettersChangeBehaviorGoingForward) {
+  const auto net = service_network();
+  support::Rng rng(9);
+  SessionService service(net, SessionServiceConfig{light_params(), "", {}},
+                         rng);
+  std::string error;
+  ASSERT_TRUE(service.set_arrival_prob(0.0, &error)) << error;
+  const ProtocolMetrics quiet = run_stepped(service, 500);
+  EXPECT_EQ(quiet.sessions_arrived, 0u);
+
+  ASSERT_TRUE(service.set_arrival_prob(0.5, &error)) << error;
+  const ProtocolMetrics busy = run_stepped(service, 500);
+  EXPECT_GT(busy.sessions_arrived, 0u);
+
+  // Switching to a registry algorithm mid-run keeps admitting sessions.
+  ASSERT_TRUE(service.set_algorithm("alg3", &error)) << error;
+  EXPECT_EQ(service.algorithm(), "alg3");
+  const ProtocolMetrics routed = run_stepped(service, 500);
+  EXPECT_GT(routed.sessions_arrived, busy.sessions_arrived);
+}
+
+TEST(SessionService, FairShareComboIsRejectedAtRuntimeToo) {
+  const auto net = service_network();
+  ProtocolParams params = light_params();
+  support::Rng rng(5);
+  SessionServiceConfig config{params, "", {}};
+  config.arrival_burst = 4;
+  SessionService service(net, config, rng);
+  std::string error;
+  // fair-share batching needs the batch-native kernel (shared-prim/alg4);
+  // pinning algorithm alg3 first makes the policy switch invalid.
+  ASSERT_TRUE(service.set_algorithm("alg3", &error)) << error;
+  EXPECT_FALSE(
+      service.set_batch_policy(routing::BatchPolicy::kFairShare, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_EQ(service.batch_policy(), routing::BatchPolicy::kGivenOrder);
 }
 
 }  // namespace

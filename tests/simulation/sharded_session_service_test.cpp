@@ -253,5 +253,31 @@ TEST(ShardedSessionService, RunSlotsZeroReportsStateWithoutAdvancing) {
   EXPECT_EQ(tick.active_sessions, service.active_sessions());
 }
 
+TEST(ShardedSessionService, RuntimeSettersApplyToEveryLane) {
+  const auto net = sharded_network();
+  ShardedSessionServiceConfig config =
+      sharded_config(/*lanes=*/4, /*shards=*/2, /*batch_single=*/false);
+  ShardedSessionService service(net, config, /*seed=*/7);
+  service.run_slots(200);
+
+  std::string error;
+  ASSERT_TRUE(service.set_arrival_prob(0.0, &error)) << error;
+  EXPECT_DOUBLE_EQ(service.arrival_prob(), 0.0);
+  const std::uint64_t arrived_before = service.metrics().sessions_arrived;
+  service.run_slots(200);
+  // Zero arrival rate silences every lane, not just lane 0.
+  EXPECT_EQ(service.metrics().sessions_arrived, arrived_before);
+
+  // Rejection mutates nothing: lane 0 validates first, so no lane moved.
+  EXPECT_FALSE(service.set_arrival_prob(2.0, &error));
+  EXPECT_DOUBLE_EQ(service.arrival_prob(), 0.0);
+  EXPECT_FALSE(service.set_algorithm("no-such-router", &error));
+  EXPECT_EQ(service.algorithm(), "");
+
+  ASSERT_TRUE(service.set_arrival_prob(0.5, &error)) << error;
+  service.run_slots(200);
+  EXPECT_GT(service.metrics().sessions_arrived, arrived_before);
+}
+
 }  // namespace
 }  // namespace muerp::sim

@@ -299,5 +299,90 @@ TEST(HttpExporter, RangeApiServesEmptySeriesWhenTelemetryOff) {
 
 #endif  // MUERP_TELEMETRY_ENABLED
 
+TEST(HttpExporter, CustomRoutesServeGetAndPostWithBody) {
+  HttpExporter exporter;
+  exporter.add_route("GET", "/custom", [](const HttpRequest& request) {
+    return HttpExporter::response(200, "text/plain",
+                                  "query=" + request.query);
+  });
+  exporter.add_route("POST", "/echo", [](const HttpRequest& request) {
+    return HttpExporter::response(200, "application/json", request.body);
+  });
+  ASSERT_TRUE(exporter.start());
+
+  const std::string get = http_get(exporter.port(), "/custom?a=1");
+  EXPECT_NE(get.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_EQ(body_of(get), "query=a=1");
+
+  const std::string payload = R"({"k": 7})";
+  const std::string post = http_request(
+      exporter.port(),
+      "POST /echo HTTP/1.1\r\nHost: x\r\nConnection: close\r\n"
+      "Content-Type: application/json\r\nContent-Length: " +
+          std::to_string(payload.size()) + "\r\n\r\n" + payload);
+  EXPECT_NE(post.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_EQ(body_of(post), payload);
+}
+
+TEST(HttpExporter, MethodMismatchIs405JsonWithAllowHeader) {
+  HttpExporter exporter;
+  exporter.add_route("POST", "/only-post", [](const HttpRequest&) {
+    return HttpExporter::response(200, "text/plain", "ok");
+  });
+  ASSERT_TRUE(exporter.start());
+
+  const std::string response = http_get(exporter.port(), "/only-post");
+  EXPECT_NE(response.find("HTTP/1.1 405"), std::string::npos);
+  EXPECT_NE(response.find("Allow: POST"), std::string::npos);
+  const auto doc = json::parse(body_of(response));
+  ASSERT_TRUE(doc.ok()) << doc.error;
+  EXPECT_NE(doc.value["error"].string_value.find("not allowed"),
+            std::string::npos);
+  EXPECT_NE(doc.value["error"].string_value.find("POST"), std::string::npos);
+
+  // The built-in routes get the same treatment: /metrics is GET-only.
+  const std::string post = http_request(
+      exporter.port(),
+      "POST /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n");
+  EXPECT_NE(post.find("HTTP/1.1 405"), std::string::npos);
+  EXPECT_NE(post.find("Allow: GET"), std::string::npos);
+}
+
+TEST(HttpExporter, AddRouteReplacesSamePairAndCanShadowBuiltins) {
+  HttpExporter exporter;
+  exporter.add_route("GET", "/v", [](const HttpRequest&) {
+    return HttpExporter::response(200, "text/plain", "one");
+  });
+  exporter.add_route("GET", "/v", [](const HttpRequest&) {
+    return HttpExporter::response(200, "text/plain", "two");
+  });
+  // Shadowing a built-in (method, path) replaces the built-in handler.
+  exporter.add_route("GET", "/healthz", [](const HttpRequest&) {
+    return HttpExporter::response(200, "application/json",
+                                  "{\"status\": \"shadowed\"}");
+  });
+  ASSERT_TRUE(exporter.start());
+  EXPECT_EQ(body_of(http_get(exporter.port(), "/v")), "two");
+  EXPECT_NE(body_of(http_get(exporter.port(), "/healthz")).find("shadowed"),
+            std::string::npos);
+}
+
+TEST(HttpExporter, OversizedBodyIs413) {
+  HttpExporter::Options options;
+  options.max_body_bytes = 64;
+  HttpExporter exporter(options);
+  exporter.add_route("POST", "/sink", [](const HttpRequest&) {
+    return HttpExporter::response(200, "text/plain", "ok");
+  });
+  ASSERT_TRUE(exporter.start());
+  const std::string big(1024, 'x');
+  const std::string response = http_request(
+      exporter.port(),
+      "POST /sink HTTP/1.1\r\nHost: x\r\nConnection: close\r\n"
+      "Content-Length: " +
+          std::to_string(big.size()) + "\r\n\r\n" + big);
+  EXPECT_NE(response.find("HTTP/1.1 413"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace muerp::support::telemetry

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "ctl/client.hpp"
 #include "support/json.hpp"
 #include "support/telemetry/metrics.hpp"
 
@@ -235,6 +236,278 @@ TEST(MuerpdSmoke, SigtermDrainsAndWritesSnapshot) {
   EXPECT_TRUE(doc.value["metrics"].is_object());
   EXPECT_TRUE(doc.value["events"].is_array());
   std::remove(snapshot_path.c_str());
+}
+
+/// Issues one ctl command against a live daemon and returns the parsed
+/// envelope (ok() false on transport failure — asserted by callers).
+muerp::support::json::ParseResult ctl(std::uint16_t port,
+                                      const std::string& cmd,
+                                      const std::string& args_json = "") {
+  muerp::ctl::HttpResult result;
+  std::string error;
+  if (!muerp::ctl::ctl_request(std::to_string(port), cmd, args_json, &result,
+                               &error)) {
+    muerp::support::json::ParseResult failed;
+    failed.error = "transport: " + error;
+    return failed;
+  }
+  return muerp::support::json::parse(result.body);
+}
+
+/// Polls waitpid(WNOHANG) until the child exits or `timeout_ms` elapses.
+/// Returns the exit status, or -1 on timeout.
+int wait_exit(pid_t pid, int timeout_ms) {
+  for (int waited = 0; waited < timeout_ms; waited += 20) {
+    int status = 0;
+    const pid_t got = ::waitpid(pid, &status, WNOHANG);
+    if (got == pid) return status;
+    ::usleep(20 * 1000);
+  }
+  return -1;
+}
+
+/// One row's rendered value from muerpd's exit summary table — exact string
+/// (scientific notation), so comparing rows compares the doubles bitwise.
+std::string summary_row(const std::string& output, const std::string& label) {
+  const std::size_t at = output.find(label);
+  if (at == std::string::npos) return "<missing " + label + ">";
+  const std::size_t start = at + label.size();
+  const std::size_t end = output.find('\n', start);
+  std::string value = output.substr(start, end - start);
+  // Trim the padding the table aligns with.
+  value.erase(0, value.find_first_not_of(' '));
+  value.erase(value.find_last_not_of(' ') + 1);
+  return value;
+}
+
+TEST(MuerpdSmoke, CtlVerbsDriveALiveDaemon) {
+  DaemonProcess daemon = spawn_muerpd({"--port", "0", "--slots", "0",
+                                       "--slot-ms", "1", "--arrival", "0.2",
+                                       "--seed", "11", "--timeout", "40"});
+  ASSERT_GT(daemon.pid, 0);
+  const std::uint16_t port = read_serving_port(daemon.out);
+  ASSERT_NE(port, 0);
+
+  // status: lifecycle + live counters.
+  auto doc = ctl(port, "status");
+  ASSERT_TRUE(doc.ok()) << doc.error;
+  EXPECT_TRUE(doc.value["ok"].bool_value);
+  EXPECT_EQ(doc.value["result"]["state"].string_value, "running");
+
+  // set/get round-trip a live retune.
+  doc = ctl(port, "set", R"({"name": "arrival-rate", "value": 0.35})");
+  ASSERT_TRUE(doc.ok()) << doc.error;
+  EXPECT_TRUE(doc.value["ok"].bool_value) << doc.value["error"].string_value;
+  doc = ctl(port, "get", R"({"name": "arrival-rate"})");
+  ASSERT_TRUE(doc.ok()) << doc.error;
+  EXPECT_DOUBLE_EQ(doc.value["result"].number_value, 0.35);
+
+  // The stable error codes surface over the wire.
+  doc = ctl(port, "set", R"({"name": "arrival-rate", "value": 7})");
+  EXPECT_FALSE(doc.value["ok"].bool_value);
+  EXPECT_EQ(doc.value["code"].string_value, "out_of_range");
+  doc = ctl(port, "set", R"({"name": "arrival-rate", "value": "fast"})");
+  EXPECT_EQ(doc.value["code"].string_value, "bad_arg");
+  doc = ctl(port, "get", R"({"name": "lifetime"})");
+  EXPECT_EQ(doc.value["code"].string_value, "unsupported");  // no --history
+  doc = ctl(port, "nope");
+  EXPECT_EQ(doc.value["code"].string_value, "unknown_command");
+
+  // pause/resume transition /healthz state.
+  doc = ctl(port, "pause");
+  EXPECT_TRUE(doc.value["ok"].bool_value);
+  EXPECT_NE(http_get(port, "/healthz").find("\"state\": \"paused\""),
+            std::string::npos);
+  doc = ctl(port, "resume");
+  EXPECT_TRUE(doc.value["ok"].bool_value);
+  EXPECT_NE(http_get(port, "/healthz").find("\"state\": \"running\""),
+            std::string::npos);
+
+  // snapshot returns the full metrics document inline.
+  doc = ctl(port, "snapshot");
+  ASSERT_TRUE(doc.ok()) << doc.error;
+  EXPECT_TRUE(doc.value["result"]["metrics"].is_object());
+
+  // commands serves the table for discovery.
+  doc = ctl(port, "commands");
+  ASSERT_TRUE(doc.ok()) << doc.error;
+  EXPECT_FALSE(doc.value["result"]["commands"].elements.empty());
+
+  // drain: arrivals stop, in-flight sessions finish, the daemon exits 0.
+  doc = ctl(port, "drain");
+  EXPECT_TRUE(doc.value["ok"].bool_value);
+  EXPECT_EQ(doc.value["result"]["state"].string_value, "draining");
+  const int status = wait_exit(daemon.pid, 10000);
+  ASSERT_NE(status, -1) << "daemon did not exit after ctl drain";
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  std::fclose(daemon.out);
+}
+
+TEST(MuerpdSmoke, PausedThenResumedRunIsBitIdenticalToUnpaused) {
+  const std::vector<std::string> args = {
+      "--port", "0",       "--slots", "1500", "--slot-ms", "1",
+      "--arrival", "0.3",  "--seed",  "21",   "--timeout", "60"};
+
+  // Reference run: plays its 1500 slots without interference.
+  DaemonProcess plain = spawn_muerpd(args);
+  ASSERT_GT(plain.pid, 0);
+  ASSERT_NE(read_serving_port(plain.out), 0);
+  std::string plain_output;
+  char line[256];
+  while (std::fgets(line, sizeof line, plain.out) != nullptr) {
+    plain_output += line;
+  }
+  std::fclose(plain.out);
+  int status = 0;
+  ASSERT_EQ(::waitpid(plain.pid, &status, 0), plain.pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), 0);
+
+  // Same run, paused for ~400 ms in the middle. Commands apply at tick
+  // boundaries and the paused loop keeps the deadline grid moving without
+  // playing slots, so the slot trajectory must be unchanged.
+  DaemonProcess paused = spawn_muerpd(args);
+  ASSERT_GT(paused.pid, 0);
+  const std::uint16_t port = read_serving_port(paused.out);
+  ASSERT_NE(port, 0);
+  ::usleep(300 * 1000);
+  auto doc = ctl(port, "pause");
+  ASSERT_TRUE(doc.ok()) << doc.error;
+  ASSERT_TRUE(doc.value["ok"].bool_value);
+  ::usleep(400 * 1000);
+  EXPECT_NE(http_get(port, "/healthz").find("\"state\": \"paused\""),
+            std::string::npos);
+  doc = ctl(port, "resume");
+  ASSERT_TRUE(doc.value["ok"].bool_value);
+  std::string paused_output;
+  while (std::fgets(line, sizeof line, paused.out) != nullptr) {
+    paused_output += line;
+  }
+  std::fclose(paused.out);
+  ASSERT_EQ(::waitpid(paused.pid, &status, 0), paused.pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), 0);
+
+  // Every session metric row must match EXACTLY (the doubles render with
+  // scientific precision, so string equality is bit equality in practice).
+  for (const char* label :
+       {"slots played", "sessions arrived", "sessions admitted",
+        "sessions completed", "sessions timed out", "admitted fraction",
+        "mean completion slots", "mean qubit utilization"}) {
+    EXPECT_EQ(summary_row(plain_output, label),
+              summary_row(paused_output, label))
+        << label << "\n--- plain ---\n"
+        << plain_output << "\n--- paused ---\n"
+        << paused_output;
+  }
+}
+
+TEST(MuerpdSmoke, RestartedDaemonReportsLifetimeAcrossRuns) {
+  const std::string history_path =
+      ::testing::TempDir() + "muerpd_smoke_history.bin";
+  std::remove(history_path.c_str());
+
+  // Run 1: a bounded unpaced burst; exits on its own, flushing its deltas.
+  {
+    DaemonProcess first = spawn_muerpd({"--port", "0", "--slots", "600",
+                                        "--slot-ms", "0", "--arrival", "0.3",
+                                        "--seed", "13", "--timeout", "40",
+                                        "--history", history_path});
+    ASSERT_GT(first.pid, 0);
+    ASSERT_NE(read_serving_port(first.out), 0);
+    char line[256];
+    while (std::fgets(line, sizeof line, first.out) != nullptr) {
+    }
+    std::fclose(first.out);
+    int status = 0;
+    ASSERT_EQ(::waitpid(first.pid, &status, 0), first.pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    ASSERT_EQ(WEXITSTATUS(status), 0);
+  }
+
+  // Run 2: replays run 1 and serves combined totals over ctl.
+  DaemonProcess second = spawn_muerpd({"--port", "0", "--slots", "0",
+                                       "--slot-ms", "1", "--arrival", "0.3",
+                                       "--seed", "14", "--history",
+                                       history_path});
+  ASSERT_GT(second.pid, 0);
+  const std::uint16_t port = read_serving_port(second.out);
+  ASSERT_NE(port, 0);
+  ::usleep(200 * 1000);
+  const auto doc = ctl(port, "get", R"({"name": "lifetime"})");
+  ASSERT_TRUE(doc.ok()) << doc.error;
+  ASSERT_TRUE(doc.value["ok"].bool_value) << doc.value["error"].string_value;
+  const auto& lifetime = doc.value["result"];
+  EXPECT_EQ(lifetime["runs"].number_value, 2.0);
+  // 600 slots from run 1 plus whatever run 2 played so far.
+  EXPECT_GE(lifetime["slots"].number_value, 600.0);
+  EXPECT_GT(lifetime["arrived"].number_value, 0.0);
+
+  // Kill run 2 without ceremony; a crash must not poison the file.
+  ASSERT_EQ(::kill(second.pid, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(second.pid, &status, 0), second.pid);
+  std::fclose(second.out);
+
+  // Run 3: replays both prior runs (torn tail, if any, truncated away).
+  DaemonProcess third = spawn_muerpd({"--port", "0", "--slots", "0",
+                                      "--slot-ms", "1", "--arrival", "0.3",
+                                      "--seed", "15", "--history",
+                                      history_path});
+  ASSERT_GT(third.pid, 0);
+  const std::uint16_t third_port = read_serving_port(third.out);
+  ASSERT_NE(third_port, 0);
+  const auto after = ctl(third_port, "get", R"({"name": "lifetime"})");
+  ASSERT_TRUE(after.ok()) << after.error;
+  ASSERT_TRUE(after.value["ok"].bool_value);
+  EXPECT_EQ(after.value["result"]["runs"].number_value, 3.0);
+  EXPECT_GE(after.value["result"]["slots"].number_value, 600.0);
+  ::kill(third.pid, SIGTERM);
+  wait_exit(third.pid, 10000);
+  std::fclose(third.out);
+  std::remove(history_path.c_str());
+}
+
+TEST(MuerpdSmoke, MuerpctlCtlTalksToTheDaemon) {
+  DaemonProcess daemon = spawn_muerpd({"--port", "0", "--slots", "0",
+                                       "--slot-ms", "1", "--arrival", "0.2",
+                                       "--seed", "17", "--timeout", "40"});
+  ASSERT_GT(daemon.pid, 0);
+  const std::uint16_t port = read_serving_port(daemon.out);
+  ASSERT_NE(port, 0);
+
+  const std::string base = std::string(MUERPCTL_BINARY) +
+                           " ctl status --endpoint 127.0.0.1:" +
+                           std::to_string(port) + " 2>/dev/null";
+  FILE* pipe = ::popen(base.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  std::string output;
+  char line[512];
+  while (std::fgets(line, sizeof line, pipe) != nullptr) output += line;
+  const int status = ::pclose(pipe);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0) << output;
+  EXPECT_NE(output.find("\"ok\": true"), std::string::npos) << output;
+  EXPECT_NE(output.find("\"state\": \"running\""), std::string::npos);
+
+  // A failing command exits 1 with the envelope on stdout.
+  const std::string bad = std::string(MUERPCTL_BINARY) +
+                          " ctl get no-such-setting --endpoint 127.0.0.1:" +
+                          std::to_string(port) + " 2>/dev/null";
+  pipe = ::popen(bad.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  output.clear();
+  while (std::fgets(line, sizeof line, pipe) != nullptr) output += line;
+  const int bad_status = ::pclose(pipe);
+  ASSERT_TRUE(WIFEXITED(bad_status));
+  EXPECT_EQ(WEXITSTATUS(bad_status), 1) << output;
+  EXPECT_NE(output.find("bad_arg"), std::string::npos) << output;
+
+  ctl(port, "drain");
+  const int exit_status = wait_exit(daemon.pid, 10000);
+  ASSERT_NE(exit_status, -1);
+  std::fclose(daemon.out);
 }
 
 TEST(MuerpdSmoke, RejectsUnknownAlgorithm) {

@@ -148,7 +148,7 @@ int main(int argc, char** argv) {
   cli.add_flag("tolerance", "allowed relative drift (0.15 = 15%)", "0.15");
   cli.add_flag("allow-rate-drift",
                "rate array mismatch warns instead of failing");
-  if (!cli.parse(argc, argv)) return 2;
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 2;
   if (cli.get_string("current").empty()) {
     return fail("--current <file> is required");
   }

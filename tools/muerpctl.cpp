@@ -1,6 +1,6 @@
 // muerpctl — command-line front end for the muerp library.
 //
-// Subcommands:
+// Subcommands (run `muerpctl help <cmd>` for the per-command flags):
 //   generate   build a random or reference network and write it to disk
 //   info       summarize a network file
 //   analyze    network-science metrics (clustering, diameter, bridges, ...)
@@ -9,16 +9,24 @@
 //   plan       minimum uniform switch budget (binary search over Alg-3)
 //   simulate   Monte-Carlo validate a routed plan
 //   sweep      run a full scenario from a config file (paper-style table)
+//   ctl        drive a live muerpd over POST /api/v1/ctl
 //
 // Examples:
 //   muerpctl generate --topology waxman --switches 50 --users 10 --out n.txt
 //   muerpctl generate --topology nsfnet --users 5 --out n.txt
 //   muerpctl route --net n.txt --algorithm alg3 --local-search --dot plan.dot
-//   muerpctl route --net n.txt --svg plan.svg
 //   muerpctl screen --net n.txt
 //   muerpctl simulate --net n.txt --algorithm alg4 --rounds 100000
 //   muerpctl sweep --config scenario.cfg --algorithms alg4,alg4ls,annealing
-//   muerpctl sweep --config scenario.cfg --telemetry tel.json --trace tr.json
+//   muerpctl ctl status --endpoint 127.0.0.1:9464
+//   muerpctl ctl set arrival-rate 0.2
+//   muerpctl ctl get lifetime
+//   muerpctl ctl drain
+//
+// Exit codes: 0 success, 1 command failure (including a ctl envelope with
+// "ok": false), 2 usage error (typo'd flag, unknown subcommand, transport
+// failure reaching the daemon). `--help` exits 0.
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -36,6 +44,11 @@ int fail(const std::string& message) {
   return 1;
 }
 
+int usage_fail(const std::string& message) {
+  std::cerr << "muerpctl: " << message << '\n';
+  return 2;
+}
+
 std::optional<net::QuantumNetwork> load(const std::string& path) {
   if (path.empty()) {
     fail("--net <file> is required");
@@ -47,6 +60,51 @@ std::optional<net::QuantumNetwork> load(const std::string& path) {
     return std::nullopt;
   }
   return std::move(std::get<net::QuantumNetwork>(result));
+}
+
+// ---------------------------------------------------------------------------
+// Flag table: the single source for CliParser registration AND the
+// per-command flag listings `muerpctl help <cmd>` prints. A subcommand's
+// `flags` field names rows of this table.
+struct FlagDef {
+  const char* name;
+  const char* help;
+  const char* default_value;
+};
+
+const FlagDef kFlagDefs[] = {
+    {"topology", "waxman|ws|volchenkov|nsfnet|geant", "waxman"},
+    {"switches", "switch count (random topologies)", "50"},
+    {"users", "user count", "10"},
+    {"qubits", "qubits per switch", "4"},
+    {"degree", "average degree (random topologies)", "6"},
+    {"area", "deployment side in km", "10000"},
+    {"alpha", "fiber attenuation 1/km", ""},
+    {"swap", "BSM success probability", ""},
+    {"seed", "random seed", "1"},
+    {"out", "output file (generate: network; ctl snapshot: document)", ""},
+    {"net", "input network file", ""},
+    {"algorithm", "registry name (route/simulate)", "alg3"},
+    {"algorithms", "comma list of registry names (sweep)", ""},
+    {"telemetry", "write per-algorithm telemetry JSON (sweep)", ""},
+    {"trace", "write a Chrome trace of the whole run", ""},
+    {"log-level", "structured event log: debug|info|warn|error|off", "warn"},
+    {"log-format", "structured event log rendering: text|json", "text"},
+    {"local-search", "apply the exchange pass after routing", ""},
+    {"dot", "write Graphviz DOT of the plan", ""},
+    {"svg", "write an SVG rendering of the plan", ""},
+    {"rounds", "Monte-Carlo rounds (simulate)", "100000"},
+    {"config", "scenario config file (sweep)", ""},
+    {"min-rate", "rate floor for the plan subcommand", "0"},
+    {"endpoint", "muerpd control endpoint, host:port or port (ctl)",
+     "127.0.0.1:9464"},
+};
+
+const FlagDef* find_flag_def(const std::string& name) {
+  for (const FlagDef& def : kFlagDefs) {
+    if (name == def.name) return &def;
+  }
+  return nullptr;
 }
 
 int cmd_generate(const support::CliParser& cli) {
@@ -103,21 +161,23 @@ int cmd_generate(const support::CliParser& cli) {
   return 0;
 }
 
-int cmd_info(const net::QuantumNetwork& network) {
-  std::cout << "nodes      : " << network.node_count() << " ("
-            << network.users().size() << " users, "
-            << network.switches().size() << " switches)\n";
-  std::cout << "fibers     : " << network.graph().edge_count()
-            << " (average degree " << network.graph().average_degree()
+int cmd_info(const support::CliParser& cli) {
+  const auto network = load(cli.get_string("net"));
+  if (!network) return 1;
+  std::cout << "nodes      : " << network->node_count() << " ("
+            << network->users().size() << " users, "
+            << network->switches().size() << " switches)\n";
+  std::cout << "fibers     : " << network->graph().edge_count()
+            << " (average degree " << network->graph().average_degree()
             << ")\n";
   int total_qubits = 0;
-  for (net::NodeId sw : network.switches()) total_qubits += network.qubits(sw);
+  for (net::NodeId sw : network->switches()) total_qubits += network->qubits(sw);
   std::cout << "qubits     : " << total_qubits << " across switches ("
             << total_qubits / 2 << " channel slots)\n";
-  std::cout << "physical   : alpha=" << network.physical().attenuation
-            << " /km, q=" << network.physical().swap_success << '\n';
+  std::cout << "physical   : alpha=" << network->physical().attenuation
+            << " /km, q=" << network->physical().swap_success << '\n';
   std::cout << "users      :";
-  for (net::NodeId u : network.users()) std::cout << ' ' << u;
+  for (net::NodeId u : network->users()) std::cout << ' ' << u;
   std::cout << '\n';
   return 0;
 }
@@ -178,23 +238,24 @@ bool parse_algorithms(const std::string& list, std::vector<std::string>* out,
   return true;
 }
 
-int cmd_route(const support::CliParser& cli,
-              const net::QuantumNetwork& network) {
+int cmd_route(const support::CliParser& cli) {
+  const auto network = load(cli.get_string("net"));
+  if (!network) return 1;
   support::Rng rng(cli.get_int("seed").value_or(1));
   const std::string algorithm = cli.get_string("algorithm");
   std::string error;
-  auto tree = route_with(algorithm, network, rng, &error);
+  auto tree = route_with(algorithm, *network, rng, &error);
   if (!error.empty()) return fail(error);
 
   if (cli.get_bool("local-search") && tree.feasible) {
-    const auto stats = routing::improve_tree(network, network.users(), tree);
+    const auto stats = routing::improve_tree(*network, network->users(), tree);
     std::cout << "local search: " << stats.exchanges << " exchanges over "
               << stats.sweeps << " sweeps\n";
   }
   if (!tree.feasible) {
     std::cout << "infeasible (rate 0)\n";
     const auto screen =
-        routing::screen_feasibility(network, network.users());
+        routing::screen_feasibility(*network, network->users());
     std::cout << "screen verdict: "
               << routing::feasibility_name(screen.verdict) << " — "
               << screen.reason << '\n';
@@ -205,7 +266,7 @@ int cmd_route(const support::CliParser& cli,
   const std::string validation =
       algorithm == "nfusion"
           ? std::string()
-          : net::validate_tree(network, network.users(), tree);
+          : net::validate_tree(*network, network->users(), tree);
   std::cout << "rate " << support::format_rate(tree.rate) << " over "
             << tree.channels.size() << " channels ("
             << (validation.empty() ? "valid" : validation) << ")\n";
@@ -217,12 +278,12 @@ int cmd_route(const support::CliParser& cli,
   }
   if (const std::string dot = cli.get_string("dot"); !dot.empty()) {
     std::ofstream out(dot);
-    out << net::to_dot(network, &tree);
+    out << net::to_dot(*network, &tree);
     std::cout << "DOT written to " << dot << '\n';
   }
   if (const std::string svg = cli.get_string("svg"); !svg.empty()) {
     std::ofstream out(svg);
-    out << net::to_svg(network, &tree);
+    out << net::to_svg(*network, &tree);
     std::cout << "SVG written to " << svg << '\n';
   }
   return 0;
@@ -283,29 +344,31 @@ int cmd_sweep(const support::CliParser& cli) {
   return 0;
 }
 
-int cmd_analyze(const net::QuantumNetwork& network) {
-  const auto degrees = topology::degree_statistics(network.graph());
+int cmd_analyze(const support::CliParser& cli) {
+  const auto network = load(cli.get_string("net"));
+  if (!network) return 1;
+  const auto degrees = topology::degree_statistics(network->graph());
   std::cout << "degree      : mean " << degrees.mean << ", min "
             << degrees.min << ", max " << degrees.max << " (stddev "
             << degrees.stddev << ")\n";
   std::cout << "clustering  : "
-            << topology::average_clustering_coefficient(network.graph())
+            << topology::average_clustering_coefficient(network->graph())
             << '\n';
   std::cout << "path length : "
-            << topology::characteristic_path_length(network.graph())
+            << topology::characteristic_path_length(network->graph())
             << " hops (diameter "
-            << topology::hop_diameter(network.graph()) << ")\n";
+            << topology::hop_diameter(network->graph()) << ")\n";
   std::cout << "small-world : sigma = "
-            << topology::small_world_sigma(network.graph()) << '\n';
+            << topology::small_world_sigma(network->graph()) << '\n';
   std::cout << "assortativity: "
-            << topology::degree_assortativity(network.graph()) << '\n';
-  const auto bridges = topology::find_bridges(network.graph());
+            << topology::degree_assortativity(network->graph()) << '\n';
+  const auto bridges = topology::find_bridges(network->graph());
   std::cout << "bridges     : " << bridges.size() << " of "
-            << network.graph().edge_count() << " fibers are critical";
+            << network->graph().edge_count() << " fibers are critical";
   if (!bridges.empty()) {
     std::cout << " (";
     for (std::size_t i = 0; i < bridges.size() && i < 8; ++i) {
-      const auto& e = network.graph().edge(bridges[i]);
+      const auto& e = network->graph().edge(bridges[i]);
       std::cout << (i ? ", " : "") << e.a << "-" << e.b;
     }
     if (bridges.size() > 8) std::cout << ", ...";
@@ -315,18 +378,21 @@ int cmd_analyze(const net::QuantumNetwork& network) {
   return 0;
 }
 
-int cmd_screen(const net::QuantumNetwork& network) {
-  const auto report = routing::screen_feasibility(network, network.users());
+int cmd_screen(const support::CliParser& cli) {
+  const auto network = load(cli.get_string("net"));
+  if (!network) return 1;
+  const auto report = routing::screen_feasibility(*network, network->users());
   std::cout << routing::feasibility_name(report.verdict) << ": "
             << report.reason << '\n';
   return report.verdict == routing::Feasibility::kInfeasible ? 2 : 0;
 }
 
-int cmd_plan(const support::CliParser& cli,
-             const net::QuantumNetwork& network) {
+int cmd_plan(const support::CliParser& cli) {
+  const auto network = load(cli.get_string("net"));
+  if (!network) return 1;
   const double min_rate = cli.get_double("min-rate").value_or(0.0);
   const auto result =
-      routing::min_uniform_qubits(network, network.users(), min_rate);
+      routing::min_uniform_qubits(*network, network->users(), min_rate);
   if (!result) {
     std::cout << "no uniform budget up to 64 qubits/switch meets the goal\n";
     return 2;
@@ -339,17 +405,18 @@ int cmd_plan(const support::CliParser& cli,
   return 0;
 }
 
-int cmd_simulate(const support::CliParser& cli,
-                 const net::QuantumNetwork& network) {
+int cmd_simulate(const support::CliParser& cli) {
+  const auto network = load(cli.get_string("net"));
+  if (!network) return 1;
   support::Rng rng(cli.get_int("seed").value_or(1));
   std::string error;
   const auto tree =
-      route_with(cli.get_string("algorithm"), network, rng, &error);
+      route_with(cli.get_string("algorithm"), *network, rng, &error);
   if (!error.empty()) return fail(error);
   if (!tree.feasible) return fail("routing infeasible; nothing to simulate");
   const auto rounds =
       static_cast<std::uint64_t>(cli.get_int("rounds").value_or(100000));
-  const sim::MonteCarloSimulator mc(network);
+  const sim::MonteCarloSimulator mc(*network);
   const auto est = mc.estimate_tree_rate(tree, rounds, rng);
   std::cout << "analytic Eq.(2): " << support::format_rate(tree.rate) << '\n'
             << "monte-carlo    : " << support::format_rate(est.rate) << " +- "
@@ -358,44 +425,178 @@ int cmd_simulate(const support::CliParser& cli,
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// ctl: drive a live muerpd through its versioned command API.
+
+/// Renders a command-line token as the JSON value the ctl API expects:
+/// numbers and booleans pass through typed, everything else is a string.
+std::string token_to_json(const std::string& text) {
+  if (text == "true" || text == "false" || text == "null") return text;
+  if (!text.empty()) {
+    char* end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() + text.size()) return ctl::json_number(value);
+  }
+  return ctl::json_quote(text);
+}
+
+int cmd_ctl(const support::CliParser& cli) {
+  const auto& pos = cli.positional();
+  if (pos.size() < 2) {
+    return usage_fail(
+        "ctl needs a verb: status | set <name> <value> | get <name> | "
+        "pause | resume | drain | snapshot | commands");
+  }
+  const std::string& verb = pos[1];
+  std::string args_json;
+  if (verb == "set") {
+    if (pos.size() != 4) {
+      return usage_fail("usage: muerpctl ctl set <name> <value>");
+    }
+    args_json = "{\"name\": " + ctl::json_quote(pos[2]) +
+                ", \"value\": " + token_to_json(pos[3]) + "}";
+  } else if (verb == "get") {
+    if (pos.size() != 3) return usage_fail("usage: muerpctl ctl get <name>");
+    args_json = "{\"name\": " + ctl::json_quote(pos[2]) + "}";
+  } else if (verb == "snapshot") {
+    if (const std::string out = cli.get_string("out"); !out.empty()) {
+      args_json = "{\"path\": " + ctl::json_quote(out) + "}";
+    }
+  } else if (pos.size() != 2) {
+    return usage_fail("ctl " + verb + " takes no arguments");
+  }
+
+  ctl::HttpResult result;
+  std::string error;
+  if (!ctl::ctl_request(cli.get_string("endpoint"), verb, args_json, &result,
+                        &error)) {
+    return usage_fail("cannot reach " + cli.get_string("endpoint") + ": " +
+                      error);
+  }
+  // The envelope is the contract: print it verbatim (it is one line of
+  // JSON) and turn "ok" into the exit code.
+  std::cout << result.body;
+  if (!result.body.empty() && result.body.back() != '\n') std::cout << '\n';
+  const support::json::ParseResult envelope = support::json::parse(result.body);
+  const support::json::Value& ok = envelope.value["ok"];
+  return envelope.ok() && ok.is_bool() && ok.bool_value ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch table: one row per subcommand — name, summary (the unknown-
+// command listing), flag spec (`help <cmd>`), handler.
+struct Subcommand {
+  const char* name;
+  const char* summary;
+  std::vector<const char*> flags;
+  int (*handler)(const support::CliParser&);
+};
+
+const std::vector<Subcommand>& subcommands() {
+  static const std::vector<Subcommand> kTable = {
+      {"generate", "build a random or reference network and write it to disk",
+       {"topology", "switches", "users", "qubits", "degree", "area", "alpha",
+        "swap", "seed", "out"},
+       &cmd_generate},
+      {"info", "summarize a network file", {"net"}, &cmd_info},
+      {"analyze",
+       "network-science metrics (clustering, diameter, bridges, ...)",
+       {"net"},
+       &cmd_analyze},
+      {"screen", "run the polynomial feasibility screens", {"net"},
+       &cmd_screen},
+      {"route", "route multi-user entanglement and report the tree",
+       {"net", "algorithm", "seed", "local-search", "dot", "svg"},
+       &cmd_route},
+      {"plan", "minimum uniform switch budget (binary search over Alg-3)",
+       {"net", "min-rate"},
+       &cmd_plan},
+      {"simulate", "Monte-Carlo validate a routed plan",
+       {"net", "algorithm", "seed", "rounds"},
+       &cmd_simulate},
+      {"sweep", "run a full scenario from a config file (paper-style table)",
+       {"config", "algorithms", "telemetry", "trace"},
+       &cmd_sweep},
+      {"ctl",
+       "drive a live muerpd: status | set | get | pause | resume | drain | "
+       "snapshot | commands",
+       {"endpoint", "out"},
+       &cmd_ctl},
+  };
+  return kTable;
+}
+
+const Subcommand* find_subcommand(const std::string& name) {
+  for (const Subcommand& command : subcommands()) {
+    if (name == command.name) return &command;
+  }
+  return nullptr;
+}
+
+void print_subcommand_list(std::ostream& os) {
+  os << "subcommands:\n";
+  for (const Subcommand& command : subcommands()) {
+    os << "  " << command.name;
+    for (std::size_t pad = std::string(command.name).size(); pad < 10; ++pad) {
+      os << ' ';
+    }
+    os << command.summary << '\n';
+  }
+  os << "run `muerpctl help <cmd>` for a command's flags\n";
+}
+
+int cmd_help(const support::CliParser& cli) {
+  const auto& pos = cli.positional();
+  if (pos.size() < 2) {
+    print_subcommand_list(std::cout);
+    return 0;
+  }
+  const Subcommand* command = find_subcommand(pos[1]);
+  if (command == nullptr) {
+    std::cerr << "muerpctl: unknown command '" << pos[1] << "'\n";
+    print_subcommand_list(std::cerr);
+    return 2;
+  }
+  std::cout << "muerpctl " << command->name << " — " << command->summary
+            << "\n\nflags:\n";
+  for (const char* name : command->flags) {
+    const FlagDef* def = find_flag_def(name);
+    if (def == nullptr) continue;
+    std::cout << "  --" << def->name;
+    if (def->default_value[0] != '\0') {
+      std::cout << " (default: " << def->default_value << ")";
+    }
+    std::cout << "\n      " << def->help << '\n';
+  }
+  std::cout << "  --log-level, --log-format, --trace apply to every "
+               "subcommand\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   support::CliParser cli(
       "muerpctl — multi-user entanglement routing toolbox");
-  cli.add_flag("topology", "waxman|ws|volchenkov|nsfnet|geant", "waxman");
-  cli.add_flag("switches", "switch count (random topologies)", "50");
-  cli.add_flag("users", "user count", "10");
-  cli.add_flag("qubits", "qubits per switch", "4");
-  cli.add_flag("degree", "average degree (random topologies)", "6");
-  cli.add_flag("area", "deployment side in km", "10000");
-  cli.add_flag("alpha", "fiber attenuation 1/km", "");
-  cli.add_flag("swap", "BSM success probability", "");
-  cli.add_flag("seed", "random seed", "1");
-  cli.add_flag("out", "output network file (generate)", "");
-  cli.add_flag("net", "input network file", "");
-  cli.add_flag("algorithm", "registry name (route/simulate)", "alg3");
-  cli.add_flag("algorithms", "comma list of registry names (sweep)", "");
-  cli.add_flag("telemetry", "write per-algorithm telemetry JSON (sweep)", "");
-  cli.add_flag("trace", "write a Chrome trace of the whole run", "");
-  cli.add_flag("log-level", "structured event log: debug|info|warn|error|off",
-               "warn");
-  cli.add_flag("log-format", "structured event log rendering: text|json",
-               "text");
-  cli.add_flag("local-search", "apply the exchange pass after routing");
-  cli.add_flag("dot", "write Graphviz DOT of the plan", "");
-  cli.add_flag("svg", "write an SVG rendering of the plan", "");
-  cli.add_flag("rounds", "Monte-Carlo rounds (simulate)", "100000");
-  cli.add_flag("config", "scenario config file (sweep)", "");
-  cli.add_flag("min-rate", "rate floor for the plan subcommand", "0");
-  if (!cli.parse(argc, argv)) return 1;
+  for (const FlagDef& def : kFlagDefs) {
+    cli.add_flag(def.name, def.help, def.default_value);
+  }
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 2;
 
   if (cli.positional().empty()) {
-    std::cerr << cli.usage(argv[0])
-              << "\nsubcommands: generate info analyze screen route plan"
-                 " simulate sweep\n";
-    return 1;
+    std::cerr << cli.usage(argv[0]) << '\n';
+    print_subcommand_list(std::cerr);
+    return 2;
   }
+  const std::string& name = cli.positional()[0];
+  if (name == "help") return cmd_help(cli);
+  const Subcommand* command = find_subcommand(name);
+  if (command == nullptr) {
+    std::cerr << "muerpctl: unknown command '" << name << "'\n";
+    print_subcommand_list(std::cerr);
+    return 2;
+  }
+
   // Structured event log knobs; the default (warn, text) keeps existing
   // output unchanged.
   support::telemetry::LogLevel log_level;
@@ -418,31 +619,7 @@ int main(int argc, char** argv) {
   const std::string trace = cli.get_string("trace");
   if (!trace.empty()) support::telemetry::set_tracing(true);
 
-  const std::string& command = cli.positional()[0];
-  int status = 0;
-  if (command == "generate") {
-    status = cmd_generate(cli);
-  } else if (command == "sweep") {
-    status = cmd_sweep(cli);
-  } else {
-    const auto network = load(cli.get_string("net"));
-    if (!network) return 1;
-    if (command == "info") {
-      status = cmd_info(*network);
-    } else if (command == "analyze") {
-      status = cmd_analyze(*network);
-    } else if (command == "screen") {
-      status = cmd_screen(*network);
-    } else if (command == "route") {
-      status = cmd_route(cli, *network);
-    } else if (command == "plan") {
-      status = cmd_plan(cli, *network);
-    } else if (command == "simulate") {
-      status = cmd_simulate(cli, *network);
-    } else {
-      return fail("unknown subcommand '" + command + "'");
-    }
-  }
+  const int status = command->handler(cli);
 
   if (!trace.empty()) {
     support::telemetry::set_tracing(false);

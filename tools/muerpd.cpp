@@ -1,18 +1,39 @@
 // muerpd — long-running entanglement routing service with a live
-// observability plane.
+// observability and control plane.
 //
 // Wraps sim::ShardedSessionService (arrivals -> admission routing ->
 // execution windows, partitioned into deterministic lanes stepped by up to
 // --shards worker threads) in an event-driven slot loop and exposes the
 // full telemetry registry over HTTP while it runs:
 //
-//   GET /metrics        Prometheus text exposition (scrape target)
-//   GET /healthz        liveness JSON with slot/session/admission state
-//   GET /snapshot.json  metrics + recent structured log events
-//   GET /api/v1/range   windowed time-series queries (rates / levels /
-//                       exact per-window quantiles) against the sampler's
-//                       history ring — what tools/muerptop renders
-//   GET /api/v1/metrics names the history ring has data for
+//   GET  /metrics        Prometheus text exposition (scrape target)
+//   GET  /healthz        liveness JSON with slot/session/admission state
+//   GET  /snapshot.json  metrics + recent structured log events
+//   GET  /api/v1/range   windowed time-series queries (rates / levels /
+//                        exact per-window quantiles) against the sampler's
+//                        history ring — what tools/muerptop renders
+//   GET  /api/v1/metrics names the history ring has data for
+//   POST /api/v1/ctl     the versioned command API ({"cmd","args"} in, a
+//                        uniform {"ok",...} envelope out) — what
+//                        `muerpctl ctl <verb>` speaks. Verbs: set/get for
+//                        arrival-rate, algorithm, arrival-burst,
+//                        batch-policy, log-level, log-rate,
+//                        sample-interval-ms; lifecycle pause / resume /
+//                        drain / snapshot / status; `commands` lists the
+//                        table with schemas.
+//
+// Control commands are applied at tick boundaries only: the HTTP acceptor
+// thread parks each mutation in a ControlMailbox, the slot loop drains the
+// mailbox between scheduler batches (a kick() wakes a blocked wait), so a
+// setter never races a routing pass and determinism is preserved — a
+// paused-then-resumed daemon with unchanged config plays the same slot
+// trajectory as one that never paused (tests assert bit-identity).
+//
+// With --history <file> the daemon keeps an append-only, CRC-framed
+// session-history table: counter deltas appended every ~250 ms and a
+// run-start marker per boot, replayed (and any torn tail truncated) on
+// start — so a killed-and-restarted daemon answers `ctl get lifetime` with
+// counts spanning every run against that file.
 //
 // A background Sampler captures the whole registry every
 // --sample-interval-ms into a TimeSeriesStore holding --retention samples
@@ -22,23 +43,25 @@
 //   muerpd --port 9464                       # paper-default Waxman network
 //   muerpd --net n.txt --algorithm alg3      # serve a saved network
 //   muerpd --slots 20000 --slot-ms 0         # finite, unpaced (benchmarks)
-//   muerpd --log-format json --log-level debug
-//   muerpd --sample-interval-ms 250 --retention 2400   # 10 min at 4 Hz
+//   muerpd --history muerpd.hist             # durable lifetime counters
+//   muerpctl ctl set arrival-rate 0.2        # live retune
+//   muerpctl ctl drain                       # stop intake, finish, exit
 //
 // The daemon prints "serving on <addr>:<port>" once the endpoint is up
 // (port 0 binds an ephemeral port — tests parse the line), then plays
 // execution windows on a fixed --slot-ms grid until --slots windows
-// elapsed or SIGINT/SIGTERM. Pacing is event-driven (SlotScheduler), not
-// sleep-paced: the loop blocks until the next slot is due and, when a slow
-// routing pass put it behind the grid, catches up by playing the backlog
-// as one batch (at most --tick-batch slots per wake) — one parallel
-// dispatch across the session lanes instead of one sleep per slot.
-// /healthz reads a published atomic snapshot, so scrapes never wait for a
-// routing pass.
+// elapsed, SIGINT/SIGTERM, or `ctl drain`. Pacing is event-driven
+// (SlotScheduler): the loop blocks until the next slot is due and, when a
+// slow routing pass put it behind the grid, catches up by playing the
+// backlog as one batch (at most --tick-batch slots per wake). While paused
+// the loop keeps advancing the deadline grid without playing slots, so
+// resuming never triggers a catch-up burst. /healthz reads a published
+// atomic snapshot (including the running/paused/draining state), so
+// scrapes never wait for a routing pass.
 //
-// The first signal shuts down gracefully: arrivals stop
-// and in-flight sessions drain (completed or timed out, unpaced) before
-// the final muerpd/shutdown event; a second signal skips the drain. With
+// The first signal shuts down gracefully: arrivals stop and in-flight
+// sessions drain (completed or timed out, unpaced) before the final
+// muerpd/shutdown event; a second signal skips the drain. With
 // --snapshot-out the exiting daemon writes one last /snapshot.json
 // document to that path. Exit prints the ProtocolMetrics summary table.
 #include <algorithm>
@@ -47,6 +70,7 @@
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 
 #include "muerp.hpp"
 
@@ -73,6 +97,32 @@ std::string known_algorithms() {
   }
   return known;
 }
+
+/// Slot-loop lifecycle, readable by the acceptor thread for /healthz.
+enum class RunState : int { kRunning = 0, kPaused = 1, kDraining = 2 };
+
+const char* run_state_name(RunState state) {
+  switch (state) {
+    case RunState::kRunning:
+      return "running";
+    case RunState::kPaused:
+      return "paused";
+    case RunState::kDraining:
+      return "draining";
+  }
+  return "?";
+}
+
+/// One row of the daemon's settings table: what `ctl set`/`ctl get`
+/// dispatch on. Accessors run on the loop thread (inside a mailbox
+/// action), so they may touch the session service freely.
+struct Setting {
+  std::string name;
+  std::string summary;
+  std::function<std::string()> get;  // current value as a JSON document
+  /// Applies a validated-by-type value; null marks a read-only row.
+  std::function<ctl::CommandResult(const support::json::Value&)> set;
+};
 
 }  // namespace
 
@@ -128,9 +178,13 @@ int main(int argc, char** argv) {
   cli.add_flag("retention",
                "time-series samples kept (retention = this x interval)",
                "600");
+  cli.add_flag("history",
+               "append-only session-history file (crash-safe; replayed on "
+               "start for `ctl get lifetime`)",
+               "");
   cli.add_flag("snapshot-out",
                "write a final /snapshot.json document here on exit", "");
-  if (!cli.parse(argc, argv)) return 1;
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 2;
 
   // Observability knobs first, so network construction already logs.
   support::telemetry::LogLevel level;
@@ -236,8 +290,6 @@ int main(int argc, char** argv) {
   if (sample_interval_ms <= 0) return fail("--sample-interval-ms must be > 0");
   if (retention < 2) return fail("--retention must be >= 2");
   const std::string snapshot_out = cli.get_string("snapshot-out");
-  const std::string algorithm_label =
-      config.algorithm.empty() ? "shared-prim" : config.algorithm;
 
   sim::ShardedSessionServiceConfig sharded_config;
   sharded_config.base = config;
@@ -246,6 +298,49 @@ int main(int argc, char** argv) {
   sim::ShardedSessionService service(
       *network, sharded_config,
       static_cast<std::uint64_t>(cli.get_int("seed").value_or(1)));
+
+  // Durable session history: replay previous runs (truncating any torn
+  // tail), then mark this run's start.
+  ctl::HistoryLog history;
+  if (const std::string path = cli.get_string("history"); !path.empty()) {
+    std::string history_error;
+    if (!history.open(path, &history_error)) return fail(history_error);
+    if (history.bytes_truncated() > 0) {
+      MUERP_LOG_WARN("muerpd/history_truncated",
+                     support::telemetry::field(
+                         "bytes", history.bytes_truncated()));
+    }
+    history.begin_run();
+  }
+  // Counters already appended to the history file this run; lifetime =
+  // history.lifetime() once flush_history ran (loop thread only).
+  sim::ProtocolMetrics history_flushed;
+  std::uint64_t history_flushed_slots = 0;
+  std::uint64_t history_last_append_ns = 0;
+  const auto flush_history = [&](bool force) {
+    if (!history.is_open()) return;
+    const std::uint64_t now = support::telemetry::monotonic_now_ns();
+    if (!force && now - history_last_append_ns < 250'000'000ull) return;
+    const sim::ProtocolMetrics m = service.metrics();
+    ctl::HistoryRecord record;
+    record.slots = service.slot() - history_flushed_slots;
+    record.arrived = m.sessions_arrived - history_flushed.sessions_arrived;
+    record.admitted = m.sessions_admitted - history_flushed.sessions_admitted;
+    record.completed =
+        m.sessions_completed - history_flushed.sessions_completed;
+    record.timed_out =
+        m.sessions_timed_out - history_flushed.sessions_timed_out;
+    record.rejected = m.sessions_rejected - history_flushed.sessions_rejected;
+    history_last_append_ns = now;
+    if (record.slots == 0 && record.arrived == 0 && record.completed == 0 &&
+        record.timed_out == 0) {
+      return;  // nothing new — don't grow the file while paused/idle
+    }
+    if (history.append(record)) {
+      history_flushed = m;
+      history_flushed_slots = service.slot();
+    }
+  };
 
   // Observability plane up before the first slot so a scraper never sees
   // connection refused while the service is live.
@@ -263,6 +358,12 @@ int main(int argc, char** argv) {
   sampler_options.interval = std::chrono::milliseconds(sample_interval_ms);
   support::telemetry::Sampler sampler(store, sampler_options);
   exporter.set_time_series(&store);
+
+  // Lifecycle state, written by mailbox actions on the loop thread, read by
+  // the acceptor thread for /healthz and by the loop condition.
+  std::atomic<RunState> run_state{RunState::kRunning};
+  std::uint64_t drain_started_slot = 0;  // loop thread only
+
   // /healthz reads a published snapshot, not the live service: the main
   // loop stores these atomics after every tick, the acceptor thread loads
   // them — a scrape never waits out a routing pass (the seed held a mutex
@@ -273,19 +374,40 @@ int main(int argc, char** argv) {
     std::atomic<std::uint64_t> arrived{0};
     std::atomic<std::uint64_t> admitted{0};
     std::atomic<std::uint64_t> completed{0};
+    // Runtime-mutable (`ctl set algorithm`), so not a plain string: the
+    // acceptor thread reads it while the loop thread republishes.
+    std::mutex algorithm_mutex;
+    std::string algorithm;
   };
   HealthSnapshot health;
   const auto publish_health = [&service, &health] {
     const sim::ProtocolMetrics m = service.metrics();
+    {
+      const std::lock_guard<std::mutex> lock(health.algorithm_mutex);
+      health.algorithm =
+          service.algorithm().empty() ? "shared-prim" : service.algorithm();
+    }
     health.slot.store(service.slot(), std::memory_order_relaxed);
     health.active.store(service.active_sessions(), std::memory_order_relaxed);
     health.arrived.store(m.sessions_arrived, std::memory_order_relaxed);
     health.admitted.store(m.sessions_admitted, std::memory_order_relaxed);
     health.completed.store(m.sessions_completed, std::memory_order_relaxed);
   };
-  exporter.set_health_fields([&health, &algorithm_label, lanes,
+  // The algorithm label is mutable at runtime (`ctl set algorithm`), so the
+  // health appender reads the service via the snapshot; the label only
+  // names the per-algorithm instrument families, which keep their
+  // boot-time name (a counter cannot be renamed mid-flight).
+  const std::string algorithm_label =
+      config.algorithm.empty() ? "shared-prim" : config.algorithm;
+  exporter.set_health_fields([&health, &run_state, lanes,
                               shards](std::string& body) {
-    body += ", \"algorithm\": \"" + algorithm_label + "\"";
+    body += ", \"state\": \"";
+    body += run_state_name(run_state.load(std::memory_order_relaxed));
+    body += "\"";
+    {
+      const std::lock_guard<std::mutex> lock(health.algorithm_mutex);
+      body += ", \"algorithm\": \"" + health.algorithm + "\"";
+    }
     body += ", \"slot\": " +
             std::to_string(health.slot.load(std::memory_order_relaxed));
     body += ", \"active_sessions\": " +
@@ -299,6 +421,356 @@ int main(int argc, char** argv) {
     body += ", \"lanes\": " + std::to_string(lanes);
     body += ", \"shards\": " + std::to_string(shards);
   });
+
+  // Event-driven slot loop pacing (constructed before the control plane so
+  // the mailbox wake can kick it).
+  support::SlotScheduler::Options pace;
+  pace.period = std::chrono::milliseconds(slot_ms);
+  pace.max_batch = static_cast<std::uint64_t>(tick_batch);
+  support::SlotScheduler scheduler(pace);
+
+  // -------------------------------------------------------------------------
+  // Control plane: the command registry behind POST /api/v1/ctl. Every
+  // mutation rides the mailbox to the loop thread and is applied between
+  // scheduler batches; submit() kicks the scheduler so a command never
+  // waits out a slot period.
+  ctl::ControlMailbox mailbox;
+  mailbox.set_wake([&scheduler] { scheduler.kick(); });
+
+  // Refuse mutations while draining — the daemon is committed to exiting.
+  const auto draining_guard = [&run_state]() -> std::optional<ctl::CommandResult> {
+    if (run_state.load(std::memory_order_relaxed) == RunState::kDraining) {
+      return ctl::CommandResult::failure(ctl::kErrDraining,
+                                         "daemon is draining");
+    }
+    return std::nullopt;
+  };
+
+  // The settings table `ctl set` / `ctl get` dispatch on. Accessors run on
+  // the loop thread inside mailbox actions.
+  std::vector<Setting> settings;
+  settings.push_back(
+      {"arrival-rate", "session arrival probability per slot",
+       [&service] { return ctl::json_number(service.arrival_prob()); },
+       [&service](const support::json::Value& value) {
+         if (!value.is_number()) {
+           return ctl::CommandResult::failure(ctl::kErrBadArg,
+                                              "arrival-rate must be a number");
+         }
+         std::string error;
+         if (!service.set_arrival_prob(value.number_value, &error)) {
+           return ctl::CommandResult::failure(ctl::kErrOutOfRange, error);
+         }
+         return ctl::CommandResult::success(
+             ctl::json_number(service.arrival_prob()));
+       }});
+  settings.push_back(
+      {"algorithm", "admission router (shared-prim or a registry name)",
+       [&service] {
+         return ctl::json_quote(service.algorithm().empty()
+                                    ? "shared-prim"
+                                    : service.algorithm());
+       },
+       [&service](const support::json::Value& value) {
+         if (!value.is_string()) {
+           return ctl::CommandResult::failure(ctl::kErrBadArg,
+                                              "algorithm must be a string");
+         }
+         std::string name = value.string_value;
+         if (name == "shared-prim") name.clear();
+         std::string error;
+         if (!service.set_algorithm(name, &error)) {
+           return ctl::CommandResult::failure(ctl::kErrOutOfRange, error);
+         }
+         return ctl::CommandResult::success(
+             ctl::json_quote(name.empty() ? "shared-prim" : name));
+       }});
+  settings.push_back(
+      {"arrival-burst", "arrival attempts per slot (>= 1)",
+       [&service] {
+         return std::to_string(service.arrival_burst());
+       },
+       [&service](const support::json::Value& value) {
+         if (!value.is_number() ||
+             value.number_value != static_cast<std::uint64_t>(
+                                       value.number_value)) {
+           return ctl::CommandResult::failure(
+               ctl::kErrBadArg, "arrival-burst must be an integer");
+         }
+         std::string error;
+         if (!service.set_arrival_burst(
+                 static_cast<std::size_t>(value.number_value), &error)) {
+           return ctl::CommandResult::failure(ctl::kErrOutOfRange, error);
+         }
+         return ctl::CommandResult::success(
+             std::to_string(service.arrival_burst()));
+       }});
+  settings.push_back(
+      {"batch-policy",
+       "burst admission order (given-order|smallest-first|largest-first|"
+       "greedy|fair-share)",
+       [&service] {
+         return ctl::json_quote(
+             routing::batch_policy_name(service.batch_policy()));
+       },
+       [&service](const support::json::Value& value) {
+         if (!value.is_string()) {
+           return ctl::CommandResult::failure(ctl::kErrBadArg,
+                                              "batch-policy must be a string");
+         }
+         routing::BatchPolicy policy;
+         if (!routing::parse_batch_policy(value.string_value, &policy)) {
+           return ctl::CommandResult::failure(
+               ctl::kErrOutOfRange,
+               "unknown batch policy '" + value.string_value +
+                   "' (given-order|smallest-first|largest-first|greedy|"
+                   "fair-share)");
+         }
+         std::string error;
+         if (!service.set_batch_policy(policy, &error)) {
+           return ctl::CommandResult::failure(ctl::kErrUnsupported, error);
+         }
+         return ctl::CommandResult::success(
+             ctl::json_quote(routing::batch_policy_name(policy)));
+       }});
+  settings.push_back(
+      {"log-level", "structured log threshold (debug|info|warn|error|off)",
+       [] {
+         return ctl::json_quote(std::string(support::telemetry::log_level_name(
+             support::telemetry::log_level())));
+       },
+       [](const support::json::Value& value) {
+         if (!value.is_string()) {
+           return ctl::CommandResult::failure(ctl::kErrBadArg,
+                                              "log-level must be a string");
+         }
+         support::telemetry::LogLevel parsed;
+         if (!support::telemetry::parse_log_level(value.string_value,
+                                                  &parsed)) {
+           return ctl::CommandResult::failure(
+               ctl::kErrOutOfRange, "unknown log level '" +
+                                        value.string_value +
+                                        "' (debug|info|warn|error|off)");
+         }
+         support::telemetry::set_log_level(parsed);
+         return ctl::CommandResult::success(
+             ctl::json_quote(value.string_value));
+       }});
+  settings.push_back(
+      {"log-rate", "per-session log events per second (0 = unlimited)",
+       [&service] {
+         return ctl::json_number(service.log_events_per_second());
+       },
+       [&service](const support::json::Value& value) {
+         if (!value.is_number()) {
+           return ctl::CommandResult::failure(ctl::kErrBadArg,
+                                              "log-rate must be a number");
+         }
+         std::string error;
+         if (!service.set_log_events_per_second(value.number_value, &error)) {
+           return ctl::CommandResult::failure(ctl::kErrOutOfRange, error);
+         }
+         return ctl::CommandResult::success(
+             ctl::json_number(service.log_events_per_second()));
+       }});
+  settings.push_back(
+      {"sample-interval-ms", "time-series sampling period in milliseconds",
+       [&sampler] {
+         return std::to_string(sampler.interval().count());
+       },
+       [&sampler](const support::json::Value& value) {
+         if (!value.is_number() ||
+             value.number_value != static_cast<std::int64_t>(
+                                       value.number_value)) {
+           return ctl::CommandResult::failure(
+               ctl::kErrBadArg, "sample-interval-ms must be an integer");
+         }
+         if (value.number_value < 1.0 || value.number_value > 3600'000.0) {
+           return ctl::CommandResult::failure(
+               ctl::kErrOutOfRange,
+               "sample-interval-ms must be in [1, 3600000]");
+         }
+         sampler.set_interval(std::chrono::milliseconds(
+             static_cast<std::int64_t>(value.number_value)));
+         return ctl::CommandResult::success(
+             std::to_string(sampler.interval().count()));
+       }});
+  settings.push_back(
+      {"lifetime",
+       "totals across every run recorded in the --history file (read-only)",
+       [&history, &flush_history] {
+         if (!history.is_open()) return std::string("null");
+         flush_history(true);
+         const ctl::HistoryTotals t = history.lifetime();
+         std::string out = "{\"runs\": " + std::to_string(t.runs);
+         out += ", \"slots\": " + std::to_string(t.slots);
+         out += ", \"arrived\": " + std::to_string(t.arrived);
+         out += ", \"admitted\": " + std::to_string(t.admitted);
+         out += ", \"completed\": " + std::to_string(t.completed);
+         out += ", \"timed_out\": " + std::to_string(t.timed_out);
+         out += ", \"rejected\": " + std::to_string(t.rejected);
+         out += "}";
+         return out;
+       },
+       nullptr});
+
+  const auto find_setting = [&settings](const std::string& name)
+      -> std::pair<const Setting*, ctl::CommandResult> {
+    for (const Setting& setting : settings) {
+      if (setting.name == name) return {&setting, ctl::CommandResult{}};
+    }
+    std::string known;
+    for (const Setting& setting : settings) {
+      if (!known.empty()) known += ", ";
+      known += setting.name;
+    }
+    return {nullptr,
+            ctl::CommandResult::failure(
+                ctl::kErrBadArg,
+                "unknown setting '" + name + "' (known: " + known + ")")};
+  };
+
+  ctl::CommandRegistry registry;
+  registry.add(
+      {"set",
+       "change a runtime setting (applied at the next tick boundary)",
+       {{"name", ctl::ArgType::kString, true, "setting to change"},
+        {"value", ctl::ArgType::kAny, true, "new value (type per setting)"}},
+       [&](const support::json::Value& args) {
+         const auto [setting, lookup_error] =
+             find_setting(args["name"].string_value);
+         if (setting == nullptr) return lookup_error;
+         if (!setting->set) {
+           return ctl::CommandResult::failure(
+               ctl::kErrUnsupported,
+               "setting '" + setting->name + "' is read-only");
+         }
+         // Copy the value out of the parsed request: the mailbox action
+         // runs after this handler's request document is gone.
+         const support::json::Value value = args["value"];
+         if (auto refused = draining_guard()) return *refused;
+         return mailbox.submit(
+             [setting, value] { return setting->set(value); });
+       }});
+  registry.add(
+      {"get",
+       "read a runtime setting (loop-thread-consistent snapshot)",
+       {{"name", ctl::ArgType::kString, true, "setting to read"}},
+       [&](const support::json::Value& args) {
+         const auto [setting, lookup_error] =
+             find_setting(args["name"].string_value);
+         if (setting == nullptr) return lookup_error;
+         if (setting->name == "lifetime" && !history.is_open()) {
+           return ctl::CommandResult::failure(
+               ctl::kErrUnsupported,
+               "no --history file configured for this daemon");
+         }
+         return mailbox.submit([setting] {
+           return ctl::CommandResult::success(setting->get());
+         });
+       }});
+  registry.add(
+      {"status",
+       "lifecycle state plus the live session counters",
+       {},
+       [&](const support::json::Value&) {
+         return mailbox.submit([&] {
+           const sim::ProtocolMetrics m = service.metrics();
+           std::string out = "{\"state\": ";
+           out += ctl::json_quote(
+               run_state_name(run_state.load(std::memory_order_relaxed)));
+           out += ", \"slot\": " + std::to_string(service.slot());
+           out += ", \"active_sessions\": " +
+                  std::to_string(service.active_sessions());
+           out += ", \"arrived\": " + std::to_string(m.sessions_arrived);
+           out += ", \"admitted\": " + std::to_string(m.sessions_admitted);
+           out += ", \"completed\": " + std::to_string(m.sessions_completed);
+           out += ", \"timed_out\": " + std::to_string(m.sessions_timed_out);
+           out += ", \"rejected\": " + std::to_string(m.sessions_rejected);
+           out += ", \"arrivals_enabled\": ";
+           out += service.arrivals_enabled() ? "true" : "false";
+           out += "}";
+           return ctl::CommandResult::success(out);
+         });
+       }});
+  registry.add(
+      {"pause",
+       "hold the slot loop (the deadline grid keeps advancing; resuming "
+       "never replays a backlog)",
+       {},
+       [&](const support::json::Value&) {
+         if (auto refused = draining_guard()) return *refused;
+         return mailbox.submit([&run_state] {
+           run_state.store(RunState::kPaused, std::memory_order_relaxed);
+           return ctl::CommandResult::success("{\"state\": \"paused\"}");
+         });
+       }});
+  registry.add(
+      {"resume",
+       "resume a paused slot loop",
+       {},
+       [&](const support::json::Value&) {
+         if (auto refused = draining_guard()) return *refused;
+         return mailbox.submit([&run_state] {
+           run_state.store(RunState::kRunning, std::memory_order_relaxed);
+           return ctl::CommandResult::success("{\"state\": \"running\"}");
+         });
+       }});
+  registry.add(
+      {"drain",
+       "stop intake, finish in-flight sessions, then exit",
+       {},
+       [&](const support::json::Value&) {
+         if (auto refused = draining_guard()) return *refused;
+         return mailbox.submit([&] {
+           service.set_arrivals_enabled(false);
+           drain_started_slot = service.slot();
+           run_state.store(RunState::kDraining, std::memory_order_relaxed);
+           return ctl::CommandResult::success(
+               "{\"state\": \"draining\", \"active_sessions\": " +
+               std::to_string(service.active_sessions()) + "}");
+         });
+       }});
+  registry.add(
+      {"snapshot",
+       "full metrics + recent-events document, inline or written to a file",
+       {{"path", ctl::ArgType::kString, false,
+         "write the document here instead of returning it"}},
+       [&](const support::json::Value& args) {
+         const std::string document = support::telemetry::snapshot_document(
+             support::telemetry::capture_process(),
+             support::telemetry::recent_log_events());
+         const support::json::Value* path = args.find("path");
+         if (path == nullptr) {
+           return ctl::CommandResult::success(document);
+         }
+         std::ofstream out(path->string_value);
+         if (!out) {
+           return ctl::CommandResult::failure(
+               ctl::kErrBadArg,
+               "cannot write snapshot to '" + path->string_value + "'");
+         }
+         out << document;
+         return ctl::CommandResult::success(
+             "{\"written\": " + ctl::json_quote(path->string_value) + "}");
+       }});
+  registry.add(
+      {"commands",
+       "this command table, with argument schemas",
+       {},
+       [&registry](const support::json::Value&) {
+         return ctl::CommandResult::success(registry.describe_json());
+       }});
+
+  exporter.add_route(
+      "POST", "/api/v1/ctl",
+      [&registry](const support::telemetry::HttpRequest& request) {
+        // Every outcome — success or failure — is HTTP 200 with the
+        // envelope carrying ok/code; transport-level errors stay HTTP.
+        return support::telemetry::HttpExporter::response(
+            200, "application/json", registry.dispatch(request.body));
+      });
+
   std::string error;
   if (!exporter.start(&error)) {
     return fail("cannot serve on " + http.bind_address + ":" +
@@ -332,18 +804,38 @@ int main(int argc, char** argv) {
   const support::telemetry::Histogram slot_us_histogram("muerpd/slot_us/" +
                                                         algorithm_label);
 
-  // Event-driven slot loop: block until the next slot on the fixed grid is
-  // due, play every due slot as one batch (one parallel dispatch across the
-  // lanes), publish the health snapshot, repeat. acquire() bounds its waits
-  // so a signal (which cannot wake the condition variable) is observed
-  // promptly; a 0 return is just a control wake.
-  support::SlotScheduler::Options pace;
-  pace.period = std::chrono::milliseconds(slot_ms);
-  pace.max_batch = static_cast<std::uint64_t>(tick_batch);
-  support::SlotScheduler scheduler(pace);
+  // Event-driven slot loop: drain control commands at the tick boundary,
+  // block until the next slot on the fixed grid is due, play every due slot
+  // as one batch (one parallel dispatch across the lanes), publish the
+  // health snapshot, repeat. acquire() bounds its waits so a signal (which
+  // cannot wake the condition variable) is observed promptly; a 0 return is
+  // just a control wake. While paused, due slots are advanced WITHOUT being
+  // played: the grid keeps moving, so resume continues at the live edge
+  // with no catch-up burst, and a --slots-bounded run still plays exactly
+  // its N slots — which is what makes a paused-then-resumed run
+  // bit-identical to an unpaused one.
+  const std::uint64_t drain_cap = config.params.session_timeout_slots + 1;
   while (g_stop == 0 && (max_slots == 0 || service.slot() < max_slots)) {
+    mailbox.drain();  // tick boundary: apply queued control commands
+    const RunState state = run_state.load(std::memory_order_relaxed);
+    if (state == RunState::kPaused) {
+      publish_health();
+      if (pace.period == std::chrono::nanoseconds::zero()) {
+        // Unpaced pause has no deadline grid to follow — idle on the
+        // mailbox instead of spinning through immediate acquire()s.
+        mailbox.wait_pending(std::chrono::milliseconds(50));
+        continue;
+      }
+      const std::uint64_t due = scheduler.acquire();
+      mailbox.drain();  // a resume may be what woke the wait
+      if (run_state.load(std::memory_order_relaxed) == RunState::kPaused &&
+          due > 0) {
+        scheduler.advance(due);  // grid moves on; the slots are not played
+      }
+      continue;
+    }
     std::uint64_t due = scheduler.acquire();
-    if (due == 0) continue;  // control wake: re-check g_stop / max_slots
+    if (due == 0) continue;  // control wake: drain at the top of the loop
     if (max_slots != 0) {
       due = std::min<std::uint64_t>(due, max_slots - service.slot());
     }
@@ -361,6 +853,12 @@ int main(int argc, char** argv) {
     admitted_counter.add(tick.admissions);
     if (tick.completed > 0) completed_counter.add(tick.completed);
     publish_health();
+    flush_history(false);
+    if (state == RunState::kDraining &&
+        (service.active_sessions() == 0 ||
+         service.slot() - drain_started_slot >= drain_cap)) {
+      break;  // commanded drain finished — exit cleanly
+    }
     // Heartbeat: one debug line per 256 wakes, not one per slot.
     MUERP_LOG_EVERY_N(256, support::telemetry::LogLevel::kDebug, "muerpd/slot",
                       support::telemetry::field("slot", service.slot()),
@@ -371,15 +869,19 @@ int main(int argc, char** argv) {
                                                 tick.qubit_utilization));
   }
 
-  // Graceful shutdown: a first signal stops arrivals and plays unpaced
-  // slots until the in-flight sessions complete or time out (bounded by
-  // the session timeout); a second signal skips the drain.
+  // Graceful shutdown on signal: stop arrivals and play unpaced slots until
+  // the in-flight sessions complete or time out (bounded by the session
+  // timeout); a second signal skips the drain. A `ctl drain` already did
+  // its draining inside the main loop. Control commands still drain here so
+  // `status` keeps answering (mutations are refused — state is draining).
   std::uint64_t drain_slots = 0;
   std::uint64_t drained_completed = 0;
-  if (g_stop != 0) {
-    const std::uint64_t drain_cap = config.params.session_timeout_slots + 1;
+  if (g_stop != 0 &&
+      run_state.load(std::memory_order_relaxed) != RunState::kDraining) {
+    run_state.store(RunState::kDraining, std::memory_order_relaxed);
     service.set_arrivals_enabled(false);
     while (g_stop < 2 && drain_slots < drain_cap) {
+      mailbox.drain();
       if (service.active_sessions() == 0) break;
       const sim::ShardTickReport tick = service.step();
       ++drain_slots;
@@ -389,6 +891,8 @@ int main(int argc, char** argv) {
       publish_health();
     }
   }
+  flush_history(true);
+  history.close();
 
   const sim::ProtocolMetrics m = service.metrics();
   MUERP_LOG_INFO("muerpd/shutdown",
@@ -402,6 +906,10 @@ int main(int argc, char** argv) {
                                            service.active_sessions()),
                  support::telemetry::field("log_suppressed",
                                            service.log_events_suppressed()));
+  // Close the mailbox BEFORE the exporter: pending and future control
+  // submits fail fast with shutting_down, so an acceptor thread blocked in
+  // a ctl request can answer and the exporter join cannot deadlock.
+  mailbox.close();
   sampler.stop();
   exporter.stop();
 
@@ -417,7 +925,9 @@ int main(int argc, char** argv) {
     }
   }
 
-  support::Table summary("muerpd session service (" + algorithm_label + ")",
+  const std::string final_label =
+      service.algorithm().empty() ? "shared-prim" : service.algorithm();
+  support::Table summary("muerpd session service (" + final_label + ")",
                          {"metric", "value"});
   summary.add_row("slots played", {static_cast<double>(service.slot())});
   summary.add_row("sessions arrived",

@@ -233,7 +233,7 @@ int main(int argc, char** argv) {
   cli.add_flag("step", "seconds per sparkline column (0 = window/60)", "0");
   cli.add_flag("once", "render one frame and exit (no screen clearing)");
   cli.add_flag("ascii", "ASCII sparklines instead of Unicode blocks");
-  if (!cli.parse(argc, argv)) return 1;
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 2;
 
   const std::string endpoint = cli.get_string("endpoint");
   const std::size_t colon = endpoint.rfind(':');
