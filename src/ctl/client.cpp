@@ -114,25 +114,28 @@ bool http_get(const std::string& host, std::uint16_t port,
 
 bool http_post(const std::string& host, std::uint16_t port,
                const std::string& target, const std::string& body,
-               HttpResult* out, std::string* error) {
-  const std::string request =
-      "POST " + target + " HTTP/1.1\r\nHost: " + host +
-      "\r\nConnection: close\r\nContent-Type: application/json\r\n"
-      "Content-Length: " +
-      std::to_string(body.size()) + "\r\n\r\n" + body;
+               HttpResult* out, std::string* error,
+               const std::string& bearer_token) {
+  std::string request = "POST " + target + " HTTP/1.1\r\nHost: " + host +
+                        "\r\nConnection: close\r\n";
+  if (!bearer_token.empty()) {
+    request += "Authorization: Bearer " + bearer_token + "\r\n";
+  }
+  request += "Content-Type: application/json\r\nContent-Length: " +
+             std::to_string(body.size()) + "\r\n\r\n" + body;
   return send_request(host, port, request, out, error);
 }
 
 bool ctl_request(const std::string& endpoint, const std::string& cmd,
                  const std::string& args_json, HttpResult* out,
-                 std::string* error) {
+                 std::string* error, const std::string& bearer_token) {
   std::string host;
   std::uint16_t port = 0;
   if (!parse_endpoint(endpoint, &host, &port, error)) return false;
   std::string body = "{\"cmd\": " + json_quote(cmd);
   if (!args_json.empty()) body += ", \"args\": " + args_json;
   body += "}";
-  return http_post(host, port, "/api/v1/ctl", body, out, error);
+  return http_post(host, port, "/api/v1/ctl", body, out, error, bearer_token);
 }
 
 }  // namespace muerp::ctl

@@ -26,16 +26,20 @@ bool http_get(const std::string& host, std::uint16_t port,
               const std::string& target, HttpResult* out, std::string* error);
 
 /// Blocking POST of `body` to `target` (Content-Type: application/json).
+/// A non-empty `bearer_token` is sent as `Authorization: Bearer <token>`
+/// (the daemon's --ctl-token guard).
 bool http_post(const std::string& host, std::uint16_t port,
                const std::string& target, const std::string& body,
-               HttpResult* out, std::string* error);
+               HttpResult* out, std::string* error,
+               const std::string& bearer_token = {});
 
 /// POSTs a {"cmd", "args"} envelope to POST /api/v1/ctl on `endpoint` and
 /// returns the raw response body (the JSON envelope). `args_json` must be a
 /// JSON object or empty (treated as no args). Transport failures return
-/// false with *error set; command failures are in the envelope.
+/// false with *error set; command failures are in the envelope. A non-empty
+/// `bearer_token` authenticates against a --ctl-token daemon.
 bool ctl_request(const std::string& endpoint, const std::string& cmd,
                  const std::string& args_json, HttpResult* out,
-                 std::string* error);
+                 std::string* error, const std::string& bearer_token = {});
 
 }  // namespace muerp::ctl

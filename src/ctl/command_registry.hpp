@@ -16,7 +16,8 @@
 // invalid value), draining (daemon refuses mutations while draining),
 // unsupported (valid request the current configuration cannot honor),
 // shutting_down (daemon exiting before the command could run), internal
-// (handler threw).
+// (handler threw), unauthorized (missing or wrong --ctl-token bearer
+// token), not_found (no such resource, e.g. an unknown session id).
 //
 // The registry itself is transport- and daemon-agnostic: handlers are plain
 // std::functions returning a CommandResult, argument validation happens
@@ -48,6 +49,8 @@ inline constexpr char kErrDraining[] = "draining";
 inline constexpr char kErrUnsupported[] = "unsupported";
 inline constexpr char kErrShuttingDown[] = "shutting_down";
 inline constexpr char kErrInternal[] = "internal";
+inline constexpr char kErrUnauthorized[] = "unauthorized";
+inline constexpr char kErrNotFound[] = "not_found";
 
 // ---------------------------------------------------------------------------
 // JSON writing helpers for handlers building result documents. (The support

@@ -62,7 +62,9 @@
 #include "support/scheduler.hpp"          // IWYU pragma: export
 #include "support/statistics.hpp"         // IWYU pragma: export
 #include "support/table.hpp"              // IWYU pragma: export
+#include "support/telemetry/alerts.hpp"   // IWYU pragma: export
 #include "support/telemetry/export.hpp"   // IWYU pragma: export
+#include "support/telemetry/flight_recorder.hpp"  // IWYU pragma: export
 #include "support/telemetry/http_exporter.hpp"  // IWYU pragma: export
 #include "support/telemetry/sampler.hpp"  // IWYU pragma: export
 #include "support/telemetry/telemetry.hpp"  // IWYU pragma: export

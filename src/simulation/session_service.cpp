@@ -16,6 +16,23 @@ using support::telemetry::field;
 /// Per-session events go through the config.log_events_per_second bucket.
 constexpr auto kInfo = support::telemetry::LogLevel::kInfo;
 
+namespace {
+
+/// Admission-time fields common to every record of an arrival. The
+/// recorder assigns id/lane/seq; the caller fills verdict fields.
+support::telemetry::SessionRecord make_record_draft(
+    std::uint64_t slot, const std::vector<net::NodeId>& group,
+    const std::string& algorithm, const char* policy) {
+  support::telemetry::SessionRecord draft;
+  draft.arrival_slot = slot;
+  draft.group.assign(group.begin(), group.end());
+  draft.algorithm = algorithm.empty() ? "prim-shared" : algorithm;
+  draft.policy = policy;
+  return draft;
+}
+
+}  // namespace
+
 SessionService::SessionService(const net::QuantumNetwork& network,
                                SessionServiceConfig config, support::Rng& rng)
     : network_(&network),
@@ -158,7 +175,7 @@ double SessionService::qubit_utilization() const noexcept {
 }
 
 net::EntanglementTree SessionService::admit(
-    const std::vector<net::NodeId>& group) {
+    const std::vector<net::NodeId>& group, bool* capacity_guard) {
   const auto seed =
       static_cast<std::size_t>(rng_->uniform_index(group.size()));
   if (router_ == nullptr) {
@@ -208,6 +225,7 @@ net::EntanglementTree SessionService::admit(
   if (tree.feasible &&
       !routing::tree_fits_capacity(*network_, tree, capacity_)) {
     tree.feasible = false;
+    if (capacity_guard != nullptr) *capacity_guard = true;
   }
   if (tree.feasible) {
     for (const net::Channel& ch : tree.channels) {
@@ -237,6 +255,11 @@ void SessionService::admit_batch(SlotReport& report) {
     options.admit_us = &admit_us_scratch_;  // kernel clears it per call
   }
 
+  const bool recording = config_.recorder != nullptr;
+  const auto work_before = recording
+                               ? support::telemetry::capture_routing_work()
+                               : support::telemetry::RoutingWork{};
+
   routing::BatchResult result;
   if (router_ == nullptr) {
     result = batch_router_->route_shared(batch_requests_, options, *rng_,
@@ -252,6 +275,13 @@ void SessionService::admit_batch(SlotReport& report) {
     request.residual_view = &*residual_view_;
     result = router_->route_batch_trees(request);
   }
+
+  // One routing call admits the whole burst, so every record of the batch
+  // carries the same batch-level work delta (documented on RoutingWork).
+  const auto batch_work =
+      recording ? support::telemetry::routing_work_delta(
+                      work_before, support::telemetry::capture_routing_work())
+                : support::telemetry::RoutingWork{};
   if (config_.admit_us != nullptr) {
     config_.admit_us->insert(config_.admit_us->end(), admit_us_scratch_.begin(),
                              admit_us_scratch_.end());
@@ -259,8 +289,11 @@ void SessionService::admit_batch(SlotReport& report) {
 
   // Per-session accounting in admission order, mirroring the single-arrival
   // path field for field.
+  const char* policy_label = routing::batch_policy_name(config_.batch_policy);
   for (routing::BatchGroupOutcome& outcome : result.outcomes) {
-    const std::size_t size = batch_groups_[outcome.request_index].size();
+    const std::vector<net::NodeId>& group =
+        batch_groups_[outcome.request_index];
+    const std::size_t size = group.size();
     net::EntanglementTree& tree = outcome.tree;
     if (tree.feasible) {
       if (!report.admitted) {
@@ -277,7 +310,16 @@ void SessionService::admit_batch(SlotReport& report) {
                              field("rate", tree.rate),
                              field("channels", tree.channels.size()),
                              field("active", active_.size() + 1));
-      active_.push_back({std::move(tree), slot_, size});
+      std::uint64_t record_id = 0;
+      if (recording) {
+        auto draft = make_record_draft(slot_, group, config_.algorithm,
+                                       policy_label);
+        draft.work = batch_work;
+        draft.tree_rate = tree.rate;
+        draft.tree_channels = static_cast<std::uint32_t>(tree.channels.size());
+        record_id = config_.recorder->open(std::move(draft));
+      }
+      active_.push_back({std::move(tree), slot_, size, record_id});
     } else {
       ++totals_.sessions_rejected;
       const double utilization = qubit_utilization();
@@ -291,6 +333,15 @@ void SessionService::admit_batch(SlotReport& report) {
         MUERP_LOG_INFO("session/switch_saturation", field("slot", slot_),
                        field("qubit_utilization", utilization),
                        field("active", active_.size()));
+      }
+      if (recording) {
+        auto draft = make_record_draft(slot_, group, config_.algorithm,
+                                       policy_label);
+        draft.work = batch_work;
+        draft.reject_reason =
+            support::telemetry::RejectReason::kNoFeasibleTree;
+        draft.saturated = utilization >= 0.9;
+        config_.recorder->reject(std::move(draft));
       }
     }
   }
@@ -345,7 +396,17 @@ SlotReport SessionService::step() {
         config_.admit_us != nullptr
             ? support::telemetry::monotonic_now_ns()
             : 0;
-    auto tree = admit(group);
+    const bool recording = config_.recorder != nullptr;
+    const auto work_before = recording
+                                 ? support::telemetry::capture_routing_work()
+                                 : support::telemetry::RoutingWork{};
+    bool capacity_guard = false;
+    auto tree = admit(group, &capacity_guard);
+    const auto admit_work =
+        recording
+            ? support::telemetry::routing_work_delta(
+                  work_before, support::telemetry::capture_routing_work())
+            : support::telemetry::RoutingWork{};
     if (config_.admit_us != nullptr) {
       config_.admit_us->push_back(
           static_cast<double>(support::telemetry::monotonic_now_ns() -
@@ -365,7 +426,16 @@ SlotReport SessionService::step() {
                              field("rate", tree.rate),
                              field("channels", tree.channels.size()),
                              field("active", active_.size() + 1));
-      active_.push_back({std::move(tree), slot_, size});
+      std::uint64_t record_id = 0;
+      if (recording) {
+        auto draft =
+            make_record_draft(slot_, group, config_.algorithm, "single");
+        draft.work = admit_work;
+        draft.tree_rate = tree.rate;
+        draft.tree_channels = static_cast<std::uint32_t>(tree.channels.size());
+        record_id = config_.recorder->open(std::move(draft));
+      }
+      active_.push_back({std::move(tree), slot_, size, record_id});
     } else {
       ++totals_.sessions_rejected;
       const double utilization = qubit_utilization();
@@ -381,6 +451,17 @@ SlotReport SessionService::step() {
         MUERP_LOG_INFO("session/switch_saturation", field("slot", slot_),
                        field("qubit_utilization", utilization),
                        field("active", active_.size()));
+      }
+      if (recording) {
+        auto draft =
+            make_record_draft(slot_, group, config_.algorithm, "single");
+        draft.work = admit_work;
+        draft.reject_reason =
+            capacity_guard
+                ? support::telemetry::RejectReason::kCapacityGuard
+                : support::telemetry::RejectReason::kNoFeasibleTree;
+        draft.saturated = utilization >= 0.9;
+        config_.recorder->reject(std::move(draft));
       }
     }
   }
@@ -413,6 +494,13 @@ SlotReport SessionService::step() {
                                field("group_size", session.group_size),
                                field("held_slots", held_slots),
                                field("rate", session.tree.rate));
+      }
+      if (config_.recorder != nullptr && session.record_id != 0) {
+        config_.recorder->close(
+            session.record_id,
+            success ? support::telemetry::SessionState::kCompleted
+                    : support::telemetry::SessionState::kTimedOut,
+            slot_, held_slots);
       }
       for (const net::Channel& ch : session.tree.channels) {
         capacity_.release_channel(ch.path);

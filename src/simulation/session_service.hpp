@@ -35,6 +35,7 @@
 #include "simulation/protocol.hpp"
 #include "support/rng.hpp"
 #include "support/statistics.hpp"
+#include "support/telemetry/flight_recorder.hpp"
 #include "support/telemetry/log.hpp"
 
 namespace muerp::sim {
@@ -86,6 +87,12 @@ struct SessionServiceConfig {
   /// of syncing the cached ResidualNetworkView. Admission decisions are
   /// bit-identical either way — tests assert it.
   bool rebuild_residual_view = false;
+  /// Optional flight recorder: when set, every arrival opens (or finalizes,
+  /// for rejections) a SessionRecord and every terminal event closes it.
+  /// The recorder never touches the Rng, so admission decisions and the
+  /// draw sequence are bit-identical with and without it — tests assert it.
+  /// Must outlive the service.
+  support::telemetry::SessionRecorder* recorder = nullptr;
 };
 
 /// What one step() observed — the per-slot feed a daemon exports.
@@ -198,11 +205,16 @@ class SessionService {
     net::EntanglementTree tree;
     std::uint64_t admitted_slot = 0;
     std::size_t group_size = 0;
+    /// Flight-recorder id (0 when no recorder is attached).
+    std::uint64_t record_id = 0;
   };
 
   /// Routes one arrival group; returns a feasible tree already committed to
-  /// capacity_, or an infeasible one with nothing held.
-  net::EntanglementTree admit(const std::vector<net::NodeId>& group);
+  /// capacity_, or an infeasible one with nothing held. `capacity_guard`
+  /// (when non-null) is set when a registry router's tree was refused by
+  /// the admission capacity guard rather than found infeasible.
+  net::EntanglementTree admit(const std::vector<net::NodeId>& group,
+                              bool* capacity_guard = nullptr);
 
   /// Admits the burst staged in batch_groups_ as one batch: routes them
   /// through the batch kernel against capacity_, then applies the same

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstddef>
+#include <iterator>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -16,6 +18,10 @@ struct ShardedSessionService::Lane {
   std::vector<double> admit_us;
   /// This lane's share of the switch qubit pool (the utilization weight).
   int switch_qubits = 0;
+  /// Per-lane flight recorder (engaged when record_sessions); must be
+  /// emplaced before `service` so the config pointer binds to stable
+  /// storage.
+  std::optional<support::telemetry::SessionRecorder> recorder;
   /// Emplaced after network/rng so the service's internal pointers bind to
   /// this Lane's stable storage.
   std::optional<SessionService> service;
@@ -68,6 +74,13 @@ ShardedSessionService::ShardedSessionService(
         "record_admit_us and read lane_admit_us() instead (one shared sink "
         "would race across shards)");
   }
+  if (config_.base.recorder != nullptr) {
+    throw std::invalid_argument(
+        "ShardedSessionServiceConfig: base.recorder must be null — set "
+        "record_sessions and query session_records() instead (one shared "
+        "recorder would assign seq numbers nondeterministically across "
+        "shards)");
+  }
 
   const support::Rng master(seed);
   lanes_.reserve(config_.lane_count);
@@ -85,6 +98,15 @@ ShardedSessionService::ShardedSessionService(
     SessionServiceConfig lane_config = config_.base;
     if (config_.record_admit_us) {
       lane_config.admit_us = &entry->admit_us;
+    }
+    if (config_.record_sessions) {
+      support::telemetry::SessionRecorderOptions recorder_options;
+      recorder_options.lane = static_cast<std::uint32_t>(lane);
+      recorder_options.capacity = config_.recorder_capacity;
+      recorder_options.happy_keep_per_1024 =
+          config_.recorder_happy_keep_per_1024;
+      entry->recorder.emplace(recorder_options);
+      lane_config.recorder = &*entry->recorder;
     }
     entry->service.emplace(entry->network, std::move(lane_config),
                            entry->rng);
@@ -306,6 +328,53 @@ ProtocolMetrics ShardedSessionService::lane_metrics(std::size_t lane) const {
 std::span<const double> ShardedSessionService::lane_admit_us(
     std::size_t lane) const {
   return lanes_.at(lane)->admit_us;
+}
+
+std::vector<support::telemetry::SessionRecord>
+ShardedSessionService::session_records(
+    const support::telemetry::SessionFilter& filter) const {
+  std::vector<support::telemetry::SessionRecord> merged;
+  // Per-lane queries run unlimited; the limit applies to the merged list so
+  // "last n" means the same records no matter how lanes interleaved.
+  support::telemetry::SessionFilter lane_filter = filter;
+  lane_filter.limit = 0;
+  for (const auto& lane : lanes_) {
+    if (!lane->recorder) continue;
+    auto records = lane->recorder->records(lane_filter);
+    merged.insert(merged.end(),
+                  std::make_move_iterator(records.begin()),
+                  std::make_move_iterator(records.end()));
+  }
+  if (filter.limit > 0 && merged.size() > filter.limit) {
+    merged.erase(merged.begin(),
+                 merged.begin() + static_cast<std::ptrdiff_t>(
+                                      merged.size() - filter.limit));
+  }
+  return merged;
+}
+
+std::optional<support::telemetry::SessionRecord>
+ShardedSessionService::find_session_record(std::uint64_t id) const {
+  const std::size_t lane = static_cast<std::size_t>(id >> 32);
+  if (lane >= lanes_.size() || !lanes_[lane]->recorder) return std::nullopt;
+  return lanes_[lane]->recorder->find(id);
+}
+
+support::telemetry::SessionRecorder::Stats
+ShardedSessionService::session_record_stats() const {
+  support::telemetry::SessionRecorder::Stats merged;
+  for (const auto& lane : lanes_) {
+    if (lane->recorder) merged.merge(lane->recorder->stats());
+  }
+  return merged;
+}
+
+void ShardedSessionService::finalize_session_records() {
+  for (const auto& lane : lanes_) {
+    if (lane->recorder) {
+      lane->recorder->finalize_open(lane->service->slot());
+    }
+  }
 }
 
 }  // namespace muerp::sim

@@ -66,6 +66,17 @@ struct ShardedSessionServiceConfig {
   /// Give every lane an admission-latency sink (microseconds per routed
   /// arrival, admission order); read back via lane_admit_us().
   bool record_admit_us = false;
+  /// Give every lane its own flight recorder (base.recorder must be null —
+  /// one recorder shared across worker threads would interleave seq
+  /// assignment nondeterministically). Queried back through
+  /// session_records() / find_session_record() / session_record_stats(),
+  /// which merge lanes in index order so results are bit-identical across
+  /// shard counts.
+  bool record_sessions = false;
+  /// Per-lane record retention (SessionRecorderOptions::capacity).
+  std::size_t recorder_capacity = 512;
+  /// Happy-path keep rate in 1/1024ths (SessionRecorderOptions).
+  std::uint32_t recorder_happy_keep_per_1024 = 128;
 };
 
 /// Merged outcome of one run_slots() call, lane-order deterministic.
@@ -159,6 +170,27 @@ class ShardedSessionService {
 
   /// Admission latencies recorded by lane (empty unless record_admit_us).
   std::span<const double> lane_admit_us(std::size_t lane) const;
+
+  // -------------------------------------------------------------------------
+  // Flight-recorder queries (empty / no-ops unless record_sessions). Safe
+  // while lanes run — each recorder takes its own short lock.
+
+  /// Records matching `filter`, merged lane by lane in index order (so the
+  /// result is deterministic across shard counts). filter.limit keeps the
+  /// last n of the merged list.
+  std::vector<support::telemetry::SessionRecord> session_records(
+      const support::telemetry::SessionFilter& filter = {}) const;
+
+  /// A record by id (`lane << 32 | seq`) — routed straight to its lane.
+  std::optional<support::telemetry::SessionRecord> find_session_record(
+      std::uint64_t id) const;
+
+  /// Lane-order merge of every lane recorder's Stats.
+  support::telemetry::SessionRecorder::Stats session_record_stats() const;
+
+  /// Finalizes every still-open record as drained at its lane's current
+  /// slot (daemon shutdown). Call between run_slots invocations only.
+  void finalize_session_records();
 
   /// Per-shard instrument families registered (min(shard_count, 8) — the
   /// fold keeps the registry's fixed instrument caps safe at any shard

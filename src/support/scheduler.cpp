@@ -20,6 +20,22 @@ std::uint64_t SlotScheduler::due_at(Clock::time_point now) const noexcept {
   return ticked > played_ ? ticked - played_ : 0;
 }
 
+std::uint64_t SlotScheduler::backlog() const noexcept {
+  if (options_.period <= std::chrono::nanoseconds::zero()) return 0;
+  return due_at(Clock::now());
+}
+
+std::uint64_t SlotScheduler::overrun_ns() const noexcept {
+  if (options_.period <= std::chrono::nanoseconds::zero()) return 0;
+  const auto now = Clock::now();
+  const auto next_due =
+      start_ + options_.period * static_cast<std::int64_t>(played_ + 1);
+  if (now <= next_due) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now - next_due)
+          .count());
+}
+
 std::uint64_t SlotScheduler::acquire() {
   if (options_.period <= std::chrono::nanoseconds::zero()) {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -59,6 +59,16 @@ class SlotScheduler {
   /// Slots handed out and advanced so far.
   std::uint64_t slots_played() const noexcept { return played_; }
 
+  /// Slots due right now beyond those already played — the loop's backlog
+  /// depth (0 when on schedule or unpaced). Loop-thread only, like
+  /// advance(): it reads played_ unlocked.
+  std::uint64_t backlog() const noexcept;
+
+  /// How far past its grid deadline the NEXT unplayed slot is, in
+  /// nanoseconds (0 when on schedule or unpaced) — the deadline-overrun
+  /// gauge a daemon exports. Loop-thread only.
+  std::uint64_t overrun_ns() const noexcept;
+
   /// Wakes a blocked acquire() now (control event). Thread-safe.
   void kick();
 

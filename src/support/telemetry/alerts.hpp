@@ -1,0 +1,159 @@
+// Declarative SLO alert rules evaluated over the time-series plane.
+//
+// A TimeSeriesStore can answer "what was the rejection rate over the last
+// minute"; a daemon operator wants the negation watched for them: "tell me
+// WHEN the rejection ratio exceeds 50% for three consecutive samples".
+// AlertRules holds a small table of declarative threshold rules — counter
+// rates, gauge levels, windowed histogram quantiles, counter/counter
+// ratios — and evaluates the whole table against the store on the existing
+// Sampler cadence (Sampler::set_after_sample), so alerting costs nothing
+// beyond the sampling the daemon already does.
+//
+// A rule fires after `for_count` consecutive breached evaluations
+// (burn-rate style: one noisy sample does not page) and resolves on the
+// first non-breached one. Transitions emit structured log events
+// (alert/firing, alert/resolved); current state is served at
+// GET /api/v1/alerts, summarized in /healthz, and runtime-editable through
+// the ctl plane (`muerpctl ctl slo ...`).
+//
+// Under -DMUERP_TELEMETRY=OFF the engine is an inert stub: rules are
+// accepted and forgotten, status() is empty, and /api/v1/alerts serves an
+// empty-but-valid document.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/telemetry/timeseries.hpp"
+
+#if MUERP_TELEMETRY_ENABLED
+#include <mutex>
+#endif
+
+namespace muerp::support::telemetry {
+
+/// What a rule measures each evaluation.
+enum class AlertKind : std::uint8_t {
+  kCounterRate = 0,        ///< counter increments/s over the window
+  kGauge = 1,              ///< latest sampled gauge level in the window
+  kHistogramQuantile = 2,  ///< windowed quantile of a histogram
+  kRatio = 3,              ///< rate(metric) / rate(denominator)
+};
+
+enum class AlertOp : std::uint8_t { kAbove = 0, kBelow = 1 };
+
+const char* alert_kind_name(AlertKind kind) noexcept;
+const char* alert_op_name(AlertOp op) noexcept;
+bool parse_alert_kind(std::string_view name, AlertKind* out) noexcept;
+bool parse_alert_op(std::string_view name, AlertOp* out) noexcept;
+
+struct AlertRule {
+  std::string name;
+  AlertKind kind = AlertKind::kCounterRate;
+  /// Counter, gauge or histogram name (the ratio numerator for kRatio).
+  std::string metric;
+  /// Ratio denominator counter (kRatio only).
+  std::string denominator;
+  /// Quantile in [0, 1] (kHistogramQuantile only).
+  double quantile = 0.95;
+  /// Trailing evaluation window.
+  std::uint64_t window_ns = 60'000'000'000ull;
+  AlertOp op = AlertOp::kAbove;
+  double threshold = 0.0;
+  /// Consecutive breached evaluations before the rule fires (>= 1).
+  std::uint32_t for_count = 1;
+  /// Free-form label surfaced with the alert ("warning", "page", ...).
+  std::string severity = "warning";
+};
+
+/// One rule's live evaluation state.
+struct AlertStatus {
+  AlertRule rule;
+  bool firing = false;
+  /// Value of the last evaluation (0 when the metric has no history yet).
+  double value = 0.0;
+  /// Consecutive breached evaluations so far.
+  std::uint32_t breached = 0;
+  /// monotonic_now_ns() of the evaluation that started the current firing
+  /// episode (0 while not firing).
+  std::uint64_t since_ns = 0;
+  std::uint64_t evaluations = 0;
+};
+
+/// {"firing": N, "rules": [...]} — the /api/v1/alerts document, shared by
+/// the HTTP route and `ctl slo list` so both render identically.
+std::string alerts_json(const std::vector<AlertStatus>& statuses);
+
+/// Validates a rule independent of any engine (used by the OFF stub too, so
+/// a telemetry-OFF daemon still rejects malformed `ctl slo set` requests).
+bool validate_alert_rule(const AlertRule& rule, std::string* error);
+
+#if MUERP_TELEMETRY_ENABLED
+
+class AlertRules {
+ public:
+  /// Hard cap on rules (a bounded table, like the instrument registry).
+  static constexpr std::size_t kMaxRules = 64;
+
+  /// `store` must outlive the engine.
+  explicit AlertRules(const TimeSeriesStore& store);
+
+  /// Adds or replaces the rule named rule.name. False (with *error set when
+  /// non-null) on a malformed rule or a full table. Replacing a rule resets
+  /// its evaluation state.
+  bool upsert(AlertRule rule, std::string* error = nullptr);
+
+  /// Removes a rule by name; false when no such rule exists.
+  bool remove(std::string_view name);
+
+  std::size_t size() const;
+
+  /// Evaluates every rule against the store (called from the sampler's
+  /// after-sample hook with the sample timestamp). Transitions log
+  /// alert/firing / alert/resolved events.
+  void evaluate(std::uint64_t now_ns);
+
+  /// Every rule's current state, in registration order.
+  std::vector<AlertStatus> status() const;
+
+  /// Rules currently firing.
+  std::size_t firing() const;
+
+  /// Evaluation rounds run so far.
+  std::uint64_t evaluations() const;
+
+ private:
+  double measure(const AlertRule& rule) const;
+
+  const TimeSeriesStore* store_;
+  mutable std::mutex mutex_;
+  std::vector<AlertStatus> entries_;
+  std::uint64_t rounds_ = 0;
+};
+
+#else  // MUERP_TELEMETRY_ENABLED
+
+class AlertRules {
+ public:
+  static constexpr std::size_t kMaxRules = 64;
+
+  explicit AlertRules(const TimeSeriesStore&) {}
+
+  /// Still validates (a malformed rule is a client error in any build) but
+  /// stores nothing.
+  bool upsert(AlertRule rule, std::string* error = nullptr) {
+    return validate_alert_rule(rule, error);
+  }
+  bool remove(std::string_view) { return false; }
+  std::size_t size() const { return 0; }
+  void evaluate(std::uint64_t) {}
+  std::vector<AlertStatus> status() const { return {}; }
+  std::size_t firing() const { return 0; }
+  std::uint64_t evaluations() const { return 0; }
+};
+
+#endif  // MUERP_TELEMETRY_ENABLED
+
+}  // namespace muerp::support::telemetry

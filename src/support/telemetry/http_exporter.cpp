@@ -35,6 +35,8 @@ const char* reason_phrase(int status) {
       return "OK";
     case 400:
       return "Bad Request";
+    case 401:
+      return "Unauthorized";
     case 404:
       return "Not Found";
     case 405:
@@ -50,9 +52,9 @@ const char* reason_phrase(int status) {
   }
 }
 
-/// Case-insensitive Content-Length lookup in a raw header block; -1 when
-/// absent or malformed.
-long content_length_of(std::string_view head) {
+/// Case-insensitive header lookup in a raw header block; the trimmed value,
+/// or empty when absent. `want` must be lowercase.
+std::string header_of(std::string_view head, std::string_view want) {
   std::size_t pos = 0;
   while (pos < head.size()) {
     std::size_t eol = head.find("\r\n", pos);
@@ -63,19 +65,28 @@ long content_length_of(std::string_view head) {
       std::string name(line.substr(0, colon));
       std::transform(name.begin(), name.end(), name.begin(),
                      [](unsigned char c) { return std::tolower(c); });
-      if (name == "content-length") {
+      if (name == want) {
         std::string value(line.substr(colon + 1));
         const std::size_t first = value.find_first_not_of(" \t");
-        if (first == std::string::npos) return -1;
-        char* end = nullptr;
-        const long n = std::strtol(value.c_str() + first, &end, 10);
-        if (end == value.c_str() + first || n < 0) return -1;
-        return n;
+        if (first == std::string::npos) return {};
+        const std::size_t last = value.find_last_not_of(" \t\r");
+        return value.substr(first, last - first + 1);
       }
     }
     pos = eol + 2;
   }
-  return -1;
+  return {};
+}
+
+/// Case-insensitive Content-Length lookup in a raw header block; -1 when
+/// absent or malformed.
+long content_length_of(std::string_view head) {
+  const std::string value = header_of(head, "content-length");
+  if (value.empty()) return -1;
+  char* end = nullptr;
+  const long n = std::strtol(value.c_str(), &end, 10);
+  if (end == value.c_str() || n < 0) return -1;
+  return n;
 }
 
 /// Reads one full request: head up to CRLFCRLF under the head budget, then
@@ -107,8 +118,10 @@ ReadStatus read_request(int fd, std::size_t max_head_bytes,
     request->path.resize(q);
   }
 
-  const long declared = content_length_of(
-      std::string_view(buffer).substr(eol, head_end - eol));
+  const std::string_view headers =
+      std::string_view(buffer).substr(eol, head_end - eol);
+  request->authorization = header_of(headers, "authorization");
+  const long declared = content_length_of(headers);
   if (declared <= 0) return ReadStatus::kOk;
   if (static_cast<std::size_t>(declared) > max_body_bytes) {
     return ReadStatus::kBodyTooLarge;
@@ -222,6 +235,10 @@ void append_json_string(std::string& out, std::string_view s) {
 
 }  // namespace
 
+std::string http_query_param(std::string_view query, std::string_view key) {
+  return query_param(query, key);
+}
+
 std::string HttpExporter::response(int status, const char* content_type,
                                    const std::string& body,
                                    const std::string& extra_headers) {
@@ -327,7 +344,20 @@ void HttpExporter::add_route(std::string method, std::string path,
     }
   }
   routes_.push_back(Route{std::move(method), std::move(path),
-                          std::move(handler)});
+                          std::move(handler), false});
+}
+
+void HttpExporter::add_prefix_route(std::string method, std::string prefix,
+                                    RouteHandler handler) {
+  const std::lock_guard<std::mutex> lock(routes_mutex_);
+  for (Route& route : routes_) {
+    if (route.prefix && route.method == method && route.path == prefix) {
+      route.handler = std::move(handler);
+      return;
+    }
+  }
+  routes_.push_back(Route{std::move(method), std::move(prefix),
+                          std::move(handler), true});
 }
 
 void HttpExporter::set_health_fields(
@@ -381,7 +411,7 @@ std::string HttpExporter::respond(const HttpRequest& request) {
   {
     const std::lock_guard<std::mutex> lock(routes_mutex_);
     for (const Route& route : routes_) {
-      if (route.path != request.path) continue;
+      if (route.prefix || route.path != request.path) continue;
       if (route.method == request.method) {
         handler = route.handler;
         break;
@@ -389,6 +419,20 @@ std::string HttpExporter::respond(const HttpRequest& request) {
       // Path exists under another method — collect it for Allow:.
       if (!allow.empty()) allow += ", ";
       allow += route.method;
+    }
+    if (!handler && allow.empty()) {
+      // No exact route: longest matching prefix route wins.
+      std::size_t best = 0;
+      for (const Route& route : routes_) {
+        if (!route.prefix || route.method != request.method) continue;
+        if (request.path.compare(0, route.path.size(), route.path) != 0) {
+          continue;
+        }
+        if (route.path.size() >= best) {
+          best = route.path.size();
+          handler = route.handler;
+        }
+      }
     }
   }
   if (handler) return handler(request);

@@ -53,6 +53,7 @@
 #include <functional>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -63,11 +64,19 @@ class TimeSeriesStore;
 /// One parsed request as a route handler sees it. `query` is the raw
 /// (undecoded) string after '?'; `body` is the Content-Length-delimited
 /// payload (empty for GET).
+/// First value of `key` in a raw "a=1&b=2" query string, %XX-decoded ('+'
+/// means space); empty when absent. Exposed for tools parsing the query of
+/// routes they mount with add_route().
+std::string http_query_param(std::string_view query, std::string_view key);
+
 struct HttpRequest {
   std::string method;
   std::string path;
   std::string query;
   std::string body;
+  /// Raw Authorization header value ("Bearer <token>"), empty when absent —
+  /// what a token-guarded route (muerpd's POST /api/v1/ctl) checks.
+  std::string authorization;
 };
 
 class HttpExporter {
@@ -122,6 +131,13 @@ class HttpExporter {
   /// "POST"); `path` has no query part.
   void add_route(std::string method, std::string path, RouteHandler handler);
 
+  /// Mounts `handler` for every path starting with `prefix` — what
+  /// path-parameter endpoints use (muerpd mounts GET /api/v1/session/ and
+  /// parses the id from request.path). Exact routes win over prefix routes;
+  /// among prefix routes the longest matching prefix wins.
+  void add_prefix_route(std::string method, std::string prefix,
+                        RouteHandler handler);
+
   /// Registers a callback appending extra `"key": value` JSON members to
   /// the /healthz document (called per request under the exporter's lock;
   /// it must emit a leading ", " before each member it writes).
@@ -143,6 +159,8 @@ class HttpExporter {
     std::string method;
     std::string path;
     RouteHandler handler;
+    /// Prefix routes match any path starting with `path`.
+    bool prefix = false;
   };
 
   void register_builtin_routes();

@@ -56,12 +56,26 @@ std::chrono::milliseconds Sampler::interval() const {
   return options_.interval;
 }
 
+void Sampler::set_after_sample(std::function<void(std::uint64_t)> hook) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  after_sample_ = std::move(hook);
+}
+
 void Sampler::run() {
   // The first sample is taken immediately: it establishes the store's
   // delta baseline, so real increments show up one interval later.
   while (true) {
-    store_->append(monotonic_now_ns(), capture_process());
+    const std::uint64_t t_ns = monotonic_now_ns();
+    store_->append(t_ns, capture_process());
     samples_.fetch_add(1);
+    // Copy the hook out so it runs unlocked (it may take its own locks —
+    // AlertRules does — and must not block set_interval/stop).
+    std::function<void(std::uint64_t)> hook;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      hook = after_sample_;
+    }
+    if (hook) hook(t_ns);
     std::unique_lock<std::mutex> lock(mutex_);
     // wait_until in a loop (not wait_for with a predicate) so a
     // set_interval() wake re-arms the deadline on the new cadence instead

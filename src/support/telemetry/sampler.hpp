@@ -19,6 +19,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <thread>
 
@@ -59,11 +60,17 @@ class Sampler {
 
   std::chrono::milliseconds interval() const;
 
+  /// Registers a hook run on the sampler thread right after every append,
+  /// with the sample's timestamp — the evaluation cadence for AlertRules
+  /// (alerts.hpp). An empty function clears it. Safe while running.
+  void set_after_sample(std::function<void(std::uint64_t t_ns)> hook);
+
  private:
   void run();
 
   TimeSeriesStore* store_;
   Options options_;  // interval guarded by mutex_ after construction
+  std::function<void(std::uint64_t)> after_sample_;  // guarded by mutex_
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_requested_ = false;  // guarded by mutex_
@@ -93,6 +100,7 @@ class Sampler {
   std::chrono::milliseconds interval() const {
     return std::chrono::milliseconds(0);
   }
+  void set_after_sample(std::function<void(std::uint64_t)>) {}
 };
 
 #endif  // MUERP_TELEMETRY_ENABLED

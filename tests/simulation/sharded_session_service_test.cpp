@@ -279,5 +279,156 @@ TEST(ShardedSessionService, RuntimeSettersApplyToEveryLane) {
   EXPECT_GT(service.metrics().sessions_arrived, arrived_before);
 }
 
+#if MUERP_TELEMETRY_ENABLED
+
+using support::telemetry::SessionFilter;
+using support::telemetry::SessionRecord;
+using support::telemetry::SessionRecorder;
+using support::telemetry::SessionState;
+
+ShardedSessionServiceConfig recording_config(std::size_t lanes,
+                                             std::size_t shards) {
+  ShardedSessionServiceConfig config = sharded_config(lanes, shards);
+  config.record_sessions = true;
+  // Generous retention so ring eviction cannot hide a record from the
+  // cross-config comparisons below.
+  config.recorder_capacity = 4096;
+  return config;
+}
+
+void expect_recorder_stats_identical(const SessionRecorder::Stats& a,
+                                     const SessionRecorder::Stats& b) {
+  EXPECT_EQ(a.opened, b.opened);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.timed_out, b.timed_out);
+  EXPECT_EQ(a.drained, b.drained);
+  EXPECT_EQ(a.kept, b.kept);
+  EXPECT_EQ(a.sampled_out, b.sampled_out);
+  EXPECT_EQ(a.p99_held_slots, b.p99_held_slots);
+}
+
+TEST(ShardedSessionService, SessionRecordsBitIdenticalAcrossShardCounts) {
+  const auto net = sharded_network();
+  std::vector<SessionRecord> reference;
+  SessionRecorder::Stats reference_stats;
+  bool first = true;
+  for (const std::size_t shards : {1u, 2u, 8u}) {
+    ShardedSessionService service(net, recording_config(/*lanes=*/4, shards),
+                                  /*seed=*/21);
+    play(service, 400);
+    std::vector<SessionRecord> records = service.session_records();
+    const SessionRecorder::Stats stats = service.session_record_stats();
+    if (first) {
+      reference = std::move(records);
+      reference_stats = stats;
+      first = false;
+      ASSERT_FALSE(reference.empty());
+      ASSERT_GT(reference_stats.opened, 0u);
+      continue;
+    }
+    // Full structural equality, every field of every record — the recorder
+    // determinism contract (SessionRecord has a defaulted operator==).
+    EXPECT_EQ(records, reference);
+    expect_recorder_stats_identical(stats, reference_stats);
+  }
+}
+
+TEST(ShardedSessionService, TailRecordsUnaffectedBySamplingRate) {
+  // A starved fabric: 8 qubits split over 4 lanes leaves each lane 2 per
+  // switch, so admission refuses groups outright, and a 5-slot timeout
+  // expires the sessions that do get in — both tail shapes occur.
+  experiment::Scenario scenario;
+  scenario.switch_count = 30;
+  scenario.user_count = 8;
+  scenario.qubits_per_switch = 8;
+  scenario.attenuation = 2e-5;
+  scenario.seed = 11;
+  const auto net = experiment::instantiate(scenario, 0).network;
+  // keep-rate 0 drops every happy-path completion; 1024 keeps them all. The
+  // tail (rejections, timeouts) must come out bit-identical either way —
+  // sampling other sessions cannot change what the tail records say.
+  std::vector<std::vector<SessionRecord>> tails;
+  for (const std::uint32_t keep : {0u, 1024u}) {
+    ShardedSessionServiceConfig config = recording_config(/*lanes=*/4,
+                                                          /*shards=*/2);
+    config.base.params.session_timeout_slots = 5;
+    config.recorder_happy_keep_per_1024 = keep;
+    ShardedSessionService service(net, config, /*seed=*/21);
+    play(service, 400);
+    SessionFilter rejected;
+    rejected.state = SessionState::kRejected;
+    SessionFilter timed_out;
+    timed_out.state = SessionState::kTimedOut;
+    std::vector<SessionRecord> tail = service.session_records(rejected);
+    std::vector<SessionRecord> timeouts = service.session_records(timed_out);
+    tail.insert(tail.end(), timeouts.begin(), timeouts.end());
+    tails.push_back(std::move(tail));
+  }
+  ASSERT_FALSE(tails[0].empty());
+  EXPECT_EQ(tails[0], tails[1]);
+}
+
+TEST(ShardedSessionService, RecorderDoesNotPerturbAdmissions) {
+  const auto net = sharded_network();
+  ShardedSessionService recorded(net, recording_config(/*lanes=*/4,
+                                                       /*shards=*/2),
+                                 /*seed=*/33);
+  ShardedSessionService plain(net, sharded_config(/*lanes=*/4, /*shards=*/2),
+                              /*seed=*/33);
+  play(recorded, 300);
+  play(plain, 300);
+  expect_metrics_identical(recorded.metrics(), plain.metrics());
+  EXPECT_EQ(recorded.active_sessions(), plain.active_sessions());
+}
+
+TEST(ShardedSessionService, FindSessionRecordRoutesById) {
+  const auto net = sharded_network();
+  ShardedSessionService service(net, recording_config(/*lanes=*/4,
+                                                      /*shards=*/2),
+                                /*seed=*/17);
+  play(service, 300);
+  const std::vector<SessionRecord> records = service.session_records();
+  ASSERT_FALSE(records.empty());
+  for (const SessionRecord& expected :
+       {records.front(), records.back()}) {
+    const auto found = service.find_session_record(expected.id);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(*found, expected);
+    EXPECT_EQ(found->lane, expected.id >> 32);
+  }
+  EXPECT_FALSE(service.find_session_record(0).has_value());
+  EXPECT_FALSE(
+      service.find_session_record((99ull << 32) | 1).has_value());
+}
+
+TEST(ShardedSessionService, FinalizeSessionRecordsDrainsActiveOnes) {
+  const auto net = sharded_network();
+  ShardedSessionService service(net, recording_config(/*lanes=*/4,
+                                                      /*shards=*/2),
+                                /*seed=*/13);
+  play(service, 100);
+  const std::size_t active = service.active_sessions();
+  ASSERT_GT(active, 0u);
+  service.finalize_session_records();
+  SessionFilter drained;
+  drained.state = SessionState::kDrained;
+  EXPECT_EQ(service.session_records(drained).size(), active);
+  EXPECT_EQ(service.session_record_stats().drained, active);
+  SessionFilter still_active;
+  still_active.state = SessionState::kActive;
+  EXPECT_TRUE(service.session_records(still_active).empty());
+}
+
+TEST(ShardedSessionService, RejectsSharedRecorderInBaseConfig) {
+  const auto net = sharded_network();
+  ShardedSessionServiceConfig config = sharded_config(2, 1);
+  SessionRecorder recorder;
+  config.base.recorder = &recorder;
+  EXPECT_THROW(ShardedSessionService(net, config, 1), std::invalid_argument);
+}
+
+#endif  // MUERP_TELEMETRY_ENABLED
+
 }  // namespace
 }  // namespace muerp::sim

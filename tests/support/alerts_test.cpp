@@ -1,0 +1,320 @@
+#include "support/telemetry/alerts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+#include "support/telemetry/metrics.hpp"
+#include "support/telemetry/timeseries.hpp"
+
+namespace muerp::support::telemetry {
+namespace {
+
+AlertRule gauge_rule(std::string name, double threshold) {
+  AlertRule rule;
+  rule.name = std::move(name);
+  rule.kind = AlertKind::kGauge;
+  rule.metric = "alerts_test/depth";
+  rule.window_ns = 10'000'000'000ull;
+  rule.op = AlertOp::kAbove;
+  rule.threshold = threshold;
+  rule.for_count = 1;
+  return rule;
+}
+
+TEST(Alerts, KindAndOpNamesRoundTrip) {
+  for (const AlertKind kind :
+       {AlertKind::kCounterRate, AlertKind::kGauge,
+        AlertKind::kHistogramQuantile, AlertKind::kRatio}) {
+    AlertKind parsed;
+    ASSERT_TRUE(parse_alert_kind(alert_kind_name(kind), &parsed));
+    EXPECT_EQ(parsed, kind);
+  }
+  for (const AlertOp op : {AlertOp::kAbove, AlertOp::kBelow}) {
+    AlertOp parsed;
+    ASSERT_TRUE(parse_alert_op(alert_op_name(op), &parsed));
+    EXPECT_EQ(parsed, op);
+  }
+  AlertKind kind;
+  EXPECT_FALSE(parse_alert_kind("histogram", &kind));
+  AlertOp op;
+  EXPECT_FALSE(parse_alert_op("equal", &op));
+}
+
+TEST(Alerts, ValidateRejectsMalformedRules) {
+  std::string error;
+  AlertRule rule = gauge_rule("ok", 1.0);
+  EXPECT_TRUE(validate_alert_rule(rule, &error)) << error;
+
+  rule.name.clear();
+  EXPECT_FALSE(validate_alert_rule(rule, &error));
+  EXPECT_EQ(error, "rule name must be non-empty");
+
+  rule = gauge_rule("r", 1.0);
+  rule.metric.clear();
+  EXPECT_FALSE(validate_alert_rule(rule, &error));
+  EXPECT_EQ(error, "rule metric must be non-empty");
+
+  rule = gauge_rule("r", 1.0);
+  rule.window_ns = 0;
+  EXPECT_FALSE(validate_alert_rule(rule, &error));
+  EXPECT_EQ(error, "rule window must be > 0");
+
+  rule = gauge_rule("r", 1.0);
+  rule.for_count = 0;
+  EXPECT_FALSE(validate_alert_rule(rule, &error));
+  EXPECT_EQ(error, "rule for_count must be >= 1");
+
+  rule = gauge_rule("r", std::numeric_limits<double>::quiet_NaN());
+  EXPECT_FALSE(validate_alert_rule(rule, &error));
+  EXPECT_EQ(error, "rule threshold must be a number");
+
+  rule = gauge_rule("r", 1.0);
+  rule.kind = AlertKind::kRatio;
+  EXPECT_FALSE(validate_alert_rule(rule, &error));
+  EXPECT_EQ(error, "ratio rules need a denominator counter");
+
+  rule = gauge_rule("r", 1.0);
+  rule.kind = AlertKind::kHistogramQuantile;
+  rule.quantile = 1.5;
+  EXPECT_FALSE(validate_alert_rule(rule, &error));
+  EXPECT_EQ(error, "rule quantile must be in [0, 1]");
+
+  // A null error sink must not crash.
+  rule.quantile = -0.1;
+  EXPECT_FALSE(validate_alert_rule(rule, nullptr));
+}
+
+TEST(Alerts, JsonDocumentParsesAndCountsFiringRules) {
+  std::vector<AlertStatus> statuses(2);
+  statuses[0].rule.name = "rejection-ratio";
+  statuses[0].rule.kind = AlertKind::kRatio;
+  statuses[0].rule.metric = "session/rejected";
+  statuses[0].rule.denominator = "session/arrived";
+  statuses[0].rule.threshold = 0.5;
+  statuses[0].rule.for_count = 3;
+  statuses[0].firing = true;
+  statuses[0].value = 0.75;
+  statuses[0].breached = 3;
+  statuses[1].rule.name = "slot-p99";
+  statuses[1].rule.kind = AlertKind::kHistogramQuantile;
+  statuses[1].rule.metric = "muerpd/slot_us";
+  statuses[1].rule.quantile = 0.99;
+  statuses[1].rule.op = AlertOp::kBelow;
+
+  const auto doc = json::parse(alerts_json(statuses));
+  ASSERT_TRUE(doc.ok()) << doc.error;
+  EXPECT_DOUBLE_EQ(doc.value["firing"].number_value, 1.0);
+  const auto& rules = doc.value["rules"].elements;
+  ASSERT_EQ(rules.size(), 2u);
+  EXPECT_EQ(rules[0]["name"].string_value, "rejection-ratio");
+  EXPECT_EQ(rules[0]["kind"].string_value, "ratio");
+  EXPECT_EQ(rules[0]["denominator"].string_value, "session/arrived");
+  EXPECT_DOUBLE_EQ(rules[0]["window_s"].number_value, 60.0);
+  EXPECT_TRUE(rules[0]["firing"].bool_value);
+  EXPECT_DOUBLE_EQ(rules[0]["value"].number_value, 0.75);
+  EXPECT_DOUBLE_EQ(rules[0]["breached"].number_value, 3.0);
+  EXPECT_EQ(rules[1]["kind"].string_value, "histogram-quantile");
+  EXPECT_DOUBLE_EQ(rules[1]["quantile"].number_value, 0.99);
+  EXPECT_EQ(rules[1]["op"].string_value, "below");
+  EXPECT_FALSE(rules[1]["firing"].bool_value);
+
+  const auto empty = json::parse(alerts_json({}));
+  ASSERT_TRUE(empty.ok()) << empty.error;
+  EXPECT_DOUBLE_EQ(empty.value["firing"].number_value, 0.0);
+  EXPECT_TRUE(empty.value["rules"].elements.empty());
+}
+
+#if MUERP_TELEMETRY_ENABLED
+
+constexpr std::uint64_t kSecond = 1'000'000'000ull;
+
+const Counter& hits_counter() {
+  static const Counter counter("alerts_test/hits");
+  return counter;
+}
+
+const Counter& total_counter() {
+  static const Counter counter("alerts_test/total");
+  return counter;
+}
+
+const Gauge& depth_gauge() {
+  static const Gauge gauge("alerts_test/depth");
+  return gauge;
+}
+
+// A cumulative snapshot carrying the test's two counters and one gauge; the
+// store delta-encodes consecutive appends itself.
+Snapshot snapshot_at(std::uint64_t hits, std::uint64_t total, double depth) {
+  Snapshot snapshot;
+  const std::uint32_t max_counter_id =
+      std::max(hits_counter().id(), total_counter().id());
+  snapshot.counters.resize(max_counter_id + 1, 0);
+  snapshot.counters[hits_counter().id()] = hits;
+  snapshot.counters[total_counter().id()] = total;
+  snapshot.gauges.resize(depth_gauge().id() + 1, 0.0);
+  snapshot.gauges[depth_gauge().id()] = depth;
+  return snapshot;
+}
+
+TEST(Alerts, CounterRateRuleFiresAfterForCountAndResolves) {
+  TimeSeriesStore store(64);
+  AlertRules alerts(store);
+  AlertRule rule;
+  rule.name = "hit-rate";
+  rule.kind = AlertKind::kCounterRate;
+  rule.metric = "alerts_test/hits";
+  rule.window_ns = 2 * kSecond;
+  rule.op = AlertOp::kAbove;
+  rule.threshold = 5.0;
+  rule.for_count = 3;
+  std::string error;
+  ASSERT_TRUE(alerts.upsert(rule, &error)) << error;
+  ASSERT_EQ(alerts.size(), 1u);
+
+  store.append(1 * kSecond, snapshot_at(0, 0, 0.0));  // delta baseline
+  std::uint64_t hits = 0;
+  for (std::uint64_t t = 2; t <= 4; ++t) {
+    hits += 10;  // 10 increments/s, well above the 5/s threshold
+    store.append(t * kSecond, snapshot_at(hits, 0, 0.0));
+    alerts.evaluate(t * kSecond);
+    const std::vector<AlertStatus> statuses = alerts.status();
+    ASSERT_EQ(statuses.size(), 1u);
+    EXPECT_GT(statuses[0].value, 5.0);
+    EXPECT_EQ(statuses[0].breached, static_cast<std::uint32_t>(t - 1));
+    // Burn-rate: breaching once or twice must not fire yet.
+    EXPECT_EQ(statuses[0].firing, t == 4);
+  }
+  EXPECT_EQ(alerts.firing(), 1u);
+  EXPECT_EQ(alerts.status()[0].since_ns, 4 * kSecond);
+  EXPECT_EQ(alerts.evaluations(), 3u);
+
+  // Two flat seconds push the window past the burst: resolves immediately.
+  store.append(5 * kSecond, snapshot_at(hits, 0, 0.0));
+  store.append(6 * kSecond, snapshot_at(hits, 0, 0.0));
+  alerts.evaluate(6 * kSecond);
+  const std::vector<AlertStatus> statuses = alerts.status();
+  EXPECT_FALSE(statuses[0].firing);
+  EXPECT_EQ(statuses[0].breached, 0u);
+  EXPECT_EQ(statuses[0].since_ns, 0u);
+  EXPECT_DOUBLE_EQ(statuses[0].value, 0.0);
+  EXPECT_EQ(alerts.firing(), 0u);
+}
+
+TEST(Alerts, GaugeRuleReadsTheLatestSampledLevel) {
+  TimeSeriesStore store(64);
+  AlertRules alerts(store);
+  ASSERT_TRUE(alerts.upsert(gauge_rule("depth", 3.0)));
+
+  store.append(1 * kSecond, snapshot_at(0, 0, 1.0));
+  alerts.evaluate(1 * kSecond);
+  EXPECT_EQ(alerts.firing(), 0u);
+
+  store.append(2 * kSecond, snapshot_at(0, 0, 7.0));
+  alerts.evaluate(2 * kSecond);
+  ASSERT_EQ(alerts.firing(), 1u);  // for_count 1: one breach pages
+  EXPECT_DOUBLE_EQ(alerts.status()[0].value, 7.0);
+}
+
+TEST(Alerts, RatioRuleIsZeroWithoutDenominatorTraffic) {
+  TimeSeriesStore store(64);
+  AlertRules alerts(store);
+  AlertRule ratio;
+  ratio.name = "hit-ratio";
+  ratio.kind = AlertKind::kRatio;
+  ratio.metric = "alerts_test/hits";
+  ratio.denominator = "alerts_test/never_registered";
+  ratio.window_ns = 10 * kSecond;
+  ratio.threshold = 0.1;
+  ASSERT_TRUE(alerts.upsert(ratio));
+  ratio.name = "hit-share";
+  ratio.denominator = "alerts_test/total";
+  ratio.threshold = 0.4;
+  ASSERT_TRUE(alerts.upsert(ratio));
+
+  store.append(1 * kSecond, snapshot_at(0, 0, 0.0));
+  store.append(2 * kSecond, snapshot_at(5, 10, 0.0));
+  alerts.evaluate(2 * kSecond);
+  const std::vector<AlertStatus> statuses = alerts.status();
+  ASSERT_EQ(statuses.size(), 2u);
+  // Unknown denominator: 0 by definition, never a division by zero.
+  EXPECT_DOUBLE_EQ(statuses[0].value, 0.0);
+  EXPECT_FALSE(statuses[0].firing);
+  // 5 hits out of 10 totals: ratio 0.5 breaches the 0.4 threshold.
+  EXPECT_DOUBLE_EQ(statuses[1].value, 0.5);
+  EXPECT_TRUE(statuses[1].firing);
+}
+
+TEST(Alerts, UpsertReplacesByNameAndResetsState) {
+  TimeSeriesStore store(64);
+  AlertRules alerts(store);
+  ASSERT_TRUE(alerts.upsert(gauge_rule("depth", 3.0)));
+  store.append(1 * kSecond, snapshot_at(0, 0, 0.0));
+  store.append(2 * kSecond, snapshot_at(0, 0, 9.0));
+  alerts.evaluate(2 * kSecond);
+  ASSERT_EQ(alerts.firing(), 1u);
+
+  // Raising the threshold through upsert starts the rule over.
+  ASSERT_TRUE(alerts.upsert(gauge_rule("depth", 100.0)));
+  EXPECT_EQ(alerts.size(), 1u);
+  const std::vector<AlertStatus> statuses = alerts.status();
+  EXPECT_FALSE(statuses[0].firing);
+  EXPECT_EQ(statuses[0].breached, 0u);
+  EXPECT_EQ(statuses[0].evaluations, 0u);
+  EXPECT_DOUBLE_EQ(statuses[0].rule.threshold, 100.0);
+
+  EXPECT_FALSE(alerts.remove("no-such-rule"));
+  EXPECT_TRUE(alerts.remove("depth"));
+  EXPECT_EQ(alerts.size(), 0u);
+  EXPECT_FALSE(alerts.remove("depth"));
+}
+
+TEST(Alerts, RuleTableIsBounded) {
+  TimeSeriesStore store(8);
+  AlertRules alerts(store);
+  for (std::size_t i = 0; i < AlertRules::kMaxRules; ++i) {
+    ASSERT_TRUE(alerts.upsert(gauge_rule("rule-" + std::to_string(i), 1.0)));
+  }
+  EXPECT_EQ(alerts.size(), AlertRules::kMaxRules);
+  std::string error;
+  EXPECT_FALSE(alerts.upsert(gauge_rule("one-too-many", 1.0), &error));
+  EXPECT_NE(error.find("full"), std::string::npos);
+  // Replacing an existing rule still works at capacity.
+  EXPECT_TRUE(alerts.upsert(gauge_rule("rule-0", 2.0)));
+  EXPECT_EQ(alerts.size(), AlertRules::kMaxRules);
+}
+
+#else  // MUERP_TELEMETRY_ENABLED
+
+TEST(Alerts, StubValidatesButStoresNothing) {
+  TimeSeriesStore store(8);
+  AlertRules alerts(store);
+  std::string error;
+  EXPECT_TRUE(alerts.upsert(gauge_rule("depth", 3.0), &error)) << error;
+  EXPECT_EQ(alerts.size(), 0u);
+  EXPECT_TRUE(alerts.status().empty());
+  alerts.evaluate(1);
+  EXPECT_EQ(alerts.firing(), 0u);
+  EXPECT_EQ(alerts.evaluations(), 0u);
+  EXPECT_FALSE(alerts.remove("depth"));
+
+  // Malformed rules are still client errors in an OFF build.
+  AlertRule bad = gauge_rule("", 1.0);
+  EXPECT_FALSE(alerts.upsert(bad, &error));
+  EXPECT_EQ(error, "rule name must be non-empty");
+
+  const auto doc = json::parse(alerts_json(alerts.status()));
+  ASSERT_TRUE(doc.ok()) << doc.error;
+  EXPECT_DOUBLE_EQ(doc.value["firing"].number_value, 0.0);
+}
+
+#endif  // MUERP_TELEMETRY_ENABLED
+
+}  // namespace
+}  // namespace muerp::support::telemetry

@@ -277,6 +277,50 @@ TEST(HttpExporter, RangeApiServesSeriesFromAttachedStore) {
   EXPECT_TRUE(listed);
 }
 
+TEST(HttpExporter, RangeApiClampsWindowsBeyondRetainedHistory) {
+  static const Counter counter("http_test/range_clamp_counter");
+  constexpr std::uint64_t kSecond = 1'000'000'000ull;
+
+  TimeSeriesStore store(16);
+  Snapshot cumulative;
+  cumulative.counters.resize(counter.id() + 1, 0);
+  store.append(100 * kSecond, cumulative);  // baseline
+  cumulative.counters[counter.id()] = 7;
+  store.append(101 * kSecond, cumulative);
+  cumulative.counters[counter.id()] = 9;
+  store.append(150 * kSecond, cumulative);
+
+  HttpExporter exporter;
+  exporter.set_time_series(&store);
+  ASSERT_TRUE(exporter.start());
+
+  // A window far larger than the retained span: the start saturates to the
+  // oldest sample instead of underflowing past t = 0, and every sample is
+  // served.
+  const std::string wide_body = body_of(http_get(
+      exporter.port(),
+      "/api/v1/range?metric=http_test/range_clamp_counter"
+      "&window=86400&step=86400"));
+  const auto wide_doc = json::parse(wide_body);
+  ASSERT_TRUE(wide_doc.ok()) << wide_doc.error;
+  EXPECT_EQ(wide_doc.value["kind"].string_value, "counter");
+  ASSERT_FALSE(wide_doc.value["points"].elements.empty());
+
+  // A small window anchored at the newest sample (t = 150 s) excludes the
+  // burst of 7 increments recorded around t = 101 s: only the final 2
+  // increments remain visible.
+  const std::string narrow_body = body_of(http_get(
+      exporter.port(),
+      "/api/v1/range?metric=http_test/range_clamp_counter"
+      "&window=10&step=10"));
+  const auto narrow_doc = json::parse(narrow_body);
+  ASSERT_TRUE(narrow_doc.ok()) << narrow_doc.error;
+  const auto& narrow_points = narrow_doc.value["points"].elements;
+  ASSERT_EQ(narrow_points.size(), 1u);
+  EXPECT_DOUBLE_EQ(narrow_points[0]["t_s"].number_value, 150.0);
+  EXPECT_DOUBLE_EQ(narrow_points[0]["value"].number_value, 2.0 / 10.0);
+}
+
 #else  // MUERP_TELEMETRY_ENABLED
 
 TEST(HttpExporter, RangeApiServesEmptySeriesWhenTelemetryOff) {

@@ -242,11 +242,12 @@ TEST(MuerpdSmoke, SigtermDrainsAndWritesSnapshot) {
 /// envelope (ok() false on transport failure — asserted by callers).
 muerp::support::json::ParseResult ctl(std::uint16_t port,
                                       const std::string& cmd,
-                                      const std::string& args_json = "") {
+                                      const std::string& args_json = "",
+                                      const std::string& token = "") {
   muerp::ctl::HttpResult result;
   std::string error;
   if (!muerp::ctl::ctl_request(std::to_string(port), cmd, args_json, &result,
-                               &error)) {
+                               &error, token)) {
     muerp::support::json::ParseResult failed;
     failed.error = "transport: " + error;
     return failed;
@@ -508,6 +509,322 @@ TEST(MuerpdSmoke, MuerpctlCtlTalksToTheDaemon) {
   const int exit_status = wait_exit(daemon.pid, 10000);
   ASSERT_NE(exit_status, -1);
   std::fclose(daemon.out);
+}
+
+/// Body of a raw HTTP response captured by http_get.
+std::string body_of(const std::string& response) {
+  const std::size_t at = response.find("\r\n\r\n");
+  return at == std::string::npos ? std::string() : response.substr(at + 4);
+}
+
+/// Runs a muerpctl command line, captures stdout, returns the exit code.
+int run_muerpctl(const std::string& args, std::string* output) {
+  const std::string command =
+      std::string(MUERPCTL_BINARY) + " " + args + " 2>/dev/null";
+  FILE* pipe = ::popen(command.c_str(), "r");
+  if (pipe == nullptr) return -1;
+  char line[512];
+  while (std::fgets(line, sizeof line, pipe) != nullptr) *output += line;
+  const int status = ::pclose(pipe);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(MuerpdSmoke, FlightRecorderAndAlertsServeTheTail) {
+  // A starved fabric under heavy load: 3 qubits per switch refuse many
+  // groups outright, a weak swap and a 4-slot timeout expire most admitted
+  // sessions — both tail shapes (rejection, timeout) occur within the first
+  // few hundred milliseconds and a rejection burn-rate SLO has real traffic
+  // to breach on.
+  DaemonProcess daemon = spawn_muerpd(
+      {"--port", "0", "--slots", "0", "--slot-ms", "1", "--arrival", "0.9",
+       "--switches", "30", "--users", "8", "--qubits", "3", "--swap", "0.5",
+       "--timeout", "4", "--seed", "11", "--sample-interval-ms", "50"});
+  ASSERT_GT(daemon.pid, 0);
+  const std::uint16_t port = read_serving_port(daemon.out);
+  ASSERT_NE(port, 0);
+  // Enough wall time for sessions to reject/time out and for the sampler to
+  // evaluate the alert table at least three times (burn-rate for_count 3).
+  ::usleep(700 * 1000);
+
+#if MUERP_TELEMETRY_ENABLED
+  // ctl sessions: both tail states are retrievable with full records.
+  auto doc = ctl(port, "sessions", R"({"state": "rejected", "limit": 5})");
+  ASSERT_TRUE(doc.ok()) << doc.error;
+  ASSERT_TRUE(doc.value["ok"].bool_value) << doc.value["error"].string_value;
+  const auto& rejected = doc.value["result"]["sessions"].elements;
+  ASSERT_FALSE(rejected.empty());
+  EXPECT_EQ(rejected.back()["state"].string_value, "rejected");
+  EXPECT_NE(rejected.back()["reject_reason"].string_value, "none");
+  const std::uint64_t rejected_id =
+      static_cast<std::uint64_t>(rejected.back()["id"].number_value);
+
+  doc = ctl(port, "sessions", R"({"state": "timed_out", "limit": 5})");
+  ASSERT_TRUE(doc.ok()) << doc.error;
+  ASSERT_TRUE(doc.value["ok"].bool_value) << doc.value["error"].string_value;
+  const auto& timed_out = doc.value["result"]["sessions"].elements;
+  ASSERT_FALSE(timed_out.empty());
+  EXPECT_EQ(timed_out.back()["state"].string_value, "timed_out");
+  EXPECT_GT(timed_out.back()["held_slots"].number_value, 0.0);
+  const std::uint64_t timed_out_id =
+      static_cast<std::uint64_t>(timed_out.back()["id"].number_value);
+
+  // Single-record lookup by id, as a record and as a Chrome trace.
+  doc = ctl(port, "session",
+            "{\"id\": " + std::to_string(rejected_id) + "}");
+  ASSERT_TRUE(doc.value["ok"].bool_value);
+  EXPECT_EQ(doc.value["result"]["state"].string_value, "rejected");
+  EXPECT_TRUE(doc.value["result"]["group"].is_array());
+  doc = ctl(port, "session",
+            "{\"id\": " + std::to_string(timed_out_id) +
+                ", \"format\": \"trace\"}");
+  ASSERT_TRUE(doc.value["ok"].bool_value);
+  EXPECT_FALSE(doc.value["result"]["traceEvents"].elements.empty());
+  doc = ctl(port, "session", "{\"id\": 425201762305}");  // lane 99, seq 1
+  EXPECT_FALSE(doc.value["ok"].bool_value);
+  EXPECT_EQ(doc.value["code"].string_value, "not_found");
+
+  // The GET routes serve the same documents.
+  const std::string listed = http_get(
+      port, "/api/v1/sessions?state=timed_out&limit=3");
+  EXPECT_NE(listed.find("HTTP/1.1 200 OK"), std::string::npos);
+  const auto listed_doc = muerp::support::json::parse(body_of(listed));
+  ASSERT_TRUE(listed_doc.ok()) << listed_doc.error;
+  EXPECT_GE(listed_doc.value["count"].number_value, 1.0);
+  const std::string traced = http_get(
+      port, "/api/v1/session/" + std::to_string(timed_out_id) +
+                "?format=trace");
+  EXPECT_NE(traced.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(traced.find("traceEvents"), std::string::npos);
+  EXPECT_NE(http_get(port, "/api/v1/session/425201762305").find("404"),
+            std::string::npos);
+  EXPECT_NE(http_get(port, "/api/v1/session/abc").find("400"),
+            std::string::npos);
+  EXPECT_NE(http_get(port, "/api/v1/sessions?state=bogus").find("400"),
+            std::string::npos);
+
+  // The default rejection-ratio rule is live against the rejected traffic
+  // (this mixed workload rejects ~13% of arrivals — real but sub-threshold).
+  std::string alerts = http_get(port, "/api/v1/alerts");
+  EXPECT_NE(alerts.find("HTTP/1.1 200 OK"), std::string::npos);
+  auto alerts_doc = muerp::support::json::parse(body_of(alerts));
+  ASSERT_TRUE(alerts_doc.ok()) << alerts_doc.error;
+  bool saw_rejection_rule = false;
+  for (const auto& rule : alerts_doc.value["rules"].elements) {
+    if (rule["name"].string_value != "rejection-ratio") continue;
+    saw_rejection_rule = true;
+    EXPECT_GE(rule["evaluations"].number_value, 1.0) << body_of(alerts);
+    EXPECT_GT(rule["value"].number_value, 0.0) << body_of(alerts);
+  }
+  EXPECT_TRUE(saw_rejection_rule);
+
+  // slo verb: list the defaults, then install a burn-rate rule tuned to this
+  // workload and watch it fire on the next sampler evaluation.
+  doc = ctl(port, "slo");
+  ASSERT_TRUE(doc.value["ok"].bool_value);
+  EXPECT_FALSE(doc.value["result"]["rules"].elements.empty());
+  doc = ctl(port, "slo",
+            R"({"action": "set", "name": "smoke-rejections", "kind": "ratio",
+                "metric": "session/rejected", "denominator": "session/arrived",
+                "threshold": 0.05, "for": 1})");
+  ASSERT_TRUE(doc.value["ok"].bool_value) << doc.value["error"].string_value;
+  ::usleep(250 * 1000);  // sampler cadence is 50 ms; one breach fires it
+  alerts = http_get(port, "/api/v1/alerts");
+  alerts_doc = muerp::support::json::parse(body_of(alerts));
+  ASSERT_TRUE(alerts_doc.ok()) << alerts_doc.error;
+  EXPECT_GE(alerts_doc.value["firing"].number_value, 1.0) << body_of(alerts);
+  bool smoke_rule_fired = false;
+  for (const auto& rule : alerts_doc.value["rules"].elements) {
+    if (rule["name"].string_value != "smoke-rejections") continue;
+    smoke_rule_fired = rule["firing"].bool_value;
+    EXPECT_GT(rule["value"].number_value, 0.05) << body_of(alerts);
+  }
+  EXPECT_TRUE(smoke_rule_fired) << body_of(alerts);
+  EXPECT_NE(http_get(port, "/healthz").find("\"alerts_firing\""),
+            std::string::npos);
+
+  // Remove it (twice: the second is a miss).
+  doc = ctl(port, "slo", R"({"action": "remove", "name": "smoke-rejections"})");
+  EXPECT_TRUE(doc.value["ok"].bool_value);
+  doc = ctl(port, "slo", R"({"action": "remove", "name": "smoke-rejections"})");
+  EXPECT_FALSE(doc.value["ok"].bool_value);
+  EXPECT_EQ(doc.value["code"].string_value, "not_found");
+
+  // muerpctl renders the same planes from the command line.
+  std::string output;
+  EXPECT_EQ(run_muerpctl("ctl sessions state=rejected limit=2 --endpoint "
+                         "127.0.0.1:" + std::to_string(port), &output), 0)
+      << output;
+  EXPECT_NE(output.find("\"state\": \"rejected\""), std::string::npos)
+      << output;
+  output.clear();
+  EXPECT_EQ(run_muerpctl("ctl slo --endpoint 127.0.0.1:" +
+                         std::to_string(port), &output), 0) << output;
+  EXPECT_NE(output.find("rejection-ratio"), std::string::npos) << output;
+#else   // MUERP_TELEMETRY_ENABLED
+  // An OFF build serves the same endpoints as empty-but-valid documents.
+  const std::string sessions = http_get(port, "/api/v1/sessions");
+  EXPECT_NE(sessions.find("HTTP/1.1 200 OK"), std::string::npos);
+  const auto sessions_doc = muerp::support::json::parse(body_of(sessions));
+  ASSERT_TRUE(sessions_doc.ok()) << sessions_doc.error;
+  EXPECT_DOUBLE_EQ(sessions_doc.value["count"].number_value, 0.0);
+  EXPECT_TRUE(sessions_doc.value["sessions"].elements.empty());
+  const std::string alerts = http_get(port, "/api/v1/alerts");
+  EXPECT_NE(alerts.find("HTTP/1.1 200 OK"), std::string::npos);
+  const auto alerts_doc = muerp::support::json::parse(body_of(alerts));
+  ASSERT_TRUE(alerts_doc.ok()) << alerts_doc.error;
+  EXPECT_DOUBLE_EQ(alerts_doc.value["firing"].number_value, 0.0);
+#endif  // MUERP_TELEMETRY_ENABLED
+
+  ctl(port, "drain");
+  const int status = wait_exit(daemon.pid, 10000);
+  ASSERT_NE(status, -1) << "daemon did not exit after ctl drain";
+  std::fclose(daemon.out);
+}
+
+TEST(MuerpdSmoke, CtlTokenGuardsThePostPlane) {
+  DaemonProcess daemon = spawn_muerpd(
+      {"--port", "0", "--slots", "0", "--slot-ms", "1", "--arrival", "0.2",
+       "--seed", "23", "--timeout", "40", "--ctl-token", "smoke-secret"});
+  ASSERT_GT(daemon.pid, 0);
+  const std::uint16_t port = read_serving_port(daemon.out);
+  ASSERT_NE(port, 0);
+
+  // No token: the command plane answers 401 with the JSON envelope and a
+  // WWW-Authenticate challenge; nothing executes.
+  auto doc = ctl(port, "status");
+  ASSERT_TRUE(doc.ok()) << doc.error;
+  EXPECT_FALSE(doc.value["ok"].bool_value);
+  EXPECT_EQ(doc.value["code"].string_value, "unauthorized");
+  doc = ctl(port, "status", "", "wrong-token");
+  EXPECT_EQ(doc.value["code"].string_value, "unauthorized");
+
+  // The read-only GET plane stays open — the token guards mutations.
+  EXPECT_NE(http_get(port, "/healthz").find("HTTP/1.1 200 OK"),
+            std::string::npos);
+
+  // The right token goes through.
+  doc = ctl(port, "status", "", "smoke-secret");
+  ASSERT_TRUE(doc.ok()) << doc.error;
+  EXPECT_TRUE(doc.value["ok"].bool_value);
+  EXPECT_EQ(doc.value["result"]["state"].string_value, "running");
+
+  // muerpctl --token end to end: authorized exits 0, bare exits 1.
+  std::string output;
+  EXPECT_EQ(run_muerpctl("ctl status --token smoke-secret --endpoint "
+                         "127.0.0.1:" + std::to_string(port), &output), 0)
+      << output;
+  EXPECT_NE(output.find("\"ok\": true"), std::string::npos) << output;
+  output.clear();
+  EXPECT_EQ(run_muerpctl("ctl status --endpoint 127.0.0.1:" +
+                         std::to_string(port), &output), 1) << output;
+  EXPECT_NE(output.find("unauthorized"), std::string::npos) << output;
+
+  ctl(port, "drain", "", "smoke-secret");
+  const int status = wait_exit(daemon.pid, 10000);
+  ASSERT_NE(status, -1) << "daemon did not exit after ctl drain";
+  std::fclose(daemon.out);
+}
+
+TEST(MuerpdSmoke, SamplerSurvivesRetuneWhilePaused) {
+  DaemonProcess daemon = spawn_muerpd(
+      {"--port", "0", "--slots", "0", "--slot-ms", "1", "--arrival", "0.2",
+       "--seed", "29", "--timeout", "40", "--sample-interval-ms", "500"});
+  ASSERT_GT(daemon.pid, 0);
+  const std::uint16_t port = read_serving_port(daemon.out);
+  ASSERT_NE(port, 0);
+
+  // Pause the loop, retune the sampler while paused, resume. The restart
+  // must take even though the slot loop is not playing.
+  auto doc = ctl(port, "pause");
+  ASSERT_TRUE(doc.ok()) << doc.error;
+  ASSERT_TRUE(doc.value["ok"].bool_value);
+  doc = ctl(port, "set", R"({"name": "sample-interval-ms", "value": 50})");
+  ASSERT_TRUE(doc.ok()) << doc.error;
+  EXPECT_TRUE(doc.value["ok"].bool_value) << doc.value["error"].string_value;
+  doc = ctl(port, "get", R"({"name": "sample-interval-ms"})");
+  EXPECT_TRUE(doc.value["ok"].bool_value);
+#if MUERP_TELEMETRY_ENABLED
+  // The stub sampler of an OFF build reports interval 0; only a real
+  // sampler echoes the retuned cadence back.
+  EXPECT_DOUBLE_EQ(doc.value["result"].number_value, 50.0);
+#endif
+  doc = ctl(port, "resume");
+  EXPECT_TRUE(doc.value["ok"].bool_value);
+
+#if MUERP_TELEMETRY_ENABLED
+  // Samples keep accumulating on the new 50 ms cadence.
+  const auto samples_of = [port] {
+    const auto doc = muerp::support::json::parse(
+        body_of(http_get(port, "/api/v1/metrics")));
+    return doc.ok() ? doc.value["samples"].number_value : -1.0;
+  };
+  const double before = samples_of();
+  ASSERT_GE(before, 0.0);
+  ::usleep(400 * 1000);
+  EXPECT_GT(samples_of(), before);
+#endif
+
+  ctl(port, "drain");
+  const int status = wait_exit(daemon.pid, 10000);
+  ASSERT_NE(status, -1) << "daemon did not exit after ctl drain";
+  std::fclose(daemon.out);
+}
+
+TEST(MuerpdSmoke, HistoryLifetimeCarriesRejectionOnlyTraffic) {
+  const std::string history_path =
+      ::testing::TempDir() + "muerpd_smoke_rejections.bin";
+  std::remove(history_path.c_str());
+
+  // Run 1: one qubit per switch relays nothing, so every arrival is
+  // rejected — the run's whole story is in the admitted/rejected delta
+  // fields. The unpaced burst finishes inside the 250 ms flush throttle, so
+  // ONLY the forced shutdown flush writes it; dropping that delta (the old
+  // throttle bug) would lose the run entirely.
+  {
+    DaemonProcess first = spawn_muerpd(
+        {"--port", "0", "--slots", "400", "--slot-ms", "0", "--arrival",
+         "0.9", "--switches", "20", "--users", "8", "--qubits", "1",
+         "--seed", "19", "--history", history_path});
+    ASSERT_GT(first.pid, 0);
+    ASSERT_NE(read_serving_port(first.out), 0);
+    char line[256];
+    while (std::fgets(line, sizeof line, first.out) != nullptr) {
+    }
+    std::fclose(first.out);
+    int status = 0;
+    ASSERT_EQ(::waitpid(first.pid, &status, 0), first.pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    ASSERT_EQ(WEXITSTATUS(status), 0);
+  }
+
+  // Run 2 replays the file: run 1's rejections survived the shutdown.
+  DaemonProcess second = spawn_muerpd(
+      {"--port", "0", "--slots", "0", "--slot-ms", "1", "--arrival", "0.0",
+       "--seed", "20", "--history", history_path});
+  ASSERT_GT(second.pid, 0);
+  const std::uint16_t port = read_serving_port(second.out);
+  ASSERT_NE(port, 0);
+  auto doc = ctl(port, "get", R"({"name": "lifetime"})");
+  ASSERT_TRUE(doc.ok()) << doc.error;
+  ASSERT_TRUE(doc.value["ok"].bool_value) << doc.value["error"].string_value;
+  EXPECT_EQ(doc.value["result"]["runs"].number_value, 2.0);
+  EXPECT_GE(doc.value["result"]["slots"].number_value, 400.0);
+  const double arrived = doc.value["result"]["arrived"].number_value;
+  const double rejected = doc.value["result"]["rejected"].number_value;
+  EXPECT_GT(arrived, 0.0);
+  EXPECT_GT(rejected, 0.0);
+
+  // A second forced flush right away (well inside the 250 ms throttle) must
+  // still answer, and totals never go backwards.
+  doc = ctl(port, "get", R"({"name": "lifetime"})");
+  ASSERT_TRUE(doc.value["ok"].bool_value);
+  EXPECT_GE(doc.value["result"]["arrived"].number_value, arrived);
+  EXPECT_GE(doc.value["result"]["rejected"].number_value, rejected);
+
+  ::kill(second.pid, SIGTERM);
+  wait_exit(second.pid, 10000);
+  std::fclose(second.out);
+  std::remove(history_path.c_str());
 }
 
 TEST(MuerpdSmoke, RejectsUnknownAlgorithm) {

@@ -98,6 +98,7 @@ const FlagDef kFlagDefs[] = {
     {"min-rate", "rate floor for the plan subcommand", "0"},
     {"endpoint", "muerpd control endpoint, host:port or port (ctl)",
      "127.0.0.1:9464"},
+    {"token", "bearer token for the ctl API (muerpd --ctl-token)", ""},
 };
 
 const FlagDef* find_flag_def(const std::string& name) {
@@ -440,12 +441,30 @@ std::string token_to_json(const std::string& text) {
   return ctl::json_quote(text);
 }
 
+/// Renders trailing `key=value` positionals as a JSON args object (what the
+/// sessions/slo verbs take). Empty string on a token with no '='; "{}" when
+/// there were none.
+std::string kv_args_json(const std::vector<std::string>& pos,
+                         std::size_t first) {
+  std::string json = "{";
+  for (std::size_t i = first; i < pos.size(); ++i) {
+    const std::size_t eq = pos[i].find('=');
+    if (eq == std::string::npos || eq == 0) return std::string();
+    if (json.size() > 1) json += ", ";
+    json += ctl::json_quote(pos[i].substr(0, eq)) + ": " +
+            token_to_json(pos[i].substr(eq + 1));
+  }
+  return json + "}";
+}
+
 int cmd_ctl(const support::CliParser& cli) {
   const auto& pos = cli.positional();
   if (pos.size() < 2) {
     return usage_fail(
         "ctl needs a verb: status | set <name> <value> | get <name> | "
-        "pause | resume | drain | snapshot | commands");
+        "pause | resume | drain | snapshot | sessions [k=v ...] | "
+        "session <id> [json|trace] | slo [list | set k=v ... | "
+        "remove <name>] | commands");
   }
   const std::string& verb = pos[1];
   std::string args_json;
@@ -462,6 +481,46 @@ int cmd_ctl(const support::CliParser& cli) {
     if (const std::string out = cli.get_string("out"); !out.empty()) {
       args_json = "{\"path\": " + ctl::json_quote(out) + "}";
     }
+  } else if (verb == "sessions") {
+    args_json = kv_args_json(pos, 2);
+    if (args_json.empty()) {
+      return usage_fail(
+          "usage: muerpctl ctl sessions [state=<s>] [lane=<n>] [alg=<name>] "
+          "[min-slot=<n>] [max-slot=<n>] [limit=<n>]");
+    }
+    if (args_json == "{}") args_json.clear();
+  } else if (verb == "session") {
+    if (pos.size() < 3 || pos.size() > 4) {
+      return usage_fail("usage: muerpctl ctl session <id> [json|trace]");
+    }
+    args_json = "{\"id\": " + token_to_json(pos[2]);
+    if (pos.size() == 4) {
+      args_json += ", \"format\": " + ctl::json_quote(pos[3]);
+    }
+    args_json += "}";
+  } else if (verb == "slo") {
+    if (pos.size() == 2 || (pos.size() == 3 && pos[2] == "list")) {
+      // list is the default action — no args needed
+    } else if (pos[2] == "remove") {
+      if (pos.size() != 4) {
+        return usage_fail("usage: muerpctl ctl slo remove <name>");
+      }
+      args_json = "{\"action\": \"remove\", \"name\": " +
+                  ctl::json_quote(pos[3]) + "}";
+    } else if (pos[2] == "set") {
+      const std::string body = kv_args_json(pos, 3);
+      if (body.empty() || body == "{}") {
+        return usage_fail(
+            "usage: muerpctl ctl slo set name=<rule> [kind=<k>] "
+            "[metric=<m>] [denominator=<d>] [quantile=<q>] "
+            "[window-seconds=<s>] [op=above|below] [threshold=<t>] "
+            "[for=<n>] [severity=<s>]");
+      }
+      args_json = "{\"action\": \"set\", " + body.substr(1);
+    } else {
+      return usage_fail(
+          "usage: muerpctl ctl slo [list | set k=v ... | remove <name>]");
+    }
   } else if (pos.size() != 2) {
     return usage_fail("ctl " + verb + " takes no arguments");
   }
@@ -469,7 +528,7 @@ int cmd_ctl(const support::CliParser& cli) {
   ctl::HttpResult result;
   std::string error;
   if (!ctl::ctl_request(cli.get_string("endpoint"), verb, args_json, &result,
-                        &error)) {
+                        &error, cli.get_string("token"))) {
     return usage_fail("cannot reach " + cli.get_string("endpoint") + ": " +
                       error);
   }
@@ -519,8 +578,8 @@ const std::vector<Subcommand>& subcommands() {
        &cmd_sweep},
       {"ctl",
        "drive a live muerpd: status | set | get | pause | resume | drain | "
-       "snapshot | commands",
-       {"endpoint", "out"},
+       "snapshot | sessions | session | slo | commands",
+       {"endpoint", "out", "token"},
        &cmd_ctl},
   };
   return kTable;

@@ -13,14 +13,23 @@
 //                        exact per-window quantiles) against the sampler's
 //                        history ring — what tools/muerptop renders
 //   GET  /api/v1/metrics names the history ring has data for
+//   GET  /api/v1/sessions       per-session flight records (tail-sampled),
+//                        filterable with ?state=&lane=&alg=&min-slot=&
+//                        max-slot=&limit=
+//   GET  /api/v1/session/<id>   one full flight record; ?format=trace
+//                        renders it as a Chrome trace-event document
+//   GET  /api/v1/alerts  the SLO alert-rule table with live firing state
 //   POST /api/v1/ctl     the versioned command API ({"cmd","args"} in, a
 //                        uniform {"ok",...} envelope out) — what
 //                        `muerpctl ctl <verb>` speaks. Verbs: set/get for
 //                        arrival-rate, algorithm, arrival-burst,
 //                        batch-policy, log-level, log-rate,
 //                        sample-interval-ms; lifecycle pause / resume /
-//                        drain / snapshot / status; `commands` lists the
-//                        table with schemas.
+//                        drain / snapshot / status; sessions / session
+//                        query the flight recorder; slo lists/edits alert
+//                        rules; `commands` lists the table with schemas.
+//                        With --ctl-token the route requires a matching
+//                        `Authorization: Bearer` header (401 otherwise).
 //
 // Control commands are applied at tick boundaries only: the HTTP acceptor
 // thread parks each mutation in a ControlMailbox, the slot loop drains the
@@ -113,6 +122,19 @@ const char* run_state_name(RunState state) {
   return "?";
 }
 
+/// Strict decimal parse; false on empty or non-digit input (what the
+/// /api/v1/session/<id> path parameter and query numbers go through).
+bool parse_u64(const std::string& text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
 /// One row of the daemon's settings table: what `ctl set`/`ctl get`
 /// dispatch on. Accessors run on the loop thread (inside a mailbox
 /// action), so they may touch the session service freely.
@@ -184,6 +206,16 @@ int main(int argc, char** argv) {
                "");
   cli.add_flag("snapshot-out",
                "write a final /snapshot.json document here on exit", "");
+  cli.add_flag("ctl-token",
+               "bearer token required on POST /api/v1/ctl (empty = open)", "");
+  cli.add_flag("record-sessions",
+               "per-session flight recorder with tail sampling", "true");
+  cli.add_flag("recorder-capacity",
+               "finalized flight records retained per lane", "512");
+  cli.add_flag("recorder-keep",
+               "happy-path completions kept per 1024 hash draws (the tail — "
+               "rejected/timed-out/drained/slow — is always kept)",
+               "128");
   if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 2;
 
   // Observability knobs first, so network construction already logs.
@@ -290,11 +322,24 @@ int main(int argc, char** argv) {
   if (sample_interval_ms <= 0) return fail("--sample-interval-ms must be > 0");
   if (retention < 2) return fail("--retention must be >= 2");
   const std::string snapshot_out = cli.get_string("snapshot-out");
+  const std::string ctl_token = cli.get_string("ctl-token");
+  const auto recorder_capacity =
+      cli.get_int("recorder-capacity").value_or(512);
+  const auto recorder_keep = cli.get_int("recorder-keep").value_or(128);
+  if (recorder_capacity < 1) return fail("--recorder-capacity must be >= 1");
+  if (recorder_keep < 0 || recorder_keep > 1024) {
+    return fail("--recorder-keep must be in [0, 1024]");
+  }
 
   sim::ShardedSessionServiceConfig sharded_config;
   sharded_config.base = config;
   sharded_config.lane_count = static_cast<std::size_t>(lanes);
   sharded_config.shard_count = static_cast<std::size_t>(shards);
+  sharded_config.record_sessions = cli.get_bool("record-sessions");
+  sharded_config.recorder_capacity =
+      static_cast<std::size_t>(recorder_capacity);
+  sharded_config.recorder_happy_keep_per_1024 =
+      static_cast<std::uint32_t>(recorder_keep);
   sim::ShardedSessionService service(
       *network, sharded_config,
       static_cast<std::uint64_t>(cli.get_int("seed").value_or(1)));
@@ -332,8 +377,13 @@ int main(int argc, char** argv) {
         m.sessions_timed_out - history_flushed.sessions_timed_out;
     record.rejected = m.sessions_rejected - history_flushed.sessions_rejected;
     history_last_append_ns = now;
-    if (record.slots == 0 && record.arrived == 0 && record.completed == 0 &&
-        record.timed_out == 0) {
+    // A forced flush (drain/shutdown, `ctl get lifetime`) must never skip:
+    // the idle check exists only to keep a paused daemon from growing the
+    // file, and it has to cover EVERY delta field — a tick whose only news
+    // was admissions/rejections used to be dropped here and lost on kill.
+    if (!force && record.slots == 0 && record.arrived == 0 &&
+        record.admitted == 0 && record.completed == 0 &&
+        record.timed_out == 0 && record.rejected == 0) {
       return;  // nothing new — don't grow the file while paused/idle
     }
     if (history.append(record)) {
@@ -358,6 +408,16 @@ int main(int argc, char** argv) {
   sampler_options.interval = std::chrono::milliseconds(sample_interval_ms);
   support::telemetry::Sampler sampler(store, sampler_options);
   exporter.set_time_series(&store);
+  // SLO alert engine: the whole rule table is evaluated right after every
+  // registry capture, on the sampler's thread — alerting rides the sampling
+  // the daemon already does. alerts_firing mirrors the count for /healthz
+  // (the health appender reads an atomic instead of taking engine locks).
+  support::telemetry::AlertRules alerts(store);
+  std::atomic<std::uint64_t> alerts_firing{0};
+  sampler.set_after_sample([&alerts, &alerts_firing](std::uint64_t t_ns) {
+    alerts.evaluate(t_ns);
+    alerts_firing.store(alerts.firing(), std::memory_order_relaxed);
+  });
 
   // Lifecycle state, written by mailbox actions on the loop thread, read by
   // the acceptor thread for /healthz and by the loop condition.
@@ -399,7 +459,7 @@ int main(int argc, char** argv) {
   // boot-time name (a counter cannot be renamed mid-flight).
   const std::string algorithm_label =
       config.algorithm.empty() ? "shared-prim" : config.algorithm;
-  exporter.set_health_fields([&health, &run_state, lanes,
+  exporter.set_health_fields([&health, &run_state, &alerts_firing, lanes,
                               shards](std::string& body) {
     body += ", \"state\": \"";
     body += run_state_name(run_state.load(std::memory_order_relaxed));
@@ -420,7 +480,44 @@ int main(int argc, char** argv) {
             std::to_string(health.completed.load(std::memory_order_relaxed));
     body += ", \"lanes\": " + std::to_string(lanes);
     body += ", \"shards\": " + std::to_string(shards);
+    body += ", \"alerts_firing\": " +
+            std::to_string(alerts_firing.load(std::memory_order_relaxed));
   });
+
+  // Default SLO rules every muerpd shares. All burn-rate style (three
+  // consecutive breached samples) so one noisy sample never fires; `ctl
+  // slo set`/`remove` can retune or drop any of them at runtime.
+  {
+    support::telemetry::AlertRule rejections;
+    rejections.name = "rejection-ratio";
+    rejections.kind = support::telemetry::AlertKind::kRatio;
+    rejections.metric = "session/rejected";
+    rejections.denominator = "session/arrived";
+    rejections.threshold = 0.5;
+    rejections.for_count = 3;
+    alerts.upsert(rejections);
+
+    support::telemetry::AlertRule backlog;
+    backlog.name = "scheduler-backlog";
+    backlog.kind = support::telemetry::AlertKind::kGauge;
+    backlog.metric = "muerpd/scheduler/backlog";
+    backlog.threshold = static_cast<double>(tick_batch);
+    backlog.for_count = 3;
+    alerts.upsert(backlog);
+
+    if (slot_ms > 0) {
+      // A paced daemon whose p95 slot latency exceeds the slot period is
+      // falling behind its own grid.
+      support::telemetry::AlertRule p95;
+      p95.name = "slot-p95-us";
+      p95.kind = support::telemetry::AlertKind::kHistogramQuantile;
+      p95.metric = "muerpd/slot_us/" + algorithm_label;
+      p95.quantile = 0.95;
+      p95.threshold = static_cast<double>(slot_ms) * 1000.0;
+      p95.for_count = 3;
+      alerts.upsert(p95);
+    }
+  }
 
   // Event-driven slot loop pacing (constructed before the control plane so
   // the mailbox wake can kick it).
@@ -762,13 +859,298 @@ int main(int argc, char** argv) {
          return ctl::CommandResult::success(registry.describe_json());
        }});
 
+  // Flight-recorder verbs. The recorder is internally locked, so these run
+  // directly on the acceptor thread — a query must keep answering while the
+  // loop thread is blocked in acquire() (no mailbox hop).
+  const auto session_filter_of =
+      [](const support::json::Value& args,
+         support::telemetry::SessionFilter* filter) -> ctl::CommandResult {
+    namespace tel = support::telemetry;
+    filter->limit = 100;
+    if (const auto* v = args.find("state")) {
+      tel::SessionState state;
+      if (!tel::parse_session_state(v->string_value, &state)) {
+        return ctl::CommandResult::failure(
+            ctl::kErrOutOfRange,
+            "unknown state '" + v->string_value +
+                "' (active|completed|timed_out|rejected|drained)");
+      }
+      filter->state = state;
+    }
+    if (const auto* v = args.find("alg")) filter->algorithm = v->string_value;
+    const auto non_negative =
+        [&args](const char* name) -> std::optional<std::uint64_t> {
+      const auto* v = args.find(name);
+      if (v == nullptr || v->number_value < 0) return std::nullopt;
+      return static_cast<std::uint64_t>(v->number_value);
+    };
+    for (const char* name : {"lane", "min-slot", "max-slot", "limit"}) {
+      if (args.find(name) != nullptr && !non_negative(name)) {
+        return ctl::CommandResult::failure(
+            ctl::kErrOutOfRange, std::string(name) + " must be >= 0");
+      }
+    }
+    if (const auto v = non_negative("lane")) {
+      filter->lane = static_cast<std::uint32_t>(*v);
+    }
+    if (const auto v = non_negative("min-slot")) filter->min_slot = *v;
+    if (const auto v = non_negative("max-slot")) filter->max_slot = *v;
+    if (const auto v = non_negative("limit")) {
+      filter->limit = static_cast<std::size_t>(*v);
+    }
+    return ctl::CommandResult::success();
+  };
+  registry.add(
+      {"sessions",
+       "flight-recorder records (tail-sampled; rejections and timeouts are "
+       "always kept)",
+       {{"state", ctl::ArgType::kString, false,
+         "active|completed|timed_out|rejected|drained"},
+        {"lane", ctl::ArgType::kInt, false, "only this lane"},
+        {"alg", ctl::ArgType::kString, false,
+         "only this admission algorithm"},
+        {"min-slot", ctl::ArgType::kInt, false, "arrival slot >= this"},
+        {"max-slot", ctl::ArgType::kInt, false, "arrival slot <= this"},
+        {"limit", ctl::ArgType::kInt, false,
+         "keep only the last n matches (default 100; 0 = all)"}},
+       [&service, session_filter_of](const support::json::Value& args) {
+         support::telemetry::SessionFilter filter;
+         if (const auto parsed = session_filter_of(args, &filter); !parsed.ok) {
+           return parsed;
+         }
+         return ctl::CommandResult::success(
+             support::telemetry::session_records_json(
+                 service.session_records(filter),
+                 service.session_record_stats()));
+       }});
+  registry.add(
+      {"session",
+       "one full flight record by id (as `sessions` reports them)",
+       {{"id", ctl::ArgType::kInt, true, "record id (lane << 32 | seq)"},
+        {"format", ctl::ArgType::kString, false,
+         "json (default) or trace (Chrome trace-event document)"}},
+       [&service](const support::json::Value& args) {
+         namespace tel = support::telemetry;
+         if (args["id"].number_value < 0) {
+           return ctl::CommandResult::failure(ctl::kErrOutOfRange,
+                                              "id must be >= 0");
+         }
+         const auto id = static_cast<std::uint64_t>(args["id"].number_value);
+         const auto record = service.find_session_record(id);
+         if (!record) {
+           return ctl::CommandResult::failure(
+               ctl::kErrNotFound,
+               "no flight record with id " + std::to_string(id));
+         }
+         std::string fmt = "json";
+         if (const auto* v = args.find("format")) fmt = v->string_value;
+         if (fmt == "trace") {
+           return ctl::CommandResult::success(tel::session_trace_json(*record));
+         }
+         if (fmt != "json") {
+           return ctl::CommandResult::failure(ctl::kErrOutOfRange,
+                                              "format must be json|trace");
+         }
+         return ctl::CommandResult::success(tel::session_record_json(*record));
+       }});
+  registry.add(
+      {"slo",
+       "alert-rule table: list (default), set a rule, or remove one",
+       {{"action", ctl::ArgType::kString, false, "list|set|remove"},
+        {"name", ctl::ArgType::kString, false, "rule name (set/remove)"},
+        {"kind", ctl::ArgType::kString, false,
+         "counter-rate|gauge|histogram-quantile|ratio (set)"},
+        {"metric", ctl::ArgType::kString, false,
+         "counter/gauge/histogram name; ratio numerator (set)"},
+        {"denominator", ctl::ArgType::kString, false,
+         "ratio denominator counter (set, kind=ratio)"},
+        {"quantile", ctl::ArgType::kNumber, false,
+         "quantile in [0, 1] (set, kind=histogram-quantile; default 0.95)"},
+        {"window-seconds", ctl::ArgType::kNumber, false,
+         "trailing evaluation window (set; default 60)"},
+        {"op", ctl::ArgType::kString, false,
+         "above|below (set; default above)"},
+        {"threshold", ctl::ArgType::kNumber, false, "breach threshold (set)"},
+        {"for", ctl::ArgType::kInt, false,
+         "consecutive breached samples before firing (set; default 1)"},
+        {"severity", ctl::ArgType::kString, false,
+         "free-form label surfaced with the alert (set; default warning)"}},
+       [&alerts](const support::json::Value& args) {
+         namespace tel = support::telemetry;
+         std::string action = "list";
+         if (const auto* v = args.find("action")) action = v->string_value;
+         if (action == "list") {
+           return ctl::CommandResult::success(
+               tel::alerts_json(alerts.status()));
+         }
+         const auto* name = args.find("name");
+         if (name == nullptr || name->string_value.empty()) {
+           return ctl::CommandResult::failure(
+               ctl::kErrBadArg, "slo " + action + " needs name=<rule>");
+         }
+         if (action == "remove") {
+           if (!alerts.remove(name->string_value)) {
+             return ctl::CommandResult::failure(
+                 ctl::kErrNotFound,
+                 "no alert rule named '" + name->string_value + "'");
+           }
+           return ctl::CommandResult::success(
+               "{\"removed\": " + ctl::json_quote(name->string_value) + "}");
+         }
+         if (action != "set") {
+           return ctl::CommandResult::failure(
+               ctl::kErrOutOfRange,
+               "unknown action '" + action + "' (list|set|remove)");
+         }
+         tel::AlertRule rule;
+         rule.name = name->string_value;
+         if (const auto* v = args.find("kind")) {
+           if (!tel::parse_alert_kind(v->string_value, &rule.kind)) {
+             return ctl::CommandResult::failure(
+                 ctl::kErrOutOfRange,
+                 "unknown kind '" + v->string_value +
+                     "' (counter-rate|gauge|histogram-quantile|ratio)");
+           }
+         }
+         if (const auto* v = args.find("metric")) rule.metric = v->string_value;
+         if (const auto* v = args.find("denominator")) {
+           rule.denominator = v->string_value;
+         }
+         if (const auto* v = args.find("quantile")) {
+           rule.quantile = v->number_value;
+         }
+         if (const auto* v = args.find("window-seconds")) {
+           if (!(v->number_value > 0)) {
+             return ctl::CommandResult::failure(ctl::kErrOutOfRange,
+                                                "window-seconds must be > 0");
+           }
+           rule.window_ns = static_cast<std::uint64_t>(v->number_value * 1e9);
+         }
+         if (const auto* v = args.find("op")) {
+           if (!tel::parse_alert_op(v->string_value, &rule.op)) {
+             return ctl::CommandResult::failure(
+                 ctl::kErrOutOfRange,
+                 "unknown op '" + v->string_value + "' (above|below)");
+           }
+         }
+         if (const auto* v = args.find("threshold")) {
+           rule.threshold = v->number_value;
+         }
+         if (const auto* v = args.find("for")) {
+           if (v->number_value < 1) {
+             return ctl::CommandResult::failure(ctl::kErrOutOfRange,
+                                                "for must be >= 1");
+           }
+           rule.for_count = static_cast<std::uint32_t>(v->number_value);
+         }
+         if (const auto* v = args.find("severity")) {
+           rule.severity = v->string_value;
+         }
+         std::string rule_error;
+         if (!alerts.upsert(rule, &rule_error)) {
+           return ctl::CommandResult::failure(ctl::kErrOutOfRange, rule_error);
+         }
+         return ctl::CommandResult::success(tel::alerts_json(alerts.status()));
+       }});
+
   exporter.add_route(
       "POST", "/api/v1/ctl",
-      [&registry](const support::telemetry::HttpRequest& request) {
+      [&registry, &ctl_token](const support::telemetry::HttpRequest& request) {
+        // With --ctl-token the control plane requires a matching bearer
+        // token; read-only GET endpoints stay open (observability is not a
+        // mutation). 401 carries the same envelope shape clients already
+        // parse, with the stable unauthorized code.
+        if (!ctl_token.empty() &&
+            request.authorization != "Bearer " + ctl_token) {
+          return support::telemetry::HttpExporter::response(
+              401, "application/json",
+              "{\"ok\": false, \"code\": \"unauthorized\", \"error\": "
+              "\"missing or wrong bearer token (--ctl-token)\"}\n",
+              "WWW-Authenticate: Bearer\r\n");
+        }
         // Every outcome — success or failure — is HTTP 200 with the
         // envelope carrying ok/code; transport-level errors stay HTTP.
         return support::telemetry::HttpExporter::response(
             200, "application/json", registry.dispatch(request.body));
+      });
+  // Flight-recorder + alert pages share the ctl verbs' renderers, so curl
+  // and muerpctl see identical documents (and an OFF build serves
+  // empty-but-valid ones).
+  exporter.add_route(
+      "GET", "/api/v1/sessions",
+      [&service](const support::telemetry::HttpRequest& request) {
+        namespace tel = support::telemetry;
+        tel::SessionFilter filter;
+        filter.limit = 100;
+        if (const std::string s = tel::http_query_param(request.query, "state");
+            !s.empty()) {
+          tel::SessionState state;
+          if (!tel::parse_session_state(s, &state)) {
+            return tel::HttpExporter::response(
+                400, "application/json",
+                "{\"error\": \"unknown state '" + s + "'\"}\n");
+          }
+          filter.state = state;
+        }
+        if (const std::string a = tel::http_query_param(request.query, "alg");
+            !a.empty()) {
+          filter.algorithm = a;
+        }
+        std::uint64_t number = 0;
+        if (const std::string l = tel::http_query_param(request.query, "lane");
+            !l.empty() && parse_u64(l, &number)) {
+          filter.lane = static_cast<std::uint32_t>(number);
+        }
+        if (const std::string l =
+                tel::http_query_param(request.query, "min-slot");
+            !l.empty() && parse_u64(l, &number)) {
+          filter.min_slot = number;
+        }
+        if (const std::string l =
+                tel::http_query_param(request.query, "max-slot");
+            !l.empty() && parse_u64(l, &number)) {
+          filter.max_slot = number;
+        }
+        if (const std::string l = tel::http_query_param(request.query, "limit");
+            !l.empty() && parse_u64(l, &number)) {
+          filter.limit = static_cast<std::size_t>(number);
+        }
+        return tel::HttpExporter::response(
+            200, "application/json",
+            tel::session_records_json(service.session_records(filter),
+                                      service.session_record_stats()));
+      });
+  exporter.add_prefix_route(
+      "GET", "/api/v1/session/",
+      [&service](const support::telemetry::HttpRequest& request) {
+        namespace tel = support::telemetry;
+        const std::string id_text =
+            request.path.substr(sizeof("/api/v1/session/") - 1);
+        std::uint64_t id = 0;
+        if (!parse_u64(id_text, &id)) {
+          return tel::HttpExporter::response(
+              400, "application/json",
+              "{\"error\": \"session id must be a decimal integer\"}\n");
+        }
+        const auto record = service.find_session_record(id);
+        if (!record) {
+          return tel::HttpExporter::response(
+              404, "application/json",
+              "{\"error\": \"no such session record\"}\n");
+        }
+        if (tel::http_query_param(request.query, "format") == "trace") {
+          return tel::HttpExporter::response(200, "application/json",
+                                             tel::session_trace_json(*record));
+        }
+        return tel::HttpExporter::response(
+            200, "application/json", tel::session_record_json(*record) + "\n");
+      });
+  exporter.add_route(
+      "GET", "/api/v1/alerts",
+      [&alerts](const support::telemetry::HttpRequest&) {
+        return support::telemetry::HttpExporter::response(
+            200, "application/json",
+            support::telemetry::alerts_json(alerts.status()));
       });
 
   std::string error;
@@ -803,6 +1185,11 @@ int main(int argc, char** argv) {
                                                       algorithm_label);
   const support::telemetry::Histogram slot_us_histogram("muerpd/slot_us/" +
                                                         algorithm_label);
+  // Scheduler-lag gauges: due-but-unplayed slots and how far past the grid
+  // the next deadline is. Sampled into the time-series plane, where the
+  // scheduler-backlog default alert rule watches the backlog level.
+  const support::telemetry::Gauge backlog_gauge("muerpd/scheduler/backlog");
+  const support::telemetry::Gauge overrun_gauge("muerpd/scheduler/overrun_us");
 
   // Event-driven slot loop: drain control commands at the tick boundary,
   // block until the next slot on the fixed grid is due, play every due slot
@@ -852,6 +1239,8 @@ int main(int argc, char** argv) {
     requests_counter.add(tick.arrivals);
     admitted_counter.add(tick.admissions);
     if (tick.completed > 0) completed_counter.add(tick.completed);
+    backlog_gauge.set(static_cast<double>(scheduler.backlog()));
+    overrun_gauge.set(static_cast<double>(scheduler.overrun_ns()) / 1e3);
     publish_health();
     flush_history(false);
     if (state == RunState::kDraining &&
@@ -891,6 +1280,10 @@ int main(int argc, char** argv) {
       publish_health();
     }
   }
+  // Sessions still in flight when the daemon exits are finalized as
+  // drained flight records — "killed mid-run" stays distinguishable from
+  // "timed out" in the recorder.
+  service.finalize_session_records();
   flush_history(true);
   history.close();
 

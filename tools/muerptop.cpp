@@ -345,6 +345,40 @@ int main(int argc, char** argv) {
                  ascii, width);
     }
 
+    // Failure panel: the flight recorder's always-kept tail — the most
+    // recent rejections and timeouts, one line each. Absent endpoint
+    // (older daemon) or empty recorder just renders "(none)".
+    frame += "recent failures (alerts firing " +
+             std::to_string(
+                 static_cast<long>(h["alerts_firing"].number_value)) +
+             ")\n";
+    bool any_failure = false;
+    for (const char* state : {"rejected", "timed_out"}) {
+      HttpResponse sessions;
+      if (!http_get(host, port,
+                    std::string("/api/v1/sessions?limit=3&state=") + state,
+                    &sessions, &error) ||
+          sessions.status != 200) {
+        continue;
+      }
+      const auto doc = muerp::support::json::parse(sessions.body);
+      if (!doc.ok()) continue;
+      for (const auto& record : doc.value["sessions"].elements) {
+        char line[160];
+        std::snprintf(
+            line, sizeof line,
+            "  #%-12.0f slot %-8.0f %-9s reason %-16s group %zu  %s\n",
+            record["id"].number_value, record["arrival_slot"].number_value,
+            record["state"].string_value.c_str(),
+            record["reject_reason"].string_value.c_str(),
+            record["group"].elements.size(),
+            record["algorithm"].string_value.c_str());
+        frame += line;
+        any_failure = true;
+      }
+    }
+    if (!any_failure) frame += "  (none)\n";
+
     if (!once && rendered) std::cout << "\x1b[2J\x1b[H";
     std::cout << frame << std::flush;
     rendered = true;
