@@ -66,6 +66,7 @@
 #include "support/telemetry/export.hpp"   // IWYU pragma: export
 #include "support/telemetry/flight_recorder.hpp"  // IWYU pragma: export
 #include "support/telemetry/http_exporter.hpp"  // IWYU pragma: export
+#include "support/telemetry/link_ledger.hpp"  // IWYU pragma: export
 #include "support/telemetry/sampler.hpp"  // IWYU pragma: export
 #include "support/telemetry/telemetry.hpp"  // IWYU pragma: export
 #include "support/telemetry/timeseries.hpp"  // IWYU pragma: export

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <map>
 #include <sstream>
 
@@ -47,7 +48,52 @@ Mapper fit(const QuantumNetwork& network, const SvgOptions& options) {
   return {scale, options.margin_px, options.margin_px, min_x, min_y};
 }
 
+/// Minimal XML text escaping for user-supplied strings (the title).
+std::string xml_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
 }  // namespace
+
+std::string heat_color(double utilization) {
+  const double u = std::clamp(utilization, 0.0, 1.0);
+  // Anchor colours: green #2c7a4b -> amber #e6b41e -> red #c0392b.
+  constexpr int kGreen[3] = {0x2c, 0x7a, 0x4b};
+  constexpr int kAmber[3] = {0xe6, 0xb4, 0x1e};
+  constexpr int kRed[3] = {0xc0, 0x39, 0x2b};
+  const int* lo = u < 0.5 ? kGreen : kAmber;
+  const int* hi = u < 0.5 ? kAmber : kRed;
+  const double t = u < 0.5 ? u * 2.0 : (u - 0.5) * 2.0;
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "#%02x%02x%02x",
+                static_cast<int>(std::lround(lo[0] + (hi[0] - lo[0]) * t)),
+                static_cast<int>(std::lround(lo[1] + (hi[1] - lo[1]) * t)),
+                static_cast<int>(std::lround(lo[2] + (hi[2] - lo[2]) * t)));
+  return buf;
+}
 
 std::string to_svg(const QuantumNetwork& network,
                    const EntanglementTree* tree, const SvgOptions& options) {
@@ -74,14 +120,24 @@ std::string to_svg(const QuantumNetwork& network,
   svg << "  <rect width=\"100%\" height=\"100%\" fill=\"#fbfaf7\"/>\n";
 
   // Fibers first (under the nodes).
-  for (const auto& e : network.graph().edges()) {
-    const auto& pa = network.positions()[e.a];
-    const auto& pb = network.positions()[e.b];
-    const auto it = channel_edges.find({e.a, e.b});
+  const auto edges = network.graph().edges();
+  for (EdgeId e = 0; e < edges.size(); ++e) {
+    const auto& edge = edges[e];
+    const auto& pa = network.positions()[edge.a];
+    const auto& pb = network.positions()[edge.b];
+    const auto it = channel_edges.find({edge.a, edge.b});
+    const double heat =
+        options.edge_utilization != nullptr &&
+                e < options.edge_utilization->size()
+            ? std::clamp((*options.edge_utilization)[e], 0.0, 1.0)
+            : 0.0;
     svg << "  <line x1=\"" << m.x(pa.x) << "\" y1=\"" << m.y(pa.y)
         << "\" x2=\"" << m.x(pb.x) << "\" y2=\"" << m.y(pb.y) << "\" stroke=\"";
     if (it != channel_edges.end()) {
       svg << kChannelPalette[it->second % 8] << "\" stroke-width=\"3\"";
+    } else if (heat > 0.0) {
+      svg << heat_color(heat) << "\" stroke-width=\"" << 1.2 + 2.8 * heat
+          << "\"";
     } else {
       svg << "#c9c4ba\" stroke-width=\"1.2\"";
     }
@@ -109,6 +165,11 @@ std::string to_svg(const QuantumNetwork& network,
       if (network.is_switch(v)) svg << ":" << network.qubits(v);
       svg << "</text>\n";
     }
+  }
+  if (!options.title.empty()) {
+    svg << "  <text x=\"" << options.margin_px * 0.25 << "\" y=\"16\""
+        << " font-size=\"13\" font-family=\"sans-serif\" fill=\"#333\">"
+        << xml_escape(options.title) << "</text>\n";
   }
   svg << "</svg>\n";
   return svg.str();

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "network/channel.hpp"
 #include "network/quantum_network.hpp"
@@ -23,7 +24,19 @@ struct SvgOptions {
   /// Node glyph radius in pixels.
   double node_radius_px = 7.0;
   bool label_nodes = true;
+  /// Optional per-edge utilization in [0, 1], indexed by EdgeId. Edges
+  /// with positive utilization are stroked on the heat_color() ramp with
+  /// width scaled by utilization (the live hot-link heatmap); missing or
+  /// zero entries keep the neutral fiber grey. Channel colouring from a
+  /// supplied tree wins over heat on the edges a tree covers.
+  const std::vector<double>* edge_utilization = nullptr;
+  /// Optional caption rendered in the top-left corner, XML-escaped.
+  std::string title;
 };
+
+/// Heat-ramp colour "#rrggbb" for utilization in [0, 1] (clamped):
+/// green -> amber at 0.5 -> red, piecewise-linear in RGB.
+std::string heat_color(double utilization);
 
 /// Renders the network (and optionally a routed tree) as an SVG document.
 std::string to_svg(const QuantumNetwork& network,

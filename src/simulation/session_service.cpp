@@ -1,6 +1,8 @@
 #include "simulation/session_service.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <limits>
 #include <optional>
 #include <stdexcept>
 #include <utility>
@@ -31,7 +33,54 @@ support::telemetry::SessionRecord make_record_draft(
   return draft;
 }
 
+/// Satellite: per-reason rejection counters, one OpenMetrics family per
+/// RejectReason (muerp_muerpd_rejects_<reason> after sanitization).
+void count_reject_reason(support::telemetry::RejectReason reason) {
+  using support::telemetry::RejectReason;
+  switch (reason) {
+    case RejectReason::kNoFeasibleTree:
+      MUERP_COUNTER_INC("muerpd/rejects/no_feasible_tree");
+      break;
+    case RejectReason::kCapacityGuard:
+      MUERP_COUNTER_INC("muerpd/rejects/capacity_guard");
+      break;
+    case RejectReason::kContentionLoss:
+      MUERP_COUNTER_INC("muerpd/rejects/contention_loss");
+      break;
+    case RejectReason::kNone:
+      break;
+  }
+}
+
 }  // namespace
+
+std::vector<int> ledger_edge_capacity(const net::QuantumNetwork& network) {
+  std::vector<int> capacity;
+  capacity.reserve(network.graph().edge_count());
+  for (const auto& e : network.graph().edges()) {
+    int cap = std::numeric_limits<int>::max();
+    if (network.is_switch(e.a)) {
+      cap = std::min(cap, network.channel_capacity(e.a));
+    }
+    if (network.is_switch(e.b)) {
+      cap = std::min(cap, network.channel_capacity(e.b));
+    }
+    // A user-to-user fiber carries at most the one direct channel the pair
+    // shares (§II-D); switch-less edges would otherwise report 0 forever.
+    if (cap == std::numeric_limits<int>::max()) cap = 1;
+    capacity.push_back(std::max(cap, 1));
+  }
+  return capacity;
+}
+
+std::vector<int> ledger_switch_capacity(const net::QuantumNetwork& network) {
+  std::vector<int> capacity;
+  capacity.reserve(network.switches().size());
+  for (const net::NodeId sw : network.switches()) {
+    capacity.push_back(network.qubits(sw));
+  }
+  return capacity;
+}
 
 SessionService::SessionService(const net::QuantumNetwork& network,
                                SessionServiceConfig config, support::Rng& rng)
@@ -59,6 +108,33 @@ SessionService::SessionService(const net::QuantumNetwork& network,
   for (net::NodeId sw : network_->switches()) {
     total_switch_qubits_ += network_->qubits(sw);
   }
+  if (config_.ledger != nullptr) {
+    switch_ordinal_.assign(network_->node_count(), -1);
+    for (std::size_t s = 0; s < network_->switches().size(); ++s) {
+      switch_ordinal_[network_->switches()[s]] = static_cast<std::int32_t>(s);
+    }
+  }
+}
+
+support::telemetry::TreeTouch SessionService::make_touch(
+    const net::EntanglementTree& tree) const {
+  support::telemetry::TreeTouch touch;
+  if (config_.ledger == nullptr) return touch;
+  for (const net::Channel& ch : tree.channels) {
+    const auto& path = ch.path;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const auto edge = network_->graph().find_edge(path[i], path[i + 1]);
+      if (edge) touch.edges.push_back(static_cast<std::uint32_t>(*edge));
+    }
+    // Interior vertices pledge 2 qubits each (CapacityState::commit_channel).
+    for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+      const std::int32_t ordinal = switch_ordinal_[path[i]];
+      if (ordinal >= 0) {
+        touch.switches.push_back(static_cast<std::uint32_t>(ordinal));
+      }
+    }
+  }
+  return touch;
 }
 
 bool SessionService::validate_batch_combination(const std::string& algorithm,
@@ -288,7 +364,11 @@ void SessionService::admit_batch(SlotReport& report) {
   }
 
   // Per-session accounting in admission order, mirroring the single-arrival
-  // path field for field.
+  // path field for field. A rejection is a CONTENTION loss when batch
+  // siblings were served this slot — the policy granted them the capacity
+  // this group was refused; with nothing served (or a batch of one) the
+  // residual network simply had no feasible tree.
+  const bool contended = batch_groups_.size() > 1 && result.groups_served > 0;
   const char* policy_label = routing::batch_policy_name(config_.batch_policy);
   for (routing::BatchGroupOutcome& outcome : result.outcomes) {
     const std::vector<net::NodeId>& group =
@@ -319,7 +399,12 @@ void SessionService::admit_batch(SlotReport& report) {
         draft.tree_channels = static_cast<std::uint32_t>(tree.channels.size());
         record_id = config_.recorder->open(std::move(draft));
       }
-      active_.push_back({std::move(tree), slot_, size, record_id});
+      auto touch = make_touch(tree);
+      if (config_.ledger != nullptr) {
+        config_.ledger->record_admit(touch, slot_);
+      }
+      active_.push_back(
+          {std::move(tree), slot_, size, record_id, std::move(touch)});
     } else {
       ++totals_.sessions_rejected;
       const double utilization = qubit_utilization();
@@ -334,14 +419,20 @@ void SessionService::admit_batch(SlotReport& report) {
                        field("qubit_utilization", utilization),
                        field("active", active_.size()));
       }
+      const auto reason =
+          contended ? support::telemetry::RejectReason::kContentionLoss
+                    : support::telemetry::RejectReason::kNoFeasibleTree;
+      count_reject_reason(reason);
       if (recording) {
         auto draft = make_record_draft(slot_, group, config_.algorithm,
                                        policy_label);
         draft.work = batch_work;
-        draft.reject_reason =
-            support::telemetry::RejectReason::kNoFeasibleTree;
+        draft.reject_reason = reason;
         draft.saturated = utilization >= 0.9;
         config_.recorder->reject(std::move(draft));
+      }
+      if (config_.ledger != nullptr) {
+        config_.ledger->record_reject(make_touch(tree), contended, slot_);
       }
     }
   }
@@ -435,7 +526,12 @@ SlotReport SessionService::step() {
         draft.tree_channels = static_cast<std::uint32_t>(tree.channels.size());
         record_id = config_.recorder->open(std::move(draft));
       }
-      active_.push_back({std::move(tree), slot_, size, record_id});
+      auto touch = make_touch(tree);
+      if (config_.ledger != nullptr) {
+        config_.ledger->record_admit(touch, slot_);
+      }
+      active_.push_back(
+          {std::move(tree), slot_, size, record_id, std::move(touch)});
     } else {
       ++totals_.sessions_rejected;
       const double utilization = qubit_utilization();
@@ -452,16 +548,20 @@ SlotReport SessionService::step() {
                        field("qubit_utilization", utilization),
                        field("active", active_.size()));
       }
+      const auto reason =
+          capacity_guard ? support::telemetry::RejectReason::kCapacityGuard
+                         : support::telemetry::RejectReason::kNoFeasibleTree;
+      count_reject_reason(reason);
       if (recording) {
         auto draft =
             make_record_draft(slot_, group, config_.algorithm, "single");
         draft.work = admit_work;
-        draft.reject_reason =
-            capacity_guard
-                ? support::telemetry::RejectReason::kCapacityGuard
-                : support::telemetry::RejectReason::kNoFeasibleTree;
+        draft.reject_reason = reason;
         draft.saturated = utilization >= 0.9;
         config_.recorder->reject(std::move(draft));
+      }
+      if (config_.ledger != nullptr) {
+        config_.ledger->record_reject(make_touch(tree), false, slot_);
       }
     }
   }
@@ -504,6 +604,9 @@ SlotReport SessionService::step() {
       }
       for (const net::Channel& ch : session.tree.channels) {
         capacity_.release_channel(ch.path);
+      }
+      if (config_.ledger != nullptr) {
+        config_.ledger->record_release(session.touch, slot_);
       }
       active_[i] = std::move(active_.back());
       active_.pop_back();

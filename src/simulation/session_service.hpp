@@ -36,6 +36,7 @@
 #include "support/rng.hpp"
 #include "support/statistics.hpp"
 #include "support/telemetry/flight_recorder.hpp"
+#include "support/telemetry/link_ledger.hpp"
 #include "support/telemetry/log.hpp"
 
 namespace muerp::sim {
@@ -93,7 +94,25 @@ struct SessionServiceConfig {
   /// draw sequence are bit-identical with and without it — tests assert it.
   /// Must outlive the service.
   support::telemetry::SessionRecorder* recorder = nullptr;
+  /// Optional link ledger: when set, every admission outcome records the
+  /// edges/switches its routed tree touched and every commit/release
+  /// updates per-link occupancy. Like the recorder, the ledger never
+  /// touches the Rng, so admission decisions and the draw sequence are
+  /// bit-identical with and without it — tests assert it. Build it with
+  /// ledger_edge_capacity() / ledger_switch_capacity() over the SAME
+  /// network this service routes on; must outlive the service.
+  support::telemetry::LinkLedger* ledger = nullptr;
 };
+
+/// Per-edge channel capacities for a LinkLedger over `network`: the
+/// smallest channel_capacity() among an edge's switch endpoints, and 1 for
+/// a user-to-user fiber (one direct channel saturates it — the paper's
+/// "adequate fiber capacity" assumption keeps fibers otherwise unbounded).
+std::vector<int> ledger_edge_capacity(const net::QuantumNetwork& network);
+
+/// Per-switch qubit budgets for a LinkLedger over `network`, in
+/// network.switches() order (the ledger's switch ordinal space).
+std::vector<int> ledger_switch_capacity(const net::QuantumNetwork& network);
 
 /// What one step() observed — the per-slot feed a daemon exports.
 struct SlotReport {
@@ -207,6 +226,9 @@ class SessionService {
     std::size_t group_size = 0;
     /// Flight-recorder id (0 when no recorder is attached).
     std::uint64_t record_id = 0;
+    /// Ledger indices this tree occupies (empty when no ledger is
+    /// attached); released with the tree.
+    support::telemetry::TreeTouch touch;
   };
 
   /// Routes one arrival group; returns a feasible tree already committed to
@@ -224,6 +246,11 @@ class SessionService {
   /// (Re)creates the residual view / batch kernel the current algorithm +
   /// intake mode needs — shared by the constructor and the runtime setters.
   void ensure_admission_state();
+
+  /// Ledger indices of every channel traversal (edges) and 2-qubit relay
+  /// pledge (switch ordinals) of `tree` — empty when no ledger is attached.
+  support::telemetry::TreeTouch make_touch(
+      const net::EntanglementTree& tree) const;
 
   /// The constructor-time fair-share validation, reusable by the setters;
   /// returns false with *error when the combination is invalid.
@@ -253,6 +280,9 @@ class SessionService {
   std::vector<double> admit_us_scratch_;
 
   net::CapacityState capacity_;
+  /// NodeId -> ledger switch ordinal (-1 for non-switches); built only
+  /// when a ledger is attached.
+  std::vector<std::int32_t> switch_ordinal_;
   std::vector<ActiveSession> active_;
   ProtocolMetrics totals_;
   support::Accumulator completion_slots_;

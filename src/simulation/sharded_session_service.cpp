@@ -22,6 +22,9 @@ struct ShardedSessionService::Lane {
   /// emplaced before `service` so the config pointer binds to stable
   /// storage.
   std::optional<support::telemetry::SessionRecorder> recorder;
+  /// Per-lane link ledger over this lane's capacity slice (engaged when
+  /// record_links); same stable-storage ordering constraint.
+  std::optional<support::telemetry::LinkLedger> ledger;
   /// Emplaced after network/rng so the service's internal pointers bind to
   /// this Lane's stable storage.
   std::optional<SessionService> service;
@@ -81,6 +84,14 @@ ShardedSessionService::ShardedSessionService(
         "recorder would assign seq numbers nondeterministically across "
         "shards)");
   }
+  if (config_.base.ledger != nullptr) {
+    throw std::invalid_argument(
+        "ShardedSessionServiceConfig: base.ledger must be null — set "
+        "record_links and query link_stats() instead (one shared ledger "
+        "would interleave window accumulation nondeterministically across "
+        "shards)");
+  }
+  network_ = &network;
 
   const support::Rng master(seed);
   lanes_.reserve(config_.lane_count);
@@ -107,6 +118,19 @@ ShardedSessionService::ShardedSessionService(
           config_.recorder_happy_keep_per_1024;
       entry->recorder.emplace(recorder_options);
       lane_config.recorder = &*entry->recorder;
+    }
+    if (config_.record_links) {
+      support::telemetry::LinkLedgerOptions ledger_options;
+      ledger_options.lane = static_cast<std::uint32_t>(lane);
+      ledger_options.window_slots = config_.ledger_window_slots;
+      ledger_options.event_capacity = config_.ledger_event_capacity;
+      // Capacities come from the LANE network: each ledger scores its own
+      // slice, and the merged capacity-weighted view sums back to the full
+      // pool.
+      entry->ledger.emplace(ledger_edge_capacity(entry->network),
+                            ledger_switch_capacity(entry->network),
+                            ledger_options);
+      lane_config.ledger = &*entry->ledger;
     }
     entry->service.emplace(entry->network, std::move(lane_config),
                            entry->rng);
@@ -375,6 +399,54 @@ void ShardedSessionService::finalize_session_records() {
       lane->recorder->finalize_open(lane->service->slot());
     }
   }
+}
+
+std::vector<support::telemetry::LinkStat>
+ShardedSessionService::link_stats() const {
+  std::vector<support::telemetry::LinkStat> merged;
+  for (const auto& lane : lanes_) {
+    if (!lane->ledger) continue;
+    // Lanes run in lockstep, so each lane's own slot is the right "now".
+    support::telemetry::merge_link_stats(
+        merged, lane->ledger->snapshot(lane->service->slot()));
+  }
+  support::telemetry::finalize_merged_link_stats(merged);
+  // Endpoints from the base topology: edge a/b, switch node id in `a`.
+  const auto edges = network_->graph().edges();
+  for (support::telemetry::LinkStat& stat : merged) {
+    if (stat.kind == support::telemetry::LinkKind::kEdge) {
+      stat.a = edges[stat.index].a;
+      stat.b = edges[stat.index].b;
+    } else {
+      stat.a = network_->switches()[stat.index];
+      stat.b = 0;
+    }
+  }
+  return merged;
+}
+
+std::optional<ShardedSessionService::ExplainedSession>
+ShardedSessionService::explain_session(std::uint64_t id) const {
+  const auto record = find_session_record(id);
+  if (!record) return std::nullopt;
+  ExplainedSession out;
+  out.record = *record;
+  // The session routed against ITS lane's capacity slice, so the lane
+  // ledger is the one whose saturation history explains the verdict.
+  const std::size_t lane = static_cast<std::size_t>(id >> 32);
+  if (lane < lanes_.size() && lanes_[lane]->ledger) {
+    out.saturated = lanes_[lane]->ledger->saturated_at(record->arrival_slot);
+  }
+  return out;
+}
+
+support::telemetry::LinkLedger::Stats
+ShardedSessionService::link_ledger_stats() const {
+  support::telemetry::LinkLedger::Stats merged;
+  for (const auto& lane : lanes_) {
+    if (lane->ledger) merged.merge(lane->ledger->stats());
+  }
+  return merged;
 }
 
 }  // namespace muerp::sim

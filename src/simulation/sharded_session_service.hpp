@@ -77,6 +77,16 @@ struct ShardedSessionServiceConfig {
   std::size_t recorder_capacity = 512;
   /// Happy-path keep rate in 1/1024ths (SessionRecorderOptions).
   std::uint32_t recorder_happy_keep_per_1024 = 128;
+  /// Give every lane its own link ledger over its capacity slice
+  /// (base.ledger must be null — one ledger shared across worker threads
+  /// would interleave window accumulation nondeterministically). Queried
+  /// back through link_stats() / explain_session(), which merge lanes in
+  /// index order so documents are bit-identical across shard counts.
+  bool record_links = false;
+  /// Tumbling-window width for per-link windowed utilization.
+  std::uint64_t ledger_window_slots = 64;
+  /// Saturation-transition events retained per lane ledger.
+  std::size_t ledger_event_capacity = 4096;
 };
 
 /// Merged outcome of one run_slots() call, lane-order deterministic.
@@ -192,6 +202,28 @@ class ShardedSessionService {
   /// slot (daemon shutdown). Call between run_slots invocations only.
   void finalize_session_records();
 
+  // -------------------------------------------------------------------------
+  // Link-ledger queries (empty unless record_links). Safe while lanes run —
+  // each ledger takes its own short lock.
+
+  /// Every link's merged view (edges first, then switches, index order):
+  /// counts and capacity summed over lanes, utilizations capacity-weighted,
+  /// endpoints (`a`/`b` / switch node id) filled from the base topology.
+  /// Lane-order merge — bit-identical across shard counts.
+  std::vector<support::telemetry::LinkStat> link_stats() const;
+
+  /// A flight record joined with the links of ITS lane's capacity slice
+  /// that were saturated at its admission slot — the explain document.
+  /// nullopt when the id is unknown (or recording is off).
+  struct ExplainedSession {
+    support::telemetry::SessionRecord record;
+    support::telemetry::SaturatedLinks saturated;
+  };
+  std::optional<ExplainedSession> explain_session(std::uint64_t id) const;
+
+  /// Lane-order merge of every lane ledger's Stats.
+  support::telemetry::LinkLedger::Stats link_ledger_stats() const;
+
   /// Per-shard instrument families registered (min(shard_count, 8) — the
   /// fold keeps the registry's fixed instrument caps safe at any shard
   /// count).
@@ -210,6 +242,9 @@ class ShardedSessionService {
   void step_lane(std::size_t lane, std::uint64_t n);
 
   ShardedSessionServiceConfig config_;
+  /// Base topology (outlives the service per the constructor contract);
+  /// link_stats() reads endpoints from it.
+  const net::QuantumNetwork* network_ = nullptr;
   /// unique_ptr: SessionService keeps pointers to its lane's network and
   /// rng, so Lane addresses must be stable.
   std::vector<std::unique_ptr<Lane>> lanes_;

@@ -35,6 +35,8 @@ const char* reject_reason_name(RejectReason reason) noexcept {
       return "no_feasible_tree";
     case RejectReason::kCapacityGuard:
       return "capacity_guard";
+    case RejectReason::kContentionLoss:
+      return "contention_loss";
   }
   return "?";
 }

@@ -66,6 +66,10 @@ enum class RejectReason : std::uint8_t {
   /// A registry router returned a tree, but the admission guard found it
   /// does not fit the qubits actually free (capacity-oblivious baseline).
   kCapacityGuard = 2,
+  /// Lost the burst contention resolution: the batch policy served at
+  /// least one sibling of the same multi-request batch, so this group was
+  /// refused capacity that batch siblings consumed this very slot.
+  kContentionLoss = 3,
 };
 
 const char* session_state_name(SessionState state) noexcept;

@@ -1,0 +1,308 @@
+// Per-link utilization ledger — the network-plane sibling of the flight
+// recorder.
+//
+// The session plane's single qubit_utilization gauge cannot distinguish a
+// saturated bottleneck fiber from a uniformly warm network. LinkLedger
+// keeps one bounded cell per edge and per switch of a lane's topology:
+// occupancy currently held (channels over an edge, qubits at a switch),
+// admission attempts / wins / contention-losses whose routed tree touched
+// the link, EWMA + tumbling-window utilization, and the slot of the last
+// saturation transition — enough to answer "which links are hot", "which
+// links were saturated when THIS session was rejected", and to drive a
+// live heatmap.
+//
+// Discipline is exactly the flight recorder's: every update is a pure
+// function of the admission outcome and the slot (no Rng draws, no wall
+// clock), writers are per-lane sequential on the lane's own step path, a
+// short mutex guards against concurrent HTTP/ctl readers, and lane-ordered
+// merging in ShardedSessionService makes merged documents bit-identical
+// across shard counts. Windowed state is accumulated LAZILY: each cell
+// remembers the slot its occupancy last changed, so a link untouched for a
+// thousand slots costs nothing until the next touch or query.
+//
+// Saturation history is a bounded ring of {slot, link, entered} transition
+// events; `saturated_at(slot)` reconstructs the saturated set at any past
+// slot by reverse-replaying the ring, reporting `exact = false` once
+// eviction has discarded the history the reconstruction would need.
+//
+// Under -DMUERP_TELEMETRY=OFF the ledger compiles to an inert stub and the
+// JSON renderers below still link, so an OFF daemon serves empty-but-valid
+// topology/links/explain documents.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/telemetry/flight_recorder.hpp"
+
+#ifndef MUERP_TELEMETRY_ENABLED
+#define MUERP_TELEMETRY_ENABLED 1  // standalone use outside the CMake build
+#endif
+
+#if MUERP_TELEMETRY_ENABLED
+#include <deque>
+#include <mutex>
+#endif
+
+namespace muerp::support::telemetry {
+
+/// What a ledger cell describes: a fiber edge or a switch's qubit pool.
+enum class LinkKind : std::uint8_t { kEdge = 0, kSwitch = 1 };
+
+const char* link_kind_name(LinkKind kind) noexcept;
+
+/// One link's ledger view at a query slot. `index` is the EdgeId for edges
+/// and the switch ordinal (position in QuantumNetwork::switches()) for
+/// switches. `a`/`b` are endpoint node ids for edges and the switch node id
+/// in `a` for switches — filled by callers with topology access (the
+/// ledger itself is network-agnostic).
+struct LinkStat {
+  LinkKind kind = LinkKind::kEdge;
+  std::uint32_t index = 0;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  /// Edges: channel capacity (min switch-endpoint channel_capacity, >= 1);
+  /// switches: the lane's qubit budget slice.
+  int capacity = 0;
+  /// Edges: channels currently routed over the fiber; switches: qubits
+  /// currently pledged.
+  int held = 0;
+  /// held / capacity right now (0 when capacity is 0).
+  double utilization = 0.0;
+  /// EWMA of completed-window mean utilization.
+  double ewma_utilization = 0.0;
+  /// Mean utilization over the last COMPLETED tumbling window.
+  double window_utilization = 0.0;
+  /// Admission attempts whose routed tree (feasible or partial) touched
+  /// this link, and how they ended.
+  std::uint64_t attempts = 0;
+  std::uint64_t wins = 0;
+  std::uint64_t contention_losses = 0;
+  /// Slot of the last below→above saturation transition (0 = never).
+  std::uint64_t last_saturation_slot = 0;
+  bool saturated = false;
+
+  friend bool operator==(const LinkStat&, const LinkStat&) = default;
+};
+
+/// The links a routed tree touches, as ledger indices. One `edges` entry
+/// per channel traversal of the edge and one `switches` entry per 2-qubit
+/// relay pledge at the switch — repeats are meaningful for occupancy;
+/// attempt/win counts dedupe internally.
+struct TreeTouch {
+  std::vector<std::uint32_t> edges;
+  std::vector<std::uint32_t> switches;
+
+  bool empty() const noexcept { return edges.empty() && switches.empty(); }
+};
+
+/// Reconstructed saturated set at a past slot (sorted indices). `exact` is
+/// false when the event ring evicted transitions newer than the queried
+/// slot, so the reconstruction could only be best-effort.
+struct SaturatedLinks {
+  bool exact = true;
+  std::vector<std::uint32_t> edges;
+  std::vector<std::uint32_t> switches;
+};
+
+struct LinkLedgerOptions {
+  std::uint32_t lane = 0;
+  /// Tumbling-window width in slots for window_utilization.
+  std::uint64_t window_slots = 64;
+  /// EWMA smoothing per completed window: ewma += alpha * (mean - ewma).
+  double ewma_alpha = 0.25;
+  /// A cell at utilization >= this is saturated.
+  double saturation_threshold = 0.9;
+  /// Saturation transition events retained (oldest evicted beyond this).
+  std::size_t event_capacity = 4096;
+};
+
+/// Sort orders for the hot-links query (`/api/v1/links?sort=`).
+enum class LinkSort : std::uint8_t {
+  kUtil = 0,    ///< utilization desc, then ewma desc
+  kLosses = 1,  ///< contention_losses desc, then attempts - wins desc
+};
+
+/// Parses "util" / "losses"; false on anything else.
+bool parse_link_sort(std::string_view name, LinkSort* out) noexcept;
+
+#if MUERP_TELEMETRY_ENABLED
+
+class LinkLedger {
+ public:
+  /// `edge_capacity[e]` is edge e's channel capacity; `switch_capacity[s]`
+  /// is switch ordinal s's qubit budget. Sizes fix the cell count forever.
+  LinkLedger(std::vector<int> edge_capacity,
+             std::vector<int> switch_capacity,
+             LinkLedgerOptions options = {});
+
+  /// An admitted session's tree was committed at `slot`: occupancy rises
+  /// (one channel per edge entry, two qubits per switch entry) and every
+  /// distinct touched link gains one attempt and one win.
+  void record_admit(const TreeTouch& touch, std::uint64_t slot);
+
+  /// A rejected session's routed (possibly partial) tree touched these
+  /// links at `slot`: one attempt per distinct link, plus one
+  /// contention-loss when the rejection was a batch-contention loss.
+  /// Occupancy is unchanged — a rejected session holds nothing.
+  void record_reject(const TreeTouch& touch, bool contention,
+                     std::uint64_t slot);
+
+  /// The session admitted with `touch` released its tree at `slot`.
+  void record_release(const TreeTouch& touch, std::uint64_t slot);
+
+  /// Every cell's view with windowed state advanced to `now_slot`: edges
+  /// first (index order), then switches. `a`/`b` are left zero — callers
+  /// with topology access fill them.
+  std::vector<LinkStat> snapshot(std::uint64_t now_slot) const;
+
+  /// Saturated set at a (past) slot, via reverse replay of the event ring.
+  SaturatedLinks saturated_at(std::uint64_t slot) const;
+
+  struct Stats {
+    std::uint64_t admits = 0;
+    std::uint64_t rejects = 0;
+    std::uint64_t contention_losses = 0;
+    /// Below→above and above→below transitions recorded.
+    std::uint64_t saturation_events = 0;
+    /// Events discarded by the bounded ring.
+    std::uint64_t evicted_events = 0;
+
+    Stats& merge(const Stats& other) noexcept;
+  };
+  Stats stats() const;
+
+  const LinkLedgerOptions& options() const noexcept { return options_; }
+  std::size_t edge_count() const noexcept { return edge_count_; }
+  std::size_t switch_count() const noexcept { return cells_.size() - edge_count_; }
+
+ private:
+  /// One edge's or switch's bounded state. Windowed accumulation is keyed
+  /// by `last_slot`: occupancy has been `held` since then.
+  struct Cell {
+    int capacity = 0;
+    int held = 0;
+    std::uint64_t attempts = 0;
+    std::uint64_t wins = 0;
+    std::uint64_t contention_losses = 0;
+    std::uint64_t last_saturation_slot = 0;
+    bool saturated = false;
+    std::uint64_t window_index = 0;
+    std::uint64_t last_slot = 0;
+    double window_sum = 0.0;  ///< occupancy-slots accumulated in window_index
+    double window_util = 0.0;
+    double ewma = 0.0;
+  };
+
+  struct Event {
+    std::uint64_t slot = 0;
+    std::uint32_t cell = 0;  ///< flat index: edges, then switches
+    bool entered = false;    ///< saturated after the transition?
+  };
+
+  /// Accumulates occupancy-time into `cell` up to `slot`, completing any
+  /// crossed windows (updates window_util / ewma). Callers hold mutex_.
+  void advance_locked(Cell& cell, std::uint64_t slot) const;
+
+  /// Applies an occupancy delta at `slot` and records any saturation
+  /// transition. Callers hold mutex_.
+  void occupy_locked(std::uint32_t cell_index, int delta, std::uint64_t slot);
+
+  /// Bumps attempt/win/loss counters once per distinct touched cell.
+  /// Callers hold mutex_.
+  void count_attempt_locked(const TreeTouch& touch, bool win,
+                            bool contention);
+
+  LinkLedgerOptions options_;
+  std::size_t edge_count_ = 0;
+  mutable std::mutex mutex_;
+  /// Edges first, then switches — the flat order every query exposes.
+  std::vector<Cell> cells_;
+  std::deque<Event> events_;
+  Stats stats_;
+  /// Scratch for per-attempt dedup (indices touched this call).
+  mutable std::vector<std::uint32_t> dedupe_scratch_;
+};
+
+#else  // MUERP_TELEMETRY_ENABLED
+
+/// Inert stub: instrumented services keep their exact code shape while the
+/// ledger compiles to nothing.
+class LinkLedger {
+ public:
+  LinkLedger(std::vector<int> edge_capacity, std::vector<int>,
+             LinkLedgerOptions options = {})
+      : options_(options), edge_count_(edge_capacity.size()) {}
+
+  void record_admit(const TreeTouch&, std::uint64_t) {}
+  void record_reject(const TreeTouch&, bool, std::uint64_t) {}
+  void record_release(const TreeTouch&, std::uint64_t) {}
+  std::vector<LinkStat> snapshot(std::uint64_t) const { return {}; }
+  SaturatedLinks saturated_at(std::uint64_t) const { return {}; }
+
+  struct Stats {
+    std::uint64_t admits = 0;
+    std::uint64_t rejects = 0;
+    std::uint64_t contention_losses = 0;
+    std::uint64_t saturation_events = 0;
+    std::uint64_t evicted_events = 0;
+
+    Stats& merge(const Stats&) noexcept { return *this; }
+  };
+  Stats stats() const { return {}; }
+
+  const LinkLedgerOptions& options() const noexcept { return options_; }
+  std::size_t edge_count() const noexcept { return edge_count_; }
+  std::size_t switch_count() const noexcept { return 0; }
+
+ private:
+  LinkLedgerOptions options_;
+  std::size_t edge_count_ = 0;
+};
+
+#endif  // MUERP_TELEMETRY_ENABLED
+
+// ---------------------------------------------------------------------------
+// Lane merging and JSON rendering (compiled in both builds, so an OFF
+// daemon serves empty-but-valid documents). Shared by muerpd's HTTP routes
+// and the `muerpctl ctl topology|links|explain` verbs.
+
+/// Accumulates `lane` into `into` position-wise (same topology in every
+/// lane): counts and capacity sum, utilizations accumulate
+/// capacity-weighted (finalize below divides), last_saturation_slot takes
+/// the max, saturated ORs. `into` empty adopts the lane's shape.
+void merge_link_stats(std::vector<LinkStat>& into,
+                      const std::vector<LinkStat>& lane);
+
+/// Divides the weighted utilization sums by merged capacity and recomputes
+/// instantaneous utilization = held / capacity. Call once after the last
+/// merge_link_stats.
+void finalize_merged_link_stats(std::vector<LinkStat>& stats);
+
+/// Sorts descending by the requested key (ties broken by kind then index,
+/// so output is deterministic) and truncates to `limit` (0 = keep all).
+void sort_links(std::vector<LinkStat>& stats, LinkSort sort,
+                std::size_t limit);
+
+/// One link as a JSON object.
+std::string link_stat_json(const LinkStat& stat);
+
+/// {"count": N, "slot": S, "links": [...]}\n — the GET /api/v1/links
+/// document.
+std::string links_json(const std::vector<LinkStat>& stats,
+                       std::uint64_t slot);
+
+/// {"exact": bool, "edges": [...], "switches": [...]} — embedded in the
+/// explain document.
+std::string saturated_links_json(const SaturatedLinks& saturated);
+
+/// {"id": ..., "found": bool, "session": {...}|null,
+///  "saturated_links": {...}}\n — the GET /api/v1/explain/<id> document.
+/// `record` may be null (unknown id, or recording off): the document stays
+/// valid with "found": false.
+std::string explain_json(std::uint64_t id, const SessionRecord* record,
+                         const SaturatedLinks& saturated);
+
+}  // namespace muerp::support::telemetry

@@ -97,5 +97,56 @@ TEST(Svg, DegenerateSingleNode) {
   EXPECT_NE(svg.find("<circle"), std::string::npos);  // no crash, renders
 }
 
+TEST(Svg, EmptyNetworkStillRendersValidDocument) {
+  NetworkBuilder b;
+  const auto net = std::move(b).build({1e-4, 0.9});
+  const std::string svg = to_svg(net);
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_EQ(count_occurrences(svg, "<circle"), 0u);
+  EXPECT_EQ(count_occurrences(svg, "<line"), 0u);
+}
+
+TEST(Svg, TitleIsXmlEscaped) {
+  const auto net = sample();
+  SvgOptions options;
+  options.title = "slot <7> & \"hot\"";
+  const std::string svg = to_svg(net, nullptr, options);
+  EXPECT_NE(svg.find("slot &lt;7&gt; &amp; &quot;hot&quot;"),
+            std::string::npos);
+  EXPECT_EQ(svg.find("<7>"), std::string::npos);  // raw text must not leak
+}
+
+TEST(Svg, HeatColorRampAnchorsAndClamps) {
+  EXPECT_EQ(heat_color(0.0), "#2c7a4b");   // green
+  EXPECT_EQ(heat_color(0.5), "#e6b41e");   // amber
+  EXPECT_EQ(heat_color(1.0), "#c0392b");   // red
+  EXPECT_EQ(heat_color(-3.0), heat_color(0.0));  // clamped
+  EXPECT_EQ(heat_color(2.0), heat_color(1.0));
+  // Midpoints interpolate between adjacent anchors, not across the ramp.
+  EXPECT_NE(heat_color(0.25), heat_color(0.0));
+  EXPECT_NE(heat_color(0.25), heat_color(0.5));
+}
+
+TEST(Svg, UtilizationHeatStrokesHotEdges) {
+  const auto net = sample();
+  SvgOptions options;
+  std::vector<double> utilization = {1.0, 0.0};  // edge 0 hot, edge 1 idle
+  options.edge_utilization = &utilization;
+  const std::string svg = to_svg(net, nullptr, options);
+  // The hot edge takes the red end of the ramp with a widened stroke; the
+  // idle edge keeps the neutral fiber grey.
+  EXPECT_EQ(count_occurrences(svg, heat_color(1.0)), 1u);
+  EXPECT_EQ(count_occurrences(svg, "stroke-width=\"4\""), 1u);  // 1.2+2.8
+  EXPECT_EQ(count_occurrences(svg, "#c9c4ba"), 1u);
+
+  // Channel colouring from a routed tree wins over heat on its edges.
+  const auto tree = routing::conflict_free(net, net.users());
+  ASSERT_TRUE(tree.feasible);
+  const std::string overlay = to_svg(net, &tree, options);
+  EXPECT_EQ(count_occurrences(overlay, "stroke-width=\"3\""), 2u);
+  EXPECT_EQ(count_occurrences(overlay, "stroke-width=\"4\""), 0u);
+}
+
 }  // namespace
 }  // namespace muerp::net

@@ -428,6 +428,114 @@ TEST(ShardedSessionService, RejectsSharedRecorderInBaseConfig) {
   EXPECT_THROW(ShardedSessionService(net, config, 1), std::invalid_argument);
 }
 
+using support::telemetry::LinkLedger;
+using support::telemetry::LinkStat;
+
+ShardedSessionServiceConfig link_config(std::size_t lanes,
+                                        std::size_t shards) {
+  ShardedSessionServiceConfig config = sharded_config(lanes, shards);
+  config.record_links = true;
+  return config;
+}
+
+void expect_ledger_stats_identical(const LinkLedger::Stats& a,
+                                   const LinkLedger::Stats& b) {
+  EXPECT_EQ(a.admits, b.admits);
+  EXPECT_EQ(a.rejects, b.rejects);
+  EXPECT_EQ(a.contention_losses, b.contention_losses);
+  EXPECT_EQ(a.saturation_events, b.saturation_events);
+  EXPECT_EQ(a.evicted_events, b.evicted_events);
+}
+
+TEST(ShardedSessionService, LinkStatsBitIdenticalAcrossShardCounts) {
+  const auto net = sharded_network();
+  std::vector<LinkStat> reference;
+  LinkLedger::Stats reference_stats;
+  bool first = true;
+  for (const std::size_t shards : {1u, 2u, 8u}) {
+    ShardedSessionService service(net, link_config(/*lanes=*/4, shards),
+                                  /*seed=*/21);
+    play(service, 400);
+    std::vector<LinkStat> links = service.link_stats();
+    const LinkLedger::Stats stats = service.link_ledger_stats();
+    if (first) {
+      reference = std::move(links);
+      reference_stats = stats;
+      first = false;
+      ASSERT_FALSE(reference.empty());
+      ASSERT_GT(reference_stats.admits, 0u);
+      // The merged document is live, not vacuous: links were attempted,
+      // won, and accumulated windowed utilization.
+      std::uint64_t attempts = 0;
+      std::uint64_t wins = 0;
+      double ewma = 0.0;
+      for (const LinkStat& link : reference) {
+        attempts += link.attempts;
+        wins += link.wins;
+        ewma += link.ewma_utilization;
+      }
+      ASSERT_GT(attempts, 0u);
+      ASSERT_GT(wins, 0u);
+      ASSERT_GT(ewma, 0.0);
+      continue;
+    }
+    // Full structural equality, every field of every link — the ledger
+    // merge determinism contract (LinkStat has a defaulted operator==).
+    EXPECT_EQ(links, reference);
+    expect_ledger_stats_identical(stats, reference_stats);
+  }
+}
+
+TEST(ShardedSessionService, LedgerDoesNotPerturbAdmissions) {
+  // Ledger ON vs OFF over a long horizon: recording per-link occupancy
+  // must not move a single admission decision (the flight-recorder
+  // bit-identity discipline, applied to the network plane).
+  const auto net = sharded_network();
+  ShardedSessionService ledgered(net, link_config(/*lanes=*/4, /*shards=*/2),
+                                 /*seed=*/33);
+  ShardedSessionService plain(net, sharded_config(/*lanes=*/4, /*shards=*/2),
+                              /*seed=*/33);
+  play(ledgered, 1600);
+  play(plain, 1600);
+  expect_metrics_identical(ledgered.metrics(), plain.metrics());
+  EXPECT_EQ(ledgered.active_sessions(), plain.active_sessions());
+  EXPECT_EQ(ledgered.qubit_utilization(), plain.qubit_utilization());
+  EXPECT_GT(ledgered.link_ledger_stats().admits, 0u);
+  EXPECT_TRUE(plain.link_stats().empty());  // OFF stays empty
+}
+
+TEST(ShardedSessionService, ExplainSessionJoinsLaneLedger) {
+  const auto net = sharded_network();
+  ShardedSessionServiceConfig config = recording_config(/*lanes=*/4,
+                                                        /*shards=*/2);
+  config.record_links = true;
+  // Generous retention so the saturation replay below stays exact.
+  config.ledger_event_capacity = 65536;
+  ShardedSessionService service(net, config, /*seed=*/17);
+  play(service, 300);
+  const std::vector<SessionRecord> records = service.session_records();
+  ASSERT_FALSE(records.empty());
+  for (const SessionRecord& expected :
+       {records.front(), records.back()}) {
+    const auto explained = service.explain_session(expected.id);
+    ASSERT_TRUE(explained.has_value());
+    EXPECT_EQ(explained->record, expected);
+    // The join reconstructs the lane's saturated set at the session's own
+    // arrival slot; with generous event retention it is exact.
+    EXPECT_TRUE(explained->saturated.exact);
+  }
+  EXPECT_FALSE(service.explain_session(0).has_value());
+  EXPECT_FALSE(service.explain_session((99ull << 32) | 1).has_value());
+}
+
+TEST(ShardedSessionService, RejectsSharedLedgerInBaseConfig) {
+  const auto net = sharded_network();
+  ShardedSessionServiceConfig config = sharded_config(2, 1);
+  LinkLedger ledger({1}, {1});
+  config.base.ledger = &ledger;
+  EXPECT_THROW(ShardedSessionService(net, config, 1), std::invalid_argument);
+}
+
 #endif  // MUERP_TELEMETRY_ENABLED
 
 }  // namespace

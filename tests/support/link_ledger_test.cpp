@@ -1,0 +1,355 @@
+#include "support/telemetry/link_ledger.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace muerp::support::telemetry {
+namespace {
+
+LinkStat stat(LinkKind kind, std::uint32_t index, int capacity, int held,
+              double ewma = 0.0, std::uint64_t losses = 0) {
+  LinkStat s;
+  s.kind = kind;
+  s.index = index;
+  s.capacity = capacity;
+  s.held = held;
+  s.utilization = capacity > 0 ? static_cast<double>(held) / capacity : 0.0;
+  s.ewma_utilization = ewma;
+  s.window_utilization = ewma;
+  s.contention_losses = losses;
+  return s;
+}
+
+TEST(LinkLedger, KindAndSortNamesParse) {
+  EXPECT_STREQ(link_kind_name(LinkKind::kEdge), "edge");
+  EXPECT_STREQ(link_kind_name(LinkKind::kSwitch), "switch");
+  LinkSort sort;
+  ASSERT_TRUE(parse_link_sort("util", &sort));
+  EXPECT_EQ(sort, LinkSort::kUtil);
+  ASSERT_TRUE(parse_link_sort("losses", &sort));
+  EXPECT_EQ(sort, LinkSort::kLosses);
+  EXPECT_FALSE(parse_link_sort("hotness", &sort));
+  EXPECT_FALSE(parse_link_sort("", &sort));
+}
+
+TEST(LinkLedger, SortLinksIsDeterministicWithTies) {
+  // Two links tie on utilization; the edge (kind 0) must sort before the
+  // switch, and equal kinds break on index — no unstable-sort wobble.
+  std::vector<LinkStat> links = {
+      stat(LinkKind::kSwitch, 3, 4, 2),
+      stat(LinkKind::kEdge, 9, 2, 1),
+      stat(LinkKind::kEdge, 1, 2, 2),
+      stat(LinkKind::kEdge, 5, 2, 1),
+  };
+  sort_links(links, LinkSort::kUtil, 0);
+  ASSERT_EQ(links.size(), 4u);
+  EXPECT_EQ(links[0].index, 1u);  // util 1.0 first
+  EXPECT_EQ(links[1].index, 5u);  // util 0.5 ties: edges before switch,
+  EXPECT_EQ(links[2].index, 9u);  // index ascending
+  EXPECT_EQ(links[3].index, 3u);
+  EXPECT_EQ(links[3].kind, LinkKind::kSwitch);
+}
+
+TEST(LinkLedger, SortLinksByLossesAndLimit) {
+  std::vector<LinkStat> links = {
+      stat(LinkKind::kEdge, 0, 2, 0, 0.0, /*losses=*/1),
+      stat(LinkKind::kEdge, 1, 2, 0, 0.0, /*losses=*/5),
+      stat(LinkKind::kEdge, 2, 2, 0, 0.0, /*losses=*/3),
+  };
+  sort_links(links, LinkSort::kLosses, 2);
+  ASSERT_EQ(links.size(), 2u);  // limit truncates
+  EXPECT_EQ(links[0].index, 1u);
+  EXPECT_EQ(links[1].index, 2u);
+}
+
+TEST(LinkLedger, MergeIsCapacityWeighted) {
+  // Two lanes of the same link: capacity 2 at ewma 0.5 and capacity 2 at
+  // ewma 0.25 merge to capacity 4 at ewma (0.5*2 + 0.25*2)/4 = 0.375.
+  const LinkStat lane0 = stat(LinkKind::kEdge, 0, 2, 2, 0.5);
+  LinkStat lane1 = stat(LinkKind::kEdge, 0, 2, 1, 0.25);
+  lane1.attempts = 3;
+  lane1.wins = 1;
+  lane1.contention_losses = 2;
+  lane1.last_saturation_slot = 17;
+  lane1.saturated = true;
+
+  std::vector<LinkStat> merged;
+  merge_link_stats(merged, {lane0});
+  merge_link_stats(merged, {lane1});
+  finalize_merged_link_stats(merged);
+
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].capacity, 4);
+  EXPECT_EQ(merged[0].held, 3);
+  EXPECT_DOUBLE_EQ(merged[0].utilization, 0.75);
+  EXPECT_DOUBLE_EQ(merged[0].ewma_utilization, 0.375);
+  EXPECT_DOUBLE_EQ(merged[0].window_utilization, 0.375);
+  EXPECT_EQ(merged[0].attempts, 3u);
+  EXPECT_EQ(merged[0].wins, 1u);
+  EXPECT_EQ(merged[0].contention_losses, 2u);
+  EXPECT_EQ(merged[0].last_saturation_slot, 17u);
+  EXPECT_TRUE(merged[0].saturated);
+}
+
+TEST(LinkLedger, MergeOfSingleLaneIsIdentity) {
+  const LinkStat lane = stat(LinkKind::kSwitch, 2, 4, 3, 0.5);
+  std::vector<LinkStat> merged;
+  merge_link_stats(merged, {lane});
+  finalize_merged_link_stats(merged);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0], lane);
+}
+
+TEST(LinkLedger, FinalizeZeroCapacityYieldsZeroUtilization) {
+  std::vector<LinkStat> merged;
+  merge_link_stats(merged, {stat(LinkKind::kEdge, 0, 0, 0, 0.9)});
+  finalize_merged_link_stats(merged);
+  EXPECT_DOUBLE_EQ(merged[0].utilization, 0.0);
+  EXPECT_DOUBLE_EQ(merged[0].ewma_utilization, 0.0);
+}
+
+TEST(LinkLedger, LinksJsonEmptyIsValid) {
+  // The OFF-build / --record-links=false document: empty but parseable.
+  const auto doc = json::parse(links_json({}, 42));
+  ASSERT_TRUE(doc.ok()) << doc.error;
+  EXPECT_DOUBLE_EQ(doc.value["count"].number_value, 0.0);
+  EXPECT_DOUBLE_EQ(doc.value["slot"].number_value, 42.0);
+  EXPECT_TRUE(doc.value["links"].is_array());
+  EXPECT_TRUE(doc.value["links"].elements.empty());
+}
+
+TEST(LinkLedger, LinkStatJsonCarriesEndpointsByKind) {
+  LinkStat edge = stat(LinkKind::kEdge, 4, 3, 2, 0.5);
+  edge.a = 10;
+  edge.b = 12;
+  edge.attempts = 7;
+  edge.wins = 5;
+  const auto edge_doc = json::parse(link_stat_json(edge));
+  ASSERT_TRUE(edge_doc.ok()) << edge_doc.error;
+  EXPECT_EQ(edge_doc.value["kind"].string_value, "edge");
+  EXPECT_DOUBLE_EQ(edge_doc.value["a"].number_value, 10.0);
+  EXPECT_DOUBLE_EQ(edge_doc.value["b"].number_value, 12.0);
+  EXPECT_TRUE(edge_doc.value["node"].is_null());
+  EXPECT_DOUBLE_EQ(edge_doc.value["capacity"].number_value, 3.0);
+  EXPECT_DOUBLE_EQ(edge_doc.value["attempts"].number_value, 7.0);
+  EXPECT_DOUBLE_EQ(edge_doc.value["wins"].number_value, 5.0);
+
+  // Switches carry their node id under "node" (not "a"/"b") — muerptop and
+  // the docs depend on this key split.
+  LinkStat sw = stat(LinkKind::kSwitch, 1, 8, 4, 0.25);
+  sw.a = 31;
+  const auto switch_doc = json::parse(link_stat_json(sw));
+  ASSERT_TRUE(switch_doc.ok()) << switch_doc.error;
+  EXPECT_EQ(switch_doc.value["kind"].string_value, "switch");
+  EXPECT_DOUBLE_EQ(switch_doc.value["node"].number_value, 31.0);
+  EXPECT_TRUE(switch_doc.value["a"].is_null());
+  EXPECT_TRUE(switch_doc.value["b"].is_null());
+}
+
+TEST(LinkLedger, SaturatedLinksJsonRendersIndices) {
+  SaturatedLinks saturated;
+  saturated.exact = false;
+  saturated.edges = {1, 4};
+  saturated.switches = {0};
+  const auto doc = json::parse(saturated_links_json(saturated));
+  ASSERT_TRUE(doc.ok()) << doc.error;
+  EXPECT_FALSE(doc.value["exact"].bool_value);
+  ASSERT_EQ(doc.value["edges"].elements.size(), 2u);
+  EXPECT_DOUBLE_EQ(doc.value["edges"].elements[1].number_value, 4.0);
+  ASSERT_EQ(doc.value["switches"].elements.size(), 1u);
+}
+
+TEST(LinkLedger, ExplainJsonWithoutRecordStaysValid) {
+  // Unknown id (or recording off): explain is a join, not a lookup, so the
+  // document answers "found": false instead of erroring.
+  const auto doc = json::parse(explain_json(99, nullptr, SaturatedLinks{}));
+  ASSERT_TRUE(doc.ok()) << doc.error;
+  EXPECT_DOUBLE_EQ(doc.value["id"].number_value, 99.0);
+  EXPECT_FALSE(doc.value["found"].bool_value);
+  EXPECT_TRUE(doc.value["session"].is_null());
+  EXPECT_TRUE(doc.value["saturated_links"]["exact"].bool_value);
+}
+
+#if MUERP_TELEMETRY_ENABLED
+
+TEST(LinkLedger, ExplainJsonJoinsRecordAndSaturation) {
+  SessionRecord record;
+  record.id = (2ull << 32) | 5;
+  record.arrival_slot = 40;
+  record.state = SessionState::kRejected;
+  record.reject_reason = RejectReason::kContentionLoss;
+  SaturatedLinks saturated;
+  saturated.edges = {3};
+  const auto doc =
+      json::parse(explain_json(record.id, &record, saturated));
+  ASSERT_TRUE(doc.ok()) << doc.error;
+  EXPECT_TRUE(doc.value["found"].bool_value);
+  EXPECT_EQ(doc.value["session"]["state"].string_value, "rejected");
+  EXPECT_EQ(doc.value["session"]["reject_reason"].string_value,
+            "contention_loss");
+  ASSERT_EQ(doc.value["saturated_links"]["edges"].elements.size(), 1u);
+  EXPECT_DOUBLE_EQ(
+      doc.value["saturated_links"]["edges"].elements[0].number_value, 3.0);
+}
+
+TEST(LinkLedger, AdmitRaisesOccupancyAndDedupesAttempts) {
+  LinkLedger ledger(/*edge_capacity=*/{2, 3}, /*switch_capacity=*/{4});
+  TreeTouch touch;
+  touch.edges = {0, 0};   // two channels over the same fiber
+  touch.switches = {0};   // one 2-qubit relay pledge
+  ledger.record_admit(touch, /*slot=*/1);
+
+  const auto links = ledger.snapshot(1);
+  ASSERT_EQ(links.size(), 3u);  // edges first, then switches
+  EXPECT_EQ(links[0].kind, LinkKind::kEdge);
+  EXPECT_EQ(links[0].held, 2);  // occupancy counts repeats
+  EXPECT_DOUBLE_EQ(links[0].utilization, 1.0);
+  EXPECT_EQ(links[0].attempts, 1u);  // attempts dedupe repeats
+  EXPECT_EQ(links[0].wins, 1u);
+  EXPECT_EQ(links[1].held, 0);  // untouched edge
+  EXPECT_EQ(links[2].kind, LinkKind::kSwitch);
+  EXPECT_EQ(links[2].held, 2);  // two qubits per relay pledge
+  EXPECT_EQ(links[2].attempts, 1u);
+  EXPECT_EQ(ledger.stats().admits, 1u);
+}
+
+TEST(LinkLedger, RejectCountsAttemptsWithoutOccupancy) {
+  LinkLedger ledger({2}, {});
+  TreeTouch touch;
+  touch.edges = {0};
+  ledger.record_reject(touch, /*contention=*/true, /*slot=*/3);
+  const auto links = ledger.snapshot(3);
+  EXPECT_EQ(links[0].held, 0);  // a rejected session holds nothing
+  EXPECT_EQ(links[0].attempts, 1u);
+  EXPECT_EQ(links[0].wins, 0u);
+  EXPECT_EQ(links[0].contention_losses, 1u);
+  const auto stats = ledger.stats();
+  EXPECT_EQ(stats.rejects, 1u);
+  EXPECT_EQ(stats.contention_losses, 1u);
+  EXPECT_EQ(stats.admits, 0u);
+}
+
+TEST(LinkLedger, ReleaseReturnsOccupancyAndClampsAtZero) {
+  LinkLedger ledger({4}, {});
+  TreeTouch touch;
+  touch.edges = {0};
+  ledger.record_admit(touch, 1);
+  ledger.record_release(touch, 5);
+  EXPECT_EQ(ledger.snapshot(5)[0].held, 0);
+  // Release without a matching admit clamps instead of going negative.
+  ledger.record_release(touch, 6);
+  EXPECT_EQ(ledger.snapshot(6)[0].held, 0);
+}
+
+TEST(LinkLedger, WindowAndEwmaAccumulateLazily) {
+  LinkLedgerOptions options;
+  options.window_slots = 4;
+  options.ewma_alpha = 0.5;
+  LinkLedger ledger({1}, {}, options);
+  TreeTouch touch;
+  touch.edges = {0};
+  ledger.record_admit(touch, 0);  // occupied from slot 0 onward
+
+  // One completed window [0,4) at full occupancy: mean 1.0, EWMA
+  // 0 + 0.5 * (1 - 0) = 0.5.
+  const auto at4 = ledger.snapshot(4);
+  EXPECT_DOUBLE_EQ(at4[0].window_utilization, 1.0);
+  EXPECT_DOUBLE_EQ(at4[0].ewma_utilization, 0.5);
+
+  // Two completed windows: EWMA 0.5 + 0.5 * (1 - 0.5) = 0.75. Queries
+  // advance a COPY, so the earlier snapshot(4) must not have changed this.
+  const auto at8 = ledger.snapshot(8);
+  EXPECT_DOUBLE_EQ(at8[0].window_utilization, 1.0);
+  EXPECT_DOUBLE_EQ(at8[0].ewma_utilization, 0.75);
+
+  // Bit-identical on repeat — the read-only-query contract.
+  EXPECT_EQ(ledger.snapshot(8), at8);
+  EXPECT_EQ(ledger.snapshot(4), at4);
+}
+
+TEST(LinkLedger, SaturationTransitionsReplayExactly) {
+  LinkLedger ledger({1, 1}, {});
+  TreeTouch first;
+  first.edges = {0};
+  TreeTouch second;
+  second.edges = {1};
+  ledger.record_admit(first, 5);     // edge 0 saturates at slot 5
+  ledger.record_release(first, 10);  // and clears at slot 10
+  ledger.record_admit(second, 12);   // edge 1 saturates at slot 12
+
+  const auto links = ledger.snapshot(12);
+  EXPECT_FALSE(links[0].saturated);
+  EXPECT_EQ(links[0].last_saturation_slot, 5u);
+  EXPECT_TRUE(links[1].saturated);
+  EXPECT_EQ(links[1].last_saturation_slot, 12u);
+
+  const SaturatedLinks at7 = ledger.saturated_at(7);
+  EXPECT_TRUE(at7.exact);
+  EXPECT_EQ(at7.edges, (std::vector<std::uint32_t>{0}));
+  EXPECT_TRUE(ledger.saturated_at(11).edges.empty());
+  EXPECT_EQ(ledger.saturated_at(20).edges,
+            (std::vector<std::uint32_t>{1}));
+  EXPECT_TRUE(ledger.saturated_at(0).edges.empty());
+  EXPECT_EQ(ledger.stats().saturation_events, 3u);
+}
+
+TEST(LinkLedger, EventRingEvictionDegradesToInexact) {
+  LinkLedgerOptions options;
+  options.event_capacity = 2;
+  LinkLedger ledger({1}, {}, options);
+  TreeTouch touch;
+  touch.edges = {0};
+  ledger.record_admit(touch, 1);    // transition 1 (evicted below)
+  ledger.record_release(touch, 2);  // transition 2
+  ledger.record_admit(touch, 3);    // transition 3 -> ring holds {2, 3}
+  EXPECT_EQ(ledger.stats().saturation_events, 3u);
+  EXPECT_EQ(ledger.stats().evicted_events, 1u);
+  // The reconstruction at slot 0 would need the evicted transition.
+  EXPECT_FALSE(ledger.saturated_at(0).exact);
+  // At slot 2 the surviving ring suffices.
+  const auto at2 = ledger.saturated_at(2);
+  EXPECT_TRUE(at2.exact);
+  EXPECT_TRUE(at2.edges.empty());
+}
+
+TEST(LinkLedger, StatsMergeSums) {
+  LinkLedger::Stats a;
+  a.admits = 2;
+  a.rejects = 1;
+  a.saturation_events = 4;
+  LinkLedger::Stats b;
+  b.admits = 3;
+  b.contention_losses = 5;
+  b.evicted_events = 7;
+  a.merge(b);
+  EXPECT_EQ(a.admits, 5u);
+  EXPECT_EQ(a.rejects, 1u);
+  EXPECT_EQ(a.contention_losses, 5u);
+  EXPECT_EQ(a.saturation_events, 4u);
+  EXPECT_EQ(a.evicted_events, 7u);
+}
+
+#else  // MUERP_TELEMETRY_ENABLED
+
+TEST(LinkLedger, StubIsInertButQueryable) {
+  LinkLedger ledger({2, 2}, {4});
+  TreeTouch touch;
+  touch.edges = {0};
+  ledger.record_admit(touch, 1);
+  ledger.record_reject(touch, true, 2);
+  ledger.record_release(touch, 3);
+  EXPECT_TRUE(ledger.snapshot(3).empty());
+  EXPECT_TRUE(ledger.saturated_at(3).edges.empty());
+  EXPECT_EQ(ledger.stats().admits, 0u);
+  EXPECT_EQ(ledger.edge_count(), 2u);
+}
+
+#endif  // MUERP_TELEMETRY_ENABLED
+
+}  // namespace
+}  // namespace muerp::support::telemetry

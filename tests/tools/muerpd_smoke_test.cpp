@@ -681,6 +681,131 @@ TEST(MuerpdSmoke, FlightRecorderAndAlertsServeTheTail) {
   std::fclose(daemon.out);
 }
 
+TEST(MuerpdSmoke, NetworkPlaneServesTopologyLinksAndExplain) {
+  // The same starved fabric as the flight-recorder smoke: rejections and
+  // admissions both occur quickly, so the link ledger has occupancy,
+  // attempts, and contention to report.
+  DaemonProcess daemon = spawn_muerpd(
+      {"--port", "0", "--slots", "0", "--slot-ms", "1", "--arrival", "0.9",
+       "--switches", "30", "--users", "8", "--qubits", "3", "--swap", "0.5",
+       "--timeout", "4", "--seed", "11", "--sample-interval-ms", "50"});
+  ASSERT_GT(daemon.pid, 0);
+  const std::uint16_t port = read_serving_port(daemon.out);
+  ASSERT_NE(port, 0);
+  ::usleep(500 * 1000);
+
+  // Topology: static attributes render in every build.
+  const std::string topology = http_get(port, "/api/v1/topology");
+  EXPECT_NE(topology.find("HTTP/1.1 200 OK"), std::string::npos);
+  const auto topo_doc = muerp::support::json::parse(body_of(topology));
+  ASSERT_TRUE(topo_doc.ok()) << topo_doc.error;
+  EXPECT_EQ(topo_doc.value["nodes"].elements.size(), 38u);  // 30 + 8
+  ASSERT_FALSE(topo_doc.value["edges"].elements.empty());
+  EXPECT_EQ(topo_doc.value["switches"].elements.size(), 30u);
+  const auto& first_edge = topo_doc.value["edges"].elements[0];
+  EXPECT_GT(first_edge["length_km"].number_value, 0.0);
+  EXPECT_TRUE(first_edge["utilization"].is_number());
+
+  // The SVG heatmap is a finished vector document.
+  const std::string svg = http_get(port, "/api/v1/topology.svg");
+  EXPECT_NE(svg.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(svg.find("image/svg+xml"), std::string::npos);
+  const std::string svg_body = body_of(svg);
+  EXPECT_EQ(svg_body.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg_body.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg_body.find("muerpd link utilization"), std::string::npos);
+
+  // Bad query parameters answer 400, not garbage documents.
+  EXPECT_NE(http_get(port, "/api/v1/links?sort=hotness").find("400"),
+            std::string::npos);
+  EXPECT_NE(http_get(port, "/api/v1/explain/abc").find("400"),
+            std::string::npos);
+
+  const std::string links = http_get(port, "/api/v1/links?sort=util&limit=5");
+  EXPECT_NE(links.find("HTTP/1.1 200 OK"), std::string::npos);
+  const auto links_doc = muerp::support::json::parse(body_of(links));
+  ASSERT_TRUE(links_doc.ok()) << links_doc.error;
+
+#if MUERP_TELEMETRY_ENABLED
+  // The hot-links query serves a live, sorted, truncated document.
+  const auto& hot = links_doc.value["links"].elements;
+  ASSERT_EQ(hot.size(), 5u);
+  EXPECT_GE(hot[0]["utilization"].number_value,
+            hot[4]["utilization"].number_value);
+  EXPECT_GT(hot[0]["attempts"].number_value, 0.0);
+
+  // explain joins a real tail record with its lane's saturated links.
+  auto doc = ctl(port, "sessions", R"({"state": "rejected", "limit": 1})");
+  ASSERT_TRUE(doc.ok()) << doc.error;
+  ASSERT_TRUE(doc.value["ok"].bool_value) << doc.value["error"].string_value;
+  const auto& rejected = doc.value["result"]["sessions"].elements;
+  ASSERT_FALSE(rejected.empty());
+  const std::uint64_t rejected_id =
+      static_cast<std::uint64_t>(rejected.back()["id"].number_value);
+  const std::string explained = http_get(
+      port, "/api/v1/explain/" + std::to_string(rejected_id));
+  EXPECT_NE(explained.find("HTTP/1.1 200 OK"), std::string::npos);
+  const auto explain_doc = muerp::support::json::parse(body_of(explained));
+  ASSERT_TRUE(explain_doc.ok()) << explain_doc.error;
+  EXPECT_TRUE(explain_doc.value["found"].bool_value) << body_of(explained);
+  EXPECT_EQ(explain_doc.value["session"]["state"].string_value, "rejected");
+  EXPECT_TRUE(explain_doc.value["saturated_links"]["edges"].is_array());
+
+  // The ctl verbs serve the same documents.
+  doc = ctl(port, "topology");
+  ASSERT_TRUE(doc.ok()) << doc.error;
+  ASSERT_TRUE(doc.value["ok"].bool_value) << doc.value["error"].string_value;
+  EXPECT_EQ(doc.value["result"]["switches"].elements.size(), 30u);
+  doc = ctl(port, "links", R"({"sort": "losses", "limit": 3})");
+  ASSERT_TRUE(doc.value["ok"].bool_value) << doc.value["error"].string_value;
+  EXPECT_EQ(doc.value["result"]["links"].elements.size(), 3u);
+  doc = ctl(port, "explain", "{\"id\": " + std::to_string(rejected_id) + "}");
+  ASSERT_TRUE(doc.value["ok"].bool_value) << doc.value["error"].string_value;
+  EXPECT_TRUE(doc.value["result"]["found"].bool_value);
+
+  // The exposition page carries the hot-link gauges and the per-reason
+  // rejection counters this workload generates.
+  const std::string metrics = http_get(port, "/metrics");
+  EXPECT_NE(metrics.find("muerp_net_link_util_top0"), std::string::npos);
+  EXPECT_NE(metrics.find("muerp_net_link_util_pct"), std::string::npos);
+  EXPECT_NE(metrics.find("muerp_muerpd_rejects_"), std::string::npos);
+
+  // muerpctl renders the network plane from the command line.
+  std::string output;
+  EXPECT_EQ(run_muerpctl("ctl links sort=util limit=2 --endpoint 127.0.0.1:" +
+                         std::to_string(port), &output), 0)
+      << output;
+  EXPECT_NE(output.find("\"utilization\""), std::string::npos) << output;
+  output.clear();
+  EXPECT_EQ(run_muerpctl("ctl explain " + std::to_string(rejected_id) +
+                         " --endpoint 127.0.0.1:" + std::to_string(port),
+                         &output), 0)
+      << output;
+  EXPECT_NE(output.find("\"found\": true"), std::string::npos) << output;
+#else   // MUERP_TELEMETRY_ENABLED
+  // OFF build: empty-but-valid documents with the same shapes.
+  EXPECT_DOUBLE_EQ(links_doc.value["count"].number_value, 0.0);
+  EXPECT_TRUE(links_doc.value["links"].elements.empty());
+  EXPECT_DOUBLE_EQ(first_edge["held"].number_value, 0.0);
+  const std::string explained = http_get(port, "/api/v1/explain/12345");
+  EXPECT_NE(explained.find("HTTP/1.1 200 OK"), std::string::npos);
+  const auto explain_doc = muerp::support::json::parse(body_of(explained));
+  ASSERT_TRUE(explain_doc.ok()) << explain_doc.error;
+  EXPECT_FALSE(explain_doc.value["found"].bool_value);
+  EXPECT_TRUE(explain_doc.value["session"].is_null());
+#endif  // MUERP_TELEMETRY_ENABLED
+
+  // An unknown id still answers 200 with a found:false join in every build.
+  const std::string missing = http_get(port, "/api/v1/explain/425201762305");
+  EXPECT_NE(missing.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(missing.find("\"found\": false"), std::string::npos);
+
+  ctl(port, "drain");
+  const int status = wait_exit(daemon.pid, 10000);
+  ASSERT_NE(status, -1) << "daemon did not exit after ctl drain";
+  std::fclose(daemon.out);
+}
+
 TEST(MuerpdSmoke, CtlTokenGuardsThePostPlane) {
   DaemonProcess daemon = spawn_muerpd(
       {"--port", "0", "--slots", "0", "--slot-ms", "1", "--arrival", "0.2",

@@ -463,8 +463,9 @@ int cmd_ctl(const support::CliParser& cli) {
     return usage_fail(
         "ctl needs a verb: status | set <name> <value> | get <name> | "
         "pause | resume | drain | snapshot | sessions [k=v ...] | "
-        "session <id> [json|trace] | slo [list | set k=v ... | "
-        "remove <name>] | commands");
+        "session <id> [json|trace] | topology | links [k=v ...] | "
+        "explain <id> | slo [list | set k=v ... | remove <name>] | "
+        "commands");
   }
   const std::string& verb = pos[1];
   std::string args_json;
@@ -498,6 +499,18 @@ int cmd_ctl(const support::CliParser& cli) {
       args_json += ", \"format\": " + ctl::json_quote(pos[3]);
     }
     args_json += "}";
+  } else if (verb == "links") {
+    args_json = kv_args_json(pos, 2);
+    if (args_json.empty()) {
+      return usage_fail(
+          "usage: muerpctl ctl links [sort=util|losses] [limit=<n>]");
+    }
+    if (args_json == "{}") args_json.clear();
+  } else if (verb == "explain") {
+    if (pos.size() != 3) {
+      return usage_fail("usage: muerpctl ctl explain <id>");
+    }
+    args_json = "{\"id\": " + token_to_json(pos[2]) + "}";
   } else if (verb == "slo") {
     if (pos.size() == 2 || (pos.size() == 3 && pos[2] == "list")) {
       // list is the default action — no args needed
@@ -578,7 +591,8 @@ const std::vector<Subcommand>& subcommands() {
        &cmd_sweep},
       {"ctl",
        "drive a live muerpd: status | set | get | pause | resume | drain | "
-       "snapshot | sessions | session | slo | commands",
+       "snapshot | sessions | session | topology | links | explain | slo | "
+       "commands",
        {"endpoint", "out", "token"},
        &cmd_ctl},
   };

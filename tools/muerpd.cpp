@@ -19,6 +19,18 @@
 //   GET  /api/v1/session/<id>   one full flight record; ?format=trace
 //                        renders it as a Chrome trace-event document
 //   GET  /api/v1/alerts  the SLO alert-rule table with live firing state
+//   GET  /api/v1/topology       the served network (nodes, fibers, static
+//                        attributes) joined with the link ledger's live
+//                        occupancy per edge and per switch
+//   GET  /api/v1/links   per-link utilization / attempts / contention-loss
+//                        table, ?sort=util|losses&limit=N (the hot-links
+//                        view muerptop renders)
+//   GET  /api/v1/explain/<id>   one flight record joined with the links of
+//                        its lane that were saturated at its admission
+//                        slot — "why was THIS session rejected"
+//   GET  /api/v1/topology.svg   live heatmap: the network rendered with
+//                        every fiber stroked on the green→amber→red ramp
+//                        by its current utilization
 //   POST /api/v1/ctl     the versioned command API ({"cmd","args"} in, a
 //                        uniform {"ok",...} envelope out) — what
 //                        `muerpctl ctl <verb>` speaks. Verbs: set/get for
@@ -80,6 +92,7 @@
 #include <fstream>
 #include <iostream>
 #include <mutex>
+#include <sstream>
 
 #include "muerp.hpp"
 
@@ -133,6 +146,75 @@ bool parse_u64(const std::string& text, std::uint64_t* out) {
   }
   *out = value;
   return true;
+}
+
+std::string json_double(double value) {
+  std::ostringstream out;
+  out << value;
+  return out.str();
+}
+
+/// The GET /api/v1/topology document: the served network's static shape
+/// (node kinds, positions, qubit budgets, fiber endpoints and lengths)
+/// joined with the link ledger's live per-edge / per-switch occupancy.
+/// `links` is ShardedSessionService::link_stats() — empty (OFF build, or
+/// --record-links false) degrades to the static topology with zeroed
+/// occupancy, still a valid document.
+std::string topology_json(
+    const net::QuantumNetwork& network,
+    const std::vector<support::telemetry::LinkStat>& links,
+    std::uint64_t slot) {
+  namespace tel = support::telemetry;
+  const auto edges = network.graph().edges();
+  std::string out = "{\"slot\": " + std::to_string(slot);
+  out += ", \"nodes\": [";
+  for (net::NodeId v = 0; v < network.node_count(); ++v) {
+    if (v > 0) out += ", ";
+    out += "{\"id\": " + std::to_string(v);
+    out += ", \"kind\": \"";
+    out += network.is_user(v) ? "user" : "switch";
+    out += "\", \"x\": " + json_double(network.positions()[v].x);
+    out += ", \"y\": " + json_double(network.positions()[v].y);
+    if (network.is_switch(v)) {
+      out += ", \"qubits\": " + std::to_string(network.qubits(v));
+    }
+    out += "}";
+  }
+  out += "], \"edges\": [";
+  for (graph::EdgeId e = 0; e < edges.size(); ++e) {
+    const auto& edge = edges[e];
+    if (e > 0) out += ", ";
+    const tel::LinkStat* live =
+        e < links.size() && links[e].kind == tel::LinkKind::kEdge ? &links[e]
+                                                                  : nullptr;
+    out += "{\"id\": " + std::to_string(e);
+    out += ", \"a\": " + std::to_string(edge.a);
+    out += ", \"b\": " + std::to_string(edge.b);
+    out += ", \"length_km\": " + json_double(edge.length_km);
+    out += ", \"capacity\": " + std::to_string(live ? live->capacity : 0);
+    out += ", \"held\": " + std::to_string(live ? live->held : 0);
+    out += ", \"utilization\": " + json_double(live ? live->utilization : 0.0);
+    out += "}";
+  }
+  out += "], \"switches\": [";
+  const auto switch_ids = network.switches();
+  for (std::size_t s = 0; s < switch_ids.size(); ++s) {
+    if (s > 0) out += ", ";
+    const std::size_t flat = edges.size() + s;
+    const tel::LinkStat* live =
+        flat < links.size() && links[flat].kind == tel::LinkKind::kSwitch
+            ? &links[flat]
+            : nullptr;
+    out += "{\"node\": " + std::to_string(switch_ids[s]);
+    out += ", \"capacity\": " +
+           std::to_string(live ? live->capacity
+                               : network.qubits(switch_ids[s]));
+    out += ", \"held\": " + std::to_string(live ? live->held : 0);
+    out += ", \"utilization\": " + json_double(live ? live->utilization : 0.0);
+    out += "}";
+  }
+  out += "]}\n";
+  return out;
 }
 
 /// One row of the daemon's settings table: what `ctl set`/`ctl get`
@@ -216,6 +298,16 @@ int main(int argc, char** argv) {
                "happy-path completions kept per 1024 hash draws (the tail — "
                "rejected/timed-out/drained/slow — is always kept)",
                "128");
+  cli.add_flag("record-links",
+               "per-link utilization ledger behind /api/v1/topology, "
+               "/api/v1/links and /api/v1/explain",
+               "true");
+  cli.add_flag("link-window",
+               "tumbling-window width in slots for windowed link utilization",
+               "64");
+  cli.add_flag("link-events",
+               "saturation-transition events retained per lane ledger",
+               "4096");
   if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 2;
 
   // Observability knobs first, so network construction already logs.
@@ -330,6 +422,11 @@ int main(int argc, char** argv) {
   if (recorder_keep < 0 || recorder_keep > 1024) {
     return fail("--recorder-keep must be in [0, 1024]");
   }
+  const bool record_links = cli.get_bool("record-links");
+  const auto link_window = cli.get_int("link-window").value_or(64);
+  const auto link_events = cli.get_int("link-events").value_or(4096);
+  if (link_window < 1) return fail("--link-window must be >= 1");
+  if (link_events < 1) return fail("--link-events must be >= 1");
 
   sim::ShardedSessionServiceConfig sharded_config;
   sharded_config.base = config;
@@ -340,6 +437,10 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(recorder_capacity);
   sharded_config.recorder_happy_keep_per_1024 =
       static_cast<std::uint32_t>(recorder_keep);
+  sharded_config.record_links = record_links;
+  sharded_config.ledger_window_slots = static_cast<std::uint64_t>(link_window);
+  sharded_config.ledger_event_capacity =
+      static_cast<std::size_t>(link_events);
   sim::ShardedSessionService service(
       *network, sharded_config,
       static_cast<std::uint64_t>(cli.get_int("seed").value_or(1)));
@@ -953,6 +1054,69 @@ int main(int argc, char** argv) {
          }
          return ctl::CommandResult::success(tel::session_record_json(*record));
        }});
+  // Network-plane verbs. Like the flight-recorder verbs these are
+  // read-only and internally locked, so they run directly on the acceptor
+  // thread; curl on the GET routes below sees identical documents.
+  registry.add(
+      {"topology",
+       "the served network joined with live per-link occupancy",
+       {},
+       [&service, &network, &health](const support::json::Value&) {
+         return ctl::CommandResult::success(topology_json(
+             *network, service.link_stats(),
+             health.slot.load(std::memory_order_relaxed)));
+       }});
+  registry.add(
+      {"links",
+       "per-link utilization / attempts / contention-loss table",
+       {{"sort", ctl::ArgType::kString, false, "util (default) or losses"},
+        {"limit", ctl::ArgType::kInt, false,
+         "keep only the top n links (0 = all)"}},
+       [&service, &health](const support::json::Value& args) {
+         namespace tel = support::telemetry;
+         tel::LinkSort sort = tel::LinkSort::kUtil;
+         if (const auto* v = args.find("sort")) {
+           if (!tel::parse_link_sort(v->string_value, &sort)) {
+             return ctl::CommandResult::failure(
+                 ctl::kErrOutOfRange, "unknown sort '" + v->string_value +
+                                          "' (util|losses)");
+           }
+         }
+         std::size_t limit = 0;
+         if (const auto* v = args.find("limit")) {
+           if (v->number_value < 0) {
+             return ctl::CommandResult::failure(ctl::kErrOutOfRange,
+                                                "limit must be >= 0");
+           }
+           limit = static_cast<std::size_t>(v->number_value);
+         }
+         auto stats = service.link_stats();
+         tel::sort_links(stats, sort, limit);
+         return ctl::CommandResult::success(tel::links_json(
+             stats, health.slot.load(std::memory_order_relaxed)));
+       }});
+  registry.add(
+      {"explain",
+       "a flight record joined with the links saturated at its admission "
+       "slot (why was THIS session rejected)",
+       {{"id", ctl::ArgType::kInt, true, "record id (lane << 32 | seq)"}},
+       [&service](const support::json::Value& args) {
+         namespace tel = support::telemetry;
+         if (args["id"].number_value < 0) {
+           return ctl::CommandResult::failure(ctl::kErrOutOfRange,
+                                              "id must be >= 0");
+         }
+         const auto id = static_cast<std::uint64_t>(args["id"].number_value);
+         // Unknown ids still succeed with a found:false document — explain
+         // is a join, and a missing record is a valid answer.
+         const auto explained = service.explain_session(id);
+         if (!explained) {
+           return ctl::CommandResult::success(
+               tel::explain_json(id, nullptr, tel::SaturatedLinks{}));
+         }
+         return ctl::CommandResult::success(tel::explain_json(
+             id, &explained->record, explained->saturated));
+       }});
   registry.add(
       {"slo",
        "alert-rule table: list (default), set a rule, or remove one",
@@ -1152,6 +1316,86 @@ int main(int argc, char** argv) {
             200, "application/json",
             support::telemetry::alerts_json(alerts.status()));
       });
+  // Network-plane pages. link_stats() snapshots each lane ledger under its
+  // own short lock and never mutates windowed state, so these serve while
+  // the lanes run; the slot label comes from the published health snapshot
+  // (the live service slot is loop-thread state).
+  exporter.add_route(
+      "GET", "/api/v1/topology",
+      [&service, &network, &health](const support::telemetry::HttpRequest&) {
+        return support::telemetry::HttpExporter::response(
+            200, "application/json",
+            topology_json(*network, service.link_stats(),
+                          health.slot.load(std::memory_order_relaxed)));
+      });
+  exporter.add_route(
+      "GET", "/api/v1/links",
+      [&service, &health](const support::telemetry::HttpRequest& request) {
+        namespace tel = support::telemetry;
+        tel::LinkSort sort = tel::LinkSort::kUtil;
+        if (const std::string s = tel::http_query_param(request.query, "sort");
+            !s.empty() && !tel::parse_link_sort(s, &sort)) {
+          return tel::HttpExporter::response(
+              400, "application/json",
+              "{\"error\": \"unknown sort '" + s + "' (util|losses)\"}\n");
+        }
+        std::size_t limit = 0;
+        std::uint64_t number = 0;
+        if (const std::string l = tel::http_query_param(request.query, "limit");
+            !l.empty() && parse_u64(l, &number)) {
+          limit = static_cast<std::size_t>(number);
+        }
+        auto stats = service.link_stats();
+        tel::sort_links(stats, sort, limit);
+        return tel::HttpExporter::response(
+            200, "application/json",
+            tel::links_json(stats,
+                            health.slot.load(std::memory_order_relaxed)));
+      });
+  exporter.add_prefix_route(
+      "GET", "/api/v1/explain/",
+      [&service](const support::telemetry::HttpRequest& request) {
+        namespace tel = support::telemetry;
+        const std::string id_text =
+            request.path.substr(sizeof("/api/v1/explain/") - 1);
+        std::uint64_t id = 0;
+        if (!parse_u64(id_text, &id)) {
+          return tel::HttpExporter::response(
+              400, "application/json",
+              "{\"error\": \"session id must be a decimal integer\"}\n");
+        }
+        // A miss is still a valid explain document ("found": false) — the
+        // OFF build and a daemon without --record-sessions serve it too.
+        const auto explained = service.explain_session(id);
+        if (!explained) {
+          return tel::HttpExporter::response(
+              200, "application/json",
+              tel::explain_json(id, nullptr, tel::SaturatedLinks{}));
+        }
+        return tel::HttpExporter::response(
+            200, "application/json",
+            tel::explain_json(id, &explained->record, explained->saturated));
+      });
+  exporter.add_route(
+      "GET", "/api/v1/topology.svg",
+      [&service, &network, &health](const support::telemetry::HttpRequest&) {
+        namespace tel = support::telemetry;
+        const auto stats = service.link_stats();
+        std::vector<double> utilization(network->graph().edges().size(), 0.0);
+        for (const tel::LinkStat& stat : stats) {
+          if (stat.kind == tel::LinkKind::kEdge &&
+              stat.index < utilization.size()) {
+            utilization[stat.index] = stat.utilization;
+          }
+        }
+        net::SvgOptions svg_options;
+        svg_options.edge_utilization = &utilization;
+        svg_options.title =
+            "muerpd link utilization, slot " +
+            std::to_string(health.slot.load(std::memory_order_relaxed));
+        return tel::HttpExporter::response(
+            200, "image/svg+xml", net::to_svg(*network, nullptr, svg_options));
+      });
 
   std::string error;
   if (!exporter.start(&error)) {
@@ -1190,6 +1434,29 @@ int main(int argc, char** argv) {
   // scheduler-backlog default alert rule watches the backlog level.
   const support::telemetry::Gauge backlog_gauge("muerpd/scheduler/backlog");
   const support::telemetry::Gauge overrun_gauge("muerpd/scheduler/overrun_us");
+  // Hot-link families: the top-5 utilizations republished after every wake
+  // (rank k in net/link_util/top<k>), plus a histogram of the same values
+  // in percent — enough for a Prometheus panel and the slot-p95 style SLO
+  // rules without one family per link (the registry's instrument caps are
+  // fixed).
+  constexpr std::size_t kHotLinkGauges = 5;
+  std::vector<support::telemetry::Gauge> link_util_gauges;
+  link_util_gauges.reserve(kHotLinkGauges);
+  for (std::size_t k = 0; k < kHotLinkGauges; ++k) {
+    link_util_gauges.emplace_back("net/link_util/top" + std::to_string(k));
+  }
+  const support::telemetry::Histogram link_util_histogram("net/link_util_pct");
+  const auto publish_hot_links = [&] {
+    if (!record_links) return;
+    auto hot = service.link_stats();
+    support::telemetry::sort_links(hot, support::telemetry::LinkSort::kUtil,
+                                   kHotLinkGauges);
+    for (std::size_t k = 0; k < kHotLinkGauges; ++k) {
+      const double util = k < hot.size() ? hot[k].utilization : 0.0;
+      link_util_gauges[k].set(util);
+      if (k < hot.size()) link_util_histogram.observe(util * 100.0);
+    }
+  };
 
   // Event-driven slot loop: drain control commands at the tick boundary,
   // block until the next slot on the fixed grid is due, play every due slot
@@ -1242,6 +1509,7 @@ int main(int argc, char** argv) {
     backlog_gauge.set(static_cast<double>(scheduler.backlog()));
     overrun_gauge.set(static_cast<double>(scheduler.overrun_ns()) / 1e3);
     publish_health();
+    publish_hot_links();
     flush_history(false);
     if (state == RunState::kDraining &&
         (service.active_sessions() == 0 ||

@@ -7,11 +7,20 @@
 //   GET /api/v1/metrics  discovers which series the history ring holds;
 //   GET /api/v1/range    windowed values — counters as per-second rates,
 //                        gauges as levels, histograms as exact per-window
-//                        p50/p95 — rendered as sparklines.
+//                        p50/p95 — rendered as sparklines;
+//   GET /api/v1/links    the link ledger's hot-links table (top 5 by
+//                        utilization), sparklined from history this
+//                        dashboard accumulates client-side.
 //
 // Panels (per the daemon's admission algorithm): admission rates
 // (requests/admitted/completed per second), slot latency quantiles from
-// muerpd/slot_us, and session-state gauges.
+// muerpd/slot_us, session-state gauges, hot links, and recent failures.
+//
+// Connection failures before the first successful frame exit 2 (the
+// endpoint is wrong). After the first frame a lost daemon is treated as
+// transient — likely restarting — and the dashboard retries with bounded
+// exponential backoff, printing a reconnect banner until the endpoint
+// answers again.
 //
 //   muerptop                                   # 127.0.0.1:9464 at 1 Hz
 //   muerptop --endpoint 127.0.0.1:9700 --window 120
@@ -33,6 +42,7 @@
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -264,26 +274,49 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, handle_stop);
 
   bool rendered = false;
+  // Per-link utilization history accumulated client-side across frames
+  // (the /api/v1/links document is a point-in-time snapshot), keyed by the
+  // rendered label so a link keeps its sparkline while it stays hot.
+  std::map<std::string, std::vector<double>> link_history;
+  // Consecutive failed polls since the last good frame (reconnect backoff).
+  long failures = 0;
+  constexpr long kMaxBackoffMs = 10'000;
   while (g_stop == 0) {
     // Health first: connection failures before the first frame are fatal
-    // (exit 2); afterwards the dashboard keeps polling through restarts.
+    // (exit 2 — the endpoint is wrong); afterwards the daemon is probably
+    // just restarting, so retry with bounded exponential backoff and a
+    // visible banner instead of dying or spinning.
     HttpResponse health;
     std::string error;
-    if (!http_get(host, port, "/healthz", &health, &error) ||
-        health.status != 200) {
-      if (!rendered) {
-        return fail(error.empty() ? "/healthz returned " +
-                                        std::to_string(health.status)
-                                  : error);
+    bool healthy = http_get(host, port, "/healthz", &health, &error) &&
+                   health.status == 200;
+    if (!healthy && error.empty()) {
+      error = "/healthz returned " + std::to_string(health.status);
+    }
+    muerp::support::json::ParseResult health_doc;
+    if (healthy) {
+      health_doc = muerp::support::json::parse(health.body);
+      if (!health_doc.ok()) {
+        error = "/healthz: " + health_doc.error;
+        healthy = false;
       }
-      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+    if (!healthy) {
+      if (!rendered) return fail(error);
+      ++failures;
+      long delay_ms = interval_ms > 0 ? interval_ms : 1000;
+      for (long k = 1; k < failures && delay_ms < kMaxBackoffMs; ++k) {
+        delay_ms *= 2;
+      }
+      if (delay_ms > kMaxBackoffMs) delay_ms = kMaxBackoffMs;
+      std::cout << "muerptop: lost " << endpoint << " (" << error
+                << ") — reconnecting, attempt " << failures
+                << ", next try in " << delay_ms << " ms\n"
+                << std::flush;
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
       continue;
     }
-    const auto health_doc = muerp::support::json::parse(health.body);
-    if (!health_doc.ok()) {
-      if (!rendered) return fail("/healthz: " + health_doc.error);
-      continue;
-    }
+    failures = 0;
     const auto& h = health_doc.value;
     const std::string algorithm = h["algorithm"].string_value;
 
@@ -344,6 +377,46 @@ int main(int argc, char** argv) {
       render_row(frame, row[0], series.latest(series.value), series.value,
                  ascii, width);
     }
+
+    // Hot-links panel: the link ledger's top 5 by utilization. The
+    // document is a snapshot, so the sparkline history lives here in the
+    // client, one series per rendered label. Absent endpoint (older
+    // daemon) or an OFF build just renders "(none)".
+    frame += "hot links (top 5 by utilization)\n";
+    bool any_link = false;
+    {
+      HttpResponse links;
+      if (http_get(host, port, "/api/v1/links?sort=util&limit=5", &links,
+                   &error) &&
+          links.status == 200) {
+        const auto doc = muerp::support::json::parse(links.body);
+        if (doc.ok()) {
+          for (const auto& link : doc.value["links"].elements) {
+            char label[32];
+            if (link["kind"].string_value == "switch") {
+              std::snprintf(label, sizeof label, "s%ld @%ld",
+                            static_cast<long>(link["index"].number_value),
+                            static_cast<long>(link["node"].number_value));
+            } else {
+              std::snprintf(label, sizeof label, "e%ld %ld-%ld",
+                            static_cast<long>(link["index"].number_value),
+                            static_cast<long>(link["a"].number_value),
+                            static_cast<long>(link["b"].number_value));
+            }
+            const double util = link["utilization"].number_value;
+            auto& history = link_history[label];
+            history.push_back(util);
+            if (history.size() > width) {
+              history.erase(history.begin(),
+                            history.end() - static_cast<long>(width));
+            }
+            render_row(frame, label, util, history, ascii, width);
+            any_link = true;
+          }
+        }
+      }
+    }
+    if (!any_link) frame += "  (none)\n";
 
     // Failure panel: the flight recorder's always-kept tail — the most
     // recent rejections and timeouts, one line each. Absent endpoint
